@@ -1,0 +1,94 @@
+// Ablation: output duty jitter from the proposed controller's continuous
+// +/-1 dither, and two mitigations the thesis does not explore --
+//  * lock hysteresis (slows the dither rate; amplitude unchanged);
+//  * tap-selector filtering before the mapper (cancels the dither from the
+//    *output* entirely, at a drift-tracking lag cost).
+// Both knobs ship in the library (ProposedController::set_lock_hysteresis,
+// ProposedDpwmSystem::set_tap_filter_depth).
+#include <cstdio>
+
+#include "ddl/analysis/monte_carlo.h"
+#include "ddl/analysis/report.h"
+#include "ddl/core/calibrated_dpwm.h"
+
+namespace {
+
+struct JitterResult {
+  double duty_stddev_ps;
+  double tracking_error_pct;  // |duty err| at the end of a temperature ramp.
+};
+
+JitterResult measure(std::size_t filter_depth, int hysteresis) {
+  const auto tech = ddl::cells::Technology::i32nm_class();
+  ddl::core::ProposedDelayLine line(tech, {256, 2}, /*seed=*/9);
+
+  // Phase 1: steady conditions -> duty jitter.
+  ddl::core::ProposedDpwmSystem steady(line, 10'000.0);
+  steady.set_tap_filter_depth(filter_depth);
+  steady.controller().set_lock_hysteresis(hysteresis);
+  steady.calibrate();
+  std::vector<double> widths;
+  ddl::sim::Time t = 0;
+  for (int i = 0; i < 400; ++i) {
+    const auto pwm = steady.generate(t, 128);
+    t += steady.period_ps();
+    if (i >= 100) {  // Skip filter warm-up.
+      widths.push_back(ddl::sim::to_ps(pwm.high_ps));
+    }
+  }
+  const auto jitter = ddl::analysis::summarize(widths);
+
+  // Phase 2: a fast temperature ramp -> tracking fidelity.
+  ddl::core::ProposedDpwmSystem ramped(line, 10'000.0);
+  ramped.set_tap_filter_depth(filter_depth);
+  ramped.controller().set_lock_hysteresis(hysteresis);
+  ramped.set_environment(
+      ddl::core::EnvironmentSchedule(ddl::cells::OperatingPoint::typical())
+          .with_temperature_ramp(20.0));  // +20 C/us: aggressive.
+  ramped.calibrate();
+  t = 0;
+  double worst_late_error = 0.0;
+  for (int i = 0; i < 600; ++i) {
+    const auto pwm = ramped.generate(t, 128);
+    t += ramped.period_ps();
+    if (i >= 300) {
+      worst_late_error =
+          std::max(worst_late_error, std::abs(pwm.duty() - 0.5));
+    }
+  }
+  return {jitter.stddev, 100.0 * worst_late_error};
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== Ablation: duty jitter vs drift tracking (256-cell line, "
+              "100 MHz, 50%% duty) ====\n\n");
+  ddl::analysis::TextTable table({"configuration", "duty stddev (ps)",
+                                  "worst duty err @ +20C/us ramp"});
+  struct Config {
+    const char* name;
+    std::size_t filter;
+    int hysteresis;
+  };
+  for (const auto& config :
+       {Config{"thesis (no filter, hysteresis 1)", 1, 1},
+        Config{"hysteresis 4", 1, 4},
+        Config{"tap filter depth 4", 4, 1},
+        Config{"tap filter depth 8", 8, 1},
+        Config{"filter 4 + hysteresis 4", 4, 4}}) {
+    const auto result = measure(config.filter, config.hysteresis);
+    table.add_row({config.name,
+                   ddl::analysis::TextTable::num(result.duty_stddev_ps, 1),
+                   ddl::analysis::TextTable::num(result.tracking_error_pct, 2) +
+                       " %"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nFindings: the thesis's always-step controller carries ~half a cell "
+      "of steady-state duty jitter from its\n+/-1 dither; hysteresis slows "
+      "but does not remove it; averaging the tap selector ahead of the "
+      "mapper removes\nit entirely while still tracking an aggressive "
+      "thermal ramp -- a cheap RTL addition (an adder and a shift).\n");
+  return 0;
+}

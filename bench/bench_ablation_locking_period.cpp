@@ -1,0 +1,76 @@
+// Ablation: half-period locking (the thesis's choice, section 3.2.2
+// "the locking operation is done for only half cycle of the clock period")
+// versus hypothetical full-period locking.
+//
+// Half-period locking halves the walk length (fewer cycles to lock) and
+// halves the tap count the calibration mux must cover -- at the cost of the
+// x2 in the mapper (absorbed by the shift).  This bench quantifies the
+// convergence half, plus the mapper-rounding sub-ablation.
+#include <cstdio>
+
+#include "ddl/analysis/linearity.h"
+#include "ddl/analysis/report.h"
+#include "ddl/core/proposed_controller.h"
+
+int main() {
+  const auto tech = ddl::cells::Technology::i32nm_class();
+  const double period = 10'000.0;
+
+  std::printf("==== Ablation 1: half-period vs full-period locking walk "
+              "====\n\n");
+  ddl::analysis::TextTable table({"corner", "lock cycles (T/2)",
+                                  "lock cycles (T)", "speedup"});
+  for (const auto op : {ddl::cells::OperatingPoint::fast_process_only(),
+                        ddl::cells::OperatingPoint::typical(),
+                        ddl::cells::OperatingPoint::slow_process_only()}) {
+    ddl::core::ProposedDelayLine line(tech, {256, 2});
+    // Half-period: the shipped controller.
+    ddl::core::ProposedController half(line, period);
+    const auto half_cycles = half.run_to_lock(op);
+    // Full-period locking = lock the same line against a 2T "virtual"
+    // period target, which walks twice as many cells.
+    ddl::core::ProposedController full(line, 2.0 * period);
+    const auto full_cycles = full.run_to_lock(op);
+    if (!half_cycles || !full_cycles) {
+      std::printf("(no lock at %s)\n", to_string(op.corner).data());
+      continue;
+    }
+    table.add_row({std::string(to_string(op.corner)),
+                   std::to_string(*half_cycles), std::to_string(*full_cycles),
+                   ddl::analysis::TextTable::num(
+                       static_cast<double>(*full_cycles) /
+                           static_cast<double>(*half_cycles), 2) + "x"});
+  }
+  std::printf("%s", table.render().c_str());
+
+  std::printf("\n==== Ablation 2: mapper truncation (RTL shift) vs "
+              "round-to-nearest ====\n\n");
+  ddl::analysis::TextTable mapper_table({"corner", "INL trunc (LSB)",
+                                         "INL round (LSB)"});
+  for (const auto op : {ddl::cells::OperatingPoint::typical(),
+                        ddl::cells::OperatingPoint::slow_process_only()}) {
+    ddl::core::ProposedDelayLine line(tech, {256, 2}, /*seed=*/17);
+    ddl::core::ProposedController controller(line, period);
+    if (!controller.run_to_lock(op).has_value()) {
+      continue;
+    }
+    auto curve_with = [&](bool round) {
+      ddl::core::DutyMapper mapper(256, round);
+      std::vector<double> curve;
+      for (std::uint64_t w = 0; w < 256; ++w) {
+        curve.push_back(
+            line.tap_delay_ps(mapper.map(w, controller.tap_sel()), op));
+      }
+      return ddl::analysis::analyze_linearity(curve).max_inl_lsb;
+    };
+    mapper_table.add_row({std::string(to_string(op.corner)),
+                          ddl::analysis::TextTable::num(curve_with(false), 2),
+                          ddl::analysis::TextTable::num(curve_with(true), 2)});
+  }
+  std::printf("%s", mapper_table.render().c_str());
+  std::printf("\nConclusions: half-period locking converges ~2x faster at "
+              "every corner (the thesis's 'faster locking operation');\n"
+              "round-to-nearest mapping shaves a fraction of an LSB of INL "
+              "over the RTL's truncating shift -- a cheap extension.\n");
+  return 0;
+}

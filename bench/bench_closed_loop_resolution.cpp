@@ -1,0 +1,54 @@
+// The Figure 15 / Eq 11-12 system experiment the DPWM exists for: closed-
+// loop regulation quality versus DPWM resolution.  Demonstrates the design
+// rule motivating high-resolution DPWMs -- when the DPWM's voltage LSB is
+// coarser than the ADC window, the loop limit-cycles; finer DPWM resolution
+// removes the oscillation.
+#include <cstdio>
+
+#include "ddl/analog/adc.h"
+#include "ddl/analog/buck.h"
+#include "ddl/analysis/report.h"
+#include "ddl/control/closed_loop.h"
+#include "ddl/dpwm/behavioral.h"
+#include "ddl/dpwm/requirements.h"
+
+int main() {
+  constexpr ddl::sim::Time kPeriod = 1'048'576;  // ~1 MHz, power of two.
+  const double vin = 3.0;
+
+  std::printf("==== Closed-loop regulation vs DPWM resolution (Vin = 3 V, "
+              "Vref = 1 V, ADC LSB = 10 mV) ====\n\n");
+  ddl::analysis::TextTable table({"DPWM bits", "V LSB (Eq 12)", "mean vout",
+                                  "vout stddev", "duty words used",
+                                  "limit cycle?"});
+  for (int bits : {4, 6, 8, 10, 12}) {
+    ddl::dpwm::CounterDpwm dpwm(bits, kPeriod);
+    ddl::analog::BuckParams params;
+    params.vin = vin;
+    const std::uint64_t full = (std::uint64_t{1} << bits) - 1;
+    ddl::control::DigitallyControlledBuck loop(
+        ddl::analog::BuckConverter(params),
+        ddl::analog::WindowAdc(ddl::analog::WindowAdcParams{1.0, 10e-3, 7}),
+        ddl::control::PidController(ddl::control::PidParams{}, full,
+                                    full / 3),
+        dpwm);
+    loop.run(4000, ddl::control::constant_load(0.4));
+    const auto metrics = loop.metrics(3000, 4000);
+    table.add_row(
+        {std::to_string(bits),
+         ddl::analysis::TextTable::num(
+             1e3 * ddl::dpwm::voltage_resolution(vin, bits), 1) + " mV",
+         ddl::analysis::TextTable::num(metrics.mean_vout, 4),
+         ddl::analysis::TextTable::num(1e3 * metrics.vout_stddev, 2) + " mV",
+         std::to_string(metrics.distinct_duty_words),
+         metrics.limit_cycling ? "YES" : "no"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nReproduces the resolution rule of section 2.2: once the "
+              "DPWM LSB drops below the ADC window\n(~10 bits here), the "
+              "steady state parks on one or two duty words and the limit "
+              "cycle disappears.\nThis is why 'state of the art systems' "
+              "need ~13-bit DPWMs -- and why pure counters are infeasible "
+              "(Table 2).\n");
+  return 0;
+}

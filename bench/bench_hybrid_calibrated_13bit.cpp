@@ -1,0 +1,86 @@
+// Extension experiment: the 13-bit DPWM problem (the thesis's "state of the
+// art" resolution at ~1 MHz switching) solved three ways, extending Table 2
+// with the architecture its reference [30] proposes -- a counter for the
+// MSBs plus the *proposed calibrated delay line* for the LSBs.
+//
+// Shape to expect: the pure counter needs an impossible multi-GHz clock;
+// the pure line needs 2^13 cells; the calibrated hybrid needs both a modest
+// clock and a modest line *and* keeps its accuracy across process corners,
+// which an uncalibrated line-based hybrid cannot.
+#include <cstdio>
+
+#include "ddl/analysis/report.h"
+#include "ddl/core/hybrid_calibrated.h"
+#include "ddl/dpwm/requirements.h"
+#include "ddl/synth/delay_line_synth.h"
+
+int main() {
+  const auto tech = ddl::cells::Technology::i32nm_class();
+  const double f_sw_hz = 1e6;
+  const int bits = 13;
+
+  std::printf("==== 13-bit DPWM at 1 MHz switching: three architectures "
+              "====\n\n");
+  ddl::analysis::TextTable table(
+      {"architecture", "clock", "delay cells", "area um2", "PVT-immune?"});
+
+  const auto counter = ddl::dpwm::counter_requirements(bits, f_sw_hz, tech);
+  table.add_row({"pure counter",
+                 ddl::analysis::TextTable::num(counter.clock_hz / 1e9, 3) +
+                     " GHz",
+                 "0", ddl::analysis::TextTable::num(counter.area_um2, 0),
+                 "yes (digital)"});
+
+  const auto line = ddl::dpwm::delay_line_requirements(bits, f_sw_hz, tech);
+  table.add_row({"pure delay line (uncal.)", "1 MHz",
+                 std::to_string(line.delay_cells),
+                 ddl::analysis::TextTable::num(line.area_um2, 0),
+                 "NO (4x corner drift)"});
+
+  const auto design = ddl::core::size_hybrid_calibrated(tech, 1.0, bits, 7);
+  const auto line_synth = ddl::synth::synthesize_proposed(design.line, tech);
+  const auto counter_part =
+      ddl::dpwm::counter_requirements(design.counter_bits, f_sw_hz, tech);
+  table.add_row(
+      {"calibrated hybrid 7+6",
+       ddl::analysis::TextTable::num(design.fast_clock_mhz, 0) + " MHz",
+       std::to_string(design.line.num_cells),
+       ddl::analysis::TextTable::num(
+           line_synth.total_area_um2() + counter_part.area_um2, 0),
+       "yes (DLL-calibrated)"});
+  std::printf("%s", table.render().c_str());
+
+  // Accuracy across corners for the calibrated hybrid.
+  std::printf("\nDuty accuracy of the calibrated hybrid across process "
+              "corners (word = 50%% of full scale):\n");
+  ddl::analysis::TextTable accuracy({"corner", "requested", "executed",
+                                     "error"});
+  const ddl::sim::Time fast_ps =
+      ddl::sim::from_ps(1e6 / design.fast_clock_mhz);
+  const ddl::sim::Time period = fast_ps << design.counter_bits;
+  for (const auto op : {ddl::cells::OperatingPoint::fast_process_only(),
+                        ddl::cells::OperatingPoint::typical(),
+                        ddl::cells::OperatingPoint::slow_process_only()}) {
+    ddl::core::ProposedDelayLine hw_line(tech, design.line, /*seed=*/5);
+    ddl::core::HybridCalibratedDpwm dpwm(hw_line, design.counter_bits, 6,
+                                         period);
+    dpwm.set_environment(ddl::core::EnvironmentSchedule(op));
+    if (!dpwm.calibrate()) {
+      std::printf("no lock at %s\n", to_string(op.corner).data());
+      continue;
+    }
+    const std::uint64_t word = std::uint64_t{1} << (dpwm.bits() - 1);
+    const auto pwm = dpwm.generate(0, word);
+    accuracy.add_row(
+        {std::string(to_string(op.corner)), "50.00 %",
+         ddl::analysis::TextTable::num(100.0 * pwm.duty(), 2) + " %",
+         ddl::analysis::TextTable::num(100.0 * (pwm.duty() - 0.5), 2) +
+             " pp"});
+  }
+  std::printf("%s", accuracy.render().c_str());
+  std::printf("\nConclusion: 13 bits with a 128 MHz clock and a 256-cell "
+              "line -- 64x slower clock than the pure counter,\n32x fewer "
+              "cells than the pure line, and corner-immune thanks to the "
+              "paper's calibration.\n");
+  return 0;
+}

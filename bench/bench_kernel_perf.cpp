@@ -1,0 +1,98 @@
+// google-benchmark microbenchmarks of the simulation substrate itself:
+// event-kernel throughput, delay-line queries, controller locking and the
+// closed-loop plant step -- the costs that bound every experiment in this
+// repository.
+#include <benchmark/benchmark.h>
+
+#include "ddl/analog/buck.h"
+#include "ddl/core/conventional_controller.h"
+#include "ddl/core/proposed_controller.h"
+#include "ddl/dpwm/behavioral.h"
+#include "ddl/sim/flipflop.h"
+#include "ddl/sim/gates.h"
+
+namespace {
+
+const ddl::cells::Technology& tech() {
+  static const auto kTech = ddl::cells::Technology::i32nm_class();
+  return kTech;
+}
+
+void BM_EventKernel_BufferChainWave(benchmark::State& state) {
+  // One clock edge rippling through an N-buffer chain = N events.
+  const auto length = static_cast<std::size_t>(state.range(0));
+  for (auto _ : state) {
+    ddl::sim::Simulator sim;
+    ddl::sim::NetlistContext ctx{&sim, &tech(),
+                                 ddl::cells::OperatingPoint::typical()};
+    const auto in = sim.add_signal("in", ddl::sim::Logic::k0);
+    auto taps = ddl::sim::make_buffer_chain(ctx, in, length);
+    sim.schedule(in, ddl::sim::Logic::k1, 0);
+    sim.run();
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(length));
+}
+BENCHMARK(BM_EventKernel_BufferChainWave)->Arg(256)->Arg(4096);
+
+void BM_EventKernel_ClockedDff(benchmark::State& state) {
+  for (auto _ : state) {
+    ddl::sim::Simulator sim;
+    ddl::sim::NetlistContext ctx{&sim, &tech(),
+                                 ddl::cells::OperatingPoint::typical()};
+    const auto clk = sim.add_signal("clk");
+    const auto d = sim.add_signal("d", ddl::sim::Logic::k0);
+    const auto q = sim.add_signal("q");
+    ddl::sim::DFlipFlop ff(ctx, clk, d, q);
+    ddl::sim::make_clock(sim, clk, 10'000);
+    sim.run(1'000'000);  // 100 clock cycles.
+    benchmark::DoNotOptimize(sim.executed_events());
+  }
+}
+BENCHMARK(BM_EventKernel_ClockedDff);
+
+void BM_ProposedLine_TapDelays(benchmark::State& state) {
+  ddl::core::ProposedDelayLine line(tech(), {256, 2}, /*seed=*/3);
+  const auto op = ddl::cells::OperatingPoint::typical();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(line.tap_delays(op));
+  }
+}
+BENCHMARK(BM_ProposedLine_TapDelays);
+
+void BM_ProposedController_LockFromCold(benchmark::State& state) {
+  ddl::core::ProposedDelayLine line(tech(), {256, 2});
+  const auto op = ddl::cells::OperatingPoint::fast_process_only();
+  for (auto _ : state) {
+    ddl::core::ProposedController controller(line, 10'000.0);
+    benchmark::DoNotOptimize(controller.run_to_lock(op));
+  }
+}
+BENCHMARK(BM_ProposedController_LockFromCold);
+
+void BM_ConventionalController_LockFromCold(benchmark::State& state) {
+  const auto op = ddl::cells::OperatingPoint::fast_process_only();
+  for (auto _ : state) {
+    ddl::core::ConventionalDelayLine line(tech(), {64, 4, 2});
+    ddl::core::ConventionalController controller(line, 10'000.0);
+    benchmark::DoNotOptimize(controller.run_to_lock(op));
+  }
+}
+BENCHMARK(BM_ConventionalController_LockFromCold);
+
+void BM_BuckPlant_OnePwmPeriod(benchmark::State& state) {
+  ddl::analog::BuckConverter plant(ddl::analog::BuckParams{});
+  ddl::dpwm::PwmPeriod period;
+  period.period_ps = 1'000'000;
+  period.high_ps = 333'000;
+  for (auto _ : state) {
+    plant.run_period(period, 0.4);
+    benchmark::DoNotOptimize(plant.output_voltage());
+  }
+}
+BENCHMARK(BM_BuckPlant_OnePwmPeriod);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,66 @@
+// Extension experiment: multi-phase interleaving (the on-chip-regulator
+// topology of the thesis's introduction, refs [12][13]) -- output ripple
+// and per-phase current versus phase count, including the exact-cancellation
+// duty points at duty = k/N.
+#include <cstdio>
+
+#include "ddl/analog/multiphase.h"
+#include "ddl/analysis/report.h"
+
+namespace {
+
+ddl::dpwm::PwmPeriod pwm_at(double duty) {
+  ddl::dpwm::PwmPeriod p;
+  p.period_ps = 1'000'000;  // 1 MHz switching.
+  p.high_ps = static_cast<ddl::sim::Time>(duty * 1e6);
+  return p;
+}
+
+double settled_ripple_mv(int phases, double duty, double load) {
+  ddl::analog::MultiPhaseParams params;
+  params.phases = phases;
+  ddl::analog::MultiPhaseBuck buck(params);
+  for (int i = 0; i < 3000; ++i) {
+    buck.run_period(pwm_at(duty), load);
+  }
+  return 1e3 * buck.last_period_ripple_v();
+}
+
+}  // namespace
+
+int main() {
+  std::printf("==== Multi-phase interleaved buck: ripple vs phase count "
+              "(Vin = 3 V, 1 A load) ====\n\n");
+  ddl::analysis::TextTable table({"duty", "1 phase (mV)", "2 phases (mV)",
+                                  "4 phases (mV)", "8 phases (mV)"});
+  for (double duty : {0.250, 0.333, 0.375, 0.500}) {
+    std::vector<std::string> row{ddl::analysis::TextTable::num(duty, 3)};
+    for (int phases : {1, 2, 4, 8}) {
+      row.push_back(
+          ddl::analysis::TextTable::num(settled_ripple_mv(phases, duty, 1.0), 3));
+    }
+    table.add_row(std::move(row));
+  }
+  std::printf("%s", table.render().c_str());
+
+  std::printf("\nPer-phase current sharing at 4 phases, duty 0.5, 2 A "
+              "load:\n");
+  ddl::analog::MultiPhaseParams params;
+  params.phases = 4;
+  ddl::analog::MultiPhaseBuck buck(params);
+  for (int i = 0; i < 4000; ++i) {
+    buck.run_period(pwm_at(0.5), 2.0);
+  }
+  for (int k = 0; k < 4; ++k) {
+    std::printf("  phase %d: %.3f A\n", k, buck.phase_current_a(k));
+  }
+  std::printf("  efficiency: %.1f %%\n",
+              100.0 * buck.energy().efficiency());
+  std::printf("\nShape: ripple falls steeply with phase count and nearly "
+              "vanishes at duty = k/N (0.25 and 0.5 for\n4 phases) -- the "
+              "interleaving property that makes on-chip multi-core "
+              "regulators practical, and why\neach phase needs its own "
+              "precisely matched DPWM (the delay lines this paper "
+              "synthesizes).\n");
+  return 0;
+}

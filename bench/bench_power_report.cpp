@@ -1,0 +1,52 @@
+// The "power report" companion to Tables 5/6: dynamic power of both
+// schemes' blocks across the thesis's frequency range, from the gate
+// inventories and an explicit activity model (see ddl/synth/power.h).
+#include <cstdio>
+
+#include "ddl/analysis/report.h"
+#include "ddl/core/design_calculator.h"
+#include "ddl/synth/power.h"
+
+int main() {
+  const auto tech = ddl::cells::Technology::i32nm_class();
+  const auto op = ddl::cells::OperatingPoint::typical();
+  ddl::core::DesignCalculator calc(tech);
+
+  std::printf("==== Dynamic power at the typical corner (activity model in "
+              "ddl/synth/power.h) ====\n\n");
+  ddl::analysis::TextTable table(
+      {"clk MHz", "proposed total (uW)", "line share", "conventional (uW)",
+       "line share", "prop/conv"});
+  for (double mhz : {50.0, 100.0, 200.0}) {
+    const ddl::core::DesignSpec spec{mhz, 6};
+    const auto proposed =
+        ddl::synth::proposed_power(calc.size_proposed(spec).line, tech, op,
+                                   mhz);
+    const auto conventional = ddl::synth::conventional_power(
+        calc.size_conventional(spec).line, tech, op, mhz);
+    table.add_row(
+        {ddl::analysis::TextTable::num(mhz, 0),
+         ddl::analysis::TextTable::num(proposed.total_uw(), 1),
+         ddl::analysis::TextTable::num(
+             proposed.block_percent("Delay Line"), 1) + " %",
+         ddl::analysis::TextTable::num(conventional.total_uw(), 1),
+         ddl::analysis::TextTable::num(
+             conventional.block_percent("Delay Line"), 1) + " %",
+         ddl::analysis::TextTable::num(
+             proposed.total_uw() / conventional.total_uw(), 2)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nFindings the area tables hide:\n"
+      "  * both schemes' power is dominated by the delay line (the clock "
+      "ripples through every buffer);\n"
+      "  * the conventional line burns its *unselected* branches too -- all "
+      "m(m+1)/2 element chains toggle --\n"
+      "    so the proposed scheme's power advantage exceeds its area "
+      "advantage;\n"
+      "  * power grows ~linearly with clock frequency even though the "
+      "proposed AREA shrinks with it (Table 6):\n"
+      "    fewer buffers per cell, but each toggles proportionally more "
+      "often.\n");
+  return 0;
+}

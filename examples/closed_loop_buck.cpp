@@ -1,0 +1,86 @@
+// The complete digitally controlled buck converter of thesis Figure 15,
+// regulating through the paper's proposed calibrated delay line, with a
+// load-step transient -- the application the DPWM exists for.
+//
+//   $ ./closed_loop_buck [corner: fast|typical|slow]
+#include <cstdio>
+#include <cstring>
+
+#include "ddl/analog/adc.h"
+#include "ddl/analog/buck.h"
+#include "ddl/control/closed_loop.h"
+#include "ddl/core/calibrated_dpwm.h"
+#include "ddl/core/design_calculator.h"
+
+namespace {
+
+ddl::cells::OperatingPoint parse_corner(int argc, char** argv) {
+  if (argc > 1 && std::strcmp(argv[1], "fast") == 0) {
+    return ddl::cells::OperatingPoint::fast_process_only();
+  }
+  if (argc > 1 && std::strcmp(argv[1], "slow") == 0) {
+    return ddl::cells::OperatingPoint::slow_process_only();
+  }
+  return ddl::cells::OperatingPoint::typical();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const auto corner = parse_corner(argc, argv);
+  const auto tech = ddl::cells::Technology::i32nm_class();
+
+  // A 1 MHz-class point-of-load converter: 3 V in, 1 V out.
+  const double switching_period_ps = 1.0e6;
+  ddl::core::DesignCalculator calculator(tech);
+  const auto design =
+      calculator.size_proposed(ddl::core::DesignSpec{1.0, 6});
+
+  ddl::core::ProposedDelayLine line(tech, design.line, /*mismatch_seed=*/7);
+  ddl::core::ProposedDpwmSystem dpwm(line, switching_period_ps);
+  dpwm.set_environment(ddl::core::EnvironmentSchedule(corner));
+  if (!dpwm.calibrate()) {
+    std::fprintf(stderr, "delay line failed to lock at this corner\n");
+    return 1;
+  }
+  std::printf("DPWM: %zu-cell proposed delay line, locked with tap_sel=%zu at "
+              "the %s corner\n",
+              line.size(), dpwm.controller().tap_sel(),
+              std::string(to_string(corner.corner)).c_str());
+
+  ddl::analog::BuckParams plant_params;
+  plant_params.vin = 3.0;
+  ddl::control::PidController pid(ddl::control::PidParams{}, line.size() - 1,
+                                  line.size() / 3);
+  ddl::control::DigitallyControlledBuck loop(
+      ddl::analog::BuckConverter(plant_params),
+      ddl::analog::WindowAdc(ddl::analog::WindowAdcParams{1.0, 10e-3, 7}),
+      std::move(pid), dpwm);
+
+  // 0.2 A -> 1.0 A load step at period 3000 of 6000.
+  loop.run(6000, ddl::control::step_load(0.2, 1.0, 3000));
+
+  std::printf("\n%-8s %-9s %-9s %-7s %s\n", "period", "vout(V)", "load(A)",
+              "duty", "");
+  for (std::uint64_t i = 200; i < 6000; i += 200) {
+    const auto& s = loop.history()[i];
+    const int bar = static_cast<int>((s.vout - 0.90) * 300.0);
+    std::printf("%-8llu %-9.4f %-9.2f %-7llu |%*s\n",
+                static_cast<unsigned long long>(s.period_index), s.vout,
+                s.load_a, static_cast<unsigned long long>(s.duty_word),
+                bar > 0 ? bar : 1, "*");
+  }
+
+  const auto before = loop.metrics(2500, 3000);
+  const auto after = loop.metrics(5500, 6000);
+  std::printf("\nsteady state before step: %.4f V (sd %.4f, ripple %.1f mV)\n",
+              before.mean_vout, before.vout_stddev,
+              before.max_ripple_v * 1e3);
+  std::printf("steady state after  step: %.4f V (sd %.4f, ripple %.1f mV)\n",
+              after.mean_vout, after.vout_stddev, after.max_ripple_v * 1e3);
+  std::printf("efficiency so far       : %.1f %%\n",
+              100.0 * loop.plant().energy().efficiency());
+  std::printf("limit cycling           : %s\n",
+              after.limit_cycling ? "yes" : "no");
+  return 0;
+}

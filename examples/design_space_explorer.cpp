@@ -1,0 +1,65 @@
+// Design-space explorer: for a (frequency, resolution) grid, sizes both
+// delay-line schemes (section 4.2), synthesizes their area (Tables 5/6
+// machinery) and reports which DPWM family fits a power/area budget
+// (Table 2 machinery).
+//
+//   $ ./design_space_explorer [switching_mhz]
+#include <cstdio>
+#include <cstdlib>
+
+#include "ddl/core/design_calculator.h"
+#include "ddl/dpwm/requirements.h"
+#include "ddl/synth/delay_line_synth.h"
+
+int main(int argc, char** argv) {
+  const double f_sw_mhz = argc > 1 ? std::atof(argv[1]) : 1.0;
+  const auto tech = ddl::cells::Technology::i32nm_class();
+  ddl::core::DesignCalculator calculator(tech);
+
+  std::printf("=== DPWM family requirements at f_sw = %.2f MHz (Eq 13/15) "
+              "===\n",
+              f_sw_mhz);
+  std::printf("%-6s %-16s %-14s %-16s %-12s\n", "bits", "counter clock",
+              "counter area", "line cells/area", "best hybrid");
+  for (int bits = 6; bits <= 14; bits += 2) {
+    const auto counter =
+        ddl::dpwm::counter_requirements(bits, f_sw_mhz * 1e6, tech);
+    const auto line =
+        ddl::dpwm::delay_line_requirements(bits, f_sw_mhz * 1e6, tech);
+    const int split = ddl::dpwm::best_hybrid_split(bits, f_sw_mhz * 1e6, tech);
+    std::printf("%-6d %9.3f GHz    %8.0f um2   %6llu / %8.0f um2  %d+%d\n",
+                bits, counter.clock_hz / 1e9, counter.area_um2,
+                static_cast<unsigned long long>(line.delay_cells),
+                line.area_um2, split, bits - split);
+  }
+
+  std::printf("\n=== Calibrated delay-line designs across clock frequency "
+              "(6-bit resolution) ===\n");
+  std::printf("%-8s | %-28s | %-28s\n", "clk MHz", "conventional (Table 5)",
+              "proposed (Tables 5/6)");
+  std::printf("%-8s | %-13s %-14s | %-13s %-14s\n", "", "geometry", "area um2",
+              "geometry", "area um2");
+  for (double mhz : {25.0, 50.0, 100.0, 200.0, 400.0}) {
+    const ddl::core::DesignSpec spec{mhz, 6};
+    const auto conv = calculator.size_conventional(spec);
+    const auto prop = calculator.size_proposed(spec);
+    const double conv_area =
+        ddl::synth::synthesize_conventional(conv.line, tech).total_area_um2();
+    const double prop_area =
+        ddl::synth::synthesize_proposed(prop.line, tech).total_area_um2();
+    std::printf("%-8.0f | %zux%dbx%de %11.0f | %zu cells x%db %8.0f\n", mhz,
+                conv.line.num_cells, conv.line.branches,
+                conv.line.buffers_per_element, conv_area, prop.line.num_cells,
+                prop.line.buffers_per_cell, prop_area);
+  }
+
+  std::printf("\n=== Full synthesis report of the 100 MHz proposed design "
+              "===\n");
+  const auto design =
+      calculator.size_proposed(ddl::core::DesignSpec{100.0, 6});
+  std::printf("%s",
+              ddl::synth::synthesize_proposed(design.line, tech)
+                  .to_table()
+                  .c_str());
+  return 0;
+}

@@ -1,0 +1,46 @@
+// Emits the synthesizable Verilog RTL of both delay-line schemes for a
+// given specification -- the thesis's deliverable as files you can hand to
+// Design Compiler.
+//
+//   $ ./rtl_export [clock_mhz] [resolution_bits] [output_dir]
+#include <cstdio>
+#include <cstdlib>
+#include <filesystem>
+
+#include "ddl/core/design_calculator.h"
+#include "ddl/synth/delay_line_synth.h"
+#include "ddl/synth/verilog.h"
+
+int main(int argc, char** argv) {
+  const double clock_mhz = argc > 1 ? std::atof(argv[1]) : 100.0;
+  const int bits = argc > 2 ? std::atoi(argv[2]) : 6;
+  const std::string directory = argc > 3 ? argv[3] : "rtl_out";
+
+  const auto tech = ddl::cells::Technology::i32nm_class();
+  ddl::core::DesignCalculator calc(tech);
+  const ddl::core::DesignSpec spec{clock_mhz, bits};
+  const auto proposed = calc.size_proposed(spec);
+  const auto conventional = calc.size_conventional(spec);
+
+  std::filesystem::create_directories(directory);
+  ddl::synth::write_verilog_files(directory, proposed.line,
+                                  conventional.line);
+
+  std::printf("Wrote RTL for %.0f MHz / %d-bit designs to %s/\n\n", clock_mhz,
+              bits, directory.c_str());
+  std::printf("proposed.v     : %zu cells x %d buffers, %d-bit duty word\n",
+              proposed.line.num_cells, proposed.line.buffers_per_cell,
+              proposed.input_word_bits);
+  std::printf("conventional.v : %zu cells x %d branches x %d buffers/elem, "
+              "%zu-bit shift register\n",
+              conventional.line.num_cells, conventional.line.branches,
+              conventional.line.buffers_per_element,
+              conventional.line.shift_register_bits());
+  std::printf("\nExpected post-synthesis area (this library's Table 5 "
+              "model):\n  proposed     %.0f um^2\n  conventional %.0f um^2\n",
+              ddl::synth::synthesize_proposed(proposed.line, tech)
+                  .total_area_um2(),
+              ddl::synth::synthesize_conventional(conventional.line, tech)
+                  .total_area_um2());
+  return 0;
+}

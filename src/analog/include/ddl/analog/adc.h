@@ -1,0 +1,38 @@
+// Window (error) ADC of the digitally controlled buck converter (Figure 15).
+//
+// Digital controllers do not digitize Vout absolutely; they quantize the
+// *error* Verr = Vout - Vref into a few signed bins around zero.  The LSB of
+// this ADC versus the DPWM's voltage resolution decides whether the loop
+// limit-cycles -- the classic design rule that the DPWM must resolve finer
+// than the ADC, which our closed-loop bench demonstrates.
+#pragma once
+
+#include <cstdint>
+
+namespace ddl::analog {
+
+struct WindowAdcParams {
+  double vref = 1.0;       ///< Regulation target, volts.
+  double lsb_v = 10e-3;    ///< Error quantum.
+  int max_code = 7;        ///< Output saturates at +/- max_code.
+};
+
+class WindowAdc {
+ public:
+  explicit WindowAdc(WindowAdcParams params);
+
+  /// Quantizes vout into a signed error code: negative when vout is above
+  /// target (duty must shrink).  Rounds to nearest; the zero bin spans
+  /// +/- lsb/2 around vref.
+  int sample(double vout) const noexcept;
+
+  /// The analog error corresponding to a code (bin centre).
+  double code_to_error_v(int code) const noexcept;
+
+  const WindowAdcParams& params() const noexcept { return params_; }
+
+ private:
+  WindowAdcParams params_;
+};
+
+}  // namespace ddl::analog

@@ -1,0 +1,76 @@
+// Linear-regulator models (thesis section 2.1.1, Figures 6-9, Eqs 3-8).
+//
+// The three classic pass-device topologies differ in two first-order
+// numbers -- dropout voltage and ground-pin current -- and those two numbers
+// determine everything Table 1 says about linear regulators: efficiency,
+// waste heat, and the inability to step up.
+#pragma once
+
+#include <string_view>
+
+namespace ddl::analog {
+
+/// Pass-device topology.
+enum class LinearTopology {
+  kStandardNpn,  ///< Darlington NPN pass device: large dropout, tiny ground
+                 ///< current (Figure 7, Eq 6).
+  kLdo,          ///< Single PNP pass device: minimal dropout, ground current
+                 ///< = I_load / beta (Figure 8, Eq 7).
+  kQuasiLdo,     ///< NPN+PNP: intermediate on both axes (Figure 9, Eq 8).
+};
+
+std::string_view to_string(LinearTopology topology) noexcept;
+
+/// Device constants for the dropout/ground-current equations.
+struct BjtConstants {
+  double vbe = 0.7;       ///< Base-emitter drop, volts.
+  double vce_sat = 0.2;   ///< Saturation collector-emitter drop, volts.
+  double vds_sat = 0.15;  ///< For PMOS-pass LDO variants.
+  double darlington_beta = 5000.0;  ///< Composite gain of the NPN network.
+  double pnp_beta = 30.0;           ///< Single-PNP gain.
+  double quasi_beta = 500.0;
+};
+
+/// One operating solution of a linear regulator.
+struct LinearOperatingPoint {
+  double vout = 0.0;
+  double iload = 0.0;
+  double iground = 0.0;      ///< Wasted ground-pin current.
+  double input_power_w = 0.0;   ///< Eq 4: Vin * (Iload + Ignd).
+  double output_power_w = 0.0;  ///< Eq 3 with zero dropout margin: Vout*Iload.
+  double dissipation_w = 0.0;   ///< Eq 5: internal heat.
+  double efficiency = 0.0;      ///< Eq 1.
+  bool in_regulation = false;   ///< Vin - Vout >= dropout.
+};
+
+/// A linear regulator of a given topology.
+class LinearRegulator {
+ public:
+  LinearRegulator(LinearTopology topology, double vout_set,
+                  BjtConstants constants = {});
+
+  LinearTopology topology() const noexcept { return topology_; }
+
+  /// Eq 6/7/8: minimum required Vin - Vout.
+  double dropout_v() const noexcept;
+
+  /// Ground-pin current at a load current (the second axis the thesis uses
+  /// to rank the three types).
+  double ground_current_a(double iload) const noexcept;
+
+  /// Solves the regulator at (vin, iload).  If vin - vout < dropout the
+  /// output collapses to vin - dropout (out of regulation).
+  LinearOperatingPoint solve(double vin, double iload) const;
+
+  /// Eq 1 shortcut at the solved point.
+  double efficiency(double vin, double iload) const {
+    return solve(vin, iload).efficiency;
+  }
+
+ private:
+  LinearTopology topology_;
+  double vout_set_;
+  BjtConstants constants_;
+};
+
+}  // namespace ddl::analog

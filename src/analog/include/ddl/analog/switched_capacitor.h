@@ -1,0 +1,49 @@
+// Ideal switched-capacitor (charge-pump) converter, thesis Figure 14.
+//
+// A 2:1 series-parallel SC stage: the flying capacitor charges in series
+// with the output and discharges in parallel with it.  The standard
+// first-order model captures the two drawbacks the thesis lists --
+// load-dependent droop (weak regulation) and a conversion ratio fixed by the
+// topology -- via the equivalent output resistance R_out = 1 / (f_sw * C_fly)
+// in the slow-switching limit.
+#pragma once
+
+namespace ddl::analog {
+
+struct SwitchedCapParams {
+  double c_fly_f = 1e-6;       ///< Flying capacitor.
+  double f_sw_hz = 1e6;        ///< Switching frequency.
+  double r_switch_ohm = 50e-3; ///< Per-switch on-resistance.
+  int ratio_num = 1;           ///< Conversion ratio numerator (vout ideal =
+  int ratio_den = 2;           ///< vin * num / den; 1/2 for the 2:1 stage).
+};
+
+/// Steady-state solution of the SC stage at a load.
+struct SwitchedCapOperatingPoint {
+  double vout = 0.0;
+  double v_no_load = 0.0;
+  double r_out_ohm = 0.0;
+  double efficiency = 0.0;  ///< vout / v_no_load: all loss is droop.
+};
+
+class SwitchedCapConverter {
+ public:
+  explicit SwitchedCapConverter(SwitchedCapParams params);
+
+  /// Slow/fast-switching-limit blend of the equivalent output resistance.
+  double output_resistance_ohm() const noexcept;
+
+  /// Solves vout and efficiency at (vin, iload).
+  SwitchedCapOperatingPoint solve(double vin, double iload) const;
+
+  /// The fixed no-load conversion ratio (the "predetermined by the circuit
+  /// structure" limitation).
+  double conversion_ratio() const noexcept;
+
+  const SwitchedCapParams& params() const noexcept { return params_; }
+
+ private:
+  SwitchedCapParams params_;
+};
+
+}  // namespace ddl::analog

@@ -1,0 +1,27 @@
+#include "ddl/analog/adc.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ddl::analog {
+
+WindowAdc::WindowAdc(WindowAdcParams params) : params_(params) {
+  if (params.lsb_v <= 0.0 || params.max_code < 1) {
+    throw std::invalid_argument("WindowAdc: invalid parameters");
+  }
+}
+
+int WindowAdc::sample(double vout) const noexcept {
+  // Verr = Vref - Vout: positive error means the output is low and duty
+  // must grow.
+  const double error = params_.vref - vout;
+  const int code = static_cast<int>(std::lround(error / params_.lsb_v));
+  return std::clamp(code, -params_.max_code, params_.max_code);
+}
+
+double WindowAdc::code_to_error_v(int code) const noexcept {
+  return code * params_.lsb_v;
+}
+
+}  // namespace ddl::analog

@@ -1,0 +1,72 @@
+#include "ddl/analog/linear_regulator.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ddl::analog {
+
+std::string_view to_string(LinearTopology topology) noexcept {
+  switch (topology) {
+    case LinearTopology::kStandardNpn:
+      return "standard-NPN";
+    case LinearTopology::kLdo:
+      return "LDO";
+    case LinearTopology::kQuasiLdo:
+      return "quasi-LDO";
+  }
+  return "unknown";
+}
+
+LinearRegulator::LinearRegulator(LinearTopology topology, double vout_set,
+                                 BjtConstants constants)
+    : topology_(topology), vout_set_(vout_set), constants_(constants) {
+  if (vout_set <= 0.0) {
+    throw std::invalid_argument("LinearRegulator: vout must be positive");
+  }
+}
+
+double LinearRegulator::dropout_v() const noexcept {
+  switch (topology_) {
+    case LinearTopology::kStandardNpn:
+      // Eq 6: two Vbe (Darlington) plus the driver's Vce_sat.
+      return 2.0 * constants_.vbe + constants_.vce_sat;
+    case LinearTopology::kLdo:
+      // Eq 7: a single saturated pass device.
+      return constants_.vce_sat;
+    case LinearTopology::kQuasiLdo:
+      // Eq 8: one Vbe plus one Vce_sat.
+      return constants_.vbe + constants_.vce_sat;
+  }
+  return 0.0;
+}
+
+double LinearRegulator::ground_current_a(double iload) const noexcept {
+  switch (topology_) {
+    case LinearTopology::kStandardNpn:
+      return iload / constants_.darlington_beta;
+    case LinearTopology::kLdo:
+      return iload / constants_.pnp_beta;
+    case LinearTopology::kQuasiLdo:
+      return iload / constants_.quasi_beta;
+  }
+  return 0.0;
+}
+
+LinearOperatingPoint LinearRegulator::solve(double vin, double iload) const {
+  LinearOperatingPoint op;
+  op.iload = iload;
+  op.in_regulation = vin - vout_set_ >= dropout_v();
+  // Out of regulation the pass device saturates: vout tracks vin - dropout
+  // (a linear regulator can never step up; Table 1 "only steps down").
+  op.vout = op.in_regulation ? vout_set_
+                             : std::max(0.0, vin - dropout_v());
+  op.iground = ground_current_a(iload);
+  op.input_power_w = vin * (iload + op.iground);          // Eq 4
+  op.output_power_w = op.vout * iload;                    // Eq 3
+  op.dissipation_w = op.input_power_w - op.output_power_w;  // Eq 5
+  op.efficiency =
+      op.input_power_w > 0.0 ? op.output_power_w / op.input_power_w : 0.0;
+  return op;
+}
+
+}  // namespace ddl::analog

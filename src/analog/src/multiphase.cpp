@@ -1,0 +1,89 @@
+#include "ddl/analog/multiphase.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <stdexcept>
+
+namespace ddl::analog {
+
+MultiPhaseBuck::MultiPhaseBuck(MultiPhaseParams params, double dt_s)
+    : params_(params), dt_s_(dt_s) {
+  if (params.phases < 1 || dt_s <= 0.0 ||
+      params.per_phase.inductance_h <= 0.0 ||
+      params.per_phase.capacitance_f <= 0.0) {
+    throw std::invalid_argument("MultiPhaseBuck: invalid parameters");
+  }
+  inductor_a_.assign(static_cast<std::size_t>(params.phases), 0.0);
+}
+
+double MultiPhaseBuck::total_inductor_current_a() const noexcept {
+  return std::accumulate(inductor_a_.begin(), inductor_a_.end(), 0.0);
+}
+
+double MultiPhaseBuck::output_voltage() const noexcept {
+  return cap_v_ + params_.per_phase.esr_ohm *
+                      (total_inductor_current_a() - last_load_a_);
+}
+
+void MultiPhaseBuck::run_period(const dpwm::PwmPeriod& period, double load_a) {
+  last_load_a_ = load_a;
+  const double total_s = sim::to_ps(period.period_ps) * 1e-12;
+  const double high_s = sim::to_ps(period.high_ps) * 1e-12;
+  const int n = params_.phases;
+  const BuckParams& p = params_.per_phase;
+
+  last_vmin_ = output_voltage();
+  last_vmax_ = last_vmin_;
+
+  double t = 0.0;
+  while (t < total_s) {
+    const double dt = std::min(dt_s_, total_s - t);
+
+    double sum_il = total_inductor_current_a();
+    const double vout = cap_v_ + p.esr_ohm * (sum_il - load_a);
+
+    for (int k = 0; k < n; ++k) {
+      // Phase k's high window is [k*T/n, k*T/n + high) modulo the period.
+      const double offset =
+          std::fmod(t - static_cast<double>(k) * total_s / n + total_s,
+                    total_s);
+      const bool high = offset < high_s;
+      const double v_switch = high ? p.vin : 0.0;
+      const double r_path =
+          p.r_inductor_ohm + (high ? p.r_on_high_ohm : p.r_on_low_ohm);
+      auto& il = inductor_a_[static_cast<std::size_t>(k)];
+      const double di = (v_switch - vout - r_path * il) / p.inductance_h;
+      il += dt * di;
+      if (high) {
+        energy_.input_j += p.vin * il * dt;
+      }
+      energy_.conduction_loss_j += il * il * r_path * dt;
+    }
+
+    sum_il = total_inductor_current_a();
+    cap_v_ += dt * (sum_il - load_a) / p.capacitance_f;
+
+    const double v_now = cap_v_ + p.esr_ohm * (sum_il - load_a);
+    energy_.output_j += v_now * load_a * dt;
+    last_vmin_ = std::min(last_vmin_, v_now);
+    last_vmax_ = std::max(last_vmax_, v_now);
+    t += dt;
+  }
+
+  // Each phase pays its own per-cycle switching loss.
+  const double switching = n * p.switch_energy_per_cycle_j;
+  energy_.input_j += switching;
+  energy_.switching_loss_j += switching;
+}
+
+void MultiPhaseBuck::reset() {
+  std::fill(inductor_a_.begin(), inductor_a_.end(), 0.0);
+  cap_v_ = 0.0;
+  last_load_a_ = 0.0;
+  last_vmin_ = 0.0;
+  last_vmax_ = 0.0;
+  energy_ = EnergyAccount{};
+}
+
+}  // namespace ddl::analog

@@ -1,0 +1,41 @@
+#include "ddl/analog/switched_capacitor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ddl::analog {
+
+SwitchedCapConverter::SwitchedCapConverter(SwitchedCapParams params)
+    : params_(params) {
+  if (params.c_fly_f <= 0.0 || params.f_sw_hz <= 0.0 ||
+      params.ratio_num <= 0 || params.ratio_den <= 0) {
+    throw std::invalid_argument("SwitchedCapConverter: invalid parameters");
+  }
+}
+
+double SwitchedCapConverter::conversion_ratio() const noexcept {
+  return static_cast<double>(params_.ratio_num) /
+         static_cast<double>(params_.ratio_den);
+}
+
+double SwitchedCapConverter::output_resistance_ohm() const noexcept {
+  // Slow-switching limit: charge transfer per cycle bounds the current.
+  const double r_ssl = 1.0 / (params_.f_sw_hz * params_.c_fly_f);
+  // Fast-switching limit: switch resistances bound it instead.
+  const double r_fsl = 4.0 * params_.r_switch_ohm;
+  // Standard Euclidean blend between the two asymptotes.
+  return std::sqrt(r_ssl * r_ssl + r_fsl * r_fsl);
+}
+
+SwitchedCapOperatingPoint SwitchedCapConverter::solve(double vin,
+                                                      double iload) const {
+  SwitchedCapOperatingPoint op;
+  op.v_no_load = vin * conversion_ratio();
+  op.r_out_ohm = output_resistance_ohm();
+  op.vout = std::max(0.0, op.v_no_load - iload * op.r_out_ohm);
+  op.efficiency = op.v_no_load > 0.0 ? op.vout / op.v_no_load : 0.0;
+  return op;
+}
+
+}  // namespace ddl::analog

@@ -1,0 +1,38 @@
+// Linearity metrics for delay lines and DPWM transfer curves.
+//
+// The thesis compares schemes on "linearity" (Figures 41/42, 50/51): how
+// uniformly the code-to-delay transfer steps.  We quantify that with the
+// standard data-converter metrics -- DNL and INL in LSB -- computed over a
+// measured tap-delay or code-to-delay curve.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+namespace ddl::analysis {
+
+/// Differential/integral nonlinearity summary of a transfer curve.
+struct LinearityReport {
+  double ideal_step = 0.0;   ///< End-point-fit LSB.
+  double max_dnl_lsb = 0.0;  ///< max |DNL| over all codes.
+  double max_inl_lsb = 0.0;  ///< max |INL| over all codes.
+  double rms_inl_lsb = 0.0;
+  bool monotonic = true;
+  std::size_t codes = 0;
+  /// Codes whose step to the next code is exactly zero -- the proposed
+  /// scheme's slow-corner staircase where the mapper assigns several input
+  /// words to the same tap.
+  std::size_t zero_steps = 0;
+};
+
+/// Computes linearity of `curve[code] = delay` using an end-point fit
+/// (first/last samples define the ideal line).  Needs >= 3 points.
+LinearityReport analyze_linearity(const std::vector<double>& curve);
+
+/// Per-code DNL in LSB (size = curve.size() - 1).
+std::vector<double> dnl_lsb(const std::vector<double>& curve);
+
+/// Per-code INL in LSB against the end-point fit (size = curve.size()).
+std::vector<double> inl_lsb(const std::vector<double>& curve);
+
+}  // namespace ddl::analysis

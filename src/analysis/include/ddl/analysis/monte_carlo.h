@@ -1,0 +1,46 @@
+// Monte-Carlo harness and summary statistics.
+//
+// Runs a per-die experiment across many independently seeded dies (each die
+// = one mismatch sample of a delay line) and summarizes scalar outcomes.
+// Behind Figures 50/51 (post-APR linearity), and the statistical-sizing
+// study of the thesis's future-work section 5.2.
+#pragma once
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace ddl::analysis {
+
+/// Summary of a scalar sample set.
+struct Summary {
+  double mean = 0.0;
+  double stddev = 0.0;
+  double min = 0.0;
+  double max = 0.0;
+  double p05 = 0.0;
+  double p50 = 0.0;
+  double p95 = 0.0;
+  std::size_t count = 0;
+};
+
+Summary summarize(std::vector<double> samples);
+
+/// Runs `experiment(seed)` for `trials` deterministic seeds derived from
+/// `base_seed` and summarizes the returned scalars.
+Summary monte_carlo(std::size_t trials, std::uint64_t base_seed,
+                    const std::function<double(std::uint64_t seed)>& experiment);
+
+/// Fraction of trials where `predicate(seed)` holds -- the yield estimator
+/// for the statistical-sizing study.
+double monte_carlo_yield(
+    std::size_t trials, std::uint64_t base_seed,
+    const std::function<bool(std::uint64_t seed)>& predicate);
+
+/// Derives the i-th die seed (splitmix64 step; never returns 0, which the
+/// delay lines reserve for "no mismatch").
+std::uint64_t die_seed(std::uint64_t base_seed, std::size_t index);
+
+}  // namespace ddl::analysis

@@ -1,0 +1,39 @@
+// Synchronizer mean-time-between-failures (thesis section 3.2.1, refs
+// [37][38]):
+//
+//     MTBF = exp(t_res / tau) / (T0 * f_clk * f_data)
+//
+// where tau is the flop's metastability time constant, T0 its aperture
+// window, t_res the time allowed for resolution, f_clk the sampling clock
+// and f_data the rate of asynchronous input transitions.  Used to justify
+// the 2-FF synchronizer in both controllers (one extra stage buys a full
+// clock period of t_res, which multiplies MTBF astronomically).
+#pragma once
+
+#include <string>
+
+#include "ddl/cells/technology.h"
+
+namespace ddl::analysis {
+
+struct MtbfParams {
+  double tau_s = 12e-12;
+  double t0_s = 25e-12;
+  double f_clk_hz = 100e6;
+  double f_data_hz = 50e6;
+  double resolution_time_s = 5e-9;  ///< Slack before the next flop samples.
+};
+
+/// Seconds of MTBF; may overflow to +inf for multi-stage synchronizers
+/// (which is the correct engineering reading).
+double synchronizer_mtbf_s(const MtbfParams& params);
+
+/// MTBF for an n-stage synchronizer: each extra stage adds one full clock
+/// period (minus clk-to-q and setup) of resolution time.
+double synchronizer_mtbf_s(const cells::Technology& tech, double f_clk_hz,
+                           double f_data_hz, int stages);
+
+/// Pretty seconds ("3.1e+12 years") used by the Fig 39 bench.
+std::string format_mtbf(double seconds);
+
+}  // namespace ddl::analysis

@@ -1,0 +1,36 @@
+// Small reporting utilities shared by the benches: aligned text tables for
+// stdout (the "rows the paper reports") and CSV series dumps (the figures).
+#pragma once
+
+#include <fstream>
+#include <iosfwd>
+#include <string>
+#include <vector>
+
+namespace ddl::analysis {
+
+/// Accumulates rows of strings and renders an aligned, pipe-separated table.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Adds a row; each cell is already formatted.
+  void add_row(std::vector<std::string> row);
+
+  /// Numeric convenience: formats with `precision` decimals.
+  static std::string num(double value, int precision = 2);
+
+  std::string render() const;
+
+ private:
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Writes series data (e.g. Figures 50/51's delay-vs-input-word curves) as
+/// CSV: one x column plus one column per named series.
+void write_csv(const std::string& path, const std::string& x_name,
+               const std::vector<double>& x,
+               const std::vector<std::pair<std::string, std::vector<double>>>&
+                   series);
+
+}  // namespace ddl::analysis

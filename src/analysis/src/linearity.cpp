@@ -1,0 +1,67 @@
+#include "ddl/analysis/linearity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ddl::analysis {
+
+std::vector<double> dnl_lsb(const std::vector<double>& curve) {
+  if (curve.size() < 3) {
+    throw std::invalid_argument("dnl_lsb: need at least 3 points");
+  }
+  const double lsb =
+      (curve.back() - curve.front()) / static_cast<double>(curve.size() - 1);
+  std::vector<double> dnl;
+  dnl.reserve(curve.size() - 1);
+  for (std::size_t i = 0; i + 1 < curve.size(); ++i) {
+    dnl.push_back((curve[i + 1] - curve[i]) / lsb - 1.0);
+  }
+  return dnl;
+}
+
+std::vector<double> inl_lsb(const std::vector<double>& curve) {
+  if (curve.size() < 3) {
+    throw std::invalid_argument("inl_lsb: need at least 3 points");
+  }
+  const double lsb =
+      (curve.back() - curve.front()) / static_cast<double>(curve.size() - 1);
+  std::vector<double> inl;
+  inl.reserve(curve.size());
+  for (std::size_t i = 0; i < curve.size(); ++i) {
+    const double ideal = curve.front() + lsb * static_cast<double>(i);
+    inl.push_back((curve[i] - ideal) / lsb);
+  }
+  return inl;
+}
+
+LinearityReport analyze_linearity(const std::vector<double>& curve) {
+  LinearityReport report;
+  report.codes = curve.size();
+  const std::vector<double> dnl = dnl_lsb(curve);
+  const std::vector<double> inl = inl_lsb(curve);
+  report.ideal_step =
+      (curve.back() - curve.front()) / static_cast<double>(curve.size() - 1);
+
+  for (double d : dnl) {
+    report.max_dnl_lsb = std::max(report.max_dnl_lsb, std::abs(d));
+  }
+  double sum_sq = 0.0;
+  for (double i : inl) {
+    report.max_inl_lsb = std::max(report.max_inl_lsb, std::abs(i));
+    sum_sq += i * i;
+  }
+  report.rms_inl_lsb = std::sqrt(sum_sq / static_cast<double>(inl.size()));
+
+  for (std::size_t i = 0; i + 1 < curve.size(); ++i) {
+    if (curve[i + 1] < curve[i]) {
+      report.monotonic = false;
+    }
+    if (curve[i + 1] == curve[i]) {
+      ++report.zero_steps;
+    }
+  }
+  return report;
+}
+
+}  // namespace ddl::analysis

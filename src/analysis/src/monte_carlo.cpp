@@ -1,0 +1,71 @@
+#include "ddl/analysis/monte_carlo.h"
+
+namespace ddl::analysis {
+
+Summary summarize(std::vector<double> samples) {
+  Summary s;
+  s.count = samples.size();
+  if (samples.empty()) {
+    return s;
+  }
+  std::sort(samples.begin(), samples.end());
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  for (double x : samples) {
+    sum += x;
+    sum_sq += x * x;
+  }
+  const double n = static_cast<double>(samples.size());
+  s.mean = sum / n;
+  s.stddev = std::sqrt(std::max(0.0, sum_sq / n - s.mean * s.mean));
+  s.min = samples.front();
+  s.max = samples.back();
+  auto percentile = [&samples](double p) {
+    const double pos = p * static_cast<double>(samples.size() - 1);
+    const std::size_t lo = static_cast<std::size_t>(pos);
+    const std::size_t hi = std::min(lo + 1, samples.size() - 1);
+    const double frac = pos - static_cast<double>(lo);
+    return samples[lo] * (1.0 - frac) + samples[hi] * frac;
+  };
+  s.p05 = percentile(0.05);
+  s.p50 = percentile(0.50);
+  s.p95 = percentile(0.95);
+  return s;
+}
+
+std::uint64_t die_seed(std::uint64_t base_seed, std::size_t index) {
+  // splitmix64: well-distributed, cheap, deterministic.
+  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (index + 1);
+  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
+  z ^= z >> 31;
+  return z == 0 ? 1 : z;
+}
+
+Summary monte_carlo(
+    std::size_t trials, std::uint64_t base_seed,
+    const std::function<double(std::uint64_t seed)>& experiment) {
+  std::vector<double> samples;
+  samples.reserve(trials);
+  for (std::size_t i = 0; i < trials; ++i) {
+    samples.push_back(experiment(die_seed(base_seed, i)));
+  }
+  return summarize(std::move(samples));
+}
+
+double monte_carlo_yield(
+    std::size_t trials, std::uint64_t base_seed,
+    const std::function<bool(std::uint64_t seed)>& predicate) {
+  if (trials == 0) {
+    return 0.0;
+  }
+  std::size_t pass = 0;
+  for (std::size_t i = 0; i < trials; ++i) {
+    if (predicate(die_seed(base_seed, i))) {
+      ++pass;
+    }
+  }
+  return static_cast<double>(pass) / static_cast<double>(trials);
+}
+
+}  // namespace ddl::analysis

@@ -1,0 +1,50 @@
+#include "ddl/analysis/mtbf.h"
+
+#include <cmath>
+#include <sstream>
+#include <string>
+
+namespace ddl::analysis {
+
+double synchronizer_mtbf_s(const MtbfParams& params) {
+  const double denominator = params.t0_s * params.f_clk_hz * params.f_data_hz;
+  if (denominator <= 0.0) {
+    return INFINITY;
+  }
+  return std::exp(params.resolution_time_s / params.tau_s) / denominator;
+}
+
+double synchronizer_mtbf_s(const cells::Technology& tech, double f_clk_hz,
+                           double f_data_hz, int stages) {
+  const auto& timing = tech.sequential_timing();
+  const double period_s = 1.0 / f_clk_hz;
+  const double clk_to_q_s =
+      tech.typical_delay_ps(cells::CellKind::kDff) * 1e-12;
+  const double setup_s = timing.setup_ps * 1e-12;
+  // Each stage past the first grants one clock period minus the overheads.
+  const double per_stage = std::max(0.0, period_s - clk_to_q_s - setup_s);
+  MtbfParams params;
+  params.tau_s = timing.tau_ps * 1e-12;
+  params.t0_s = timing.t0_ps * 1e-12;
+  params.f_clk_hz = f_clk_hz;
+  params.f_data_hz = f_data_hz;
+  params.resolution_time_s = per_stage * std::max(0, stages - 1);
+  return synchronizer_mtbf_s(params);
+}
+
+std::string format_mtbf(double seconds) {
+  std::ostringstream os;
+  constexpr double kYear = 365.25 * 24 * 3600;
+  if (std::isinf(seconds)) {
+    os << "effectively infinite";
+  } else if (seconds >= kYear) {
+    os << seconds / kYear << " years";
+  } else if (seconds >= 1.0) {
+    os << seconds << " s";
+  } else {
+    os << seconds * 1e6 << " us";
+  }
+  return os.str();
+}
+
+}  // namespace ddl::analysis

@@ -1,0 +1,75 @@
+#include "ddl/analysis/report.h"
+
+#include <iomanip>
+#include <sstream>
+#include <stdexcept>
+
+namespace ddl::analysis {
+
+TextTable::TextTable(std::vector<std::string> header) {
+  rows_.push_back(std::move(header));
+}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  if (row.size() != rows_.front().size()) {
+    throw std::invalid_argument("TextTable: row width mismatch");
+  }
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::num(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(rows_.front().size(), 0);
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+  std::ostringstream os;
+  for (std::size_t r = 0; r < rows_.size(); ++r) {
+    for (std::size_t c = 0; c < rows_[r].size(); ++c) {
+      os << "| " << std::setw(static_cast<int>(widths[c])) << std::left
+         << rows_[r][c] << " ";
+    }
+    os << "|\n";
+    if (r == 0) {
+      for (std::size_t c = 0; c < widths.size(); ++c) {
+        os << "|" << std::string(widths[c] + 2, '-');
+      }
+      os << "|\n";
+    }
+  }
+  return os.str();
+}
+
+void write_csv(const std::string& path, const std::string& x_name,
+               const std::vector<double>& x,
+               const std::vector<std::pair<std::string, std::vector<double>>>&
+                   series) {
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("write_csv: cannot open " + path);
+  }
+  out << x_name;
+  for (const auto& [name, values] : series) {
+    if (values.size() != x.size()) {
+      throw std::invalid_argument("write_csv: series length mismatch: " + name);
+    }
+    out << "," << name;
+  }
+  out << "\n";
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    out << x[i];
+    for (const auto& [name, values] : series) {
+      out << "," << values[i];
+    }
+    out << "\n";
+  }
+}
+
+}  // namespace ddl::analysis

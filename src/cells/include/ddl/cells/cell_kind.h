@@ -1,0 +1,51 @@
+// Standard-cell kinds of the synthetic "i32"-class technology library.
+//
+// The thesis synthesizes both delay-line schemes with Intel 32nm standard
+// cells.  We cannot ship that library, so ddl::cells models a generic
+// 32nm-class library whose *ratios* (fast/slow corner spread, relative cell
+// areas and delays) follow the numbers the thesis discloses: a buffer delays
+// 20 ps at the fast corner and 80 ps at the slow corner (section 4.2), a 4x
+// spread (section 3.1).
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+#include <string_view>
+
+namespace ddl::cells {
+
+/// Enumerates every standard cell the synthetic library provides.  The set is
+/// the minimum closure needed to map the RTL blocks of both delay-line
+/// schemes (delay cells, multiplexers, shift registers, adders, comparators,
+/// the duty-word mapper's multiplier) onto gates.
+enum class CellKind : std::uint8_t {
+  kInverter,     ///< 1-input inverting driver.
+  kBuffer,       ///< 2-inverter non-inverting driver; the delay-line element.
+  kNand2,        ///< 2-input NAND.
+  kNor2,         ///< 2-input NOR.
+  kAnd2,         ///< 2-input AND.
+  kOr2,          ///< 2-input OR.
+  kXor2,         ///< 2-input XOR.
+  kXnor2,        ///< 2-input XNOR.
+  kMux2,         ///< 2:1 single-bit multiplexer.
+  kAoi21,        ///< AND-OR-invert (2-1).
+  kOai21,        ///< OR-AND-invert (2-1).
+  kHalfAdder,    ///< Half adder (sum + carry).
+  kFullAdder,    ///< Full adder (sum + carry).
+  kDff,          ///< Positive-edge D flip-flop.
+  kDffReset,     ///< Positive-edge D flip-flop with async reset.
+  kLatch,        ///< Level-sensitive D latch.
+  kTieHi,        ///< Constant-1 tie cell.
+  kTieLo,        ///< Constant-0 tie cell.
+};
+
+/// Number of distinct cell kinds (for array-backed tables).
+inline constexpr int kCellKindCount = 18;
+
+/// Stable, human-readable mnemonic ("BUF", "DFF", ...), used by reports and
+/// the VCD/netlist dumps.
+std::string_view to_string(CellKind kind) noexcept;
+
+std::ostream& operator<<(std::ostream& os, CellKind kind);
+
+}  // namespace ddl::cells

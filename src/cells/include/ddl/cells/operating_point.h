@@ -1,0 +1,92 @@
+// Process / voltage / temperature (PVT) operating-point model.
+//
+// The thesis calibrates its delay lines against three kinds of variation
+// (section 3.1):
+//   * process  -- static per-die corner; Intel 32nm spreads 4x fast-to-slow,
+//                 calibrated once at startup;
+//   * temperature -- slow drift; requires continuous re-calibration;
+//   * voltage  -- spikes (calibratable) and white-noise transients (removed
+//                 by bulk capacitors, out of calibration scope).
+// This header models all three as multiplicative delay-derating factors.
+#pragma once
+
+#include <iosfwd>
+#include <string_view>
+
+namespace ddl::cells {
+
+/// Named process corners.  The library's delay tables are anchored at
+/// kTypical; kFast halves every delay and kSlow doubles it, matching the
+/// thesis's "if the typical delay is d, the delay will be d/2 in the fast
+/// corner and 2d in the slow corner".
+enum class ProcessCorner {
+  kFast,
+  kTypical,
+  kSlow,
+};
+
+std::string_view to_string(ProcessCorner corner) noexcept;
+std::ostream& operator<<(std::ostream& os, ProcessCorner corner);
+
+/// Multiplier applied to a typical-corner delay for the given process corner.
+constexpr double process_delay_factor(ProcessCorner corner) noexcept {
+  switch (corner) {
+    case ProcessCorner::kFast:
+      return 0.5;
+    case ProcessCorner::kTypical:
+      return 1.0;
+    case ProcessCorner::kSlow:
+      return 2.0;
+  }
+  return 1.0;
+}
+
+/// A complete operating point: process corner plus the environmental
+/// (voltage, temperature) conditions a running chip sees.
+struct OperatingPoint {
+  ProcessCorner corner = ProcessCorner::kTypical;
+  /// Supply voltage in volts.  Nominal for the 32nm-class library is 1.0 V.
+  double supply_v = kNominalSupplyV;
+  /// Junction temperature in degrees Celsius.  Nominal is 25 C.
+  double temperature_c = kNominalTemperatureC;
+
+  static constexpr double kNominalSupplyV = 1.0;
+  static constexpr double kNominalTemperatureC = 25.0;
+
+  /// Canonical corner presets used throughout the benches.
+  static OperatingPoint fast() { return {ProcessCorner::kFast, 1.1, 0.0}; }
+  static OperatingPoint typical() { return {}; }
+  static OperatingPoint slow() { return {ProcessCorner::kSlow, 0.9, 110.0}; }
+
+  /// Like the named corners, but with nominal voltage and temperature, so
+  /// only the process factor is exercised (what the thesis's design examples
+  /// assume when quoting 20 ps / 80 ps buffer delays).
+  static OperatingPoint fast_process_only() {
+    return {ProcessCorner::kFast, kNominalSupplyV, kNominalTemperatureC};
+  }
+  static OperatingPoint slow_process_only() {
+    return {ProcessCorner::kSlow, kNominalSupplyV, kNominalTemperatureC};
+  }
+
+  friend bool operator==(const OperatingPoint&, const OperatingPoint&) = default;
+};
+
+/// Delay derating versus supply voltage, normalised to 1.0 at nominal.
+///
+/// Uses the alpha-power law delay model, delay ~ V / (V - Vth)^alpha with
+/// alpha = 1.3 and Vth = 0.3 V -- a standard short-channel approximation.
+/// Lower supply -> larger delay.
+double voltage_delay_factor(double supply_v) noexcept;
+
+/// Delay derating versus junction temperature, normalised to 1.0 at 25 C.
+///
+/// Linear coefficient of +0.12%/C: at 110 C delays stretch ~10%, enough that
+/// an uncalibrated delay line visibly loses lock, which is what forces the
+/// thesis's continuous-calibration requirement.
+double temperature_delay_factor(double temperature_c) noexcept;
+
+/// Combined multiplicative derating for an operating point (process x
+/// voltage x temperature).
+double delay_derating(const OperatingPoint& op) noexcept;
+
+}  // namespace ddl::cells

@@ -1,0 +1,121 @@
+// Synthetic 32nm-class standard-cell technology: delay and area tables.
+//
+// Anchored to every number the thesis discloses about its Intel 32nm flow:
+//   * buffer delay: 20 ps fast corner, 80 ps slow corner (section 4.2), i.e.
+//     40 ps typical with the 4x fast/slow spread of section 3.1;
+//   * block-level post-synthesis areas of Tables 5 and 6.  Those tables pin
+//     the *effective* (routed) buffer area to 0.645 um^2 -- the delay-line
+//     block measures 662 / 330 / 165 um^2 at 50 / 100 / 200 MHz for
+//     1024 / 512 / 256 buffers, a single consistent per-buffer area -- and
+//     the remaining cells are calibrated the same way (see
+//     EXPERIMENTS.md, "Area-model calibration").
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "ddl/cells/cell_kind.h"
+#include "ddl/cells/operating_point.h"
+
+namespace ddl::cells {
+
+/// Static per-cell characterization data at the typical corner, nominal
+/// voltage and temperature.
+struct CellData {
+  /// Input-to-output propagation delay in picoseconds (clock-to-Q for
+  /// sequential cells).
+  double delay_ps = 0.0;
+  /// Effective placed-and-routed area in square micrometres.
+  double area_um2 = 0.0;
+  /// Leakage + switching energy proxy in femtojoules per output toggle at
+  /// nominal supply; used by the power comparisons of Table 2.
+  double energy_fj = 0.0;
+};
+
+/// Sequential-cell timing constraints (D flip-flops and latches).
+struct SequentialTiming {
+  double setup_ps = 40.0;  ///< Data must be stable this long before CK edge.
+  double hold_ps = 10.0;   ///< ... and this long after the CK edge.
+  /// Metastability resolution time constant (tau) in picoseconds and
+  /// metastability window (T0) in picoseconds, for the MTBF model of
+  /// section 3.2.1:  MTBF = exp(t_res / tau) / (T0 * f_clk * f_data).
+  double tau_ps = 12.0;
+  double t0_ps = 25.0;
+};
+
+/// An immutable standard-cell library plus its PVT derating model.
+///
+/// All delay queries return *typical-corner* numbers scaled by the combined
+/// process/voltage/temperature derating of the requested operating point.
+/// Cell-to-cell random mismatch is deliberately *not* part of Technology --
+/// sampling is the MismatchSampler's job, so that deterministic
+/// (corner-only) analyses and Monte-Carlo analyses share one source of
+/// nominal truth.
+class Technology {
+ public:
+  /// Builds the default 32nm-class library described in the file comment.
+  static Technology i32nm_class();
+
+  /// An older 45nm-class node: ~1.8x slower, ~2.2x larger, slightly better
+  /// matching.  Exists to exercise the thesis's central RTL claim --
+  /// "technology independent, so the same design can be used with new
+  /// technologies" -- by re-running the design calculator against it.
+  static Technology i45nm_class();
+
+  /// A newer 22nm-class node: ~0.7x delay, ~0.55x area, worse matching
+  /// (mismatch grows as devices shrink).
+  static Technology i22nm_class();
+
+  /// Builds a scaled variant: all delays multiplied by `delay_scale`, all
+  /// areas by `area_scale`.  Used by tests and by the technology-portability
+  /// example (RTL designs retarget by re-running the design calculator).
+  Technology scaled(double delay_scale, double area_scale) const;
+
+  /// Nominal (typical-corner, nominal V/T) delay of a cell in picoseconds.
+  double typical_delay_ps(CellKind kind) const noexcept {
+    return cell(kind).delay_ps;
+  }
+
+  /// Delay of a cell at an operating point, in picoseconds.
+  double delay_ps(CellKind kind, const OperatingPoint& op) const noexcept {
+    return cell(kind).delay_ps * delay_derating(op);
+  }
+
+  /// Effective routed area of a cell in um^2 (corner-independent).
+  double area_um2(CellKind kind) const noexcept { return cell(kind).area_um2; }
+
+  /// Switching-energy proxy in fJ per output toggle (scales with Vdd^2).
+  double energy_fj(CellKind kind, const OperatingPoint& op) const noexcept;
+
+  /// Timing constraints shared by all sequential cells in the library.
+  const SequentialTiming& sequential_timing() const noexcept {
+    return sequential_;
+  }
+
+  /// Ratio of slow-corner to fast-corner delay (the thesis's "m"; 4 for this
+  /// library).  Drives the branch count of the conventional tunable cell and
+  /// the cell-count overprovisioning of the proposed line.
+  double corner_spread() const noexcept {
+    return process_delay_factor(ProcessCorner::kSlow) /
+           process_delay_factor(ProcessCorner::kFast);
+  }
+
+  /// One-sigma random per-instance delay mismatch as a fraction of the
+  /// nominal delay (post-APR device mismatch).  Consumed by
+  /// MismatchSampler.
+  double mismatch_sigma() const noexcept { return mismatch_sigma_; }
+
+  /// Raw characterization record for a cell.
+  const CellData& cell(CellKind kind) const noexcept {
+    return cells_[static_cast<std::size_t>(kind)];
+  }
+
+ private:
+  Technology() = default;
+
+  std::array<CellData, kCellKindCount> cells_{};
+  SequentialTiming sequential_{};
+  double mismatch_sigma_ = 0.02;
+};
+
+}  // namespace ddl::cells

@@ -1,0 +1,53 @@
+#include "ddl/cells/cell_kind.h"
+
+#include <ostream>
+
+namespace ddl::cells {
+
+std::string_view to_string(CellKind kind) noexcept {
+  switch (kind) {
+    case CellKind::kInverter:
+      return "INV";
+    case CellKind::kBuffer:
+      return "BUF";
+    case CellKind::kNand2:
+      return "NAND2";
+    case CellKind::kNor2:
+      return "NOR2";
+    case CellKind::kAnd2:
+      return "AND2";
+    case CellKind::kOr2:
+      return "OR2";
+    case CellKind::kXor2:
+      return "XOR2";
+    case CellKind::kXnor2:
+      return "XNOR2";
+    case CellKind::kMux2:
+      return "MUX2";
+    case CellKind::kAoi21:
+      return "AOI21";
+    case CellKind::kOai21:
+      return "OAI21";
+    case CellKind::kHalfAdder:
+      return "HA";
+    case CellKind::kFullAdder:
+      return "FA";
+    case CellKind::kDff:
+      return "DFF";
+    case CellKind::kDffReset:
+      return "DFFR";
+    case CellKind::kLatch:
+      return "LATCH";
+    case CellKind::kTieHi:
+      return "TIEHI";
+    case CellKind::kTieLo:
+      return "TIELO";
+  }
+  return "UNKNOWN";
+}
+
+std::ostream& operator<<(std::ostream& os, CellKind kind) {
+  return os << to_string(kind);
+}
+
+}  // namespace ddl::cells

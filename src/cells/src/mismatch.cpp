@@ -1,0 +1,42 @@
+#include "ddl/cells/mismatch.h"
+
+#include <algorithm>
+
+namespace ddl::cells {
+
+MismatchSampler::MismatchSampler(const Technology& tech, std::uint64_t seed,
+                                 double sigma_override)
+    : tech_(&tech),
+      rng_(seed),
+      sigma_(sigma_override >= 0.0 ? sigma_override : tech.mismatch_sigma()) {}
+
+double MismatchSampler::sample_delay_ps(CellKind kind,
+                                        const OperatingPoint& op) {
+  const double nominal = tech_->delay_ps(kind, op);
+  const double multiplier =
+      std::clamp(1.0 + sigma_ * unit_gauss_(rng_), 0.5, 1.5);
+  return nominal * multiplier;
+}
+
+std::vector<double> MismatchSampler::sample_delays_ps(CellKind kind,
+                                                      const OperatingPoint& op,
+                                                      std::size_t count) {
+  std::vector<double> delays;
+  delays.reserve(count);
+  for (std::size_t i = 0; i < count; ++i) {
+    delays.push_back(sample_delay_ps(kind, op));
+  }
+  return delays;
+}
+
+double MismatchSampler::sample_series_delay_ps(CellKind kind,
+                                               const OperatingPoint& op,
+                                               std::size_t cells_in_series) {
+  double total = 0.0;
+  for (std::size_t i = 0; i < cells_in_series; ++i) {
+    total += sample_delay_ps(kind, op);
+  }
+  return total;
+}
+
+}  // namespace ddl::cells

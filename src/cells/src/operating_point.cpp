@@ -1,0 +1,54 @@
+#include "ddl/cells/operating_point.h"
+
+#include <cmath>
+#include <ostream>
+
+namespace ddl::cells {
+
+std::string_view to_string(ProcessCorner corner) noexcept {
+  switch (corner) {
+    case ProcessCorner::kFast:
+      return "fast";
+    case ProcessCorner::kTypical:
+      return "typical";
+    case ProcessCorner::kSlow:
+      return "slow";
+  }
+  return "unknown";
+}
+
+std::ostream& operator<<(std::ostream& os, ProcessCorner corner) {
+  return os << to_string(corner);
+}
+
+namespace {
+
+// Alpha-power-law parameters for the 32nm-class library.
+constexpr double kAlpha = 1.3;
+constexpr double kThresholdV = 0.3;
+
+double alpha_power_delay(double v) {
+  return v / std::pow(v - kThresholdV, kAlpha);
+}
+
+}  // namespace
+
+double voltage_delay_factor(double supply_v) noexcept {
+  // Clamp just above threshold: the delay model diverges as V -> Vth, and a
+  // supply below threshold is outside the library's characterized range.
+  const double v = std::max(supply_v, kThresholdV + 0.05);
+  return alpha_power_delay(v) /
+         alpha_power_delay(OperatingPoint::kNominalSupplyV);
+}
+
+double temperature_delay_factor(double temperature_c) noexcept {
+  constexpr double kPerDegree = 0.0012;  // +0.12% delay per degree C.
+  return 1.0 + kPerDegree * (temperature_c - OperatingPoint::kNominalTemperatureC);
+}
+
+double delay_derating(const OperatingPoint& op) noexcept {
+  return process_delay_factor(op.corner) * voltage_delay_factor(op.supply_v) *
+         temperature_delay_factor(op.temperature_c);
+}
+
+}  // namespace ddl::cells

@@ -1,0 +1,78 @@
+#include "ddl/cells/technology.h"
+
+namespace ddl::cells {
+
+namespace {
+
+constexpr std::size_t idx(CellKind kind) {
+  return static_cast<std::size_t>(kind);
+}
+
+}  // namespace
+
+Technology Technology::i32nm_class() {
+  Technology tech;
+  auto set = [&tech](CellKind kind, double delay_ps, double area_um2,
+                     double energy_fj) {
+    tech.cells_[idx(kind)] = CellData{delay_ps, area_um2, energy_fj};
+  };
+  // Delays: typical corner (fast = x0.5 -> buffer 20 ps, slow = x2 ->
+  // buffer 80 ps, exactly the section 4.2 technology data).
+  // Areas: calibrated against Tables 5/6 -- see EXPERIMENTS.md.
+  //          kind                 delay_ps  area_um2  energy_fj
+  set(CellKind::kInverter, /* */ 20.0, 0.45, 0.45);
+  set(CellKind::kBuffer, /*   */ 40.0, 0.645, 0.90);
+  set(CellKind::kNand2, /*    */ 25.0, 0.75, 0.60);
+  set(CellKind::kNor2, /*     */ 30.0, 0.75, 0.60);
+  set(CellKind::kAnd2, /*     */ 35.0, 1.00, 0.85);
+  set(CellKind::kOr2, /*      */ 38.0, 1.00, 0.85);
+  set(CellKind::kXor2, /*     */ 45.0, 1.60, 1.30);
+  set(CellKind::kXnor2, /*    */ 45.0, 1.60, 1.30);
+  set(CellKind::kMux2, /*     */ 50.0, 0.78, 0.95);
+  set(CellKind::kAoi21, /*    */ 35.0, 1.00, 0.80);
+  set(CellKind::kOai21, /*    */ 35.0, 1.00, 0.80);
+  set(CellKind::kHalfAdder, /**/ 60.0, 3.00, 1.80);
+  set(CellKind::kFullAdder, /**/ 80.0, 4.00, 2.60);
+  set(CellKind::kDff, /*      */ 90.0, 7.80, 3.20);
+  set(CellKind::kDffReset, /* */ 95.0, 8.40, 3.40);
+  set(CellKind::kLatch, /*    */ 45.0, 4.50, 1.90);
+  set(CellKind::kTieHi, /*    */ 0.0, 0.20, 0.0);
+  set(CellKind::kTieLo, /*    */ 0.0, 0.20, 0.0);
+  tech.sequential_ = SequentialTiming{};
+  tech.mismatch_sigma_ = 0.02;
+  return tech;
+}
+
+Technology Technology::i45nm_class() {
+  Technology tech = i32nm_class().scaled(1.8, 2.2);
+  tech.mismatch_sigma_ = 0.015;  // Bigger devices match better.
+  return tech;
+}
+
+Technology Technology::i22nm_class() {
+  Technology tech = i32nm_class().scaled(0.7, 0.55);
+  tech.mismatch_sigma_ = 0.03;  // Smaller devices match worse.
+  return tech;
+}
+
+Technology Technology::scaled(double delay_scale, double area_scale) const {
+  Technology out = *this;
+  for (auto& cell : out.cells_) {
+    cell.delay_ps *= delay_scale;
+    cell.area_um2 *= area_scale;
+  }
+  out.sequential_.setup_ps *= delay_scale;
+  out.sequential_.hold_ps *= delay_scale;
+  out.sequential_.tau_ps *= delay_scale;
+  out.sequential_.t0_ps *= delay_scale;
+  return out;
+}
+
+double Technology::energy_fj(CellKind kind,
+                             const OperatingPoint& op) const noexcept {
+  // Dynamic switching energy scales with Vdd^2 (equation 14's C*Vdd^2 term).
+  const double v = op.supply_v / OperatingPoint::kNominalSupplyV;
+  return cell(kind).energy_fj * v * v;
+}
+
+}  // namespace ddl::cells

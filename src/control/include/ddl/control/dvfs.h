@@ -1,0 +1,55 @@
+// Dynamic voltage scaling on top of the closed loop -- the thesis's
+// motivating use case (section 1.2: circuits with "a normal operation mode
+// and a power saving mode", each needing its own supply value; intro ref
+// [14]: fast per-core DVFS through on-chip regulators).
+//
+// A VoltageModeManager walks the loop through a schedule of reference-
+// voltage changes and reports per-transition settling metrics.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ddl/control/closed_loop.h"
+
+namespace ddl::control {
+
+/// One scheduled operating mode.
+struct VoltageMode {
+  std::uint64_t at_period = 0;  ///< Switching period the mode takes effect.
+  double vref_v = 1.0;          ///< Regulation target for the mode.
+};
+
+/// Outcome of one mode transition.
+struct TransitionReport {
+  VoltageMode mode;
+  std::uint64_t settle_periods = 0;  ///< Periods to enter/hold the band.
+  double overshoot_v = 0.0;          ///< Worst excursion beyond the target.
+  bool settled = false;
+};
+
+/// Runs a closed loop through a voltage-mode schedule.
+class VoltageModeManager {
+ public:
+  /// `band_v`: settling band around each target; `hold_periods`: how long
+  /// the output must stay inside the band to count as settled.
+  VoltageModeManager(std::vector<VoltageMode> schedule, double band_v = 0.02,
+                     std::uint64_t hold_periods = 20);
+
+  /// Runs `total_periods` of the loop, applying each mode at its period and
+  /// measuring the transition.  Modes must be sorted by at_period.
+  std::vector<TransitionReport> run(DigitallyControlledBuck& loop,
+                                    std::uint64_t total_periods,
+                                    const LoadProfile& load);
+
+  const std::vector<VoltageMode>& schedule() const noexcept {
+    return schedule_;
+  }
+
+ private:
+  std::vector<VoltageMode> schedule_;
+  double band_v_;
+  std::uint64_t hold_periods_;
+};
+
+}  // namespace ddl::control

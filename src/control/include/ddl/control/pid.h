@@ -1,0 +1,55 @@
+// Fixed-point PID compensator for the digital voltage-regulator loop
+// (the "Compensator" block of thesis Figure 15).
+//
+// Operates entirely on integer ADC error codes and integer duty words, as
+// synthesized control logic would: coefficients are fixed-point with a
+// power-of-two scale, the integrator saturates (anti-windup), and the output
+// clamps to the DPWM's word range.
+#pragma once
+
+#include <cstdint>
+
+namespace ddl::control {
+
+struct PidParams {
+  // Fixed-point coefficients, value = coeff / 2^kFractionBits.  The
+  // defaults are tuned for the default BuckParams plant at ~1 MHz
+  // switching: the LC resonance sits ~60 switching periods below the loop
+  // rate, so the integral gain must stay small or the loop hunts.
+  std::int32_t kp = 96;  ///< 1.5
+  std::int32_t ki = 1;   ///< ~0.016
+  std::int32_t kd = 32;  ///< 0.5
+  static constexpr int kFractionBits = 6;
+
+  std::int64_t integrator_min = -(std::int64_t{1} << 24);
+  std::int64_t integrator_max = (std::int64_t{1} << 24);
+};
+
+class PidController {
+ public:
+  /// `duty_max` is the DPWM full-scale word; `duty_initial` seeds the output
+  /// (soft-start usually ramps this).
+  PidController(PidParams params, std::uint64_t duty_max,
+                std::uint64_t duty_initial);
+
+  /// One control-law update from a signed ADC error code; returns the new
+  /// duty word (clamped to [0, duty_max]).
+  std::uint64_t update(int error_code);
+
+  std::uint64_t duty() const noexcept { return duty_; }
+  void set_duty(std::uint64_t duty);
+
+  std::int64_t integrator() const noexcept { return integrator_; }
+  void reset();
+
+ private:
+  PidParams params_;
+  std::uint64_t duty_max_;
+  std::uint64_t duty_initial_;
+  std::uint64_t duty_;
+  std::int64_t integrator_ = 0;
+  int previous_error_ = 0;
+  bool has_previous_ = false;
+};
+
+}  // namespace ddl::control

@@ -1,0 +1,74 @@
+#include "ddl/control/dvfs.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ddl::control {
+
+VoltageModeManager::VoltageModeManager(std::vector<VoltageMode> schedule,
+                                       double band_v,
+                                       std::uint64_t hold_periods)
+    : schedule_(std::move(schedule)),
+      band_v_(band_v),
+      hold_periods_(hold_periods) {
+  if (!std::is_sorted(schedule_.begin(), schedule_.end(),
+                      [](const VoltageMode& a, const VoltageMode& b) {
+                        return a.at_period < b.at_period;
+                      })) {
+    throw std::invalid_argument(
+        "VoltageModeManager: schedule must be sorted by at_period");
+  }
+}
+
+std::vector<TransitionReport> VoltageModeManager::run(
+    DigitallyControlledBuck& loop, std::uint64_t total_periods,
+    const LoadProfile& load) {
+  std::vector<TransitionReport> reports;
+  const std::uint64_t base = loop.history().size();
+  std::uint64_t done = 0;
+
+  for (std::size_t i = 0; i < schedule_.size(); ++i) {
+    const VoltageMode& mode = schedule_[i];
+    if (mode.at_period > done) {
+      loop.run(mode.at_period - done, load);
+      done = mode.at_period;
+    }
+    const double previous_vref = loop.reference_v();
+    loop.set_reference_v(mode.vref_v);
+    const std::uint64_t until = i + 1 < schedule_.size()
+                                    ? schedule_[i + 1].at_period
+                                    : total_periods;
+    if (until > done) {
+      loop.run(until - done, load);
+      done = until;
+    }
+
+    // Measure the transition over [at_period, until).
+    TransitionReport report;
+    report.mode = mode;
+    const double direction = mode.vref_v - previous_vref;
+    std::uint64_t consecutive = 0;
+    for (std::uint64_t p = mode.at_period; p < until; ++p) {
+      const double vout = loop.history()[base + p].vout;
+      const double excursion =
+          direction >= 0.0 ? vout - mode.vref_v : mode.vref_v - vout;
+      report.overshoot_v = std::max(report.overshoot_v, excursion);
+      if (std::abs(vout - mode.vref_v) <= band_v_) {
+        if (++consecutive >= hold_periods_ && !report.settled) {
+          report.settled = true;
+          report.settle_periods = p + 1 - hold_periods_ - mode.at_period;
+        }
+      } else if (!report.settled) {
+        consecutive = 0;
+      }
+    }
+    reports.push_back(report);
+  }
+  if (done < total_periods) {
+    loop.run(total_periods - done, load);
+  }
+  return reports;
+}
+
+}  // namespace ddl::control

@@ -1,0 +1,52 @@
+#include "ddl/control/pid.h"
+
+#include <algorithm>
+#include <stdexcept>
+
+namespace ddl::control {
+
+PidController::PidController(PidParams params, std::uint64_t duty_max,
+                             std::uint64_t duty_initial)
+    : params_(params),
+      duty_max_(duty_max),
+      duty_initial_(duty_initial),
+      duty_(duty_initial) {
+  if (duty_max == 0 || duty_initial > duty_max) {
+    throw std::invalid_argument("PidController: invalid duty range");
+  }
+}
+
+std::uint64_t PidController::update(int error_code) {
+  integrator_ = std::clamp<std::int64_t>(integrator_ + error_code,
+                                         params_.integrator_min,
+                                         params_.integrator_max);
+  const int derivative = has_previous_ ? error_code - previous_error_ : 0;
+  previous_error_ = error_code;
+  has_previous_ = true;
+
+  const std::int64_t correction =
+      (static_cast<std::int64_t>(params_.kp) * error_code +
+       static_cast<std::int64_t>(params_.ki) * integrator_ +
+       static_cast<std::int64_t>(params_.kd) * derivative) >>
+      PidParams::kFractionBits;
+
+  // The duty command is the soft-start seed plus the PI(D) correction,
+  // clamped to the modulator range.
+  const std::int64_t next = static_cast<std::int64_t>(duty_initial_) + correction;
+  duty_ = static_cast<std::uint64_t>(
+      std::clamp<std::int64_t>(next, 0, static_cast<std::int64_t>(duty_max_)));
+  return duty_;
+}
+
+void PidController::set_duty(std::uint64_t duty) {
+  duty_ = std::min(duty, duty_max_);
+}
+
+void PidController::reset() {
+  duty_ = duty_initial_;
+  integrator_ = 0;
+  previous_error_ = 0;
+  has_previous_ = false;
+}
+
+}  // namespace ddl::control

@@ -1,0 +1,131 @@
+// System facades: a calibrated delay line + its controller (+ mapper for the
+// proposed scheme) packaged as a DPWM generator -- the complete block of
+// thesis Figures 32 and 43 -- plus the environment scheduler that exercises
+// continuous recalibration under temperature/voltage drift.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "ddl/cells/operating_point.h"
+#include "ddl/core/conventional_controller.h"
+#include "ddl/core/conventional_line.h"
+#include "ddl/core/design_calculator.h"
+#include "ddl/core/proposed_controller.h"
+#include "ddl/core/proposed_line.h"
+#include "ddl/dpwm/behavioral.h"
+
+namespace ddl::core {
+
+/// A time-varying environment: maps elapsed simulation time to an operating
+/// point.  Models the thesis's variation taxonomy -- a fixed process corner
+/// per die, temperature drift, and supply spikes.
+class EnvironmentSchedule {
+ public:
+  explicit EnvironmentSchedule(cells::OperatingPoint start) : start_(start) {}
+
+  /// Linear temperature ramp: +`celsius_per_us` starting at t0.
+  EnvironmentSchedule& with_temperature_ramp(double celsius_per_us);
+
+  /// A rectangular supply spike of `delta_v` volts during [from, until).
+  EnvironmentSchedule& with_voltage_spike(sim::Time from, sim::Time until,
+                                          double delta_v);
+
+  cells::OperatingPoint at(sim::Time t) const;
+
+ private:
+  struct Spike {
+    sim::Time from;
+    sim::Time until;
+    double delta_v;
+  };
+  cells::OperatingPoint start_;
+  double temp_ramp_c_per_us_ = 0.0;
+  std::vector<Spike> spikes_;
+};
+
+/// The proposed scheme as a complete DPWM generator (Figure 43): controller
+/// steps once per clock cycle (continuous calibration), the mapper converts
+/// duty words to calibrated taps, and the line's current tap delay sets the
+/// pulse width.
+class ProposedDpwmSystem final : public dpwm::DpwmModel {
+ public:
+  /// Takes ownership of nothing; line must outlive the system.
+  ProposedDpwmSystem(const ProposedDelayLine& line, double clock_period_ps,
+                     bool round_to_nearest_mapping = false);
+
+  sim::Time period_ps() const override;
+  int bits() const override { return line_->config().input_word_bits(); }
+
+  /// Generates one period at the *current* calibration state and
+  /// environment, then advances the controller by one clock cycle.
+  dpwm::PwmPeriod generate(sim::Time start, std::uint64_t duty) override;
+
+  /// Runs the initial calibration to lock before generating.
+  /// Returns lock cycles, or nullopt if lock failed.
+  std::optional<std::uint64_t> calibrate(sim::Time at_time = 0);
+
+  /// Environment hook; defaults to a constant typical corner.
+  void set_environment(EnvironmentSchedule schedule);
+
+  /// Tap-selector filtering (extension/ablation knob): the mapper uses a
+  /// rounded moving average of the last `depth` tap_sel values instead of
+  /// the instantaneous one.  The controller's bang-bang +/-1 dither then
+  /// cancels out of the *output* (zero steady-state duty jitter) at the
+  /// cost of ~depth/2 cycles of drift-tracking lag.  depth = 1 (default)
+  /// is the thesis's unfiltered behaviour.
+  void set_tap_filter_depth(std::size_t depth);
+  std::size_t tap_filter_depth() const noexcept { return filter_depth_; }
+
+  /// The tap selector the mapper currently uses (filtered if enabled).
+  std::size_t effective_tap_sel() const;
+
+  ProposedController& controller() { return controller_; }
+  const ProposedController& controller() const { return controller_; }
+  const DutyMapper& mapper() const { return mapper_; }
+  cells::OperatingPoint operating_point(sim::Time t) const {
+    return environment_.at(t);
+  }
+
+ private:
+  const ProposedDelayLine* line_;
+  ProposedController controller_;
+  DutyMapper mapper_;
+  EnvironmentSchedule environment_;
+  double period_ps_double_;
+  std::size_t filter_depth_ = 1;
+  std::vector<std::size_t> tap_history_;  // Ring buffer, newest last.
+};
+
+/// The conventional scheme as a complete DPWM generator (Figure 32).
+class ConventionalDpwmSystem final : public dpwm::DpwmModel {
+ public:
+  ConventionalDpwmSystem(ConventionalDelayLine& line, double clock_period_ps,
+                         LockingOrder order = LockingOrder::kLevelMajor);
+
+  sim::Time period_ps() const override;
+  int bits() const override;
+
+  dpwm::PwmPeriod generate(sim::Time start, std::uint64_t duty) override;
+
+  std::optional<std::uint64_t> calibrate(sim::Time at_time = 0);
+
+  void set_environment(EnvironmentSchedule schedule);
+
+  const ConventionalController& controller() const { return controller_; }
+  cells::OperatingPoint operating_point(sim::Time t) const {
+    return environment_.at(t);
+  }
+
+ private:
+  ConventionalDelayLine* line_;
+  ConventionalController controller_;
+  EnvironmentSchedule environment_;
+  double period_ps_double_;
+  // Re-check cadence for continuous calibration: every generate() the
+  // controller performs one update if the lock condition drifted away.
+};
+
+}  // namespace ddl::core

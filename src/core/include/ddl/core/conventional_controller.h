@@ -1,0 +1,86 @@
+// The conventional scheme's shift-register DLL controller (thesis section
+// 3.2.1, Figures 36/37/40).
+//
+// The shift register starts all-zero (every cell at minimum delay).  Each
+// update the controller compares the clock edge against the last two taps:
+// if the full-line delay still falls short of the period it shifts a `1` in,
+// lengthening exactly one cell by one element; it locks when the clock edge
+// lands between tap(n-1) and tap(n).  Tap samples cross into the clock
+// domain through the 2-FF synchronizer of Figure 38, so one update costs
+// several clock cycles (sync latency + compare), which is the calibration-
+// time disadvantage the thesis charges this scheme with.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "ddl/core/conventional_line.h"
+#include "ddl/core/proposed_controller.h"  // LockStatus
+
+namespace ddl::core {
+
+/// Behavioral model of the adjustable-cells controller.
+class ConventionalController {
+ public:
+  /// `cycles_per_update`: clock cycles consumed per shift decision
+  /// (2 synchronizer flops + 1 compare/update by default).
+  ConventionalController(ConventionalDelayLine& line, double clock_period_ps,
+                         LockingOrder order = LockingOrder::kLevelMajor,
+                         int cycles_per_update = 3);
+
+  /// Performs one *update* (costing cycles_per_update clock cycles):
+  /// compare, then shift if not locked.  Returns the new status.
+  LockStatus step(const cells::OperatingPoint& op);
+
+  /// Runs updates until locked or the shift register fills (Up_lim).
+  /// Returns total *clock cycles* consumed (updates x cycles_per_update),
+  /// or nullopt on Up_lim / failure to lock.
+  std::optional<std::uint64_t> run_to_lock(const cells::OperatingPoint& op);
+
+  LockStatus status() const noexcept { return status_; }
+
+  /// True once the clock edge falls between the last two taps (the Figure 37
+  /// "locking" condition) for the line's *current* settings, or when the
+  /// all-zero (minimum-delay) line already overshoots the period by at most
+  /// kFloorLockTolerance -- the slow-corner sliver case where no better
+  /// calibration exists.
+  bool is_lock_condition_met(const cells::OperatingPoint& op) const;
+
+  /// Accepted relative overshoot of the minimum-delay line (see above).
+  static constexpr double kFloorLockTolerance = 0.05;
+
+  /// Shift count so far (ones in the shift register).
+  std::size_t shifts() const noexcept { return shifts_; }
+
+  /// Up_lim (Figure 36): every cell is at its longest branch.
+  bool at_limit() const noexcept;
+
+  int cycles_per_update() const noexcept { return cycles_per_update_; }
+  LockingOrder order() const noexcept { return order_; }
+
+  /// Restarts: zeroes the shift register and the line's settings.  Called at
+  /// power-on and whenever drift makes the line longer than the period (a
+  /// shift register can only add delay, so overshoot forces a re-search).
+  void reset();
+
+ private:
+  /// The cell that receives the k-th increment under the configured order.
+  std::size_t increment_target(std::size_t k) const;
+
+  ConventionalDelayLine* line_;
+  double period_ps_;
+  LockingOrder order_;
+  int cycles_per_update_;
+  std::size_t shifts_ = 0;
+  LockStatus status_ = LockStatus::kSearching;
+  // Line delay at the previous step; enables crossing detection (see
+  // step()).  Negative = no previous observation.
+  double previous_line_delay_ = -1.0;
+};
+
+/// Bit-reversal of `value` within `bits` bits (the kInterleaved visiting
+/// order; exposed for tests).
+std::size_t bit_reverse(std::size_t value, int bits) noexcept;
+
+}  // namespace ddl::core

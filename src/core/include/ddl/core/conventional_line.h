@@ -1,0 +1,107 @@
+// The conventional adjustable-cells delay line (thesis section 3.2.1): a
+// *fixed* number of *tunable* cells, each with m parallel branches of 1..m
+// delay elements (Figure 33), selected per cell by a thermometer code from a
+// central shift register (Figure 40).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ddl/cells/mismatch.h"
+#include "ddl/cells/operating_point.h"
+#include "ddl/cells/technology.h"
+#include "ddl/sim/time.h"
+
+namespace ddl::core {
+
+/// Static configuration of a conventional adjustable-cells line.
+struct ConventionalLineConfig {
+  std::size_t num_cells = 64;      ///< 2^n for n-bit resolution (Eq 21).
+  int branches = 4;                ///< m = fast/slow corner spread (Eq 23).
+  int buffers_per_element = 2;     ///< Figure 34; Eq 27 of the design example.
+
+  /// Total delay elements when every cell selects its longest branch
+  /// (Eq 24): num_cells * branches.
+  std::size_t max_elements() const noexcept {
+    return num_cells * static_cast<std::size_t>(branches);
+  }
+
+  /// Thermometer-code control bits per cell (Eq 16): ceil(log2 m) rounded to
+  /// the thermometer encoding's m-1 wires grouped in pairs -- the thesis's
+  /// 4-branch cell uses 2 bits; we keep bits = branches - 1 thermometer
+  /// stages compressed to ceil(log2(branches)) wires.
+  int control_bits_per_cell() const noexcept;
+
+  /// Shift-register size (Eq 17): control bits x cells + 1 (Up_lim).
+  std::size_t shift_register_bits() const noexcept;
+};
+
+/// How successive delay increments are distributed across the cells while
+/// the controller locks -- the scenarios of Figures 41/42.
+enum class LockingOrder {
+  /// All increments go to cell 0 until it maxes out, then cell 1, ...
+  /// (the linearity worst case the thesis warns about).
+  kCellMajor,
+  /// One increment to every cell in index order, then a second round, ...
+  /// (the Figure 40 shift-register arrangement: "increases the delay of the
+  /// first cell then the second and so on").
+  kLevelMajor,
+  /// Like kLevelMajor but visiting cells in bit-reversed order within each
+  /// round, spreading long cells uniformly along the line (the [30]-style
+  /// half-low/half-high ideal; scenario 2 of Figure 41).
+  kInterleaved,
+};
+
+/// One physical instance of the conventional line.  Mismatch is sampled per
+/// delay element at construction (frozen per die); the per-cell branch
+/// settings are the controller's runtime state.
+class ConventionalDelayLine {
+ public:
+  ConventionalDelayLine(const cells::Technology& tech,
+                        ConventionalLineConfig config,
+                        std::uint64_t mismatch_seed = 0,
+                        double mismatch_sigma_override = -1.0);
+
+  const ConventionalLineConfig& config() const noexcept { return config_; }
+  std::size_t size() const noexcept { return config_.num_cells; }
+
+  /// Branch setting of cell `i`: 0 (shortest, one element) .. branches-1.
+  int setting(std::size_t i) const { return settings_[i]; }
+  void set_setting(std::size_t i, int setting);
+
+  /// Resets every cell to the shortest branch (the controller's all-zero
+  /// shift-register initialisation).
+  void reset_settings();
+
+  /// Delay of cell `i` at its current setting, ps.
+  double cell_delay_ps(std::size_t i, const cells::OperatingPoint& op) const;
+
+  /// Cumulative delay to tap `i` (after cell i), ps.
+  double tap_delay_ps(std::size_t tap, const cells::OperatingPoint& op) const;
+
+  /// All cumulative tap delays (rounded to ps) for DelayLineDpwm.
+  std::vector<sim::Time> tap_delays_ps(const cells::OperatingPoint& op) const;
+  std::vector<double> tap_delays(const cells::OperatingPoint& op) const;
+
+  /// Total line delay at the current settings, ps.
+  double line_delay_ps(const cells::OperatingPoint& op) const {
+    return tap_delay_ps(config_.num_cells - 1, op);
+  }
+
+  /// Nominal (typical, mismatch-free) delay of one element, ps.
+  double nominal_element_delay_ps() const noexcept { return nominal_element_ps_; }
+
+  /// Total increments currently applied (sum of settings).
+  std::size_t total_increments() const;
+
+ private:
+  ConventionalLineConfig config_;
+  double nominal_element_ps_;
+  // element_typical_ps_[cell][branch][element] would be the full physical
+  // picture; since a branch with k elements shares no hardware with other
+  // branches, we store per-cell, per-branch *cumulative* typical delays.
+  std::vector<std::vector<double>> branch_typical_ps_;  // [cell][branch]
+  std::vector<int> settings_;
+};
+
+}  // namespace ddl::core

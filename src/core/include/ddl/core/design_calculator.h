@@ -1,0 +1,87 @@
+// The design recipes of thesis section 4.2: given the system specification
+// (clock frequency, resolution, technology), size both delay-line schemes.
+//
+// The calculator reproduces the worked 100 MHz / 6-bit example exactly:
+// conventional -> 64 cells x 4 branches, 2 buffers per element, 64:1 mux,
+// 20.48 ns max line delay at the fast corner; proposed -> 256 cells of
+// 2 buffers, 256:1 muxes, 10.24 ns fast-corner line delay.
+#pragma once
+
+#include <cstdint>
+
+#include "ddl/cells/technology.h"
+#include "ddl/core/conventional_line.h"
+#include "ddl/core/proposed_line.h"
+
+namespace ddl::core {
+
+/// The system specification a real design starts from (section 4.2).
+struct DesignSpec {
+  double clock_mhz = 100.0;  ///< Switching / calibration clock.
+  int resolution_bits = 6;   ///< Guaranteed DPWM resolution at every corner.
+
+  double clock_period_ps() const noexcept { return 1e6 / clock_mhz; }
+};
+
+/// Sizing result for the conventional scheme (section 4.2.1).
+struct ConventionalDesign {
+  ConventionalLineConfig line;
+  std::size_t mux_inputs = 0;        ///< Eq 22: 2^n : 1 output mux.
+  double element_delay_target_ps = 0;  ///< Eq 26: T / max_elements.
+  double element_delay_fast_ps = 0;    ///< Eq 28 with chosen buffer count.
+  double max_line_delay_fast_ps = 0;   ///< Eq 29; must cover the period.
+  bool lock_guaranteed = false;        ///< max fast delay >= period.
+  /// The slow-corner blind spot of the thesis's fast-corner sizing rule:
+  /// the *minimum* line delay (all cells on the shortest branch) at the
+  /// slow corner.  If this exceeds the period the scheme cannot calibrate
+  /// there at all -- the element granularity cannot go below one buffer, so
+  /// high resolutions at moderate clock rates are infeasible (e.g. 8 bits
+  /// at 100 MHz in this technology).  The proposed scheme has no such
+  /// limit: unused cells are simply not selected.
+  double min_line_delay_slow_ps = 0;
+  bool feasible_at_slow = false;  ///< min slow delay within the floor-lock
+                                  ///< tolerance of the period.
+};
+
+/// Sizing result for the proposed scheme (section 4.2.2).
+struct ProposedDesign {
+  ProposedLineConfig line;
+  std::size_t mux_inputs = 0;         ///< Eq 31: 2^(n + log2 m) : 1 muxes.
+  double cell_delay_target_ps = 0;    ///< Eq 33: T / num_cells.
+  double cell_delay_fast_ps = 0;      ///< Eq 35.
+  double max_line_delay_fast_ps = 0;  ///< Eq 36; must cover the period.
+  bool lock_guaranteed = false;
+  int input_word_bits = 0;            ///< log2(num_cells); Figures 50/51's
+                                      ///< x-axis width (8 bits for 256 cells).
+};
+
+/// True if a conventional design can calibrate at an operating point: its
+/// minimum (all-shortest-branch) line delay there stays within the
+/// floor-lock tolerance of the clock period.  The proposed scheme needs no
+/// such check -- cells beyond the period are simply never selected.
+bool conventional_feasible_at(const ConventionalDesign& design,
+                              const cells::Technology& tech,
+                              const cells::OperatingPoint& op,
+                              double period_ps);
+
+/// Sizes both schemes for a spec in a technology.
+class DesignCalculator {
+ public:
+  explicit DesignCalculator(const cells::Technology& tech) : tech_(&tech) {}
+
+  /// Fast-corner / slow-corner buffer delay, ps (20 / 80 for the default
+  /// library).
+  double fast_buffer_ps() const;
+  double slow_buffer_ps() const;
+
+  /// Corner adjustment ratio m = slow/fast, rounded up (Eq 23; 4 here).
+  int adjustment_ratio() const;
+
+  ConventionalDesign size_conventional(const DesignSpec& spec) const;
+  ProposedDesign size_proposed(const DesignSpec& spec) const;
+
+ private:
+  const cells::Technology* tech_;
+};
+
+}  // namespace ddl::core

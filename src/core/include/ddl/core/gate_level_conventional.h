@@ -1,0 +1,72 @@
+// Gate/RTL-level netlist of the conventional adjustable-cells scheme
+// (thesis Figure 32): physical tunable cells -- m parallel buffer-chain
+// branches behind a per-cell branch mux -- plus the shift-register
+// controller that samples the last two taps through synchronizers and
+// shifts `1`s until the clock edge lands between them.
+//
+// The sampling is the real thing: tap(n) and tap(n-1) carry the delayed
+// clock waveform, and the controller reads them *as flops would at the
+// rising edge* -- the lock condition "taps == 01" of Figure 37 emerges from
+// the waveforms rather than from delay arithmetic.
+//
+// Known hardware limitation reproduced honestly: when the minimum line
+// delay already exceeds the period (the thesis's own slow-corner sliver:
+// 64 x 160 ps = 10.24 ns vs 10 ns), edge-sampling cannot distinguish
+// "slightly too long" from "too short", so the gate-level controller keeps
+// lengthening and eventually locks the line to *two* clock periods -- an
+// aliased lock that halves every executed duty cycle.  The behavioral
+// model's floor-lock is the designed-in mitigation; the aliasing hazard is
+// demonstrated in tests/gate_level_systems_test.cpp.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ddl/core/conventional_line.h"
+#include "ddl/sim/bus.h"
+#include "ddl/sim/flipflop.h"
+#include "ddl/sim/gates.h"
+
+namespace ddl::core {
+
+/// The full conventional-scheme netlist.
+class GateLevelConventionalSystem {
+ public:
+  /// `cycles_per_update`: clock cycles between shift decisions (2 sync + 1
+  /// compare, as in the behavioral ConventionalController).
+  GateLevelConventionalSystem(sim::NetlistContext& ctx, sim::SignalId clk,
+                              const ConventionalLineConfig& config,
+                              std::uint64_t mismatch_seed = 0,
+                              int cycles_per_update = 3);
+
+  sim::SignalId out() const noexcept { return out_; }
+  const sim::Bus& duty() const noexcept { return duty_; }
+
+  /// Shift count so far (ones in the register).
+  std::size_t shifts() const noexcept { return state_->shifts; }
+  bool locked() const noexcept { return state_->locked; }
+  bool at_limit() const noexcept { return state_->at_limit; }
+
+  const std::vector<sim::SignalId>& taps() const noexcept { return taps_; }
+
+ private:
+  struct ControllerState {
+    std::size_t shifts = 0;
+    bool locked = false;
+    bool at_limit = false;
+    bool prev_tap_n_high = false;
+    std::uint64_t cycles = 0;
+  };
+
+  sim::Bus duty_;
+  std::vector<sim::Bus> cell_selects_;  // One (branch-select) bus per cell.
+  std::vector<sim::SignalId> taps_;
+  sim::SignalId out_;
+  std::shared_ptr<ControllerState> state_;
+  std::unique_ptr<sim::TwoFlopSynchronizer> sync_last_;
+  std::unique_ptr<sim::TwoFlopSynchronizer> sync_prev_;
+  std::vector<std::shared_ptr<void>> keepalive_;
+};
+
+}  // namespace ddl::core

@@ -1,0 +1,81 @@
+// Gate/RTL-level netlist of the complete proposed scheme (thesis Figure 43)
+// on the event simulator -- the "fully synthesizable" deliverable itself,
+// with every hardware effect the behavioral model abstracts away:
+//
+//  * the delay line is a physical buffer chain the clock ripples down;
+//  * the calibration mux (MUX 1) is a real MUX2 tree whose select bus the
+//    controller drives, so tap changes glitch and settle like silicon;
+//  * the comparison flop *actually samples the tap waveform* at the clock
+//    edge -- near lock the tap transitions inside the flop's setup window
+//    and the metastability model fires, which is what the 2-FF synchronizer
+//    (Figure 38) is there to contain;
+//  * the controller and mapper are clocked RTL processes with flip-flop
+//    output delays;
+//  * the output path is the tap mux tree + trailing-edge modulator.
+//
+// The behavioral ProposedDpwmSystem is unit-tested against this netlist
+// (tests/gate_level_systems_test.cpp).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ddl/cells/mismatch.h"
+#include "ddl/core/proposed_line.h"
+#include "ddl/sim/bus.h"
+#include "ddl/sim/flipflop.h"
+#include "ddl/sim/gates.h"
+
+namespace ddl::core {
+
+/// The full proposed-scheme netlist.  Construct once per die/testbench;
+/// drive `duty`, run the kernel, observe `out`.
+class GateLevelProposedSystem {
+ public:
+  /// Builds the netlist in `ctx` (whose operating point fixes the corner).
+  /// `clk` must be driven externally at the clock period the line locks to
+  /// (e.g. sim::make_clock).  `mismatch_seed` != 0 samples per-buffer
+  /// mismatch exactly like ProposedDelayLine does.
+  GateLevelProposedSystem(sim::NetlistContext& ctx, sim::SignalId clk,
+                          const ProposedLineConfig& config,
+                          std::uint64_t mismatch_seed = 0);
+
+  /// The DPWM output signal.
+  sim::SignalId out() const noexcept { return out_; }
+
+  /// The duty-word input bus (width = config.input_word_bits()).
+  const sim::Bus& duty() const noexcept { return duty_; }
+
+  /// The controller's current tap selector (cells locked to T/2).
+  std::size_t tap_sel() const noexcept { return state_->tap_sel; }
+
+  /// True once the controller has observed the up/down toggle.
+  bool locked() const noexcept { return state_->locked; }
+
+  /// Sampled-tap synchronizer statistics: how often the comparison flop
+  /// went metastable (it *will*, near lock -- that is physical).
+  const sim::FlipFlopStats& sampler_stats() const;
+
+  /// Delay-line taps (for waveform benches).
+  const std::vector<sim::SignalId>& taps() const noexcept { return taps_; }
+
+ private:
+  struct ControllerState {
+    std::size_t tap_sel = 0;
+    bool locked = false;
+    int last_direction = 0;
+    std::uint64_t cycles = 0;
+  };
+
+  sim::Bus duty_;
+  sim::Bus cal_select_;
+  sim::Bus out_select_;
+  std::vector<sim::SignalId> taps_;
+  sim::SignalId out_;
+  std::shared_ptr<ControllerState> state_;
+  std::unique_ptr<sim::TwoFlopSynchronizer> synchronizer_;
+  std::vector<std::shared_ptr<void>> keepalive_;
+};
+
+}  // namespace ddl::core

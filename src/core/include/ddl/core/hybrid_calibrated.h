@@ -1,0 +1,73 @@
+// Calibrated hybrid DPWM: the architecture of the thesis's reference [30]
+// ("Hybrid DPWM with Digital Delay-Locked Loop") built from this library's
+// pieces -- a counter supplies the MSBs while the *proposed calibrated
+// delay line* supplies the LSBs, its controller locking the line to the
+// counter's fast-clock period.
+//
+// This is the extension the thesis's section 2.2.3 points at: it reaches
+// resolutions a pure counter cannot clock and a pure delay line cannot
+// afford, with the proposed line's PVT immunity on the fine bits.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ddl/core/calibrated_dpwm.h"
+#include "ddl/core/proposed_controller.h"
+#include "ddl/core/proposed_line.h"
+#include "ddl/dpwm/behavioral.h"
+
+namespace ddl::core {
+
+/// Sizing of a calibrated hybrid for a spec.
+struct HybridCalibratedDesign {
+  int counter_bits = 0;           ///< MSBs from the counter.
+  int line_word_bits = 0;         ///< LSB input word width (log2 cells).
+  ProposedLineConfig line;        ///< Sized for the fast-clock period.
+  double fast_clock_mhz = 0.0;    ///< Counter clock (Eq 13 on counter_bits).
+};
+
+/// Sizes a calibrated hybrid: `total_bits` of guaranteed resolution at
+/// switching frequency `f_sw_mhz`, with `counter_bits` taken by the counter
+/// and the rest guaranteed by the line at every corner.
+HybridCalibratedDesign size_hybrid_calibrated(const cells::Technology& tech,
+                                              double f_sw_mhz, int total_bits,
+                                              int counter_bits);
+
+/// The runtime block: counter MSBs + proposed-line LSBs with continuous
+/// calibration against the fast-clock period.
+class HybridCalibratedDpwm final : public dpwm::DpwmModel {
+ public:
+  /// `line` must outlive the modulator.  `switching_period_ps` must divide
+  /// evenly into 2^counter_bits fast-clock ticks.
+  HybridCalibratedDpwm(const ProposedDelayLine& line, int counter_bits,
+                       int guaranteed_line_bits, sim::Time switching_period_ps);
+
+  sim::Time period_ps() const override { return period_; }
+  int bits() const override { return counter_bits_ + line_word_bits_; }
+
+  /// Duty word layout: [msb: counter_bits][lsb: line_word_bits].
+  dpwm::PwmPeriod generate(sim::Time start, std::uint64_t duty) override;
+
+  /// Locks the line to the fast-clock period.
+  std::optional<std::uint64_t> calibrate(sim::Time at_time = 0);
+
+  void set_environment(EnvironmentSchedule schedule);
+
+  sim::Time fast_clock_period_ps() const {
+    return period_ >> counter_bits_;
+  }
+  const ProposedController& controller() const { return controller_; }
+
+ private:
+  const ProposedDelayLine* line_;
+  int counter_bits_;
+  int line_word_bits_;
+  int guaranteed_line_bits_;
+  sim::Time period_;
+  ProposedController controller_;
+  DutyMapper mapper_;
+  EnvironmentSchedule environment_;
+};
+
+}  // namespace ddl::core

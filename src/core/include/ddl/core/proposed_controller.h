@@ -1,0 +1,114 @@
+// The proposed scheme's controller and duty-word mapper (thesis section
+// 3.2.2, Figures 46-49).
+//
+// Locking: every clock cycle the controller samples the currently selected
+// tap at the rising clock edge.  Because the line input is the clock itself
+// (50% duty), the sampled value tells which side of *half* the clock period
+// the tap's delay falls on: sampled 0 -> tap delay < T/2 -> step up;
+// sampled 1 -> tap delay > T/2 -> step down.  When up/down starts toggling,
+// tap_sel straddles T/2 and the line is locked (Figures 47/48).  Locking to
+// the half period simplifies the comparison and halves the walk length; the
+// controller keeps stepping forever, which is what tracks temperature drift.
+//
+// Mapping (Eq 18, Figure 49): tap_sel counts the cells in half a period, so
+// the duty word (full-scale = num_cells, the *typical-corner* full-period
+// tap count by construction) is rescaled:
+//     cal_sel = duty * tap_sel / (num_cells / 2)
+// with the division done by shift because num_cells is a power of two.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+
+#include "ddl/core/proposed_line.h"
+
+namespace ddl::core {
+
+/// Outcome of one controller clock cycle.
+enum class LockStatus {
+  kSearching,  ///< Still walking toward the half-period tap.
+  kLocked,     ///< up/down is toggling around the half-period tap.
+  kAtLimit,    ///< Hit the end of the line without locking (line too fast /
+               ///< too short for this period -- a design error the worst-case
+               ///< sizing is meant to exclude).
+};
+
+/// Behavioral model of the proposed controller (Figure 46).
+///
+/// Deliberately identical in observable behaviour to the RTL: one tap
+/// compare and one +/-1 update per clock cycle, two sync flops of input
+/// latency, no multi-cycle settling.
+class ProposedController {
+ public:
+  /// `clock_period_ps` is the switching/clock period the line must lock to.
+  ProposedController(const ProposedDelayLine& line, double clock_period_ps);
+
+  /// Advances one clock cycle at the given operating point: samples the
+  /// selected tap, updates tap_sel.  Returns the status after the update.
+  LockStatus step(const cells::OperatingPoint& op);
+
+  /// Runs until locked or `max_cycles` elapse.  Returns cycles consumed, or
+  /// nullopt if lock was not achieved (the caller reads status()).
+  std::optional<std::uint64_t> run_to_lock(const cells::OperatingPoint& op,
+                                           std::uint64_t max_cycles = 1 << 20);
+
+  LockStatus status() const noexcept { return status_; }
+
+  /// The current tap selector (number of cells locked to half the period).
+  std::size_t tap_sel() const noexcept { return tap_sel_; }
+
+  double clock_period_ps() const noexcept { return period_ps_; }
+
+  /// What the comparison flop would sample for the current tap_sel: true if
+  /// the tap's delayed clock reads high at the rising clock edge, i.e. the
+  /// tap delay exceeds half the period.  Exposed for the timing-diagram
+  /// bench of Figures 47/48.
+  bool sampled_tap(const cells::OperatingPoint& op) const;
+
+  /// Distance in ps between the sampled tap's delay and the metastability-
+  /// prone half-period boundary; feeds the MTBF analysis.
+  double sampling_margin_ps(const cells::OperatingPoint& op) const;
+
+  /// Restarts the search from tap 0 (power-on reset).
+  void reset();
+
+  /// Lock hysteresis (extension/ablation knob): once locked, tap_sel only
+  /// moves after the same direction has been sampled `samples` cycles in a
+  /// row.  1 (default) is the thesis's always-step behaviour, which dithers
+  /// +/-1 tap forever; higher values trade duty jitter for drift-tracking
+  /// lag (see bench_ablation_hysteresis).
+  void set_lock_hysteresis(int samples);
+  int lock_hysteresis() const noexcept { return hysteresis_; }
+
+ private:
+  const ProposedDelayLine* line_;
+  double period_ps_;
+  std::size_t tap_sel_ = 0;
+  LockStatus status_ = LockStatus::kSearching;
+  int last_direction_ = 0;  // +1 up, -1 down, 0 unknown.
+  int hysteresis_ = 1;
+  int consecutive_same_direction_ = 0;
+};
+
+/// The mapping block (Figure 49 / Eq 18).
+class DutyMapper {
+ public:
+  /// `num_cells` must be a power of two.  `round_to_nearest` selects
+  /// round-half-up instead of the RTL's truncating shift (an ablation knob;
+  /// the thesis hardware truncates).
+  DutyMapper(std::size_t num_cells, bool round_to_nearest = false);
+
+  /// Maps an input duty word (full scale = num_cells) onto the calibrated
+  /// tap index for the current lock point.  Result is clamped to the line.
+  std::size_t map(std::uint64_t duty_word, std::size_t tap_sel) const;
+
+  std::size_t num_cells() const noexcept { return num_cells_; }
+  int shift_bits() const noexcept { return shift_bits_; }
+
+ private:
+  std::size_t num_cells_;
+  int shift_bits_;  // log2(num_cells / 2)
+  bool round_to_nearest_;
+};
+
+}  // namespace ddl::core

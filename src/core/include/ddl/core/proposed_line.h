@@ -1,0 +1,69 @@
+// The thesis's proposed delay line (section 3.2.2): a fixed chain of
+// *identical, non-tunable* cells, calibrated by varying how many cells lock
+// to the clock period.
+//
+// Each cell is `buffers_per_cell` buffers in series (Figure 45); the line is
+// over-provisioned by the technology's fast/slow corner spread so that even
+// at the fastest corner enough cells exist to cover one full clock period
+// (worst-case design, section 3.2.2 / future-work 5.2).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ddl/cells/mismatch.h"
+#include "ddl/cells/operating_point.h"
+#include "ddl/cells/technology.h"
+#include "ddl/sim/time.h"
+
+namespace ddl::core {
+
+/// Static configuration of a proposed-scheme delay line.
+struct ProposedLineConfig {
+  std::size_t num_cells = 256;  ///< Power of two (the mapper divides by N/2
+                                ///< with a shift, Eq 18).
+  int buffers_per_cell = 2;     ///< Figure 45; higher at lower clock rates.
+
+  /// Input duty-word width implied by the tap count.
+  int input_word_bits() const noexcept;
+};
+
+/// One physical instance ("die") of the proposed delay line.
+///
+/// Construction samples the per-buffer random mismatch once (a die's
+/// mismatch is frozen at fabrication); delays are then queried at any
+/// operating point, which applies the environmental derating on top.
+/// Passing `mismatch_seed = 0` builds an ideal (mismatch-free) line.
+class ProposedDelayLine {
+ public:
+  ProposedDelayLine(const cells::Technology& tech, ProposedLineConfig config,
+                    std::uint64_t mismatch_seed = 0,
+                    double mismatch_sigma_override = -1.0);
+
+  const ProposedLineConfig& config() const noexcept { return config_; }
+  std::size_t size() const noexcept { return config_.num_cells; }
+
+  /// Delay of cell `i` alone at the operating point, in ps.
+  double cell_delay_ps(std::size_t i, const cells::OperatingPoint& op) const;
+
+  /// Cumulative delay from the line input to tap `i` (after cell i), ps.
+  double tap_delay_ps(std::size_t tap, const cells::OperatingPoint& op) const;
+
+  /// All cumulative tap delays at an operating point (rounded to ps ticks),
+  /// in the form DelayLineDpwm consumes.
+  std::vector<sim::Time> tap_delays_ps(const cells::OperatingPoint& op) const;
+
+  /// Same, as doubles without rounding (for linearity analysis).
+  std::vector<double> tap_delays(const cells::OperatingPoint& op) const;
+
+  /// Nominal (typical-corner, mismatch-free) delay of one cell, ps.
+  double nominal_cell_delay_ps() const noexcept { return nominal_cell_ps_; }
+
+ private:
+  ProposedLineConfig config_;
+  double nominal_cell_ps_;
+  // Per-cell delay at the typical corner with this die's mismatch baked in.
+  std::vector<double> cell_typical_ps_;
+};
+
+}  // namespace ddl::core

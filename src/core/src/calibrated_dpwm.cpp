@@ -1,0 +1,144 @@
+#include "ddl/core/calibrated_dpwm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+namespace ddl::core {
+
+EnvironmentSchedule& EnvironmentSchedule::with_temperature_ramp(
+    double celsius_per_us) {
+  temp_ramp_c_per_us_ = celsius_per_us;
+  return *this;
+}
+
+EnvironmentSchedule& EnvironmentSchedule::with_voltage_spike(sim::Time from,
+                                                             sim::Time until,
+                                                             double delta_v) {
+  spikes_.push_back(Spike{from, until, delta_v});
+  return *this;
+}
+
+cells::OperatingPoint EnvironmentSchedule::at(sim::Time t) const {
+  cells::OperatingPoint op = start_;
+  op.temperature_c += temp_ramp_c_per_us_ * sim::to_us(t);
+  for (const Spike& spike : spikes_) {
+    if (t >= spike.from && t < spike.until) {
+      op.supply_v += spike.delta_v;
+    }
+  }
+  return op;
+}
+
+ProposedDpwmSystem::ProposedDpwmSystem(const ProposedDelayLine& line,
+                                       double clock_period_ps,
+                                       bool round_to_nearest_mapping)
+    : line_(&line),
+      controller_(line, clock_period_ps),
+      mapper_(line.config().num_cells, round_to_nearest_mapping),
+      environment_(cells::OperatingPoint::typical()),
+      period_ps_double_(clock_period_ps) {}
+
+sim::Time ProposedDpwmSystem::period_ps() const {
+  return sim::from_ps(period_ps_double_);
+}
+
+void ProposedDpwmSystem::set_environment(EnvironmentSchedule schedule) {
+  environment_ = std::move(schedule);
+}
+
+std::optional<std::uint64_t> ProposedDpwmSystem::calibrate(sim::Time at_time) {
+  controller_.reset();
+  tap_history_.clear();
+  return controller_.run_to_lock(environment_.at(at_time));
+}
+
+void ProposedDpwmSystem::set_tap_filter_depth(std::size_t depth) {
+  if (depth < 1) {
+    throw std::invalid_argument("tap filter depth must be >= 1");
+  }
+  filter_depth_ = depth;
+  tap_history_.clear();
+}
+
+std::size_t ProposedDpwmSystem::effective_tap_sel() const {
+  if (filter_depth_ <= 1 || tap_history_.empty()) {
+    return controller_.tap_sel();
+  }
+  // Rounded moving average over the retained history.
+  std::size_t sum = 0;
+  for (std::size_t tap : tap_history_) {
+    sum += tap;
+  }
+  return (sum + tap_history_.size() / 2) / tap_history_.size();
+}
+
+dpwm::PwmPeriod ProposedDpwmSystem::generate(sim::Time start,
+                                             std::uint64_t duty) {
+  const cells::OperatingPoint op = environment_.at(start);
+  if (filter_depth_ > 1) {
+    tap_history_.push_back(controller_.tap_sel());
+    if (tap_history_.size() > filter_depth_) {
+      tap_history_.erase(tap_history_.begin());
+    }
+  }
+  const std::size_t tap = mapper_.map(duty, effective_tap_sel());
+  dpwm::PwmPeriod out;
+  out.start = start;
+  out.period_ps = period_ps();
+  out.high_ps = std::min<sim::Time>(
+      sim::from_ps(line_->tap_delay_ps(tap, op)), out.period_ps);
+  // Continuous calibration: the controller takes one step per clock cycle,
+  // tracking drift while the modulator runs (section 3.2.2: "the calibration
+  // process is done continuously even after locking").
+  controller_.step(op);
+  return out;
+}
+
+ConventionalDpwmSystem::ConventionalDpwmSystem(ConventionalDelayLine& line,
+                                               double clock_period_ps,
+                                               LockingOrder order)
+    : line_(&line),
+      controller_(line, clock_period_ps, order),
+      environment_(cells::OperatingPoint::typical()),
+      period_ps_double_(clock_period_ps) {}
+
+sim::Time ConventionalDpwmSystem::period_ps() const {
+  return sim::from_ps(period_ps_double_);
+}
+
+int ConventionalDpwmSystem::bits() const {
+  int bits = 0;
+  while ((std::size_t{1} << bits) < line_->size()) {
+    ++bits;
+  }
+  return bits;
+}
+
+void ConventionalDpwmSystem::set_environment(EnvironmentSchedule schedule) {
+  environment_ = std::move(schedule);
+}
+
+std::optional<std::uint64_t> ConventionalDpwmSystem::calibrate(
+    sim::Time at_time) {
+  controller_.reset();
+  return controller_.run_to_lock(environment_.at(at_time));
+}
+
+dpwm::PwmPeriod ConventionalDpwmSystem::generate(sim::Time start,
+                                                 std::uint64_t duty) {
+  const cells::OperatingPoint op = environment_.at(start);
+  duty &= line_->size() - 1;
+  dpwm::PwmPeriod out;
+  out.start = start;
+  out.period_ps = period_ps();
+  out.high_ps = std::min<sim::Time>(
+      sim::from_ps(line_->tap_delay_ps(duty, op)), out.period_ps);
+  // The conventional controller also re-checks continuously, but each
+  // update costs cycles_per_update cycles; one update per generated period
+  // is the natural cadence.
+  controller_.step(op);
+  return out;
+}
+
+}  // namespace ddl::core

@@ -1,0 +1,161 @@
+#include "ddl/core/conventional_controller.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+
+namespace ddl::core {
+
+std::size_t bit_reverse(std::size_t value, int bits) noexcept {
+  std::size_t reversed = 0;
+  for (int i = 0; i < bits; ++i) {
+    reversed = (reversed << 1) | ((value >> i) & 1);
+  }
+  return reversed;
+}
+
+ConventionalController::ConventionalController(ConventionalDelayLine& line,
+                                               double clock_period_ps,
+                                               LockingOrder order,
+                                               int cycles_per_update)
+    : line_(&line),
+      period_ps_(clock_period_ps),
+      order_(order),
+      cycles_per_update_(cycles_per_update) {
+  assert(clock_period_ps > 0.0);
+  assert(cycles_per_update >= 1);
+}
+
+bool ConventionalController::is_lock_condition_met(
+    const cells::OperatingPoint& op) const {
+  // Figure 37: locked when the clock edge falls between the last two taps,
+  // i.e. tap(n-1) <= T < tap(n).
+  const std::size_t last = line_->size() - 1;
+  const double tap_n = line_->tap_delay_ps(last, op);
+  const double tap_n1 = line_->tap_delay_ps(last - 1, op);
+  if (tap_n1 <= period_ps_ && period_ps_ < tap_n) {
+    return true;
+  }
+  // Floor lock: at the slow corner the *minimum* line delay can already
+  // exceed the period by a sliver (the thesis's own 100 MHz design:
+  // 64 x 160 ps = 10.24 ns vs 10 ns).  The shift register cannot remove
+  // delay, so if the all-zero line covers the period within a small
+  // overshoot, that is the best achievable calibration and the controller
+  // must report lock rather than hunt forever.
+  return line_->total_increments() == 0 && tap_n >= period_ps_ &&
+         tap_n <= period_ps_ * (1.0 + kFloorLockTolerance);
+}
+
+bool ConventionalController::at_limit() const noexcept {
+  return shifts_ >= line_->size() *
+                        static_cast<std::size_t>(line_->config().branches - 1);
+}
+
+std::size_t ConventionalController::increment_target(std::size_t k) const {
+  const std::size_t n = line_->size();
+  switch (order_) {
+    case LockingOrder::kCellMajor: {
+      // Cell 0 absorbs increments until it maxes (branches-1 increments),
+      // then cell 1, ... -- all long cells bunch at the head of the line.
+      const auto per_cell = static_cast<std::size_t>(
+          line_->config().branches - 1);
+      return k / per_cell;
+    }
+    case LockingOrder::kLevelMajor:
+      // Round-robin in index order (the Figure 40 bit arrangement).
+      return k % n;
+    case LockingOrder::kInterleaved: {
+      // Round-robin in bit-reversed order: the i-th increment of a round
+      // lands mid-way between earlier ones, spreading long cells uniformly.
+      const int bits = std::bit_width(n) - 1;
+      return bit_reverse(k % n, bits);
+    }
+  }
+  return k % n;
+}
+
+LockStatus ConventionalController::step(const cells::OperatingPoint& op) {
+  const double line_delay = line_->line_delay_ps(op);
+  const double element =
+      line_->nominal_element_delay_ps() * cells::delay_derating(op);
+
+  if (status_ == LockStatus::kLocked) {
+    // Continuous re-check: hold the lock while the line stays within two
+    // elements of the period (the scheme's intrinsic granularity).  If
+    // temperature drift stretches it beyond that, the register can only be
+    // restarted; if it shrinks, resume shifting.
+    if (std::abs(line_delay - period_ps_) <= 2.0 * element) {
+      return status_;
+    }
+    if (line_delay > period_ps_) {
+      reset();
+      return status_;
+    }
+    status_ = LockStatus::kSearching;  // Too short again: keep shifting.
+  }
+
+  // Lock on the Figure 37 window, or on *crossing* the period between two
+  // consecutive checks.  The window is one cell wide while each shift moves
+  // the whole tail by one element, so with per-cell mismatch the window can
+  // slide past T in a single step -- the same hazard the gate-level
+  // controller edge-detects (see gate_level_conventional.h); crossing
+  // detection is the behavioral equivalent and leaves at most one element
+  // of residual error.
+  const bool crossed = previous_line_delay_ >= 0.0 &&
+                       previous_line_delay_ < period_ps_ &&
+                       line_delay >= period_ps_;
+  previous_line_delay_ = line_delay;
+  if (is_lock_condition_met(op) || crossed) {
+    status_ = LockStatus::kLocked;
+    return status_;
+  }
+  if (line_delay > period_ps_) {
+    // Overshot without ever crossing from below (drift, or a period shorter
+    // than the minimum delay).  A shift register cannot remove delay, so
+    // restart the search.
+    if (line_->total_increments() == 0) {
+      status_ = LockStatus::kAtLimit;  // Minimum delay still too long.
+      return status_;
+    }
+    reset();
+    return status_;
+  }
+  if (at_limit()) {
+    status_ = LockStatus::kAtLimit;  // Up_lim: maximum delay reached.
+    return status_;
+  }
+  // Shift one more `1` into the register: one cell gets one element longer.
+  const std::size_t target = increment_target(shifts_);
+  line_->set_setting(target, line_->setting(target) + 1);
+  ++shifts_;
+  status_ = LockStatus::kSearching;
+  return status_;
+}
+
+std::optional<std::uint64_t> ConventionalController::run_to_lock(
+    const cells::OperatingPoint& op) {
+  const std::size_t max_shifts =
+      line_->size() * static_cast<std::size_t>(line_->config().branches - 1) +
+      2;
+  std::uint64_t cycles = 0;
+  for (std::size_t update = 0; update <= max_shifts; ++update) {
+    cycles += static_cast<std::uint64_t>(cycles_per_update_);
+    const LockStatus status = step(op);
+    if (status == LockStatus::kLocked) {
+      return cycles;
+    }
+    if (status == LockStatus::kAtLimit) {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+void ConventionalController::reset() {
+  line_->reset_settings();
+  shifts_ = 0;
+  status_ = LockStatus::kSearching;
+  previous_line_delay_ = -1.0;
+}
+
+}  // namespace ddl::core

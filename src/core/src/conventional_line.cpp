@@ -1,0 +1,126 @@
+#include "ddl/core/conventional_line.h"
+
+#include <bit>
+#include <cassert>
+#include <memory>
+#include <numeric>
+#include <stdexcept>
+
+namespace ddl::core {
+
+int ConventionalLineConfig::control_bits_per_cell() const noexcept {
+  // Eq 16: ceil(log2 m) wires select among m branches (the thesis's 4-branch
+  // cell decodes 2 wires to a thermometer code).
+  int bits = 0;
+  while ((1 << bits) < branches) {
+    ++bits;
+  }
+  return bits;
+}
+
+std::size_t ConventionalLineConfig::shift_register_bits() const noexcept {
+  // Eq 17: control bits x cells + 1 (the Up_lim flag).
+  return static_cast<std::size_t>(control_bits_per_cell()) * num_cells + 1;
+}
+
+ConventionalDelayLine::ConventionalDelayLine(const cells::Technology& tech,
+                                             ConventionalLineConfig config,
+                                             std::uint64_t mismatch_seed,
+                                             double mismatch_sigma_override)
+    : config_(config) {
+  if (config_.num_cells == 0 || !std::has_single_bit(config_.num_cells)) {
+    throw std::invalid_argument(
+        "ConventionalDelayLine: num_cells must be a power of two");
+  }
+  if (config_.branches < 1 || config_.buffers_per_element < 1) {
+    throw std::invalid_argument("ConventionalDelayLine: invalid geometry");
+  }
+  const double buffer_typ = tech.typical_delay_ps(cells::CellKind::kBuffer);
+  nominal_element_ps_ = buffer_typ * config_.buffers_per_element;
+
+  branch_typical_ps_.resize(config_.num_cells);
+  settings_.assign(config_.num_cells, 0);
+
+  std::unique_ptr<cells::MismatchSampler> sampler;
+  if (mismatch_seed != 0) {
+    sampler = std::make_unique<cells::MismatchSampler>(
+        tech, mismatch_seed, mismatch_sigma_override);
+  }
+  const auto op_typ = cells::OperatingPoint::typical();
+  for (std::size_t cell = 0; cell < config_.num_cells; ++cell) {
+    auto& branches = branch_typical_ps_[cell];
+    branches.reserve(static_cast<std::size_t>(config_.branches));
+    for (int b = 0; b < config_.branches; ++b) {
+      // Branch b is a physically separate path of (b+1) elements, each of
+      // buffers_per_element buffers (Figure 33) -- sampled independently.
+      const std::size_t buffers =
+          static_cast<std::size_t>(b + 1) *
+          static_cast<std::size_t>(config_.buffers_per_element);
+      if (sampler) {
+        branches.push_back(sampler->sample_series_delay_ps(
+            cells::CellKind::kBuffer, op_typ, buffers));
+      } else {
+        branches.push_back(nominal_element_ps_ * (b + 1));
+      }
+    }
+  }
+}
+
+void ConventionalDelayLine::set_setting(std::size_t i, int setting) {
+  assert(i < config_.num_cells);
+  if (setting < 0 || setting >= config_.branches) {
+    throw std::out_of_range("ConventionalDelayLine: setting out of range");
+  }
+  settings_[i] = setting;
+}
+
+void ConventionalDelayLine::reset_settings() {
+  settings_.assign(config_.num_cells, 0);
+}
+
+double ConventionalDelayLine::cell_delay_ps(
+    std::size_t i, const cells::OperatingPoint& op) const {
+  assert(i < config_.num_cells);
+  return branch_typical_ps_[i][static_cast<std::size_t>(settings_[i])] *
+         cells::delay_derating(op);
+}
+
+double ConventionalDelayLine::tap_delay_ps(
+    std::size_t tap, const cells::OperatingPoint& op) const {
+  assert(tap < config_.num_cells);
+  double total = 0.0;
+  for (std::size_t i = 0; i <= tap; ++i) {
+    total += branch_typical_ps_[i][static_cast<std::size_t>(settings_[i])];
+  }
+  return total * cells::delay_derating(op);
+}
+
+std::vector<double> ConventionalDelayLine::tap_delays(
+    const cells::OperatingPoint& op) const {
+  std::vector<double> taps;
+  taps.reserve(config_.num_cells);
+  const double derating = cells::delay_derating(op);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < config_.num_cells; ++i) {
+    cumulative += branch_typical_ps_[i][static_cast<std::size_t>(settings_[i])];
+    taps.push_back(cumulative * derating);
+  }
+  return taps;
+}
+
+std::vector<sim::Time> ConventionalDelayLine::tap_delays_ps(
+    const cells::OperatingPoint& op) const {
+  const std::vector<double> exact = tap_delays(op);
+  std::vector<sim::Time> taps;
+  taps.reserve(exact.size());
+  for (double d : exact) {
+    taps.push_back(sim::from_ps(d));
+  }
+  return taps;
+}
+
+std::size_t ConventionalDelayLine::total_increments() const {
+  return std::accumulate(settings_.begin(), settings_.end(), std::size_t{0});
+}
+
+}  // namespace ddl::core

@@ -1,0 +1,106 @@
+#include "ddl/core/design_calculator.h"
+
+#include <cmath>
+
+#include "ddl/core/conventional_controller.h"
+
+namespace ddl::core {
+
+bool conventional_feasible_at(const ConventionalDesign& design,
+                              const cells::Technology& tech,
+                              const cells::OperatingPoint& op,
+                              double period_ps) {
+  const double min_line_ps =
+      static_cast<double>(design.line.num_cells) *
+      design.line.buffers_per_element *
+      tech.delay_ps(cells::CellKind::kBuffer, op);
+  return min_line_ps <=
+         period_ps * (1.0 + ConventionalController::kFloorLockTolerance);
+}
+
+double DesignCalculator::fast_buffer_ps() const {
+  return tech_->delay_ps(cells::CellKind::kBuffer,
+                         cells::OperatingPoint::fast_process_only());
+}
+
+double DesignCalculator::slow_buffer_ps() const {
+  return tech_->delay_ps(cells::CellKind::kBuffer,
+                         cells::OperatingPoint::slow_process_only());
+}
+
+int DesignCalculator::adjustment_ratio() const {
+  // Eq 23: m = slow-corner delay / fast-corner delay, rounded up so the
+  // tunable cell can always stretch far enough.
+  return static_cast<int>(std::ceil(slow_buffer_ps() / fast_buffer_ps()));
+}
+
+ConventionalDesign DesignCalculator::size_conventional(
+    const DesignSpec& spec) const {
+  ConventionalDesign design;
+  const double period_ps = spec.clock_period_ps();
+
+  // Eq 21/22: 2^n cells, 2^n:1 output mux.
+  design.line.num_cells = std::size_t{1} << spec.resolution_bits;
+  design.mux_inputs = design.line.num_cells;
+
+  // Eq 23: branch count = corner adjustment ratio.
+  design.line.branches = adjustment_ratio();
+
+  // Eq 24-26: at the fast corner every cell selects its longest branch, so
+  // max_elements = m * 2^n elements must cover the period.
+  const double max_elements = static_cast<double>(design.line.max_elements());
+  design.element_delay_target_ps = period_ps / max_elements;
+
+  // Eq 27: buffers per element, using the fast-corner buffer delay (the
+  // worst case for covering the period).
+  design.line.buffers_per_element = std::max(
+      1, static_cast<int>(
+             std::ceil(design.element_delay_target_ps / fast_buffer_ps())));
+
+  // Eq 28/29: achieved fast-corner element and line delays.
+  design.element_delay_fast_ps =
+      design.line.buffers_per_element * fast_buffer_ps();
+  design.max_line_delay_fast_ps = max_elements * design.element_delay_fast_ps;
+  design.lock_guaranteed = design.max_line_delay_fast_ps >= period_ps;
+
+  // Slow-corner feasibility (see the struct comment): all-shortest-branch
+  // line delay with slow buffers must stay within the floor-lock tolerance.
+  design.min_line_delay_slow_ps =
+      static_cast<double>(design.line.num_cells) *
+      design.line.buffers_per_element * slow_buffer_ps();
+  design.feasible_at_slow =
+      design.min_line_delay_slow_ps <=
+      period_ps * (1.0 + ConventionalController::kFloorLockTolerance);
+  return design;
+}
+
+ProposedDesign DesignCalculator::size_proposed(const DesignSpec& spec) const {
+  ProposedDesign design;
+  const double period_ps = spec.clock_period_ps();
+
+  // Eq 30: cells = 2^n * (slow/fast ratio) -- the slow corner still gets 2^n
+  // usable steps, the fast corner uses them all.
+  const int ratio = adjustment_ratio();
+  design.line.num_cells =
+      (std::size_t{1} << spec.resolution_bits) * static_cast<std::size_t>(ratio);
+  design.mux_inputs = design.line.num_cells;  // Eq 31 (x2-bit cal mux).
+
+  // Eq 32/33: all cells must cover the period at the fast corner.
+  design.cell_delay_target_ps =
+      period_ps / static_cast<double>(design.line.num_cells);
+
+  // Eq 34: buffers per cell from the fast-corner buffer delay.
+  design.line.buffers_per_cell = std::max(
+      1, static_cast<int>(
+             std::ceil(design.cell_delay_target_ps / fast_buffer_ps())));
+
+  // Eq 35/36.
+  design.cell_delay_fast_ps = design.line.buffers_per_cell * fast_buffer_ps();
+  design.max_line_delay_fast_ps =
+      static_cast<double>(design.line.num_cells) * design.cell_delay_fast_ps;
+  design.lock_guaranteed = design.max_line_delay_fast_ps >= period_ps;
+  design.input_word_bits = design.line.input_word_bits();
+  return design;
+}
+
+}  // namespace ddl::core

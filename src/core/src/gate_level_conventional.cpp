@@ -1,0 +1,154 @@
+#include "ddl/core/gate_level_conventional.h"
+
+#include <algorithm>
+#include <bit>
+#include <string>
+
+#include "ddl/dpwm/gate_level.h"
+
+namespace ddl::core {
+
+using sim::Logic;
+using sim::SignalId;
+
+GateLevelConventionalSystem::GateLevelConventionalSystem(
+    sim::NetlistContext& ctx, sim::SignalId clk,
+    const ConventionalLineConfig& config, std::uint64_t mismatch_seed,
+    int cycles_per_update) {
+  sim::Simulator& sim = *ctx.sim;
+  const std::size_t num_cells = config.num_cells;
+  const int branches = config.branches;
+  const int select_bits = config.control_bits_per_cell();
+  const int word_bits = std::bit_width(num_cells) - 1;
+
+  // Branch delays mirror the behavioral line for the same die seed: read
+  // each branch's total delay, then spread it over the branch buffers.
+  ConventionalDelayLine reference_line(*ctx.tech, config, mismatch_seed);
+
+  // The tunable cell's internal branch mux is a transmission-gate mux whose
+  // latency is part of the *characterized* cell delay (the thesis measures
+  // cells post-synthesis): the buffer chains are shortened by the mux
+  // latency so gate-level cell delay == behavioral cell delay.
+  constexpr double kTgMuxLevelPs = 10.0;  // Typical, per tree level.
+  const double tg_level_ps = kTgMuxLevelPs * cells::delay_derating(ctx.op);
+  const double cell_mux_ps = static_cast<double>(select_bits) * tg_level_ps;
+
+  // --- The tunable cells (Figure 33): per cell, `branches` parallel
+  // buffer chains of 1..m elements, joined by a branch mux tree.
+  SignalId stage_in = clk;
+  taps_.reserve(num_cells);
+  cell_selects_.reserve(num_cells);
+  for (std::size_t cell = 0; cell < num_cells; ++cell) {
+    sim::Bus select(sim, "cell" + std::to_string(cell) + ".sel",
+                    static_cast<std::size_t>(select_bits), Logic::kX);
+    select.use_driver(sim);
+
+    std::vector<SignalId> branch_outputs;
+    branch_outputs.reserve(static_cast<std::size_t>(1) << select_bits);
+    for (int b = 0; b < branches; ++b) {
+      reference_line.set_setting(cell, b);
+      const double branch_total_ps =
+          std::max(reference_line.cell_delay_ps(cell, ctx.op) - cell_mux_ps,
+                   1.0);
+      const std::size_t buffers =
+          static_cast<std::size_t>(b + 1) *
+          static_cast<std::size_t>(config.buffers_per_element);
+      const std::vector<double> per_buffer(
+          buffers, branch_total_ps / static_cast<double>(buffers));
+      const auto chain = sim::make_buffer_chain(ctx, stage_in, buffers,
+                                                per_buffer);
+      branch_outputs.push_back(chain.back());
+    }
+    reference_line.set_setting(cell, 0);
+    // Pad to a power of two for the mux tree (unused inputs tie to the
+    // longest branch).
+    while (!std::has_single_bit(branch_outputs.size())) {
+      branch_outputs.push_back(branch_outputs.back());
+    }
+    const SignalId cell_out = sim::make_mux_tree(
+        ctx, branch_outputs, select.bits(),
+        "cell" + std::to_string(cell) + ".mux", tg_level_ps);
+    taps_.push_back(cell_out);
+    cell_selects_.push_back(select);
+    stage_in = cell_out;
+  }
+
+  // --- Tap sampling: the last two taps through 2-FF synchronizers
+  // (Figures 36/38).
+  const SignalId sample_last = sim.add_signal("tapN_sync", Logic::k0);
+  const SignalId sample_prev = sim.add_signal("tapN1_sync", Logic::k0);
+  sync_last_ = std::make_unique<sim::TwoFlopSynchronizer>(
+      ctx, clk, taps_[num_cells - 1], sample_last, mismatch_seed + 0xc0);
+  sync_prev_ = std::make_unique<sim::TwoFlopSynchronizer>(
+      ctx, clk, taps_[num_cells - 2], sample_prev, mismatch_seed + 0xc1);
+
+  // --- Controller: shift-register semantics as a clocked process.  Every
+  // `cycles_per_update` cycles it evaluates the lock condition taps == 01
+  // (tap(n-1) samples 1, tap(n) samples 0) and otherwise lengthens the next
+  // cell in Figure 40's level-major order.
+  state_ = std::make_shared<ControllerState>();
+  auto state = state_;
+  auto cell_selects = cell_selects_;
+  const sim::Time clk_to_q = sim::from_ps(ctx.delay_ps(cells::CellKind::kDff));
+  const std::size_t max_shifts =
+      num_cells * static_cast<std::size_t>(branches - 1);
+  sim.on_rising(clk, [&sim, state, cell_selects, sample_last, sample_prev,
+                      clk_to_q, num_cells, max_shifts, branches,
+                      cycles_per_update](const sim::SignalEvent&) {
+    ++state->cycles;
+    if (state->cycles <= 3 ||
+        state->cycles % static_cast<std::uint64_t>(cycles_per_update) != 0 ||
+        state->locked || state->at_limit) {
+      return;
+    }
+    const bool tap_n = sim.is_high(sample_last);
+    const bool tap_n1 = sim.is_high(sample_prev);
+    // Figure 37's lock condition is taps == 01 (clock edge between the last
+    // two taps).  Because the crossing tap transitions *at* the sampling
+    // edge, its sample can resolve either way (metastability); robust RTL
+    // additionally edge-detects the last tap's sample -- observing it fall
+    // 1 -> 0 means tap(n) just crossed the period, which is the same event.
+    const bool window = tap_n1 && !tap_n;
+    const bool crossing = state->prev_tap_n_high && !tap_n;
+    state->prev_tap_n_high = tap_n;
+    if (window || crossing) {
+      state->locked = true;
+      return;
+    }
+    if (state->shifts >= max_shifts) {
+      state->at_limit = true;  // Up_lim.
+      return;
+    }
+    // Level-major shift: increments round-robin across cells (Figure 40).
+    const std::size_t target = state->shifts % num_cells;
+    const std::size_t level = state->shifts / num_cells + 1;
+    if (level < static_cast<std::size_t>(branches)) {
+      cell_selects[target].drive(sim, level, clk_to_q);
+    }
+    ++state->shifts;
+  });
+  // Initialize every cell to the shortest branch.
+  for (auto& select : cell_selects_) {
+    select.drive(sim, 0);
+  }
+
+  // --- Output path: tap mux + trailing-edge modulator (Figure 32).  The
+  // set path runs through a replica of the output mux so both edges of the
+  // pulse carry the same latency (standard launch-path balancing).
+  duty_ = sim::Bus(sim, "duty", static_cast<std::size_t>(word_bits));
+  duty_.use_driver(sim);
+  const SignalId reset_pulse =
+      sim::make_mux_tree(ctx, taps_, duty_.bits(), "outmux");
+  out_ = sim.add_signal("dpwm_out", Logic::k0);
+  const double mux_latency_ps =
+      static_cast<double>(word_bits) * ctx.delay_ps(cells::CellKind::kMux2);
+  const SignalId set_replica = sim.add_signal("set_replica", Logic::k0);
+  sim::make_unary_gate(ctx, cells::CellKind::kBuffer, clk, set_replica,
+                       mux_latency_ps);
+  const double min_cell_ps =
+      ctx.delay_ps(cells::CellKind::kBuffer) * config.buffers_per_element;
+  keepalive_.push_back(std::make_shared<dpwm::TrailingEdgeModulator>(
+      ctx, set_replica, reset_pulse, out_, 0.5 * min_cell_ps));
+}
+
+}  // namespace ddl::core

@@ -1,0 +1,115 @@
+#include "ddl/core/gate_level_proposed.h"
+
+#include <algorithm>
+#include <bit>
+
+#include "ddl/dpwm/gate_level.h"
+
+namespace ddl::core {
+
+using sim::Logic;
+using sim::SignalId;
+
+GateLevelProposedSystem::GateLevelProposedSystem(
+    sim::NetlistContext& ctx, sim::SignalId clk,
+    const ProposedLineConfig& config, std::uint64_t mismatch_seed) {
+  sim::Simulator& sim = *ctx.sim;
+  const int word_bits = config.input_word_bits();
+  const std::size_t num_cells = config.num_cells;
+
+  // --- Delay line: one buffer stage per cell, delays identical to the
+  // behavioral ProposedDelayLine for the same die seed and corner.
+  ProposedDelayLine reference_line(*ctx.tech, config, mismatch_seed);
+  std::vector<double> cell_delays_ps;
+  cell_delays_ps.reserve(num_cells);
+  for (std::size_t i = 0; i < num_cells; ++i) {
+    cell_delays_ps.push_back(reference_line.cell_delay_ps(i, ctx.op));
+  }
+  taps_ = sim::make_buffer_chain(ctx, clk, num_cells, cell_delays_ps);
+
+  // --- Buses.
+  duty_ = sim::Bus(sim, "duty", static_cast<std::size_t>(word_bits));
+  duty_.use_driver(sim);
+  cal_select_ = sim::Bus(sim, "cal_sel",
+                         static_cast<std::size_t>(word_bits), Logic::kX);
+  cal_select_.use_driver(sim);
+  out_select_ = sim::Bus(sim, "out_sel",
+                         static_cast<std::size_t>(word_bits), Logic::kX);
+  out_select_.use_driver(sim);
+
+  // --- Calibration mux (MUX 1 of Figure 46) + sampling synchronizer.  The
+  // synchronizer's clock runs through a replica of the calibration mux's
+  // latency, so the flop compares the tap against the clock edge as it
+  // stood when the tap waveform entered the mux -- the standard DLL
+  // replica-path balancing that keeps the lock point latency-free.
+  const SignalId selected_tap =
+      sim::make_mux_tree(ctx, taps_, cal_select_.bits(), "calmux");
+  const double cal_mux_latency_ps =
+      static_cast<double>(word_bits) * ctx.delay_ps(cells::CellKind::kMux2);
+  const SignalId clk_replica = sim.add_signal("clk_replica", Logic::k0);
+  sim::make_unary_gate(ctx, cells::CellKind::kBuffer, clk, clk_replica,
+                       cal_mux_latency_ps);
+  const SignalId sync_sample = sim.add_signal("tap_sync", Logic::k0);
+  synchronizer_ = std::make_unique<sim::TwoFlopSynchronizer>(
+      ctx, clk_replica, selected_tap, sync_sample, mismatch_seed + 0xddf1);
+
+  // --- Controller: one compare + one +/-1 update per clock cycle.
+  state_ = std::make_shared<ControllerState>();
+  auto state = state_;
+  const sim::Time clk_to_q = sim::from_ps(ctx.delay_ps(cells::CellKind::kDff));
+  sim::Bus cal_select = cal_select_;
+  sim::Bus out_select = out_select_;
+  sim::Bus duty = duty_;
+  const int shift_bits = word_bits - 1;  // log2(num_cells / 2), Eq 18.
+  sim.on_rising(clk, [&sim, state, cal_select, out_select, duty, sync_sample,
+                      clk_to_q, num_cells, shift_bits](const sim::SignalEvent&) {
+    ++state->cycles;
+    // Give the synchronizer two cycles to produce meaningful samples.
+    if (state->cycles > 2) {
+      const bool tap_high = sim.is_high(sync_sample);
+      const int direction = tap_high ? -1 : +1;
+      if (state->last_direction != 0 && direction != state->last_direction) {
+        state->locked = true;
+      }
+      state->last_direction = direction;
+      if (direction > 0 && state->tap_sel + 1 < num_cells) {
+        ++state->tap_sel;
+      } else if (direction < 0 && state->tap_sel > 0) {
+        --state->tap_sel;
+      }
+    }
+    cal_select.drive(sim, state->tap_sel, clk_to_q);
+
+    // --- Mapper (Figure 49 / Eq 18), as the same clocked process: the
+    // product-and-shift is combinational after the tap_sel register.
+    const std::uint64_t word = duty.read_or_zero(sim);
+    std::uint64_t mapped =
+        (word * static_cast<std::uint64_t>(state->tap_sel)) >> shift_bits;
+    if (mapped >= num_cells) {
+      mapped = num_cells - 1;
+    }
+    out_select.drive(sim, mapped, clk_to_q);
+  });
+
+  // --- Output path: tap mux (MUX 2) + trailing-edge modulator, with the
+  // set path through a replica of the output mux latency so the pulse
+  // width equals the selected tap delay.
+  const SignalId reset_pulse =
+      sim::make_mux_tree(ctx, taps_, out_select_.bits(), "outmux");
+  out_ = sim.add_signal("dpwm_out", Logic::k0);
+  const SignalId set_replica = sim.add_signal("set_replica", Logic::k0);
+  sim::make_unary_gate(ctx, cells::CellKind::kBuffer, clk, set_replica,
+                       cal_mux_latency_ps);
+  double min_cell_ps = cell_delays_ps.front();
+  for (double d : cell_delays_ps) {
+    min_cell_ps = std::min(min_cell_ps, d);
+  }
+  keepalive_.push_back(std::make_shared<dpwm::TrailingEdgeModulator>(
+      ctx, set_replica, reset_pulse, out_, 0.5 * min_cell_ps));
+}
+
+const sim::FlipFlopStats& GateLevelProposedSystem::sampler_stats() const {
+  return synchronizer_->first_stage_stats();
+}
+
+}  // namespace ddl::core

@@ -1,0 +1,84 @@
+#include "ddl/core/hybrid_calibrated.h"
+
+#include <algorithm>
+#include <cmath>
+#include <stdexcept>
+
+#include "ddl/core/design_calculator.h"
+
+namespace ddl::core {
+
+HybridCalibratedDesign size_hybrid_calibrated(const cells::Technology& tech,
+                                              double f_sw_mhz, int total_bits,
+                                              int counter_bits) {
+  if (counter_bits < 1 || counter_bits >= total_bits) {
+    throw std::invalid_argument("size_hybrid_calibrated: invalid bit split");
+  }
+  HybridCalibratedDesign design;
+  design.counter_bits = counter_bits;
+  design.fast_clock_mhz = f_sw_mhz * std::pow(2.0, counter_bits);
+  // The line guarantees the remaining bits at every corner against the
+  // fast-clock period -- exactly the section 4.2.2 recipe at that period.
+  DesignCalculator calc(tech);
+  const auto line_design = calc.size_proposed(
+      DesignSpec{design.fast_clock_mhz, total_bits - counter_bits});
+  design.line = line_design.line;
+  design.line_word_bits = design.line.input_word_bits();
+  return design;
+}
+
+HybridCalibratedDpwm::HybridCalibratedDpwm(const ProposedDelayLine& line,
+                                           int counter_bits,
+                                           int guaranteed_line_bits,
+                                           sim::Time switching_period_ps)
+    : line_(&line),
+      counter_bits_(counter_bits),
+      line_word_bits_(line.config().input_word_bits()),
+      guaranteed_line_bits_(guaranteed_line_bits),
+      period_(switching_period_ps),
+      controller_(line, static_cast<double>(switching_period_ps >>
+                                            counter_bits)),
+      mapper_(line.config().num_cells),
+      environment_(cells::OperatingPoint::typical()) {
+  if (counter_bits < 1 ||
+      switching_period_ps % (sim::Time{1} << counter_bits) != 0) {
+    throw std::invalid_argument(
+        "HybridCalibratedDpwm: period must divide into counter ticks");
+  }
+  (void)guaranteed_line_bits_;
+}
+
+void HybridCalibratedDpwm::set_environment(EnvironmentSchedule schedule) {
+  environment_ = std::move(schedule);
+}
+
+std::optional<std::uint64_t> HybridCalibratedDpwm::calibrate(
+    sim::Time at_time) {
+  controller_.reset();
+  return controller_.run_to_lock(environment_.at(at_time));
+}
+
+dpwm::PwmPeriod HybridCalibratedDpwm::generate(sim::Time start,
+                                               std::uint64_t duty) {
+  const cells::OperatingPoint op = environment_.at(start);
+  const std::uint64_t total_mask = (std::uint64_t{1} << bits()) - 1;
+  duty &= total_mask;
+  const std::uint64_t lsb_mask = (std::uint64_t{1} << line_word_bits_) - 1;
+  const std::uint64_t msb = duty >> line_word_bits_;
+  const std::uint64_t lsb = duty & lsb_mask;
+
+  // Counter positions the coarse edge; the calibrated line refines it.
+  const std::size_t tap = mapper_.map(lsb, controller_.tap_sel());
+  dpwm::PwmPeriod out;
+  out.start = start;
+  out.period_ps = period_;
+  out.high_ps = std::min<sim::Time>(
+      static_cast<sim::Time>(msb) * fast_clock_period_ps() +
+          sim::from_ps(line_->tap_delay_ps(tap, op)),
+      period_);
+  // Continuous calibration, one controller step per switching period.
+  controller_.step(op);
+  return out;
+}
+
+}  // namespace ddl::core

@@ -1,0 +1,132 @@
+#include "ddl/core/proposed_controller.h"
+
+#include <bit>
+#include <cassert>
+#include <cmath>
+#include <stdexcept>
+
+namespace ddl::core {
+
+ProposedController::ProposedController(const ProposedDelayLine& line,
+                                       double clock_period_ps)
+    : line_(&line), period_ps_(clock_period_ps) {
+  if (clock_period_ps <= 0.0) {
+    throw std::invalid_argument("ProposedController: period must be positive");
+  }
+}
+
+bool ProposedController::sampled_tap(const cells::OperatingPoint& op) const {
+  // The line input is the clock (50% duty).  At a rising edge the tap shows
+  // the clock delayed by D = tap_delay: value = clk(T - D mod T), which is
+  // high exactly when (D mod T) > T/2.  During the initial walk D < T always
+  // holds for the lock target, so this reduces to "delay exceeds half the
+  // period" (Figures 47/48).
+  const double delay = line_->tap_delay_ps(tap_sel_, op);
+  const double wrapped = std::fmod(delay, period_ps_);
+  return wrapped > period_ps_ / 2.0;
+}
+
+double ProposedController::sampling_margin_ps(
+    const cells::OperatingPoint& op) const {
+  const double delay = line_->tap_delay_ps(tap_sel_, op);
+  const double wrapped = std::fmod(delay, period_ps_);
+  return std::abs(wrapped - period_ps_ / 2.0);
+}
+
+LockStatus ProposedController::step(const cells::OperatingPoint& op) {
+  const bool tap_high = sampled_tap(op);
+  const int direction = tap_high ? -1 : +1;  // high -> too long -> down.
+
+  // Toggling direction means tap_sel straddles the half-period point.
+  if (last_direction_ != 0 && direction != last_direction_) {
+    status_ = LockStatus::kLocked;
+    consecutive_same_direction_ = 1;
+  } else if (status_ != LockStatus::kLocked) {
+    status_ = LockStatus::kSearching;
+  } else {
+    ++consecutive_same_direction_;
+  }
+  last_direction_ = direction;
+
+  // Hysteresis: once locked, ignore isolated direction samples (they are
+  // the +/-1 dither); only move when the same direction persists, which is
+  // what genuine drift looks like.
+  if (status_ == LockStatus::kLocked &&
+      consecutive_same_direction_ < hysteresis_) {
+    return status_;
+  }
+
+  if (direction > 0) {
+    if (tap_sel_ + 1 >= line_->size()) {
+      // Would walk off the line: the full line is shorter than half the
+      // period, so lock is impossible at this corner.
+      status_ = LockStatus::kAtLimit;
+      return status_;
+    }
+    ++tap_sel_;
+  } else {
+    if (tap_sel_ == 0) {
+      status_ = LockStatus::kAtLimit;  // Single cell already too slow.
+      return status_;
+    }
+    --tap_sel_;
+  }
+  return status_;
+}
+
+std::optional<std::uint64_t> ProposedController::run_to_lock(
+    const cells::OperatingPoint& op, std::uint64_t max_cycles) {
+  for (std::uint64_t cycle = 1; cycle <= max_cycles; ++cycle) {
+    const LockStatus status = step(op);
+    if (status == LockStatus::kLocked) {
+      return cycle;
+    }
+    if (status == LockStatus::kAtLimit) {
+      return std::nullopt;
+    }
+  }
+  return std::nullopt;
+}
+
+void ProposedController::reset() {
+  tap_sel_ = 0;
+  status_ = LockStatus::kSearching;
+  last_direction_ = 0;
+  consecutive_same_direction_ = 0;
+}
+
+void ProposedController::set_lock_hysteresis(int samples) {
+  if (samples < 1) {
+    throw std::invalid_argument(
+        "ProposedController: hysteresis must be >= 1");
+  }
+  hysteresis_ = samples;
+}
+
+DutyMapper::DutyMapper(std::size_t num_cells, bool round_to_nearest)
+    : num_cells_(num_cells),
+      shift_bits_(std::bit_width(num_cells) - 2),
+      round_to_nearest_(round_to_nearest) {
+  if (num_cells < 2 || !std::has_single_bit(num_cells)) {
+    throw std::invalid_argument(
+        "DutyMapper: num_cells must be a power of two >= 2");
+  }
+}
+
+std::size_t DutyMapper::map(std::uint64_t duty_word,
+                            std::size_t tap_sel) const {
+  // Eq 18: cal_sel = duty * tap_sel / (num_cells / 2).  tap_sel cells cover
+  // half the period, so full scale (duty = num_cells) maps to 2*tap_sel
+  // cells = one full period.
+  std::uint64_t product = duty_word * static_cast<std::uint64_t>(tap_sel);
+  if (round_to_nearest_ && shift_bits_ >= 1) {
+    product += std::uint64_t{1} << (shift_bits_ - 1);
+  }
+  std::uint64_t cal = product >> shift_bits_;
+  if (cal >= num_cells_) {
+    cal = num_cells_ - 1;
+  }
+  return static_cast<std::size_t>(cal);
+}
+
+}  // namespace ddl::core

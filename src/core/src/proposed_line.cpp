@@ -1,0 +1,85 @@
+#include "ddl/core/proposed_line.h"
+
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace ddl::core {
+
+int ProposedLineConfig::input_word_bits() const noexcept {
+  return std::bit_width(num_cells) - 1;
+}
+
+ProposedDelayLine::ProposedDelayLine(const cells::Technology& tech,
+                                     ProposedLineConfig config,
+                                     std::uint64_t mismatch_seed,
+                                     double mismatch_sigma_override)
+    : config_(config) {
+  if (config_.num_cells == 0 || !std::has_single_bit(config_.num_cells)) {
+    throw std::invalid_argument(
+        "ProposedDelayLine: num_cells must be a power of two");
+  }
+  if (config_.buffers_per_cell < 1) {
+    throw std::invalid_argument(
+        "ProposedDelayLine: buffers_per_cell must be >= 1");
+  }
+  const double buffer_typ = tech.typical_delay_ps(cells::CellKind::kBuffer);
+  nominal_cell_ps_ = buffer_typ * config_.buffers_per_cell;
+
+  cell_typical_ps_.reserve(config_.num_cells);
+  if (mismatch_seed == 0) {
+    cell_typical_ps_.assign(config_.num_cells, nominal_cell_ps_);
+    return;
+  }
+  cells::MismatchSampler sampler(tech, mismatch_seed, mismatch_sigma_override);
+  for (std::size_t i = 0; i < config_.num_cells; ++i) {
+    // Each cell is buffers_per_cell independently mismatched buffers in
+    // series; sampling them individually is what produces the thesis's
+    // mismatch-averaging at higher buffer counts.
+    cell_typical_ps_.push_back(sampler.sample_series_delay_ps(
+        cells::CellKind::kBuffer, cells::OperatingPoint::typical(),
+        static_cast<std::size_t>(config_.buffers_per_cell)));
+  }
+}
+
+double ProposedDelayLine::cell_delay_ps(std::size_t i,
+                                        const cells::OperatingPoint& op) const {
+  assert(i < config_.num_cells);
+  return cell_typical_ps_[i] * cells::delay_derating(op);
+}
+
+double ProposedDelayLine::tap_delay_ps(std::size_t tap,
+                                       const cells::OperatingPoint& op) const {
+  assert(tap < config_.num_cells);
+  double total = 0.0;
+  for (std::size_t i = 0; i <= tap; ++i) {
+    total += cell_typical_ps_[i];
+  }
+  return total * cells::delay_derating(op);
+}
+
+std::vector<double> ProposedDelayLine::tap_delays(
+    const cells::OperatingPoint& op) const {
+  std::vector<double> taps;
+  taps.reserve(config_.num_cells);
+  const double derating = cells::delay_derating(op);
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < config_.num_cells; ++i) {
+    cumulative += cell_typical_ps_[i];
+    taps.push_back(cumulative * derating);
+  }
+  return taps;
+}
+
+std::vector<sim::Time> ProposedDelayLine::tap_delays_ps(
+    const cells::OperatingPoint& op) const {
+  const std::vector<double> exact = tap_delays(op);
+  std::vector<sim::Time> taps;
+  taps.reserve(exact.size());
+  for (double d : exact) {
+    taps.push_back(sim::from_ps(d));
+  }
+  return taps;
+}
+
+}  // namespace ddl::core

@@ -1,0 +1,120 @@
+// Cycle-accurate *behavioral* models of the three DPWM architectures.
+//
+// Behavioral here means: the models compute edge times arithmetically from
+// the architecture's timing rules instead of propagating events through
+// gates, so they run fast enough for closed-loop converter simulation and
+// Monte-Carlo linearity sweeps.  The gate-level netlists (gate_level.h) are
+// the ground truth the behavioral models are tested against.
+//
+// Common duty convention (matches Figures 19/21/23): an n-bit duty word d
+// produces a high time of (d+1)/2^n of the switching period -- word 0 is the
+// minimum pulse (25% for the 2-bit examples), word 2^n-1 is 100%.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ddl/sim/time.h"
+
+namespace ddl::dpwm {
+
+/// One generated PWM period.
+struct PwmPeriod {
+  sim::Time start = 0;    ///< Rising edge (trailing-edge modulation sets
+                          ///< the output at the start of the period).
+  sim::Time high_ps = 0;  ///< Pulse width.
+  sim::Time period_ps = 0;
+  double duty() const noexcept {
+    return period_ps > 0 ? static_cast<double>(high_ps) /
+                               static_cast<double>(period_ps)
+                         : 0.0;
+  }
+};
+
+/// Interface shared by the behavioral DPWM generators: produce the PWM
+/// period starting at `start` for duty word `duty`.
+class DpwmModel {
+ public:
+  virtual ~DpwmModel() = default;
+
+  /// Switching period in ps.
+  virtual sim::Time period_ps() const = 0;
+
+  /// Resolution of the duty input word in bits.
+  virtual int bits() const = 0;
+
+  /// Generates one switching period.  `duty` is masked to `bits()` wide.
+  virtual PwmPeriod generate(sim::Time start, std::uint64_t duty) = 0;
+
+  /// Convenience: generates `count` consecutive periods at constant duty.
+  std::vector<PwmPeriod> generate_train(sim::Time start, std::uint64_t duty,
+                                        std::size_t count);
+};
+
+/// Counter-based DPWM (Figure 18/19): ideal 2^n-fast clock, so the pulse
+/// width is exactly (d+1) fast-clock periods.
+class CounterDpwm final : public DpwmModel {
+ public:
+  CounterDpwm(int n_bits, sim::Time switching_period_ps);
+
+  sim::Time period_ps() const override { return period_; }
+  int bits() const override { return bits_; }
+  PwmPeriod generate(sim::Time start, std::uint64_t duty) override;
+
+  /// The fast clock period T_clk = T_sw / 2^n (Eq 13 rearranged).
+  sim::Time counter_clock_period_ps() const { return period_ >> bits_; }
+
+ private:
+  int bits_;
+  sim::Time period_;
+};
+
+/// Pure delay-line DPWM (Figure 20/21) over *measured* tap delays.
+///
+/// The tap delays come from whatever delay line drives it -- ideal, corner-
+/// derated, or Monte-Carlo mismatched -- so the same model expresses both
+/// the ideal architecture and its post-APR nonlinearity.
+class DelayLineDpwm final : public DpwmModel {
+ public:
+  /// `tap_delays_ps[i]` is the cumulative delay from line input to tap i
+  /// (strictly increasing, one entry per duty code).
+  DelayLineDpwm(std::vector<sim::Time> tap_delays_ps,
+                sim::Time switching_period_ps);
+
+  sim::Time period_ps() const override { return period_; }
+  int bits() const override { return bits_; }
+  PwmPeriod generate(sim::Time start, std::uint64_t duty) override;
+
+  const std::vector<sim::Time>& tap_delays_ps() const { return taps_; }
+
+ private:
+  std::vector<sim::Time> taps_;
+  sim::Time period_;
+  int bits_;
+};
+
+/// Hybrid DPWM (Figure 22/23): counter supplies `n - lsb_bits` MSBs, a
+/// 2^lsb_bits-tap delay line supplies the LSBs.
+class HybridDpwm final : public DpwmModel {
+ public:
+  /// `line_tap_delays_ps` must have 2^lsb_bits entries spanning (ideally)
+  /// one fast-clock period.
+  HybridDpwm(int n_bits, int lsb_bits, std::vector<sim::Time> line_tap_delays_ps,
+             sim::Time switching_period_ps);
+
+  sim::Time period_ps() const override { return period_; }
+  int bits() const override { return bits_; }
+  PwmPeriod generate(sim::Time start, std::uint64_t duty) override;
+
+  sim::Time counter_clock_period_ps() const {
+    return period_ >> (bits_ - lsb_bits_);
+  }
+
+ private:
+  int bits_;
+  int lsb_bits_;
+  std::vector<sim::Time> taps_;
+  sim::Time period_;
+};
+
+}  // namespace ddl::dpwm

@@ -1,0 +1,81 @@
+// Event-accurate gate/RTL-level DPWM netlists on the ddl::sim kernel.
+//
+// These are the ground-truth implementations behind the behavioral models:
+// the delay path (buffer chain + MUX2 tap-selection tree) is built from real
+// gate primitives with technology delays, while the synchronous control
+// (counter, comparator) is expressed as clocked RTL processes with flip-flop
+// clock-to-Q delays, the same abstraction level as the thesis's Verilog.
+// The timing-diagram benches (Figures 17/19/21/23) run these netlists and
+// print the resulting waveforms.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "ddl/sim/bus.h"
+#include "ddl/sim/flipflop.h"
+#include "ddl/sim/gates.h"
+#include "ddl/sim/simulator.h"
+
+namespace ddl::dpwm {
+
+/// Trailing-edge modulation flop (Figure 16): output goes high on a rising
+/// `set` edge and low on a rising `reset` edge; on a tie, set wins (the
+/// 100%-duty case where reset coincides with the next period start).
+///
+/// `blanking_ps`: reset edges arriving within this window after a set are
+/// ignored.  Physical delay-line DPWMs need this because the tap-selection
+/// mux adds latency to the reset path: when the selected tap delay equals
+/// the full period (the 100%-duty word), the reset emerges just *after* the
+/// next set and must not truncate the new pulse.
+class TrailingEdgeModulator {
+ public:
+  TrailingEdgeModulator(sim::NetlistContext& ctx, sim::SignalId set,
+                        sim::SignalId reset, sim::SignalId out,
+                        double blanking_ps = 0.0);
+
+ private:
+  sim::Simulator* sim_;
+  sim::SignalId out_;
+  std::uint32_t driver_;
+  sim::Time clk_to_q_;
+  sim::Time blanking_;
+  sim::Time last_set_ = -1;
+};
+
+/// A constructed DPWM instance: the output plus the signals a testbench or
+/// waveform bench wants to watch.
+struct DpwmNetlist {
+  sim::SignalId out;               ///< The DPWM output.
+  sim::SignalId reset_pulse;       ///< Internal R (trailing-edge reset).
+  sim::Bus duty;                   ///< Duty-word input bus.
+  std::vector<sim::SignalId> taps; ///< Delay-line taps (empty for counter).
+  // Keep-alive for owned sequential primitives.
+  std::vector<std::shared_ptr<void>> keepalive;
+};
+
+/// Counter-based DPWM (Figure 18): n-bit counter clocked by `fast_clk`
+/// (which must run at 2^n x the switching rate), comparator against the duty
+/// word, trailing-edge output.
+DpwmNetlist build_counter_dpwm(sim::NetlistContext& ctx, int n_bits,
+                               sim::SignalId fast_clk);
+
+/// Pure delay-line DPWM (Figure 20): the switching clock propagates down a
+/// 2^n-buffer chain; the duty word picks the reset tap through a MUX2 tree.
+/// `cell_delays_ps` (optional, size 2^n) supplies per-cell mismatched
+/// delays.
+DpwmNetlist build_delay_line_dpwm(sim::NetlistContext& ctx, int n_bits,
+                                  sim::SignalId switching_clk,
+                                  const std::vector<double>& cell_delays_ps = {});
+
+/// Hybrid DPWM (Figure 22): `counter_bits` MSBs from a counter on
+/// `fast_clk`, `n_bits - counter_bits` LSBs from a delay line spanning one
+/// fast-clock period.  `line_cell_delay_ps` sizes each line cell (pass
+/// fast_clk_period / 2^lsb_bits for the calibrated Figure 22 geometry);
+/// negative uses a single technology buffer per cell (uncalibrated).
+DpwmNetlist build_hybrid_dpwm(sim::NetlistContext& ctx, int n_bits,
+                              int counter_bits, sim::SignalId fast_clk,
+                              double line_cell_delay_ps = -1.0);
+
+}  // namespace ddl::dpwm

@@ -1,0 +1,45 @@
+// Gate-level self-oscillating structures on the event kernel: a cross-
+// coupled NOR SR latch and a free-running ring oscillator.
+//
+// These exercise the kernel's *feedback* behaviour -- closed combinational
+// loops that sustain their own events -- which none of the feed-forward
+// DPWM netlists touch.  The ring is the gate-level ground truth for
+// dpwm::RingOscillatorDpwm: its measured period must equal two laps of the
+// chain plus the closing inverter.
+#pragma once
+
+#include <vector>
+
+#include "ddl/sim/gates.h"
+
+namespace ddl::dpwm {
+
+/// Cross-coupled NOR SR latch (the classic bistable): q / q_n outputs.
+/// set/reset are active-high; simultaneous assertion is the usual forbidden
+/// state (both outputs low).
+struct SrLatch {
+  sim::SignalId q;
+  sim::SignalId q_n;
+};
+
+SrLatch build_sr_latch(sim::NetlistContext& ctx, sim::SignalId set,
+                       sim::SignalId reset, const std::string& name);
+
+/// A free-running ring oscillator: `stages` buffer cells (each
+/// `buffers_per_stage` buffers) closed through an enable NAND (the closing
+/// inversion and the start gate in one cell).
+///
+/// Start-up protocol: hold `enable` low for at least one lap so the chain
+/// flushes to a known 1 (an undriven loop would circulate X forever), then
+/// raise it; the loop oscillates with period = 2 x (lap + NAND delay).
+struct GateLevelRing {
+  sim::SignalId out;                  ///< The oscillating node.
+  std::vector<sim::SignalId> taps;    ///< After each stage.
+};
+
+GateLevelRing build_ring_oscillator(sim::NetlistContext& ctx,
+                                    sim::SignalId enable, std::size_t stages,
+                                    int buffers_per_stage,
+                                    const std::vector<double>& stage_delays_ps = {});
+
+}  // namespace ddl::dpwm

@@ -1,0 +1,82 @@
+// Resource-requirement calculators for the three DPWM families.
+//
+// Encodes the sizing arithmetic of thesis section 2.2:
+//   * Eq 11/12 -- output voltage and voltage resolution of the regulator;
+//   * Eq 13    -- counter-based DPWM clock:  f_clk = 2^n * f_sw;
+//   * Eq 14    -- dynamic power  P = a * C * Vdd^2 * f;
+//   * Eq 15    -- delay-line DPWM cell count:  N = 2^n;
+//   * hybrid   -- n = n_counter + n_delay_line, clock = 2^n_counter * f_sw,
+//                 cells = 2^n_delay_line (Figure 22's example: 5 bits as
+//                 3 msb counter + 2 lsb line).
+// These feed Table 2 ("counter: clock/power high, area small; delay line:
+// the reverse") and the design-space bench.
+#pragma once
+
+#include <cstdint>
+
+#include "ddl/cells/technology.h"
+
+namespace ddl::dpwm {
+
+/// Eq 11: average converter output for input Vg at the given duty cycle.
+constexpr double output_voltage(double vg, double duty) noexcept {
+  return duty * vg;
+}
+
+/// Eq 12: output-voltage LSB of an n-bit DPWM driving input Vg.
+constexpr double voltage_resolution(double vg, int n_bits) noexcept {
+  return vg / static_cast<double>(std::uint64_t{1} << n_bits);
+}
+
+/// Minimum DPWM bits for a target voltage resolution (ceil).
+int required_bits(double vg, double volts_per_lsb) noexcept;
+
+/// Eq 13: counter-based DPWM clock frequency in Hz.
+constexpr double counter_clock_hz(int n_bits, double f_switching_hz) noexcept {
+  return static_cast<double>(std::uint64_t{1} << n_bits) * f_switching_hz;
+}
+
+/// Eq 15: pure delay-line DPWM cell count.
+constexpr std::uint64_t delay_line_cells(int n_bits) noexcept {
+  return std::uint64_t{1} << n_bits;
+}
+
+/// Eq 14: dynamic power in watts.
+constexpr double dynamic_power_w(double activity, double switched_cap_f,
+                                 double vdd, double f_clk_hz) noexcept {
+  return activity * switched_cap_f * vdd * vdd * f_clk_hz;
+}
+
+/// Resources one DPWM architecture needs for a given resolution.
+struct Requirements {
+  double clock_hz = 0.0;        ///< Fastest clock anywhere in the block.
+  std::uint64_t delay_cells = 0;  ///< Delay-line cells (0 for pure counter).
+  std::uint64_t flip_flops = 0;   ///< Sequential elements.
+  std::uint64_t mux2_count = 0;   ///< Tap-selection MUX2 cells.
+  double area_um2 = 0.0;        ///< First-order standard-cell area.
+  double power_w = 0.0;         ///< First-order dynamic power (Eq 14).
+};
+
+/// Counter-based DPWM (Figure 18): n-bit counter + comparator, clocked at
+/// 2^n * f_sw.
+Requirements counter_requirements(int n_bits, double f_switching_hz,
+                                  const cells::Technology& tech);
+
+/// Pure delay-line DPWM (Figure 20): 2^n cells + 2^n:1 mux, clocked at f_sw.
+Requirements delay_line_requirements(int n_bits, double f_switching_hz,
+                                     const cells::Technology& tech);
+
+/// Hybrid DPWM (Figure 22): counter for the top `counter_bits`, delay line
+/// for the remaining bits.
+Requirements hybrid_requirements(int n_bits, int counter_bits,
+                                 double f_switching_hz,
+                                 const cells::Technology& tech);
+
+/// The counter_bits choice minimizing a weighted area/power cost for a
+/// hybrid DPWM; the tradeoff knob behind "best compromise between area and
+/// power" (section 2.2.3).
+int best_hybrid_split(int n_bits, double f_switching_hz,
+                      const cells::Technology& tech,
+                      double power_weight_w_per_um2 = 1e-6);
+
+}  // namespace ddl::dpwm

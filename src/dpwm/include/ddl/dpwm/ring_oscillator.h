@@ -1,0 +1,59 @@
+// Ring-oscillator (self-clocked) DPWM -- the remaining architecture family
+// from the thesis's reference [31] ("Digital pulse width modulator
+// architectures"): instead of locking a delay line to an external clock,
+// the line closes on itself and *is* the clock.
+//
+// Virtue: no external clock or calibration loop at all.  Vice, and the
+// reason the thesis's clocked schemes exist: the switching frequency is now
+// a raw function of cell delay, so it drifts with the full 4x PVT spread --
+// the converter's output filter and control loop see a 4x frequency range.
+// This model quantifies that trade against the calibrated lines.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "ddl/cells/operating_point.h"
+#include "ddl/cells/technology.h"
+#include "ddl/dpwm/behavioral.h"
+
+namespace ddl::dpwm {
+
+/// Configuration: `stages` delay cells in the ring (power of two), each of
+/// `buffers_per_stage` buffers plus the closing inversion.
+struct RingDpwmConfig {
+  std::size_t stages = 64;
+  int buffers_per_stage = 2;
+};
+
+/// Behavioral ring-oscillator DPWM.
+class RingOscillatorDpwm final : public DpwmModel {
+ public:
+  /// The ring is "fabricated" at construction (mismatch per stage) but its
+  /// period is evaluated per call at the operating point -- self-clocked
+  /// hardware drifts live with the environment.
+  RingOscillatorDpwm(const cells::Technology& tech, RingDpwmConfig config,
+                     std::uint64_t mismatch_seed = 0);
+
+  /// Oscillation period at the *current* operating point: one lap of the
+  /// ring charges each edge, two laps make a full cycle.
+  sim::Time period_ps() const override;
+  int bits() const override;
+
+  PwmPeriod generate(sim::Time start, std::uint64_t duty) override;
+
+  /// Environment hook (mirrors the calibrated systems').
+  void set_operating_point(const cells::OperatingPoint& op) { op_ = op; }
+
+  /// Oscillation frequency in MHz at an operating point.
+  double frequency_mhz(const cells::OperatingPoint& op) const;
+
+ private:
+  double lap_ps(const cells::OperatingPoint& op) const;
+
+  RingDpwmConfig config_;
+  std::vector<double> stage_typical_ps_;
+  cells::OperatingPoint op_ = cells::OperatingPoint::typical();
+};
+
+}  // namespace ddl::dpwm

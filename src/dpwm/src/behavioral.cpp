@@ -1,0 +1,108 @@
+#include "ddl/dpwm/behavioral.h"
+
+#include <algorithm>
+#include <bit>
+#include <cassert>
+#include <stdexcept>
+
+namespace ddl::dpwm {
+
+std::vector<PwmPeriod> DpwmModel::generate_train(sim::Time start,
+                                                 std::uint64_t duty,
+                                                 std::size_t count) {
+  std::vector<PwmPeriod> train;
+  train.reserve(count);
+  sim::Time t = start;
+  for (std::size_t i = 0; i < count; ++i) {
+    train.push_back(generate(t, duty));
+    t += period_ps();
+  }
+  return train;
+}
+
+CounterDpwm::CounterDpwm(int n_bits, sim::Time switching_period_ps)
+    : bits_(n_bits), period_(switching_period_ps) {
+  if (n_bits < 1 || n_bits > 30) {
+    throw std::invalid_argument("CounterDpwm: bits out of range");
+  }
+  if (switching_period_ps % (sim::Time{1} << n_bits) != 0) {
+    throw std::invalid_argument(
+        "CounterDpwm: period must divide evenly into 2^n counter ticks");
+  }
+}
+
+PwmPeriod CounterDpwm::generate(sim::Time start, std::uint64_t duty) {
+  const std::uint64_t mask = (std::uint64_t{1} << bits_) - 1;
+  duty &= mask;
+  PwmPeriod out;
+  out.start = start;
+  out.period_ps = period_;
+  // The output sets when the counter wraps to 0 and resets when the counter
+  // reaches duty+1 (word 0 -> one counter tick high; word max -> 100%).
+  out.high_ps = static_cast<sim::Time>(duty + 1) * counter_clock_period_ps();
+  return out;
+}
+
+DelayLineDpwm::DelayLineDpwm(std::vector<sim::Time> tap_delays_ps,
+                             sim::Time switching_period_ps)
+    : taps_(std::move(tap_delays_ps)), period_(switching_period_ps) {
+  if (taps_.empty() || !std::has_single_bit(taps_.size())) {
+    throw std::invalid_argument(
+        "DelayLineDpwm: tap count must be a nonzero power of two");
+  }
+  if (!std::is_sorted(taps_.begin(), taps_.end())) {
+    throw std::invalid_argument("DelayLineDpwm: tap delays must increase");
+  }
+  bits_ = std::bit_width(taps_.size()) - 1;
+}
+
+PwmPeriod DelayLineDpwm::generate(sim::Time start, std::uint64_t duty) {
+  duty &= taps_.size() - 1;
+  PwmPeriod out;
+  out.start = start;
+  out.period_ps = period_;
+  // Trailing-edge modulation: set at the period start, reset when the pulse
+  // emerges from the selected tap (tap i = cumulative delay through cells
+  // 0..i, so word 0 -> one cell of high time, word max -> the full line).
+  out.high_ps = std::min(taps_[duty], period_);
+  return out;
+}
+
+HybridDpwm::HybridDpwm(int n_bits, int lsb_bits,
+                       std::vector<sim::Time> line_tap_delays_ps,
+                       sim::Time switching_period_ps)
+    : bits_(n_bits),
+      lsb_bits_(lsb_bits),
+      taps_(std::move(line_tap_delays_ps)),
+      period_(switching_period_ps) {
+  if (lsb_bits < 1 || lsb_bits >= n_bits) {
+    throw std::invalid_argument("HybridDpwm: invalid bit split");
+  }
+  if (taps_.size() != (std::size_t{1} << lsb_bits)) {
+    throw std::invalid_argument(
+        "HybridDpwm: line must supply 2^lsb_bits taps");
+  }
+  if (period_ % (sim::Time{1} << (n_bits - lsb_bits)) != 0) {
+    throw std::invalid_argument(
+        "HybridDpwm: period must divide into counter ticks");
+  }
+}
+
+PwmPeriod HybridDpwm::generate(sim::Time start, std::uint64_t duty) {
+  const std::uint64_t mask = (std::uint64_t{1} << bits_) - 1;
+  duty &= mask;
+  const std::uint64_t lsb_mask = (std::uint64_t{1} << lsb_bits_) - 1;
+  const std::uint64_t msb = duty >> lsb_bits_;
+  const std::uint64_t lsb = duty & lsb_mask;
+  PwmPeriod out;
+  out.start = start;
+  out.period_ps = period_;
+  // Counter positions the coarse edge at msb fast-clock ticks; the delclk
+  // pulse then propagates to delay-line tap `lsb` (Figure 23).
+  out.high_ps = std::min<sim::Time>(
+      static_cast<sim::Time>(msb) * counter_clock_period_ps() + taps_[lsb],
+      period_);
+  return out;
+}
+
+}  // namespace ddl::dpwm

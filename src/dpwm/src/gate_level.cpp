@@ -1,0 +1,177 @@
+#include "ddl/dpwm/gate_level.h"
+
+#include <algorithm>
+#include <cassert>
+#include <string>
+
+namespace ddl::dpwm {
+
+using cells::CellKind;
+using sim::Logic;
+using sim::NetlistContext;
+using sim::SignalEvent;
+using sim::SignalId;
+using sim::Time;
+
+TrailingEdgeModulator::TrailingEdgeModulator(NetlistContext& ctx, SignalId set,
+                                             SignalId reset, SignalId out,
+                                             double blanking_ps)
+    : sim_(ctx.sim),
+      out_(out),
+      driver_(ctx.sim->allocate_driver()),
+      clk_to_q_(sim::from_ps(ctx.delay_ps(CellKind::kDffReset))),
+      blanking_(sim::from_ps(blanking_ps)) {
+  sim_->on_rising(set, [this](const SignalEvent& event) {
+    last_set_ = event.time;
+    sim_->schedule(out_, Logic::k1, clk_to_q_, driver_);
+  });
+  sim_->on_rising(reset, [this](const SignalEvent& event) {
+    if (last_set_ >= 0 && event.time - last_set_ <= blanking_) {
+      return;  // Set wins inside the blanking window (100% duty case).
+    }
+    sim_->schedule(out_, Logic::k0, clk_to_q_, driver_);
+  });
+}
+
+DpwmNetlist build_counter_dpwm(NetlistContext& ctx, int n_bits,
+                               SignalId fast_clk) {
+  sim::Simulator& sim = *ctx.sim;
+  DpwmNetlist net;
+  net.duty = sim::Bus(sim, "duty", static_cast<std::size_t>(n_bits));
+  net.duty.use_driver(sim);
+  net.out = sim.add_signal("dpwm_out", Logic::k0);
+  net.reset_pulse = sim.add_signal("reset_R", Logic::k0);
+  SignalId set_pulse = sim.add_signal("set_S", Logic::k0);
+
+  const std::uint64_t mask = (std::uint64_t{1} << n_bits) - 1;
+  const Time clk_to_q = sim::from_ps(ctx.delay_ps(CellKind::kDff));
+
+  // n-bit synchronous counter + equality comparator, as one clocked RTL
+  // process (state in shared_ptr so the netlist owns it).
+  auto counter = std::make_shared<std::uint64_t>(mask);  // wraps to 0 first.
+  const std::uint32_t set_driver = sim.allocate_driver();
+  const std::uint32_t reset_driver = sim.allocate_driver();
+  sim::Bus duty = net.duty;
+  SignalId reset_pulse = net.reset_pulse;
+  sim.on_rising(fast_clk, [&sim, counter, mask, duty, set_pulse, reset_pulse,
+                           clk_to_q, set_driver, reset_driver](
+                              const SignalEvent&) {
+    *counter = (*counter + 1) & mask;
+    const std::uint64_t duty_word = duty.read_or_zero(sim) & mask;
+    // Set when the counter wraps; reset when it reaches duty+1.  duty = max
+    // makes duty+1 wrap to 0, where set wins -> 100% duty.
+    const bool set_now = *counter == 0;
+    const bool reset_now = *counter == ((duty_word + 1) & mask);
+    sim.schedule(set_pulse, sim::from_bool(set_now), clk_to_q, set_driver);
+    sim.schedule(reset_pulse, sim::from_bool(reset_now), clk_to_q,
+                 reset_driver);
+  });
+
+  auto modulator = std::make_shared<TrailingEdgeModulator>(
+      ctx, set_pulse, net.reset_pulse, net.out);
+  net.keepalive.push_back(std::move(modulator));
+  return net;
+}
+
+DpwmNetlist build_delay_line_dpwm(NetlistContext& ctx, int n_bits,
+                                  SignalId switching_clk,
+                                  const std::vector<double>& cell_delays_ps) {
+  sim::Simulator& sim = *ctx.sim;
+  DpwmNetlist net;
+  const std::size_t cells = std::size_t{1} << n_bits;
+  assert(cell_delays_ps.empty() || cell_delays_ps.size() == cells);
+
+  net.duty = sim::Bus(sim, "duty", static_cast<std::size_t>(n_bits));
+  net.duty.use_driver(sim);
+  net.out = sim.add_signal("dpwm_out", Logic::k0);
+
+  // The clock itself propagates down the buffer chain (Figure 20).
+  net.taps = sim::make_buffer_chain(ctx, switching_clk, cells, cell_delays_ps);
+
+  // Tap-selection MUX2 tree; its own gate delays are part of the netlist's
+  // realism (a constant offset on every tap, as in silicon).
+  net.reset_pulse =
+      sim::make_mux_tree(ctx, net.taps, net.duty.bits(), "tapsel");
+
+  // Blanking: the mux latency plus half the shortest cell, so the 100%-duty
+  // tap (reset emerging right after the next set) does not truncate the new
+  // pulse, while every legitimate reset (>= one cell later) still lands.
+  const double mux_latency_ps =
+      static_cast<double>(n_bits) * ctx.delay_ps(CellKind::kMux2);
+  double min_cell_ps = ctx.delay_ps(CellKind::kBuffer);
+  for (double d : cell_delays_ps) {
+    min_cell_ps = std::min(min_cell_ps, d);
+  }
+  auto modulator = std::make_shared<TrailingEdgeModulator>(
+      ctx, switching_clk, net.reset_pulse, net.out,
+      mux_latency_ps + 0.5 * min_cell_ps);
+  net.keepalive.push_back(std::move(modulator));
+  return net;
+}
+
+DpwmNetlist build_hybrid_dpwm(NetlistContext& ctx, int n_bits,
+                              int counter_bits, SignalId fast_clk,
+                              double line_cell_delay_ps) {
+  sim::Simulator& sim = *ctx.sim;
+  assert(counter_bits >= 1 && counter_bits < n_bits);
+  const int lsb_bits = n_bits - counter_bits;
+  const std::size_t line_cells = std::size_t{1} << lsb_bits;
+
+  DpwmNetlist net;
+  net.duty = sim::Bus(sim, "duty", static_cast<std::size_t>(n_bits));
+  net.duty.use_driver(sim);
+  net.out = sim.add_signal("dpwm_out", Logic::k0);
+  SignalId set_pulse = sim.add_signal("set_S", Logic::k0);
+  SignalId delclk = sim.add_signal("delclk", Logic::k0);
+
+  const std::uint64_t counter_mask = (std::uint64_t{1} << counter_bits) - 1;
+  const std::uint64_t lsb_mask = (std::uint64_t{1} << lsb_bits) - 1;
+  const Time clk_to_q = sim::from_ps(ctx.delay_ps(CellKind::kDff));
+
+  auto counter = std::make_shared<std::uint64_t>(counter_mask);
+  const std::uint32_t set_driver = sim.allocate_driver();
+  const std::uint32_t delclk_driver = sim.allocate_driver();
+  sim::Bus duty = net.duty;
+  sim.on_rising(fast_clk, [&sim, counter, counter_mask, lsb_bits, lsb_mask,
+                           duty, set_pulse, delclk, clk_to_q, set_driver,
+                           delclk_driver](const SignalEvent&) {
+    *counter = (*counter + 1) & counter_mask;
+    const std::uint64_t word = duty.read_or_zero(sim);
+    const std::uint64_t msb = (word >> lsb_bits) & counter_mask;
+    const std::uint64_t lsb = word & lsb_mask;
+    sim.schedule(set_pulse, sim::from_bool(*counter == 0), clk_to_q,
+                 set_driver);
+    // delclk fires on the tick where the counter matches msb(duty); the
+    // delay line then adds (lsb+1) cell delays.  With the unified duty
+    // convention (high = (d+1) steps), lsb = max must spill into the next
+    // counter tick, which tap line_cells-1 = one full fast period provides.
+    sim.schedule(delclk, sim::from_bool(*counter == msb), clk_to_q,
+                 delclk_driver);
+    (void)lsb;
+  });
+
+  // Delay line spanning one fast-clock period (Figure 22's four cells).
+  std::vector<double> cell_delays;
+  if (line_cell_delay_ps > 0.0) {
+    cell_delays.assign(line_cells, line_cell_delay_ps);
+  }
+  net.taps = sim::make_buffer_chain(ctx, delclk, line_cells, cell_delays);
+  std::vector<SignalId> lsb_selects(net.duty.bits().begin(),
+                                    net.duty.bits().begin() + lsb_bits);
+  net.reset_pulse = sim::make_mux_tree(ctx, net.taps, lsb_selects, "lsbsel");
+
+  // Same blanking rationale as the pure delay line: the all-ones word's
+  // reset emerges one mux latency after the next set and must not clip it.
+  const double mux_latency_ps =
+      static_cast<double>(lsb_bits) * ctx.delay_ps(CellKind::kMux2);
+  const double cell_ps = line_cell_delay_ps > 0.0
+                             ? line_cell_delay_ps
+                             : ctx.delay_ps(CellKind::kBuffer);
+  auto modulator = std::make_shared<TrailingEdgeModulator>(
+      ctx, set_pulse, net.reset_pulse, net.out,
+      mux_latency_ps + 0.5 * cell_ps);
+  net.keepalive.push_back(std::move(modulator));
+  return net;
+}
+
+}  // namespace ddl::dpwm

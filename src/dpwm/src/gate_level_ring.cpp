@@ -1,0 +1,55 @@
+#include "ddl/dpwm/gate_level_ring.h"
+
+#include <cassert>
+#include <string>
+
+namespace ddl::dpwm {
+
+using cells::CellKind;
+using sim::SignalId;
+
+SrLatch build_sr_latch(sim::NetlistContext& ctx, sim::SignalId set,
+                       sim::SignalId reset, const std::string& name) {
+  sim::Simulator& sim = *ctx.sim;
+  SrLatch latch;
+  // Seed the feedback nodes to a known state (reset dominant at power-on);
+  // undriven X would otherwise lock the loop in X forever.
+  latch.q = sim.add_signal(name + ".q", sim::Logic::k0);
+  latch.q_n = sim.add_signal(name + ".qn", sim::Logic::k1);
+  // q   = NOR(reset, q_n);  q_n = NOR(set, q).
+  sim::make_nor2(ctx, reset, latch.q_n, latch.q);
+  sim::make_nor2(ctx, set, latch.q, latch.q_n);
+  return latch;
+}
+
+GateLevelRing build_ring_oscillator(
+    sim::NetlistContext& ctx, sim::SignalId enable, std::size_t stages,
+    int buffers_per_stage, const std::vector<double>& stage_delays_ps) {
+  assert(stages >= 1);
+  assert(stage_delays_ps.empty() || stage_delays_ps.size() == stages);
+  sim::Simulator& sim = *ctx.sim;
+
+  GateLevelRing ring;
+  // The loop head: NAND(enable, feedback) acts as the closing inversion and
+  // the oscillation gate in one cell.  Seeded LOW so the NAND's first
+  // evaluation (enable transitioning to 0) creates a genuine 0->1 edge that
+  // flushes the chain -- a loop that never transitions stays X forever.
+  ring.out = sim.add_signal("ring.head", sim::Logic::k0);
+  SignalId previous = ring.out;
+  ring.taps.reserve(stages);
+  for (std::size_t s = 0; s < stages; ++s) {
+    SignalId stage_out = sim.add_signal("ring.tap" + std::to_string(s));
+    const double delay =
+        stage_delays_ps.empty()
+            ? ctx.delay_ps(CellKind::kBuffer) * buffers_per_stage
+            : stage_delays_ps[s];
+    sim::make_unary_gate(ctx, CellKind::kBuffer, previous, stage_out, delay);
+    ring.taps.push_back(stage_out);
+    previous = stage_out;
+  }
+  // Close the loop: head = NAND(enable, last tap).
+  sim::make_nand2(ctx, enable, ring.taps.back(), ring.out);
+  return ring;
+}
+
+}  // namespace ddl::dpwm

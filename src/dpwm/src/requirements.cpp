@@ -1,0 +1,111 @@
+#include "ddl/dpwm/requirements.h"
+
+#include <cmath>
+#include <limits>
+
+namespace ddl::dpwm {
+
+namespace {
+
+using cells::CellKind;
+using cells::Technology;
+
+// First-order switched capacitance proxy: energy_fj / Vdd^2 at nominal Vdd,
+// summed over the block's cells, times an activity factor.
+double block_power_w(double cell_energy_fj_sum, double activity,
+                     double f_clk_hz) {
+  // energy per toggle (fJ) * toggles/s * activity.
+  return cell_energy_fj_sum * 1e-15 * activity * f_clk_hz;
+}
+
+}  // namespace
+
+int required_bits(double vg, double volts_per_lsb) noexcept {
+  int bits = 0;
+  while (voltage_resolution(vg, bits) > volts_per_lsb && bits < 63) {
+    ++bits;
+  }
+  return bits;
+}
+
+Requirements counter_requirements(int n_bits, double f_switching_hz,
+                                  const Technology& tech) {
+  Requirements req;
+  req.clock_hz = counter_clock_hz(n_bits, f_switching_hz);
+  req.delay_cells = 0;
+  // n-bit counter (DFF + half-adder increment per bit), n-bit equality
+  // comparator (XNOR + AND tree), SR output flop.
+  req.flip_flops = static_cast<std::uint64_t>(n_bits) + 1;
+  req.mux2_count = 0;
+  const double n = n_bits;
+  req.area_um2 = n * (tech.area_um2(CellKind::kDff) +
+                      tech.area_um2(CellKind::kHalfAdder) +
+                      tech.area_um2(CellKind::kXnor2) +
+                      tech.area_um2(CellKind::kAnd2)) +
+                 tech.area_um2(CellKind::kDffReset);
+  const double energy =
+      n * (tech.cell(CellKind::kDff).energy_fj +
+           tech.cell(CellKind::kHalfAdder).energy_fj +
+           tech.cell(CellKind::kXnor2).energy_fj) +
+      tech.cell(CellKind::kDffReset).energy_fj;
+  req.power_w = block_power_w(energy, /*activity=*/0.4, req.clock_hz);
+  return req;
+}
+
+Requirements delay_line_requirements(int n_bits, double f_switching_hz,
+                                     const Technology& tech) {
+  Requirements req;
+  req.clock_hz = f_switching_hz;
+  req.delay_cells = delay_line_cells(n_bits);
+  req.flip_flops = 1;  // Output SR flop.
+  req.mux2_count = req.delay_cells - 1;
+  req.area_um2 =
+      static_cast<double>(req.delay_cells) * tech.area_um2(CellKind::kBuffer) +
+      static_cast<double>(req.mux2_count) * tech.area_um2(CellKind::kMux2) +
+      tech.area_um2(CellKind::kDffReset);
+  // Per switching period, the pulse ripples through the whole line once:
+  // every buffer toggles twice (rise + fall).
+  const double energy =
+      2.0 * static_cast<double>(req.delay_cells) *
+          tech.cell(CellKind::kBuffer).energy_fj +
+      tech.cell(CellKind::kDffReset).energy_fj;
+  req.power_w = block_power_w(energy, /*activity=*/1.0, f_switching_hz);
+  return req;
+}
+
+Requirements hybrid_requirements(int n_bits, int counter_bits,
+                                 double f_switching_hz,
+                                 const Technology& tech) {
+  const int line_bits = n_bits - counter_bits;
+  Requirements counter =
+      counter_requirements(counter_bits, f_switching_hz, tech);
+  Requirements line =
+      delay_line_requirements(line_bits, counter.clock_hz, tech);
+  Requirements req;
+  req.clock_hz = counter.clock_hz;
+  req.delay_cells = line.delay_cells;
+  req.flip_flops = counter.flip_flops + line.flip_flops;
+  req.mux2_count = line.mux2_count;
+  req.area_um2 = counter.area_um2 + line.area_um2;
+  req.power_w = counter.power_w + line.power_w;
+  return req;
+}
+
+int best_hybrid_split(int n_bits, double f_switching_hz,
+                      const Technology& tech,
+                      double power_weight_w_per_um2) {
+  int best = 0;
+  double best_cost = std::numeric_limits<double>::infinity();
+  for (int counter_bits = 0; counter_bits <= n_bits; ++counter_bits) {
+    const Requirements req =
+        hybrid_requirements(n_bits, counter_bits, f_switching_hz, tech);
+    const double cost = req.area_um2 + req.power_w / power_weight_w_per_um2;
+    if (cost < best_cost) {
+      best_cost = cost;
+      best = counter_bits;
+    }
+  }
+  return best;
+}
+
+}  // namespace ddl::dpwm

@@ -1,0 +1,77 @@
+#include "ddl/dpwm/ring_oscillator.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+#include "ddl/cells/mismatch.h"
+
+namespace ddl::dpwm {
+
+RingOscillatorDpwm::RingOscillatorDpwm(const cells::Technology& tech,
+                                       RingDpwmConfig config,
+                                       std::uint64_t mismatch_seed)
+    : config_(config) {
+  if (config.stages < 2 || !std::has_single_bit(config.stages)) {
+    throw std::invalid_argument(
+        "RingOscillatorDpwm: stages must be a power of two >= 2");
+  }
+  if (config.buffers_per_stage < 1) {
+    throw std::invalid_argument("RingOscillatorDpwm: invalid stage size");
+  }
+  const double nominal =
+      tech.typical_delay_ps(cells::CellKind::kBuffer) *
+      config.buffers_per_stage;
+  if (mismatch_seed == 0) {
+    stage_typical_ps_.assign(config.stages, nominal);
+  } else {
+    cells::MismatchSampler sampler(tech, mismatch_seed);
+    for (std::size_t i = 0; i < config.stages; ++i) {
+      stage_typical_ps_.push_back(sampler.sample_series_delay_ps(
+          cells::CellKind::kBuffer, cells::OperatingPoint::typical(),
+          static_cast<std::size_t>(config.buffers_per_stage)));
+    }
+  }
+}
+
+double RingOscillatorDpwm::lap_ps(const cells::OperatingPoint& op) const {
+  double lap = 0.0;
+  for (double stage : stage_typical_ps_) {
+    lap += stage;
+  }
+  return lap * cells::delay_derating(op);
+}
+
+sim::Time RingOscillatorDpwm::period_ps() const {
+  // A full oscillation = two laps (the inverting closure flips each lap).
+  return sim::from_ps(2.0 * lap_ps(op_));
+}
+
+int RingOscillatorDpwm::bits() const {
+  return std::bit_width(config_.stages) - 1;
+}
+
+double RingOscillatorDpwm::frequency_mhz(
+    const cells::OperatingPoint& op) const {
+  return 1e6 / (2.0 * lap_ps(op));
+}
+
+PwmPeriod RingOscillatorDpwm::generate(sim::Time start, std::uint64_t duty) {
+  duty &= config_.stages - 1;
+  PwmPeriod out;
+  out.start = start;
+  out.period_ps = period_ps();
+  // Tap (duty+1) stages into the lap; the half-period tap = 50% duty by
+  // construction -- the ring is inherently "calibrated" to itself, which
+  // is its one PVT virtue: *duty* is ratiometric even though *frequency*
+  // drifts.
+  double tap = 0.0;
+  for (std::uint64_t i = 0; i <= duty; ++i) {
+    tap += stage_typical_ps_[i];
+  }
+  out.high_ps = std::min<sim::Time>(
+      sim::from_ps(2.0 * tap * cells::delay_derating(op_)), out.period_ps);
+  return out;
+}
+
+}  // namespace ddl::dpwm

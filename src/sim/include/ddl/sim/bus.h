@@ -1,0 +1,48 @@
+// Multi-bit bus helpers over scalar signals (LSB-first bit ordering).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ddl/sim/simulator.h"
+
+namespace ddl::sim {
+
+/// A named group of scalar signals treated as an unsigned integer,
+/// LSB first.  Buses are plain value types; the signals live in the kernel.
+class Bus {
+ public:
+  Bus() = default;
+
+  /// Creates `width` signals named "<name>[i]".
+  Bus(Simulator& sim, const std::string& name, std::size_t width,
+      Logic initial = Logic::kX);
+
+  std::size_t width() const noexcept { return bits_.size(); }
+  SignalId bit(std::size_t i) const { return bits_[i]; }
+  const std::vector<SignalId>& bits() const noexcept { return bits_; }
+
+  /// Drives the bus to an unsigned value after `delay` (default driver lane 0
+  /// unless a lane was allocated with `use_driver`).
+  void drive(Simulator& sim, std::uint64_t value, Time delay = 0) const;
+
+  /// Reads the bus as unsigned.  Returns false if any bit is X/Z.
+  bool read(const Simulator& sim, std::uint64_t* value) const;
+
+  /// Reads the bus treating X/Z bits as 0 (for monitors that tolerate
+  /// start-up unknowns).
+  std::uint64_t read_or_zero(const Simulator& sim) const;
+
+  /// Registers `process` on every bit change of the bus.
+  void on_change(Simulator& sim, Simulator::Process process) const;
+
+  /// Allocates a dedicated driver lane for this bus's drive() calls.
+  void use_driver(Simulator& sim);
+
+ private:
+  std::vector<SignalId> bits_;
+  std::uint32_t driver_ = 0;
+};
+
+}  // namespace ddl::sim

@@ -1,0 +1,87 @@
+// Sequential primitives: D flip-flop with setup/hold and metastability
+// modeling, and the 2-FF synchronizer of thesis Figures 38/39.
+//
+// The delay-line controllers sample *asynchronous* tap signals with
+// flip-flops, so the flop here checks the library's setup/hold window around
+// every capturing clock edge.  A violation drives Q to X for a configurable
+// resolution time, after which Q settles to a pseudo-random (seeded) binary
+// value -- the behaviour a synchronizer chain is designed to contain.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <random>
+#include <vector>
+
+#include "ddl/sim/gates.h"
+#include "ddl/sim/simulator.h"
+
+namespace ddl::sim {
+
+/// Statistics a flip-flop accumulates over a run; exported to the MTBF
+/// analysis and the metastability benches.
+struct FlipFlopStats {
+  std::uint64_t capture_edges = 0;
+  std::uint64_t setup_violations = 0;
+  std::uint64_t hold_violations = 0;
+};
+
+/// Positive-edge D flip-flop.
+class DFlipFlop {
+ public:
+  /// Creates the flop, capturing D into Q on rising edges of `clk`.
+  /// `reset` (optional, active-high, asynchronous) forces Q to 0.
+  /// `metastable_seed` seeds the resolution-direction RNG so runs are
+  /// reproducible.
+  DFlipFlop(NetlistContext& ctx, SignalId clk, SignalId d, SignalId q,
+            SignalId reset = SignalId{}, std::uint64_t metastable_seed = 1);
+
+  const FlipFlopStats& stats() const noexcept { return stats_; }
+
+  /// Disables the metastability model (Q captures the sampled value even on
+  /// a violation).  Gate-level benches that only study function, not
+  /// synchronization, use this.
+  void set_ideal(bool ideal) noexcept { ideal_ = ideal; }
+
+ private:
+  void on_clock_edge();
+  void on_data_change(const SignalEvent& event);
+  void go_metastable();
+
+  Simulator* sim_;
+  SignalId d_;
+  SignalId q_;
+  std::uint32_t driver_;
+  Time clk_to_q_;
+  Time setup_;
+  Time hold_;
+  Time resolution_;  // metastability resolution time (X duration)
+  Time last_data_change_ = -1;
+  Time last_capture_edge_ = -1;
+  Logic sampled_at_edge_ = Logic::kX;
+  bool ideal_ = false;
+  FlipFlopStats stats_;
+  std::mt19937_64 rng_;
+};
+
+/// The thesis's two-flip-flop synchronizer (Figure 38): `async_in` is sampled
+/// into `clk`'s domain; `sync_out` is the second flop's output.  Owns its
+/// internal signal and both flops.
+class TwoFlopSynchronizer {
+ public:
+  TwoFlopSynchronizer(NetlistContext& ctx, SignalId clk, SignalId async_in,
+                      SignalId sync_out, std::uint64_t seed = 1);
+
+  const FlipFlopStats& first_stage_stats() const { return ff1_->stats(); }
+  const FlipFlopStats& second_stage_stats() const { return ff2_->stats(); }
+
+ private:
+  std::unique_ptr<DFlipFlop> ff1_;
+  std::unique_ptr<DFlipFlop> ff2_;
+};
+
+/// Free-running clock generator: drives `clk` with the given period (50%
+/// duty) starting low at t = start.
+void make_clock(Simulator& sim, SignalId clk, Time period, Time start = 0);
+
+}  // namespace ddl::sim

@@ -1,0 +1,72 @@
+// Gate-level primitives bound to technology delays.
+//
+// Each factory wires a combinational process onto the kernel: the output is
+// re-evaluated on any input change and scheduled after the cell's propagation
+// delay at the given operating point (optionally a pre-sampled mismatched
+// delay).  These are the building blocks of the gate-level DPWM netlists and
+// of the delay lines' event-accurate models.
+#pragma once
+
+#include <vector>
+
+#include "ddl/cells/operating_point.h"
+#include "ddl/cells/technology.h"
+#include "ddl/sim/simulator.h"
+
+namespace ddl::sim {
+
+/// Shared context for netlist construction: the kernel plus the technology
+/// and operating point the gates are characterized at.
+struct NetlistContext {
+  Simulator* sim;
+  const cells::Technology* tech;
+  cells::OperatingPoint op;
+
+  double delay_ps(cells::CellKind kind) const {
+    return tech->delay_ps(kind, op);
+  }
+};
+
+/// Instantiates a single-input cell (INV / BUF) from `in` to `out` with an
+/// explicit delay in ps.  Returns the driver lane used (for tests).
+std::uint32_t make_unary_gate(NetlistContext& ctx, cells::CellKind kind,
+                              SignalId in, SignalId out, double delay_ps);
+
+/// Instantiates an inverter with the technology delay.
+void make_inverter(NetlistContext& ctx, SignalId in, SignalId out);
+
+/// Instantiates a buffer with the technology delay (or a caller-supplied
+/// mismatched delay if `delay_override_ps >= 0`).
+void make_buffer(NetlistContext& ctx, SignalId in, SignalId out,
+                 double delay_override_ps = -1.0);
+
+/// Instantiates a chain of `length` buffers from `in`, returning the signal
+/// after each buffer (the delay-line taps).  Per-buffer delays may be
+/// supplied (e.g. Monte-Carlo sampled); otherwise the corner delay is used.
+std::vector<SignalId> make_buffer_chain(
+    NetlistContext& ctx, SignalId in, std::size_t length,
+    const std::vector<double>& delays_ps = {});
+
+/// Two-input gates.
+void make_and2(NetlistContext& ctx, SignalId a, SignalId b, SignalId out);
+void make_or2(NetlistContext& ctx, SignalId a, SignalId b, SignalId out);
+void make_nand2(NetlistContext& ctx, SignalId a, SignalId b, SignalId out);
+void make_nor2(NetlistContext& ctx, SignalId a, SignalId b, SignalId out);
+void make_xor2(NetlistContext& ctx, SignalId a, SignalId b, SignalId out);
+
+/// 2:1 mux: out = sel ? d1 : d0.  `delay_override_ps >= 0` replaces the
+/// standard-cell MUX2 delay (e.g. a transmission-gate mux inside a tunable
+/// delay cell, whose latency is characterized as part of the cell).
+void make_mux2(NetlistContext& ctx, SignalId sel, SignalId d0, SignalId d1,
+               SignalId out, double delay_override_ps = -1.0);
+
+/// N:1 one-hot-free tree multiplexer built from MUX2 cells.  `inputs` must
+/// have power-of-two size; `selects` are LSB-first select bits.  Returns the
+/// output signal.  Used for the delay-line tap selector.
+/// `per_level_delay_ps >= 0` overrides each level's mux delay.
+SignalId make_mux_tree(NetlistContext& ctx, const std::vector<SignalId>& inputs,
+                       const std::vector<SignalId>& selects,
+                       const std::string& name_prefix,
+                       double per_level_delay_ps = -1.0);
+
+}  // namespace ddl::sim

@@ -1,0 +1,86 @@
+// Four-state digital logic values and the resolution rules of the gate
+// primitives.
+//
+// The X state matters here beyond HDL convention: the thesis's controller
+// samples asynchronous delay-line taps with flip-flops, and the 2-FF
+// synchronizer of Figures 38/39 exists precisely because that sampling can go
+// metastable.  Our D flip-flop emits X when a setup/hold violation occurs,
+// and the synchronizer tests verify the X is contained.
+#pragma once
+
+#include <cstdint>
+#include <iosfwd>
+
+namespace ddl::sim {
+
+/// Four-state logic value.
+enum class Logic : std::uint8_t {
+  k0 = 0,  ///< Strong low.
+  k1 = 1,  ///< Strong high.
+  kX = 2,  ///< Unknown / metastable.
+  kZ = 3,  ///< High impedance (undriven net).
+};
+
+constexpr bool is_known(Logic v) noexcept {
+  return v == Logic::k0 || v == Logic::k1;
+}
+
+/// Converts a bool to strong logic.
+constexpr Logic from_bool(bool b) noexcept { return b ? Logic::k1 : Logic::k0; }
+
+/// True iff the value is strong high.  X/Z are *not* high.
+constexpr bool is_high(Logic v) noexcept { return v == Logic::k1; }
+constexpr bool is_low(Logic v) noexcept { return v == Logic::k0; }
+
+/// IEEE-1364-style pessimistic logic operations: any unknown input that can
+/// influence the output yields X (Z inputs behave as X inside gates).
+constexpr Logic logic_not(Logic a) noexcept {
+  if (a == Logic::k0) return Logic::k1;
+  if (a == Logic::k1) return Logic::k0;
+  return Logic::kX;
+}
+
+constexpr Logic logic_and(Logic a, Logic b) noexcept {
+  if (a == Logic::k0 || b == Logic::k0) return Logic::k0;
+  if (a == Logic::k1 && b == Logic::k1) return Logic::k1;
+  return Logic::kX;
+}
+
+constexpr Logic logic_or(Logic a, Logic b) noexcept {
+  if (a == Logic::k1 || b == Logic::k1) return Logic::k1;
+  if (a == Logic::k0 && b == Logic::k0) return Logic::k0;
+  return Logic::kX;
+}
+
+constexpr Logic logic_xor(Logic a, Logic b) noexcept {
+  if (!is_known(a) || !is_known(b)) return Logic::kX;
+  return from_bool(a != b);
+}
+
+/// 2:1 multiplexer with pessimistic-X select: if the select is unknown the
+/// output is known only when both data inputs agree.
+constexpr Logic logic_mux(Logic sel, Logic d0, Logic d1) noexcept {
+  if (sel == Logic::k0) return d0;
+  if (sel == Logic::k1) return d1;
+  if (d0 == d1 && is_known(d0)) return d0;
+  return Logic::kX;
+}
+
+/// VCD / debug character ('0', '1', 'x', 'z').
+constexpr char to_char(Logic v) noexcept {
+  switch (v) {
+    case Logic::k0:
+      return '0';
+    case Logic::k1:
+      return '1';
+    case Logic::kX:
+      return 'x';
+    case Logic::kZ:
+      return 'z';
+  }
+  return '?';
+}
+
+std::ostream& operator<<(std::ostream& os, Logic v);
+
+}  // namespace ddl::sim

@@ -1,0 +1,163 @@
+// Event-driven simulation kernel.
+//
+// A minimal but complete HDL-style kernel: named 4-state signals, an ordered
+// event queue at picosecond resolution, change/edge-sensitive processes, and
+// inertial-delay drivers (a newer scheduled transition on the same driver
+// cancels a pending older one, like a Verilog continuous assignment).  The
+// gate primitives (gates.h), flip-flops (flipflop.h) and the gate-level DPWM
+// netlists are all built on this kernel.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <queue>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "ddl/sim/logic.h"
+#include "ddl/sim/time.h"
+
+namespace ddl::sim {
+
+/// Opaque handle to a signal owned by a Simulator.
+struct SignalId {
+  std::uint32_t index = std::numeric_limits<std::uint32_t>::max();
+  friend bool operator==(SignalId, SignalId) = default;
+};
+
+/// Edge/change notification delivered to a process callback.
+struct SignalEvent {
+  SignalId signal;
+  Logic old_value = Logic::kX;
+  Logic new_value = Logic::kX;
+  Time time = 0;
+
+  bool is_rising() const noexcept {
+    return old_value != Logic::k1 && new_value == Logic::k1;
+  }
+  bool is_falling() const noexcept {
+    return old_value != Logic::k0 && new_value == Logic::k0;
+  }
+};
+
+/// The simulation kernel.  Not thread-safe; one kernel per testbench.
+class Simulator {
+ public:
+  using Process = std::function<void(const SignalEvent&)>;
+  using Task = std::function<void()>;
+
+  Simulator() = default;
+  Simulator(const Simulator&) = delete;
+  Simulator& operator=(const Simulator&) = delete;
+
+  /// Creates a named signal, initial value X (an undriven net reads unknown
+  /// until first assignment, as in HDL simulation).
+  SignalId add_signal(std::string name, Logic initial = Logic::kX);
+
+  /// Current value of a signal.
+  Logic value(SignalId id) const { return signals_[id.index].value; }
+
+  /// True iff the signal currently reads strong high.
+  bool is_high(SignalId id) const { return sim::is_high(value(id)); }
+
+  const std::string& name(SignalId id) const { return signals_[id.index].name; }
+
+  Time now() const noexcept { return now_; }
+
+  /// Registers a process invoked on *every* value change of `sensitivity`.
+  /// The callback may read signals, schedule drives, and schedule tasks.
+  void on_change(SignalId sensitivity, Process process);
+
+  /// Registers a process invoked only on rising edges of `sensitivity`.
+  void on_rising(SignalId sensitivity, Process process);
+
+  /// Schedules `signal <- value` at `now() + delay` through the given driver
+  /// lane.
+  ///
+  /// Lane semantics:
+  ///  * driver 0 (default) is the *transport* testbench lane: every
+  ///    scheduled transition is delivered, so stimulus like
+  ///    1@10ps, 0@20ps, 1@30ps plays back verbatim;
+  ///  * lanes from `allocate_driver()` are *inertial* (gate outputs):
+  ///    scheduling a transition to a different value invalidates any
+  ///    pending transition from the same lane (pulses shorter than the
+  ///    gate delay are swallowed), while re-scheduling the same value is
+  ///    a no-op that keeps the earlier event's timing.
+  void schedule(SignalId signal, Logic value, Time delay,
+                std::uint32_t driver = 0);
+
+  /// Immediate assignment (delta-delay zero); still ordered after events
+  /// already queued for the current timestamp.
+  void drive_now(SignalId signal, Logic value, std::uint32_t driver = 0) {
+    schedule(signal, value, 0, driver);
+  }
+
+  /// Allocates a fresh driver lane for inertial-delay bookkeeping.
+  std::uint32_t allocate_driver() { return next_driver_++; }
+
+  /// Schedules an arbitrary callback at `now() + delay` (testbench stimulus,
+  /// monitors, clock generators).
+  void schedule_task(Time delay, Task task);
+
+  /// Runs until the event queue drains or `deadline` (absolute) is reached,
+  /// whichever comes first.  Returns the time of the last executed event.
+  Time run(Time deadline = kTimeNever);
+
+  /// Runs for `duration` more picoseconds.
+  Time run_for(Time duration) { return run(now_ + duration); }
+
+  /// Number of executed events (kernel health / performance counters).
+  std::uint64_t executed_events() const noexcept { return executed_events_; }
+
+  std::size_t signal_count() const noexcept { return signals_.size(); }
+
+ private:
+  struct SignalState {
+    std::string name;
+    Logic value = Logic::kX;
+    std::vector<std::uint32_t> change_processes;  // indices into processes_
+    std::vector<std::uint32_t> rising_processes;
+  };
+
+  struct Event {
+    Time time = 0;
+    std::uint64_t sequence = 0;  // FIFO tie-break at equal time
+    // Signal drive (signal.index != max) or task.
+    SignalId signal;
+    Logic value = Logic::kX;
+    std::uint32_t driver = 0;
+    std::uint64_t driver_generation = 0;
+    Task task;  // non-null for task events
+
+    friend bool operator>(const Event& a, const Event& b) {
+      if (a.time != b.time) return a.time > b.time;
+      return a.sequence > b.sequence;
+    }
+  };
+
+  void apply_signal_event(const Event& event);
+
+  std::vector<SignalState> signals_;
+  std::vector<Process> processes_;
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
+  // Inertial bookkeeping per (signal, driver): latest generation (stale
+  // queued events are skipped) and the last scheduled value (same-value
+  // re-schedules are dropped).  Keyed by (signal.index << 32) | driver.
+  struct DriverState {
+    std::uint64_t generation = 0;
+    Logic last_value = Logic::kZ;
+    bool has_value = false;
+  };
+  std::unordered_map<std::uint64_t, DriverState> driver_states_;
+  std::uint64_t next_sequence_ = 0;
+  std::uint32_t next_driver_ = 1;
+  std::uint64_t executed_events_ = 0;
+  Time now_ = 0;
+
+  DriverState& driver_state(SignalId signal, std::uint32_t driver);
+};
+
+}  // namespace ddl::sim

@@ -1,0 +1,33 @@
+// Simulation time base: 64-bit signed picoseconds.
+//
+// One picosecond resolves every delay in the 32nm-class library (buffer =
+// 20..80 ps) and a 64-bit count overflows after ~106 days of simulated time,
+// far beyond any bench in this repository.
+#pragma once
+
+#include <cstdint>
+
+namespace ddl::sim {
+
+/// Simulation timestamp / duration in picoseconds.
+using Time = std::int64_t;
+
+/// A reserved "never" timestamp for optional deadlines.
+inline constexpr Time kTimeNever = INT64_MAX;
+
+constexpr Time from_ps(double ps) noexcept {
+  return static_cast<Time>(ps + (ps >= 0 ? 0.5 : -0.5));
+}
+constexpr Time from_ns(double ns) noexcept { return from_ps(ns * 1e3); }
+constexpr Time from_us(double us) noexcept { return from_ps(us * 1e6); }
+
+constexpr double to_ps(Time t) noexcept { return static_cast<double>(t); }
+constexpr double to_ns(Time t) noexcept { return static_cast<double>(t) / 1e3; }
+constexpr double to_us(Time t) noexcept { return static_cast<double>(t) / 1e6; }
+
+/// Clock period in ps for a frequency given in MHz (100 MHz -> 10'000 ps).
+constexpr Time period_from_mhz(double mhz) noexcept {
+  return from_ps(1e6 / mhz);
+}
+
+}  // namespace ddl::sim

@@ -1,0 +1,82 @@
+// Waveform capture: VCD dump and in-memory edge recording.
+//
+// The thesis argues its architectures with timing diagrams (Figures 17, 19,
+// 21, 23, 37, 39, 47, 48).  WaveformRecorder captures the same information --
+// every transition of a watched signal -- so tests can assert on edge times
+// and benches can render ASCII timing diagrams; VcdWriter additionally dumps
+// standard VCD for external viewers.
+#pragma once
+
+#include <fstream>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ddl/sim/simulator.h"
+
+namespace ddl::sim {
+
+/// One recorded transition.
+struct Edge {
+  Time time = 0;
+  Logic value = Logic::kX;
+};
+
+/// Records every transition of the watched signals in memory.
+class WaveformRecorder {
+ public:
+  explicit WaveformRecorder(Simulator& sim) : sim_(&sim) {}
+
+  /// Starts recording a signal (records its current value as t=now).
+  void watch(SignalId signal);
+
+  /// All transitions of a signal, in time order.
+  const std::vector<Edge>& edges(SignalId signal) const;
+
+  /// Times of rising edges of a signal.
+  std::vector<Time> rising_edges(SignalId signal) const;
+
+  /// Duty cycle of a signal over [from, to): fraction of time spent high.
+  double duty_cycle(SignalId signal, Time from, Time to) const;
+
+  /// Width of the n-th high pulse (rise->fall) at or after `from`;
+  /// returns -1 if there is no such complete pulse.
+  Time pulse_width(SignalId signal, std::size_t n = 0, Time from = 0) const;
+
+  /// Renders the watched signals as an ASCII timing diagram with one column
+  /// per `step` of simulated time -- a textual rendition of the thesis's
+  /// figures.
+  std::string ascii_diagram(const std::vector<SignalId>& signals, Time from,
+                            Time to, Time step) const;
+
+ private:
+  Simulator* sim_;
+  std::map<std::uint32_t, std::vector<Edge>> traces_;
+
+  Logic value_at(SignalId signal, Time t) const;
+};
+
+/// Streams transitions of watched signals to a Value Change Dump file.
+class VcdWriter {
+ public:
+  /// Opens `path` and writes the VCD header with a 1 ps timescale.
+  VcdWriter(Simulator& sim, const std::string& path);
+  ~VcdWriter();
+
+  /// Adds a signal to the dump; must be called before the first event runs.
+  void watch(SignalId signal);
+
+  /// Finalizes the header (called automatically on first transition).
+  void finalize_header();
+
+ private:
+  Simulator* sim_;
+  std::ofstream out_;
+  std::map<std::uint32_t, std::string> codes_;
+  bool header_done_ = false;
+  Time last_time_ = -1;
+
+  void emit(SignalId signal, Logic value, Time time);
+};
+
+}  // namespace ddl::sim

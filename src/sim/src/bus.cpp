@@ -1,0 +1,54 @@
+#include "ddl/sim/bus.h"
+
+namespace ddl::sim {
+
+Bus::Bus(Simulator& sim, const std::string& name, std::size_t width,
+         Logic initial) {
+  bits_.reserve(width);
+  for (std::size_t i = 0; i < width; ++i) {
+    bits_.push_back(
+        sim.add_signal(name + "[" + std::to_string(i) + "]", initial));
+  }
+}
+
+void Bus::drive(Simulator& sim, std::uint64_t value, Time delay) const {
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    sim.schedule(bits_[i], from_bool((value >> i) & 1), delay, driver_);
+  }
+}
+
+bool Bus::read(const Simulator& sim, std::uint64_t* value) const {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    const Logic bit = sim.value(bits_[i]);
+    if (!is_known(bit)) {
+      return false;
+    }
+    if (bit == Logic::k1) {
+      out |= (std::uint64_t{1} << i);
+    }
+  }
+  *value = out;
+  return true;
+}
+
+std::uint64_t Bus::read_or_zero(const Simulator& sim) const {
+  std::uint64_t out = 0;
+  for (std::size_t i = 0; i < bits_.size(); ++i) {
+    if (sim.value(bits_[i]) == Logic::k1) {
+      out |= (std::uint64_t{1} << i);
+    }
+  }
+  return out;
+}
+
+void Bus::on_change(Simulator& sim, Simulator::Process process) const {
+  // All bits share one callback object; cheap because Process is copyable.
+  for (SignalId bit : bits_) {
+    sim.on_change(bit, process);
+  }
+}
+
+void Bus::use_driver(Simulator& sim) { driver_ = sim.allocate_driver(); }
+
+}  // namespace ddl::sim

@@ -1,0 +1,138 @@
+#include "ddl/sim/gates.h"
+
+#include <cassert>
+#include <string>
+
+namespace ddl::sim {
+
+namespace {
+
+using cells::CellKind;
+
+void make_binary_gate(NetlistContext& ctx, CellKind kind,
+                      Logic (*fn)(Logic, Logic), SignalId a, SignalId b,
+                      SignalId out) {
+  Simulator* sim = ctx.sim;
+  const Time delay = from_ps(ctx.delay_ps(kind));
+  const std::uint32_t driver = sim->allocate_driver();
+  auto evaluate = [sim, fn, a, b, out, delay, driver](const SignalEvent&) {
+    sim->schedule(out, fn(sim->value(a), sim->value(b)), delay, driver);
+  };
+  sim->on_change(a, evaluate);
+  sim->on_change(b, evaluate);
+}
+
+}  // namespace
+
+std::uint32_t make_unary_gate(NetlistContext& ctx, CellKind kind, SignalId in,
+                              SignalId out, double delay_ps) {
+  Simulator* sim = ctx.sim;
+  const Time delay = from_ps(delay_ps);
+  const bool inverting = kind == CellKind::kInverter;
+  const std::uint32_t driver = sim->allocate_driver();
+  sim->on_change(in, [sim, out, delay, inverting, driver](const SignalEvent& e) {
+    const Logic next = inverting ? logic_not(e.new_value) : e.new_value;
+    sim->schedule(out, next, delay, driver);
+  });
+  return driver;
+}
+
+void make_inverter(NetlistContext& ctx, SignalId in, SignalId out) {
+  make_unary_gate(ctx, CellKind::kInverter, in, out,
+                  ctx.delay_ps(CellKind::kInverter));
+}
+
+void make_buffer(NetlistContext& ctx, SignalId in, SignalId out,
+                 double delay_override_ps) {
+  const double delay = delay_override_ps >= 0.0
+                           ? delay_override_ps
+                           : ctx.delay_ps(CellKind::kBuffer);
+  make_unary_gate(ctx, CellKind::kBuffer, in, out, delay);
+}
+
+std::vector<SignalId> make_buffer_chain(NetlistContext& ctx, SignalId in,
+                                        std::size_t length,
+                                        const std::vector<double>& delays_ps) {
+  assert(delays_ps.empty() || delays_ps.size() == length);
+  std::vector<SignalId> taps;
+  taps.reserve(length);
+  SignalId previous = in;
+  for (std::size_t i = 0; i < length; ++i) {
+    SignalId tap = ctx.sim->add_signal(ctx.sim->name(in) + ".tap" +
+                                       std::to_string(i));
+    make_buffer(ctx, previous, tap,
+                delays_ps.empty() ? -1.0 : delays_ps[i]);
+    taps.push_back(tap);
+    previous = tap;
+  }
+  return taps;
+}
+
+void make_and2(NetlistContext& ctx, SignalId a, SignalId b, SignalId out) {
+  make_binary_gate(ctx, CellKind::kAnd2, &logic_and, a, b, out);
+}
+
+void make_or2(NetlistContext& ctx, SignalId a, SignalId b, SignalId out) {
+  make_binary_gate(ctx, CellKind::kOr2, &logic_or, a, b, out);
+}
+
+void make_nand2(NetlistContext& ctx, SignalId a, SignalId b, SignalId out) {
+  make_binary_gate(
+      ctx, CellKind::kNand2,
+      [](Logic x, Logic y) { return logic_not(logic_and(x, y)); }, a, b, out);
+}
+
+void make_nor2(NetlistContext& ctx, SignalId a, SignalId b, SignalId out) {
+  make_binary_gate(
+      ctx, CellKind::kNor2,
+      [](Logic x, Logic y) { return logic_not(logic_or(x, y)); }, a, b, out);
+}
+
+void make_xor2(NetlistContext& ctx, SignalId a, SignalId b, SignalId out) {
+  make_binary_gate(ctx, CellKind::kXor2, &logic_xor, a, b, out);
+}
+
+void make_mux2(NetlistContext& ctx, SignalId sel, SignalId d0, SignalId d1,
+               SignalId out, double delay_override_ps) {
+  Simulator* sim = ctx.sim;
+  const Time delay = from_ps(delay_override_ps >= 0.0
+                                 ? delay_override_ps
+                                 : ctx.delay_ps(CellKind::kMux2));
+  const std::uint32_t driver = sim->allocate_driver();
+  auto evaluate = [sim, sel, d0, d1, out, delay, driver](const SignalEvent&) {
+    sim->schedule(out,
+                  logic_mux(sim->value(sel), sim->value(d0), sim->value(d1)),
+                  delay, driver);
+  };
+  sim->on_change(sel, evaluate);
+  sim->on_change(d0, evaluate);
+  sim->on_change(d1, evaluate);
+}
+
+SignalId make_mux_tree(NetlistContext& ctx, const std::vector<SignalId>& inputs,
+                       const std::vector<SignalId>& selects,
+                       const std::string& name_prefix,
+                       double per_level_delay_ps) {
+  assert(!inputs.empty());
+  assert((inputs.size() & (inputs.size() - 1)) == 0 &&
+         "mux tree requires power-of-two inputs");
+  assert((1u << selects.size()) == inputs.size());
+
+  std::vector<SignalId> layer = inputs;
+  for (std::size_t level = 0; level < selects.size(); ++level) {
+    std::vector<SignalId> next;
+    next.reserve(layer.size() / 2);
+    for (std::size_t i = 0; i < layer.size(); i += 2) {
+      SignalId out = ctx.sim->add_signal(name_prefix + ".l" +
+                                         std::to_string(level) + "_" +
+                                         std::to_string(i / 2));
+      make_mux2(ctx, selects[level], layer[i], layer[i + 1], out,
+                per_level_delay_ps);
+      next.push_back(out);
+    }
+    layer = std::move(next);
+  }
+  return layer.front();
+}
+
+}  // namespace ddl::sim

@@ -1,0 +1,127 @@
+#include "ddl/sim/simulator.h"
+
+#include <cassert>
+#include <ostream>
+#include <utility>
+
+namespace ddl::sim {
+
+std::ostream& operator<<(std::ostream& os, Logic v) { return os << to_char(v); }
+
+SignalId Simulator::add_signal(std::string name, Logic initial) {
+  SignalState state;
+  state.name = std::move(name);
+  state.value = initial;
+  signals_.push_back(std::move(state));
+  return SignalId{static_cast<std::uint32_t>(signals_.size() - 1)};
+}
+
+void Simulator::on_change(SignalId sensitivity, Process process) {
+  processes_.push_back(std::move(process));
+  signals_[sensitivity.index].change_processes.push_back(
+      static_cast<std::uint32_t>(processes_.size() - 1));
+}
+
+void Simulator::on_rising(SignalId sensitivity, Process process) {
+  processes_.push_back(std::move(process));
+  signals_[sensitivity.index].rising_processes.push_back(
+      static_cast<std::uint32_t>(processes_.size() - 1));
+}
+
+Simulator::DriverState& Simulator::driver_state(SignalId signal,
+                                                std::uint32_t driver) {
+  const std::uint64_t key =
+      (static_cast<std::uint64_t>(signal.index) << 32) | driver;
+  return driver_states_[key];
+}
+
+void Simulator::schedule(SignalId signal, Logic value, Time delay,
+                         std::uint32_t driver) {
+  assert(delay >= 0 && "cannot schedule into the past");
+  DriverState& state = driver_state(signal, driver);
+  if (state.has_value && state.last_value == value) {
+    // Re-scheduling the value this lane already targets: keep the earlier
+    // event's timing (a gate re-evaluating to an unchanged output must not
+    // postpone its pending transition).
+    return;
+  }
+  state.last_value = value;
+  state.has_value = true;
+  Event event;
+  event.time = now_ + delay;
+  event.sequence = next_sequence_++;
+  event.signal = signal;
+  event.value = value;
+  event.driver = driver;
+  // Lane 0 is transport: generation 0 is never invalidated.
+  event.driver_generation = driver == 0 ? 0 : ++state.generation;
+  queue_.push(std::move(event));
+}
+
+void Simulator::schedule_task(Time delay, Task task) {
+  assert(delay >= 0 && "cannot schedule into the past");
+  Event event;
+  event.time = now_ + delay;
+  event.sequence = next_sequence_++;
+  event.task = std::move(task);
+  queue_.push(std::move(event));
+}
+
+void Simulator::apply_signal_event(const Event& event) {
+  SignalState& state = signals_[event.signal.index];
+  const Logic old_value = state.value;
+  if (old_value == event.value) {
+    return;  // No change, no notification.
+  }
+  state.value = event.value;
+
+  SignalEvent notification{event.signal, old_value, event.value, now_};
+  // Copy the listener lists: a callback may register further processes and
+  // reallocate the vectors.
+  const auto change_listeners = state.change_processes;
+  for (std::uint32_t process_index : change_listeners) {
+    processes_[process_index](notification);
+  }
+  if (notification.is_rising()) {
+    const auto rising_listeners = signals_[event.signal.index].rising_processes;
+    for (std::uint32_t process_index : rising_listeners) {
+      processes_[process_index](notification);
+    }
+  }
+}
+
+Time Simulator::run(Time deadline) {
+  while (!queue_.empty()) {
+    const Event& top = queue_.top();
+    if (top.time > deadline) {
+      // Leave future events queued; advance time to the deadline so that
+      // run_for() composes.
+      now_ = deadline;
+      return now_;
+    }
+    Event event = top;
+    queue_.pop();
+    now_ = event.time;
+
+    if (event.task) {
+      ++executed_events_;
+      event.task();
+      continue;
+    }
+    // Inertial-delay cancellation: only the newest scheduled transition per
+    // (signal, driver) survives.  Lane 0 (transport) is exempt.
+    if (event.driver != 0 &&
+        event.driver_generation !=
+            driver_state(event.signal, event.driver).generation) {
+      continue;
+    }
+    ++executed_events_;
+    apply_signal_event(event);
+  }
+  if (deadline != kTimeNever && deadline > now_) {
+    now_ = deadline;
+  }
+  return now_;
+}
+
+}  // namespace ddl::sim

@@ -1,0 +1,170 @@
+#include "ddl/sim/trace.h"
+
+#include <algorithm>
+#include <sstream>
+#include <stdexcept>
+
+namespace ddl::sim {
+
+void WaveformRecorder::watch(SignalId signal) {
+  auto [it, inserted] = traces_.try_emplace(signal.index);
+  if (!inserted) {
+    return;
+  }
+  it->second.push_back(Edge{sim_->now(), sim_->value(signal)});
+  sim_->on_change(signal, [this, signal](const SignalEvent& event) {
+    traces_[signal.index].push_back(Edge{event.time, event.new_value});
+  });
+}
+
+const std::vector<Edge>& WaveformRecorder::edges(SignalId signal) const {
+  auto it = traces_.find(signal.index);
+  if (it == traces_.end()) {
+    throw std::out_of_range("signal is not watched: " + sim_->name(signal));
+  }
+  return it->second;
+}
+
+std::vector<Time> WaveformRecorder::rising_edges(SignalId signal) const {
+  std::vector<Time> times;
+  Logic previous = Logic::kX;
+  for (const Edge& edge : edges(signal)) {
+    if (edge.value == Logic::k1 && previous != Logic::k1) {
+      times.push_back(edge.time);
+    }
+    previous = edge.value;
+  }
+  return times;
+}
+
+Logic WaveformRecorder::value_at(SignalId signal, Time t) const {
+  const auto& trace = edges(signal);
+  Logic value = Logic::kX;
+  for (const Edge& edge : trace) {
+    if (edge.time > t) {
+      break;
+    }
+    value = edge.value;
+  }
+  return value;
+}
+
+double WaveformRecorder::duty_cycle(SignalId signal, Time from, Time to) const {
+  const auto& trace = edges(signal);
+  Time high_time = 0;
+  Logic value = value_at(signal, from);
+  Time cursor = from;
+  for (const Edge& edge : trace) {
+    if (edge.time <= from) {
+      continue;
+    }
+    const Time until = std::min(edge.time, to);
+    if (until > cursor && value == Logic::k1) {
+      high_time += until - cursor;
+    }
+    cursor = until;
+    value = edge.value;
+    if (edge.time >= to) {
+      break;
+    }
+  }
+  if (cursor < to && value == Logic::k1) {
+    high_time += to - cursor;
+  }
+  return to > from ? static_cast<double>(high_time) /
+                         static_cast<double>(to - from)
+                   : 0.0;
+}
+
+Time WaveformRecorder::pulse_width(SignalId signal, std::size_t n,
+                                   Time from) const {
+  const auto& trace = edges(signal);
+  Logic previous = Logic::kX;
+  Time rise = -1;
+  std::size_t seen = 0;
+  for (const Edge& edge : trace) {
+    if (edge.time < from) {
+      previous = edge.value;
+      continue;
+    }
+    if (edge.value == Logic::k1 && previous != Logic::k1) {
+      rise = edge.time;
+    } else if (edge.value == Logic::k0 && previous == Logic::k1 && rise >= 0) {
+      if (seen == n) {
+        return edge.time - rise;
+      }
+      ++seen;
+      rise = -1;
+    }
+    previous = edge.value;
+  }
+  return -1;
+}
+
+std::string WaveformRecorder::ascii_diagram(
+    const std::vector<SignalId>& signals, Time from, Time to,
+    Time step) const {
+  std::ostringstream os;
+  std::size_t name_width = 0;
+  for (SignalId signal : signals) {
+    name_width = std::max(name_width, sim_->name(signal).size());
+  }
+  for (SignalId signal : signals) {
+    const std::string& name = sim_->name(signal);
+    os << name << std::string(name_width - name.size() + 1, ' ') << "|";
+    for (Time t = from; t < to; t += step) {
+      const Logic v = value_at(signal, t);
+      os << (v == Logic::k1 ? '#' : v == Logic::k0 ? '_' : to_char(v));
+    }
+    os << "|\n";
+  }
+  return os.str();
+}
+
+VcdWriter::VcdWriter(Simulator& sim, const std::string& path)
+    : sim_(&sim), out_(path) {
+  out_ << "$timescale 1ps $end\n$scope module ddl $end\n";
+}
+
+VcdWriter::~VcdWriter() { out_.flush(); }
+
+void VcdWriter::watch(SignalId signal) {
+  if (header_done_) {
+    throw std::logic_error("VcdWriter::watch after header finalized");
+  }
+  // Identifier codes: printable ASCII starting at '!'.
+  std::string code;
+  std::uint32_t n = static_cast<std::uint32_t>(codes_.size());
+  do {
+    code.push_back(static_cast<char>('!' + n % 94));
+    n /= 94;
+  } while (n != 0);
+  codes_[signal.index] = code;
+  out_ << "$var wire 1 " << code << " " << sim_->name(signal) << " $end\n";
+  sim_->on_change(signal, [this, signal](const SignalEvent& event) {
+    emit(signal, event.new_value, event.time);
+  });
+}
+
+void VcdWriter::finalize_header() {
+  if (header_done_) {
+    return;
+  }
+  out_ << "$upscope $end\n$enddefinitions $end\n$dumpvars\n";
+  for (const auto& [index, code] : codes_) {
+    out_ << to_char(sim_->value(SignalId{index})) << code << "\n";
+  }
+  out_ << "$end\n";
+  header_done_ = true;
+}
+
+void VcdWriter::emit(SignalId signal, Logic value, Time time) {
+  finalize_header();
+  if (time != last_time_) {
+    out_ << "#" << time << "\n";
+    last_time_ = time;
+  }
+  out_ << to_char(value) << codes_[signal.index] << "\n";
+}
+
+}  // namespace ddl::sim

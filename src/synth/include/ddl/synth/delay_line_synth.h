@@ -1,0 +1,63 @@
+// Netlist describers for every RTL block of both delay-line schemes.
+//
+// Each function enumerates the standard cells one block maps to; the
+// synthesize_* entry points assemble the per-block inventories into the
+// SynthesisReport shape of thesis Tables 5/6.  Block names follow the
+// tables: "Delay Line", "Output MUX", "Calibration MUX", "Controller",
+// "Mapper".
+#pragma once
+
+#include "ddl/core/conventional_line.h"
+#include "ddl/core/proposed_line.h"
+#include "ddl/synth/gate_inventory.h"
+
+namespace ddl::synth {
+
+// ----- Proposed scheme (Figure 43) ------------------------------------
+
+/// The line itself: num_cells x buffers_per_cell buffers (Figure 44/45).
+GateInventory proposed_line_gates(const core::ProposedLineConfig& config);
+
+/// Output tap-selection mux: an N:1 tree of N-1 MUX2 cells.
+GateInventory proposed_output_mux_gates(const core::ProposedLineConfig& config);
+
+/// Calibration mux (MUX 1 of Figure 46): same N:1 selection but with a
+/// 2-bit data path -- the thesis notes it has "double the area of the output
+/// multiplexer".
+GateInventory proposed_cal_mux_gates(const core::ProposedLineConfig& config);
+
+/// Controller (Figure 46): tap_sel register, +/-1 incrementer, compare flop
+/// and the two synchronizer flops.
+GateInventory proposed_controller_gates(const core::ProposedLineConfig& config);
+
+/// Mapper (Figure 49 / Eq 18): a w x w array multiplier (w = input word
+/// width) whose product is shifted by log2(N/2) -- shifts are wiring, so the
+/// multiplier dominates.
+GateInventory proposed_mapper_gates(const core::ProposedLineConfig& config);
+
+/// Full proposed-scheme synthesis (one row of Table 6).
+SynthesisReport synthesize_proposed(const core::ProposedLineConfig& config,
+                                    const cells::Technology& tech);
+
+// ----- Conventional scheme (Figure 32) --------------------------------
+
+/// The tunable line: per cell, m branches of 1..m elements (each
+/// buffers_per_element buffers), an m:1 branch mux, and the thermometer
+/// decode (Figure 33).
+GateInventory conventional_line_gates(
+    const core::ConventionalLineConfig& config);
+
+/// Output tap mux: N:1 tree.
+GateInventory conventional_output_mux_gates(
+    const core::ConventionalLineConfig& config);
+
+/// Controller (Figure 36): the (control_bits x cells + 1)-bit shift register
+/// (Eq 17), two synchronizer flops, and the taps comparator.
+GateInventory conventional_controller_gates(
+    const core::ConventionalLineConfig& config);
+
+/// Full conventional-scheme synthesis (the right column of Table 5).
+SynthesisReport synthesize_conventional(
+    const core::ConventionalLineConfig& config, const cells::Technology& tech);
+
+}  // namespace ddl::synth

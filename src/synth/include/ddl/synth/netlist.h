@@ -1,0 +1,117 @@
+// Structural netlists with explicit connectivity, plus static timing
+// analysis -- the "delay report" half of the Design Compiler stand-in
+// (gate_inventory.h is the "area report" half).
+//
+// The generators below build the real combinational datapaths of the two
+// schemes' synchronous blocks (the Eq-18 array multiplier, the tap_sel
+// incrementer, the lock comparator, the tap-select mux trees), and the
+// analyzer computes their critical paths and the resulting f_max -- which
+// is what decides whether the thesis's "parameterized for 50..200 MHz"
+// claim closes timing.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ddl/cells/technology.h"
+#include "ddl/core/conventional_line.h"
+#include "ddl/core/proposed_line.h"
+#include "ddl/synth/gate_inventory.h"
+
+namespace ddl::synth {
+
+/// A combinational netlist: a DAG of gates over primary inputs.
+/// Node ids are dense; inputs come first.
+class Netlist {
+ public:
+  /// Adds a primary input; returns its node id.
+  int add_input(std::string name);
+
+  /// Adds a gate of `kind` driven by existing nodes; returns its node id.
+  int add_gate(cells::CellKind kind, std::vector<int> fanin);
+
+  /// Marks a node as a primary output.
+  void mark_output(int node);
+
+  std::size_t node_count() const noexcept { return nodes_.size(); }
+  std::size_t input_count() const noexcept { return input_count_; }
+  const std::vector<int>& outputs() const noexcept { return outputs_; }
+
+  /// Gate census (for the area roll-up).
+  GateInventory inventory() const;
+
+  /// Longest input-to-output delay in ps at an operating point.
+  double critical_path_ps(const cells::Technology& tech,
+                          const cells::OperatingPoint& op) const;
+
+  /// The node ids along the critical path, input first.
+  std::vector<int> critical_path(const cells::Technology& tech,
+                                 const cells::OperatingPoint& op) const;
+
+  /// Human-readable name of a node ("in:duty[3]" or "FA@17").
+  std::string node_name(int node) const;
+
+ private:
+  struct Node {
+    cells::CellKind kind = cells::CellKind::kTieLo;
+    std::vector<int> fanin;
+    std::string name;  // Inputs only.
+    bool is_input = false;
+  };
+  std::vector<Node> nodes_;
+  std::vector<int> outputs_;
+  std::size_t input_count_ = 0;
+
+  std::vector<double> arrival_times(const cells::Technology& tech,
+                                    const cells::OperatingPoint& op) const;
+};
+
+/// Result of closing timing on a register-to-register path.
+struct TimingReport {
+  double logic_delay_ps = 0.0;    ///< Critical combinational delay.
+  double clk_to_q_ps = 0.0;
+  double setup_ps = 0.0;
+  double min_period_ps = 0.0;     ///< clk->q + logic + setup.
+  double fmax_mhz = 0.0;
+  double slack_ps = 0.0;          ///< At the requested clock.
+  bool meets_timing = false;
+  std::string critical_through;   ///< Start/end of the critical path.
+};
+
+// ----- Datapath generators (real connectivity) --------------------------
+
+/// w x w unsigned array multiplier (the Eq-18 mapper datapath):
+/// ripple-carry rows of full adders over AND partial products.
+Netlist build_array_multiplier(int width);
+
+/// w-bit +/-1 incrementer/decrementer (the proposed controller's tap_sel
+/// update): half-adder carry chain with a direction input.
+Netlist build_incrementer(int width);
+
+/// w-bit equality comparator (the counter DPWM's match logic and the
+/// conventional controller's lock detect): XNOR column + AND tree.
+Netlist build_equality_comparator(int width);
+
+/// N:1 mux tree over data inputs with log2(N) select inputs -- the select-
+/// to-output path (the timing-relevant arc of the tap selector).
+Netlist build_mux_tree_netlist(std::size_t inputs);
+
+// ----- Scheme-level timing ------------------------------------------------
+
+/// Timing of the proposed scheme's synchronous logic at `clock_mhz`: the
+/// register-to-register path through the mapper multiplier (its longest
+/// arc), reported against the library's sequential constraints.
+TimingReport proposed_control_timing(const core::ProposedLineConfig& config,
+                                     const cells::Technology& tech,
+                                     const cells::OperatingPoint& op,
+                                     double clock_mhz);
+
+/// Timing of the conventional scheme's controller (shift register + lock
+/// comparator) -- a much shorter path, which is why the thesis never
+/// worries about it.
+TimingReport conventional_control_timing(
+    const core::ConventionalLineConfig& config, const cells::Technology& tech,
+    const cells::OperatingPoint& op, double clock_mhz);
+
+}  // namespace ddl::synth

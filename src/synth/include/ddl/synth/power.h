@@ -1,0 +1,61 @@
+// Power reports -- the third Design Compiler report the thesis mentions
+// ("the tool generates different reports for the design like area, delay,
+// and power reports") -- from the gate inventories plus an explicit
+// activity model.
+//
+// Activity model (toggles per clock cycle per cell), derived from how each
+// block actually switches:
+//   * delay line: the clock itself ripples down the chain, so every buffer
+//     toggles twice (rise + fall) per clock cycle -- activity 2.0; this is
+//     why the line dominates power despite modest area;
+//   * tap muxes: the selected path carries the same wave (activity ~2 on
+//     the active path, ~0 elsewhere): effective ~2/levels per MUX2;
+//   * controller flops: one capture per cycle, data toggles rarely after
+//     lock -- activity ~0.1 plus the clock pin (modelled in the DFF energy);
+//   * mapper: recomputes only when duty or tap_sel changes -- activity ~0.05.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ddl/cells/operating_point.h"
+#include "ddl/core/conventional_line.h"
+#include "ddl/core/proposed_line.h"
+#include "ddl/synth/gate_inventory.h"
+
+namespace ddl::synth {
+
+/// Per-block dynamic power at a clock frequency.
+struct BlockPower {
+  std::string name;
+  double power_uw = 0.0;
+};
+
+struct PowerReport {
+  std::string top_name;
+  std::vector<BlockPower> blocks;
+  double total_uw() const;
+  double block_percent(const std::string& name) const;
+};
+
+/// Dynamic power of one inventory: energy-per-toggle x toggles-per-second.
+double block_power_uw(const GateInventory& inventory,
+                      const cells::Technology& tech,
+                      const cells::OperatingPoint& op, double clock_hz,
+                      double activity);
+
+/// Power report for the proposed scheme at a clock frequency.
+PowerReport proposed_power(const core::ProposedLineConfig& config,
+                           const cells::Technology& tech,
+                           const cells::OperatingPoint& op, double clock_mhz);
+
+/// Power report for the conventional scheme.  Note the asymmetry the area
+/// tables hide: the conventional line's *unselected branches still toggle*
+/// (their chains are driven in parallel and discarded at the branch mux),
+/// so its line power scales with the full m(m+1)/2 buffer population.
+PowerReport conventional_power(const core::ConventionalLineConfig& config,
+                               const cells::Technology& tech,
+                               const cells::OperatingPoint& op,
+                               double clock_mhz);
+
+}  // namespace ddl::synth

@@ -1,0 +1,38 @@
+// Synthesizable Verilog-2001 RTL emission for both delay-line schemes --
+// the thesis's actual deliverable ("the purpose of this work is to propose
+// a fully synthesizable RTL digital delay line") as a generated artifact.
+//
+// The emitted RTL mirrors the C++ models block for block: the proposed
+// module contains the buffer-chain line (as a synthesis-don't-touch chain),
+// calibration/output muxes, the one-update-per-cycle up/down controller
+// with a 2-FF synchronizer, and the Eq-18 multiply-shift mapper; the
+// conventional module contains the tunable cells, the Eq-17 shift register
+// and the taps==01 comparator.  Both are parameterized the way section 4.1
+// describes ("the design of both schemes is parameterized").
+#pragma once
+
+#include <string>
+
+#include "ddl/core/conventional_line.h"
+#include "ddl/core/proposed_line.h"
+
+namespace ddl::synth {
+
+/// Generates the proposed-scheme RTL (thesis Figure 43) for a line
+/// configuration.  `module_name` defaults to "ddl_proposed_delay_line".
+std::string proposed_verilog(const core::ProposedLineConfig& config,
+                             const std::string& module_name =
+                                 "ddl_proposed_delay_line");
+
+/// Generates the conventional-scheme RTL (thesis Figure 32).
+std::string conventional_verilog(const core::ConventionalLineConfig& config,
+                                 const std::string& module_name =
+                                     "ddl_conventional_delay_line");
+
+/// Writes both modules for a 100 MHz 6-bit design into `directory`
+/// (proposed.v / conventional.v); returns the number of files written.
+int write_verilog_files(const std::string& directory,
+                        const core::ProposedLineConfig& proposed,
+                        const core::ConventionalLineConfig& conventional);
+
+}  // namespace ddl::synth

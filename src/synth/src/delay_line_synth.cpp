@@ -1,0 +1,148 @@
+#include "ddl/synth/delay_line_synth.h"
+
+#include <bit>
+
+namespace ddl::synth {
+
+using cells::CellKind;
+
+namespace {
+
+/// Width of the tap-index datapath for an N-tap line.
+int word_bits(std::size_t num_cells) {
+  return std::bit_width(num_cells) - 1;
+}
+
+/// An N:1 single-bit mux tree: N-1 MUX2 cells.
+GateInventory mux_tree(std::size_t inputs, int data_bits) {
+  GateInventory inv;
+  inv.add(CellKind::kMux2,
+          static_cast<std::uint64_t>(inputs - 1) *
+              static_cast<std::uint64_t>(data_bits));
+  return inv;
+}
+
+/// A w x w unsigned array multiplier: w^2 partial-product ANDs, w half
+/// adders, w^2 - 2w full adders (the final shift is free wiring).
+GateInventory array_multiplier(int w) {
+  GateInventory inv;
+  const auto uw = static_cast<std::uint64_t>(w);
+  inv.add(CellKind::kAnd2, uw * uw);
+  inv.add(CellKind::kHalfAdder, uw);
+  if (uw >= 2) {
+    inv.add(CellKind::kFullAdder, uw * uw - 2 * uw);
+  }
+  return inv;
+}
+
+}  // namespace
+
+GateInventory proposed_line_gates(const core::ProposedLineConfig& config) {
+  GateInventory inv;
+  inv.add(CellKind::kBuffer,
+          static_cast<std::uint64_t>(config.num_cells) *
+              static_cast<std::uint64_t>(config.buffers_per_cell));
+  return inv;
+}
+
+GateInventory proposed_output_mux_gates(
+    const core::ProposedLineConfig& config) {
+  return mux_tree(config.num_cells, /*data_bits=*/1);
+}
+
+GateInventory proposed_cal_mux_gates(const core::ProposedLineConfig& config) {
+  // MUX 1 of Figure 46 selects tap pairs: a 2-bit data path, hence "double
+  // the area of the output multiplexer" (section 4.1).
+  return mux_tree(config.num_cells, /*data_bits=*/2);
+}
+
+GateInventory proposed_controller_gates(
+    const core::ProposedLineConfig& config) {
+  GateInventory inv;
+  const int w = word_bits(config.num_cells);
+  // tap_sel register + up/down compare flop + 2-FF synchronizer.
+  inv.add(CellKind::kDff, static_cast<std::uint64_t>(w) + 3);
+  // +/-1 incrementer/decrementer: one adder stage per tap_sel bit.
+  inv.add(CellKind::kFullAdder, static_cast<std::uint64_t>(w));
+  // Direction/enable glue (MUX 2 of Figure 46 select logic, lock detect).
+  inv.add(CellKind::kNand2, 4);
+  inv.add(CellKind::kInverter, 4);
+  return inv;
+}
+
+GateInventory proposed_mapper_gates(const core::ProposedLineConfig& config) {
+  // Eq 18: cal_sel = (duty * tap_sel) >> log2(N/2); synthesis maps this to a
+  // w x w multiplier; the power-of-two division is wiring.
+  return array_multiplier(word_bits(config.num_cells));
+}
+
+SynthesisReport synthesize_proposed(const core::ProposedLineConfig& config,
+                                    const cells::Technology& tech) {
+  SynthesisReport report;
+  report.top_name = "proposed delay line";
+  auto block = [&](const std::string& name, GateInventory gates) {
+    report.blocks.push_back(
+        BlockReport{name, gates, gates.area_um2(tech)});
+  };
+  block("Delay Line", proposed_line_gates(config));
+  block("Output MUX", proposed_output_mux_gates(config));
+  block("Calibration MUX", proposed_cal_mux_gates(config));
+  block("Controller", proposed_controller_gates(config));
+  block("Mapper", proposed_mapper_gates(config));
+  return report;
+}
+
+GateInventory conventional_line_gates(
+    const core::ConventionalLineConfig& config) {
+  GateInventory inv;
+  const auto cells_count = static_cast<std::uint64_t>(config.num_cells);
+  const auto m = static_cast<std::uint64_t>(config.branches);
+  const auto k = static_cast<std::uint64_t>(config.buffers_per_element);
+  // Branch b holds (b+1) elements; all branches exist physically
+  // (the redundancy the thesis charges the scheme with): sum_{b=1..m} b
+  // elements = m(m+1)/2, each of k buffers.
+  inv.add(CellKind::kBuffer, cells_count * (m * (m + 1) / 2) * k);
+  // Per-cell m:1 branch mux.
+  inv.add(CellKind::kMux2, cells_count * (m - 1));
+  // Thermometer decode of the control pair + the cell's output driver.
+  inv.add(CellKind::kInverter, cells_count * 2);
+  inv.add(CellKind::kAnd2, cells_count * 2);
+  inv.add(CellKind::kBuffer, cells_count);
+  return inv;
+}
+
+GateInventory conventional_output_mux_gates(
+    const core::ConventionalLineConfig& config) {
+  return mux_tree(config.num_cells, /*data_bits=*/1);
+}
+
+GateInventory conventional_controller_gates(
+    const core::ConventionalLineConfig& config) {
+  GateInventory inv;
+  // Eq 17: the shift register holds control_bits x cells + 1 flops.
+  inv.add(CellKind::kDff,
+          static_cast<std::uint64_t>(config.shift_register_bits()));
+  // 2-FF synchronizer on the sampled taps (Figure 38).
+  inv.add(CellKind::kDff, 2);
+  // taps == 01 lock comparator and shift-enable glue.
+  inv.add(CellKind::kXor2, 2);
+  inv.add(CellKind::kNand2, 3);
+  inv.add(CellKind::kInverter, 2);
+  return inv;
+}
+
+SynthesisReport synthesize_conventional(
+    const core::ConventionalLineConfig& config, const cells::Technology& tech) {
+  SynthesisReport report;
+  report.top_name = "conventional adjustable-cells delay line";
+  auto block = [&](const std::string& name, GateInventory gates) {
+    report.blocks.push_back(
+        BlockReport{name, gates, gates.area_um2(tech)});
+  };
+  block("Delay Line", conventional_line_gates(config));
+  block("Output MUX", conventional_output_mux_gates(config));
+  block("Controller", conventional_controller_gates(config));
+  return report;
+}
+
+}  // namespace ddl::synth

@@ -1,0 +1,84 @@
+#include "ddl/synth/gate_inventory.h"
+
+#include <iomanip>
+#include <numeric>
+#include <sstream>
+
+namespace ddl::synth {
+
+GateInventory& GateInventory::operator+=(const GateInventory& other) {
+  for (const auto& [kind, count] : other.counts_) {
+    counts_[kind] += count;
+  }
+  return *this;
+}
+
+std::uint64_t GateInventory::count(cells::CellKind kind) const {
+  auto it = counts_.find(kind);
+  return it == counts_.end() ? 0 : it->second;
+}
+
+std::uint64_t GateInventory::total_cells() const {
+  std::uint64_t total = 0;
+  for (const auto& [kind, count] : counts_) {
+    total += count;
+  }
+  return total;
+}
+
+double GateInventory::area_um2(const cells::Technology& tech) const {
+  double area = 0.0;
+  for (const auto& [kind, count] : counts_) {
+    area += tech.area_um2(kind) * static_cast<double>(count);
+  }
+  return area;
+}
+
+double GateInventory::energy_fj(const cells::Technology& tech,
+                                const cells::OperatingPoint& op) const {
+  double energy = 0.0;
+  for (const auto& [kind, count] : counts_) {
+    energy += tech.energy_fj(kind, op) * static_cast<double>(count);
+  }
+  return energy;
+}
+
+double SynthesisReport::total_area_um2() const {
+  return std::accumulate(blocks.begin(), blocks.end(), 0.0,
+                         [](double sum, const BlockReport& block) {
+                           return sum + block.area_um2;
+                         });
+}
+
+const BlockReport* SynthesisReport::find(const std::string& block_name) const {
+  for (const BlockReport& block : blocks) {
+    if (block.name == block_name) {
+      return &block;
+    }
+  }
+  return nullptr;
+}
+
+double SynthesisReport::block_percent(const std::string& block_name) const {
+  const BlockReport* block = find(block_name);
+  const double total = total_area_um2();
+  return block != nullptr && total > 0.0 ? 100.0 * block->area_um2 / total
+                                         : 0.0;
+}
+
+std::string SynthesisReport::to_table() const {
+  std::ostringstream os;
+  os << top_name << "\n";
+  os << std::fixed;
+  for (const BlockReport& block : blocks) {
+    os << "  " << std::setw(16) << std::left << block.name << std::right
+       << std::setw(9) << std::setprecision(1) << block.area_um2 << " um^2  ("
+       << std::setw(5) << std::setprecision(1) << block_percent(block.name)
+       << " %)  " << block.gates.total_cells() << " cells\n";
+  }
+  os << "  " << std::setw(16) << std::left << "TOTAL" << std::right
+     << std::setw(9) << std::setprecision(1) << total_area_um2() << " um^2\n";
+  return os.str();
+}
+
+}  // namespace ddl::synth

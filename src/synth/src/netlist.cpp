@@ -1,0 +1,307 @@
+#include "ddl/synth/netlist.h"
+
+#include <algorithm>
+#include <bit>
+#include <stdexcept>
+
+namespace ddl::synth {
+
+using cells::CellKind;
+
+int Netlist::add_input(std::string name) {
+  if (!nodes_.empty() && !nodes_.back().is_input) {
+    throw std::logic_error("Netlist: inputs must be added before gates");
+  }
+  Node node;
+  node.is_input = true;
+  node.name = std::move(name);
+  nodes_.push_back(std::move(node));
+  ++input_count_;
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+int Netlist::add_gate(CellKind kind, std::vector<int> fanin) {
+  for (int f : fanin) {
+    if (f < 0 || f >= static_cast<int>(nodes_.size())) {
+      throw std::out_of_range("Netlist: fanin node does not exist");
+    }
+  }
+  Node node;
+  node.kind = kind;
+  node.fanin = std::move(fanin);
+  nodes_.push_back(std::move(node));
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void Netlist::mark_output(int node) {
+  if (node < 0 || node >= static_cast<int>(nodes_.size())) {
+    throw std::out_of_range("Netlist: output node does not exist");
+  }
+  outputs_.push_back(node);
+}
+
+GateInventory Netlist::inventory() const {
+  GateInventory inv;
+  for (const Node& node : nodes_) {
+    if (!node.is_input) {
+      inv.add(node.kind, 1);
+    }
+  }
+  return inv;
+}
+
+std::vector<double> Netlist::arrival_times(
+    const cells::Technology& tech, const cells::OperatingPoint& op) const {
+  // Nodes are added in topological order by construction (gates only
+  // reference existing nodes), so one forward pass suffices.
+  std::vector<double> arrival(nodes_.size(), 0.0);
+  for (std::size_t i = 0; i < nodes_.size(); ++i) {
+    const Node& node = nodes_[i];
+    if (node.is_input) {
+      continue;
+    }
+    double latest = 0.0;
+    for (int f : node.fanin) {
+      latest = std::max(latest, arrival[static_cast<std::size_t>(f)]);
+    }
+    arrival[i] = latest + tech.delay_ps(node.kind, op);
+  }
+  return arrival;
+}
+
+double Netlist::critical_path_ps(const cells::Technology& tech,
+                                 const cells::OperatingPoint& op) const {
+  const auto arrival = arrival_times(tech, op);
+  double worst = 0.0;
+  for (int out : outputs_) {
+    worst = std::max(worst, arrival[static_cast<std::size_t>(out)]);
+  }
+  return worst;
+}
+
+std::vector<int> Netlist::critical_path(const cells::Technology& tech,
+                                        const cells::OperatingPoint& op) const {
+  const auto arrival = arrival_times(tech, op);
+  int cursor = -1;
+  double worst = -1.0;
+  for (int out : outputs_) {
+    if (arrival[static_cast<std::size_t>(out)] > worst) {
+      worst = arrival[static_cast<std::size_t>(out)];
+      cursor = out;
+    }
+  }
+  std::vector<int> path;
+  while (cursor >= 0) {
+    path.push_back(cursor);
+    const Node& node = nodes_[static_cast<std::size_t>(cursor)];
+    if (node.is_input || node.fanin.empty()) {
+      break;
+    }
+    int next = node.fanin.front();
+    for (int f : node.fanin) {
+      if (arrival[static_cast<std::size_t>(f)] >
+          arrival[static_cast<std::size_t>(next)]) {
+        next = f;
+      }
+    }
+    cursor = next;
+  }
+  std::reverse(path.begin(), path.end());
+  return path;
+}
+
+std::string Netlist::node_name(int node) const {
+  const Node& n = nodes_.at(static_cast<std::size_t>(node));
+  if (n.is_input) {
+    return "in:" + n.name;
+  }
+  return std::string(to_string(n.kind)) + "@" + std::to_string(node);
+}
+
+// ----- Generators ------------------------------------------------------------
+
+Netlist build_array_multiplier(int width) {
+  if (width < 1) {
+    throw std::invalid_argument("multiplier width must be >= 1");
+  }
+  Netlist net;
+  std::vector<int> a(width), b(width);
+  for (int i = 0; i < width; ++i) {
+    a[i] = net.add_input("a[" + std::to_string(i) + "]");
+  }
+  for (int i = 0; i < width; ++i) {
+    b[i] = net.add_input("b[" + std::to_string(i) + "]");
+  }
+  // Partial products.
+  std::vector<std::vector<int>> pp(static_cast<std::size_t>(width),
+                                   std::vector<int>(width));
+  for (int i = 0; i < width; ++i) {
+    for (int j = 0; j < width; ++j) {
+      pp[i][j] = net.add_gate(CellKind::kAnd2, {a[j], b[i]});
+    }
+  }
+  // Ripple-carry accumulation row by row (the classic array structure).
+  std::vector<int> row = pp[0];  // Row 0's partial sums.
+  net.mark_output(row[0]);       // product[0].
+  for (int i = 1; i < width; ++i) {
+    std::vector<int> next(static_cast<std::size_t>(width));
+    int carry = -1;
+    for (int j = 0; j < width; ++j) {
+      const int addend = j + 1 < width ? row[j + 1] : -1;
+      std::vector<int> fanin{pp[i][j]};
+      if (addend >= 0) {
+        fanin.push_back(addend);
+      }
+      if (carry >= 0) {
+        fanin.push_back(carry);
+      }
+      const CellKind kind =
+          fanin.size() >= 3 ? CellKind::kFullAdder : CellKind::kHalfAdder;
+      // Sum node; the carry is modelled as a second gate of the same cell
+      // (the cell's census counts once -- see inventory note below).
+      const int sum = net.add_gate(kind, fanin);
+      carry = net.add_gate(CellKind::kAnd2, fanin);  // Carry-out proxy.
+      next[j] = sum;
+    }
+    net.mark_output(next[0]);  // product[i].
+    row = std::move(next);
+    row.back() = carry >= 0 ? carry : row.back();
+  }
+  for (int j = 0; j < width; ++j) {
+    net.mark_output(row[j]);  // Upper product bits.
+  }
+  return net;
+}
+
+Netlist build_incrementer(int width) {
+  if (width < 1) {
+    throw std::invalid_argument("incrementer width must be >= 1");
+  }
+  Netlist net;
+  const int direction = net.add_input("down");
+  std::vector<int> x(width);
+  for (int i = 0; i < width; ++i) {
+    x[i] = net.add_input("x[" + std::to_string(i) + "]");
+  }
+  // +/-1: xor with propagated carry; carry chain = AND/XNOR of prior bits
+  // against the direction (borrow vs carry).
+  int chain = direction;
+  for (int i = 0; i < width; ++i) {
+    const int flip = net.add_gate(CellKind::kXnor2, {x[i], chain});
+    const int sum = net.add_gate(CellKind::kXor2, {x[i], flip});
+    net.mark_output(sum);
+    chain = net.add_gate(CellKind::kAnd2, {chain, flip});
+  }
+  return net;
+}
+
+Netlist build_equality_comparator(int width) {
+  if (width < 1) {
+    throw std::invalid_argument("comparator width must be >= 1");
+  }
+  Netlist net;
+  std::vector<int> a(width), b(width);
+  for (int i = 0; i < width; ++i) {
+    a[i] = net.add_input("a[" + std::to_string(i) + "]");
+  }
+  for (int i = 0; i < width; ++i) {
+    b[i] = net.add_input("b[" + std::to_string(i) + "]");
+  }
+  std::vector<int> layer;
+  for (int i = 0; i < width; ++i) {
+    layer.push_back(net.add_gate(CellKind::kXnor2, {a[i], b[i]}));
+  }
+  while (layer.size() > 1) {
+    std::vector<int> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(net.add_gate(CellKind::kAnd2, {layer[i], layer[i + 1]}));
+    }
+    if (layer.size() % 2 != 0) {
+      next.push_back(layer.back());
+    }
+    layer = std::move(next);
+  }
+  net.mark_output(layer.front());
+  return net;
+}
+
+Netlist build_mux_tree_netlist(std::size_t inputs) {
+  if (inputs < 2 || !std::has_single_bit(inputs)) {
+    throw std::invalid_argument("mux tree needs a power-of-two input count");
+  }
+  Netlist net;
+  const int levels = std::bit_width(inputs) - 1;
+  std::vector<int> selects;
+  for (int l = 0; l < levels; ++l) {
+    selects.push_back(net.add_input("sel[" + std::to_string(l) + "]"));
+  }
+  std::vector<int> layer;
+  for (std::size_t i = 0; i < inputs; ++i) {
+    layer.push_back(net.add_input("d[" + std::to_string(i) + "]"));
+  }
+  for (int l = 0; l < levels; ++l) {
+    std::vector<int> next;
+    for (std::size_t i = 0; i + 1 < layer.size(); i += 2) {
+      next.push_back(net.add_gate(CellKind::kMux2,
+                                  {selects[static_cast<std::size_t>(l)],
+                                   layer[i], layer[i + 1]}));
+    }
+    layer = std::move(next);
+  }
+  net.mark_output(layer.front());
+  return net;
+}
+
+// ----- Scheme-level timing ------------------------------------------------------
+
+namespace {
+
+TimingReport close_timing(const Netlist& net, const cells::Technology& tech,
+                          const cells::OperatingPoint& op, double clock_mhz) {
+  TimingReport report;
+  const double derating = cells::delay_derating(op);
+  report.logic_delay_ps = net.critical_path_ps(tech, op);
+  report.clk_to_q_ps = tech.delay_ps(CellKind::kDff, op);
+  report.setup_ps = tech.sequential_timing().setup_ps * derating;
+  report.min_period_ps =
+      report.clk_to_q_ps + report.logic_delay_ps + report.setup_ps;
+  report.fmax_mhz = 1e6 / report.min_period_ps;
+  const double period_ps = 1e6 / clock_mhz;
+  report.slack_ps = period_ps - report.min_period_ps;
+  report.meets_timing = report.slack_ps >= 0.0;
+  const auto path = net.critical_path(tech, op);
+  if (!path.empty()) {
+    report.critical_through = net.node_name(path.front()) + " -> " +
+                              net.node_name(path.back()) + " (" +
+                              std::to_string(path.size()) + " nodes)";
+  }
+  return report;
+}
+
+}  // namespace
+
+TimingReport proposed_control_timing(const core::ProposedLineConfig& config,
+                                     const cells::Technology& tech,
+                                     const cells::OperatingPoint& op,
+                                     double clock_mhz) {
+  // The register-to-register arc: tap_sel/duty registers -> mapper
+  // multiplier -> output-mux select register.  The multiplier dominates;
+  // the +/-1 incrementer and mux selects are far shorter.
+  const Netlist multiplier =
+      build_array_multiplier(config.input_word_bits());
+  return close_timing(multiplier, tech, op, clock_mhz);
+}
+
+TimingReport conventional_control_timing(
+    const core::ConventionalLineConfig& config, const cells::Technology& tech,
+    const cells::OperatingPoint& op, double clock_mhz) {
+  // The controller's longest arc is the 2-bit taps==01 comparator plus the
+  // shift-enable gating -- modelled as the equality comparator over the
+  // synchronized tap pair extended by the enable chain.
+  const Netlist comparator = build_equality_comparator(2);
+  TimingReport report = close_timing(comparator, tech, op, clock_mhz);
+  (void)config;
+  return report;
+}
+
+}  // namespace ddl::synth

@@ -1,0 +1,239 @@
+// Tests for the analog substrate: buck plant, linear regulators, switched-
+// capacitor converter and the window ADC.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ddl/analog/adc.h"
+#include "ddl/analog/buck.h"
+#include "ddl/analog/linear_regulator.h"
+#include "ddl/analog/switched_capacitor.h"
+
+namespace ddl::analog {
+namespace {
+
+constexpr sim::Time kPeriod = 1'000'000;  // 1 MHz switching.
+
+dpwm::PwmPeriod pwm_at(double duty) {
+  dpwm::PwmPeriod p;
+  p.start = 0;
+  p.period_ps = kPeriod;
+  p.high_ps = static_cast<sim::Time>(duty * kPeriod);
+  return p;
+}
+
+BuckParams default_params() { return BuckParams{}; }
+
+// ---- Buck converter -------------------------------------------------------
+
+TEST(Buck, RejectsBadParameters) {
+  BuckParams params;
+  params.inductance_h = 0.0;
+  EXPECT_THROW(BuckConverter(params, 1e-9), std::invalid_argument);
+  EXPECT_THROW(BuckConverter(default_params(), 0.0), std::invalid_argument);
+}
+
+TEST(Buck, SteadyStateFollowsDutyTimesVin) {
+  // Eq 11: Vo = Duty x Vg (minus conduction drops).
+  BuckConverter buck(default_params());
+  for (int i = 0; i < 4000; ++i) {
+    buck.run_period(pwm_at(0.5), 0.5);
+  }
+  EXPECT_NEAR(buck.output_voltage(), 1.5, 0.08);
+}
+
+class BuckDutySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(BuckDutySweep, OutputTracksDuty) {
+  const double duty = GetParam();
+  BuckConverter buck(default_params());
+  for (int i = 0; i < 4000; ++i) {
+    buck.run_period(pwm_at(duty), 0.3);
+  }
+  EXPECT_NEAR(buck.output_voltage(), duty * 3.0, 0.12) << "duty " << duty;
+}
+
+INSTANTIATE_TEST_SUITE_P(Duties, BuckDutySweep,
+                         ::testing::Values(0.2, 0.33, 0.5, 0.66, 0.8));
+
+TEST(Buck, RippleShrinksWithLargerCapacitor) {
+  BuckParams small = default_params();
+  small.capacitance_f = 4.7e-6;
+  BuckParams large = default_params();
+  large.capacitance_f = 47e-6;
+  BuckConverter buck_small(small);
+  BuckConverter buck_large(large);
+  for (int i = 0; i < 3000; ++i) {
+    buck_small.run_period(pwm_at(0.5), 0.5);
+    buck_large.run_period(pwm_at(0.5), 0.5);
+  }
+  const double ripple_small =
+      buck_small.last_period_vmax() - buck_small.last_period_vmin();
+  const double ripple_large =
+      buck_large.last_period_vmax() - buck_large.last_period_vmin();
+  EXPECT_GT(ripple_small, ripple_large);
+}
+
+TEST(Buck, EfficiencyIsHighButBelowUnity) {
+  BuckConverter buck(default_params());
+  for (int i = 0; i < 5000; ++i) {
+    buck.run_period(pwm_at(0.5), 0.5);
+  }
+  const double eta = buck.energy().efficiency();
+  EXPECT_GT(eta, 0.80);  // Table 1: switching regulators are efficient...
+  EXPECT_LT(eta, 1.00);  // ...but not lossless.
+}
+
+TEST(Buck, InductorCurrentRampsUpDuringOnPhase) {
+  BuckConverter buck(default_params());
+  buck.run_static(2e-6, /*high_on=*/true, 0.0);
+  EXPECT_GT(buck.inductor_current_a(), 0.0);  // Figure 13's up-ramp.
+}
+
+TEST(Buck, LoadStepCausesTransientDroop) {
+  BuckConverter buck(default_params());
+  for (int i = 0; i < 3000; ++i) {
+    buck.run_period(pwm_at(0.5), 0.2);
+  }
+  const double settled = buck.output_voltage();
+  buck.run_period(pwm_at(0.5), 2.0);  // 10x load step.
+  EXPECT_LT(buck.output_voltage(), settled);
+}
+
+TEST(Buck, ResetRestoresColdState) {
+  BuckConverter buck(default_params());
+  buck.run_period(pwm_at(0.5), 0.5);
+  buck.reset();
+  EXPECT_DOUBLE_EQ(buck.output_voltage(), 0.0);
+  EXPECT_DOUBLE_EQ(buck.inductor_current_a(), 0.0);
+  EXPECT_DOUBLE_EQ(buck.energy().input_j, 0.0);
+}
+
+// ---- Linear regulators ------------------------------------------------------
+
+TEST(Linear, DropoutOrderingMatchesEquations) {
+  // Eqs 6-8: LDO < quasi-LDO < standard NPN.
+  LinearRegulator npn(LinearTopology::kStandardNpn, 1.0);
+  LinearRegulator ldo(LinearTopology::kLdo, 1.0);
+  LinearRegulator quasi(LinearTopology::kQuasiLdo, 1.0);
+  EXPECT_LT(ldo.dropout_v(), quasi.dropout_v());
+  EXPECT_LT(quasi.dropout_v(), npn.dropout_v());
+  EXPECT_NEAR(npn.dropout_v(), 1.6, 1e-9);    // 2x0.7 + 0.2.
+  EXPECT_NEAR(ldo.dropout_v(), 0.2, 1e-9);
+  EXPECT_NEAR(quasi.dropout_v(), 0.9, 1e-9);  // 0.7 + 0.2.
+}
+
+TEST(Linear, GroundCurrentOrderingIsInverse) {
+  // Section 2.1.1: NPN has the *lowest* ground current, LDO the highest.
+  LinearRegulator npn(LinearTopology::kStandardNpn, 1.0);
+  LinearRegulator ldo(LinearTopology::kLdo, 1.0);
+  LinearRegulator quasi(LinearTopology::kQuasiLdo, 1.0);
+  const double iload = 0.1;
+  EXPECT_LT(npn.ground_current_a(iload), quasi.ground_current_a(iload));
+  EXPECT_LT(quasi.ground_current_a(iload), ldo.ground_current_a(iload));
+}
+
+TEST(Linear, EfficiencyDegradesWithInputOutputRatio) {
+  // Table 1 / Eq 1-5: efficiency ~ Vout/Vin.
+  LinearRegulator ldo(LinearTopology::kLdo, 1.0);
+  const double eta_low_drop = ldo.efficiency(1.2, 0.1);
+  const double eta_high_drop = ldo.efficiency(3.0, 0.1);
+  EXPECT_GT(eta_low_drop, 0.80);
+  EXPECT_LT(eta_high_drop, 0.36);
+  EXPECT_NEAR(eta_high_drop, 1.0 / 3.0, 0.02);
+}
+
+TEST(Linear, DissipationIsInputMinusOutputPower) {
+  LinearRegulator ldo(LinearTopology::kLdo, 1.0);
+  const auto op = ldo.solve(3.0, 0.5);
+  EXPECT_NEAR(op.dissipation_w, op.input_power_w - op.output_power_w, 1e-12);
+  EXPECT_GT(op.dissipation_w, 0.9);  // ~1 W of heat at 2 V drop, 0.5 A.
+}
+
+TEST(Linear, OutOfRegulationTracksInputMinusDropout) {
+  LinearRegulator ldo(LinearTopology::kLdo, 2.5);
+  const auto op = ldo.solve(1.0, 0.1);  // Vin far below Vout target.
+  EXPECT_FALSE(op.in_regulation);
+  EXPECT_NEAR(op.vout, 0.8, 1e-9);  // Vin - dropout: cannot step up.
+  EXPECT_LT(op.vout, 1.0);
+}
+
+TEST(Linear, RejectsNonPositiveTarget) {
+  EXPECT_THROW(LinearRegulator(LinearTopology::kLdo, 0.0),
+               std::invalid_argument);
+}
+
+// ---- Switched-capacitor converter -------------------------------------------
+
+TEST(SwitchedCap, NoLoadHitsIdealRatio) {
+  SwitchedCapConverter sc(SwitchedCapParams{});
+  const auto op = sc.solve(3.0, 0.0);
+  EXPECT_DOUBLE_EQ(op.vout, 1.5);
+  EXPECT_DOUBLE_EQ(op.efficiency, 1.0);
+}
+
+TEST(SwitchedCap, LoadCausesDroop) {
+  // The "weak regulation capability" drawback.
+  SwitchedCapConverter sc(SwitchedCapParams{});
+  const auto light = sc.solve(3.0, 0.01);
+  const auto heavy = sc.solve(3.0, 0.5);
+  EXPECT_LT(heavy.vout, light.vout);
+  EXPECT_LT(heavy.efficiency, light.efficiency);
+}
+
+TEST(SwitchedCap, FasterSwitchingRegulatesStiffer) {
+  SwitchedCapParams slow_params;
+  slow_params.f_sw_hz = 0.2e6;
+  SwitchedCapParams fast_params;
+  fast_params.f_sw_hz = 5e6;
+  EXPECT_GT(SwitchedCapConverter(slow_params).output_resistance_ohm(),
+            SwitchedCapConverter(fast_params).output_resistance_ohm());
+}
+
+TEST(SwitchedCap, ConversionRatioIsStructural) {
+  SwitchedCapParams params;
+  params.ratio_num = 2;
+  params.ratio_den = 3;
+  SwitchedCapConverter sc(params);
+  EXPECT_NEAR(sc.conversion_ratio(), 2.0 / 3.0, 1e-12);
+  // The ratio does not adapt to the input (unlike a buck's duty cycle).
+  EXPECT_NEAR(sc.solve(3.0, 0.0).vout / 3.0, sc.solve(1.5, 0.0).vout / 1.5,
+              1e-12);
+}
+
+// ---- Window ADC ---------------------------------------------------------------
+
+TEST(Adc, ZeroBinAroundVref) {
+  WindowAdc adc(WindowAdcParams{1.0, 10e-3, 7});
+  EXPECT_EQ(adc.sample(1.000), 0);
+  EXPECT_EQ(adc.sample(1.004), 0);
+  EXPECT_EQ(adc.sample(0.996), 0);
+}
+
+TEST(Adc, SignConvention) {
+  WindowAdc adc(WindowAdcParams{1.0, 10e-3, 7});
+  EXPECT_GT(adc.sample(0.95), 0);  // Output low -> positive error -> more duty.
+  EXPECT_LT(adc.sample(1.05), 0);
+}
+
+TEST(Adc, SaturatesAtMaxCode) {
+  WindowAdc adc(WindowAdcParams{1.0, 10e-3, 7});
+  EXPECT_EQ(adc.sample(0.0), 7);
+  EXPECT_EQ(adc.sample(5.0), -7);
+}
+
+TEST(Adc, CodeRoundTrip) {
+  WindowAdc adc(WindowAdcParams{1.0, 10e-3, 7});
+  for (int code = -7; code <= 7; ++code) {
+    const double verr = adc.code_to_error_v(code);
+    EXPECT_EQ(adc.sample(1.0 - verr), code);
+  }
+}
+
+TEST(Adc, RejectsBadParams) {
+  EXPECT_THROW(WindowAdc(WindowAdcParams{1.0, 0.0, 7}), std::invalid_argument);
+  EXPECT_THROW(WindowAdc(WindowAdcParams{1.0, 1e-3, 0}), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ddl::analog

@@ -1,0 +1,248 @@
+// Tests for the analysis toolbox: linearity metrics, MTBF, Monte Carlo,
+// yield sweep and report writers.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <set>
+
+#include "ddl/analysis/linearity.h"
+#include "ddl/analysis/monte_carlo.h"
+#include "ddl/analysis/mtbf.h"
+#include "ddl/analysis/report.h"
+#include "ddl/analysis/yield.h"
+
+namespace ddl::analysis {
+namespace {
+
+// ---- Linearity ------------------------------------------------------------
+
+std::vector<double> perfect_ramp(std::size_t n, double step) {
+  std::vector<double> curve;
+  for (std::size_t i = 0; i < n; ++i) {
+    curve.push_back(step * static_cast<double>(i + 1));
+  }
+  return curve;
+}
+
+TEST(Linearity, PerfectRampHasZeroDnlInl) {
+  const auto report = analyze_linearity(perfect_ramp(64, 80.0));
+  EXPECT_NEAR(report.max_dnl_lsb, 0.0, 1e-9);
+  EXPECT_NEAR(report.max_inl_lsb, 0.0, 1e-9);
+  EXPECT_TRUE(report.monotonic);
+  EXPECT_EQ(report.zero_steps, 0u);
+  EXPECT_DOUBLE_EQ(report.ideal_step, 80.0);
+}
+
+TEST(Linearity, SingleOversizedStepShowsInDnl) {
+  auto curve = perfect_ramp(64, 80.0);
+  for (std::size_t i = 32; i < curve.size(); ++i) {
+    curve[i] += 80.0;  // Code 31->32 step doubled.
+  }
+  const auto report = analyze_linearity(curve);
+  // The doubled step is ~1 LSB of DNL (slightly less after end-point
+  // renormalization).
+  EXPECT_GT(report.max_dnl_lsb, 0.85);
+  EXPECT_TRUE(report.monotonic);
+}
+
+TEST(Linearity, StaircaseCountsZeroSteps) {
+  // Two input words per physical tap -- the proposed scheme's slow corner.
+  std::vector<double> curve;
+  for (int i = 0; i < 32; ++i) {
+    curve.push_back(160.0 * (i / 2 + 1));
+  }
+  const auto report = analyze_linearity(curve);
+  EXPECT_EQ(report.zero_steps, 16u);
+  EXPECT_TRUE(report.monotonic);
+}
+
+TEST(Linearity, NonMonotonicDetected) {
+  auto curve = perfect_ramp(16, 10.0);
+  curve[8] = curve[7] - 5.0;
+  EXPECT_FALSE(analyze_linearity(curve).monotonic);
+}
+
+TEST(Linearity, BowedCurveShowsInInl) {
+  std::vector<double> curve;
+  for (int i = 0; i < 64; ++i) {
+    const double x = static_cast<double>(i) / 63.0;
+    curve.push_back(1000.0 * (x + 0.1 * x * (1.0 - x)));  // Parabolic bow.
+  }
+  const auto report = analyze_linearity(curve);
+  EXPECT_GT(report.max_inl_lsb, 1.0);
+  EXPECT_GT(report.rms_inl_lsb, 0.3);
+}
+
+TEST(Linearity, RejectsTinyCurves) {
+  EXPECT_THROW(analyze_linearity({1.0, 2.0}), std::invalid_argument);
+  EXPECT_THROW(dnl_lsb({1.0}), std::invalid_argument);
+  EXPECT_THROW(inl_lsb({}), std::invalid_argument);
+}
+
+// ---- MTBF -------------------------------------------------------------------
+
+TEST(Mtbf, GrowsExponentiallyWithResolutionTime) {
+  MtbfParams params;
+  params.resolution_time_s = 1e-9;
+  const double short_res = synchronizer_mtbf_s(params);
+  params.resolution_time_s = 5e-9;
+  const double long_res = synchronizer_mtbf_s(params);
+  EXPECT_GT(long_res, short_res * 1e10);
+}
+
+TEST(Mtbf, ExtraSynchronizerStageMultipliesMtbf) {
+  const auto tech = cells::Technology::i32nm_class();
+  const double one = synchronizer_mtbf_s(tech, 100e6, 50e6, 1);
+  const double two = synchronizer_mtbf_s(tech, 100e6, 50e6, 2);
+  const double three = synchronizer_mtbf_s(tech, 100e6, 50e6, 3);
+  EXPECT_GT(two, one * 1e10);
+  EXPECT_GE(three, two);  // May saturate at +inf, hence GE.
+}
+
+TEST(Mtbf, SingleStageIsUnacceptablyFrequent) {
+  // With zero resolution slack a raw flop fails constantly -- the reason
+  // Figure 38 adds a second stage.
+  const auto tech = cells::Technology::i32nm_class();
+  const double mtbf = synchronizer_mtbf_s(tech, 100e6, 50e6, 1);
+  EXPECT_LT(mtbf, 1.0);  // Less than a second between failures.
+}
+
+TEST(Mtbf, FasterClockWorsensMtbf) {
+  const auto tech = cells::Technology::i32nm_class();
+  EXPECT_GT(synchronizer_mtbf_s(tech, 50e6, 25e6, 2),
+            synchronizer_mtbf_s(tech, 200e6, 100e6, 2));
+}
+
+TEST(Mtbf, FormatsHumanReadableUnits) {
+  EXPECT_NE(format_mtbf(1e12).find("years"), std::string::npos);
+  EXPECT_NE(format_mtbf(10.0).find(" s"), std::string::npos);
+  EXPECT_NE(format_mtbf(1e-7).find("us"), std::string::npos);
+}
+
+// ---- Monte Carlo ---------------------------------------------------------------
+
+TEST(MonteCarlo, SummaryOfKnownSamples) {
+  const auto s = summarize({1.0, 2.0, 3.0, 4.0, 5.0});
+  EXPECT_DOUBLE_EQ(s.mean, 3.0);
+  EXPECT_DOUBLE_EQ(s.min, 1.0);
+  EXPECT_DOUBLE_EQ(s.max, 5.0);
+  EXPECT_DOUBLE_EQ(s.p50, 3.0);
+  EXPECT_EQ(s.count, 5u);
+  EXPECT_NEAR(s.stddev, std::sqrt(2.0), 1e-12);
+}
+
+TEST(MonteCarlo, EmptySummaryIsZero) {
+  const auto s = summarize({});
+  EXPECT_EQ(s.count, 0u);
+  EXPECT_DOUBLE_EQ(s.mean, 0.0);
+}
+
+TEST(MonteCarlo, DieSeedsAreDistinctAndNonZero) {
+  std::set<std::uint64_t> seeds;
+  for (std::size_t i = 0; i < 1000; ++i) {
+    const auto seed = die_seed(42, i);
+    EXPECT_NE(seed, 0u);
+    seeds.insert(seed);
+  }
+  EXPECT_EQ(seeds.size(), 1000u);
+}
+
+TEST(MonteCarlo, HarnessIsDeterministic) {
+  auto experiment = [](std::uint64_t seed) {
+    return static_cast<double>(seed % 1000);
+  };
+  const auto a = monte_carlo(100, 7, experiment);
+  const auto b = monte_carlo(100, 7, experiment);
+  EXPECT_DOUBLE_EQ(a.mean, b.mean);
+  EXPECT_DOUBLE_EQ(a.p95, b.p95);
+}
+
+TEST(MonteCarlo, YieldCountsPredicatePasses) {
+  EXPECT_DOUBLE_EQ(
+      monte_carlo_yield(100, 1, [](std::uint64_t) { return true; }), 1.0);
+  EXPECT_DOUBLE_EQ(
+      monte_carlo_yield(100, 1, [](std::uint64_t) { return false; }), 0.0);
+  const double half = monte_carlo_yield(
+      10'000, 1, [](std::uint64_t seed) { return (seed & 1) != 0; });
+  EXPECT_NEAR(half, 0.5, 0.03);
+}
+
+// ---- Yield sweep (future work 5.2) ---------------------------------------------
+
+TEST(Yield, MoreCellsNeverHurtYield) {
+  const auto tech = cells::Technology::i32nm_class();
+  core::ProposedLineConfig base{256, 2};
+  const auto sweep =
+      yield_vs_cells(tech, base, 10'000.0, ProcessDistribution{}, 64, 512,
+                     /*trials=*/200, /*seed=*/3);
+  ASSERT_EQ(sweep.size(), 4u);  // 64, 128, 256, 512.
+  for (std::size_t i = 1; i < sweep.size(); ++i) {
+    EXPECT_GE(sweep[i].yield, sweep[i - 1].yield);
+    EXPECT_GT(sweep[i].area_um2, sweep[i - 1].area_um2);
+  }
+}
+
+TEST(Yield, WorstCaseCountYieldsEverything) {
+  // 256 cells x 2 buffers covers the period even for an all-fast die, so
+  // yield at the worst-case count must be 1.0 (the thesis's "100% of the
+  // designed chips" criterion).
+  const auto tech = cells::Technology::i32nm_class();
+  const auto sweep =
+      yield_vs_cells(tech, core::ProposedLineConfig{256, 2}, 10'000.0,
+                     ProcessDistribution{}, 256, 256, 300, 5);
+  ASSERT_EQ(sweep.size(), 1u);
+  EXPECT_DOUBLE_EQ(sweep[0].yield, 1.0);
+}
+
+TEST(Yield, UndersizedLineLosesDies) {
+  // 64 cells x 2 buffers = 10.24 ns only for the *slowest* dies; typical
+  // ones fall short, so yield collapses.
+  const auto tech = cells::Technology::i32nm_class();
+  const auto sweep =
+      yield_vs_cells(tech, core::ProposedLineConfig{256, 2}, 10'000.0,
+                     ProcessDistribution{}, 64, 64, 300, 5);
+  EXPECT_LT(sweep[0].yield, 0.5);
+}
+
+TEST(Yield, CellsForYieldPicksSmallestSufficientCount) {
+  std::vector<YieldPoint> sweep{{64, 0.2, 80.0}, {128, 0.95, 160.0},
+                                {256, 1.0, 320.0}};
+  EXPECT_EQ(cells_for_yield(sweep, 0.9), 128u);
+  EXPECT_EQ(cells_for_yield(sweep, 0.99), 256u);
+  EXPECT_EQ(cells_for_yield(sweep, 1.1), 0u);
+}
+
+// ---- Report writers --------------------------------------------------------------
+
+TEST(Report, TextTableAlignsAndValidates) {
+  TextTable table({"corner", "area"});
+  table.add_row({"fast", TextTable::num(123.456, 1)});
+  EXPECT_THROW(table.add_row({"too", "many", "cells"}), std::invalid_argument);
+  const std::string rendered = table.render();
+  EXPECT_NE(rendered.find("corner"), std::string::npos);
+  EXPECT_NE(rendered.find("123.5"), std::string::npos);
+}
+
+TEST(Report, CsvRoundTrip) {
+  const std::string path = ::testing::TempDir() + "ddl_report_test.csv";
+  write_csv(path, "x", {1.0, 2.0}, {{"a", {10.0, 20.0}}, {"b", {30.0, 40.0}}});
+  std::ifstream in(path);
+  std::string header;
+  std::getline(in, header);
+  EXPECT_EQ(header, "x,a,b");
+  std::string row;
+  std::getline(in, row);
+  EXPECT_EQ(row, "1,10,30");
+  std::remove(path.c_str());
+}
+
+TEST(Report, CsvRejectsMismatchedSeries) {
+  EXPECT_THROW(write_csv(::testing::TempDir() + "bad.csv", "x", {1.0},
+                         {{"a", {1.0, 2.0}}}),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ddl::analysis

@@ -1,0 +1,166 @@
+// Tests for the PID compensator and the closed-loop digitally controlled
+// buck converter (thesis Figure 15).
+#include <gtest/gtest.h>
+
+#include "ddl/control/closed_loop.h"
+#include "ddl/dpwm/behavioral.h"
+
+namespace ddl::control {
+namespace {
+
+// ~1 MHz switching; a power of two so counter DPWMs divide it exactly.
+constexpr sim::Time kPeriod = 1'048'576;
+
+analog::BuckParams plant_params() {
+  analog::BuckParams params;
+  params.vin = 3.0;
+  return params;
+}
+
+analog::WindowAdcParams adc_params() {
+  return analog::WindowAdcParams{1.0, 10e-3, 7};
+}
+
+// A 10-bit DPWM: word for ~1 V out of 3 V is ~341.
+PidController make_pid(std::uint64_t duty_max = 1023,
+                       std::uint64_t duty_init = 341) {
+  return PidController(PidParams{}, duty_max, duty_init);
+}
+
+TEST(Pid, RejectsBadRanges) {
+  EXPECT_THROW(PidController(PidParams{}, 0, 0), std::invalid_argument);
+  EXPECT_THROW(PidController(PidParams{}, 10, 11), std::invalid_argument);
+}
+
+TEST(Pid, ZeroErrorHoldsDuty) {
+  auto pid = make_pid();
+  const auto d0 = pid.update(0);
+  EXPECT_EQ(d0, 341u);
+  EXPECT_EQ(pid.update(0), d0);
+}
+
+TEST(Pid, PositiveErrorRaisesDuty) {
+  auto pid = make_pid();
+  EXPECT_GT(pid.update(3), 341u);
+}
+
+TEST(Pid, IntegratorAccumulatesPersistentError) {
+  auto pid = make_pid();
+  const auto first = pid.update(1);
+  std::uint64_t last = first;
+  // ki is small (~0.016), so give the integrator room to show.
+  for (int i = 0; i < 300; ++i) {
+    last = pid.update(1);
+  }
+  EXPECT_GT(last, first);
+}
+
+TEST(Pid, OutputClampsToRange) {
+  auto pid = make_pid();
+  for (int i = 0; i < 10'000; ++i) {
+    pid.update(7);
+  }
+  EXPECT_EQ(pid.duty(), 1023u);
+  pid.reset();
+  for (int i = 0; i < 10'000; ++i) {
+    pid.update(-7);
+  }
+  EXPECT_EQ(pid.duty(), 0u);
+}
+
+TEST(Pid, IntegratorSaturates) {
+  PidParams params;
+  params.integrator_max = 100;
+  params.integrator_min = -100;
+  PidController pid(params, 1023, 341);
+  for (int i = 0; i < 1000; ++i) {
+    pid.update(7);
+  }
+  EXPECT_EQ(pid.integrator(), 100);
+}
+
+TEST(Pid, ResetRestoresInitialState) {
+  auto pid = make_pid();
+  pid.update(5);
+  pid.reset();
+  EXPECT_EQ(pid.duty(), 341u);
+  EXPECT_EQ(pid.integrator(), 0);
+}
+
+// ---- Closed loop -----------------------------------------------------------
+
+TEST(ClosedLoop, SettlesToReferenceWithFineDpwm) {
+  dpwm::CounterDpwm dpwm(10, kPeriod);  // ~3 mV DPWM LSB < 10 mV ADC LSB.
+  DigitallyControlledBuck loop(analog::BuckConverter(plant_params()),
+                               analog::WindowAdc(adc_params()), make_pid(),
+                               dpwm);
+  loop.run(3000, constant_load(0.4));
+  const auto metrics = loop.metrics(2000, 3000);
+  EXPECT_NEAR(metrics.mean_vout, 1.0, 0.02);
+  EXPECT_FALSE(metrics.limit_cycling);
+  EXPECT_LT(loop.settling_period(0.03), 2500u);
+}
+
+TEST(ClosedLoop, CoarseDpwmLimitCycles) {
+  // The resolution rule behind the whole thesis (section 2.2): if the DPWM
+  // LSB (3 V / 16 = 187 mV) is far coarser than the ADC LSB (10 mV), no
+  // duty word holds the output inside the zero bin and the loop hunts.
+  dpwm::CounterDpwm coarse(4, kPeriod);
+  DigitallyControlledBuck loop(analog::BuckConverter(plant_params()),
+                               analog::WindowAdc(adc_params()),
+                               make_pid(15, 5), coarse);
+  loop.run(3000, constant_load(0.4));
+  const auto metrics = loop.metrics(2000, 3000);
+  EXPECT_TRUE(metrics.limit_cycling);
+  EXPECT_GT(metrics.vout_stddev, 0.005);
+}
+
+TEST(ClosedLoop, RecoversFromLoadStep) {
+  dpwm::CounterDpwm dpwm(10, kPeriod);
+  DigitallyControlledBuck loop(analog::BuckConverter(plant_params()),
+                               analog::WindowAdc(adc_params()), make_pid(),
+                               dpwm);
+  loop.run(2500, step_load(0.2, 1.0, 1500));
+  // Transient droop right after the step...
+  double min_after_step = 10.0;
+  for (std::uint64_t i = 1500; i < 1700; ++i) {
+    min_after_step = std::min(min_after_step, loop.history()[i].vout);
+  }
+  EXPECT_LT(min_after_step, 0.995);
+  // ...but the loop pulls the output back.
+  const auto metrics = loop.metrics(2300, 2500);
+  EXPECT_NEAR(metrics.mean_vout, 1.0, 0.03);
+}
+
+TEST(ClosedLoop, HistoryRecordsEveryPeriod) {
+  dpwm::CounterDpwm dpwm(10, kPeriod);
+  DigitallyControlledBuck loop(analog::BuckConverter(plant_params()),
+                               analog::WindowAdc(adc_params()), make_pid(),
+                               dpwm);
+  loop.run(10, constant_load(0.1));
+  loop.run(5, constant_load(0.1));
+  ASSERT_EQ(loop.history().size(), 15u);
+  EXPECT_EQ(loop.history()[14].period_index, 14u);
+}
+
+TEST(ClosedLoop, MetricsWindowIsHalfOpenAndClamped) {
+  dpwm::CounterDpwm dpwm(10, kPeriod);
+  DigitallyControlledBuck loop(analog::BuckConverter(plant_params()),
+                               analog::WindowAdc(adc_params()), make_pid(),
+                               dpwm);
+  loop.run(10, constant_load(0.1));
+  EXPECT_EQ(loop.metrics(5, 5).distinct_duty_words, 0u);
+  EXPECT_GT(loop.metrics(0, 100).distinct_duty_words, 0u);  // Clamped to 10.
+}
+
+TEST(ClosedLoop, SettlingNeverWhenBandImpossiblyTight) {
+  dpwm::CounterDpwm dpwm(10, kPeriod);
+  DigitallyControlledBuck loop(analog::BuckConverter(plant_params()),
+                               analog::WindowAdc(adc_params()), make_pid(),
+                               dpwm);
+  loop.run(100, constant_load(0.4));
+  EXPECT_EQ(loop.settling_period(1e-9), ~std::uint64_t{0});
+}
+
+}  // namespace
+}  // namespace ddl::control

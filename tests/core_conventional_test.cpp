@@ -1,0 +1,239 @@
+// Tests for the conventional adjustable-cells delay line and its
+// shift-register controller (thesis section 3.2.1).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ddl/analysis/linearity.h"
+#include "ddl/core/calibrated_dpwm.h"
+#include "ddl/core/conventional_controller.h"
+#include "ddl/core/conventional_line.h"
+
+namespace ddl::core {
+namespace {
+
+using cells::OperatingPoint;
+
+const cells::Technology kTech = cells::Technology::i32nm_class();
+constexpr double kPeriod100MHz = 10'000.0;
+
+ConventionalLineConfig config_100mhz() {
+  // The section 4.2.1 design: 64 cells x 4 branches x 2 buffers/element.
+  return ConventionalLineConfig{64, 4, 2};
+}
+
+TEST(ConventionalConfig, ControlAndShiftRegisterSizes) {
+  const auto config = config_100mhz();
+  EXPECT_EQ(config.control_bits_per_cell(), 2);       // Eq 16 with m=4.
+  EXPECT_EQ(config.shift_register_bits(), 129u);      // Eq 17: 2x64+1.
+  EXPECT_EQ(config.max_elements(), 256u);             // Eq 24.
+}
+
+TEST(ConventionalLine, RejectsBadConfigs) {
+  EXPECT_THROW(ConventionalDelayLine(kTech, ConventionalLineConfig{63, 4, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(ConventionalDelayLine(kTech, ConventionalLineConfig{64, 0, 2}),
+               std::invalid_argument);
+}
+
+TEST(ConventionalLine, SettingsSelectBranchDelays) {
+  ConventionalDelayLine line(kTech, config_100mhz());
+  const auto op = OperatingPoint::typical();
+  // Element = 2 buffers = 80 ps typical; branch b = (b+1) elements.
+  EXPECT_DOUBLE_EQ(line.cell_delay_ps(0, op), 80.0);
+  line.set_setting(0, 3);
+  EXPECT_DOUBLE_EQ(line.cell_delay_ps(0, op), 320.0);
+  EXPECT_THROW(line.set_setting(0, 4), std::out_of_range);
+}
+
+TEST(ConventionalLine, MinimumAndMaximumLineDelays) {
+  ConventionalDelayLine line(kTech, config_100mhz());
+  const auto op = OperatingPoint::fast_process_only();
+  // Minimum (all shortest): 64 x 2 x 20 ps = 2.56 ns at the fast corner.
+  EXPECT_DOUBLE_EQ(line.line_delay_ps(op), 2'560.0);
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    line.set_setting(i, 3);
+  }
+  // Eq 29: maximum = 256 elements x 40 ps = 10.24 ns: covers the period.
+  EXPECT_DOUBLE_EQ(line.line_delay_ps(op), 10'240.0);
+  line.reset_settings();
+  EXPECT_DOUBLE_EQ(line.line_delay_ps(op), 2'560.0);
+  EXPECT_EQ(line.total_increments(), 0u);
+}
+
+TEST(BitReverse, KnownValues) {
+  EXPECT_EQ(bit_reverse(0b000, 3), 0b000u);
+  EXPECT_EQ(bit_reverse(0b001, 3), 0b100u);
+  EXPECT_EQ(bit_reverse(0b011, 3), 0b110u);
+  EXPECT_EQ(bit_reverse(0b101, 6), 0b101000u);
+}
+
+TEST(BitReverse, IsAnInvolutionAndPermutation) {
+  std::vector<bool> seen(64, false);
+  for (std::size_t i = 0; i < 64; ++i) {
+    const std::size_t r = bit_reverse(i, 6);
+    EXPECT_EQ(bit_reverse(r, 6), i);
+    ASSERT_LT(r, 64u);
+    EXPECT_FALSE(seen[r]);
+    seen[r] = true;
+  }
+}
+
+// ---- Controller locking ---------------------------------------------------
+
+struct ConventionalCornerCase {
+  OperatingPoint op;
+  // Elements needed beyond the minimum 64: period/element - 64.
+  double expected_shifts;
+};
+
+class ConventionalLockAcrossCorners
+    : public ::testing::TestWithParam<ConventionalCornerCase> {};
+
+TEST_P(ConventionalLockAcrossCorners, LocksWithExpectedShiftCount) {
+  const auto& param = GetParam();
+  ConventionalDelayLine line(kTech, config_100mhz());
+  ConventionalController controller(line, kPeriod100MHz);
+  const auto cycles = controller.run_to_lock(param.op);
+  ASSERT_TRUE(cycles.has_value())
+      << "corner " << to_string(param.op.corner);
+  // Locked means: the Figure 37 window (or floor lock) holds, or the walk
+  // crossed the period exactly (crossing detection), leaving at most one
+  // element of residual error.
+  const double element = line.nominal_element_delay_ps() *
+                         cells::delay_derating(param.op);
+  EXPECT_TRUE(controller.is_lock_condition_met(param.op) ||
+              std::abs(line.line_delay_ps(param.op) - kPeriod100MHz) <=
+                  1.1 * element);
+  EXPECT_NEAR(static_cast<double>(controller.shifts()), param.expected_shifts,
+              2.0);
+  // Each update costs cycles_per_update clock cycles.
+  EXPECT_EQ(*cycles, (controller.shifts() + 1) *
+                         static_cast<std::uint64_t>(
+                             controller.cycles_per_update()));
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corners, ConventionalLockAcrossCorners,
+    ::testing::Values(
+        // Fast: element 40 ps, need 250 elements, have 64 -> 186 shifts.
+        ConventionalCornerCase{OperatingPoint::fast_process_only(), 186.0},
+        // Typical: element 80 ps, need 125 -> 61 shifts.
+        ConventionalCornerCase{OperatingPoint::typical(), 61.0},
+        // Slow: element 160 ps, need 62.5 -> locks almost immediately.
+        ConventionalCornerCase{OperatingPoint::slow_process_only(), 0.0}));
+
+TEST(ConventionalController, UpLimWhenPeriodTooLong) {
+  ConventionalDelayLine line(kTech, config_100mhz());
+  // Max fast delay is 10.24 ns but ask for 100 ns: impossible.
+  ConventionalController controller(line, 100'000.0);
+  EXPECT_FALSE(
+      controller.run_to_lock(OperatingPoint::fast_process_only()).has_value());
+  EXPECT_EQ(controller.status(), LockStatus::kAtLimit);
+  EXPECT_TRUE(controller.at_limit());
+}
+
+TEST(ConventionalController, AtLimitWhenPeriodShorterThanMinimum) {
+  ConventionalDelayLine line(kTech, config_100mhz());
+  // Minimum slow-corner delay is 64 x 160 ps = 10.24 ns > 5 ns period.
+  ConventionalController controller(line, 5'000.0);
+  EXPECT_FALSE(
+      controller.run_to_lock(OperatingPoint::slow_process_only()).has_value());
+  EXPECT_EQ(controller.status(), LockStatus::kAtLimit);
+}
+
+TEST(ConventionalController, CalibrationSlowerThanProposedAtSameCorner) {
+  // The thesis's calibration-time claim: the proposed controller updates
+  // every cycle; the conventional one needs sync+compare cycles per shift
+  // and walks element-by-element.
+  ConventionalDelayLine conv_line(kTech, config_100mhz());
+  ConventionalController conv(conv_line, kPeriod100MHz);
+  const auto conv_cycles =
+      conv.run_to_lock(OperatingPoint::fast_process_only());
+  ASSERT_TRUE(conv_cycles.has_value());
+
+  ProposedDelayLine prop_line(kTech, ProposedLineConfig{256, 2});
+  ProposedController prop(prop_line, kPeriod100MHz);
+  const auto prop_cycles =
+      prop.run_to_lock(OperatingPoint::fast_process_only());
+  ASSERT_TRUE(prop_cycles.has_value());
+
+  EXPECT_GT(*conv_cycles, *prop_cycles);
+}
+
+// ---- Locking-order linearity (Figures 41/42) -------------------------------
+
+double max_inl_after_lock(LockingOrder order, std::uint64_t seed) {
+  ConventionalDelayLine line(kTech, config_100mhz(), seed);
+  ConventionalController controller(line, kPeriod100MHz, order);
+  const auto op = OperatingPoint::typical();
+  if (!controller.run_to_lock(op).has_value()) {
+    ADD_FAILURE() << "failed to lock";
+    return 0.0;
+  }
+  return analysis::analyze_linearity(line.tap_delays(op)).max_inl_lsb;
+}
+
+TEST(LockingOrders, AllOrdersLockToSameTotalDelay) {
+  const auto op = OperatingPoint::typical();
+  for (LockingOrder order : {LockingOrder::kCellMajor, LockingOrder::kLevelMajor,
+                             LockingOrder::kInterleaved}) {
+    ConventionalDelayLine line(kTech, config_100mhz());
+    ConventionalController controller(line, kPeriod100MHz, order);
+    ASSERT_TRUE(controller.run_to_lock(op).has_value());
+    EXPECT_NEAR(line.line_delay_ps(op), kPeriod100MHz, 170.0);
+  }
+}
+
+TEST(LockingOrders, CellMajorIsLeastLinear) {
+  // Figure 42: concentrating long cells at the head of the line is the
+  // linearity worst case; spreading increments (scenario 2) is better.
+  const double cell_major = max_inl_after_lock(LockingOrder::kCellMajor, 0);
+  const double level_major = max_inl_after_lock(LockingOrder::kLevelMajor, 0);
+  const double interleaved = max_inl_after_lock(LockingOrder::kInterleaved, 0);
+  EXPECT_GT(cell_major, level_major);
+  EXPECT_GT(cell_major, 3.0 * interleaved);
+}
+
+TEST(LockingOrders, InterleavedBeatsLevelMajor) {
+  // kLevelMajor at typical stops mid-round (cells 0..60 long, 61..63
+  // short); interleaving spreads that partial round across the line.
+  const double level_major = max_inl_after_lock(LockingOrder::kLevelMajor, 0);
+  const double interleaved = max_inl_after_lock(LockingOrder::kInterleaved, 0);
+  EXPECT_LT(interleaved, level_major);
+}
+
+// ---- System facade ----------------------------------------------------------
+
+TEST(ConventionalDpwmSystem, CalibratesAndGenerates) {
+  ConventionalDelayLine line(kTech, config_100mhz());
+  ConventionalDpwmSystem system(line, kPeriod100MHz);
+  ASSERT_TRUE(system.calibrate().has_value());
+  EXPECT_EQ(system.bits(), 6);
+  const auto pwm = system.generate(0, 32);  // Word 32 of 64 = ~50%.
+  EXPECT_NEAR(pwm.duty(), 0.5, 0.03);
+}
+
+class ConventionalSystemCorners
+    : public ::testing::TestWithParam<OperatingPoint> {};
+
+TEST_P(ConventionalSystemCorners, DutySweepTracksRequest) {
+  ConventionalDelayLine line(kTech, config_100mhz());
+  ConventionalDpwmSystem system(line, kPeriod100MHz);
+  system.set_environment(EnvironmentSchedule(GetParam()));
+  ASSERT_TRUE(system.calibrate().has_value());
+  for (std::uint64_t word = 8; word < 64; word += 8) {
+    const auto pwm = system.generate(0, word);
+    const double requested = static_cast<double>(word) / 64.0;
+    EXPECT_NEAR(pwm.duty(), requested, 0.06) << "word " << word;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corners, ConventionalSystemCorners,
+    ::testing::Values(OperatingPoint::fast_process_only(),
+                      OperatingPoint::typical(),
+                      OperatingPoint::slow_process_only()));
+
+}  // namespace
+}  // namespace ddl::core

@@ -1,0 +1,304 @@
+// Tests for the proposed delay line, its half-period-locking controller and
+// the duty-word mapper (thesis sections 3.1.2, 3.2.2).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ddl/core/calibrated_dpwm.h"
+#include "ddl/core/proposed_controller.h"
+#include "ddl/core/proposed_line.h"
+
+namespace ddl::core {
+namespace {
+
+using cells::OperatingPoint;
+
+const cells::Technology kTech = cells::Technology::i32nm_class();
+constexpr double kPeriod100MHz = 10'000.0;  // ps
+
+ProposedLineConfig config_100mhz() {
+  return ProposedLineConfig{256, 2};  // The section 4.2.2 design.
+}
+
+TEST(ProposedLine, RejectsBadConfigs) {
+  EXPECT_THROW(ProposedDelayLine(kTech, ProposedLineConfig{100, 2}),
+               std::invalid_argument);
+  EXPECT_THROW(ProposedDelayLine(kTech, ProposedLineConfig{256, 0}),
+               std::invalid_argument);
+}
+
+TEST(ProposedLine, NominalCellDelayIsBuffersTimesBuffer) {
+  ProposedDelayLine line(kTech, config_100mhz());
+  EXPECT_DOUBLE_EQ(line.nominal_cell_delay_ps(), 80.0);  // 2 x 40 ps.
+}
+
+TEST(ProposedLine, InputWordBitsMatchDesignExample) {
+  EXPECT_EQ(config_100mhz().input_word_bits(), 8);  // 256 taps -> 8 bits.
+}
+
+TEST(ProposedLine, TapDelaysAreCumulativeAndUniformWithoutMismatch) {
+  ProposedDelayLine line(kTech, config_100mhz());
+  const auto op = OperatingPoint::typical();
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_DOUBLE_EQ(line.tap_delay_ps(i, op), 80.0 * (i + 1));
+  }
+}
+
+TEST(ProposedLine, CornersScaleTapDelaysByProcessFactor) {
+  ProposedDelayLine line(kTech, config_100mhz());
+  // Section 4.2.2: fast-corner full line = 256 x 2 x 20 ps = 10.24 ns.
+  EXPECT_DOUBLE_EQ(line.tap_delay_ps(255, OperatingPoint::fast_process_only()),
+                   10'240.0);
+  EXPECT_DOUBLE_EQ(line.tap_delay_ps(255, OperatingPoint::slow_process_only()),
+                   40'960.0);
+}
+
+TEST(ProposedLine, MismatchedDieIsMonotonicAndNearNominal) {
+  ProposedDelayLine line(kTech, config_100mhz(), /*seed=*/77);
+  const auto taps = line.tap_delays(OperatingPoint::typical());
+  for (std::size_t i = 1; i < taps.size(); ++i) {
+    EXPECT_GT(taps[i], taps[i - 1]);
+  }
+  // Whole-line delay within a few percent of nominal (sigma 2% per buffer,
+  // averaged over 512 buffers).
+  EXPECT_NEAR(taps.back(), 256 * 80.0, 256 * 80.0 * 0.02);
+}
+
+TEST(ProposedLine, SameSeedSameDie) {
+  ProposedDelayLine a(kTech, config_100mhz(), 5);
+  ProposedDelayLine b(kTech, config_100mhz(), 5);
+  const auto op = OperatingPoint::typical();
+  EXPECT_DOUBLE_EQ(a.tap_delay_ps(100, op), b.tap_delay_ps(100, op));
+}
+
+// ---- Controller -----------------------------------------------------------
+
+TEST(ProposedController, LocksToHalfPeriodAtTypical) {
+  ProposedDelayLine line(kTech, config_100mhz());
+  ProposedController controller(line, kPeriod100MHz);
+  const auto op = OperatingPoint::typical();
+  const auto cycles = controller.run_to_lock(op);
+  ASSERT_TRUE(cycles.has_value());
+  // Half period = 5 ns; typical cell = 80 ps -> tap ~ 62.
+  EXPECT_NEAR(static_cast<double>(controller.tap_sel()), 62.0, 2.0);
+  // The thesis's claim: locking takes about one cycle per cell walked.
+  EXPECT_NEAR(static_cast<double>(*cycles), 62.0, 4.0);
+}
+
+struct CornerCase {
+  OperatingPoint op;
+  double expected_tap;
+};
+
+class ProposedLockAcrossCorners : public ::testing::TestWithParam<CornerCase> {
+};
+
+TEST_P(ProposedLockAcrossCorners, TapSelTracksCellDelay) {
+  const auto& param = GetParam();
+  ProposedDelayLine line(kTech, config_100mhz());
+  ProposedController controller(line, kPeriod100MHz);
+  ASSERT_TRUE(controller.run_to_lock(param.op).has_value());
+  EXPECT_NEAR(static_cast<double>(controller.tap_sel()), param.expected_tap,
+              2.0);
+}
+
+// Section 3.1.2: many cells lock at the fast corner, few at the slow one.
+INSTANTIATE_TEST_SUITE_P(
+    Corners, ProposedLockAcrossCorners,
+    ::testing::Values(
+        CornerCase{OperatingPoint::fast_process_only(), 125.0},  // 5ns/40ps
+        CornerCase{OperatingPoint::typical(), 62.5},             // 5ns/80ps
+        CornerCase{OperatingPoint::slow_process_only(), 31.25}));
+
+TEST(ProposedController, LockedStateTogglesAroundBoundary) {
+  ProposedDelayLine line(kTech, config_100mhz());
+  ProposedController controller(line, kPeriod100MHz);
+  const auto op = OperatingPoint::typical();
+  ASSERT_TRUE(controller.run_to_lock(op).has_value());
+  const std::size_t locked_tap = controller.tap_sel();
+  // Continuous calibration: further steps dither within +/-1 tap.
+  for (int i = 0; i < 20; ++i) {
+    controller.step(op);
+    EXPECT_NEAR(static_cast<double>(controller.tap_sel()),
+                static_cast<double>(locked_tap), 1.0);
+    EXPECT_EQ(controller.status(), LockStatus::kLocked);
+  }
+}
+
+TEST(ProposedController, AtLimitWhenLineTooShort) {
+  // A tiny line cannot cover half of a long period.
+  ProposedDelayLine line(kTech, ProposedLineConfig{16, 1});
+  ProposedController controller(line, /*period=*/1e6);
+  EXPECT_FALSE(controller.run_to_lock(OperatingPoint::typical()).has_value());
+  EXPECT_EQ(controller.status(), LockStatus::kAtLimit);
+}
+
+TEST(ProposedController, TracksTemperatureDrift) {
+  ProposedDelayLine line(kTech, config_100mhz());
+  ProposedController controller(line, kPeriod100MHz);
+  OperatingPoint op = OperatingPoint::typical();
+  ASSERT_TRUE(controller.run_to_lock(op).has_value());
+  const std::size_t cool_tap = controller.tap_sel();
+  // Heat the die 100 C: cells slow ~12%, fewer lock to the half period.
+  op.temperature_c = 125.0;
+  for (int i = 0; i < 50; ++i) {
+    controller.step(op);
+  }
+  const std::size_t hot_tap = controller.tap_sel();
+  EXPECT_LT(hot_tap, cool_tap);
+  const double expected =
+      (kPeriod100MHz / 2.0) / (80.0 * cells::delay_derating(op));
+  EXPECT_NEAR(static_cast<double>(hot_tap), expected, 2.0);
+}
+
+TEST(ProposedController, SamplingMarginShrinksNearLock) {
+  ProposedDelayLine line(kTech, config_100mhz());
+  ProposedController controller(line, kPeriod100MHz);
+  const auto op = OperatingPoint::typical();
+  const double start_margin = controller.sampling_margin_ps(op);
+  ASSERT_TRUE(controller.run_to_lock(op).has_value());
+  EXPECT_LT(controller.sampling_margin_ps(op), start_margin);
+  // At lock the margin is below one cell delay.
+  EXPECT_LE(controller.sampling_margin_ps(op), 80.0);
+}
+
+// ---- Mapper (Eq 18) --------------------------------------------------------
+
+TEST(DutyMapper, Section312WorkedExample) {
+  // Section 3.1.2: clock 20 ns, cell typical 1 ns (0.5 fast / 2 slow);
+  // duty 50%.  Typical: tap 10; fast: tap 20; slow: tap 5.
+  // With a 32-cell line (power of two >= the example), full scale = 32.
+  DutyMapper mapper(32);
+  const std::uint64_t duty_50pct = 16;  // Half of full scale.
+  // tap_sel = cells in HALF the period: typ 10, fast 20, slow 5.
+  EXPECT_EQ(mapper.map(duty_50pct, 10), 10u);
+  EXPECT_EQ(mapper.map(duty_50pct, 20), 20u);
+  EXPECT_EQ(mapper.map(duty_50pct, 5), 5u);
+}
+
+TEST(DutyMapper, FullScaleMapsToFullPeriod) {
+  DutyMapper mapper(256);
+  // tap_sel = 62 (typical 100 MHz lock): full-scale word 255 maps just
+  // under 2 * tap_sel.
+  EXPECT_EQ(mapper.map(255, 62), (255u * 62u) >> 7);
+  EXPECT_LE(mapper.map(255, 62), 2u * 62u);
+}
+
+TEST(DutyMapper, TruncationCreatesStaircaseAtSlowCorner) {
+  DutyMapper mapper(256);
+  // Slow corner: tap_sel = 31; 256 input words squeeze into 62 taps, so
+  // consecutive words often map to the same tap (Figure 50's staircase).
+  int repeats = 0;
+  for (std::uint64_t d = 1; d < 256; ++d) {
+    if (mapper.map(d, 31) == mapper.map(d - 1, 31)) {
+      ++repeats;
+    }
+  }
+  EXPECT_GT(repeats, 150);
+}
+
+TEST(DutyMapper, FastCornerUsesDistinctTaps) {
+  DutyMapper mapper(256);
+  // Fast corner: tap_sel = 125 -> nearly every word gets its own tap
+  // (Figure 51).
+  int repeats = 0;
+  for (std::uint64_t d = 1; d < 256; ++d) {
+    if (mapper.map(d, 125) == mapper.map(d - 1, 125)) {
+      ++repeats;
+    }
+  }
+  EXPECT_LT(repeats, 10);
+}
+
+TEST(DutyMapper, MapIsMonotoneAndClamped) {
+  DutyMapper mapper(256);
+  for (std::size_t tap_sel : {31u, 62u, 125u, 200u}) {
+    std::size_t previous = 0;
+    for (std::uint64_t d = 0; d < 256; ++d) {
+      const std::size_t mapped = mapper.map(d, tap_sel);
+      EXPECT_GE(mapped, previous);
+      EXPECT_LT(mapped, 256u);
+      previous = mapped;
+    }
+  }
+}
+
+TEST(DutyMapper, RoundingModeStaysWithinOneTapOfTruncation) {
+  DutyMapper truncating(256, false);
+  DutyMapper rounding(256, true);
+  for (std::uint64_t d = 0; d < 256; d += 7) {
+    const auto t = truncating.map(d, 62);
+    const auto r = rounding.map(d, 62);
+    EXPECT_LE(r - t, 1u);
+    EXPECT_GE(r, t);
+  }
+}
+
+// ---- Full system facade ----------------------------------------------------
+
+TEST(ProposedDpwmSystem, CalibratesThenGeneratesRequestedDuty) {
+  ProposedDelayLine line(kTech, config_100mhz());
+  ProposedDpwmSystem system(line, kPeriod100MHz);
+  ASSERT_TRUE(system.calibrate().has_value());
+  // 50% duty = word 128 of 256.
+  const auto pwm = system.generate(0, 128);
+  EXPECT_NEAR(pwm.duty(), 0.5, 0.02);
+}
+
+class ProposedSystemCorners : public ::testing::TestWithParam<OperatingPoint> {
+};
+
+TEST_P(ProposedSystemCorners, DutyErrorBoundedAfterCalibration) {
+  ProposedDelayLine line(kTech, config_100mhz());
+  ProposedDpwmSystem system(line, kPeriod100MHz);
+  system.set_environment(EnvironmentSchedule(GetParam()));
+  ASSERT_TRUE(system.calibrate().has_value());
+  // Sweep duty words; the executed duty must track word/256 within the
+  // corner's quantization (slow corner: ~62 usable taps -> ~1.6% steps).
+  for (std::uint64_t word = 16; word < 256; word += 16) {
+    const auto pwm = system.generate(0, word);
+    const double requested = static_cast<double>(word) / 256.0;
+    EXPECT_NEAR(pwm.duty(), requested, 0.035)
+        << "word " << word << " corner " << to_string(GetParam().corner);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corners, ProposedSystemCorners,
+    ::testing::Values(OperatingPoint::fast_process_only(),
+                      OperatingPoint::typical(),
+                      OperatingPoint::slow_process_only()));
+
+TEST(ProposedDpwmSystem, UncalibratedSlowCornerExecutesWrongDuty) {
+  // The Figure 28 motivation: without calibration the same tap yields a
+  // very different duty at a different corner.
+  ProposedDelayLine line(kTech, config_100mhz());
+  ProposedDpwmSystem system(line, kPeriod100MHz);
+  ASSERT_TRUE(system.calibrate().has_value());  // Calibrated at typical...
+  system.set_environment(
+      EnvironmentSchedule(OperatingPoint::slow_process_only()));
+  // ...but queried at slow without recalibrating long enough: first period
+  // still uses the typical tap_sel, so 25% requested executes ~50%.
+  const auto pwm = system.generate(0, 64);
+  EXPECT_GT(pwm.duty(), 0.40);
+}
+
+TEST(ProposedDpwmSystem, ContinuousCalibrationRecoversFromDrift) {
+  ProposedDelayLine line(kTech, config_100mhz());
+  ProposedDpwmSystem system(line, kPeriod100MHz);
+  // Temperature ramps +50 C over the first 10 us.
+  system.set_environment(EnvironmentSchedule(OperatingPoint::typical())
+                             .with_temperature_ramp(5.0));
+  ASSERT_TRUE(system.calibrate().has_value());
+  // Run 2000 periods (20 us); the controller steps once per period.
+  sim::Time t = 0;
+  dpwm::PwmPeriod last;
+  for (int i = 0; i < 2000; ++i) {
+    last = system.generate(t, 128);
+    t += system.period_ps();
+  }
+  EXPECT_NEAR(last.duty(), 0.5, 0.02);
+}
+
+}  // namespace
+}  // namespace ddl::core

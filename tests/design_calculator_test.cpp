@@ -1,0 +1,115 @@
+// Tests for the section 4.2 design calculator: the worked 100 MHz / 6-bit
+// example and the Table 6 frequency sweep.
+#include <gtest/gtest.h>
+
+#include "ddl/core/design_calculator.h"
+
+namespace ddl::core {
+namespace {
+
+const cells::Technology kTech = cells::Technology::i32nm_class();
+
+TEST(DesignCalculator, TechnologyData) {
+  DesignCalculator calc(kTech);
+  EXPECT_DOUBLE_EQ(calc.fast_buffer_ps(), 20.0);
+  EXPECT_DOUBLE_EQ(calc.slow_buffer_ps(), 80.0);
+  EXPECT_EQ(calc.adjustment_ratio(), 4);  // Eq 23.
+}
+
+TEST(DesignCalculator, ConventionalWorkedExample) {
+  // Section 4.2.1: 100 MHz, 6 bits.
+  DesignCalculator calc(kTech);
+  const auto design = calc.size_conventional(DesignSpec{100.0, 6});
+  EXPECT_EQ(design.line.num_cells, 64u);                    // Eq 21.
+  EXPECT_EQ(design.mux_inputs, 64u);                        // Eq 22.
+  EXPECT_EQ(design.line.branches, 4);                       // Eq 23.
+  EXPECT_EQ(design.line.max_elements(), 256u);              // Eq 24.
+  EXPECT_NEAR(design.element_delay_target_ps, 39.06, 0.01); // Eq 26.
+  EXPECT_EQ(design.line.buffers_per_element, 2);            // Eq 27.
+  EXPECT_DOUBLE_EQ(design.element_delay_fast_ps, 40.0);     // Eq 28.
+  EXPECT_DOUBLE_EQ(design.max_line_delay_fast_ps, 10'240.0);  // Eq 29.
+  EXPECT_TRUE(design.lock_guaranteed);
+}
+
+TEST(DesignCalculator, ProposedWorkedExample) {
+  // Section 4.2.2: 100 MHz, 6 bits.
+  DesignCalculator calc(kTech);
+  const auto design = calc.size_proposed(DesignSpec{100.0, 6});
+  EXPECT_EQ(design.line.num_cells, 256u);                   // Eq 30.
+  EXPECT_EQ(design.mux_inputs, 256u);                       // Eq 31.
+  EXPECT_NEAR(design.cell_delay_target_ps, 39.06, 0.01);    // Eq 33.
+  EXPECT_EQ(design.line.buffers_per_cell, 2);               // Eq 34.
+  EXPECT_DOUBLE_EQ(design.cell_delay_fast_ps, 40.0);        // Eq 35.
+  EXPECT_DOUBLE_EQ(design.max_line_delay_fast_ps, 10'240.0);  // Eq 36.
+  EXPECT_TRUE(design.lock_guaranteed);
+  EXPECT_EQ(design.input_word_bits, 8);  // Figures 50/51 x-axis.
+}
+
+struct FrequencyCase {
+  double mhz;
+  int expected_buffers_per_cell;  // Table 6 row 1: 4 / 2 / 1.
+};
+
+class Table6Frequencies : public ::testing::TestWithParam<FrequencyCase> {};
+
+TEST_P(Table6Frequencies, BuffersPerCellMatchTable6) {
+  DesignCalculator calc(kTech);
+  const auto design = calc.size_proposed(DesignSpec{GetParam().mhz, 6});
+  EXPECT_EQ(design.line.buffers_per_cell, GetParam().expected_buffers_per_cell);
+  EXPECT_EQ(design.line.num_cells, 256u);  // Resolution fixed -> same count.
+  EXPECT_TRUE(design.lock_guaranteed);
+}
+
+INSTANTIATE_TEST_SUITE_P(Table6, Table6Frequencies,
+                         ::testing::Values(FrequencyCase{50.0, 4},
+                                           FrequencyCase{100.0, 2},
+                                           FrequencyCase{200.0, 1}));
+
+TEST(DesignCalculator, HigherResolutionMeansMoreCells) {
+  DesignCalculator calc(kTech);
+  for (int bits = 4; bits <= 9; ++bits) {
+    const auto design = calc.size_proposed(DesignSpec{100.0, bits});
+    EXPECT_EQ(design.line.num_cells, (std::size_t{4} << bits));
+    EXPECT_TRUE(design.lock_guaranteed);
+  }
+}
+
+TEST(DesignCalculator, LockGuaranteeHoldsAcrossSweep) {
+  // Property: for any (frequency, resolution) in a realistic envelope, the
+  // sized designs always cover the period at the fast corner (Eqs 29/36).
+  DesignCalculator calc(kTech);
+  for (double mhz : {20.0, 50.0, 100.0, 150.0, 200.0, 400.0}) {
+    for (int bits : {4, 5, 6, 7, 8}) {
+      const DesignSpec spec{mhz, bits};
+      EXPECT_TRUE(calc.size_conventional(spec).lock_guaranteed)
+          << mhz << " MHz " << bits << " bits";
+      EXPECT_TRUE(calc.size_proposed(spec).lock_guaranteed)
+          << mhz << " MHz " << bits << " bits";
+    }
+  }
+}
+
+TEST(DesignCalculator, ScaledTechnologyRetargetsTheSameRtl) {
+  // The RTL-methodology argument (section 2.3): the same parameterized
+  // design retargets to a faster technology by recomputing parameters.
+  const cells::Technology faster = kTech.scaled(0.5, 0.7);
+  DesignCalculator calc(faster);
+  const auto design = calc.size_proposed(DesignSpec{100.0, 6});
+  // Buffers are twice as fast -> twice as many per cell.
+  EXPECT_EQ(design.line.buffers_per_cell, 4);
+  EXPECT_TRUE(design.lock_guaranteed);
+}
+
+TEST(DesignCalculator, BothSchemesHaveEqualMaxDelayForFairComparison) {
+  // Section 4.1's fairness criterion: equal maximum achievable delay.
+  DesignCalculator calc(kTech);
+  for (double mhz : {50.0, 100.0, 200.0}) {
+    const DesignSpec spec{mhz, 6};
+    EXPECT_DOUBLE_EQ(calc.size_conventional(spec).max_line_delay_fast_ps,
+                     calc.size_proposed(spec).max_line_delay_fast_ps)
+        << mhz;
+  }
+}
+
+}  // namespace
+}  // namespace ddl::core

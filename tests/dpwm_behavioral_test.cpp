@@ -1,0 +1,149 @@
+// Tests for the behavioral DPWM models against the thesis's timing diagrams
+// (Figures 19, 21, 23).
+#include <gtest/gtest.h>
+
+#include <stdexcept>
+
+#include "ddl/dpwm/behavioral.h"
+
+namespace ddl::dpwm {
+namespace {
+
+constexpr sim::Time kPeriod = 10'000;  // 100 MHz switching.
+
+std::vector<sim::Time> ideal_taps(int bits, sim::Time period) {
+  const std::size_t n = std::size_t{1} << bits;
+  std::vector<sim::Time> taps;
+  for (std::size_t i = 1; i <= n; ++i) {
+    taps.push_back(static_cast<sim::Time>(i) * period /
+                   static_cast<sim::Time>(n));
+  }
+  return taps;
+}
+
+// ---- Counter DPWM (Figure 19) -------------------------------------------
+
+TEST(CounterDpwmTest, TwoBitDutyCyclesMatchFigure19) {
+  CounterDpwm dpwm(2, kPeriod);
+  EXPECT_NEAR(dpwm.generate(0, 0b00).duty(), 0.25, 1e-12);
+  EXPECT_NEAR(dpwm.generate(0, 0b01).duty(), 0.50, 1e-12);
+  EXPECT_NEAR(dpwm.generate(0, 0b10).duty(), 0.75, 1e-12);
+  EXPECT_NEAR(dpwm.generate(0, 0b11).duty(), 1.00, 1e-12);
+}
+
+TEST(CounterDpwmTest, CounterClockIsPeriodOverTwoToN) {
+  CounterDpwm dpwm(4, 16'000);
+  EXPECT_EQ(dpwm.counter_clock_period_ps(), 1'000);
+}
+
+TEST(CounterDpwmTest, RejectsNonDivisiblePeriod) {
+  EXPECT_THROW(CounterDpwm(3, 10'001), std::invalid_argument);
+  EXPECT_THROW(CounterDpwm(0, 1024), std::invalid_argument);
+}
+
+TEST(CounterDpwmTest, DutyWordIsMasked) {
+  CounterDpwm dpwm(2, kPeriod);
+  EXPECT_EQ(dpwm.generate(0, 0b100).high_ps, dpwm.generate(0, 0b00).high_ps);
+}
+
+// Property sweep: every duty word of an n-bit counter DPWM yields exactly
+// (d+1)/2^n duty.
+class CounterSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(CounterSweep, AllWordsExact) {
+  const int bits = GetParam();
+  const sim::Time period = sim::Time{1} << (bits + 4);
+  CounterDpwm dpwm(bits, period);
+  for (std::uint64_t d = 0; d < (std::uint64_t{1} << bits); ++d) {
+    const auto pwm = dpwm.generate(0, d);
+    const double expected =
+        static_cast<double>(d + 1) / static_cast<double>(1ull << bits);
+    EXPECT_NEAR(pwm.duty(), expected, 1e-12) << "word " << d;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bits, CounterSweep, ::testing::Values(2, 3, 5, 8));
+
+// ---- Delay-line DPWM (Figure 21) ----------------------------------------
+
+TEST(DelayLineDpwmTest, TwoBitDutyCyclesMatchFigure21) {
+  DelayLineDpwm dpwm(ideal_taps(2, kPeriod), kPeriod);
+  EXPECT_NEAR(dpwm.generate(0, 0b00).duty(), 0.25, 1e-12);
+  EXPECT_NEAR(dpwm.generate(0, 0b01).duty(), 0.50, 1e-12);
+  EXPECT_NEAR(dpwm.generate(0, 0b10).duty(), 0.75, 1e-12);
+  EXPECT_NEAR(dpwm.generate(0, 0b11).duty(), 1.00, 1e-12);
+}
+
+TEST(DelayLineDpwmTest, MiscalibratedTapsShiftDuty) {
+  // A slow-corner line (2x delays) with no calibration executes the wrong
+  // duty -- the thesis's motivation for calibration (Figure 28).
+  auto taps = ideal_taps(2, kPeriod);
+  for (auto& tap : taps) {
+    tap *= 2;
+  }
+  DelayLineDpwm dpwm(taps, kPeriod);
+  EXPECT_NEAR(dpwm.generate(0, 0b00).duty(), 0.50, 1e-12);  // Wanted 25%.
+  EXPECT_NEAR(dpwm.generate(0, 0b01).duty(), 1.00, 1e-12);  // Wanted 50%.
+}
+
+TEST(DelayLineDpwmTest, PulseClampsToPeriod) {
+  auto taps = ideal_taps(2, kPeriod);
+  taps.back() = kPeriod + 5'000;  // Line longer than the period.
+  DelayLineDpwm dpwm(taps, kPeriod);
+  EXPECT_EQ(dpwm.generate(0, 3).high_ps, kPeriod);
+}
+
+TEST(DelayLineDpwmTest, RejectsBadTapVectors) {
+  EXPECT_THROW(DelayLineDpwm({}, kPeriod), std::invalid_argument);
+  EXPECT_THROW(DelayLineDpwm({100, 200, 300}, kPeriod),
+               std::invalid_argument);  // Not a power of two.
+  EXPECT_THROW(DelayLineDpwm({200, 100}, kPeriod),
+               std::invalid_argument);  // Not increasing.
+}
+
+TEST(DelayLineDpwmTest, TrainAdvancesStartTimes) {
+  DelayLineDpwm dpwm(ideal_taps(3, kPeriod), kPeriod);
+  const auto train = dpwm.generate_train(0, 4, 5);
+  ASSERT_EQ(train.size(), 5u);
+  for (std::size_t i = 0; i < train.size(); ++i) {
+    EXPECT_EQ(train[i].start, static_cast<sim::Time>(i) * kPeriod);
+    EXPECT_EQ(train[i].high_ps, train[0].high_ps);
+  }
+}
+
+// ---- Hybrid DPWM (Figure 23) --------------------------------------------
+
+TEST(HybridDpwmTest, Figure23Example) {
+  // 5 bits: 3-bit counter (fast clock = T/8) + 4-tap line spanning T/8.
+  // Period chosen divisible by 32 so every tap lands on an exact ps tick.
+  const sim::Time kPeriod = 12'800;
+  const sim::Time fast = kPeriod / 8;
+  HybridDpwm dpwm(5, 2, ideal_taps(2, fast), kPeriod);
+  // duty = 10110: msb = 101 = 5 fast ticks, lsb = 10 -> tap 2 (the thesis's
+  // t2), giving 3/4 of a fast period extra.
+  const auto pwm = dpwm.generate(0, 0b10110);
+  EXPECT_EQ(pwm.high_ps, 5 * fast + (3 * fast) / 4);
+  // Unified convention: duty word d -> (d+1)/32 of the period.
+  EXPECT_NEAR(pwm.duty(), 23.0 / 32.0, 1e-12);
+}
+
+TEST(HybridDpwmTest, MatchesEquivalentCounterWhenLineIsIdeal) {
+  const sim::Time kPeriod = 12'800;
+  const sim::Time fast = kPeriod / 8;
+  HybridDpwm hybrid(5, 2, ideal_taps(2, fast), kPeriod);
+  CounterDpwm counter(5, kPeriod);
+  for (std::uint64_t d = 0; d < 32; ++d) {
+    EXPECT_EQ(hybrid.generate(0, d).high_ps, counter.generate(0, d).high_ps)
+        << "word " << d;
+  }
+}
+
+TEST(HybridDpwmTest, RejectsBadGeometry) {
+  EXPECT_THROW(HybridDpwm(5, 5, ideal_taps(2, 100), kPeriod),
+               std::invalid_argument);
+  EXPECT_THROW(HybridDpwm(5, 2, ideal_taps(3, 100), kPeriod),
+               std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ddl::dpwm

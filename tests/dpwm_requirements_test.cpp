@@ -1,0 +1,126 @@
+// Tests for the DPWM resource calculators (thesis Eqs 11-15, Table 2).
+#include <gtest/gtest.h>
+
+#include "ddl/dpwm/requirements.h"
+
+namespace ddl::dpwm {
+namespace {
+
+const cells::Technology kTech = cells::Technology::i32nm_class();
+
+TEST(Equations, OutputVoltageIsDutyTimesInput) {
+  EXPECT_DOUBLE_EQ(output_voltage(3.0, 0.5), 1.5);  // Eq 11.
+  EXPECT_DOUBLE_EQ(output_voltage(3.0, 0.0), 0.0);
+}
+
+TEST(Equations, VoltageResolutionHalvesPerBit) {
+  // Eq 12.
+  EXPECT_DOUBLE_EQ(voltage_resolution(3.0, 1), 1.5);
+  EXPECT_DOUBLE_EQ(voltage_resolution(3.0, 2), 0.75);
+  EXPECT_DOUBLE_EQ(voltage_resolution(2.56, 8), 0.01);
+}
+
+TEST(Equations, RequiredBitsInverts) {
+  // ~10 mV resolution from a 3 V rail needs ceil(log2(300)) = 9 bits.
+  EXPECT_EQ(required_bits(3.0, 10e-3), 9);
+  EXPECT_EQ(required_bits(3.0, 1.5), 1);
+}
+
+TEST(Equations, CounterClockIsTwoToTheNTimesSwitching) {
+  // Eq 13; the thesis's flagship case: 13 bits at ~1 MHz switching needs a
+  // multi-GHz clock (section 2.2.1).
+  EXPECT_DOUBLE_EQ(counter_clock_hz(2, 1e6), 4e6);
+  EXPECT_DOUBLE_EQ(counter_clock_hz(13, 1e6), 8.192e9);
+  EXPECT_GT(counter_clock_hz(13, 1e6), 1e9);
+}
+
+TEST(Equations, DelayLineCellsIsTwoToTheN) {
+  EXPECT_EQ(delay_line_cells(2), 4u);   // Eq 15, Figure 21's example.
+  EXPECT_EQ(delay_line_cells(8), 256u);
+  EXPECT_EQ(delay_line_cells(13), 8192u);
+}
+
+TEST(Equations, DynamicPowerScalesLinearlyWithClock) {
+  // Eq 14.
+  const double p1 = dynamic_power_w(0.5, 1e-12, 1.0, 1e8);
+  const double p2 = dynamic_power_w(0.5, 1e-12, 1.0, 2e8);
+  EXPECT_DOUBLE_EQ(p2, 2.0 * p1);
+  // And quadratically with Vdd.
+  EXPECT_DOUBLE_EQ(dynamic_power_w(0.5, 1e-12, 2.0, 1e8), 4.0 * p1);
+}
+
+TEST(Requirements, CounterNeedsHighClockSmallArea) {
+  const auto req = counter_requirements(10, 1e6, kTech);
+  EXPECT_DOUBLE_EQ(req.clock_hz, 1024e6);
+  EXPECT_EQ(req.delay_cells, 0u);
+  EXPECT_EQ(req.flip_flops, 11u);
+  EXPECT_LT(req.area_um2, 300.0);
+}
+
+TEST(Requirements, DelayLineNeedsLowClockLargeArea) {
+  const auto req = delay_line_requirements(10, 1e6, kTech);
+  EXPECT_DOUBLE_EQ(req.clock_hz, 1e6);
+  EXPECT_EQ(req.delay_cells, 1024u);
+  EXPECT_EQ(req.mux2_count, 1023u);
+  EXPECT_GT(req.area_um2, 1000.0);
+}
+
+TEST(Requirements, Table2Ordering) {
+  // Table 2: counter = high clock/power, small area; delay line = low
+  // clock/power, large area.
+  for (int bits : {8, 10, 12}) {
+    const auto counter = counter_requirements(bits, 1e6, kTech);
+    const auto line = delay_line_requirements(bits, 1e6, kTech);
+    EXPECT_GT(counter.clock_hz, line.clock_hz) << bits;
+    EXPECT_GT(counter.power_w, line.power_w) << bits;
+    EXPECT_LT(counter.area_um2, line.area_um2) << bits;
+  }
+}
+
+TEST(Requirements, HybridInterpolatesBetweenExtremes) {
+  // The Figure 22 example: 5 bits = 3-bit counter + 2-bit line.
+  const auto hybrid = hybrid_requirements(5, 3, 1e6, kTech);
+  EXPECT_DOUBLE_EQ(hybrid.clock_hz, 8e6);   // 8x switching, not 32x.
+  EXPECT_EQ(hybrid.delay_cells, 4u);        // 4 cells, not 32.
+  const auto counter = counter_requirements(5, 1e6, kTech);
+  const auto line = delay_line_requirements(5, 1e6, kTech);
+  EXPECT_LT(hybrid.clock_hz, counter.clock_hz);
+  EXPECT_LT(hybrid.delay_cells, line.delay_cells);
+}
+
+class HybridSplit : public ::testing::TestWithParam<int> {};
+
+TEST_P(HybridSplit, EndpointsMatchPureArchitectures) {
+  const int bits = GetParam();
+  const auto all_counter = hybrid_requirements(bits, bits - 1, 1e6, kTech);
+  EXPECT_DOUBLE_EQ(all_counter.clock_hz,
+                   counter_clock_hz(bits - 1, 1e6));
+  const auto all_line = hybrid_requirements(bits, 1, 1e6, kTech);
+  EXPECT_EQ(all_line.delay_cells, delay_line_cells(bits - 1));
+}
+
+TEST_P(HybridSplit, BestSplitIsInterior) {
+  const int bits = GetParam();
+  const int split = best_hybrid_split(bits, 1e6, kTech);
+  EXPECT_GE(split, 0);
+  EXPECT_LE(split, bits);
+}
+
+INSTANTIATE_TEST_SUITE_P(Resolutions, HybridSplit,
+                         ::testing::Values(4, 6, 8, 10, 12, 13));
+
+TEST(Requirements, MoreBitsNeverShrinkAnything) {
+  for (int bits = 3; bits < 12; ++bits) {
+    const auto lo = delay_line_requirements(bits, 1e6, kTech);
+    const auto hi = delay_line_requirements(bits + 1, 1e6, kTech);
+    EXPECT_GT(hi.area_um2, lo.area_um2);
+    EXPECT_GT(hi.delay_cells, lo.delay_cells);
+    const auto clo = counter_requirements(bits, 1e6, kTech);
+    const auto chi = counter_requirements(bits + 1, 1e6, kTech);
+    EXPECT_GT(chi.clock_hz, clo.clock_hz);
+    EXPECT_GT(chi.power_w, clo.power_w);
+  }
+}
+
+}  // namespace
+}  // namespace ddl::dpwm

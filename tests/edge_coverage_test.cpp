@@ -1,0 +1,200 @@
+// Focused edge-case coverage across modules: error paths, boundary values
+// and small utilities not exercised by the scenario tests.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "ddl/analysis/mtbf.h"
+#include "ddl/analysis/report.h"
+#include "ddl/control/pid.h"
+#include "ddl/core/hybrid_calibrated.h"
+#include "ddl/core/proposed_controller.h"
+#include "ddl/dpwm/behavioral.h"
+#include "ddl/dpwm/requirements.h"
+#include "ddl/sim/trace.h"
+#include "ddl/synth/netlist.h"
+
+namespace ddl {
+namespace {
+
+const cells::Technology kTech = cells::Technology::i32nm_class();
+
+// ---- sim boundary behaviour -------------------------------------------------
+
+TEST(EdgeSim, WatchingTwiceIsIdempotent) {
+  sim::Simulator sim;
+  const auto s = sim.add_signal("s", sim::Logic::k0);
+  sim::WaveformRecorder rec(sim);
+  rec.watch(s);
+  rec.watch(s);  // Must not double-register.
+  sim.schedule(s, sim::Logic::k1, 10);
+  sim.run();
+  EXPECT_EQ(rec.rising_edges(s).size(), 1u);
+}
+
+TEST(EdgeSim, UnwatchedSignalQueriesThrow) {
+  sim::Simulator sim;
+  const auto s = sim.add_signal("s");
+  sim::WaveformRecorder rec(sim);
+  EXPECT_THROW(rec.edges(s), std::out_of_range);
+}
+
+TEST(EdgeSim, VcdWatchAfterFirstEventThrows) {
+  sim::Simulator sim;
+  const auto a = sim.add_signal("a", sim::Logic::k0);
+  const auto b = sim.add_signal("b", sim::Logic::k0);
+  const std::string path = ::testing::TempDir() + "edge.vcd";
+  sim::VcdWriter vcd(sim, path);
+  vcd.watch(a);
+  sim.schedule(a, sim::Logic::k1, 5);
+  sim.run();
+  EXPECT_THROW(vcd.watch(b), std::logic_error);
+  std::remove(path.c_str());
+}
+
+TEST(EdgeSim, PulseWidthIndexingAndMissingPulses) {
+  sim::Simulator sim;
+  const auto s = sim.add_signal("s", sim::Logic::k0);
+  sim::WaveformRecorder rec(sim);
+  rec.watch(s);
+  sim.schedule(s, sim::Logic::k1, 10);
+  sim.schedule(s, sim::Logic::k0, 30);
+  sim.schedule(s, sim::Logic::k1, 100);
+  sim.schedule(s, sim::Logic::k0, 150);
+  sim.run();
+  EXPECT_EQ(rec.pulse_width(s, 0), 20);
+  EXPECT_EQ(rec.pulse_width(s, 1), 50);
+  EXPECT_EQ(rec.pulse_width(s, 2), -1);  // No third pulse.
+  EXPECT_EQ(rec.pulse_width(s, 0, 50), 50);  // From-offset skips pulse 0.
+}
+
+TEST(EdgeSim, DutyCycleOfEmptyWindowIsZero) {
+  sim::Simulator sim;
+  const auto s = sim.add_signal("s", sim::Logic::k0);
+  sim::WaveformRecorder rec(sim);
+  rec.watch(s);
+  EXPECT_DOUBLE_EQ(rec.duty_cycle(s, 100, 100), 0.0);
+}
+
+// ---- behavioral DPWM boundaries ------------------------------------------------
+
+TEST(EdgeDpwm, TrainOfZeroPeriodsIsEmpty) {
+  dpwm::CounterDpwm counter(4, 16'000);
+  EXPECT_TRUE(counter.generate_train(0, 3, 0).empty());
+}
+
+TEST(EdgeDpwm, PwmPeriodDutyGuardsZeroPeriod) {
+  dpwm::PwmPeriod p;  // period_ps == 0.
+  EXPECT_DOUBLE_EQ(p.duty(), 0.0);
+}
+
+TEST(EdgeDpwm, RequiredBitsSaturatesOnAbsurdResolution) {
+  EXPECT_EQ(dpwm::required_bits(3.0, 1e-30), 63);
+  EXPECT_EQ(dpwm::required_bits(3.0, 10.0), 0);
+}
+
+// ---- mapper / controller boundaries ---------------------------------------------
+
+TEST(EdgeMapper, SmallestLegalMapperAndWordZero) {
+  core::DutyMapper mapper(2);
+  EXPECT_EQ(mapper.map(0, 1), 0u);
+  EXPECT_EQ(mapper.map(1, 1), 1u);
+  EXPECT_THROW(core::DutyMapper bad(1), std::invalid_argument);
+  EXPECT_THROW(core::DutyMapper bad(3), std::invalid_argument);
+}
+
+TEST(EdgeMapper, ClampAtFullScale) {
+  core::DutyMapper mapper(256);
+  // A pathological tap_sel larger than the line must still clamp.
+  EXPECT_EQ(mapper.map(255, 256), 255u);
+}
+
+TEST(EdgeController, ZeroPeriodRejected) {
+  core::ProposedDelayLine line(kTech, {256, 2});
+  EXPECT_THROW(core::ProposedController bad(line, 0.0),
+               std::invalid_argument);
+  EXPECT_THROW(core::ProposedController bad(line, -5.0),
+               std::invalid_argument);
+}
+
+TEST(EdgeController, RunToLockHonoursMaxCycles) {
+  core::ProposedDelayLine line(kTech, {256, 2});
+  core::ProposedController controller(line, 10'000.0);
+  // 3 cycles is far too few to walk ~62 taps.
+  EXPECT_FALSE(
+      controller.run_to_lock(cells::OperatingPoint::typical(), 3).has_value());
+  EXPECT_EQ(controller.status(), core::LockStatus::kSearching);
+}
+
+TEST(EdgeHybridCalibrated, MsbAllOnesClampsToFullPeriod) {
+  core::ProposedDelayLine line(kTech, {256, 2});
+  core::HybridCalibratedDpwm dpwm(line, 3, 6, 81'920);
+  ASSERT_TRUE(dpwm.calibrate().has_value());
+  const auto pwm = dpwm.generate(0, (1u << dpwm.bits()) - 1);
+  EXPECT_LE(pwm.high_ps, pwm.period_ps);
+  EXPECT_GT(pwm.duty(), 0.95);
+}
+
+// ---- PID boundaries ---------------------------------------------------------------
+
+TEST(EdgePid, SetDutyClampsToMax) {
+  control::PidController pid(control::PidParams{}, 100, 50);
+  pid.set_duty(1'000);
+  EXPECT_EQ(pid.duty(), 100u);
+}
+
+TEST(EdgePid, NegativeCorrectionCannotUnderflow) {
+  control::PidController pid(control::PidParams{}, 100, 0);
+  for (int i = 0; i < 50; ++i) {
+    pid.update(-7);
+  }
+  EXPECT_EQ(pid.duty(), 0u);  // Clamped, no wraparound.
+}
+
+// ---- analysis boundaries -------------------------------------------------------------
+
+TEST(EdgeMtbf, DegenerateParamsGiveInfinity) {
+  analysis::MtbfParams params;
+  params.t0_s = 0.0;
+  EXPECT_TRUE(std::isinf(analysis::synchronizer_mtbf_s(params)));
+}
+
+TEST(EdgeReport, SingleColumnTableRenders) {
+  analysis::TextTable table({"only"});
+  table.add_row({"value"});
+  const std::string out = table.render();
+  EXPECT_NE(out.find("only"), std::string::npos);
+  EXPECT_NE(out.find("value"), std::string::npos);
+}
+
+TEST(EdgeReport, CsvToUnwritablePathThrows) {
+  EXPECT_THROW(
+      analysis::write_csv("/nonexistent_dir_zzz/x.csv", "x", {1.0},
+                          {{"a", {1.0}}}),
+      std::runtime_error);
+}
+
+// ---- netlist boundaries ----------------------------------------------------------------
+
+TEST(EdgeNetlist, EmptyOutputsGiveZeroCriticalPath) {
+  synth::Netlist net;
+  net.add_input("a");
+  EXPECT_DOUBLE_EQ(
+      net.critical_path_ps(kTech, cells::OperatingPoint::typical()), 0.0);
+  EXPECT_TRUE(
+      net.critical_path(kTech, cells::OperatingPoint::typical()).empty());
+}
+
+TEST(EdgeNetlist, InputOnlyOutputHasZeroDelay) {
+  synth::Netlist net;
+  const int a = net.add_input("a");
+  net.mark_output(a);
+  EXPECT_DOUBLE_EQ(
+      net.critical_path_ps(kTech, cells::OperatingPoint::typical()), 0.0);
+  EXPECT_EQ(net.node_name(a), "in:a");
+}
+
+}  // namespace
+}  // namespace ddl

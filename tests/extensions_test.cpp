@@ -1,0 +1,207 @@
+// Tests for the extension modules: calibrated hybrid DPWM, multi-phase
+// interleaved buck, and the DVFS voltage-mode manager.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ddl/analog/multiphase.h"
+#include "ddl/control/dvfs.h"
+#include "ddl/core/hybrid_calibrated.h"
+#include "ddl/dpwm/behavioral.h"
+
+namespace ddl {
+namespace {
+
+using cells::OperatingPoint;
+
+const cells::Technology kTech = cells::Technology::i32nm_class();
+
+// ---- Calibrated hybrid DPWM -----------------------------------------------
+
+TEST(HybridCalibrated, SizingSplitsBitsAcrossCounterAndLine) {
+  // 13 bits at 1 MHz: 7 from the counter (128 MHz fast clock), 6 from the
+  // line against the 7.8 ns fast period.
+  const auto design = core::size_hybrid_calibrated(kTech, 1.0, 13, 7);
+  EXPECT_EQ(design.counter_bits, 7);
+  EXPECT_DOUBLE_EQ(design.fast_clock_mhz, 128.0);
+  EXPECT_EQ(design.line.num_cells, 256u);  // 2^6 x corner ratio 4.
+  EXPECT_EQ(design.line_word_bits, 8);
+  EXPECT_THROW(core::size_hybrid_calibrated(kTech, 1.0, 13, 0),
+               std::invalid_argument);
+  EXPECT_THROW(core::size_hybrid_calibrated(kTech, 1.0, 13, 13),
+               std::invalid_argument);
+}
+
+TEST(HybridCalibrated, RejectsNonDivisiblePeriod) {
+  core::ProposedDelayLine line(kTech, {256, 2});
+  EXPECT_THROW(core::HybridCalibratedDpwm(line, 3, 6, 1'000'001),
+               std::invalid_argument);
+}
+
+class HybridCalibratedCorners
+    : public ::testing::TestWithParam<OperatingPoint> {};
+
+TEST_P(HybridCalibratedCorners, DutyTracksRequestAfterCalibration) {
+  // 3 counter bits + 8-bit line word at 100 MHz-equivalent switching:
+  // switching period = 8 x 10.24 ns fast ticks.
+  const sim::Time fast = 10'240;
+  const sim::Time period = fast << 3;
+  core::DesignCalculator calc(kTech);
+  const auto line_design = calc.size_proposed(
+      core::DesignSpec{1e6 / static_cast<double>(fast), 6});
+  core::ProposedDelayLine line(kTech, line_design.line);
+  core::HybridCalibratedDpwm dpwm(line, 3, 6, period);
+  dpwm.set_environment(core::EnvironmentSchedule(GetParam()));
+  ASSERT_TRUE(dpwm.calibrate().has_value());
+  EXPECT_EQ(dpwm.bits(), 11);  // 3 + 8.
+
+  const std::uint64_t full = std::uint64_t{1} << dpwm.bits();
+  for (std::uint64_t word = full / 8; word < full; word += full / 8) {
+    const auto pwm = dpwm.generate(0, word);
+    const double requested = static_cast<double>(word) / static_cast<double>(full);
+    EXPECT_NEAR(pwm.duty(), requested, 0.02) << "word " << word;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corners, HybridCalibratedCorners,
+    ::testing::Values(OperatingPoint::fast_process_only(),
+                      OperatingPoint::typical(),
+                      OperatingPoint::slow_process_only()));
+
+TEST(HybridCalibrated, FinerThanPureCounterAtSameClock) {
+  // With the same fast clock, the hybrid resolves ~2^line_bits finer steps
+  // than the counter alone: adjacent duty words differ by a cell delay, not
+  // a fast-clock period.
+  const sim::Time fast = 10'240;
+  const sim::Time period = fast << 3;
+  core::ProposedDelayLine line(kTech, {256, 2});
+  core::HybridCalibratedDpwm dpwm(line, 3, 6, period);
+  ASSERT_TRUE(dpwm.calibrate().has_value());
+  // A 4-word LSB step maps to ~2 delay cells (the mapper's shift divides
+  // the word range by ~2x at this lock point).
+  const auto a = dpwm.generate(0, 1024);
+  const auto b = dpwm.generate(0, 1028);
+  const sim::Time step = b.high_ps - a.high_ps;
+  EXPECT_GT(step, 0);
+  EXPECT_LT(step, fast / 16);  // Far finer than a counter tick.
+}
+
+// ---- Multi-phase buck -------------------------------------------------------
+
+dpwm::PwmPeriod pwm_at(double duty, sim::Time period = 1'000'000) {
+  dpwm::PwmPeriod p;
+  p.period_ps = period;
+  p.high_ps = static_cast<sim::Time>(duty * static_cast<double>(period));
+  return p;
+}
+
+TEST(MultiPhase, RejectsBadParams) {
+  analog::MultiPhaseParams params;
+  params.phases = 0;
+  EXPECT_THROW(analog::MultiPhaseBuck buck(params), std::invalid_argument);
+}
+
+TEST(MultiPhase, SteadyStateMatchesSinglePhaseAverage) {
+  analog::MultiPhaseParams params;
+  params.phases = 4;
+  analog::MultiPhaseBuck buck(params);
+  for (int i = 0; i < 4000; ++i) {
+    buck.run_period(pwm_at(0.5), 1.0);
+  }
+  EXPECT_NEAR(buck.output_voltage(), 1.5, 0.1);
+}
+
+TEST(MultiPhase, LoadSharesAcrossPhases) {
+  analog::MultiPhaseParams params;
+  params.phases = 4;
+  analog::MultiPhaseBuck buck(params);
+  for (int i = 0; i < 4000; ++i) {
+    buck.run_period(pwm_at(0.5), 2.0);
+  }
+  // Each phase carries ~load/N.
+  for (int k = 0; k < 4; ++k) {
+    EXPECT_NEAR(buck.phase_current_a(k), 0.5, 0.15) << "phase " << k;
+  }
+}
+
+TEST(MultiPhase, RippleShrinksWithPhaseCount) {
+  double previous_ripple = 1e9;
+  for (int phases : {1, 2, 4}) {
+    analog::MultiPhaseParams params;
+    params.phases = phases;
+    analog::MultiPhaseBuck buck(params);
+    for (int i = 0; i < 3000; ++i) {
+      buck.run_period(pwm_at(0.4), 1.0);
+    }
+    const double ripple = buck.last_period_ripple_v();
+    EXPECT_LT(ripple, previous_ripple) << phases << " phases";
+    previous_ripple = ripple;
+  }
+}
+
+TEST(MultiPhase, RippleNearlyCancelsAtDutyEqualsKOverN) {
+  // The textbook interleaving property: at duty = 1/N the phase ripples
+  // cancel almost perfectly in the shared capacitor.
+  analog::MultiPhaseParams params;
+  params.phases = 4;
+  analog::MultiPhaseBuck at_quarter(params);
+  analog::MultiPhaseBuck at_odd(params);
+  for (int i = 0; i < 3000; ++i) {
+    at_quarter.run_period(pwm_at(0.25), 1.0);
+    at_odd.run_period(pwm_at(0.375), 1.0);
+  }
+  EXPECT_LT(at_quarter.last_period_ripple_v(),
+            0.5 * at_odd.last_period_ripple_v());
+}
+
+// ---- DVFS ---------------------------------------------------------------------
+
+control::DigitallyControlledBuck make_loop(dpwm::DpwmModel& dpwm) {
+  analog::BuckParams params;
+  params.vin = 3.0;
+  return control::DigitallyControlledBuck(
+      analog::BuckConverter(params),
+      analog::WindowAdc(analog::WindowAdcParams{1.0, 10e-3, 7}),
+      control::PidController(control::PidParams{}, 1023, 341), dpwm);
+}
+
+TEST(Dvfs, RejectsUnsortedSchedule) {
+  EXPECT_THROW(control::VoltageModeManager({{100, 0.9}, {50, 1.1}}),
+               std::invalid_argument);
+}
+
+TEST(Dvfs, TransitionsSettleToEachTarget) {
+  dpwm::CounterDpwm dpwm(10, 1'048'576);
+  auto loop = make_loop(dpwm);
+  control::VoltageModeManager manager(
+      {{1500, 0.80}, {3000, 1.10}}, /*band=*/0.03);
+  const auto reports = manager.run(loop, 4500, control::constant_load(0.4));
+  ASSERT_EQ(reports.size(), 2u);
+  for (const auto& report : reports) {
+    EXPECT_TRUE(report.settled) << "target " << report.mode.vref_v;
+    EXPECT_LT(report.settle_periods, 1200u);
+  }
+  // Final steady state at the last target.
+  const auto metrics = loop.metrics(4200, 4500);
+  EXPECT_NEAR(metrics.mean_vout, 1.10, 0.03);
+}
+
+TEST(Dvfs, ReferenceChangeIsObservableImmediately) {
+  dpwm::CounterDpwm dpwm(10, 1'048'576);
+  auto loop = make_loop(dpwm);
+  EXPECT_DOUBLE_EQ(loop.reference_v(), 1.0);
+  loop.set_reference_v(0.9);
+  EXPECT_DOUBLE_EQ(loop.reference_v(), 0.9);
+}
+
+TEST(Dvfs, RunsTailAfterLastMode) {
+  dpwm::CounterDpwm dpwm(10, 1'048'576);
+  auto loop = make_loop(dpwm);
+  control::VoltageModeManager manager({{100, 0.9}});
+  manager.run(loop, 500, control::constant_load(0.2));
+  EXPECT_EQ(loop.history().size(), 500u);
+}
+
+}  // namespace
+}  // namespace ddl

@@ -1,0 +1,163 @@
+// Tests for the kernel's feedback structures (SR latch, self-oscillating
+// ring) and the buck converter's switching-loss model.
+#include <gtest/gtest.h>
+
+#include "ddl/analog/buck.h"
+#include "ddl/dpwm/gate_level_ring.h"
+#include "ddl/dpwm/ring_oscillator.h"
+#include "ddl/sim/trace.h"
+
+namespace ddl {
+namespace {
+
+const cells::Technology kTech = cells::Technology::i32nm_class();
+
+struct Rig {
+  sim::Simulator sim;
+  sim::NetlistContext ctx{&sim, &kTech, cells::OperatingPoint::typical()};
+};
+
+// ---- SR latch --------------------------------------------------------------
+
+TEST(SrLatch, SetAndResetToggleTheBistable) {
+  Rig rig;
+  const auto set = rig.sim.add_signal("set", sim::Logic::k0);
+  const auto reset = rig.sim.add_signal("reset", sim::Logic::k0);
+  const auto latch = dpwm::build_sr_latch(rig.ctx, set, reset, "sr");
+  rig.sim.run(1'000);
+  EXPECT_EQ(rig.sim.value(latch.q), sim::Logic::k0);
+  EXPECT_EQ(rig.sim.value(latch.q_n), sim::Logic::k1);
+
+  // Set pulse.
+  rig.sim.schedule(set, sim::Logic::k1, 0);
+  rig.sim.schedule(set, sim::Logic::k0, 500);
+  rig.sim.run(3'000);
+  EXPECT_EQ(rig.sim.value(latch.q), sim::Logic::k1);
+  EXPECT_EQ(rig.sim.value(latch.q_n), sim::Logic::k0);
+
+  // State HOLDS with both inputs low (the bistable property).
+  rig.sim.run_for(10'000);
+  EXPECT_EQ(rig.sim.value(latch.q), sim::Logic::k1);
+
+  // Reset pulse.
+  rig.sim.schedule(reset, sim::Logic::k1, 0);
+  rig.sim.schedule(reset, sim::Logic::k0, 500);
+  rig.sim.run_for(3'000);
+  EXPECT_EQ(rig.sim.value(latch.q), sim::Logic::k0);
+  EXPECT_EQ(rig.sim.value(latch.q_n), sim::Logic::k1);
+}
+
+// ---- Self-oscillating ring ---------------------------------------------------
+
+TEST(GateRing, OscillatesAtTwoLapsAndMatchesBehavioralModel) {
+  Rig rig;
+  const auto enable = rig.sim.add_signal("en");  // Starts X.
+  const auto ring = dpwm::build_ring_oscillator(rig.ctx, enable, 16, 2);
+  sim::WaveformRecorder rec(rig.sim);
+  rec.watch(ring.out);
+  // Drive enable low (a real transition) to flush the chain, then start.
+  rig.sim.schedule(enable, sim::Logic::k0, 0);
+  rig.sim.run(5'000);
+  rig.sim.schedule(enable, sim::Logic::k1, 0);
+  rig.sim.run(60'000);
+
+  const auto rises = rec.rising_edges(ring.out);
+  ASSERT_GE(rises.size(), 5u);
+  const sim::Time measured_period = rises[4] - rises[3];
+  // Lap = 16 stages x 80 ps + NAND 25 ps; period = 2 laps.
+  const sim::Time expected = 2 * (16 * 80 + 25);
+  EXPECT_EQ(measured_period, expected);
+
+  // The behavioral RingOscillatorDpwm predicts the same period up to the
+  // closing gate (its model folds the inversion into the stages).
+  dpwm::RingOscillatorDpwm behavioral(kTech, {16, 2});
+  EXPECT_NEAR(static_cast<double>(measured_period),
+              static_cast<double>(behavioral.period_ps()), 2 * 25.0 + 1);
+}
+
+TEST(GateRing, StopsWhenDisabled) {
+  Rig rig;
+  const auto enable = rig.sim.add_signal("en");
+  const auto ring = dpwm::build_ring_oscillator(rig.ctx, enable, 8, 1);
+  rig.sim.schedule(enable, sim::Logic::k0, 0);
+  rig.sim.run(2'000);
+  rig.sim.schedule(enable, sim::Logic::k1, 0);
+  rig.sim.run(10'000);
+  rig.sim.schedule(enable, sim::Logic::k0, 0);
+  rig.sim.run(15'000);
+  // With enable low the head pins at 1 and the loop drains.
+  sim::WaveformRecorder rec(rig.sim);
+  rec.watch(ring.out);
+  const auto before = rig.sim.executed_events();
+  rig.sim.run_for(20'000);
+  EXPECT_EQ(rig.sim.value(ring.out), sim::Logic::k1);
+  EXPECT_EQ(rig.sim.executed_events(), before);  // No more activity.
+}
+
+TEST(GateRing, MismatchedStagesShiftThePeriod) {
+  Rig rig;
+  const auto enable = rig.sim.add_signal("en");
+  const std::vector<double> delays{100.0, 120.0, 90.0, 110.0};
+  const auto ring = dpwm::build_ring_oscillator(rig.ctx, enable, 4, 1, delays);
+  sim::WaveformRecorder rec(rig.sim);
+  rec.watch(ring.out);
+  rig.sim.schedule(enable, sim::Logic::k0, 0);
+  rig.sim.run(2'000);
+  rig.sim.schedule(enable, sim::Logic::k1, 0);
+  rig.sim.run(15'000);
+  const auto rises = rec.rising_edges(ring.out);
+  ASSERT_GE(rises.size(), 3u);
+  EXPECT_EQ(rises[2] - rises[1], 2 * (100 + 120 + 90 + 110 + 25));
+}
+
+// ---- Buck switching losses ------------------------------------------------------
+
+TEST(SwitchingLoss, EfficiencyFallsWithSwitchingFrequency) {
+  // The section 1.3.2 tradeoff: conduction losses are frequency-flat but
+  // E_sw x f_sw grows.
+  auto efficiency_at = [](double f_sw_hz) {
+    analog::BuckParams params;
+    analog::BuckConverter buck(params);
+    const sim::Time period = sim::from_ps(1e12 / f_sw_hz);
+    dpwm::PwmPeriod pwm;
+    pwm.period_ps = period;
+    pwm.high_ps = period / 2;
+    const int periods = static_cast<int>(4e-3 * f_sw_hz);  // 4 ms settle.
+    for (int i = 0; i < periods; ++i) {
+      buck.run_period(pwm, 0.5);
+    }
+    return buck.energy().efficiency();
+  };
+  const double eta_low = efficiency_at(0.5e6);
+  const double eta_high = efficiency_at(4e6);
+  EXPECT_GT(eta_low, eta_high + 0.02);
+  EXPECT_GT(eta_high, 0.80);
+}
+
+TEST(SwitchingLoss, AccountedSeparatelyFromConduction) {
+  analog::BuckParams params;
+  analog::BuckConverter buck(params);
+  dpwm::PwmPeriod pwm;
+  pwm.period_ps = 1'000'000;
+  pwm.high_ps = 500'000;
+  for (int i = 0; i < 100; ++i) {
+    buck.run_period(pwm, 0.5);
+  }
+  EXPECT_NEAR(buck.energy().switching_loss_j,
+              100 * params.switch_energy_per_cycle_j, 1e-12);
+  EXPECT_GT(buck.energy().conduction_loss_j, 0.0);
+}
+
+TEST(SwitchingLoss, ZeroEnergyDisablesTheTerm) {
+  analog::BuckParams params;
+  params.switch_energy_per_cycle_j = 0.0;
+  analog::BuckConverter buck(params);
+  dpwm::PwmPeriod pwm;
+  pwm.period_ps = 1'000'000;
+  pwm.high_ps = 500'000;
+  buck.run_period(pwm, 0.5);
+  EXPECT_DOUBLE_EQ(buck.energy().switching_loss_j, 0.0);
+}
+
+}  // namespace
+}  // namespace ddl

@@ -1,0 +1,199 @@
+// Equivalence tests: the gate-level netlists of both calibrated schemes
+// against their behavioral models -- the netlists are ground truth, the
+// behavioral models are what the analyses run on, and they must agree.
+#include <gtest/gtest.h>
+
+#include "ddl/core/calibrated_dpwm.h"
+#include "ddl/core/gate_level_conventional.h"
+#include "ddl/core/gate_level_proposed.h"
+#include "ddl/sim/flipflop.h"
+#include "ddl/sim/trace.h"
+
+namespace ddl::core {
+namespace {
+
+using cells::OperatingPoint;
+
+const cells::Technology kTech = cells::Technology::i32nm_class();
+constexpr sim::Time kPeriod = 10'000;  // 100 MHz.
+
+struct Rig {
+  sim::Simulator sim;
+  sim::NetlistContext ctx;
+  sim::SignalId clk;
+
+  explicit Rig(const OperatingPoint& op)
+      : ctx{&sim, &kTech, op}, clk(sim.add_signal("clk")) {
+    sim::make_clock(sim, clk, kPeriod);
+  }
+};
+
+// --- Proposed scheme ---------------------------------------------------
+
+class GateProposedCorners : public ::testing::TestWithParam<OperatingPoint> {};
+
+TEST_P(GateProposedCorners, TapSelConvergesToBehavioralLockPoint) {
+  const auto op = GetParam();
+  Rig rig(op);
+  GateLevelProposedSystem gate(rig.ctx, rig.clk, {256, 2});
+  rig.sim.run(400 * kPeriod);  // Plenty for the walk + dither.
+
+  ProposedDelayLine line(kTech, {256, 2});
+  ProposedController behavioral(line, static_cast<double>(kPeriod));
+  ASSERT_TRUE(behavioral.run_to_lock(op).has_value());
+
+  EXPECT_TRUE(gate.locked());
+  // Synchronizer latency makes the gate-level walk dither a few taps wide.
+  EXPECT_NEAR(static_cast<double>(gate.tap_sel()),
+              static_cast<double>(behavioral.tap_sel()), 4.0)
+      << to_string(op.corner);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corners, GateProposedCorners,
+    ::testing::Values(OperatingPoint::fast_process_only(),
+                      OperatingPoint::typical(),
+                      OperatingPoint::slow_process_only()));
+
+TEST(GateProposed, DutySweepMatchesBehavioralSystem) {
+  const auto op = OperatingPoint::typical();
+  Rig rig(op);
+  GateLevelProposedSystem gate(rig.ctx, rig.clk, {256, 2});
+  rig.sim.run(200 * kPeriod);  // Calibrate.
+  ASSERT_TRUE(gate.locked());
+
+  ProposedDelayLine line(kTech, {256, 2});
+  ProposedDpwmSystem behavioral(line, static_cast<double>(kPeriod));
+  behavioral.set_environment(EnvironmentSchedule(op));
+  ASSERT_TRUE(behavioral.calibrate().has_value());
+
+  sim::WaveformRecorder rec(rig.sim);
+  rec.watch(gate.out());
+  for (std::uint64_t word : {48u, 96u, 144u, 192u}) {
+    gate.duty().drive(rig.sim, word);
+    const sim::Time from = rig.sim.now() + 2 * kPeriod;  // Select settles.
+    rig.sim.run(from + 10 * kPeriod);
+    const double gate_duty = rec.duty_cycle(gate.out(), from, from + 10 * kPeriod);
+    const double behavioral_duty = behavioral.generate(0, word).duty();
+    EXPECT_NEAR(gate_duty, behavioral_duty, 0.02) << "word " << word;
+  }
+}
+
+TEST(GateProposed, SamplerGoesMetastableNearLockOnSomeDies) {
+  // The physical justification for the 2-FF synchronizer: once locked, the
+  // selected tap transitions right at the sampling edge.  Where exactly the
+  // transition lands relative to the flop's setup/hold window depends on
+  // the die's mismatch, so sweep a few dies and require that the aperture
+  // is hit on at least one -- while every die still locks.
+  std::uint64_t total_violations = 0;
+  for (std::uint64_t seed = 1; seed <= 5; ++seed) {
+    Rig rig(OperatingPoint::typical());
+    GateLevelProposedSystem gate(rig.ctx, rig.clk, {256, 2}, seed);
+    rig.sim.run(400 * kPeriod);
+    EXPECT_TRUE(gate.locked()) << "seed " << seed;
+    total_violations += gate.sampler_stats().setup_violations +
+                        gate.sampler_stats().hold_violations;
+  }
+  EXPECT_GT(total_violations, 0u);
+}
+
+TEST(GateProposed, OutputNeverShowsX) {
+  Rig rig(OperatingPoint::typical());
+  GateLevelProposedSystem gate(rig.ctx, rig.clk, {256, 2});
+  sim::WaveformRecorder rec(rig.sim);
+  rec.watch(gate.out());
+  gate.duty().drive(rig.sim, 128);
+  rig.sim.run(300 * kPeriod);
+  for (const auto& edge : rec.edges(gate.out())) {
+    ASSERT_NE(edge.value, sim::Logic::kX) << "at t=" << edge.time;
+  }
+}
+
+TEST(GateProposed, MismatchedDieStillLocksAndModulates) {
+  Rig rig(OperatingPoint::typical());
+  GateLevelProposedSystem gate(rig.ctx, rig.clk, {256, 2}, /*seed=*/99);
+  sim::WaveformRecorder rec(rig.sim);
+  rec.watch(gate.out());
+  gate.duty().drive(rig.sim, 128);
+  rig.sim.run(300 * kPeriod);
+  EXPECT_TRUE(gate.locked());
+  const double duty =
+      rec.duty_cycle(gate.out(), 250 * kPeriod, 300 * kPeriod);
+  EXPECT_NEAR(duty, 0.5, 0.03);
+}
+
+// --- Conventional scheme -------------------------------------------------
+
+struct ConvCase {
+  OperatingPoint op;
+  double expected_shifts;  // From the behavioral analysis.
+};
+
+class GateConventionalCorners : public ::testing::TestWithParam<ConvCase> {};
+
+TEST_P(GateConventionalCorners, ShiftsUntilTapsSample01) {
+  const auto& param = GetParam();
+  Rig rig(param.op);
+  GateLevelConventionalSystem gate(rig.ctx, rig.clk, {64, 4, 2});
+  // Locking needs shifts x 3 cycles (+ warmup); run generously.
+  rig.sim.run(700 * 3 * kPeriod);
+  EXPECT_TRUE(gate.locked()) << to_string(param.op.corner);
+  EXPECT_FALSE(gate.at_limit());
+  EXPECT_NEAR(static_cast<double>(gate.shifts()), param.expected_shifts, 4.0)
+      << to_string(param.op.corner);
+}
+
+// Slow corner excluded: the minimum line delay already exceeds the period
+// there (see the header comment), which edge-sampling cannot detect.
+INSTANTIATE_TEST_SUITE_P(
+    Corners, GateConventionalCorners,
+    ::testing::Values(
+        ConvCase{OperatingPoint::fast_process_only(), 187.0},
+        ConvCase{OperatingPoint::typical(), 62.0}));
+
+TEST(GateConventional, LockedLineModulatesRequestedDuty) {
+  const auto op = OperatingPoint::typical();
+  Rig rig(op);
+  GateLevelConventionalSystem gate(rig.ctx, rig.clk, {64, 4, 2});
+  rig.sim.run(250 * 3 * kPeriod);
+  ASSERT_TRUE(gate.locked());
+
+  sim::WaveformRecorder rec(rig.sim);
+  rec.watch(gate.out());
+  for (std::uint64_t word : {15u, 31u, 47u}) {
+    gate.duty().drive(rig.sim, word);
+    const sim::Time from = rig.sim.now() + 2 * kPeriod;
+    rig.sim.run(from + 10 * kPeriod);
+    const double duty = rec.duty_cycle(gate.out(), from, from + 10 * kPeriod);
+    EXPECT_NEAR(duty, static_cast<double>(word + 1) / 64.0, 0.04)
+        << "word " << word;
+  }
+}
+
+TEST(GateConventional, SlowCornerSliverAliasesToTwoPeriods) {
+  // At the slow corner the minimum line (64 x 160 ps = 10.24 ns) already
+  // overshoots the 10 ns period.  Edge-sampling cannot see that, so the
+  // controller keeps lengthening until the line spans *two* periods and
+  // locks there -- an aliased lock that halves every duty cycle.  This is
+  // the real-hardware hazard the behavioral model's floor-lock mitigates.
+  Rig rig(cells::OperatingPoint::slow_process_only());
+  GateLevelConventionalSystem gate(rig.ctx, rig.clk, {64, 4, 2});
+  rig.sim.run(800 * 3 * kPeriod);
+  ASSERT_TRUE(gate.locked());
+  // 2T / 160 ps = 125 elements -> ~61 shifts beyond the initial 64.
+  EXPECT_NEAR(static_cast<double>(gate.shifts()), 61.0, 4.0);
+
+  // Aliasing lengthens every cell ~2x, so the line executes roughly
+  // *double* the requested duty (and wraps past 100% for upper words):
+  // word 15 requests 25% but executes ~50%.
+  sim::WaveformRecorder rec(rig.sim);
+  rec.watch(gate.out());
+  gate.duty().drive(rig.sim, 15);
+  const sim::Time from = rig.sim.now() + 2 * kPeriod;
+  rig.sim.run(from + 10 * kPeriod);
+  EXPECT_NEAR(rec.duty_cycle(gate.out(), from, from + 10 * kPeriod), 0.50,
+              0.05);
+}
+
+}  // namespace
+}  // namespace ddl::core

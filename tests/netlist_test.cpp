@@ -1,0 +1,145 @@
+// Tests for the structural netlist + static timing analyzer.
+#include <gtest/gtest.h>
+
+#include "ddl/synth/netlist.h"
+
+namespace ddl::synth {
+namespace {
+
+using cells::CellKind;
+using cells::OperatingPoint;
+
+const cells::Technology kTech = cells::Technology::i32nm_class();
+const OperatingPoint kTyp = OperatingPoint::typical();
+
+TEST(Netlist, RejectsBadConstruction) {
+  Netlist net;
+  const int a = net.add_input("a");
+  net.add_gate(CellKind::kInverter, {a});
+  EXPECT_THROW(net.add_input("late"), std::logic_error);
+  EXPECT_THROW(net.add_gate(CellKind::kAnd2, {a, 99}), std::out_of_range);
+  EXPECT_THROW(net.mark_output(99), std::out_of_range);
+}
+
+TEST(Netlist, CriticalPathOfAChainIsTheSumOfDelays) {
+  Netlist net;
+  int node = net.add_input("in");
+  for (int i = 0; i < 5; ++i) {
+    node = net.add_gate(CellKind::kInverter, {node});
+  }
+  net.mark_output(node);
+  // 5 inverters x 20 ps.
+  EXPECT_DOUBLE_EQ(net.critical_path_ps(kTech, kTyp), 100.0);
+  EXPECT_EQ(net.critical_path(kTech, kTyp).size(), 6u);
+}
+
+TEST(Netlist, CriticalPathPicksTheSlowerBranch) {
+  Netlist net;
+  const int a = net.add_input("a");
+  const int fast = net.add_gate(CellKind::kInverter, {a});       // 20 ps.
+  const int slow1 = net.add_gate(CellKind::kXor2, {a, a});       // 45 ps.
+  const int slow2 = net.add_gate(CellKind::kXor2, {slow1, a});   // 90 ps.
+  const int join = net.add_gate(CellKind::kAnd2, {fast, slow2});
+  net.mark_output(join);
+  EXPECT_DOUBLE_EQ(net.critical_path_ps(kTech, kTyp), 90.0 + 35.0);
+  const auto path = net.critical_path(kTech, kTyp);
+  ASSERT_EQ(path.size(), 4u);  // a -> xor -> xor -> and.
+  EXPECT_EQ(net.node_name(path.front()), "in:a");
+}
+
+TEST(Netlist, DelaysScaleWithCorner) {
+  Netlist net;
+  int node = net.add_input("in");
+  node = net.add_gate(CellKind::kBuffer, {node});
+  net.mark_output(node);
+  EXPECT_DOUBLE_EQ(
+      net.critical_path_ps(kTech, OperatingPoint::fast_process_only()), 20.0);
+  EXPECT_DOUBLE_EQ(
+      net.critical_path_ps(kTech, OperatingPoint::slow_process_only()), 80.0);
+}
+
+TEST(Generators, MultiplierSizesAndDepth) {
+  for (int w : {2, 4, 8}) {
+    const Netlist net = build_array_multiplier(w);
+    EXPECT_EQ(net.input_count(), static_cast<std::size_t>(2 * w));
+    // Depth grows roughly linearly with width (ripple-carry array); the
+    // 2x2 base case is one AND + one half adder deep.
+    const double d = net.critical_path_ps(kTech, kTyp);
+    EXPECT_GT(d, 45.0 * w);
+    EXPECT_LT(d, 250.0 * w);
+  }
+  EXPECT_THROW(build_array_multiplier(0), std::invalid_argument);
+}
+
+TEST(Generators, MultiplierDepthGrowsWithWidth) {
+  EXPECT_LT(build_array_multiplier(4).critical_path_ps(kTech, kTyp),
+            build_array_multiplier(8).critical_path_ps(kTech, kTyp));
+}
+
+TEST(Generators, IncrementerAndComparatorAreShallow) {
+  const Netlist inc = build_incrementer(8);
+  const Netlist cmp = build_equality_comparator(8);
+  const Netlist mul = build_array_multiplier(8);
+  EXPECT_LT(inc.critical_path_ps(kTech, kTyp),
+            mul.critical_path_ps(kTech, kTyp));
+  EXPECT_LT(cmp.critical_path_ps(kTech, kTyp),
+            mul.critical_path_ps(kTech, kTyp));
+}
+
+TEST(Generators, MuxTreeDepthIsLogarithmic) {
+  const double d4 = build_mux_tree_netlist(4).critical_path_ps(kTech, kTyp);
+  const double d256 =
+      build_mux_tree_netlist(256).critical_path_ps(kTech, kTyp);
+  EXPECT_DOUBLE_EQ(d4, 2 * 50.0);
+  EXPECT_DOUBLE_EQ(d256, 8 * 50.0);
+  EXPECT_THROW(build_mux_tree_netlist(3), std::invalid_argument);
+}
+
+TEST(Timing, ProposedMapperClosesTimingAtThesisFrequencies) {
+  // The synthesizability claim, quantified: the slowest synchronous arc
+  // (the 8x8 mapper multiplier) must meet 50/100/200 MHz -- at the SLOW
+  // corner, where logic is slowest.
+  for (double mhz : {50.0, 100.0, 200.0}) {
+    const auto report = proposed_control_timing(
+        {256, 2}, kTech, OperatingPoint::slow_process_only(), mhz);
+    EXPECT_TRUE(report.meets_timing) << mhz << " MHz";
+    EXPECT_GT(report.slack_ps, 0.0) << mhz << " MHz";
+  }
+}
+
+TEST(Timing, ReportFieldsAreConsistent) {
+  const auto report =
+      proposed_control_timing({256, 2}, kTech, kTyp, 100.0);
+  EXPECT_NEAR(report.min_period_ps,
+              report.clk_to_q_ps + report.logic_delay_ps + report.setup_ps,
+              1e-9);
+  EXPECT_NEAR(report.fmax_mhz, 1e6 / report.min_period_ps, 1e-6);
+  EXPECT_NEAR(report.slack_ps, 10'000.0 - report.min_period_ps, 1e-9);
+  EXPECT_FALSE(report.critical_through.empty());
+}
+
+TEST(Timing, ConventionalControllerIsFasterThanProposedMapper) {
+  const auto conv =
+      conventional_control_timing({64, 4, 2}, kTech, kTyp, 100.0);
+  const auto prop = proposed_control_timing({256, 2}, kTech, kTyp, 100.0);
+  EXPECT_LT(conv.logic_delay_ps, prop.logic_delay_ps);
+  EXPECT_TRUE(conv.meets_timing);
+}
+
+TEST(Timing, FmaxShrinksAtTheSlowCorner) {
+  const auto typ = proposed_control_timing({256, 2}, kTech, kTyp, 100.0);
+  const auto slow = proposed_control_timing(
+      {256, 2}, kTech, OperatingPoint::slow_process_only(), 100.0);
+  EXPECT_GT(typ.fmax_mhz, slow.fmax_mhz);
+}
+
+TEST(Netlist, InventoryCountsGatesNotInputs) {
+  const Netlist net = build_equality_comparator(4);
+  const auto inv = net.inventory();
+  EXPECT_EQ(inv.count(CellKind::kXnor2), 4u);
+  EXPECT_EQ(inv.count(CellKind::kAnd2), 3u);
+  EXPECT_EQ(inv.total_cells(), 7u);
+}
+
+}  // namespace
+}  // namespace ddl::synth

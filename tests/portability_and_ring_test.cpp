@@ -1,0 +1,196 @@
+// Tests for technology-node portability (the thesis's RTL-independence
+// claim), the ring-oscillator DPWM baseline, and the Markov load generator.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ddl/control/closed_loop.h"
+#include "ddl/core/calibrated_dpwm.h"
+#include "ddl/core/design_calculator.h"
+#include "ddl/dpwm/ring_oscillator.h"
+#include "ddl/synth/delay_line_synth.h"
+
+namespace ddl {
+namespace {
+
+using cells::OperatingPoint;
+using cells::Technology;
+
+// ---- Technology nodes ----------------------------------------------------
+
+TEST(TechnologyNodes, PresetsScaleAsDocumented) {
+  const auto t32 = Technology::i32nm_class();
+  const auto t45 = Technology::i45nm_class();
+  const auto t22 = Technology::i22nm_class();
+  EXPECT_DOUBLE_EQ(t45.typical_delay_ps(cells::CellKind::kBuffer), 40.0 * 1.8);
+  EXPECT_DOUBLE_EQ(t22.typical_delay_ps(cells::CellKind::kBuffer), 40.0 * 0.7);
+  EXPECT_GT(t45.area_um2(cells::CellKind::kDff),
+            t32.area_um2(cells::CellKind::kDff));
+  EXPECT_LT(t22.area_um2(cells::CellKind::kDff),
+            t32.area_um2(cells::CellKind::kDff));
+  EXPECT_LT(t45.mismatch_sigma(), t32.mismatch_sigma());
+  EXPECT_GT(t22.mismatch_sigma(), t32.mismatch_sigma());
+}
+
+class NodePortability : public ::testing::TestWithParam<int> {};
+
+TEST_P(NodePortability, SameSpecRetargetsAndWorksOnEveryNode) {
+  // The section 2.3 claim made executable: the same parameterized design
+  // (spec -> calculator -> line -> calibrate -> modulate) just works on a
+  // different node with different parameters.
+  const Technology tech = GetParam() == 0   ? Technology::i45nm_class()
+                          : GetParam() == 1 ? Technology::i32nm_class()
+                                            : Technology::i22nm_class();
+  core::DesignCalculator calc(tech);
+  const core::DesignSpec spec{100.0, 6};
+  const auto design = calc.size_proposed(spec);
+  ASSERT_TRUE(design.lock_guaranteed);
+
+  core::ProposedDelayLine line(tech, design.line, /*seed=*/6);
+  core::ProposedDpwmSystem system(line, spec.clock_period_ps());
+  for (const auto op :
+       {OperatingPoint::fast_process_only(), OperatingPoint::typical(),
+        OperatingPoint::slow_process_only()}) {
+    system.set_environment(core::EnvironmentSchedule(op));
+    ASSERT_TRUE(system.calibrate().has_value()) << to_string(op.corner);
+    EXPECT_NEAR(system.generate(0, design.line.num_cells / 2).duty(), 0.5,
+                0.03)
+        << to_string(op.corner);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Nodes, NodePortability, ::testing::Values(0, 1, 2));
+
+TEST(TechnologyNodes, BuffersPerCellAdaptToNodeSpeed) {
+  // The calculator re-fits the cell to the node's buffer speed: 45nm's
+  // 36 ps fast buffer still needs 2 per 39 ps cell, 22nm's 14 ps needs 3.
+  const core::DesignSpec spec{100.0, 6};
+  EXPECT_EQ(core::DesignCalculator(Technology::i45nm_class())
+                .size_proposed(spec)
+                .line.buffers_per_cell,
+            2);
+  EXPECT_EQ(core::DesignCalculator(Technology::i32nm_class())
+                .size_proposed(spec)
+                .line.buffers_per_cell,
+            2);
+  EXPECT_EQ(core::DesignCalculator(Technology::i22nm_class())
+                .size_proposed(spec)
+                .line.buffers_per_cell,
+            3);
+}
+
+TEST(TechnologyNodes, AreaShrinksWithTheNode) {
+  const core::DesignSpec spec{100.0, 6};
+  double previous = 1e18;
+  for (const Technology& tech :
+       {Technology::i45nm_class(), Technology::i32nm_class(),
+        Technology::i22nm_class()}) {
+    core::DesignCalculator calc(tech);
+    const double area =
+        synth::synthesize_proposed(calc.size_proposed(spec).line, tech)
+            .total_area_um2();
+    EXPECT_LT(area, previous);
+    previous = area;
+  }
+}
+
+// ---- Ring-oscillator DPWM ---------------------------------------------------
+
+TEST(RingDpwm, RejectsBadConfigs) {
+  const auto tech = Technology::i32nm_class();
+  EXPECT_THROW(dpwm::RingOscillatorDpwm(tech, {3, 2}), std::invalid_argument);
+  EXPECT_THROW(dpwm::RingOscillatorDpwm(tech, {64, 0}), std::invalid_argument);
+}
+
+TEST(RingDpwm, FrequencyIsSetByTheRingLength) {
+  const auto tech = Technology::i32nm_class();
+  // 64 stages x 2 buffers x 40 ps = 5.12 ns lap -> 10.24 ns period.
+  dpwm::RingOscillatorDpwm ring(tech, {64, 2});
+  EXPECT_NEAR(ring.frequency_mhz(OperatingPoint::typical()), 97.66, 0.1);
+  EXPECT_EQ(ring.period_ps(), 10'240);
+  EXPECT_EQ(ring.bits(), 6);
+}
+
+TEST(RingDpwm, FrequencyDriftsWithTheFullCornerSpread) {
+  // The architecture's fatal flaw versus the thesis's clocked schemes.
+  const auto tech = Technology::i32nm_class();
+  dpwm::RingOscillatorDpwm ring(tech, {64, 2});
+  const double fast = ring.frequency_mhz(OperatingPoint::fast_process_only());
+  const double slow = ring.frequency_mhz(OperatingPoint::slow_process_only());
+  EXPECT_NEAR(fast / slow, 4.0, 0.01);
+}
+
+TEST(RingDpwm, DutyIsRatiometricAcrossCorners) {
+  // The architecture's one virtue: tap/lap ratios cancel the corner, so
+  // duty (unlike frequency) is corner-immune without calibration.
+  const auto tech = Technology::i32nm_class();
+  dpwm::RingOscillatorDpwm ring(tech, {64, 2});
+  for (const auto op :
+       {OperatingPoint::fast_process_only(), OperatingPoint::typical(),
+        OperatingPoint::slow_process_only()}) {
+    ring.set_operating_point(op);
+    EXPECT_NEAR(ring.generate(0, 31).duty(), 0.5, 0.01)
+        << to_string(op.corner);
+  }
+}
+
+TEST(RingDpwm, DutySweepIsMonotoneAndSpansTheRange) {
+  const auto tech = Technology::i32nm_class();
+  dpwm::RingOscillatorDpwm ring(tech, {64, 2}, /*seed=*/8);
+  double previous = 0.0;
+  for (std::uint64_t word = 0; word < 64; ++word) {
+    const double duty = ring.generate(0, word).duty();
+    EXPECT_GT(duty, previous);
+    previous = duty;
+  }
+  EXPECT_NEAR(previous, 1.0, 0.02);
+}
+
+// ---- Markov load ---------------------------------------------------------------
+
+TEST(MarkovLoad, DeterministicForASeed) {
+  auto a = control::markov_load(42, 0.1, 1.0);
+  auto b = control::markov_load(42, 0.1, 1.0);
+  for (std::uint64_t p = 0; p < 500; ++p) {
+    EXPECT_DOUBLE_EQ(a(p), b(p));
+  }
+}
+
+TEST(MarkovLoad, VisitsBothStatesWithPlausibleDutyFactor) {
+  auto load = control::markov_load(7, 0.1, 1.0, 0.02, 0.05);
+  int bursts = 0;
+  for (std::uint64_t p = 0; p < 20'000; ++p) {
+    if (load(p) > 0.5) {
+      ++bursts;
+    }
+  }
+  // Stationary burst fraction = p_burst / (p_burst + p_idle) ~ 0.286.
+  const double fraction = bursts / 20'000.0;
+  EXPECT_GT(fraction, 0.15);
+  EXPECT_LT(fraction, 0.45);
+}
+
+TEST(MarkovLoad, RepeatedQueriesForSamePeriodAreStable) {
+  auto load = control::markov_load(3, 0.1, 1.0);
+  const double first = load(100);
+  EXPECT_DOUBLE_EQ(load(100), first);  // Re-query must not advance state.
+}
+
+TEST(MarkovLoad, ClosedLoopSurvivesBurstyWorkload) {
+  dpwm::CounterDpwm dpwm(10, 1'048'576);
+  analog::BuckParams params;
+  params.vin = 3.0;
+  control::DigitallyControlledBuck loop(
+      analog::BuckConverter(params),
+      analog::WindowAdc(analog::WindowAdcParams{1.0, 10e-3, 7}),
+      control::PidController(control::PidParams{}, 1023, 341), dpwm);
+  loop.run(4000, control::markov_load(11, 0.1, 0.8));
+  // Bursty 8x load steps cause real transients on the lightly damped LC,
+  // but the loop must keep the long-run average on target and recover.
+  const auto metrics = loop.metrics(1000, 4000);
+  EXPECT_NEAR(metrics.mean_vout, 1.0, 0.05);
+  EXPECT_LT(metrics.mean_abs_error_v, 0.15);
+}
+
+}  // namespace
+}  // namespace ddl

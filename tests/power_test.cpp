@@ -1,0 +1,59 @@
+// Tests for the synthesis power model.
+#include <gtest/gtest.h>
+
+#include "ddl/synth/power.h"
+
+namespace ddl::synth {
+namespace {
+
+const cells::Technology kTech = cells::Technology::i32nm_class();
+const cells::OperatingPoint kTyp = cells::OperatingPoint::typical();
+
+TEST(Power, BlockPowerScalesLinearlyWithClockAndActivity) {
+  GateInventory inv;
+  inv.add(cells::CellKind::kBuffer, 100);
+  const double base = block_power_uw(inv, kTech, kTyp, 100e6, 1.0);
+  EXPECT_GT(base, 0.0);
+  EXPECT_DOUBLE_EQ(block_power_uw(inv, kTech, kTyp, 200e6, 1.0), 2.0 * base);
+  EXPECT_DOUBLE_EQ(block_power_uw(inv, kTech, kTyp, 100e6, 0.5), 0.5 * base);
+}
+
+TEST(Power, SupplyScalingIsQuadratic) {
+  GateInventory inv;
+  inv.add(cells::CellKind::kBuffer, 100);
+  cells::OperatingPoint boosted = kTyp;
+  boosted.supply_v = 1.2;
+  EXPECT_NEAR(block_power_uw(inv, kTech, boosted, 100e6, 1.0),
+              1.44 * block_power_uw(inv, kTech, kTyp, 100e6, 1.0), 1e-9);
+}
+
+TEST(Power, ProposedReportShapesAreSane) {
+  const auto report = proposed_power({256, 2}, kTech, kTyp, 100.0);
+  EXPECT_GT(report.total_uw(), 0.0);
+  // The clock-carrying line dominates.
+  EXPECT_GT(report.block_percent("Delay Line"), 50.0);
+  // Every block contributes something.
+  for (const auto& block : report.blocks) {
+    EXPECT_GT(block.power_uw, 0.0) << block.name;
+  }
+  EXPECT_DOUBLE_EQ(report.block_percent("no such block"), 0.0);
+}
+
+TEST(Power, ProposedBeatsConventionalByMoreThanArea) {
+  // Area ratio is ~0.58 (Table 5); the power ratio must be smaller still,
+  // because the conventional scheme also clocks its unselected branches.
+  const auto proposed = proposed_power({256, 2}, kTech, kTyp, 100.0);
+  const auto conventional = conventional_power({64, 4, 2}, kTech, kTyp, 100.0);
+  const double power_ratio = proposed.total_uw() / conventional.total_uw();
+  EXPECT_LT(power_ratio, 0.58);
+}
+
+TEST(Power, PowerGrowsWithClockDespiteShrinkingArea) {
+  // Table 6's area shrinks 50 -> 200 MHz; power must still grow.
+  const auto at_50 = proposed_power({256, 4}, kTech, kTyp, 50.0);
+  const auto at_200 = proposed_power({256, 1}, kTech, kTyp, 200.0);
+  EXPECT_GT(at_200.total_uw(), at_50.total_uw());
+}
+
+}  // namespace
+}  // namespace ddl::synth

@@ -1,0 +1,267 @@
+// Property-based sweeps and failure-injection tests across the whole stack:
+// invariants that must hold for *every* point of a (frequency x resolution x
+// corner x die) grid, and graceful behaviour under injected cell faults.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ddl/analysis/linearity.h"
+#include "ddl/analysis/monte_carlo.h"
+#include "ddl/core/calibrated_dpwm.h"
+#include "ddl/core/design_calculator.h"
+#include "ddl/synth/delay_line_synth.h"
+
+namespace ddl {
+namespace {
+
+using cells::OperatingPoint;
+
+const cells::Technology kTech = cells::Technology::i32nm_class();
+
+// ---- Grid sweep: every sized design locks and tracks duty at every corner.
+
+struct GridPoint {
+  double mhz;
+  int bits;
+  OperatingPoint op;
+};
+
+std::vector<GridPoint> full_grid() {
+  std::vector<GridPoint> grid;
+  for (double mhz : {50.0, 100.0, 200.0}) {
+    for (int bits : {4, 6, 8}) {
+      for (const auto op :
+           {OperatingPoint::fast_process_only(), OperatingPoint::typical(),
+            OperatingPoint::slow_process_only()}) {
+        grid.push_back({mhz, bits, op});
+      }
+    }
+  }
+  return grid;
+}
+
+class DesignGrid : public ::testing::TestWithParam<GridPoint> {};
+
+TEST_P(DesignGrid, ProposedSchemeLocksAndTracksEverywhere) {
+  const auto& point = GetParam();
+  core::DesignCalculator calc(kTech);
+  const core::DesignSpec spec{point.mhz, point.bits};
+  const auto design = calc.size_proposed(spec);
+  ASSERT_TRUE(design.lock_guaranteed);
+
+  core::ProposedDelayLine line(kTech, design.line, /*seed=*/3);
+  core::ProposedDpwmSystem system(line, spec.clock_period_ps());
+  system.set_environment(core::EnvironmentSchedule(point.op));
+  ASSERT_TRUE(system.calibrate().has_value());
+
+  // Duty tracking within the corner's quantization everywhere on the grid:
+  // the achievable step is one cell out of the 2 x tap_sel covering the
+  // period, and truncation + lock dither cost up to ~2.5 steps.
+  const std::uint64_t full = design.line.num_cells;
+  const double quantum =
+      2.5 / (2.0 * static_cast<double>(system.controller().tap_sel())) + 0.01;
+  for (std::uint64_t word = full / 4; word < full; word += full / 4) {
+    const auto pwm = system.generate(0, word);
+    EXPECT_NEAR(pwm.duty(), static_cast<double>(word) / full, quantum)
+        << point.mhz << " MHz, " << point.bits << " bits, "
+        << to_string(point.op.corner) << ", word " << word;
+  }
+}
+
+TEST_P(DesignGrid, ConventionalSchemeLocksAndTracksWhereFeasible) {
+  const auto& point = GetParam();
+  core::DesignCalculator calc(kTech);
+  const core::DesignSpec spec{point.mhz, point.bits};
+  const auto design = calc.size_conventional(spec);
+  ASSERT_TRUE(design.lock_guaranteed);
+  if (!core::conventional_feasible_at(design, kTech, point.op,
+                                      spec.clock_period_ps())) {
+    // The conventional scheme's minimum-delay blind spot (see
+    // ConventionalDesign::feasible_at_slow): its minimum line delay at this
+    // corner overshoots the period, so there is nothing to lock.  The
+    // proposed scheme's grid test above has no such exclusion -- a
+    // coverage advantage the thesis does not call out.
+    GTEST_SKIP() << "conventional design infeasible at "
+                 << to_string(point.op.corner);
+  }
+
+  core::ConventionalDelayLine line(kTech, design.line, /*seed=*/3);
+  core::ConventionalDpwmSystem system(line, spec.clock_period_ps(),
+                                      core::LockingOrder::kInterleaved);
+  system.set_environment(core::EnvironmentSchedule(point.op));
+  ASSERT_TRUE(system.calibrate().has_value());
+
+  // The conventional convention executes (word+1) cells; the slow-corner
+  // floor lock additionally stretches the full scale by the sliver.
+  const std::uint64_t full = design.line.num_cells;
+  for (std::uint64_t word = full / 4; word < full; word += full / 4) {
+    const auto pwm = system.generate(0, word);
+    const double requested = static_cast<double>(word + 1) / full;
+    EXPECT_NEAR(pwm.duty(), requested, 0.05)
+        << point.mhz << " MHz, " << point.bits << " bits, "
+        << to_string(point.op.corner) << ", word " << word;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(FreqBitsCorner, DesignGrid,
+                         ::testing::ValuesIn(full_grid()));
+
+// ---- Die-to-die properties ---------------------------------------------------
+
+TEST(DieProperties, EveryDieLocksAndTapsStayMonotone) {
+  const auto op = OperatingPoint::typical();
+  for (std::size_t i = 0; i < 25; ++i) {
+    const std::uint64_t seed = analysis::die_seed(42, i);
+    core::ProposedDelayLine line(kTech, {256, 2}, seed);
+    const auto taps = line.tap_delays(op);
+    for (std::size_t t = 1; t < taps.size(); ++t) {
+      ASSERT_GT(taps[t], taps[t - 1]) << "die " << i << " tap " << t;
+    }
+    core::ProposedController controller(line, 10'000.0);
+    EXPECT_TRUE(controller.run_to_lock(op).has_value()) << "die " << i;
+    EXPECT_NEAR(static_cast<double>(controller.tap_sel()), 62.0, 4.0)
+        << "die " << i;
+  }
+}
+
+TEST(DieProperties, LockCyclesScaleWithCornerAcrossDies) {
+  // Property: for any die, fast-corner locking walks ~2x the typical walk
+  // and ~4x the slow walk (the Figure 31 picture).
+  for (std::size_t i = 0; i < 10; ++i) {
+    const std::uint64_t seed = analysis::die_seed(7, i);
+    core::ProposedDelayLine line(kTech, {256, 2}, seed);
+    core::ProposedController fast_ctl(line, 10'000.0);
+    core::ProposedController typ_ctl(line, 10'000.0);
+    core::ProposedController slow_ctl(line, 10'000.0);
+    const auto fast = fast_ctl.run_to_lock(OperatingPoint::fast_process_only());
+    const auto typ = typ_ctl.run_to_lock(OperatingPoint::typical());
+    const auto slow = slow_ctl.run_to_lock(OperatingPoint::slow_process_only());
+    ASSERT_TRUE(fast && typ && slow);
+    EXPECT_NEAR(static_cast<double>(*fast) / static_cast<double>(*typ), 2.0,
+                0.25);
+    EXPECT_NEAR(static_cast<double>(*typ) / static_cast<double>(*slow), 2.0,
+                0.35);
+  }
+}
+
+// ---- Failure injection ----------------------------------------------------------
+
+/// A line with one grossly degraded cell (e.g. a resistive via): delay of
+/// cell `victim` multiplied by `factor`.
+std::vector<double> degraded_taps(const core::ProposedDelayLine& line,
+                                  const OperatingPoint& op, std::size_t victim,
+                                  double factor) {
+  std::vector<double> taps;
+  double cumulative = 0.0;
+  for (std::size_t i = 0; i < line.size(); ++i) {
+    double cell = line.cell_delay_ps(i, op);
+    if (i == victim) {
+      cell *= factor;
+    }
+    cumulative += cell;
+    taps.push_back(cumulative);
+  }
+  return taps;
+}
+
+TEST(FailureInjection, CalibrationAbsorbsADegradedCell) {
+  // A 3x-slow cell early in the line: the proposed controller simply locks
+  // fewer cells; full-period coverage and monotonicity survive.  (The
+  // controller only needs *cumulative* delay to grow monotonically.)
+  const auto op = OperatingPoint::typical();
+  core::ProposedDelayLine line(kTech, {256, 2});
+  const auto taps = degraded_taps(line, op, /*victim=*/10, /*factor=*/3.0);
+
+  // Re-derive the lock point over the degraded taps.
+  std::size_t tap_sel = 0;
+  while (tap_sel + 1 < taps.size() && taps[tap_sel] < 5'000.0) {
+    ++tap_sel;
+  }
+  EXPECT_LT(tap_sel, 62u);  // Fewer cells than the healthy die.
+  EXPECT_GE(taps[tap_sel], 5'000.0);
+  // The full period is still covered by 2 x tap_sel cells (within a cell).
+  EXPECT_NEAR(taps[2 * tap_sel], 10'000.0, 400.0);
+}
+
+TEST(FailureInjection, DegradedCellShowsUpAsLocalDnlSpike) {
+  const auto op = OperatingPoint::typical();
+  core::ProposedDelayLine line(kTech, {256, 2});
+  const auto taps = degraded_taps(line, op, /*victim=*/64, /*factor=*/3.0);
+  const auto dnl = analysis::dnl_lsb(
+      std::vector<double>(taps.begin(), taps.begin() + 125));
+  // The spike sits exactly at the victim cell and nowhere else.
+  for (std::size_t i = 0; i < dnl.size(); ++i) {
+    if (i == 63) {
+      EXPECT_GT(dnl[i], 1.5);
+    } else {
+      EXPECT_LT(std::abs(dnl[i]), 0.5) << "code " << i;
+    }
+  }
+}
+
+TEST(FailureInjection, TemperatureRunawayEventuallyExceedsLineRange) {
+  // Drift injection: heat the die until even tap 0 exceeds half the
+  // period -- the controller must report kAtLimit rather than lie.
+  core::ProposedDelayLine line(kTech, {16, 1});  // Tiny line: 40 ps cells.
+  core::ProposedController controller(line, /*period=*/1'200.0);
+  OperatingPoint op = OperatingPoint::typical();
+  ASSERT_TRUE(controller.run_to_lock(op).has_value());
+  // 16 cells x 40 ps = 640 ps max; heat until half-period 600 ps is out of
+  // range of the shrunken... rather: cool the die so cells speed up and the
+  // full line undershoots the half period.
+  op.corner = cells::ProcessCorner::kFast;  // Cells -> 20 ps, line 320 ps.
+  core::LockStatus status = core::LockStatus::kSearching;
+  for (int i = 0; i < 100; ++i) {
+    status = controller.step(op);
+  }
+  EXPECT_EQ(status, core::LockStatus::kAtLimit);
+}
+
+TEST(FailureInjection, SupplyDroopWithinCalibrationRangeIsAbsorbed) {
+  core::ProposedDelayLine line(kTech, {256, 2});
+  core::ProposedDpwmSystem system(line, 10'000.0);
+  system.set_environment(
+      core::EnvironmentSchedule(OperatingPoint::typical())
+          .with_voltage_spike(0, sim::kTimeNever, -0.1));  // Permanent droop.
+  ASSERT_TRUE(system.calibrate().has_value());
+  const auto pwm = system.generate(0, 128);
+  EXPECT_NEAR(pwm.duty(), 0.5, 0.02);
+}
+
+// ---- Synthesis-model properties ------------------------------------------------
+
+TEST(SynthProperties, AreaIsMonotoneInEveryGeometryKnob) {
+  const auto base = synth::synthesize_proposed({256, 2}, kTech);
+  EXPECT_GT(synth::synthesize_proposed({512, 2}, kTech).total_area_um2(),
+            base.total_area_um2());
+  EXPECT_GT(synth::synthesize_proposed({256, 4}, kTech).total_area_um2(),
+            base.total_area_um2());
+  const auto conv_base = synth::synthesize_conventional({64, 4, 2}, kTech);
+  EXPECT_GT(
+      synth::synthesize_conventional({128, 4, 2}, kTech).total_area_um2(),
+      conv_base.total_area_um2());
+  EXPECT_GT(
+      synth::synthesize_conventional({64, 4, 4}, kTech).total_area_um2(),
+      conv_base.total_area_um2());
+}
+
+TEST(SynthProperties, ProposedWinsAcrossTheWholeGrid) {
+  // The paper's headline area claim as a grid property, not a point check.
+  core::DesignCalculator calc(kTech);
+  for (double mhz : {25.0, 50.0, 100.0, 200.0, 400.0}) {
+    for (int bits : {4, 5, 6, 7}) {
+      const core::DesignSpec spec{mhz, bits};
+      const double proposed =
+          synth::synthesize_proposed(calc.size_proposed(spec).line, kTech)
+              .total_area_um2();
+      const double conventional =
+          synth::synthesize_conventional(calc.size_conventional(spec).line,
+                                         kTech)
+              .total_area_um2();
+      EXPECT_LT(proposed, conventional) << mhz << " MHz " << bits << " bits";
+    }
+  }
+}
+
+}  // namespace
+}  // namespace ddl

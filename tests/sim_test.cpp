@@ -1,0 +1,420 @@
+// Unit tests for the discrete-event kernel, gate primitives, flip-flops,
+// buses and waveform capture.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <fstream>
+
+#include "ddl/cells/technology.h"
+#include "ddl/sim/bus.h"
+#include "ddl/sim/flipflop.h"
+#include "ddl/sim/gates.h"
+#include "ddl/sim/simulator.h"
+#include "ddl/sim/trace.h"
+
+namespace ddl::sim {
+namespace {
+
+cells::Technology tech() { return cells::Technology::i32nm_class(); }
+
+NetlistContext context(Simulator& sim, const cells::Technology& t) {
+  return NetlistContext{&sim, &t, cells::OperatingPoint::typical()};
+}
+
+// ---- Logic algebra -----------------------------------------------------
+
+struct LogicCase {
+  Logic a, b, and_r, or_r, xor_r;
+};
+
+class LogicOps : public ::testing::TestWithParam<LogicCase> {};
+
+TEST_P(LogicOps, TruthTable) {
+  const auto& c = GetParam();
+  EXPECT_EQ(logic_and(c.a, c.b), c.and_r);
+  EXPECT_EQ(logic_or(c.a, c.b), c.or_r);
+  EXPECT_EQ(logic_xor(c.a, c.b), c.xor_r);
+  // Commutativity.
+  EXPECT_EQ(logic_and(c.b, c.a), c.and_r);
+  EXPECT_EQ(logic_or(c.b, c.a), c.or_r);
+  EXPECT_EQ(logic_xor(c.b, c.a), c.xor_r);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FourState, LogicOps,
+    ::testing::Values(
+        LogicCase{Logic::k0, Logic::k0, Logic::k0, Logic::k0, Logic::k0},
+        LogicCase{Logic::k0, Logic::k1, Logic::k0, Logic::k1, Logic::k1},
+        LogicCase{Logic::k1, Logic::k1, Logic::k1, Logic::k1, Logic::k0},
+        // Pessimistic-X: 0 dominates AND, 1 dominates OR, X poisons XOR.
+        LogicCase{Logic::kX, Logic::k0, Logic::k0, Logic::kX, Logic::kX},
+        LogicCase{Logic::kX, Logic::k1, Logic::kX, Logic::k1, Logic::kX},
+        LogicCase{Logic::kX, Logic::kX, Logic::kX, Logic::kX, Logic::kX},
+        LogicCase{Logic::kZ, Logic::k0, Logic::k0, Logic::kX, Logic::kX}));
+
+TEST(Logic, NotTable) {
+  EXPECT_EQ(logic_not(Logic::k0), Logic::k1);
+  EXPECT_EQ(logic_not(Logic::k1), Logic::k0);
+  EXPECT_EQ(logic_not(Logic::kX), Logic::kX);
+  EXPECT_EQ(logic_not(Logic::kZ), Logic::kX);
+}
+
+TEST(Logic, MuxPessimisticSelect) {
+  EXPECT_EQ(logic_mux(Logic::k0, Logic::k1, Logic::k0), Logic::k1);
+  EXPECT_EQ(logic_mux(Logic::k1, Logic::k1, Logic::k0), Logic::k0);
+  // Unknown select with agreeing inputs is still known.
+  EXPECT_EQ(logic_mux(Logic::kX, Logic::k1, Logic::k1), Logic::k1);
+  EXPECT_EQ(logic_mux(Logic::kX, Logic::k1, Logic::k0), Logic::kX);
+}
+
+// ---- Kernel ------------------------------------------------------------
+
+TEST(Simulator, SignalsStartUnknown) {
+  Simulator sim;
+  const SignalId s = sim.add_signal("s");
+  EXPECT_EQ(sim.value(s), Logic::kX);
+  EXPECT_EQ(sim.name(s), "s");
+}
+
+TEST(Simulator, ScheduledDriveAppliesAtTheRightTime) {
+  Simulator sim;
+  const SignalId s = sim.add_signal("s", Logic::k0);
+  sim.schedule(s, Logic::k1, 100);
+  sim.run(99);
+  EXPECT_EQ(sim.value(s), Logic::k0);
+  sim.run(100);
+  EXPECT_EQ(sim.value(s), Logic::k1);
+  EXPECT_EQ(sim.now(), 100);
+}
+
+TEST(Simulator, EventsAtSameTimeApplyInScheduleOrder) {
+  Simulator sim;
+  const SignalId s = sim.add_signal("s", Logic::k0);
+  const std::uint32_t d1 = sim.allocate_driver();
+  const std::uint32_t d2 = sim.allocate_driver();
+  sim.schedule(s, Logic::k1, 10, d1);
+  sim.schedule(s, Logic::k0, 10, d2);
+  sim.run();
+  EXPECT_EQ(sim.value(s), Logic::k0);  // Last scheduled wins.
+}
+
+TEST(Simulator, InertialCancellationDropsStaleTransitions) {
+  Simulator sim;
+  const SignalId s = sim.add_signal("s", Logic::k0);
+  int changes = 0;
+  sim.on_change(s, [&changes](const SignalEvent&) { ++changes; });
+  const std::uint32_t driver = sim.allocate_driver();
+  // Same driver schedules 1 then immediately re-schedules 0 at a later
+  // time: the first (stale) transition must be cancelled.
+  sim.schedule(s, Logic::k1, 50, driver);
+  sim.schedule(s, Logic::k0, 60, driver);
+  sim.run();
+  EXPECT_EQ(sim.value(s), Logic::k0);
+  EXPECT_EQ(changes, 0);  // Never visibly changed from 0.
+}
+
+TEST(Simulator, OnRisingFiresOnlyOnRisingEdges) {
+  Simulator sim;
+  const SignalId s = sim.add_signal("s", Logic::k0);
+  int rises = 0;
+  sim.on_rising(s, [&rises](const SignalEvent&) { ++rises; });
+  // Lane 0 is transport: the full stimulus sequence plays back.
+  sim.schedule(s, Logic::k1, 10);
+  sim.schedule(s, Logic::k0, 20);
+  sim.schedule(s, Logic::k1, 30);
+  sim.run();
+  EXPECT_EQ(rises, 2);
+}
+
+TEST(Simulator, TasksRunAtScheduledTime) {
+  Simulator sim;
+  Time seen = -1;
+  sim.schedule_task(123, [&] { seen = sim.now(); });
+  sim.run();
+  EXPECT_EQ(seen, 123);
+}
+
+TEST(Simulator, RunForComposes) {
+  Simulator sim;
+  const SignalId s = sim.add_signal("s", Logic::k0);
+  sim.schedule(s, Logic::k1, 1000);
+  sim.run_for(400);
+  EXPECT_EQ(sim.now(), 400);
+  sim.run_for(700);
+  EXPECT_EQ(sim.value(s), Logic::k1);
+}
+
+// ---- Gates -------------------------------------------------------------
+
+TEST(Gates, BufferPropagatesWithTechnologyDelay) {
+  Simulator sim;
+  const auto t = tech();
+  auto ctx = context(sim, t);
+  const SignalId in = sim.add_signal("in", Logic::k0);
+  const SignalId out = sim.add_signal("out", Logic::k0);
+  make_buffer(ctx, in, out);
+  sim.schedule(in, Logic::k1, 0);
+  sim.run(39);
+  EXPECT_EQ(sim.value(out), Logic::k0);
+  sim.run(40);
+  EXPECT_EQ(sim.value(out), Logic::k1);
+}
+
+TEST(Gates, InverterInverts) {
+  Simulator sim;
+  const auto t = tech();
+  auto ctx = context(sim, t);
+  const SignalId in = sim.add_signal("in", Logic::k0);
+  const SignalId out = sim.add_signal("out");
+  make_inverter(ctx, in, out);
+  sim.schedule(in, Logic::k0, 0);
+  sim.schedule(in, Logic::k1, 100);
+  sim.run();
+  EXPECT_EQ(sim.value(out), Logic::k0);
+}
+
+TEST(Gates, BufferChainAccumulatesDelay) {
+  Simulator sim;
+  const auto t = tech();
+  auto ctx = context(sim, t);
+  const SignalId in = sim.add_signal("in", Logic::k0);
+  const auto taps = make_buffer_chain(ctx, in, 8);
+  ASSERT_EQ(taps.size(), 8u);
+  WaveformRecorder rec(sim);
+  for (SignalId tap : taps) {
+    rec.watch(tap);
+  }
+  sim.schedule(in, Logic::k1, 0);
+  sim.run();
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    const auto rises = rec.rising_edges(taps[i]);
+    ASSERT_EQ(rises.size(), 1u) << "tap " << i;
+    EXPECT_EQ(rises[0], static_cast<Time>(40 * (i + 1))) << "tap " << i;
+  }
+}
+
+TEST(Gates, BufferChainHonoursPerCellDelays) {
+  Simulator sim;
+  const auto t = tech();
+  auto ctx = context(sim, t);
+  const SignalId in = sim.add_signal("in", Logic::k0);
+  const auto taps = make_buffer_chain(ctx, in, 3, {10.0, 20.0, 30.0});
+  WaveformRecorder rec(sim);
+  rec.watch(taps.back());
+  sim.schedule(in, Logic::k1, 0);
+  sim.run();
+  EXPECT_EQ(rec.rising_edges(taps.back()).at(0), 60);
+}
+
+TEST(Gates, And2Or2Nand2Nor2Xor2Function) {
+  Simulator sim;
+  const auto t = tech();
+  auto ctx = context(sim, t);
+  const SignalId a = sim.add_signal("a", Logic::k0);
+  const SignalId b = sim.add_signal("b", Logic::k0);
+  const SignalId y_and = sim.add_signal("y_and");
+  const SignalId y_or = sim.add_signal("y_or");
+  const SignalId y_nand = sim.add_signal("y_nand");
+  const SignalId y_nor = sim.add_signal("y_nor");
+  const SignalId y_xor = sim.add_signal("y_xor");
+  make_and2(ctx, a, b, y_and);
+  make_or2(ctx, a, b, y_or);
+  make_nand2(ctx, a, b, y_nand);
+  make_nor2(ctx, a, b, y_nor);
+  make_xor2(ctx, a, b, y_xor);
+  sim.schedule(a, Logic::k1, 0);
+  sim.schedule(b, Logic::k0, 0);
+  sim.run();
+  EXPECT_EQ(sim.value(y_and), Logic::k0);
+  EXPECT_EQ(sim.value(y_or), Logic::k1);
+  EXPECT_EQ(sim.value(y_nand), Logic::k1);
+  EXPECT_EQ(sim.value(y_nor), Logic::k0);
+  EXPECT_EQ(sim.value(y_xor), Logic::k1);
+}
+
+TEST(Gates, MuxTreeSelectsEveryInput) {
+  Simulator sim;
+  const auto t = tech();
+  auto ctx = context(sim, t);
+  std::vector<SignalId> inputs;
+  for (int i = 0; i < 8; ++i) {
+    inputs.push_back(
+        sim.add_signal("in" + std::to_string(i), from_bool(i == 5)));
+  }
+  Bus sel(sim, "sel", 3);  // Bits start X so the first drive propagates.
+  sel.use_driver(sim);
+  const SignalId out = make_mux_tree(ctx, inputs, sel.bits(), "mt");
+  for (std::uint64_t code = 0; code < 8; ++code) {
+    sel.drive(sim, code);
+    sim.run();
+    EXPECT_EQ(sim.value(out), from_bool(code == 5)) << "code " << code;
+  }
+}
+
+// ---- Flip-flops and synchronizer ----------------------------------------
+
+TEST(FlipFlop, CapturesOnRisingEdge) {
+  Simulator sim;
+  const auto t = tech();
+  auto ctx = context(sim, t);
+  const SignalId clk = sim.add_signal("clk", Logic::k0);
+  const SignalId d = sim.add_signal("d", Logic::k0);
+  const SignalId q = sim.add_signal("q");
+  DFlipFlop ff(ctx, clk, d, q);
+  // Data settles well before the edge (setup is 40 ps).
+  sim.schedule(d, Logic::k1, 100);
+  sim.schedule(clk, Logic::k1, 1000);
+  sim.run();
+  EXPECT_EQ(sim.value(q), Logic::k1);
+  EXPECT_EQ(ff.stats().capture_edges, 1u);
+  EXPECT_EQ(ff.stats().setup_violations, 0u);
+}
+
+TEST(FlipFlop, SetupViolationGoesMetastableThenResolves) {
+  Simulator sim;
+  const auto t = tech();
+  auto ctx = context(sim, t);
+  const SignalId clk = sim.add_signal("clk", Logic::k0);
+  const SignalId d = sim.add_signal("d", Logic::k0);
+  const SignalId q = sim.add_signal("q");
+  DFlipFlop ff(ctx, clk, d, q);
+  WaveformRecorder rec(sim);
+  rec.watch(q);
+  // Data toggles 10 ps before the edge: inside the 40 ps setup window.
+  sim.schedule(d, Logic::k1, 990);
+  sim.schedule(clk, Logic::k1, 1000);
+  sim.run();
+  EXPECT_EQ(ff.stats().setup_violations, 1u);
+  // Q must have passed through X before settling to a known value.
+  bool saw_x = false;
+  for (const Edge& edge : rec.edges(q)) {
+    if (edge.value == Logic::kX) {
+      saw_x = true;
+    }
+  }
+  EXPECT_TRUE(saw_x);
+  EXPECT_TRUE(is_known(sim.value(q)));
+}
+
+TEST(FlipFlop, IdealModeSkipsMetastability) {
+  Simulator sim;
+  const auto t = tech();
+  auto ctx = context(sim, t);
+  const SignalId clk = sim.add_signal("clk", Logic::k0);
+  const SignalId d = sim.add_signal("d", Logic::k0);
+  const SignalId q = sim.add_signal("q");
+  DFlipFlop ff(ctx, clk, d, q);
+  ff.set_ideal(true);
+  sim.schedule(d, Logic::k1, 995);
+  sim.schedule(clk, Logic::k1, 1000);
+  sim.run();
+  EXPECT_EQ(sim.value(q), Logic::k1);
+}
+
+TEST(Synchronizer, SecondStageOutputIsAlwaysKnownAfterTwoCycles) {
+  Simulator sim;
+  const auto t = tech();
+  auto ctx = context(sim, t);
+  const SignalId clk = sim.add_signal("clk");
+  const SignalId async_in = sim.add_signal("async", Logic::k0);
+  const SignalId sync_out = sim.add_signal("sync", Logic::k0);
+  TwoFlopSynchronizer synchronizer(ctx, clk, async_in, sync_out, 99);
+  make_clock(sim, clk, 10'000);
+  WaveformRecorder rec(sim);
+  rec.watch(sync_out);
+  // Asynchronous toggles at awkward phases, including right at edges
+  // (transport lane 0 delivers the whole pre-scheduled sequence).
+  for (int i = 0; i < 50; ++i) {
+    sim.schedule(async_in, (i % 2) != 0 ? Logic::k1 : Logic::k0,
+                 4990 + i * 9993);
+  }
+  sim.run(600'000);
+  // The synchronizer's contract: its output never shows X (the first stage
+  // absorbs metastability within one cycle).
+  for (const Edge& edge : rec.edges(sync_out)) {
+    EXPECT_NE(edge.value, Logic::kX) << "at t=" << edge.time;
+  }
+}
+
+TEST(Clock, GeneratesRequestedPeriod) {
+  Simulator sim;
+  const SignalId clk = sim.add_signal("clk");
+  make_clock(sim, clk, 10'000);
+  WaveformRecorder rec(sim);
+  rec.watch(clk);
+  sim.run(95'000);
+  const auto rises = rec.rising_edges(clk);
+  ASSERT_GE(rises.size(), 3u);
+  EXPECT_EQ(rises[1] - rises[0], 10'000);
+  EXPECT_EQ(rises[2] - rises[1], 10'000);
+}
+
+// ---- Bus ---------------------------------------------------------------
+
+TEST(BusTest, DriveAndReadRoundTrip) {
+  Simulator sim;
+  Bus bus(sim, "b", 8);
+  bus.use_driver(sim);
+  bus.drive(sim, 0xA5);
+  sim.run();
+  std::uint64_t value = 0;
+  ASSERT_TRUE(bus.read(sim, &value));
+  EXPECT_EQ(value, 0xA5u);
+}
+
+TEST(BusTest, ReadFailsOnUnknownBits) {
+  Simulator sim;
+  Bus bus(sim, "b", 4);  // Bits start X.
+  std::uint64_t value = 0;
+  EXPECT_FALSE(bus.read(sim, &value));
+  EXPECT_EQ(bus.read_or_zero(sim), 0u);
+}
+
+// ---- Waveform tools ------------------------------------------------------
+
+TEST(Waveform, DutyCycleAndPulseWidth) {
+  Simulator sim;
+  const SignalId s = sim.add_signal("s", Logic::k0);
+  WaveformRecorder rec(sim);
+  rec.watch(s);
+  // 30% duty over a 100 ps window: high [10, 40).
+  sim.schedule(s, Logic::k1, 10);
+  sim.schedule(s, Logic::k0, 40);
+  sim.run(100);
+  EXPECT_NEAR(rec.duty_cycle(s, 0, 100), 0.30, 1e-12);
+  EXPECT_EQ(rec.pulse_width(s), 30);
+}
+
+TEST(Waveform, AsciiDiagramShowsLevels) {
+  Simulator sim;
+  const SignalId s = sim.add_signal("sig", Logic::k0);
+  WaveformRecorder rec(sim);
+  rec.watch(s);
+  sim.schedule(s, Logic::k1, 50);
+  sim.run(100);
+  const std::string diagram = rec.ascii_diagram({s}, 0, 100, 10);
+  EXPECT_NE(diagram.find("_"), std::string::npos);
+  EXPECT_NE(diagram.find("#"), std::string::npos);
+}
+
+TEST(Waveform, VcdFileIsWritten) {
+  Simulator sim;
+  const SignalId s = sim.add_signal("sig", Logic::k0);
+  const std::string path = ::testing::TempDir() + "ddl_sim_test.vcd";
+  {
+    VcdWriter vcd(sim, path);
+    vcd.watch(s);
+    sim.schedule(s, Logic::k1, 42);
+    sim.run();
+  }
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("$timescale 1ps"), std::string::npos);
+  EXPECT_NE(contents.find("#42"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace ddl::sim

@@ -1,0 +1,172 @@
+// Tests for the gate-inventory area model against thesis Tables 5 and 6.
+#include <gtest/gtest.h>
+
+#include "ddl/core/design_calculator.h"
+#include "ddl/synth/delay_line_synth.h"
+
+namespace ddl::synth {
+namespace {
+
+using cells::CellKind;
+
+const cells::Technology kTech = cells::Technology::i32nm_class();
+
+core::ProposedLineConfig proposed_100mhz() { return {256, 2}; }
+core::ConventionalLineConfig conventional_100mhz() { return {64, 4, 2}; }
+
+TEST(GateInventory, ArithmeticAndCounts) {
+  GateInventory a;
+  a.add(CellKind::kBuffer, 10);
+  a.add(CellKind::kMux2, 5);
+  a.add(CellKind::kDff, 0);  // No-op.
+  GateInventory b;
+  b.add(CellKind::kBuffer, 2);
+  a += b;
+  EXPECT_EQ(a.count(CellKind::kBuffer), 12u);
+  EXPECT_EQ(a.count(CellKind::kMux2), 5u);
+  EXPECT_EQ(a.count(CellKind::kDff), 0u);
+  EXPECT_EQ(a.total_cells(), 17u);
+  EXPECT_NEAR(a.area_um2(kTech), 12 * 0.645 + 5 * 0.78, 1e-9);
+}
+
+TEST(ProposedBlocks, GateCountsFollowTheArchitecture) {
+  const auto config = proposed_100mhz();
+  EXPECT_EQ(proposed_line_gates(config).count(CellKind::kBuffer), 512u);
+  EXPECT_EQ(proposed_output_mux_gates(config).count(CellKind::kMux2), 255u);
+  // Cal mux: 2-bit datapath -> exactly double the output mux.
+  EXPECT_EQ(proposed_cal_mux_gates(config).count(CellKind::kMux2), 510u);
+  // Mapper: 8x8 array multiplier.
+  const auto mapper = proposed_mapper_gates(config);
+  EXPECT_EQ(mapper.count(CellKind::kAnd2), 64u);
+  EXPECT_EQ(mapper.count(CellKind::kHalfAdder), 8u);
+  EXPECT_EQ(mapper.count(CellKind::kFullAdder), 48u);
+}
+
+TEST(ConventionalBlocks, GateCountsFollowTheArchitecture) {
+  const auto config = conventional_100mhz();
+  const auto line = conventional_line_gates(config);
+  // Per cell: (1+2+3+4) elements x 2 buffers + output driver = 21 buffers.
+  EXPECT_EQ(line.count(CellKind::kBuffer), 64u * 21u);
+  EXPECT_EQ(line.count(CellKind::kMux2), 64u * 3u);
+  const auto controller = conventional_controller_gates(config);
+  // Eq 17 shift register (129) + 2 synchronizer flops.
+  EXPECT_EQ(controller.count(CellKind::kDff), 131u);
+}
+
+TEST(Table5, TotalsMatchThePaperWithinFivePercent) {
+  const auto proposed = synthesize_proposed(proposed_100mhz(), kTech);
+  const auto conventional =
+      synthesize_conventional(conventional_100mhz(), kTech);
+  // Table 5: proposed 1337 um^2, conventional 2330 um^2.
+  EXPECT_NEAR(proposed.total_area_um2(), 1337.0, 1337.0 * 0.05);
+  EXPECT_NEAR(conventional.total_area_um2(), 2330.0, 2330.0 * 0.05);
+}
+
+TEST(Table5, ProposedIsSmallerDespiteExtraBlocks) {
+  const auto proposed = synthesize_proposed(proposed_100mhz(), kTech);
+  const auto conventional =
+      synthesize_conventional(conventional_100mhz(), kTech);
+  EXPECT_LT(proposed.total_area_um2(), conventional.total_area_um2());
+}
+
+TEST(Table5, ProposedDistributionShape) {
+  const auto report = synthesize_proposed(proposed_100mhz(), kTech);
+  // Paper: Line 24.7 / Output MUX 14.9 / Cal MUX 30.3 / Controller 9.8 /
+  // Mapper 20.3 (percent).
+  EXPECT_NEAR(report.block_percent("Delay Line"), 24.7, 3.0);
+  EXPECT_NEAR(report.block_percent("Output MUX"), 14.9, 3.0);
+  EXPECT_NEAR(report.block_percent("Calibration MUX"), 30.3, 3.0);
+  EXPECT_NEAR(report.block_percent("Controller"), 9.8, 3.0);
+  EXPECT_NEAR(report.block_percent("Mapper"), 20.3, 3.0);
+  // Ordering: cal mux > line > mapper > output mux > controller.
+  EXPECT_GT(report.block_percent("Calibration MUX"),
+            report.block_percent("Delay Line"));
+  EXPECT_GT(report.block_percent("Delay Line"),
+            report.block_percent("Mapper"));
+  EXPECT_GT(report.block_percent("Mapper"),
+            report.block_percent("Output MUX"));
+  EXPECT_GT(report.block_percent("Output MUX"),
+            report.block_percent("Controller"));
+}
+
+TEST(Table5, ConventionalDistributionShape) {
+  const auto report =
+      synthesize_conventional(conventional_100mhz(), kTech);
+  // Paper: Line 52.4 / Output MUX 3 / Controller 46.6 (percent).
+  EXPECT_NEAR(report.block_percent("Delay Line"), 52.4, 4.0);
+  EXPECT_NEAR(report.block_percent("Output MUX"), 3.0, 2.0);
+  EXPECT_NEAR(report.block_percent("Controller"), 46.6, 4.0);
+  // The thesis's qualitative claims: the tunable line and the huge shift
+  // register dominate; the mux is negligible.
+  EXPECT_GT(report.block_percent("Delay Line"), 45.0);
+  EXPECT_GT(report.block_percent("Controller"), 40.0);
+  EXPECT_LT(report.block_percent("Output MUX"), 6.0);
+}
+
+struct Table6Case {
+  double mhz;
+  int buffers_per_cell;
+  double paper_total_um2;
+  double paper_line_pct;
+};
+
+class Table6Sweep : public ::testing::TestWithParam<Table6Case> {};
+
+TEST_P(Table6Sweep, TotalsAndLineShareMatchThePaper) {
+  const auto& param = GetParam();
+  core::DesignCalculator calc(kTech);
+  const auto design = calc.size_proposed(core::DesignSpec{param.mhz, 6});
+  ASSERT_EQ(design.line.buffers_per_cell, param.buffers_per_cell);
+  const auto report = synthesize_proposed(design.line, kTech);
+  EXPECT_NEAR(report.total_area_um2(), param.paper_total_um2,
+              param.paper_total_um2 * 0.05);
+  EXPECT_NEAR(report.block_percent("Delay Line"), param.paper_line_pct, 3.0);
+}
+
+// Table 6 rows: 50 MHz / 100 MHz / 200 MHz.
+INSTANTIATE_TEST_SUITE_P(Table6, Table6Sweep,
+                         ::testing::Values(Table6Case{50.0, 4, 1675.0, 39.5},
+                                           Table6Case{100.0, 2, 1337.0, 24.7},
+                                           Table6Case{200.0, 1, 1172.0, 14.1}));
+
+TEST(Table6, AreaDecreasesWithFrequency) {
+  core::DesignCalculator calc(kTech);
+  double previous = 1e18;
+  for (double mhz : {50.0, 100.0, 200.0}) {
+    const auto design = calc.size_proposed(core::DesignSpec{mhz, 6});
+    const double area = synthesize_proposed(design.line, kTech).total_area_um2();
+    EXPECT_LT(area, previous) << mhz;
+    previous = area;
+  }
+}
+
+TEST(Table6, OnlyTheLineVariesAcrossFrequencies) {
+  // Section 4.3: "the only difference between multiple frequencies is the
+  // number of buffers combined together in one delay cell."
+  const auto at_50 = synthesize_proposed({256, 4}, kTech);
+  const auto at_200 = synthesize_proposed({256, 1}, kTech);
+  for (const char* block :
+       {"Output MUX", "Calibration MUX", "Controller", "Mapper"}) {
+    EXPECT_DOUBLE_EQ(at_50.find(block)->area_um2, at_200.find(block)->area_um2)
+        << block;
+  }
+  EXPECT_DOUBLE_EQ(at_50.find("Delay Line")->area_um2,
+                   4.0 * at_200.find("Delay Line")->area_um2);
+}
+
+TEST(Reports, TableRenderingContainsBlocksAndTotal) {
+  const auto report = synthesize_proposed(proposed_100mhz(), kTech);
+  const std::string table = report.to_table();
+  EXPECT_NE(table.find("Delay Line"), std::string::npos);
+  EXPECT_NE(table.find("Mapper"), std::string::npos);
+  EXPECT_NE(table.find("TOTAL"), std::string::npos);
+}
+
+TEST(Reports, FindReturnsNullForUnknownBlock) {
+  const auto report = synthesize_proposed(proposed_100mhz(), kTech);
+  EXPECT_EQ(report.find("No Such Block"), nullptr);
+  EXPECT_DOUBLE_EQ(report.block_percent("No Such Block"), 0.0);
+}
+
+}  // namespace
+}  // namespace ddl::synth

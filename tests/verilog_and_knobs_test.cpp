@@ -1,0 +1,160 @@
+// Tests for the Verilog RTL generator and the jitter-mitigation knobs
+// (lock hysteresis, tap-selector filtering).
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+#include <fstream>
+
+#include "ddl/analysis/monte_carlo.h"
+#include "ddl/core/calibrated_dpwm.h"
+#include "ddl/synth/verilog.h"
+
+namespace ddl {
+namespace {
+
+const cells::Technology kTech = cells::Technology::i32nm_class();
+
+// ---- Verilog generation ---------------------------------------------------
+
+std::size_t count_occurrences(const std::string& text,
+                              const std::string& needle) {
+  std::size_t count = 0;
+  for (std::size_t pos = text.find(needle); pos != std::string::npos;
+       pos = text.find(needle, pos + needle.size())) {
+    ++count;
+  }
+  return count;
+}
+
+TEST(Verilog, ProposedModuleCarriesTheDesignParameters) {
+  const std::string v = synth::proposed_verilog({256, 2});
+  EXPECT_NE(v.find("module ddl_proposed_delay_line"), std::string::npos);
+  EXPECT_NE(v.find("parameter NUM_CELLS = 256"), std::string::npos);
+  EXPECT_NE(v.find("parameter BUFS_PER_CELL = 2"), std::string::npos);
+  EXPECT_NE(v.find("parameter WORD_BITS = 8"), std::string::npos);
+  // The architecture's blocks are all present.
+  EXPECT_NE(v.find("ddl_delay_cell"), std::string::npos);
+  EXPECT_NE(v.find("sample_meta"), std::string::npos);  // 2-FF synchronizer.
+  EXPECT_NE(v.find("duty * tap_sel"), std::string::npos);  // Eq 18 mapper.
+  EXPECT_NE(v.find("dont_touch"), std::string::npos);
+}
+
+TEST(Verilog, ConventionalModuleCarriesTheDesignParameters) {
+  const std::string v = synth::conventional_verilog({64, 4, 2});
+  EXPECT_NE(v.find("module ddl_conventional_delay_line"), std::string::npos);
+  EXPECT_NE(v.find("parameter NUM_CELLS = 64"), std::string::npos);
+  EXPECT_NE(v.find("parameter BRANCHES = 4"), std::string::npos);
+  EXPECT_NE(v.find("parameter SR_BITS = 129"), std::string::npos);  // Eq 17.
+  EXPECT_NE(v.find("ddl_tunable_cell"), std::string::npos);
+  EXPECT_NE(v.find("up_lim"), std::string::npos);
+}
+
+TEST(Verilog, ModulesAndGeneratesAreBalanced) {
+  for (const std::string v :
+       {synth::proposed_verilog({256, 2}),
+        synth::conventional_verilog({64, 4, 2})}) {
+    EXPECT_EQ(count_occurrences(v, "\nmodule ") + (v.rfind("module ", 0) == 0),
+              count_occurrences(v, "endmodule"));
+    // " generate\n" (leading space) avoids matching inside "endgenerate".
+    EXPECT_EQ(count_occurrences(v, " generate\n"),
+              count_occurrences(v, "endgenerate"));
+    // No unresolved placeholders.
+    EXPECT_EQ(v.find("%%"), std::string::npos);
+  }
+}
+
+TEST(Verilog, ParametersFollowTheConfig) {
+  const std::string v = synth::proposed_verilog({64, 4}, "my_line");
+  EXPECT_NE(v.find("module my_line"), std::string::npos);
+  EXPECT_NE(v.find("parameter NUM_CELLS = 64"), std::string::npos);
+  EXPECT_NE(v.find("parameter BUFS_PER_CELL = 4"), std::string::npos);
+  EXPECT_NE(v.find("parameter WORD_BITS = 6"), std::string::npos);
+}
+
+TEST(Verilog, WritesBothFiles) {
+  const std::string dir = ::testing::TempDir() + "ddl_verilog_test";
+  std::filesystem::create_directories(dir);
+  EXPECT_EQ(synth::write_verilog_files(dir, {256, 2}, {64, 4, 2}), 2);
+  for (const char* name : {"/proposed.v", "/conventional.v"}) {
+    std::ifstream in(dir + name);
+    ASSERT_TRUE(in.good()) << name;
+    std::string contents((std::istreambuf_iterator<char>(in)),
+                         std::istreambuf_iterator<char>());
+    EXPECT_NE(contents.find("endmodule"), std::string::npos) << name;
+  }
+  std::filesystem::remove_all(dir);
+}
+
+// ---- Jitter-mitigation knobs -------------------------------------------------
+
+TEST(LockHysteresis, RejectsInvalidAndSlowsDitherRate) {
+  core::ProposedDelayLine line(kTech, {256, 2});
+  core::ProposedController controller(line, 10'000.0);
+  EXPECT_THROW(controller.set_lock_hysteresis(0), std::invalid_argument);
+  controller.set_lock_hysteresis(4);
+  const auto op = cells::OperatingPoint::typical();
+  ASSERT_TRUE(controller.run_to_lock(op).has_value());
+  // Count tap movements over 64 locked cycles: hysteresis-4 moves at most
+  // every 4th cycle.
+  std::size_t moves = 0;
+  std::size_t previous = controller.tap_sel();
+  for (int i = 0; i < 64; ++i) {
+    controller.step(op);
+    if (controller.tap_sel() != previous) {
+      ++moves;
+      previous = controller.tap_sel();
+    }
+  }
+  EXPECT_LE(moves, 64u / 4u + 1u);
+  EXPECT_GT(moves, 0u);  // Still tracking, not frozen.
+}
+
+TEST(TapFilter, RemovesSteadyStateDutyJitter) {
+  core::ProposedDelayLine line(kTech, {256, 2}, /*seed=*/4);
+  auto run = [&line](std::size_t depth) {
+    core::ProposedDpwmSystem system(line, 10'000.0);
+    system.set_tap_filter_depth(depth);
+    system.calibrate();
+    std::vector<double> widths;
+    sim::Time t = 0;
+    for (int i = 0; i < 300; ++i) {
+      const auto pwm = system.generate(t, 128);
+      t += system.period_ps();
+      if (i >= 100) {
+        widths.push_back(sim::to_ps(pwm.high_ps));
+      }
+    }
+    return analysis::summarize(widths).stddev;
+  };
+  const double unfiltered = run(1);
+  const double filtered = run(8);
+  EXPECT_GT(unfiltered, 10.0);   // The +/-1 dither is visible (~1 cell).
+  EXPECT_LT(filtered, unfiltered * 0.2);
+}
+
+TEST(TapFilter, StillTracksTemperatureDrift) {
+  core::ProposedDelayLine line(kTech, {256, 2});
+  core::ProposedDpwmSystem system(line, 10'000.0);
+  system.set_tap_filter_depth(8);
+  system.set_environment(
+      core::EnvironmentSchedule(cells::OperatingPoint::typical())
+          .with_temperature_ramp(5.0));
+  ASSERT_TRUE(system.calibrate().has_value());
+  sim::Time t = 0;
+  dpwm::PwmPeriod last;
+  for (int i = 0; i < 2000; ++i) {
+    last = system.generate(t, 128);
+    t += system.period_ps();
+  }
+  EXPECT_NEAR(last.duty(), 0.5, 0.02);
+}
+
+TEST(TapFilter, RejectsZeroDepth) {
+  core::ProposedDelayLine line(kTech, {256, 2});
+  core::ProposedDpwmSystem system(line, 10'000.0);
+  EXPECT_THROW(system.set_tap_filter_depth(0), std::invalid_argument);
+}
+
+}  // namespace
+}  // namespace ddl
