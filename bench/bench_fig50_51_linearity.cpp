@@ -12,6 +12,7 @@
 //     average out mismatch; section 4.3).
 #include <cstdio>
 
+#include "ddl/analysis/bench_json.h"
 #include "ddl/analysis/linearity.h"
 #include "ddl/analysis/monte_carlo.h"
 #include "ddl/analysis/report.h"
@@ -52,6 +53,10 @@ int main() {
   ddl::core::DesignCalculator calc(tech);
   const Series series[] = {{50.0, 1.0}, {100.0, 2.0}, {200.0, 4.0}};
   const std::uint64_t die_seed = 2024;
+  const std::size_t mc_trials = ddl::analysis::BenchReport::trials_or(50);
+  ddl::analysis::WallTimer timer;
+  ddl::analysis::BenchReport json("fig50_51_linearity");
+  std::size_t total_trials = 0;
 
   for (const auto& [corner, figure, figure_name] :
        {std::tuple{ddl::cells::OperatingPoint::slow_process_only(), 50,
@@ -82,7 +87,7 @@ int main() {
       }
       const auto lin = ddl::analysis::analyze_linearity(curve);
       const auto mc = ddl::analysis::monte_carlo(
-          50, 99, [&](std::uint64_t seed) {
+          mc_trials, 99, [&](std::uint64_t seed) {
             const auto die_curve = transfer_curve(tech, design.line, period,
                                                   corner, seed, s.scale);
             return die_curve.empty()
@@ -90,6 +95,14 @@ int main() {
                        : ddl::analysis::analyze_linearity(die_curve)
                              .max_inl_lsb;
           });
+      total_trials += mc_trials;
+      const std::string json_prefix =
+          "fig" + std::to_string(figure) + "_" +
+          std::to_string(static_cast<int>(s.mhz)) + "mhz_inl_lsb";
+      json.set_summary(json_prefix, mc);
+      json.set("fig" + std::to_string(figure) + "_" +
+                   std::to_string(static_cast<int>(s.mhz)) + "mhz_zero_steps",
+               lin.zero_steps);
       const std::string label =
           std::to_string(static_cast<int>(s.mhz)) + " MHz x" +
           std::to_string(static_cast<int>(s.scale));
@@ -118,5 +131,9 @@ int main() {
       "  * at both corners, lower clock frequency -> more buffers per cell "
       "-> smaller Monte-Carlo INL\n"
       "    (mismatch averaging, thesis section 4.3).\n");
+
+  json.set("mc_trials_per_series", mc_trials);
+  json.set_perf(timer, total_trials);
+  std::printf("\nbench report written to %s\n", json.write().c_str());
   return 0;
 }

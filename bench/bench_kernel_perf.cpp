@@ -2,10 +2,24 @@
 // event-kernel throughput, delay-line queries, controller locking and the
 // closed-loop plant step -- the costs that bound every experiment in this
 // repository.
+//
+// Also measures Monte-Carlo thread scaling on the Figure 50/51 per-die
+// linearity workload (1 thread vs 4 threads vs the default pool) and
+// writes the results to BENCH_kernel_perf.json.  Set DDL_BENCH_SMOKE=1 to
+// skip the google-benchmark section (CI bench-smoke job); DDL_BENCH_TRIALS
+// scales the Monte-Carlo die count.
 #include <benchmark/benchmark.h>
 
+#include <cstdio>
+#include <cstdlib>
+
 #include "ddl/analog/buck.h"
+#include "ddl/analysis/bench_json.h"
+#include "ddl/analysis/linearity.h"
+#include "ddl/analysis/monte_carlo.h"
+#include "ddl/analysis/parallel.h"
 #include "ddl/core/conventional_controller.h"
+#include "ddl/core/design_calculator.h"
 #include "ddl/core/proposed_controller.h"
 #include "ddl/dpwm/behavioral.h"
 #include "ddl/sim/flipflop.h"
@@ -93,6 +107,89 @@ void BM_BuckPlant_OnePwmPeriod(benchmark::State& state) {
 }
 BENCHMARK(BM_BuckPlant_OnePwmPeriod);
 
+// ---- Monte-Carlo thread scaling (the Figure 50/51 workload) ---------------
+
+/// One Figure-50/51 die: build a mismatch-seeded proposed line, lock it at
+/// the slow corner, map every 8-bit duty word through the Eq-18 mapper and
+/// measure the transfer curve's INL.
+double fig50_die_inl(const ddl::core::ProposedDesign& design,
+                     double period_ps, std::uint64_t seed) {
+  const auto op = ddl::cells::OperatingPoint::slow_process_only();
+  ddl::core::ProposedDelayLine line(tech(), design.line, seed);
+  ddl::core::ProposedController controller(line, period_ps);
+  ddl::core::DutyMapper mapper(design.line.num_cells);
+  if (!controller.run_to_lock(op).has_value()) {
+    return 0.0;
+  }
+  std::vector<double> curve;
+  curve.reserve(design.line.num_cells);
+  for (std::uint64_t word = 0; word < design.line.num_cells; ++word) {
+    const std::size_t tap = mapper.map(word, controller.tap_sel());
+    curve.push_back(line.tap_delay_ps(tap, op));
+  }
+  return ddl::analysis::analyze_linearity(curve).max_inl_lsb;
+}
+
+/// Runs the Monte-Carlo at a fixed thread count and records wall time and
+/// throughput under `<prefix>_*`; returns the Summary for the determinism
+/// cross-check.
+ddl::analysis::Summary mc_scaling_run(ddl::analysis::BenchReport& json,
+                                      const std::string& prefix,
+                                      std::size_t threads,
+                                      std::size_t trials) {
+  const auto design = ddl::core::DesignCalculator(tech()).size_proposed(
+      ddl::core::DesignSpec{100.0, 6});
+  const double period_ps = 1e6 / 100.0;
+  ddl::analysis::WallTimer timer;
+  const auto summary = ddl::analysis::monte_carlo(
+      trials, /*base_seed=*/2024,
+      [&](std::uint64_t seed) { return fig50_die_inl(design, period_ps, seed); },
+      threads);
+  const double wall_ms = timer.elapsed_ms();
+  json.set(prefix + "_wall_ms", wall_ms);
+  json.set(prefix + "_trials_per_sec",
+           wall_ms > 0.0 ? static_cast<double>(trials) * 1e3 / wall_ms : 0.0);
+  return summary;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  const bool smoke = std::getenv("DDL_BENCH_SMOKE") != nullptr;
+  if (!smoke) {
+    benchmark::Initialize(&argc, argv);
+    if (benchmark::ReportUnrecognizedArguments(argc, argv)) {
+      return 1;
+    }
+    benchmark::RunSpecifiedBenchmarks();
+    benchmark::Shutdown();
+  }
+
+  const std::size_t trials = ddl::analysis::BenchReport::trials_or(96);
+  ddl::analysis::WallTimer timer;
+  ddl::analysis::BenchReport json("kernel_perf");
+  json.set("hardware_concurrency",
+           static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+
+  const auto serial = mc_scaling_run(json, "mc_1t", 1, trials);
+  const auto four = mc_scaling_run(json, "mc_4t", 4, trials);
+  const auto pooled =
+      mc_scaling_run(json, "mc_default", ddl::analysis::default_thread_count(),
+                     trials);
+
+  // The engine's contract: identical Summary at every thread count.
+  const bool deterministic =
+      serial.mean == four.mean && serial.stddev == four.stddev &&
+      serial.min == four.min && serial.max == four.max &&
+      serial.p05 == four.p05 && serial.p50 == four.p50 &&
+      serial.p95 == four.p95 && serial.count == four.count &&
+      serial.mean == pooled.mean && serial.count == pooled.count;
+  json.set("mc_deterministic_across_threads", deterministic);
+  json.set_summary("mc_inl_lsb", serial);
+  json.set_perf(timer, 3 * trials);
+  std::printf("\nMonte-Carlo scaling (fig50/51 workload, %zu dies): "
+              "deterministic=%s\nbench report written to %s\n",
+              trials, deterministic ? "yes" : "NO",
+              json.write().c_str());
+  return deterministic ? 0 : 1;
+}

@@ -1,0 +1,36 @@
+#!/usr/bin/env bash
+# Checks (or fixes) C++ formatting against the repo's .clang-format.
+#
+#   scripts/check-format.sh              # check every tracked *.cpp / *.h
+#   scripts/check-format.sh src tests    # check subtrees only
+#   FIX=1 scripts/check-format.sh        # rewrite files in place
+#
+# CLANG_FORMAT overrides the binary (e.g. CLANG_FORMAT=clang-format-18).
+# Exit codes: 0 clean, 1 violations found, 2 clang-format unavailable.
+set -euo pipefail
+cd "$(git rev-parse --show-toplevel)"
+
+CLANG_FORMAT="${CLANG_FORMAT:-clang-format}"
+if ! command -v "$CLANG_FORMAT" >/dev/null 2>&1; then
+  echo "error: '$CLANG_FORMAT' not found; install clang-format or set" \
+       "CLANG_FORMAT=<binary>" >&2
+  exit 2
+fi
+
+if [ "$#" -gt 0 ]; then
+  mapfile -t files < <(git ls-files '*.cpp' '*.h' -- "$@")
+else
+  mapfile -t files < <(git ls-files '*.cpp' '*.h')
+fi
+if [ "${#files[@]}" -eq 0 ]; then
+  echo "no C++ files matched" >&2
+  exit 0
+fi
+
+if [ "${FIX:-0}" = "1" ]; then
+  "$CLANG_FORMAT" -i "${files[@]}"
+  echo "formatted ${#files[@]} files"
+else
+  "$CLANG_FORMAT" --dry-run --Werror "${files[@]}"
+  echo "checked ${#files[@]} files: clean"
+fi

@@ -1,0 +1,86 @@
+// Machine-readable bench reporting.
+//
+// Every converted bench binary emits a `BENCH_<name>.json` file next to its
+// stdout tables, so the perf trajectory (wall time, threads, trials/sec,
+// summary statistics) is trackable across PRs and collectable as CI
+// artifacts.  The schema is a single flat JSON object; keys appear in
+// insertion order, `name`, `threads` and `wall_ms` are always present (see
+// README "Benchmarks & CI").
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ddl/analysis/monte_carlo.h"
+
+namespace ddl::analysis {
+
+/// Wall-clock stopwatch for bench timing (steady clock).
+class WallTimer {
+ public:
+  WallTimer() : start_(std::chrono::steady_clock::now()) {}
+
+  double elapsed_ms() const {
+    return std::chrono::duration<double, std::milli>(
+               std::chrono::steady_clock::now() - start_)
+        .count();
+  }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+/// Accumulates key/value fields and writes them as `BENCH_<name>.json`.
+///
+/// Field order is insertion order; setting an existing key overwrites it
+/// in place.  Doubles are rendered round-trip exact (%.17g), strings are
+/// JSON-escaped.
+class BenchReport {
+ public:
+  /// Starts a report; `name` becomes the `name` field and the file stem.
+  /// `threads` (the analysis layer's default thread count) is recorded
+  /// immediately so the JSON always states the parallelism it ran with.
+  explicit BenchReport(std::string name);
+
+  void set(const std::string& key, double value);
+  void set(const std::string& key, std::int64_t value);
+  void set(const std::string& key, std::uint64_t value);
+  void set(const std::string& key, int value);
+  void set(const std::string& key, bool value);
+  void set(const std::string& key, const std::string& value);
+  void set(const std::string& key, const char* value);
+
+  /// Flattens a Summary as `<prefix>_mean`, `_stddev`, `_min`, `_max`,
+  /// `_p05`, `_p50`, `_p95`, `_count`.
+  void set_summary(const std::string& prefix, const Summary& summary);
+
+  /// Records `wall_ms` from the timer plus `trials` and `trials_per_sec`
+  /// -- the standard perf triple of a converted bench.
+  void set_perf(const WallTimer& timer, std::size_t trials);
+
+  /// Renders the report as a pretty-printed JSON object.
+  std::string to_json() const;
+
+  /// Writes `BENCH_<name>.json` into `DDL_BENCH_DIR` (default: the current
+  /// directory) and returns the path written.
+  std::string write() const;
+
+  /// Trial-count override for CI smoke runs: returns `DDL_BENCH_TRIALS`
+  /// when set to a positive integer, else `default_trials`.
+  static std::size_t trials_or(std::size_t default_trials);
+
+ private:
+  struct Field {
+    std::string key;
+    std::string rendered;  // Already valid JSON (number, bool or string).
+  };
+
+  void set_rendered(const std::string& key, std::string rendered);
+
+  std::string name_;
+  std::vector<Field> fields_;
+};
+
+}  // namespace ddl::analysis

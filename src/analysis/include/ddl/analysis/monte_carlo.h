@@ -30,14 +30,38 @@ Summary summarize(std::vector<double> samples);
 
 /// Runs `experiment(seed)` for `trials` deterministic seeds derived from
 /// `base_seed` and summarizes the returned scalars.
+///
+/// Trials run in parallel on the analysis thread pool (`DDL_THREADS` /
+/// hardware concurrency; see parallel.h).  Each trial's seed depends only
+/// on `(base_seed, index)`, trials are sharded by contiguous index range,
+/// and the per-shard sample vectors are concatenated in index order before
+/// `summarize` -- so the returned Summary is bit-identical for any thread
+/// count, including the `threads == 1` legacy serial path.
+///
+/// `experiment` is invoked concurrently from several threads and must be
+/// self-contained: construct any Simulator / delay line / controller
+/// inside the callback, one per trial (the sim kernel is not thread-safe).
 Summary monte_carlo(std::size_t trials, std::uint64_t base_seed,
                     const std::function<double(std::uint64_t seed)>& experiment);
 
+/// As above with an explicit thread count (0 = default).  Used by the
+/// determinism tests and the thread-scaling benchmarks.
+Summary monte_carlo(std::size_t trials, std::uint64_t base_seed,
+                    const std::function<double(std::uint64_t seed)>& experiment,
+                    std::size_t threads);
+
 /// Fraction of trials where `predicate(seed)` holds -- the yield estimator
-/// for the statistical-sizing study.
+/// for the statistical-sizing study.  Parallel, with the same determinism
+/// and re-entrancy contract as `monte_carlo`.
 double monte_carlo_yield(
     std::size_t trials, std::uint64_t base_seed,
     const std::function<bool(std::uint64_t seed)>& predicate);
+
+/// As above with an explicit thread count (0 = default).
+double monte_carlo_yield(
+    std::size_t trials, std::uint64_t base_seed,
+    const std::function<bool(std::uint64_t seed)>& predicate,
+    std::size_t threads);
 
 /// Derives the i-th die seed (splitmix64 step; never returns 0, which the
 /// delay lines reserve for "no mismatch").

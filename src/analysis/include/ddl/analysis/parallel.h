@@ -1,0 +1,131 @@
+// Parallel execution layer for the analysis toolbox.
+//
+// The statistical experiments behind Figures 50/51, the yield-vs-cells
+// sizing study and the corner sweeps are embarrassingly parallel: every
+// die is an independent seeded trial.  This header provides the shared
+// substrate -- a small, work-stealing-free thread pool plus a
+// `parallel_for_reduce` primitive with a determinism guarantee:
+//
+//   The index space [0, count) is split into one contiguous shard per
+//   worker; each shard reduces locally in ascending index order, and the
+//   per-shard accumulators merge on the calling thread in shard (= index)
+//   order.  A reduction whose merge preserves element order (appending
+//   sample vectors, integer counting) therefore produces *bit-identical*
+//   results for any thread count.
+//
+// Thread count resolution: the `DDL_THREADS` environment variable
+// overrides; otherwise std::thread::hardware_concurrency() is used.
+// `DDL_THREADS=1` (or a one-core machine) forces the legacy serial path:
+// no worker threads are spawned and everything runs inline on the caller.
+//
+// The `ddl::sim::Simulator` kernel is NOT thread-safe (one kernel per
+// testbench).  Experiment callbacks running under this pool must construct
+// their own Simulator (and delay lines, controllers, ...) per trial and
+// never share one across threads -- see DESIGN.md "Threading contract".
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <exception>
+#include <functional>
+#include <mutex>
+#include <thread>
+#include <utility>
+#include <vector>
+
+namespace ddl::analysis {
+
+/// Number of worker threads the analysis layer uses by default:
+/// `DDL_THREADS` if set to a positive integer, else hardware concurrency,
+/// else 1.  Re-read from the environment on every call.
+std::size_t default_thread_count();
+
+/// Contiguous shard `shard` of `count` indices split into `shards` nearly
+/// equal ranges: [first, second).  Depends only on the three arguments, so
+/// shard boundaries are reproducible across runs.
+std::pair<std::size_t, std::size_t> shard_range(std::size_t count,
+                                                std::size_t shards,
+                                                std::size_t shard);
+
+/// A fixed-size, work-stealing-free thread pool.  Jobs are dispatched as a
+/// batch of shard indices; workers claim shards with an atomic counter and
+/// `run_shards` blocks until the batch completes.  With `thread_count() ==
+/// 1` no workers exist and shards run inline on the calling thread.
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t threads = default_thread_count());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  std::size_t thread_count() const noexcept { return thread_count_; }
+
+  /// Runs `fn(shard)` for every shard in [0, shards) across the pool and
+  /// blocks until all shards finish.  The calling thread participates, so
+  /// the pool is never idle while the caller spins.  If any shard throws,
+  /// the first exception (in completion order) is rethrown here after the
+  /// batch drains.  Not reentrant: `fn` must not call back into the same
+  /// pool.
+  void run_shards(std::size_t shards, const std::function<void(std::size_t)>& fn);
+
+  /// Process-wide pool sized by `default_thread_count()` at first use.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::size_t thread_count_ = 1;
+  std::vector<std::thread> workers_;
+
+  std::mutex mutex_;
+  std::condition_variable work_ready_;
+  std::condition_variable batch_done_;
+  const std::function<void(std::size_t)>* job_ = nullptr;
+  std::size_t job_shards_ = 0;
+  std::size_t next_shard_ = 0;
+  std::size_t in_flight_ = 0;
+  std::exception_ptr first_error_;
+  bool stopping_ = false;
+};
+
+/// Deterministic sharded reduction over [0, count).
+///
+/// Each shard builds its own accumulator with `make()`, applies
+/// `step(index, acc)` for its contiguous ascending index range, and the
+/// accumulators are folded with `merge(total, std::move(acc))` in shard
+/// order on the calling thread.  Order-preserving merges (concatenation,
+/// counting) make the result independent of the thread count.
+template <typename Acc, typename Make, typename Step, typename Merge>
+Acc parallel_for_reduce(ThreadPool& pool, std::size_t count, Make make,
+                        Step step, Merge merge) {
+  std::size_t shards = pool.thread_count();
+  if (shards > count) {
+    shards = count;
+  }
+  if (shards <= 1) {
+    Acc total = make();
+    for (std::size_t i = 0; i < count; ++i) {
+      step(i, total);
+    }
+    return total;
+  }
+  std::vector<Acc> accs;
+  accs.reserve(shards);
+  for (std::size_t s = 0; s < shards; ++s) {
+    accs.push_back(make());
+  }
+  pool.run_shards(shards, [&](std::size_t shard) {
+    const auto [begin, end] = shard_range(count, shards, shard);
+    for (std::size_t i = begin; i < end; ++i) {
+      step(i, accs[shard]);
+    }
+  });
+  Acc total = make();
+  for (std::size_t s = 0; s < shards; ++s) {
+    merge(total, std::move(accs[s]));
+  }
+  return total;
+}
+
+}  // namespace ddl::analysis

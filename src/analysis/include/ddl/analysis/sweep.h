@@ -1,0 +1,46 @@
+// Parallel corner x die sweeps -- the workload shape behind the PVT
+// experiments (Figures 28/31) and the post-APR statistics (Figures 50/51):
+// run the same per-die experiment at every operating point, Monte-Carlo
+// style, and summarize per corner.
+//
+// The full corners x dies grid is flattened into one index space and
+// executed on the analysis thread pool (parallel.h), so a 3-corner x
+// 1000-die sweep saturates every core with 3000 independent trials
+// instead of parallelizing only within one corner.  Die seeds depend only
+// on `(base_seed, die index)` -- the *same* die (mismatch sample) is
+// measured at every corner, like probing one physical chip across
+// conditions -- and per-corner samples are merged in die-index order, so
+// results are bit-identical for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "ddl/analysis/monte_carlo.h"
+#include "ddl/cells/operating_point.h"
+
+namespace ddl::analysis {
+
+/// Per-corner outcome of a sweep: the operating point and the Summary of
+/// the per-die scalars measured there.
+struct CornerSweepResult {
+  cells::OperatingPoint op;
+  Summary summary;
+};
+
+/// Runs `experiment(op, seed)` for every (corner, die) pair of the grid
+/// `corners x dies` and summarizes the scalar outcome per corner.
+///
+/// `experiment` is invoked concurrently and must be self-contained per
+/// call (one Simulator / delay line per trial; the sim kernel is not
+/// thread-safe).  `threads == 0` uses the default pool; `threads == 1`
+/// forces the serial path.  Results are identical regardless.
+std::vector<CornerSweepResult> sweep(
+    const std::vector<cells::OperatingPoint>& corners, std::size_t dies,
+    std::uint64_t base_seed,
+    const std::function<double(const cells::OperatingPoint& op,
+                               std::uint64_t seed)>& experiment,
+    std::size_t threads = 0);
+
+}  // namespace ddl::analysis

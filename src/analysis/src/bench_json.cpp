@@ -1,0 +1,157 @@
+#include "ddl/analysis/bench_json.h"
+
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <stdexcept>
+#include <utility>
+
+#include "ddl/analysis/parallel.h"
+
+namespace ddl::analysis {
+namespace {
+
+std::string render_double(double value) {
+  if (!std::isfinite(value)) {
+    // JSON has no inf/nan literals; stringify so the field survives.
+    return std::string("\"") + (std::isnan(value) ? "nan" : value > 0 ? "inf" : "-inf") + "\"";
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%.17g", value);
+  return buffer;
+}
+
+std::string render_string(const std::string& value) {
+  std::string out = "\"";
+  for (const char c : value) {
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buffer[8];
+          std::snprintf(buffer, sizeof(buffer), "\\u%04x", c);
+          out += buffer;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+  return out;
+}
+
+}  // namespace
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
+  if (name_.empty()) {
+    throw std::invalid_argument("BenchReport: name must not be empty");
+  }
+  set("name", name_);
+  set("threads", default_thread_count());
+}
+
+void BenchReport::set_rendered(const std::string& key, std::string rendered) {
+  for (Field& field : fields_) {
+    if (field.key == key) {
+      field.rendered = std::move(rendered);
+      return;
+    }
+  }
+  fields_.push_back({key, std::move(rendered)});
+}
+
+void BenchReport::set(const std::string& key, double value) {
+  set_rendered(key, render_double(value));
+}
+
+void BenchReport::set(const std::string& key, std::int64_t value) {
+  set_rendered(key, std::to_string(value));
+}
+
+void BenchReport::set(const std::string& key, std::uint64_t value) {
+  set_rendered(key, std::to_string(value));
+}
+
+void BenchReport::set(const std::string& key, int value) {
+  set(key, static_cast<std::int64_t>(value));
+}
+
+void BenchReport::set(const std::string& key, bool value) {
+  set_rendered(key, value ? "true" : "false");
+}
+
+void BenchReport::set(const std::string& key, const std::string& value) {
+  set_rendered(key, render_string(value));
+}
+
+void BenchReport::set(const std::string& key, const char* value) {
+  set(key, std::string(value));
+}
+
+void BenchReport::set_summary(const std::string& prefix,
+                              const Summary& summary) {
+  set(prefix + "_mean", summary.mean);
+  set(prefix + "_stddev", summary.stddev);
+  set(prefix + "_min", summary.min);
+  set(prefix + "_max", summary.max);
+  set(prefix + "_p05", summary.p05);
+  set(prefix + "_p50", summary.p50);
+  set(prefix + "_p95", summary.p95);
+  set(prefix + "_count", summary.count);
+}
+
+void BenchReport::set_perf(const WallTimer& timer, std::size_t trials) {
+  const double wall_ms = timer.elapsed_ms();
+  set("wall_ms", wall_ms);
+  set("trials", trials);
+  set("trials_per_sec", wall_ms > 0.0
+                            ? static_cast<double>(trials) * 1e3 / wall_ms
+                            : 0.0);
+}
+
+std::string BenchReport::to_json() const {
+  std::string out = "{\n";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    out += "  " + render_string(fields_[i].key) + ": " + fields_[i].rendered;
+    if (i + 1 < fields_.size()) {
+      out += ',';
+    }
+    out += '\n';
+  }
+  out += "}\n";
+  return out;
+}
+
+std::string BenchReport::write() const {
+  std::string dir = ".";
+  if (const char* env = std::getenv("DDL_BENCH_DIR")) {
+    if (*env != '\0') {
+      dir = env;
+    }
+  }
+  const std::string path = dir + "/BENCH_" + name_ + ".json";
+  std::ofstream out(path);
+  if (!out) {
+    throw std::runtime_error("BenchReport: cannot open " + path);
+  }
+  out << to_json();
+  return path;
+}
+
+std::size_t BenchReport::trials_or(std::size_t default_trials) {
+  if (const char* env = std::getenv("DDL_BENCH_TRIALS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  return default_trials;
+}
+
+}  // namespace ddl::analysis

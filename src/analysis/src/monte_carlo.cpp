@@ -1,6 +1,47 @@
 #include "ddl/analysis/monte_carlo.h"
 
+#include "ddl/analysis/parallel.h"
+
 namespace ddl::analysis {
+namespace {
+
+Summary run_monte_carlo(
+    ThreadPool& pool, std::size_t trials, std::uint64_t base_seed,
+    const std::function<double(std::uint64_t seed)>& experiment) {
+  auto samples = parallel_for_reduce<std::vector<double>>(
+      pool, trials,
+      [&] {
+        std::vector<double> acc;
+        acc.reserve(trials / pool.thread_count() + 1);
+        return acc;
+      },
+      [&](std::size_t i, std::vector<double>& acc) {
+        acc.push_back(experiment(die_seed(base_seed, i)));
+      },
+      [](std::vector<double>& total, std::vector<double>&& shard) {
+        total.insert(total.end(), shard.begin(), shard.end());
+      });
+  return summarize(std::move(samples));
+}
+
+double run_monte_carlo_yield(
+    ThreadPool& pool, std::size_t trials, std::uint64_t base_seed,
+    const std::function<bool(std::uint64_t seed)>& predicate) {
+  if (trials == 0) {
+    return 0.0;
+  }
+  const std::size_t pass = parallel_for_reduce<std::size_t>(
+      pool, trials, [] { return std::size_t{0}; },
+      [&](std::size_t i, std::size_t& acc) {
+        if (predicate(die_seed(base_seed, i))) {
+          ++acc;
+        }
+      },
+      [](std::size_t& total, std::size_t&& shard) { total += shard; });
+  return static_cast<double>(pass) / static_cast<double>(trials);
+}
+
+}  // namespace
 
 Summary summarize(std::vector<double> samples) {
   Summary s;
@@ -45,27 +86,36 @@ std::uint64_t die_seed(std::uint64_t base_seed, std::size_t index) {
 Summary monte_carlo(
     std::size_t trials, std::uint64_t base_seed,
     const std::function<double(std::uint64_t seed)>& experiment) {
-  std::vector<double> samples;
-  samples.reserve(trials);
-  for (std::size_t i = 0; i < trials; ++i) {
-    samples.push_back(experiment(die_seed(base_seed, i)));
+  return run_monte_carlo(ThreadPool::global(), trials, base_seed, experiment);
+}
+
+Summary monte_carlo(
+    std::size_t trials, std::uint64_t base_seed,
+    const std::function<double(std::uint64_t seed)>& experiment,
+    std::size_t threads) {
+  if (threads == 0) {
+    return monte_carlo(trials, base_seed, experiment);
   }
-  return summarize(std::move(samples));
+  ThreadPool pool(threads);
+  return run_monte_carlo(pool, trials, base_seed, experiment);
 }
 
 double monte_carlo_yield(
     std::size_t trials, std::uint64_t base_seed,
     const std::function<bool(std::uint64_t seed)>& predicate) {
-  if (trials == 0) {
-    return 0.0;
+  return run_monte_carlo_yield(ThreadPool::global(), trials, base_seed,
+                               predicate);
+}
+
+double monte_carlo_yield(
+    std::size_t trials, std::uint64_t base_seed,
+    const std::function<bool(std::uint64_t seed)>& predicate,
+    std::size_t threads) {
+  if (threads == 0) {
+    return monte_carlo_yield(trials, base_seed, predicate);
   }
-  std::size_t pass = 0;
-  for (std::size_t i = 0; i < trials; ++i) {
-    if (predicate(die_seed(base_seed, i))) {
-      ++pass;
-    }
-  }
-  return static_cast<double>(pass) / static_cast<double>(trials);
+  ThreadPool pool(threads);
+  return run_monte_carlo_yield(pool, trials, base_seed, predicate);
 }
 
 }  // namespace ddl::analysis

@@ -1,0 +1,137 @@
+#include "ddl/analysis/parallel.h"
+
+#include <cstdlib>
+#include <string>
+
+namespace ddl::analysis {
+
+std::size_t default_thread_count() {
+  if (const char* env = std::getenv("DDL_THREADS")) {
+    char* end = nullptr;
+    const long parsed = std::strtol(env, &end, 10);
+    if (end != env && *end == '\0' && parsed > 0) {
+      return static_cast<std::size_t>(parsed);
+    }
+  }
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : static_cast<std::size_t>(hw);
+}
+
+std::pair<std::size_t, std::size_t> shard_range(std::size_t count,
+                                                std::size_t shards,
+                                                std::size_t shard) {
+  // Even split; the first (count % shards) shards get one extra index.
+  // i * count / shards is monotone and exact for the sizes used here.
+  const std::size_t begin = shard * count / shards;
+  const std::size_t end = (shard + 1) * count / shards;
+  return {begin, end};
+}
+
+ThreadPool::ThreadPool(std::size_t threads)
+    : thread_count_(threads == 0 ? 1 : threads) {
+  // The calling thread works every batch too, so spawn one fewer worker.
+  workers_.reserve(thread_count_ - 1);
+  for (std::size_t i = 0; i + 1 < thread_count_; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stopping_ = true;
+  }
+  work_ready_.notify_all();
+  for (std::thread& worker : workers_) {
+    worker.join();
+  }
+}
+
+void ThreadPool::worker_loop() {
+  std::unique_lock<std::mutex> lock(mutex_);
+  for (;;) {
+    work_ready_.wait(lock, [this] {
+      return stopping_ || (job_ != nullptr && next_shard_ < job_shards_);
+    });
+    if (stopping_) {
+      return;
+    }
+    while (job_ != nullptr && next_shard_ < job_shards_) {
+      const std::size_t shard = next_shard_++;
+      ++in_flight_;
+      lock.unlock();
+      std::exception_ptr error;
+      try {
+        (*job_)(shard);
+      } catch (...) {
+        error = std::current_exception();
+      }
+      lock.lock();
+      if (error && !first_error_) {
+        first_error_ = error;
+      }
+      --in_flight_;
+    }
+    if (in_flight_ == 0) {
+      batch_done_.notify_all();
+    }
+  }
+}
+
+void ThreadPool::run_shards(std::size_t shards,
+                            const std::function<void(std::size_t)>& fn) {
+  if (shards == 0) {
+    return;
+  }
+  if (thread_count_ <= 1 || shards == 1) {
+    // Legacy serial path: no queueing, no synchronization.
+    for (std::size_t shard = 0; shard < shards; ++shard) {
+      fn(shard);
+    }
+    return;
+  }
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  job_ = &fn;
+  job_shards_ = shards;
+  next_shard_ = 0;
+  first_error_ = nullptr;
+  lock.unlock();
+  work_ready_.notify_all();
+
+  // The caller claims shards like any worker, then waits for stragglers.
+  lock.lock();
+  while (next_shard_ < job_shards_) {
+    const std::size_t shard = next_shard_++;
+    ++in_flight_;
+    lock.unlock();
+    std::exception_ptr error;
+    try {
+      fn(shard);
+    } catch (...) {
+      error = std::current_exception();
+    }
+    lock.lock();
+    if (error && !first_error_) {
+      first_error_ = error;
+    }
+    --in_flight_;
+  }
+  batch_done_.wait(lock, [this] { return in_flight_ == 0; });
+  job_ = nullptr;
+  job_shards_ = 0;
+  const std::exception_ptr error = first_error_;
+  first_error_ = nullptr;
+  lock.unlock();
+
+  if (error) {
+    std::rethrow_exception(error);
+  }
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
+}
+
+}  // namespace ddl::analysis

@@ -1,0 +1,57 @@
+#include "ddl/analysis/sweep.h"
+
+#include <utility>
+
+#include "ddl/analysis/parallel.h"
+
+namespace ddl::analysis {
+
+std::vector<CornerSweepResult> sweep(
+    const std::vector<cells::OperatingPoint>& corners, std::size_t dies,
+    std::uint64_t base_seed,
+    const std::function<double(const cells::OperatingPoint& op,
+                               std::uint64_t seed)>& experiment,
+    std::size_t threads) {
+  std::vector<CornerSweepResult> results;
+  results.reserve(corners.size());
+  if (corners.empty() || dies == 0) {
+    for (const auto& op : corners) {
+      results.push_back({op, Summary{}});
+    }
+    return results;
+  }
+
+  using PerCorner = std::vector<std::vector<double>>;
+  const std::size_t grid = corners.size() * dies;
+  auto run = [&](ThreadPool& pool) {
+    return parallel_for_reduce<PerCorner>(
+        pool, grid, [&] { return PerCorner(corners.size()); },
+        [&](std::size_t i, PerCorner& acc) {
+          const std::size_t corner = i / dies;
+          const std::size_t die = i % dies;
+          acc[corner].push_back(
+              experiment(corners[corner], die_seed(base_seed, die)));
+        },
+        [&](PerCorner& total, PerCorner&& shard) {
+          // Shards are contiguous ascending grid ranges, so appending in
+          // shard order keeps every corner's samples in die-index order.
+          for (std::size_t c = 0; c < total.size(); ++c) {
+            total[c].insert(total[c].end(), shard[c].begin(), shard[c].end());
+          }
+        });
+  };
+
+  PerCorner samples;
+  if (threads == 0) {
+    samples = run(ThreadPool::global());
+  } else {
+    ThreadPool pool(threads);
+    samples = run(pool);
+  }
+  for (std::size_t c = 0; c < corners.size(); ++c) {
+    results.push_back({corners[c], summarize(std::move(samples[c]))});
+  }
+  return results;
+}
+
+}  // namespace ddl::analysis

@@ -4,13 +4,20 @@
 
 #include <cmath>
 #include <cstdio>
+#include <cstdlib>
 #include <fstream>
+#include <iterator>
 #include <set>
+#include <stdexcept>
+#include <thread>
 
+#include "ddl/analysis/bench_json.h"
 #include "ddl/analysis/linearity.h"
 #include "ddl/analysis/monte_carlo.h"
 #include "ddl/analysis/mtbf.h"
+#include "ddl/analysis/parallel.h"
 #include "ddl/analysis/report.h"
+#include "ddl/analysis/sweep.h"
 #include "ddl/analysis/yield.h"
 
 namespace ddl::analysis {
@@ -169,6 +176,172 @@ TEST(MonteCarlo, YieldCountsPredicatePasses) {
   EXPECT_NEAR(half, 0.5, 0.03);
 }
 
+// ---- Parallel execution layer ----------------------------------------------------
+
+/// All eight Summary fields must match exactly -- the engine's contract is
+/// bit-identical results for any thread count.
+void expect_identical(const Summary& a, const Summary& b) {
+  EXPECT_EQ(a.mean, b.mean);
+  EXPECT_EQ(a.stddev, b.stddev);
+  EXPECT_EQ(a.min, b.min);
+  EXPECT_EQ(a.max, b.max);
+  EXPECT_EQ(a.p05, b.p05);
+  EXPECT_EQ(a.p50, b.p50);
+  EXPECT_EQ(a.p95, b.p95);
+  EXPECT_EQ(a.count, b.count);
+}
+
+/// A trial with enough floating-point structure that any reordering of the
+/// sample vector or partial reduction would change some Summary field.
+double irrational_experiment(std::uint64_t seed) {
+  const double x = static_cast<double>(seed % 100003);
+  return std::sin(x) * 1e3 + std::sqrt(x + 1.0) / 3.0;
+}
+
+TEST(Parallel, ShardRangesPartitionTheIndexSpace) {
+  for (std::size_t count : {0u, 1u, 7u, 64u, 1000u}) {
+    for (std::size_t shards : {1u, 2u, 3u, 7u, 16u}) {
+      if (shards > count && count != 0) {
+        continue;
+      }
+      std::size_t expected_begin = 0;
+      for (std::size_t s = 0; s < shards; ++s) {
+        const auto [begin, end] = shard_range(count, shards, s);
+        EXPECT_EQ(begin, expected_begin);
+        EXPECT_LE(begin, end);
+        expected_begin = end;
+      }
+      EXPECT_EQ(expected_begin, count);
+    }
+  }
+}
+
+TEST(Parallel, DefaultThreadCountHonorsEnvOverride) {
+  ASSERT_EQ(setenv("DDL_THREADS", "3", 1), 0);
+  EXPECT_EQ(default_thread_count(), 3u);
+  ASSERT_EQ(setenv("DDL_THREADS", "not-a-number", 1), 0);
+  EXPECT_GE(default_thread_count(), 1u);
+  ASSERT_EQ(unsetenv("DDL_THREADS"), 0);
+  EXPECT_GE(default_thread_count(), 1u);
+}
+
+TEST(Parallel, ForReduceConcatenatesInIndexOrder) {
+  constexpr std::size_t kCount = 10'000;
+  for (std::size_t threads : {1u, 2u, 3u, 8u}) {
+    ThreadPool pool(threads);
+    const auto indices = parallel_for_reduce<std::vector<std::size_t>>(
+        pool, kCount, [] { return std::vector<std::size_t>(); },
+        [](std::size_t i, std::vector<std::size_t>& acc) { acc.push_back(i); },
+        [](std::vector<std::size_t>& total, std::vector<std::size_t>&& shard) {
+          total.insert(total.end(), shard.begin(), shard.end());
+        });
+    ASSERT_EQ(indices.size(), kCount) << threads << " threads";
+    for (std::size_t i = 0; i < kCount; ++i) {
+      ASSERT_EQ(indices[i], i) << threads << " threads";
+    }
+  }
+}
+
+TEST(Parallel, ForReducePropagatesExceptions) {
+  ThreadPool pool(4);
+  EXPECT_THROW(
+      parallel_for_reduce<int>(
+          pool, 100, [] { return 0; },
+          [](std::size_t i, int&) {
+            if (i == 57) {
+              throw std::runtime_error("trial exploded");
+            }
+          },
+          [](int& total, int&& shard) { total += shard; }),
+      std::runtime_error);
+  // The pool must survive a throwing batch and run the next one cleanly.
+  const int sum = parallel_for_reduce<int>(
+      pool, 10, [] { return 0; },
+      [](std::size_t i, int& acc) { acc += static_cast<int>(i); },
+      [](int& total, int&& shard) { total += shard; });
+  EXPECT_EQ(sum, 45);
+}
+
+TEST(MonteCarlo, SummaryBitIdenticalAcrossThreadCounts) {
+  const auto baseline = monte_carlo(1000, 42, irrational_experiment, 1);
+  EXPECT_EQ(baseline.count, 1000u);
+  const std::size_t hw = std::max(1u, std::thread::hardware_concurrency());
+  for (const std::size_t threads : {std::size_t{2}, std::size_t{4}, hw}) {
+    expect_identical(baseline,
+                     monte_carlo(1000, 42, irrational_experiment, threads));
+  }
+  // The default-pool entry point must agree too.
+  expect_identical(baseline, monte_carlo(1000, 42, irrational_experiment));
+}
+
+TEST(MonteCarlo, YieldIdenticalAcrossThreadCounts) {
+  const auto predicate = [](std::uint64_t seed) { return (seed % 3) == 0; };
+  const double serial = monte_carlo_yield(999, 5, predicate, 1);
+  for (const std::size_t threads : {2u, 4u, 7u}) {
+    EXPECT_EQ(serial, monte_carlo_yield(999, 5, predicate, threads));
+  }
+  EXPECT_EQ(serial, monte_carlo_yield(999, 5, predicate));
+}
+
+TEST(MonteCarlo, DieSeedNeverZeroAcrossManyBases) {
+  for (const std::uint64_t base :
+       {0ULL, 1ULL, 42ULL, 0xffffffffffffffffULL, 0x9e3779b97f4a7c15ULL}) {
+    for (std::size_t i = 0; i < 10'000; ++i) {
+      ASSERT_NE(die_seed(base, i), 0u) << "base " << base << " index " << i;
+    }
+  }
+}
+
+// ---- Corner x die sweep ----------------------------------------------------------
+
+TEST(Sweep, MatchesPerCornerMonteCarloAndIsThreadCountInvariant) {
+  const std::vector<cells::OperatingPoint> corners = {
+      cells::OperatingPoint::fast_process_only(),
+      cells::OperatingPoint::typical(),
+      cells::OperatingPoint::slow_process_only()};
+  const auto experiment = [](const cells::OperatingPoint& op,
+                             std::uint64_t seed) {
+    return cells::process_delay_factor(op.corner) * irrational_experiment(seed);
+  };
+  const auto serial = sweep(corners, 200, 11, experiment, 1);
+  ASSERT_EQ(serial.size(), corners.size());
+  for (const std::size_t threads : {2u, 4u, 5u}) {
+    const auto parallel = sweep(corners, 200, 11, experiment, threads);
+    ASSERT_EQ(parallel.size(), serial.size());
+    for (std::size_t c = 0; c < serial.size(); ++c) {
+      EXPECT_EQ(parallel[c].op, serial[c].op);
+      expect_identical(serial[c].summary, parallel[c].summary);
+    }
+  }
+  // Each corner's summary equals a standalone monte_carlo of the same
+  // experiment pinned to that corner: sweep shares die seeds across
+  // corners (same die probed at each operating point).
+  for (std::size_t c = 0; c < corners.size(); ++c) {
+    const auto op = corners[c];
+    expect_identical(
+        serial[c].summary,
+        monte_carlo(200, 11,
+                    [&](std::uint64_t seed) { return experiment(op, seed); },
+                    1));
+  }
+}
+
+TEST(Sweep, EmptyGridsYieldEmptySummaries) {
+  const std::vector<cells::OperatingPoint> corners = {
+      cells::OperatingPoint::typical()};
+  const auto none = sweep(corners, 0, 1,
+                          [](const cells::OperatingPoint&, std::uint64_t) {
+                            return 1.0;
+                          });
+  ASSERT_EQ(none.size(), 1u);
+  EXPECT_EQ(none[0].summary.count, 0u);
+  EXPECT_TRUE(sweep({}, 10, 1,
+                    [](const cells::OperatingPoint&, std::uint64_t) {
+                      return 1.0;
+                    })
+                  .empty());
+}
+
 // ---- Yield sweep (future work 5.2) ---------------------------------------------
 
 TEST(Yield, MoreCellsNeverHurtYield) {
@@ -242,6 +415,71 @@ TEST(Report, CsvRejectsMismatchedSeries) {
   EXPECT_THROW(write_csv(::testing::TempDir() + "bad.csv", "x", {1.0},
                          {{"a", {1.0, 2.0}}}),
                std::invalid_argument);
+}
+
+// ---- Bench JSON reports ----------------------------------------------------------
+
+TEST(BenchJson, RendersTypesEscapesAndKeyOrder) {
+  BenchReport report("unit_test");
+  report.set("pi", 3.5);
+  report.set("count", std::uint64_t{42});
+  report.set("delta", std::int64_t{-7});
+  report.set("ok", true);
+  report.set("label", "a \"quoted\"\nline");
+  const std::string json = report.to_json();
+  // name and threads are auto-recorded first; fields keep insertion order.
+  EXPECT_LT(json.find("\"name\": \"unit_test\""), json.find("\"threads\""));
+  EXPECT_LT(json.find("\"threads\""), json.find("\"pi\": 3.5"));
+  EXPECT_NE(json.find("\"count\": 42"), std::string::npos);
+  EXPECT_NE(json.find("\"delta\": -7"), std::string::npos);
+  EXPECT_NE(json.find("\"ok\": true"), std::string::npos);
+  EXPECT_NE(json.find("\"label\": \"a \\\"quoted\\\"\\nline\""),
+            std::string::npos);
+  // Re-setting a key overwrites in place instead of appending.
+  report.set("pi", 3.25);
+  EXPECT_NE(report.to_json().find("\"pi\": 3.25"), std::string::npos);
+  EXPECT_EQ(report.to_json().find("\"pi\": 3.5"), std::string::npos);
+}
+
+TEST(BenchJson, SummaryFlattensAllFields) {
+  BenchReport report("unit_test");
+  report.set_summary("inl", summarize({1.0, 2.0, 3.0}));
+  const std::string json = report.to_json();
+  for (const char* field :
+       {"inl_mean", "inl_stddev", "inl_min", "inl_max", "inl_p05", "inl_p50",
+        "inl_p95", "inl_count"}) {
+    EXPECT_NE(json.find(field), std::string::npos) << field;
+  }
+  EXPECT_NE(json.find("\"inl_count\": 3"), std::string::npos);
+}
+
+TEST(BenchJson, WriteHonorsBenchDirEnv) {
+  ASSERT_EQ(setenv("DDL_BENCH_DIR", ::testing::TempDir().c_str(), 1), 0);
+  BenchReport report("write_test");
+  report.set("wall_ms", 1.5);
+  const std::string path = report.write();
+  ASSERT_EQ(unsetenv("DDL_BENCH_DIR"), 0);
+  EXPECT_NE(path.find("BENCH_write_test.json"), std::string::npos);
+  std::ifstream in(path);
+  ASSERT_TRUE(in.good());
+  std::string contents((std::istreambuf_iterator<char>(in)),
+                       std::istreambuf_iterator<char>());
+  EXPECT_NE(contents.find("\"name\": \"write_test\""), std::string::npos);
+  EXPECT_NE(contents.find("\"wall_ms\": 1.5"), std::string::npos);
+  std::remove(path.c_str());
+}
+
+TEST(BenchJson, TrialsOverrideFromEnv) {
+  ASSERT_EQ(setenv("DDL_BENCH_TRIALS", "5", 1), 0);
+  EXPECT_EQ(BenchReport::trials_or(100), 5u);
+  ASSERT_EQ(setenv("DDL_BENCH_TRIALS", "bogus", 1), 0);
+  EXPECT_EQ(BenchReport::trials_or(100), 100u);
+  ASSERT_EQ(unsetenv("DDL_BENCH_TRIALS"), 0);
+  EXPECT_EQ(BenchReport::trials_or(100), 100u);
+}
+
+TEST(BenchJson, RejectsEmptyName) {
+  EXPECT_THROW(BenchReport(""), std::invalid_argument);
 }
 
 }  // namespace

@@ -4,7 +4,9 @@
 #include <gtest/gtest.h>
 
 #include <random>
+#include <type_traits>
 
+#include "ddl/analysis/monte_carlo.h"
 #include "ddl/sim/gates.h"
 #include "ddl/sim/simulator.h"
 
@@ -117,6 +119,71 @@ TEST(KernelStress, DeepChainSettlesAndCountsEvents) {
   sim.run();
   EXPECT_EQ(sim.value(taps.back()), Logic::k1);
   EXPECT_GE(sim.executed_events(), 10'000u);
+}
+
+// ---- Threading contract (DESIGN.md) ---------------------------------------
+//
+// The Simulator is documented "not thread-safe; one kernel per testbench".
+// The analysis layer's parallel sweeps respect this by constructing one
+// kernel per trial inside the experiment callback.  These checks codify
+// both halves of the contract.
+
+// A kernel cannot be duplicated into another thread by copy -- sharing one
+// across threads requires deliberately passing a reference, which the
+// parallel experiment callbacks never do.
+static_assert(!std::is_copy_constructible_v<Simulator>,
+              "Simulator must stay non-copyable: one kernel per testbench");
+static_assert(!std::is_copy_assignable_v<Simulator>,
+              "Simulator must stay non-copy-assignable");
+
+TEST(KernelStress, OneKernelPerThreadUnderParallelSweep) {
+  // Each Monte-Carlo trial builds its own Simulator, wiggles a seeded
+  // random DAG and reports the executed event count.  Running the sweep on
+  // 1 thread and on 4 must agree exactly: kernels are fully independent,
+  // so parallelism cannot change any die's result.
+  const auto experiment = [](std::uint64_t seed) {
+    const RandomDag dag = RandomDag::make(seed, 6, 40);
+    Simulator sim;
+    NetlistContext ctx{&sim, &kTech, cells::OperatingPoint::typical()};
+    std::vector<SignalId> nodes;
+    for (int i = 0; i < dag.inputs; ++i) {
+      nodes.push_back(sim.add_signal("in" + std::to_string(i)));
+    }
+    for (std::size_t g = 0; g < dag.gates.size(); ++g) {
+      const auto& gate = dag.gates[g];
+      const SignalId out = sim.add_signal("g" + std::to_string(g));
+      const SignalId a = nodes[static_cast<std::size_t>(gate.a)];
+      const SignalId b = nodes[static_cast<std::size_t>(gate.b)];
+      switch (gate.kind) {
+        case 0: make_nand2(ctx, a, b, out); break;
+        case 1: make_nor2(ctx, a, b, out); break;
+        case 2: make_xor2(ctx, a, b, out); break;
+        case 3: make_and2(ctx, a, b, out); break;
+        case 4: make_or2(ctx, a, b, out); break;
+        default: make_inverter(ctx, a, out); break;
+      }
+      nodes.push_back(out);
+    }
+    std::mt19937_64 rng(seed);
+    for (int i = 0; i < dag.inputs; ++i) {
+      sim.schedule(nodes[static_cast<std::size_t>(i)],
+                   from_bool((rng() & 1) != 0), 0);
+    }
+    sim.run();
+    return static_cast<double>(sim.executed_events());
+  };
+
+  const auto serial = analysis::monte_carlo(24, 2024, experiment, 1);
+  const auto parallel = analysis::monte_carlo(24, 2024, experiment, 4);
+  EXPECT_EQ(serial.mean, parallel.mean);
+  EXPECT_EQ(serial.stddev, parallel.stddev);
+  EXPECT_EQ(serial.min, parallel.min);
+  EXPECT_EQ(serial.max, parallel.max);
+  EXPECT_EQ(serial.p05, parallel.p05);
+  EXPECT_EQ(serial.p50, parallel.p50);
+  EXPECT_EQ(serial.p95, parallel.p95);
+  EXPECT_EQ(serial.count, parallel.count);
+  EXPECT_GT(serial.mean, 0.0);  // The DAGs actually simulated something.
 }
 
 TEST(KernelStress, GlitchShorterThanGateDelayIsSwallowed) {

@@ -51,7 +51,7 @@ TEST(Verilog, ConventionalModuleCarriesTheDesignParameters) {
 }
 
 TEST(Verilog, ModulesAndGeneratesAreBalanced) {
-  for (const std::string v :
+  for (const std::string& v :
        {synth::proposed_verilog({256, 2}),
         synth::conventional_verilog({64, 4, 2})}) {
     EXPECT_EQ(count_occurrences(v, "\nmodule ") + (v.rfind("module ", 0) == 0),
