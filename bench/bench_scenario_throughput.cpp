@@ -1,0 +1,66 @@
+// Scenario-engine throughput: run the smoke suite on the parallel batch
+// runner at 1, 4 and the default thread count, report scenarios/sec for
+// each, and cross-check that every configuration produced the identical
+// JSONL stream (the determinism contract of ddl::scenario::ScenarioRunner).
+//
+// Writes BENCH_scenario_throughput.json; DDL_BENCH_TRIALS repeats the suite
+// to stretch the workload on fast machines.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ddl/analysis/bench_json.h"
+#include "ddl/analysis/parallel.h"
+#include "ddl/scenario/registry.h"
+#include "ddl/scenario/runner.h"
+
+int main() {
+  const auto& registry = ddl::scenario::ScenarioRegistry::builtin();
+  const std::size_t repeats = ddl::analysis::BenchReport::trials_or(4);
+  std::vector<ddl::scenario::ScenarioSpec> specs;
+  for (std::size_t i = 0; i < repeats; ++i) {
+    for (auto& spec : registry.expand("smoke")) {
+      specs.push_back(std::move(spec));
+    }
+  }
+
+  std::printf("==== Scenario batch throughput (%zu scenarios = smoke x %zu) "
+              "====\n\n", specs.size(), repeats);
+
+  ddl::analysis::BenchReport report("scenario_throughput");
+  report.set("scenarios", static_cast<std::uint64_t>(specs.size()));
+
+  std::string reference_jsonl;
+  bool identical = true;
+  const std::size_t configs[] = {1, 4, ddl::analysis::default_thread_count()};
+  const char* labels[] = {"jobs_1", "jobs_4", "jobs_default"};
+  for (int c = 0; c < 3; ++c) {
+    ddl::scenario::ScenarioRunner runner(configs[c]);
+    ddl::analysis::WallTimer timer;
+    const auto results = runner.run(specs);
+    const double wall_ms = timer.elapsed_ms();
+    const double per_sec = 1e3 * static_cast<double>(results.size()) / wall_ms;
+
+    const std::string jsonl = ddl::scenario::ScenarioRunner::jsonl(results);
+    if (c == 0) {
+      reference_jsonl = jsonl;
+    } else if (jsonl != reference_jsonl) {
+      identical = false;
+    }
+
+    std::printf("  %-13s (%zu threads): %7.1f ms  %6.1f scenarios/sec\n",
+                labels[c], configs[c], wall_ms, per_sec);
+    report.set(std::string(labels[c]) + "_threads",
+               static_cast<std::uint64_t>(configs[c]));
+    report.set(std::string(labels[c]) + "_wall_ms", wall_ms);
+    report.set(std::string(labels[c]) + "_scenarios_per_sec", per_sec);
+  }
+
+  std::printf("\nJSONL streams byte-identical across thread counts: %s\n",
+              identical ? "yes" : "NO -- DETERMINISM BROKEN");
+  report.set("jsonl_identical", identical);
+  const auto path = report.write();
+  std::printf("report: %s\n", path.c_str());
+  return identical ? 0 : 1;
+}

@@ -4,47 +4,31 @@
 // modes ... different values for the supply voltage" use case of thesis
 // section 1.2.
 //
+// The workload is the registry scenario `dvfs/proposed/typical/islands`, so
+// this example, the scenario runner and CI all execute the identical spec:
+//
 //   $ ./dvfs_voltage_islands
+//   $ ddl_scenario_runner --suite dvfs --filter islands   # same run, JSONL
 #include <cstdio>
 
-#include "ddl/control/dvfs.h"
-#include "ddl/core/calibrated_dpwm.h"
-#include "ddl/core/design_calculator.h"
+#include "ddl/scenario/registry.h"
+#include "ddl/scenario/runner.h"
 
 int main() {
-  const auto tech = ddl::cells::Technology::i32nm_class();
-
-  // The DPWM: a proposed calibrated line sized for 1 MHz switching.
-  ddl::core::DesignCalculator calc(tech);
-  const auto design = calc.size_proposed(ddl::core::DesignSpec{1.0, 6});
-  ddl::core::ProposedDelayLine line(tech, design.line, /*seed=*/13);
-  ddl::core::ProposedDpwmSystem dpwm(line, 1e6);
-  if (!dpwm.calibrate()) {
+  const auto& registry = ddl::scenario::ScenarioRegistry::builtin();
+  const auto spec = registry.find("dvfs/proposed/typical/islands");
+  const auto artifacts = ddl::scenario::run_scenario(spec);
+  const auto& result = artifacts.result;
+  if (!result.locked) {
     std::fprintf(stderr, "delay line failed to lock\n");
     return 1;
   }
 
-  ddl::analog::BuckParams plant;
-  plant.vin = 3.0;
-  ddl::control::DigitallyControlledBuck loop(
-      ddl::analog::BuckConverter(plant),
-      ddl::analog::WindowAdc(ddl::analog::WindowAdcParams{1.0, 10e-3, 7}),
-      ddl::control::PidController(ddl::control::PidParams{}, line.size() - 1,
-                                  line.size() / 3),
-      dpwm);
-
-  // Mode schedule: nominal 1.0 V -> power-save 0.8 V -> boost 1.15 V ->
-  // back to nominal.
-  ddl::control::VoltageModeManager manager(
-      {{2000, 0.80}, {4000, 1.15}, {6000, 1.00}}, /*band=*/0.03);
-  const auto reports = manager.run(loop, 8000,
-                                   ddl::control::constant_load(0.4));
-
   std::printf("DVFS transitions through the proposed calibrated delay "
-              "line:\n\n");
+              "line (scenario %s):\n\n", spec.name.c_str());
   std::printf("%-10s %-10s %-16s %-14s %-10s\n", "at period", "target V",
               "settle periods", "settle (us)", "overshoot");
-  for (const auto& report : reports) {
+  for (const auto& report : artifacts.transitions) {
     std::printf("%-10llu %-10.2f %-16llu %-14.1f %6.1f mV\n",
                 static_cast<unsigned long long>(report.mode.at_period),
                 report.mode.vref_v,
@@ -55,12 +39,15 @@ int main() {
 
   std::printf("\nOutput trace (every 250 periods = 250 us):\n");
   std::printf("%-8s %-9s %s\n", "period", "vout(V)", "");
-  for (std::size_t i = 0; i < loop.history().size(); i += 250) {
-    const auto& s = loop.history()[i];
+  for (std::size_t i = 0; i < artifacts.history.size(); i += 250) {
+    const auto& s = artifacts.history[i];
     const int bar = static_cast<int>((s.vout - 0.70) * 120.0);
     std::printf("%-8llu %-9.4f |%*s\n",
                 static_cast<unsigned long long>(s.period_index), s.vout,
                 bar > 0 ? bar : 1, "*");
   }
-  return 0;
+
+  std::printf("\nverdict: %s\n", result.pass ? "pass" : "FAIL");
+  std::printf("as JSONL: %s\n", ddl::scenario::to_json_line(result).c_str());
+  return result.pass ? 0 : 1;
 }

@@ -3,50 +3,35 @@
 // calibrated delay line -- the full motivating stack of the thesis's
 // introduction in one run.
 //
+// The workload is the registry scenario `dvfs/proposed/typical/power-trace`;
+// an optional argv seed re-rolls both the die mismatch and the Markov
+// workload (the scenario runner always uses the registered seed):
+//
 //   $ ./power_management_trace [seed]
 #include <cstdio>
 #include <cstdlib>
 
-#include "ddl/control/dvfs.h"
-#include "ddl/core/calibrated_dpwm.h"
-#include "ddl/core/design_calculator.h"
+#include "ddl/scenario/registry.h"
+#include "ddl/scenario/runner.h"
 
 int main(int argc, char** argv) {
-  const std::uint64_t seed = argc > 1 ? std::strtoull(argv[1], nullptr, 10) : 5;
-  const auto tech = ddl::cells::Technology::i32nm_class();
-
-  ddl::core::DesignCalculator calc(tech);
-  const auto design = calc.size_proposed(ddl::core::DesignSpec{1.0, 6});
-  ddl::core::ProposedDelayLine line(tech, design.line, seed);
-  ddl::core::ProposedDpwmSystem dpwm(line, 1e6);
-  dpwm.set_tap_filter_depth(4);  // The jitter-mitigation extension.
-  if (!dpwm.calibrate()) {
+  const auto& registry = ddl::scenario::ScenarioRegistry::builtin();
+  auto spec = registry.find("dvfs/proposed/typical/power-trace");
+  if (argc > 1) {
+    spec.seed = std::strtoull(argv[1], nullptr, 10);
+  }
+  const auto artifacts = ddl::scenario::run_scenario(spec);
+  const auto& result = artifacts.result;
+  if (!result.locked) {
     std::fprintf(stderr, "failed to lock\n");
     return 1;
   }
 
-  ddl::analog::BuckParams plant;
-  plant.vin = 3.0;
-  ddl::control::DigitallyControlledBuck loop(
-      ddl::analog::BuckConverter(plant),
-      ddl::analog::WindowAdc(ddl::analog::WindowAdcParams{1.0, 10e-3, 7}),
-      ddl::control::PidController(ddl::control::PidParams{}, line.size() - 1,
-                                  line.size() / 3),
-      dpwm);
-
-  // Performance mode while bursty, then a power-save dip, then back up.
-  ddl::control::VoltageModeManager manager(
-      {{3000, 0.85}, {6000, 1.00}}, /*band=*/0.03);
-  auto workload =
-      ddl::control::markov_load(seed, /*idle=*/0.15, /*burst=*/0.9,
-                                /*p_burst=*/0.01, /*p_idle=*/0.04);
-  const auto transitions = manager.run(loop, 9000, workload);
-
   std::printf("Bursty workload + DVFS through the proposed calibrated delay "
               "line (die seed %llu)\n\n",
-              static_cast<unsigned long long>(seed));
+              static_cast<unsigned long long>(spec.seed));
   std::printf("Mode transitions:\n");
-  for (const auto& t : transitions) {
+  for (const auto& t : artifacts.transitions) {
     std::printf("  @%llu -> %.2f V: settled in %llu periods (worst "
                 "excursion %.0f mV, incl. load bursts)\n",
                 static_cast<unsigned long long>(t.mode.at_period),
@@ -56,18 +41,18 @@ int main(int argc, char** argv) {
   }
 
   std::printf("\n%-9s %-9s %-9s %s\n", "period", "vout", "load", "");
-  for (std::size_t i = 0; i < loop.history().size(); i += 300) {
-    const auto& s = loop.history()[i];
+  for (std::size_t i = 0; i < artifacts.history.size(); i += 300) {
+    const auto& s = artifacts.history[i];
     const int bar = static_cast<int>((s.vout - 0.70) * 120.0);
     std::printf("%-9llu %-9.4f %-9.2f |%*s\n",
                 static_cast<unsigned long long>(s.period_index), s.vout,
                 s.load_a, bar > 0 ? bar : 1, "*");
   }
 
-  const auto steady = loop.metrics(7000, 9000);
   std::printf("\nfinal-mode steady state: %.4f V mean, %.1f mV stddev under "
               "the bursty load; efficiency %.1f %%\n",
-              steady.mean_vout, 1e3 * steady.vout_stddev,
-              100.0 * loop.plant().energy().efficiency());
-  return 0;
+              result.metrics.mean_vout, 1e3 * result.metrics.vout_stddev,
+              100.0 * result.efficiency);
+  std::printf("as JSONL: %s\n", ddl::scenario::to_json_line(result).c_str());
+  return result.pass ? 0 : 1;
 }

@@ -3,9 +3,13 @@
 // Every converted bench binary emits a `BENCH_<name>.json` file next to its
 // stdout tables, so the perf trajectory (wall time, threads, trials/sec,
 // summary statistics) is trackable across PRs and collectable as CI
-// artifacts.  The schema is a single flat JSON object; keys appear in
-// insertion order, `name`, `threads` and `wall_ms` are always present (see
-// README "Benchmarks & CI").
+// artifacts.  The schema is a single flat JSON object with a stable key
+// order: `schema_version` always comes first, then `name` and `threads`,
+// then every bench-specific field in insertion order -- so two reports from
+// different PRs diff cleanly line by line (see README "Benchmarks & CI").
+//
+// The same field machinery (`JsonObject`) renders the scenario runner's
+// JSONL result stream: one compact object per line via `to_json_line()`.
 #pragma once
 
 #include <chrono>
@@ -16,6 +20,11 @@
 #include "ddl/analysis/monte_carlo.h"
 
 namespace ddl::analysis {
+
+/// Version stamped into every BENCH_*.json and scenario JSONL line.  Bump
+/// when a field is renamed or its meaning changes; adding fields is
+/// backwards-compatible and does not bump it.
+inline constexpr int kBenchJsonSchemaVersion = 2;
 
 /// Wall-clock stopwatch for bench timing (steady clock).
 class WallTimer {
@@ -32,18 +41,12 @@ class WallTimer {
   std::chrono::steady_clock::time_point start_;
 };
 
-/// Accumulates key/value fields and writes them as `BENCH_<name>.json`.
-///
-/// Field order is insertion order; setting an existing key overwrites it
-/// in place.  Doubles are rendered round-trip exact (%.17g), strings are
+/// An ordered flat JSON object: keys keep insertion order (stable across
+/// runs, so outputs are diffable), setting an existing key overwrites it in
+/// place.  Doubles are rendered round-trip exact (%.17g), strings are
 /// JSON-escaped.
-class BenchReport {
+class JsonObject {
  public:
-  /// Starts a report; `name` becomes the `name` field and the file stem.
-  /// `threads` (the analysis layer's default thread count) is recorded
-  /// immediately so the JSON always states the parallelism it ran with.
-  explicit BenchReport(std::string name);
-
   void set(const std::string& key, double value);
   void set(const std::string& key, std::int64_t value);
   void set(const std::string& key, std::uint64_t value);
@@ -56,12 +59,37 @@ class BenchReport {
   /// `_p05`, `_p50`, `_p95`, `_count`.
   void set_summary(const std::string& prefix, const Summary& summary);
 
+  /// Renders the object as a pretty-printed (multi-line) JSON object.
+  std::string to_json() const;
+
+  /// Renders the object on a single line -- one JSONL record.
+  std::string to_json_line() const;
+
+ private:
+  struct Field {
+    std::string key;
+    std::string rendered;  // Already valid JSON (number, bool or string).
+  };
+
+  void set_rendered(const std::string& key, std::string rendered);
+
+  std::vector<Field> fields_;
+};
+
+/// A JsonObject that writes itself as `BENCH_<name>.json`.
+///
+/// The constructor stamps the stable header: `schema_version`, `name` and
+/// `threads` (the analysis layer's default thread count), in that order, so
+/// every report states its schema and the parallelism it ran with before
+/// any bench-specific field.
+class BenchReport : public JsonObject {
+ public:
+  /// Starts a report; `name` becomes the `name` field and the file stem.
+  explicit BenchReport(std::string name);
+
   /// Records `wall_ms` from the timer plus `trials` and `trials_per_sec`
   /// -- the standard perf triple of a converted bench.
   void set_perf(const WallTimer& timer, std::size_t trials);
-
-  /// Renders the report as a pretty-printed JSON object.
-  std::string to_json() const;
 
   /// Writes `BENCH_<name>.json` into `DDL_BENCH_DIR` (default: the current
   /// directory) and returns the path written.
@@ -72,15 +100,7 @@ class BenchReport {
   static std::size_t trials_or(std::size_t default_trials);
 
  private:
-  struct Field {
-    std::string key;
-    std::string rendered;  // Already valid JSON (number, bool or string).
-  };
-
-  void set_rendered(const std::string& key, std::string rendered);
-
   std::string name_;
-  std::vector<Field> fields_;
 };
 
 }  // namespace ddl::analysis

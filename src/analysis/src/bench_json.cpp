@@ -47,15 +47,7 @@ std::string render_string(const std::string& value) {
 
 }  // namespace
 
-BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
-  if (name_.empty()) {
-    throw std::invalid_argument("BenchReport: name must not be empty");
-  }
-  set("name", name_);
-  set("threads", default_thread_count());
-}
-
-void BenchReport::set_rendered(const std::string& key, std::string rendered) {
+void JsonObject::set_rendered(const std::string& key, std::string rendered) {
   for (Field& field : fields_) {
     if (field.key == key) {
       field.rendered = std::move(rendered);
@@ -65,36 +57,36 @@ void BenchReport::set_rendered(const std::string& key, std::string rendered) {
   fields_.push_back({key, std::move(rendered)});
 }
 
-void BenchReport::set(const std::string& key, double value) {
+void JsonObject::set(const std::string& key, double value) {
   set_rendered(key, render_double(value));
 }
 
-void BenchReport::set(const std::string& key, std::int64_t value) {
+void JsonObject::set(const std::string& key, std::int64_t value) {
   set_rendered(key, std::to_string(value));
 }
 
-void BenchReport::set(const std::string& key, std::uint64_t value) {
+void JsonObject::set(const std::string& key, std::uint64_t value) {
   set_rendered(key, std::to_string(value));
 }
 
-void BenchReport::set(const std::string& key, int value) {
+void JsonObject::set(const std::string& key, int value) {
   set(key, static_cast<std::int64_t>(value));
 }
 
-void BenchReport::set(const std::string& key, bool value) {
+void JsonObject::set(const std::string& key, bool value) {
   set_rendered(key, value ? "true" : "false");
 }
 
-void BenchReport::set(const std::string& key, const std::string& value) {
+void JsonObject::set(const std::string& key, const std::string& value) {
   set_rendered(key, render_string(value));
 }
 
-void BenchReport::set(const std::string& key, const char* value) {
+void JsonObject::set(const std::string& key, const char* value) {
   set(key, std::string(value));
 }
 
-void BenchReport::set_summary(const std::string& prefix,
-                              const Summary& summary) {
+void JsonObject::set_summary(const std::string& prefix,
+                             const Summary& summary) {
   set(prefix + "_mean", summary.mean);
   set(prefix + "_stddev", summary.stddev);
   set(prefix + "_min", summary.min);
@@ -105,16 +97,7 @@ void BenchReport::set_summary(const std::string& prefix,
   set(prefix + "_count", summary.count);
 }
 
-void BenchReport::set_perf(const WallTimer& timer, std::size_t trials) {
-  const double wall_ms = timer.elapsed_ms();
-  set("wall_ms", wall_ms);
-  set("trials", trials);
-  set("trials_per_sec", wall_ms > 0.0
-                            ? static_cast<double>(trials) * 1e3 / wall_ms
-                            : 0.0);
-}
-
-std::string BenchReport::to_json() const {
+std::string JsonObject::to_json() const {
   std::string out = "{\n";
   for (std::size_t i = 0; i < fields_.size(); ++i) {
     out += "  " + render_string(fields_[i].key) + ": " + fields_[i].rendered;
@@ -125,6 +108,36 @@ std::string BenchReport::to_json() const {
   }
   out += "}\n";
   return out;
+}
+
+std::string JsonObject::to_json_line() const {
+  std::string out = "{";
+  for (std::size_t i = 0; i < fields_.size(); ++i) {
+    if (i > 0) {
+      out += ", ";
+    }
+    out += render_string(fields_[i].key) + ": " + fields_[i].rendered;
+  }
+  out += "}";
+  return out;
+}
+
+BenchReport::BenchReport(std::string name) : name_(std::move(name)) {
+  if (name_.empty()) {
+    throw std::invalid_argument("BenchReport: name must not be empty");
+  }
+  set("schema_version", kBenchJsonSchemaVersion);
+  set("name", name_);
+  set("threads", default_thread_count());
+}
+
+void BenchReport::set_perf(const WallTimer& timer, std::size_t trials) {
+  const double wall_ms = timer.elapsed_ms();
+  set("wall_ms", wall_ms);
+  set("trials", trials);
+  set("trials_per_sec", wall_ms > 0.0
+                            ? static_cast<double>(trials) * 1e3 / wall_ms
+                            : 0.0);
 }
 
 std::string BenchReport::write() const {

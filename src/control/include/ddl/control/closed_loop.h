@@ -48,6 +48,12 @@ LoadProfile constant_load(double amps);
 /// Step-load helper: `before` amps, then `after` amps from `at_period` on.
 LoadProfile step_load(double before, double after, std::uint64_t at_period);
 
+/// Ramp-load helper: `from` amps until `start_period`, then a linear ramp
+/// to `to` amps at `end_period`, holding `to` afterwards.  A degenerate
+/// ramp (`end_period <= start_period`) behaves like step_load.
+LoadProfile ramp_load(double from, double to, std::uint64_t start_period,
+                      std::uint64_t end_period);
+
 /// Bursty (two-state Markov) load: `idle_a` amps with per-period
 /// probability `p_burst` of entering a burst of `burst_a` amps, which ends
 /// with per-period probability `p_idle`.  Deterministic for a given seed.

@@ -18,6 +18,24 @@ LoadProfile step_load(double before, double after, std::uint64_t at_period) {
   };
 }
 
+LoadProfile ramp_load(double from, double to, std::uint64_t start_period,
+                      std::uint64_t end_period) {
+  if (end_period <= start_period) {
+    return step_load(from, to, start_period);
+  }
+  return [=](std::uint64_t period) {
+    if (period <= start_period) {
+      return from;
+    }
+    if (period >= end_period) {
+      return to;
+    }
+    const double fraction = static_cast<double>(period - start_period) /
+                            static_cast<double>(end_period - start_period);
+    return from + (to - from) * fraction;
+  };
+}
+
 LoadProfile markov_load(std::uint64_t seed, double idle_a, double burst_a,
                         double p_burst, double p_idle) {
   // State advances with the period index; the profile may be re-evaluated

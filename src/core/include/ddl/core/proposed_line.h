@@ -59,6 +59,14 @@ class ProposedDelayLine {
   /// Nominal (typical-corner, mismatch-free) delay of one cell, ps.
   double nominal_cell_delay_ps() const noexcept { return nominal_cell_ps_; }
 
+  /// Fault injection (reliability studies): multiplies cell `i`'s frozen
+  /// typical-corner delay by `severity` -- a resistive via or weak driver.
+  /// Severity 1.0 is a no-op; faults compose multiplicatively if injected
+  /// twice.  The calibration controller and mapper see the faulty curve
+  /// through the ordinary delay queries, which is the point: the scenario
+  /// engine's fault campaigns measure what calibration absorbs.
+  void inject_cell_fault(std::size_t i, double severity);
+
  private:
   ProposedLineConfig config_;
   double nominal_cell_ps_;

@@ -42,6 +42,17 @@ ProposedDelayLine::ProposedDelayLine(const cells::Technology& tech,
   }
 }
 
+void ProposedDelayLine::inject_cell_fault(std::size_t i, double severity) {
+  if (i >= config_.num_cells) {
+    throw std::out_of_range("ProposedDelayLine: fault victim out of range");
+  }
+  if (severity <= 0.0) {
+    throw std::invalid_argument(
+        "ProposedDelayLine: fault severity must be positive");
+  }
+  cell_typical_ps_[i] *= severity;
+}
+
 double ProposedDelayLine::cell_delay_ps(std::size_t i,
                                         const cells::OperatingPoint& op) const {
   assert(i < config_.num_cells);

@@ -1,0 +1,65 @@
+// Named scenario suites.
+//
+// The registry maps suite names to expanders that generate concrete
+// ScenarioSpec lists on demand.  Built-in families cover the workloads the
+// repo used to hand-write as bespoke mains:
+//
+//   regulation  steady-state regulation, every architecture x corner
+//   transient   load steps, ramps and bursty Markov workloads
+//   dvfs        reference-voltage schedules (voltage islands, power traces)
+//   pvt         temperature drift and supply spikes under regulation
+//   fault       degraded delay cells through the calibrated architectures
+//
+// plus two composites: `regression` (every family; the CI sweep) and
+// `smoke` (a short cross-section for sanitizer runs).  Scenario names
+// follow `<family>/<architecture>/<corner>/<variant>` so `--filter` can
+// slice any axis with a substring match.
+#pragma once
+
+#include <functional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "ddl/scenario/spec.h"
+
+namespace ddl::scenario {
+
+class ScenarioRegistry {
+ public:
+  /// An empty registry; `builtin()` is the one with the built-in suites.
+  ScenarioRegistry() = default;
+
+  /// The process-wide registry holding the built-in families and suites.
+  static const ScenarioRegistry& builtin();
+
+  /// Registers (or replaces) a suite.  Expanders run on every expand()
+  /// call, so they must be deterministic.
+  void add_suite(std::string name,
+                 std::function<std::vector<ScenarioSpec>()> expander);
+
+  /// Suite names in registration order.
+  std::vector<std::string> suite_names() const;
+
+  bool has_suite(const std::string& name) const;
+
+  /// Expands a suite to its concrete scenario list.  Throws
+  /// std::invalid_argument for an unknown suite.
+  std::vector<ScenarioSpec> expand(const std::string& suite) const;
+
+  /// Expands a suite and keeps only scenarios whose name contains
+  /// `filter` (empty filter keeps everything).
+  std::vector<ScenarioSpec> expand_filtered(const std::string& suite,
+                                            const std::string& filter) const;
+
+  /// Looks a single scenario up by its full name across every suite (the
+  /// examples build their workloads this way).  Throws
+  /// std::invalid_argument if no suite contains it.
+  ScenarioSpec find(const std::string& scenario_name) const;
+
+ private:
+  std::vector<std::pair<std::string, std::function<std::vector<ScenarioSpec>()>>>
+      suites_;
+};
+
+}  // namespace ddl::scenario

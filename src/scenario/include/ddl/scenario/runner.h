@@ -1,0 +1,106 @@
+// Scenario execution: lower a ScenarioSpec onto the library (sizing ->
+// line -> DPWM -> closed loop), run it, and classify the outcome into a
+// structured ScenarioResult.
+//
+// Batch execution runs on the ddl::analysis thread pool with the layer's
+// determinism contract: scenarios shard by contiguous index range, every
+// scenario is self-contained (its own line, DPWM, plant -- the sim kernel
+// threading rules of DESIGN.md apply), and per-shard result vectors merge
+// in index order.  The JSONL stream and the suite summary are therefore
+// *byte-identical for any thread count* -- per-scenario lines carry no
+// wall-clock or thread-count fields by design.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "ddl/analysis/bench_json.h"
+#include "ddl/scenario/spec.h"
+
+namespace ddl::scenario {
+
+/// Structured outcome of one scenario run.
+struct ScenarioResult {
+  // Identity (copied from the spec so a result line is self-describing).
+  std::string name;
+  std::string family;
+  Architecture architecture = Architecture::kProposed;
+  cells::OperatingPoint corner;
+  std::uint64_t seed = 0;
+  std::uint64_t periods = 0;
+
+  // Calibration.
+  bool locked = false;
+  std::uint64_t lock_cycles = 0;
+
+  // Verdict.
+  bool pass = false;
+  std::string failure_reason;  ///< Empty when pass; else the first failed
+                               ///< check: no_lock, unexpected_lock,
+                               ///< transition_unsettled, regulation_error,
+                               ///< limit_cycle, never_settled.
+
+  // Steady-state window metrics (zero when calibration failed).
+  control::LoopMetrics metrics;
+  double target_vref_v = 1.0;
+  /// First period where vout held the settle band, or -1 if never (only
+  /// measured for schedules without DVFS steps).
+  std::int64_t settle_period = -1;
+  std::size_t transitions_settled = 0;
+  std::size_t transitions_total = 0;
+  double efficiency = 0.0;
+};
+
+/// Renders one result as a flat ordered JsonObject (the JSONL record
+/// schema; see DESIGN.md "Scenario engine").
+analysis::JsonObject to_json(const ScenarioResult& result);
+
+/// One result as a single JSONL line (no trailing newline).
+std::string to_json_line(const ScenarioResult& result);
+
+/// Everything a single run produces -- the full telemetry for examples and
+/// debugging, not just the verdict.
+struct ScenarioArtifacts {
+  ScenarioResult result;
+  std::vector<control::LoopSample> history;
+  std::vector<control::TransitionReport> transitions;
+};
+
+/// Runs one scenario synchronously on the calling thread.
+ScenarioArtifacts run_scenario(const ScenarioSpec& spec);
+
+/// Suite-level aggregate of a batch run.
+struct SuiteSummary {
+  std::size_t total = 0;
+  std::size_t passed = 0;
+  std::size_t locked = 0;
+  /// Failure reason -> count, key-sorted (deterministic iteration).
+  std::map<std::string, std::size_t> failures;
+  /// Family -> {passed, total}, key-sorted.
+  std::map<std::string, std::pair<std::size_t, std::size_t>> by_family;
+};
+
+SuiteSummary summarize(const std::vector<ScenarioResult>& results);
+
+/// Parallel batch runner.  `threads == 0` resolves the analysis layer's
+/// default (DDL_THREADS / hardware concurrency); any value yields identical
+/// results.
+class ScenarioRunner {
+ public:
+  explicit ScenarioRunner(std::size_t threads = 0) : threads_(threads) {}
+
+  /// Runs every spec and returns results in spec order.
+  std::vector<ScenarioResult> run(const std::vector<ScenarioSpec>& specs) const;
+
+  /// The results as a JSONL document (one object per line, spec order).
+  static std::string jsonl(const std::vector<ScenarioResult>& results);
+
+  std::size_t threads() const noexcept { return threads_; }
+
+ private:
+  std::size_t threads_;
+};
+
+}  // namespace ddl::scenario

@@ -1,0 +1,119 @@
+// Declarative scenario model: one `ScenarioSpec` value describes a complete
+// closed-loop regulator experiment -- which DPWM architecture regulates,
+// at which PVT corner, under which load / reference-voltage / drift / fault
+// stimulus, with which seed -- without writing a bespoke main().
+//
+// A spec composes only things the library already models (DesignCalculator
+// sizing, EnvironmentSchedule drift, LoadProfile workloads, VoltageModeManager
+// DVFS schedules, ProposedDelayLine fault injection), so executing one is
+// pure plumbing: see runner.h.  Specs are plain values -- copyable,
+// comparable by name, and cheap to generate in bulk from the registry.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ddl/cells/operating_point.h"
+#include "ddl/control/closed_loop.h"
+#include "ddl/control/dvfs.h"
+
+namespace ddl::scenario {
+
+/// Which DPWM family regulates the loop.
+enum class Architecture {
+  kCounter,       ///< Ideal counter DPWM (corner-immune digital baseline).
+  kHybrid,        ///< Counter MSBs + calibrated proposed-line LSBs (ref [30]).
+  kProposed,      ///< The paper's calibrated delay line.
+  kConventional,  ///< The adjustable-cells delay line.
+};
+
+std::string_view to_string(Architecture architecture) noexcept;
+
+/// Load stimulus, declaratively.  `make()` lowers it onto the closed-loop
+/// LoadProfile helpers (constant_load / step_load / ramp_load / markov_load).
+struct LoadSpec {
+  enum class Kind { kConstant, kStep, kRamp, kMarkov };
+
+  Kind kind = Kind::kConstant;
+  double level_a = 0.4;       ///< Constant level / before / idle current.
+  double level2_a = 0.4;      ///< After / ramp-end / burst current.
+  std::uint64_t from_period = 0;   ///< Step instant / ramp start.
+  std::uint64_t until_period = 0;  ///< Ramp end (ignored otherwise).
+  double p_burst = 0.01;      ///< Markov: idle -> burst probability.
+  double p_idle = 0.05;       ///< Markov: burst -> idle probability.
+
+  static LoadSpec constant(double amps);
+  static LoadSpec step(double before, double after, std::uint64_t at_period);
+  static LoadSpec ramp(double from, double to, std::uint64_t start_period,
+                       std::uint64_t end_period);
+  static LoadSpec burst(double idle_a, double burst_a, double p_burst = 0.01,
+                        double p_idle = 0.05);
+
+  /// Lowers the spec to a runnable profile; `seed` feeds the Markov chain
+  /// (ignored by the deterministic kinds).
+  control::LoadProfile make(std::uint64_t seed) const;
+
+  /// Short human/JSON tag: "constant", "step", "ramp", "markov".
+  std::string_view kind_name() const noexcept;
+};
+
+/// A single degraded delay cell (resistive via / weak driver) injected into
+/// the calibrated line before calibration.  Applies to the proposed and
+/// hybrid architectures; severity 1.0 disables the fault.
+struct FaultSpec {
+  std::size_t victim_cell = 0;
+  double severity = 1.0;  ///< Delay multiplier on the victim cell.
+
+  bool active() const noexcept { return severity != 1.0; }
+};
+
+/// The complete declarative scenario.
+struct ScenarioSpec {
+  std::string name;    ///< Unique id: "<family>/<arch>/<corner>/<variant>".
+  std::string family;  ///< regulation | transient | dvfs | pvt | fault.
+
+  // --- System under test -------------------------------------------------
+  Architecture architecture = Architecture::kProposed;
+  double clock_mhz = 1.0;    ///< Switching / calibration clock.
+  int resolution_bits = 6;   ///< Guaranteed DPWM resolution (DesignSpec).
+  int counter_bits = 7;      ///< Hybrid only: MSBs taken by the counter.
+  std::uint64_t seed = 1;    ///< Die mismatch + workload seed.
+  FaultSpec fault;           ///< Proposed/hybrid only.
+
+  // --- Environment -------------------------------------------------------
+  cells::OperatingPoint corner;
+  double temp_ramp_c_per_us = 0.0;  ///< Drift: linear temperature ramp.
+  double supply_spike_v = 0.0;      ///< Drift: rectangular supply spike...
+  std::uint64_t spike_from_period = 0;   ///< ...during [from, until)
+  std::uint64_t spike_until_period = 0;  ///< switching periods.
+
+  // --- Stimulus ----------------------------------------------------------
+  double vref_v = 1.0;  ///< Initial regulation target.
+  LoadSpec load;
+  /// Reference-voltage steps (DVFS schedule); empty = fixed reference.
+  std::vector<control::VoltageMode> dvfs;
+
+  // --- Run length & verdict criteria ------------------------------------
+  std::uint64_t periods = 2500;       ///< Switching periods simulated.
+  std::uint64_t measure_from = 1800;  ///< Steady-state window start.
+  double tolerance_v = 0.03;    ///< |mean vout - target| bound.
+  double settle_band_v = 0.03;  ///< Settling / DVFS transition band.
+  bool expect_lock = true;      ///< False: calibration *must* fail (the
+                                ///< conventional slow-corner blind spot).
+  bool allow_limit_cycling = false;  ///< Coarse DPWMs limit-cycle by design
+                                     ///< (Eq 11/12); true skips that check
+                                     ///< and the settling check.
+  /// A run only *fails* as a limit cycle when the loop hunts across duty
+  /// words AND vout swings beyond this (one ADC LSB by default) -- Eq 11/12
+  /// defines the limit cycle as an oscillation across the ADC window, so
+  /// sub-LSB dither at fine word widths is not a failure.
+  double limit_cycle_stddev_v = 0.010;
+
+  /// The regulation target the steady-state window is judged against: the
+  /// last DVFS mode's vref, or `vref_v` when the schedule is empty.
+  double final_vref_v() const noexcept;
+};
+
+}  // namespace ddl::scenario

@@ -1,0 +1,313 @@
+#include "ddl/scenario/runner.h"
+
+#include <cmath>
+#include <memory>
+#include <utility>
+
+#include "ddl/analog/adc.h"
+#include "ddl/analog/buck.h"
+#include "ddl/analysis/parallel.h"
+#include "ddl/cells/technology.h"
+#include "ddl/control/pid.h"
+#include "ddl/core/calibrated_dpwm.h"
+#include "ddl/core/design_calculator.h"
+#include "ddl/core/hybrid_calibrated.h"
+#include "ddl/dpwm/behavioral.h"
+
+namespace ddl::scenario {
+namespace {
+
+/// The system under test: whichever architecture the spec names, with the
+/// delay line kept alive alongside the DPWM that borrows it.
+struct BuiltSystem {
+  std::unique_ptr<core::ProposedDelayLine> proposed_line;
+  std::unique_ptr<core::ConventionalDelayLine> conventional_line;
+  std::unique_ptr<dpwm::DpwmModel> dpwm;
+  bool locked = false;
+  std::uint64_t lock_cycles = 0;
+};
+
+core::EnvironmentSchedule environment_for(const ScenarioSpec& spec,
+                                          sim::Time period_ps) {
+  core::EnvironmentSchedule env(spec.corner);
+  if (spec.temp_ramp_c_per_us != 0.0) {
+    env.with_temperature_ramp(spec.temp_ramp_c_per_us);
+  }
+  if (spec.supply_spike_v != 0.0 &&
+      spec.spike_until_period > spec.spike_from_period) {
+    env.with_voltage_spike(
+        static_cast<sim::Time>(spec.spike_from_period) * period_ps,
+        static_cast<sim::Time>(spec.spike_until_period) * period_ps,
+        spec.supply_spike_v);
+  }
+  return env;
+}
+
+BuiltSystem build_system(const ScenarioSpec& spec,
+                         const cells::Technology& tech) {
+  BuiltSystem sys;
+  const double period_ps = 1e6 / spec.clock_mhz;
+  core::DesignCalculator calc(tech);
+
+  switch (spec.architecture) {
+    case Architecture::kCounter: {
+      // Ideal digital baseline: corner-immune, nothing to calibrate.  The
+      // period must divide into whole fast-clock ticks, so round the tick
+      // and rebuild the period from it (a few ppm off the requested f_sw).
+      const sim::Time tick = sim::from_ps(
+          period_ps / static_cast<double>(std::uint64_t{1} << spec.resolution_bits));
+      sys.dpwm = std::make_unique<dpwm::CounterDpwm>(spec.resolution_bits,
+                                                     tick << spec.resolution_bits);
+      sys.locked = true;
+      return sys;
+    }
+
+    case Architecture::kProposed: {
+      const auto design = calc.size_proposed(
+          core::DesignSpec{spec.clock_mhz, spec.resolution_bits});
+      sys.proposed_line = std::make_unique<core::ProposedDelayLine>(
+          tech, design.line, spec.seed);
+      if (spec.fault.active()) {
+        sys.proposed_line->inject_cell_fault(spec.fault.victim_cell,
+                                             spec.fault.severity);
+      }
+      auto dpwm = std::make_unique<core::ProposedDpwmSystem>(
+          *sys.proposed_line, period_ps);
+      dpwm->set_environment(environment_for(spec, dpwm->period_ps()));
+      if (const auto cycles = dpwm->calibrate()) {
+        sys.locked = true;
+        sys.lock_cycles = *cycles;
+      }
+      sys.dpwm = std::move(dpwm);
+      return sys;
+    }
+
+    case Architecture::kConventional: {
+      const auto design = calc.size_conventional(
+          core::DesignSpec{spec.clock_mhz, spec.resolution_bits});
+      sys.conventional_line = std::make_unique<core::ConventionalDelayLine>(
+          tech, design.line, spec.seed);
+      auto dpwm = std::make_unique<core::ConventionalDpwmSystem>(
+          *sys.conventional_line, period_ps);
+      dpwm->set_environment(environment_for(spec, dpwm->period_ps()));
+      if (const auto cycles = dpwm->calibrate()) {
+        sys.locked = true;
+        sys.lock_cycles = *cycles;
+      }
+      sys.dpwm = std::move(dpwm);
+      return sys;
+    }
+
+    case Architecture::kHybrid: {
+      const auto design = core::size_hybrid_calibrated(
+          tech, spec.clock_mhz, spec.resolution_bits, spec.counter_bits);
+      sys.proposed_line = std::make_unique<core::ProposedDelayLine>(
+          tech, design.line, spec.seed);
+      if (spec.fault.active()) {
+        sys.proposed_line->inject_cell_fault(spec.fault.victim_cell,
+                                             spec.fault.severity);
+      }
+      // The switching period must divide into whole fast-clock ticks, so
+      // round the tick and rebuild the period from it (a few ppm off the
+      // requested f_sw, same as bench_hybrid_calibrated_13bit).
+      const sim::Time fast_tick = sim::from_ps(
+          period_ps / static_cast<double>(std::uint64_t{1} << spec.counter_bits));
+      auto dpwm = std::make_unique<core::HybridCalibratedDpwm>(
+          *sys.proposed_line, spec.counter_bits,
+          spec.resolution_bits - spec.counter_bits,
+          fast_tick << spec.counter_bits);
+      dpwm->set_environment(environment_for(spec, dpwm->period_ps()));
+      if (const auto cycles = dpwm->calibrate()) {
+        sys.locked = true;
+        sys.lock_cycles = *cycles;
+      }
+      sys.dpwm = std::move(dpwm);
+      return sys;
+    }
+  }
+  return sys;
+}
+
+/// PID coefficients matched to the DPWM word width.  The fixed-point gains
+/// are absolute duty LSBs per ADC error code, tuned for words up to ~9 bits;
+/// at wider words the same coefficients move the duty by a vanishing
+/// fraction of full scale and the loop crawls.  Shifting them up by
+/// (bits - 9) keeps the proportional kick per error code just under one ADC
+/// LSB in output volts (~9 mV here) for any word width, so loop dynamics
+/// are resolution-independent.
+control::PidParams pid_for(int duty_bits) {
+  control::PidParams params;
+  if (duty_bits > 9) {
+    const int shift = duty_bits - 9;
+    params.kp <<= shift;
+    params.ki <<= shift;
+    params.kd <<= shift;
+  }
+  return params;
+}
+
+}  // namespace
+
+ScenarioArtifacts run_scenario(const ScenarioSpec& spec) {
+  const auto tech = cells::Technology::i32nm_class();
+
+  ScenarioArtifacts artifacts;
+  ScenarioResult& result = artifacts.result;
+  result.name = spec.name;
+  result.family = spec.family;
+  result.architecture = spec.architecture;
+  result.corner = spec.corner;
+  result.seed = spec.seed;
+  result.periods = spec.periods;
+  result.target_vref_v = spec.final_vref_v();
+
+  BuiltSystem sys = build_system(spec, tech);
+  result.locked = sys.locked;
+  result.lock_cycles = sys.lock_cycles;
+
+  // Scenarios that probe an infeasibility (the conventional slow-corner
+  // blind spot) pass exactly when calibration fails; the loop never runs.
+  if (!spec.expect_lock) {
+    result.pass = !sys.locked;
+    if (!result.pass) {
+      result.failure_reason = "unexpected_lock";
+    }
+    return artifacts;
+  }
+  if (!sys.locked) {
+    result.failure_reason = "no_lock";
+    return artifacts;
+  }
+
+  const std::uint64_t full = (std::uint64_t{1} << sys.dpwm->bits()) - 1;
+  control::DigitallyControlledBuck loop(
+      analog::BuckConverter(analog::BuckParams{}),
+      analog::WindowAdc(analog::WindowAdcParams{spec.vref_v, 10e-3, 7}),
+      control::PidController(pid_for(sys.dpwm->bits()), full, full / 3),
+      *sys.dpwm);
+
+  const control::LoadProfile load = spec.load.make(spec.seed);
+  if (spec.dvfs.empty()) {
+    loop.run(spec.periods, load);
+  } else {
+    control::VoltageModeManager manager(spec.dvfs, spec.settle_band_v);
+    artifacts.transitions = manager.run(loop, spec.periods, load);
+  }
+
+  result.metrics = loop.metrics(spec.measure_from, spec.periods);
+  result.efficiency = loop.plant().energy().efficiency();
+  result.transitions_total = artifacts.transitions.size();
+  for (const auto& transition : artifacts.transitions) {
+    if (transition.settled) {
+      ++result.transitions_settled;
+    }
+  }
+  if (spec.dvfs.empty()) {
+    const std::uint64_t settle = loop.settling_period(spec.settle_band_v);
+    result.settle_period = settle == ~std::uint64_t{0}
+                               ? -1
+                               : static_cast<std::int64_t>(settle);
+  }
+
+  // Verdict: first failed check names the failure.
+  if (result.transitions_settled != result.transitions_total) {
+    result.failure_reason = "transition_unsettled";
+  } else if (std::abs(result.metrics.mean_vout - result.target_vref_v) >
+             spec.tolerance_v) {
+    result.failure_reason = "regulation_error";
+  } else if (!spec.allow_limit_cycling && result.metrics.limit_cycling &&
+             result.metrics.vout_stddev > spec.limit_cycle_stddev_v) {
+    result.failure_reason = "limit_cycle";
+  } else if (spec.dvfs.empty() && !spec.allow_limit_cycling &&
+             result.settle_period < 0) {
+    result.failure_reason = "never_settled";
+  } else {
+    result.pass = true;
+  }
+
+  artifacts.history = loop.history();
+  return artifacts;
+}
+
+analysis::JsonObject to_json(const ScenarioResult& result) {
+  analysis::JsonObject object;
+  object.set("schema_version", analysis::kBenchJsonSchemaVersion);
+  object.set("name", result.name);
+  object.set("family", result.family);
+  object.set("architecture", std::string(to_string(result.architecture)));
+  object.set("corner", std::string(to_string(result.corner.corner)));
+  object.set("supply_v", result.corner.supply_v);
+  object.set("temperature_c", result.corner.temperature_c);
+  object.set("seed", result.seed);
+  object.set("periods", result.periods);
+  object.set("locked", result.locked);
+  object.set("lock_cycles", result.lock_cycles);
+  object.set("pass", result.pass);
+  object.set("failure_reason", result.failure_reason);
+  object.set("target_vref_v", result.target_vref_v);
+  object.set("mean_vout", result.metrics.mean_vout);
+  object.set("vout_stddev", result.metrics.vout_stddev);
+  object.set("max_ripple_v", result.metrics.max_ripple_v);
+  object.set("mean_abs_error_v", result.metrics.mean_abs_error_v);
+  object.set("distinct_duty_words", result.metrics.distinct_duty_words);
+  object.set("limit_cycling", result.metrics.limit_cycling);
+  object.set("settle_period", result.settle_period);
+  object.set("transitions_settled",
+             static_cast<std::uint64_t>(result.transitions_settled));
+  object.set("transitions_total",
+             static_cast<std::uint64_t>(result.transitions_total));
+  object.set("efficiency", result.efficiency);
+  return object;
+}
+
+std::string to_json_line(const ScenarioResult& result) {
+  return to_json(result).to_json_line();
+}
+
+SuiteSummary summarize(const std::vector<ScenarioResult>& results) {
+  SuiteSummary summary;
+  summary.total = results.size();
+  for (const ScenarioResult& result : results) {
+    auto& family = summary.by_family[result.family];
+    ++family.second;
+    if (result.locked) {
+      ++summary.locked;
+    }
+    if (result.pass) {
+      ++summary.passed;
+      ++family.first;
+    } else {
+      ++summary.failures[result.failure_reason];
+    }
+  }
+  return summary;
+}
+
+std::vector<ScenarioResult> ScenarioRunner::run(
+    const std::vector<ScenarioSpec>& specs) const {
+  analysis::ThreadPool pool(threads_ ? threads_
+                                     : analysis::default_thread_count());
+  return analysis::parallel_for_reduce<std::vector<ScenarioResult>>(
+      pool, specs.size(),
+      [] { return std::vector<ScenarioResult>{}; },
+      [&specs](std::size_t i, std::vector<ScenarioResult>& acc) {
+        acc.push_back(run_scenario(specs[i]).result);
+      },
+      [](std::vector<ScenarioResult>& total,
+         std::vector<ScenarioResult>&& part) {
+        for (ScenarioResult& result : part) {
+          total.push_back(std::move(result));
+        }
+      });
+}
+
+std::string ScenarioRunner::jsonl(const std::vector<ScenarioResult>& results) {
+  std::string out;
+  for (const ScenarioResult& result : results) {
+    out += to_json_line(result);
+    out += '\n';
+  }
+  return out;
+}
+
+}  // namespace ddl::scenario

@@ -1,0 +1,90 @@
+#include "ddl/scenario/spec.h"
+
+namespace ddl::scenario {
+
+std::string_view to_string(Architecture architecture) noexcept {
+  switch (architecture) {
+    case Architecture::kCounter:
+      return "counter";
+    case Architecture::kHybrid:
+      return "hybrid";
+    case Architecture::kProposed:
+      return "proposed";
+    case Architecture::kConventional:
+      return "conventional";
+  }
+  return "unknown";
+}
+
+LoadSpec LoadSpec::constant(double amps) {
+  LoadSpec spec;
+  spec.kind = Kind::kConstant;
+  spec.level_a = amps;
+  spec.level2_a = amps;
+  return spec;
+}
+
+LoadSpec LoadSpec::step(double before, double after, std::uint64_t at_period) {
+  LoadSpec spec;
+  spec.kind = Kind::kStep;
+  spec.level_a = before;
+  spec.level2_a = after;
+  spec.from_period = at_period;
+  return spec;
+}
+
+LoadSpec LoadSpec::ramp(double from, double to, std::uint64_t start_period,
+                        std::uint64_t end_period) {
+  LoadSpec spec;
+  spec.kind = Kind::kRamp;
+  spec.level_a = from;
+  spec.level2_a = to;
+  spec.from_period = start_period;
+  spec.until_period = end_period;
+  return spec;
+}
+
+LoadSpec LoadSpec::burst(double idle_a, double burst_a, double p_burst,
+                         double p_idle) {
+  LoadSpec spec;
+  spec.kind = Kind::kMarkov;
+  spec.level_a = idle_a;
+  spec.level2_a = burst_a;
+  spec.p_burst = p_burst;
+  spec.p_idle = p_idle;
+  return spec;
+}
+
+control::LoadProfile LoadSpec::make(std::uint64_t seed) const {
+  switch (kind) {
+    case Kind::kConstant:
+      return control::constant_load(level_a);
+    case Kind::kStep:
+      return control::step_load(level_a, level2_a, from_period);
+    case Kind::kRamp:
+      return control::ramp_load(level_a, level2_a, from_period, until_period);
+    case Kind::kMarkov:
+      return control::markov_load(seed, level_a, level2_a, p_burst, p_idle);
+  }
+  return control::constant_load(level_a);
+}
+
+std::string_view LoadSpec::kind_name() const noexcept {
+  switch (kind) {
+    case Kind::kConstant:
+      return "constant";
+    case Kind::kStep:
+      return "step";
+    case Kind::kRamp:
+      return "ramp";
+    case Kind::kMarkov:
+      return "markov";
+  }
+  return "unknown";
+}
+
+double ScenarioSpec::final_vref_v() const noexcept {
+  return dvfs.empty() ? vref_v : dvfs.back().vref_v;
+}
+
+}  // namespace ddl::scenario

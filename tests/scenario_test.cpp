@@ -1,0 +1,232 @@
+// Tests for the ddl::scenario subsystem: registry contents, spec lowering,
+// classification edge cases, the ramp_load helper it rides on, and the
+// determinism contract -- the same suite run at 1, 2, 4 and the default
+// thread count must produce byte-identical JSONL and verdict counts.
+#include <gtest/gtest.h>
+
+#include <set>
+#include <string>
+
+#include "ddl/control/closed_loop.h"
+#include "ddl/scenario/registry.h"
+#include "ddl/scenario/runner.h"
+
+namespace {
+
+using ddl::scenario::Architecture;
+using ddl::scenario::FaultSpec;
+using ddl::scenario::LoadSpec;
+using ddl::scenario::ScenarioRegistry;
+using ddl::scenario::ScenarioRunner;
+using ddl::scenario::ScenarioSpec;
+
+TEST(RampLoadTest, InterpolatesBetweenEndpoints) {
+  const auto load = ddl::control::ramp_load(0.2, 1.0, 100, 300);
+  EXPECT_DOUBLE_EQ(load(0), 0.2);
+  EXPECT_DOUBLE_EQ(load(100), 0.2);
+  EXPECT_DOUBLE_EQ(load(200), 0.6);
+  EXPECT_DOUBLE_EQ(load(300), 1.0);
+  EXPECT_DOUBLE_EQ(load(5000), 1.0);
+}
+
+TEST(RampLoadTest, DegenerateRampActsAsStep) {
+  const auto load = ddl::control::ramp_load(0.2, 1.0, 300, 300);
+  EXPECT_DOUBLE_EQ(load(299), 0.2);
+  EXPECT_DOUBLE_EQ(load(300), 1.0);
+}
+
+TEST(RampLoadTest, DownwardRamp) {
+  const auto load = ddl::control::ramp_load(1.0, 0.2, 0, 400);
+  EXPECT_DOUBLE_EQ(load(0), 1.0);
+  EXPECT_DOUBLE_EQ(load(200), 0.6);
+  EXPECT_DOUBLE_EQ(load(400), 0.2);
+}
+
+TEST(LoadSpecTest, LowersToMatchingProfiles) {
+  EXPECT_DOUBLE_EQ(LoadSpec::constant(0.4).make(1)(123), 0.4);
+  const auto step = LoadSpec::step(0.2, 1.0, 50).make(1);
+  EXPECT_DOUBLE_EQ(step(49), 0.2);
+  EXPECT_DOUBLE_EQ(step(50), 1.0);
+  const auto ramp = LoadSpec::ramp(0.0, 1.0, 0, 100).make(1);
+  EXPECT_DOUBLE_EQ(ramp(50), 0.5);
+  // The Markov chain is seed-deterministic.
+  const auto a = LoadSpec::burst(0.1, 0.9).make(7);
+  const auto b = LoadSpec::burst(0.1, 0.9).make(7);
+  for (std::uint64_t p = 0; p < 200; ++p) {
+    EXPECT_DOUBLE_EQ(a(p), b(p));
+  }
+}
+
+TEST(RegistryTest, BuiltinSuitesArePresent) {
+  const auto& registry = ScenarioRegistry::builtin();
+  for (const char* suite : {"regulation", "transient", "dvfs", "pvt", "fault",
+                            "smoke", "regression"}) {
+    EXPECT_TRUE(registry.has_suite(suite)) << suite;
+  }
+  EXPECT_FALSE(registry.has_suite("nonesuch"));
+  EXPECT_THROW(registry.expand("nonesuch"), std::invalid_argument);
+}
+
+TEST(RegistryTest, RegressionSuiteMeetsCoverageFloor) {
+  const auto specs = ScenarioRegistry::builtin().expand("regression");
+  EXPECT_GE(specs.size(), 40u);
+
+  std::set<std::string> names;
+  std::set<Architecture> architectures;
+  std::set<ddl::cells::ProcessCorner> corners;
+  for (const auto& spec : specs) {
+    names.insert(spec.name);
+    architectures.insert(spec.architecture);
+    corners.insert(spec.corner.corner);
+    EXPECT_GT(spec.periods, spec.measure_from) << spec.name;
+  }
+  EXPECT_EQ(names.size(), specs.size()) << "scenario names must be unique";
+  EXPECT_GE(architectures.size(), 3u);
+  EXPECT_GE(corners.size(), 3u);
+}
+
+TEST(RegistryTest, FilterSlicesBySubstring) {
+  const auto& registry = ScenarioRegistry::builtin();
+  const auto all = registry.expand("regression");
+  const auto hybrids = registry.expand_filtered("regression", "/hybrid/");
+  EXPECT_GT(hybrids.size(), 0u);
+  EXPECT_LT(hybrids.size(), all.size());
+  for (const auto& spec : hybrids) {
+    EXPECT_EQ(spec.architecture, Architecture::kHybrid) << spec.name;
+  }
+  EXPECT_TRUE(registry.expand_filtered("regression", "nonesuch").empty());
+}
+
+TEST(RegistryTest, FindLocatesThePortedExampleWorkloads) {
+  const auto& registry = ScenarioRegistry::builtin();
+  const auto islands = registry.find("dvfs/proposed/typical/islands");
+  EXPECT_EQ(islands.seed, 13u);
+  EXPECT_EQ(islands.dvfs.size(), 3u);
+  const auto trace = registry.find("dvfs/proposed/typical/power-trace");
+  EXPECT_EQ(trace.seed, 5u);
+  EXPECT_EQ(trace.load.kind, LoadSpec::Kind::kMarkov);
+  EXPECT_THROW(registry.find("nonesuch"), std::invalid_argument);
+}
+
+ScenarioSpec quick_spec() {
+  ScenarioSpec spec;
+  spec.name = "test/proposed/typical/quick";
+  spec.family = "test";
+  spec.load = LoadSpec::constant(0.4);
+  spec.periods = 900;
+  spec.measure_from = 600;
+  spec.allow_limit_cycling = true;  // 6-bit DPWM vs the 10 mV ADC window.
+  spec.tolerance_v = 0.05;
+  return spec;
+}
+
+TEST(RunScenarioTest, ClassifiesAHealthyRunAsPass) {
+  const auto artifacts = ddl::scenario::run_scenario(quick_spec());
+  EXPECT_TRUE(artifacts.result.locked);
+  EXPECT_TRUE(artifacts.result.pass) << artifacts.result.failure_reason;
+  EXPECT_TRUE(artifacts.result.failure_reason.empty());
+  EXPECT_EQ(artifacts.result.periods, 900u);
+  EXPECT_FALSE(artifacts.history.empty());
+}
+
+TEST(RunScenarioTest, ImpossibleToleranceFailsAsRegulationError) {
+  auto spec = quick_spec();
+  spec.tolerance_v = 1e-9;
+  const auto artifacts = ddl::scenario::run_scenario(spec);
+  EXPECT_FALSE(artifacts.result.pass);
+  EXPECT_EQ(artifacts.result.failure_reason, "regulation_error");
+}
+
+TEST(RunScenarioTest, ExpectLockFalsePassesExactlyWhenCalibrationFails) {
+  // The conventional line at the fast environmental corner cannot reach the
+  // 1 MHz period (its max delay falls short), so lock must fail -- which the
+  // spec declares as the *expected* outcome.
+  ScenarioSpec spec = quick_spec();
+  spec.architecture = Architecture::kConventional;
+  spec.corner = ddl::cells::OperatingPoint::fast();
+  spec.expect_lock = false;
+  const auto artifacts = ddl::scenario::run_scenario(spec);
+  EXPECT_FALSE(artifacts.result.locked);
+  EXPECT_TRUE(artifacts.result.pass);
+
+  // The same spec expecting a lock is classified as no_lock instead.
+  spec.expect_lock = true;
+  const auto failed = ddl::scenario::run_scenario(spec);
+  EXPECT_FALSE(failed.result.pass);
+  EXPECT_EQ(failed.result.failure_reason, "no_lock");
+}
+
+TEST(RunScenarioTest, FaultInjectionShiftsTheLockPoint) {
+  auto healthy = quick_spec();
+  auto faulty = quick_spec();
+  faulty.fault = FaultSpec{31, 10.0};
+  const auto h = ddl::scenario::run_scenario(healthy);
+  const auto f = ddl::scenario::run_scenario(faulty);
+  ASSERT_TRUE(h.result.locked);
+  ASSERT_TRUE(f.result.locked);
+  // A 10x slower cell inside the locked range shortens the tap chain.
+  EXPECT_NE(h.result.lock_cycles, f.result.lock_cycles);
+}
+
+TEST(RunScenarioTest, JsonLineIsOneObjectWithStableHeader) {
+  const auto artifacts = ddl::scenario::run_scenario(quick_spec());
+  const std::string line = ddl::scenario::to_json_line(artifacts.result);
+  EXPECT_EQ(line.find('\n'), std::string::npos);
+  EXPECT_EQ(line.rfind("{\"schema_version\": 2, \"name\": ", 0), 0u) << line;
+  // Thread-count and wall-clock never appear in a scenario record (the
+  // determinism contract).
+  EXPECT_EQ(line.find("threads"), std::string::npos);
+  EXPECT_EQ(line.find("wall_ms"), std::string::npos);
+}
+
+TEST(ScenarioRunnerTest, DeterministicAcrossThreadCounts) {
+  // The full determinism contract on the smoke suite: byte-identical JSONL
+  // and identical verdict counts for 1, 2, 4 and default-thread runs.
+  const auto specs = ScenarioRegistry::builtin().expand("smoke");
+  const auto reference = ScenarioRunner(1).run(specs);
+  const std::string reference_jsonl = ScenarioRunner::jsonl(reference);
+  const auto reference_summary = ddl::scenario::summarize(reference);
+
+  for (std::size_t threads : {std::size_t{2}, std::size_t{4}, std::size_t{0}}) {
+    const auto results = ScenarioRunner(threads).run(specs);
+    EXPECT_EQ(ScenarioRunner::jsonl(results), reference_jsonl)
+        << "threads=" << threads;
+    const auto summary = ddl::scenario::summarize(results);
+    EXPECT_EQ(summary.passed, reference_summary.passed);
+    EXPECT_EQ(summary.locked, reference_summary.locked);
+    EXPECT_EQ(summary.failures, reference_summary.failures);
+    EXPECT_EQ(summary.by_family, reference_summary.by_family);
+  }
+}
+
+TEST(ScenarioRunnerTest, ResultsKeepSpecOrder) {
+  auto specs = ScenarioRegistry::builtin().expand("smoke");
+  const auto results = ScenarioRunner(2).run(specs);
+  ASSERT_EQ(results.size(), specs.size());
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    EXPECT_EQ(results[i].name, specs[i].name);
+  }
+}
+
+TEST(SummarizeTest, CountsFailuresByReasonAndFamily) {
+  std::vector<ddl::scenario::ScenarioResult> results(3);
+  results[0].family = "a";
+  results[0].pass = true;
+  results[0].locked = true;
+  results[1].family = "a";
+  results[1].failure_reason = "no_lock";
+  results[2].family = "b";
+  results[2].locked = true;
+  results[2].failure_reason = "regulation_error";
+  const auto summary = ddl::scenario::summarize(results);
+  EXPECT_EQ(summary.total, 3u);
+  EXPECT_EQ(summary.passed, 1u);
+  EXPECT_EQ(summary.locked, 2u);
+  EXPECT_EQ(summary.failures.at("no_lock"), 1u);
+  EXPECT_EQ(summary.failures.at("regulation_error"), 1u);
+  EXPECT_EQ(summary.by_family.at("a").first, 1u);
+  EXPECT_EQ(summary.by_family.at("a").second, 2u);
+  EXPECT_EQ(summary.by_family.at("b").second, 1u);
+}
+
+}  // namespace

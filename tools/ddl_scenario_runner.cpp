@@ -1,0 +1,157 @@
+// ddl_scenario_runner: expand a named suite from the scenario registry, run
+// it on the parallel batch runner, stream one JSONL record per scenario and
+// print (or write) a suite-level aggregate summary.
+//
+//   ddl_scenario_runner --list
+//   ddl_scenario_runner --suite smoke
+//   ddl_scenario_runner --suite regression --filter proposed --jobs 4
+//   ddl_scenario_runner --suite regression --out results.jsonl
+//
+// Scenario records never carry thread-count or wall-clock fields, so the
+// JSONL stream is byte-identical for any --jobs value; the aggregate (which
+// does report threads and wall time) goes to stderr and to the standard
+// BENCH_scenario_suite_<name>.json file instead.  Exit status is the number
+// of failed scenarios (capped at 125 to stay clear of shell codes).
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ddl/analysis/bench_json.h"
+#include "ddl/analysis/parallel.h"
+#include "ddl/scenario/registry.h"
+#include "ddl/scenario/runner.h"
+
+namespace {
+
+void print_usage(std::ostream& os) {
+  os << "usage: ddl_scenario_runner [--suite NAME] [--filter SUBSTR]\n"
+        "                           [--jobs N] [--out FILE] [--list]\n"
+        "\n"
+        "  --suite NAME    suite to run (default: smoke)\n"
+        "  --filter SUBSTR keep only scenarios whose name contains SUBSTR\n"
+        "  --jobs N        worker threads (default: DDL_THREADS or hardware)\n"
+        "  --out FILE      write the JSONL stream to FILE instead of stdout\n"
+        "  --list          list suites and their scenarios, then exit\n";
+}
+
+void list_suites(std::ostream& os) {
+  const auto& registry = ddl::scenario::ScenarioRegistry::builtin();
+  for (const std::string& suite : registry.suite_names()) {
+    const auto specs = registry.expand(suite);
+    os << suite << " (" << specs.size() << " scenarios)\n";
+    for (const auto& spec : specs) {
+      os << "  " << spec.name << "\n";
+    }
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  std::string suite = "smoke";
+  std::string filter;
+  std::string out_path;
+  std::size_t jobs = 0;
+  bool list = false;
+
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    auto value = [&]() -> const char* {
+      if (i + 1 >= argc) {
+        std::cerr << "error: " << arg << " needs a value\n";
+        std::exit(64);
+      }
+      return argv[++i];
+    };
+    if (arg == "--suite") {
+      suite = value();
+    } else if (arg == "--filter") {
+      filter = value();
+    } else if (arg == "--jobs") {
+      jobs = static_cast<std::size_t>(std::stoul(value()));
+    } else if (arg == "--out") {
+      out_path = value();
+    } else if (arg == "--list") {
+      list = true;
+    } else if (arg == "--help" || arg == "-h") {
+      print_usage(std::cout);
+      return 0;
+    } else {
+      std::cerr << "error: unknown option '" << arg << "'\n";
+      print_usage(std::cerr);
+      return 64;
+    }
+  }
+
+  if (list) {
+    list_suites(std::cout);
+    return 0;
+  }
+
+  const auto& registry = ddl::scenario::ScenarioRegistry::builtin();
+  if (!registry.has_suite(suite)) {
+    std::cerr << "error: unknown suite '" << suite << "' (--list shows them)\n";
+    return 64;
+  }
+  const auto specs = registry.expand_filtered(suite, filter);
+  if (specs.empty()) {
+    std::cerr << "error: filter '" << filter << "' matches nothing in '"
+              << suite << "'\n";
+    return 64;
+  }
+
+  ddl::analysis::WallTimer timer;
+  ddl::scenario::ScenarioRunner runner(jobs);
+  const auto results = runner.run(specs);
+  const double wall_ms = timer.elapsed_ms();
+  const auto summary = ddl::scenario::summarize(results);
+
+  // The per-scenario stream: stdout by default, --out FILE otherwise.
+  const std::string stream = ddl::scenario::ScenarioRunner::jsonl(results);
+  if (out_path.empty()) {
+    std::cout << stream;
+  } else {
+    std::ofstream out(out_path);
+    if (!out) {
+      std::cerr << "error: cannot write '" << out_path << "'\n";
+      return 66;
+    }
+    out << stream;
+  }
+
+  // The aggregate record is a BenchReport, so it (and only it) carries
+  // schema_version, threads and wall time.
+  ddl::analysis::BenchReport report("scenario_suite_" + suite);
+  report.set("threads",
+             static_cast<std::uint64_t>(
+                 jobs ? jobs : ddl::analysis::default_thread_count()));
+  report.set("suite", suite);
+  if (!filter.empty()) {
+    report.set("filter", filter);
+  }
+  report.set("scenarios", static_cast<std::uint64_t>(summary.total));
+  report.set("passed", static_cast<std::uint64_t>(summary.passed));
+  report.set("failed", static_cast<std::uint64_t>(summary.total - summary.passed));
+  report.set("locked", static_cast<std::uint64_t>(summary.locked));
+  report.set("wall_ms", wall_ms);
+  for (const auto& [reason, count] : summary.failures) {
+    report.set("failures." + reason, static_cast<std::uint64_t>(count));
+  }
+  for (const auto& [family, counts] : summary.by_family) {
+    report.set("family." + family + ".passed",
+               static_cast<std::uint64_t>(counts.first));
+    report.set("family." + family + ".total",
+               static_cast<std::uint64_t>(counts.second));
+  }
+  // The aggregate stays OUT of the JSONL stream so the artifact is
+  // byte-identical for any --jobs value: summary to stderr, plus the
+  // standard BENCH_*.json file (DDL_BENCH_DIR) for CI collection.
+  std::cerr << report.to_json() << "\n";
+  report.write();
+
+  const std::size_t failed = summary.total - summary.passed;
+  return static_cast<int>(failed > 125 ? 125 : failed);
+}
