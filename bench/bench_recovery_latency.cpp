@@ -1,0 +1,156 @@
+// Robustness extension: re-lock latency under runtime cell faults, for both
+// delay-line DPWM architectures under the LockSupervisor.
+//
+// For a sweep of fault severities the calibrated system runs healthy, takes
+// a single-cell delay fault mid-run, and the supervisor's telemetry reports
+// how the loss was detected, how many switching periods recovery took, and
+// how many calibration cycles the re-lock walk burned.  The architectural
+// prediction: the proposed scheme re-locks in O(taps walked) calibration
+// cycles from the supervisor's bounded budget, while the conventional
+// scheme must re-search its whole shift register (its re-lock latency is
+// dominated by the register length, the thesis's calibration-time
+// disadvantage).  Severities past the line's reach exhaust the attempts and
+// land on the degradation ladder instead -- that is the graceful-
+// degradation regime, also reported.
+//
+// Writes BENCH_recovery_latency.json.
+#include <algorithm>
+#include <cstdio>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "ddl/analysis/bench_json.h"
+#include "ddl/analysis/report.h"
+#include "ddl/core/calibrated_dpwm.h"
+#include "ddl/core/lock_supervisor.h"
+
+namespace {
+
+constexpr double kPeriodPs = 10'000.0;  // The 100 MHz design point.
+constexpr int kHealthyPeriods = 64;
+constexpr int kFaultedPeriods = 1024;
+
+struct RecoveryRow {
+  bool supervised_ok = false;  // Calibrated and wrapped.
+  std::uint64_t losses = 0;
+  std::uint64_t relocks = 0;
+  std::uint64_t latency_periods = 0;
+  std::uint64_t relock_cycles = 0;
+  std::string first_detector = "-";
+  int degradation = 0;
+};
+
+/// Runs `supervisor` for the healthy stretch, fires `fault`, runs the
+/// faulted stretch, and summarizes the health telemetry.
+RecoveryRow drive(ddl::core::LockSupervisor& supervisor,
+                  const std::function<void()>& fault) {
+  RecoveryRow row;
+  row.supervised_ok = true;
+  ddl::sim::Time t = 0;
+  const std::uint64_t half =
+      std::uint64_t{1} << (supervisor.bits() - 1);
+  for (int i = 0; i < kHealthyPeriods; ++i) {
+    supervisor.generate(t, half);
+    supervisor.observe_error(0);
+    t += supervisor.period_ps();
+  }
+  fault();
+  for (int i = 0; i < kFaultedPeriods; ++i) {
+    supervisor.generate(t, half);
+    t += supervisor.period_ps();
+  }
+  row.losses = supervisor.lock_losses();
+  row.relocks = supervisor.relocks();
+  row.latency_periods = supervisor.max_relock_latency_periods();
+  row.degradation = static_cast<int>(supervisor.degradation());
+  for (const auto& event : supervisor.events()) {
+    if (event.kind == ddl::core::HealthEventKind::kLockLost &&
+        row.first_detector == "-") {
+      row.first_detector = event.detail;
+    }
+    if (event.kind == ddl::core::HealthEventKind::kRelocked) {
+      row.relock_cycles = std::max(row.relock_cycles, event.relock_cycles);
+    }
+  }
+  return row;
+}
+
+RecoveryRow run_proposed(const ddl::cells::Technology& tech,
+                         std::size_t victim, double severity) {
+  ddl::core::ProposedDelayLine line(tech, {256, 2});
+  ddl::core::ProposedDpwmSystem system(line, kPeriodPs);
+  if (!system.calibrate().has_value()) {
+    return {};
+  }
+  auto supervised = ddl::core::make_supervised(system);
+  ddl::core::LockSupervisor supervisor(*supervised);
+  return drive(supervisor,
+               [&] { line.inject_cell_fault(victim, severity); });
+}
+
+RecoveryRow run_conventional(const ddl::cells::Technology& tech,
+                             std::size_t victim, double severity) {
+  ddl::core::ConventionalDelayLine line(tech, {64, 4, 2});
+  ddl::core::ConventionalDpwmSystem system(line, kPeriodPs);
+  if (!system.calibrate().has_value()) {
+    return {};
+  }
+  auto supervised = ddl::core::make_supervised(system);
+  ddl::core::LockSupervisor supervisor(*supervised);
+  return drive(supervisor,
+               [&] { line.inject_cell_fault(victim, severity); });
+}
+
+}  // namespace
+
+int main() {
+  const auto tech = ddl::cells::Technology::i32nm_class();
+  const double severities[] = {2.0, 5.0, 10.0, 25.0, 100.0};
+
+  std::printf("==== Re-lock latency under a mid-run cell fault "
+              "(100 MHz, typical, victim inside the locked range) ====\n\n");
+  ddl::analysis::TextTable table({"architecture", "severity", "losses",
+                                  "relocks", "latency (periods)",
+                                  "relock cycles", "detector", "degradation"});
+  ddl::analysis::BenchReport report("recovery_latency");
+
+  for (const double severity : severities) {
+    const auto row = run_proposed(tech, /*victim=*/31, severity);
+    table.add_row({"proposed", ddl::analysis::TextTable::num(severity, 1),
+                   std::to_string(row.losses), std::to_string(row.relocks),
+                   std::to_string(row.latency_periods),
+                   std::to_string(row.relock_cycles), row.first_detector,
+                   std::to_string(row.degradation)});
+    const std::string prefix =
+        "proposed.sev" + ddl::analysis::TextTable::num(severity, 1);
+    report.set(prefix + ".relocks", row.relocks);
+    report.set(prefix + ".latency_periods", row.latency_periods);
+    report.set(prefix + ".relock_cycles", row.relock_cycles);
+    report.set(prefix + ".degradation", row.degradation);
+  }
+  for (const double severity : severities) {
+    const auto row = run_conventional(tech, /*victim=*/31, severity);
+    table.add_row({"conventional", ddl::analysis::TextTable::num(severity, 1),
+                   std::to_string(row.losses), std::to_string(row.relocks),
+                   std::to_string(row.latency_periods),
+                   std::to_string(row.relock_cycles), row.first_detector,
+                   std::to_string(row.degradation)});
+    const std::string prefix =
+        "conventional.sev" + ddl::analysis::TextTable::num(severity, 1);
+    report.set(prefix + ".relocks", row.relocks);
+    report.set(prefix + ".latency_periods", row.latency_periods);
+    report.set(prefix + ".relock_cycles", row.relock_cycles);
+    report.set(prefix + ".degradation", row.degradation);
+  }
+
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nThe proposed re-lock is a bounded tap walk (cycles ~ taps moved);\n"
+      "the conventional re-lock re-fills its shift register from zero, so\n"
+      "its cycle count tracks the register length.  Severities the line\n"
+      "cannot absorb exhaust the attempts and degrade instead (ladder\n"
+      "level in the last column: 1 = frozen tap, 2 = coarse, 3 = counter).\n");
+  report.write();
+  return 0;
+}

@@ -89,6 +89,12 @@ class DigitallyControlledBuck {
   void set_reference_v(double vref);
   double reference_v() const noexcept { return adc_.params().vref; }
 
+  /// Observer called once per period with the sample just recorded (after
+  /// the plant ran the period).  A lock supervisor hooks its duty-error
+  /// watchdog here; replaces any previous observer, empty disables.
+  using SampleObserver = std::function<void(const LoopSample&)>;
+  void set_sample_observer(SampleObserver observer);
+
  private:
   analog::BuckConverter plant_;
   analog::WindowAdc adc_;
@@ -96,6 +102,7 @@ class DigitallyControlledBuck {
   dpwm::DpwmModel* dpwm_;
   std::vector<LoopSample> history_;
   std::uint64_t next_period_index_ = 0;
+  SampleObserver observer_;
 };
 
 }  // namespace ddl::control

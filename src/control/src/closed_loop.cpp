@@ -88,7 +88,14 @@ void DigitallyControlledBuck::run(std::uint64_t periods,
     sample.duty_word = duty_word;
     sample.load_a = load_a;
     history_.push_back(sample);
+    if (observer_) {
+      observer_(history_.back());
+    }
   }
+}
+
+void DigitallyControlledBuck::set_sample_observer(SampleObserver observer) {
+  observer_ = std::move(observer);
 }
 
 LoopMetrics DigitallyControlledBuck::metrics(std::uint64_t from,

@@ -64,8 +64,11 @@ class ProposedDpwmSystem final : public dpwm::DpwmModel {
   dpwm::PwmPeriod generate(sim::Time start, std::uint64_t duty) override;
 
   /// Runs the initial calibration to lock before generating.
-  /// Returns lock cycles, or nullopt if lock failed.
-  std::optional<std::uint64_t> calibrate(sim::Time at_time = 0);
+  /// Returns lock cycles, or nullopt if lock failed (or `max_cycles`
+  /// elapsed -- a supervisor re-locking against a possibly-dead line passes
+  /// a bound instead of walking the full default budget).
+  std::optional<std::uint64_t> calibrate(sim::Time at_time = 0,
+                                         std::uint64_t max_cycles = 1 << 20);
 
   /// Environment hook; defaults to a constant typical corner.
   void set_environment(EnvironmentSchedule schedule);
@@ -82,6 +85,17 @@ class ProposedDpwmSystem final : public dpwm::DpwmModel {
   /// The tap selector the mapper currently uses (filtered if enabled).
   std::size_t effective_tap_sel() const;
 
+  /// Calibration hold (the supervisor's freeze rung): while held, generate()
+  /// skips the per-cycle controller step, so the mapping stays pinned to
+  /// the current (typically restored last-good) tap.
+  void set_calibration_hold(bool hold) noexcept { calibration_hold_ = hold; }
+  bool calibration_hold() const noexcept { return calibration_hold_; }
+
+  /// Steps the system clock period (reference-clock drift / fault): both
+  /// the modulator period and the controller's lock target move together,
+  /// so the line must re-track.
+  void set_clock_period_ps(double period_ps);
+
   ProposedController& controller() { return controller_; }
   const ProposedController& controller() const { return controller_; }
   const DutyMapper& mapper() const { return mapper_; }
@@ -96,6 +110,7 @@ class ProposedDpwmSystem final : public dpwm::DpwmModel {
   EnvironmentSchedule environment_;
   double period_ps_double_;
   std::size_t filter_depth_ = 1;
+  bool calibration_hold_ = false;
   std::vector<std::size_t> tap_history_;  // Ring buffer, newest last.
 };
 
@@ -114,7 +129,15 @@ class ConventionalDpwmSystem final : public dpwm::DpwmModel {
 
   void set_environment(EnvironmentSchedule schedule);
 
+  /// Calibration hold and clock-period stepping: same contract as
+  /// ProposedDpwmSystem (see above).
+  void set_calibration_hold(bool hold) noexcept { calibration_hold_ = hold; }
+  bool calibration_hold() const noexcept { return calibration_hold_; }
+  void set_clock_period_ps(double period_ps);
+
+  ConventionalController& controller() { return controller_; }
   const ConventionalController& controller() const { return controller_; }
+  ConventionalDelayLine& line() { return *line_; }
   cells::OperatingPoint operating_point(sim::Time t) const {
     return environment_.at(t);
   }
@@ -124,6 +147,7 @@ class ConventionalDpwmSystem final : public dpwm::DpwmModel {
   ConventionalController controller_;
   EnvironmentSchedule environment_;
   double period_ps_double_;
+  bool calibration_hold_ = false;
   // Re-check cadence for continuous calibration: every generate() the
   // controller performs one update if the lock condition drifted away.
 };

@@ -64,6 +64,15 @@ class ConventionalController {
   /// shift register can only add delay, so overshoot forces a re-search).
   void reset();
 
+  /// Changes the period the line locks to (reference-clock step fault).
+  void set_clock_period_ps(double period_ps);
+
+  /// Stuck-shift-register fault: while frozen, step() observes but never
+  /// shifts or resets, and reset() leaves the register untouched.  The
+  /// conventional-scheme analogue of a stuck tap selector.
+  void set_register_frozen(bool frozen) noexcept { frozen_ = frozen; }
+  bool register_frozen() const noexcept { return frozen_; }
+
  private:
   /// The cell that receives the k-th increment under the configured order.
   std::size_t increment_target(std::size_t k) const;
@@ -73,6 +82,7 @@ class ConventionalController {
   LockingOrder order_;
   int cycles_per_update_;
   std::size_t shifts_ = 0;
+  bool frozen_ = false;
   LockStatus status_ = LockStatus::kSearching;
   // Line delay at the previous step; enables crossing detection (see
   // step()).  Negative = no previous observation.

@@ -73,6 +73,18 @@ class ConventionalDelayLine {
   /// shift-register initialisation).
   void reset_settings();
 
+  /// The full per-cell branch settings (the shift-register image); together
+  /// with `restore_settings` this lets a supervisor freeze and later revive
+  /// a known-good calibration.
+  const std::vector<int>& settings() const noexcept { return settings_; }
+  void restore_settings(const std::vector<int>& settings);
+
+  /// Fault injection (parity with ProposedDelayLine::inject_cell_fault):
+  /// multiplies every branch of cell `i` by `severity` -- a resistive via
+  /// or weak driver ahead of the branch mux degrades all of the cell's
+  /// paths alike.  Severity 1.0 is a no-op; faults compose multiplicatively.
+  void inject_cell_fault(std::size_t i, double severity);
+
   /// Delay of cell `i` at its current setting, ps.
   double cell_delay_ps(std::size_t i, const cells::OperatingPoint& op) const;
 

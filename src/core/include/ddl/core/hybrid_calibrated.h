@@ -49,15 +49,27 @@ class HybridCalibratedDpwm final : public dpwm::DpwmModel {
   /// Duty word layout: [msb: counter_bits][lsb: line_word_bits].
   dpwm::PwmPeriod generate(sim::Time start, std::uint64_t duty) override;
 
-  /// Locks the line to the fast-clock period.
-  std::optional<std::uint64_t> calibrate(sim::Time at_time = 0);
+  /// Locks the line to the fast-clock period.  `max_cycles` bounds the walk
+  /// (supervised re-lock attempts pass a small budget).
+  std::optional<std::uint64_t> calibrate(sim::Time at_time = 0,
+                                         std::uint64_t max_cycles = 1 << 20);
 
   void set_environment(EnvironmentSchedule schedule);
 
   sim::Time fast_clock_period_ps() const {
     return period_ >> counter_bits_;
   }
+
+  /// Calibration hold (supervisor freeze rung): generate() skips the
+  /// per-period controller step while held.
+  void set_calibration_hold(bool hold) noexcept { calibration_hold_ = hold; }
+  bool calibration_hold() const noexcept { return calibration_hold_; }
+
+  ProposedController& controller() { return controller_; }
   const ProposedController& controller() const { return controller_; }
+  cells::OperatingPoint operating_point(sim::Time t) const {
+    return environment_.at(t);
+  }
 
  private:
   const ProposedDelayLine* line_;
@@ -68,6 +80,7 @@ class HybridCalibratedDpwm final : public dpwm::DpwmModel {
   ProposedController controller_;
   DutyMapper mapper_;
   EnvironmentSchedule environment_;
+  bool calibration_hold_ = false;
 };
 
 }  // namespace ddl::core

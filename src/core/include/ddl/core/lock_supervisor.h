@@ -1,0 +1,243 @@
+// Lock supervision and graceful degradation for the calibrated DPWM
+// systems.
+//
+// The thesis's premise is that a delay line is only usable while its lock
+// tracks PVT drift; everything in this library up to here *measured* that
+// tracking but treated loss-of-lock as terminal.  The LockSupervisor closes
+// the gap: it wraps any calibrated system (proposed, conventional or
+// calibrated-hybrid) behind the ordinary dpwm::DpwmModel interface, watches
+// the calibration state every switching period, and drives a recovery state
+// machine when the lock goes bad:
+//
+//   Monitoring --(loss detected)--> Relocking --(attempt ok)--> Monitoring
+//        ^                              | (attempts exhausted)
+//        |                              v
+//        +---- (never: sticky) ---- Degraded: freeze -> coarse -> counter
+//
+// Loss detectors (first match names the event):
+//   * `at_limit`        the controller is pinned off the end of the line;
+//   * `tap_excursion`   tap position left the drift window around the
+//                       baseline captured at (re)lock;
+//   * `margin_collapse` the sampling margin stayed under a floor for a run
+//                       of periods (metastability exposure; off by default);
+//   * `duty_watchdog`   the closed loop reported a large ADC error for a
+//                       run of consecutive periods (fed via observe_error).
+//
+// Recovery: bounded full recalibrations with exponential backoff, the
+// mapping frozen at the last-good calibration between attempts.  A re-lock
+// that does not hold for `relock_stability_periods` is thrash, not
+// recovery; consecutive thrash rounds spend the same attempt budget.  When
+// the attempts are exhausted the supervisor walks a degradation ladder --
+// freeze last-good tap, widen the effective resolution (mask duty LSBs),
+// finally fall back to an internal counter DPWM (corner-immune, so
+// regulation survives even a dead line).  Degradation is sticky by design;
+// un-degrading is an explicit future-work item.
+//
+// Every transition emits a structured HealthEvent; the scenario layer
+// renders them as the health JSONL stream.  The supervisor is fully
+// deterministic: no clocks, no randomness -- byte-identical health streams
+// for any thread count.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "ddl/core/calibrated_dpwm.h"
+#include "ddl/core/hybrid_calibrated.h"
+#include "ddl/dpwm/behavioral.h"
+
+namespace ddl::core {
+
+/// Architecture-neutral view of a calibrated DPWM system: the handful of
+/// operations the supervisor needs, implemented per scheme by the
+/// `make_supervised` adapters below.
+class SupervisedSystem {
+ public:
+  virtual ~SupervisedSystem() = default;
+
+  /// The wrapped modulator (generate/period/bits pass through it).
+  virtual dpwm::DpwmModel& modulator() = 0;
+
+  virtual LockStatus lock_status() const = 0;
+
+  /// Scheme-specific calibration position: tap_sel for the proposed family,
+  /// total shift-register increments for the conventional line.
+  virtual std::size_t tap_position() const = 0;
+
+  /// Distance of the calibration point from its decision boundary, ps.
+  virtual double sampling_margin_ps(sim::Time at) const = 0;
+
+  /// Full re-calibration (reset + bounded lock walk) at simulated time
+  /// `at`.  Returns calibration cycles on success.
+  virtual std::optional<std::uint64_t> recalibrate(sim::Time at) = 0;
+
+  /// While held, the system's continuous calibration step is skipped.
+  virtual void hold_calibration(bool hold) = 0;
+
+  /// Snapshot / restore of the known-good calibration state (tap selector
+  /// or shift-register image).
+  virtual void capture_baseline() = 0;
+  virtual void restore_baseline() = 0;
+};
+
+std::unique_ptr<SupervisedSystem> make_supervised(ProposedDpwmSystem& system);
+std::unique_ptr<SupervisedSystem> make_supervised(
+    ConventionalDpwmSystem& system);
+std::unique_ptr<SupervisedSystem> make_supervised(HybridCalibratedDpwm& system);
+
+/// Detection thresholds and recovery policy.  Defaults suit the 1 MHz
+/// 6-bit scenario systems; see DESIGN.md "Lock supervision & fault model".
+struct SupervisorConfig {
+  /// Lock lost when |tap_position - baseline| exceeds this many positions.
+  std::size_t tap_drift_window = 6;
+  /// Margin-collapse floor in ps; 0 disables the detector (a locked
+  /// controller legitimately dithers close to the boundary).
+  double margin_floor_ps = 0.0;
+  /// Consecutive sub-floor periods before margin collapse fires.
+  std::uint64_t margin_periods = 8;
+  /// |ADC error code| >= this counts as a bad period for the watchdog.
+  int watchdog_error_code = 3;
+  /// Consecutive bad periods before the duty watchdog fires; the same run
+  /// length escalates the degradation ladder while degraded.
+  std::uint64_t watchdog_periods = 48;
+  /// Bounded re-lock: attempts before degrading.
+  int max_relock_attempts = 3;
+  /// Periods between attempts; doubles after every failure (backoff).
+  std::uint64_t relock_backoff_periods = 32;
+  /// A re-lock only counts as *stable* once the lock has held this many
+  /// periods.  Losing it sooner is thrash (the lock point is not actually
+  /// reachable -- e.g. a fault-widened step straddles the period); after
+  /// `max_relock_attempts` consecutive thrash rounds the supervisor
+  /// degrades instead of relocking forever.
+  std::uint64_t relock_stability_periods = 64;
+  /// Duty LSBs masked at the coarse-resolution rung.
+  int coarse_resolution_loss_bits = 2;
+  /// Whether the ladder may end at the internal counter DPWM.
+  bool counter_fallback = true;
+};
+
+enum class SupervisorState {
+  kMonitoring,  ///< Healthy: delegate and watch.
+  kRelocking,   ///< Loss detected: bounded re-lock attempts with backoff.
+  kDegraded,    ///< Attempts exhausted: on the degradation ladder.
+};
+
+/// The degradation ladder, worst last.  Values are stable (JSONL schema).
+enum class DegradationLevel : int {
+  kNone = 0,
+  kFrozenTap = 1,          ///< Mapping pinned to the last-good calibration.
+  kCoarseResolution = 2,   ///< Duty LSBs masked (wider effective LSB).
+  kCounterFallback = 3,    ///< Internal counter DPWM carries the loop.
+};
+
+enum class HealthEventKind {
+  kLockLost,
+  kRelockAttempt,
+  kRelocked,
+  kRelockFailed,
+  kDegraded,
+};
+
+std::string_view to_string(SupervisorState state) noexcept;
+std::string_view to_string(DegradationLevel level) noexcept;
+std::string_view to_string(HealthEventKind kind) noexcept;
+
+/// One supervision transition, stamped with the switching period it
+/// happened on.  `detail` names the detector (lock lost) or the ladder
+/// rung (degraded); re-lock events carry their latency.
+struct HealthEvent {
+  std::uint64_t period = 0;
+  HealthEventKind kind = HealthEventKind::kLockLost;
+  std::string detail;
+  std::uint64_t tap_position = 0;
+  std::uint64_t relock_latency_periods = 0;  ///< kRelocked only.
+  std::uint64_t relock_cycles = 0;           ///< kRelocked only.
+  int degradation = 0;                       ///< Level after the event.
+};
+
+/// The supervisor itself: a dpwm::DpwmModel, so the closed loop regulates
+/// *through* it unchanged.  Wire `observe_error` to the loop's per-period
+/// sample hook to arm the duty watchdog.
+class LockSupervisor final : public dpwm::DpwmModel {
+ public:
+  /// The system must already be calibrated (locked); the constructor
+  /// captures the lock baseline.  `system` must outlive the supervisor.
+  LockSupervisor(SupervisedSystem& system, SupervisorConfig config = {});
+
+  sim::Time period_ps() const override { return system_->modulator().period_ps(); }
+  int bits() const override { return system_->modulator().bits(); }
+
+  /// One switching period: run any scheduled recovery action, produce the
+  /// pulse (through the inner system, coarse-masked or via the counter
+  /// fallback when degraded), then run the loss detectors.
+  dpwm::PwmPeriod generate(sim::Time start, std::uint64_t duty) override;
+
+  /// Duty-error watchdog hook: call once per period with the ADC error
+  /// code the closed loop just observed.  The watchdog arms on the first
+  /// in-threshold period, so a soft-start slew (large error while vout
+  /// first climbs to the target) never counts as a loss -- only a
+  /// good-to-bad transition does.
+  void observe_error(int error_code);
+
+  SupervisorState state() const noexcept { return state_; }
+  DegradationLevel degradation() const noexcept { return degradation_; }
+  const std::vector<HealthEvent>& events() const noexcept { return events_; }
+
+  std::uint64_t lock_losses() const noexcept { return lock_losses_; }
+  std::uint64_t relocks() const noexcept { return relocks_; }
+  std::uint64_t max_relock_latency_periods() const noexcept {
+    return max_relock_latency_periods_;
+  }
+  std::size_t baseline_tap() const noexcept { return baseline_tap_; }
+
+  const SupervisorConfig& config() const noexcept { return config_; }
+
+ private:
+  /// First tripped detector, or nullptr while healthy.
+  const char* detect_loss(sim::Time now);
+  void enter_relocking(std::uint64_t period, const char* reason);
+  void attempt_relock(std::uint64_t period, sim::Time at);
+  void degrade(std::uint64_t period, DegradationLevel level);
+  std::uint64_t coarse_mask() const;
+
+  SupervisedSystem* system_;
+  SupervisorConfig config_;
+
+  SupervisorState state_ = SupervisorState::kMonitoring;
+  DegradationLevel degradation_ = DegradationLevel::kNone;
+  std::vector<HealthEvent> events_;
+
+  std::uint64_t period_index_ = 0;
+  std::size_t baseline_tap_ = 0;
+
+  // Watchdog / margin streaks.  The watchdog stays disarmed until the loop
+  // has regulated within threshold at least once (see observe_error).
+  bool watchdog_armed_ = false;
+  std::uint64_t bad_error_streak_ = 0;
+  std::uint64_t low_margin_streak_ = 0;
+
+  // Relocking bookkeeping.
+  int attempts_ = 0;
+  std::uint64_t cooldown_ = 0;
+  std::uint64_t lock_lost_period_ = 0;
+
+  // Thrash tracking: consecutive losses within the stability window of the
+  // preceding re-lock.
+  bool relock_recent_ = false;
+  std::uint64_t last_relock_period_ = 0;
+  int thrash_rounds_ = 0;
+
+  // Aggregates.
+  std::uint64_t lock_losses_ = 0;
+  std::uint64_t relocks_ = 0;
+  std::uint64_t max_relock_latency_periods_ = 0;
+
+  // Built on first use; carries the loop once the ladder bottoms out.
+  std::unique_ptr<dpwm::CounterDpwm> fallback_;
+};
+
+}  // namespace ddl::core

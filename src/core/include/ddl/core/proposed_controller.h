@@ -19,6 +19,7 @@
 
 #include <cstdint>
 #include <optional>
+#include <string_view>
 
 #include "ddl/core/proposed_line.h"
 
@@ -28,10 +29,14 @@ namespace ddl::core {
 enum class LockStatus {
   kSearching,  ///< Still walking toward the half-period tap.
   kLocked,     ///< up/down is toggling around the half-period tap.
-  kAtLimit,    ///< Hit the end of the line without locking (line too fast /
-               ///< too short for this period -- a design error the worst-case
-               ///< sizing is meant to exclude).
+  kAtLimit,    ///< Pinned at the end of the line: the half-period point lies
+               ///< outside the line at the current period/corner.  An
+               ///< observable *condition*, not a latch -- if the period or
+               ///< the environment moves the lock point back inside the
+               ///< line, step() resumes the search from the clamped tap.
 };
+
+std::string_view to_string(LockStatus status) noexcept;
 
 /// Behavioral model of the proposed controller (Figure 46).
 ///
@@ -58,6 +63,26 @@ class ProposedController {
   std::size_t tap_sel() const noexcept { return tap_sel_; }
 
   double clock_period_ps() const noexcept { return period_ps_; }
+
+  /// Changes the period the line locks to (a reference-clock step, or a
+  /// scheduled clock-period fault).  The controller keeps its state and
+  /// simply tracks toward the new half-period point -- including walking
+  /// back off a kAtLimit clamp when the new period makes lock feasible.
+  void set_clock_period_ps(double period_ps);
+
+  /// Restores a known-good lock point (the supervisor's freeze rung): jumps
+  /// tap_sel to `tap` and marks the controller locked, as if calibration
+  /// had just converged there.
+  void restore_lock(std::size_t tap);
+
+  /// Stuck-at-tap fault injection: while forced, the tap selector reads
+  /// `tap` and step() never moves it (a stuck mux/flop).  The lock status
+  /// is left as-is -- the fault is silent, which is what makes it a
+  /// supervision test case.  `release_forced_tap()` resumes the search from
+  /// the stuck position.
+  void force_tap(std::size_t tap);
+  void release_forced_tap();
+  bool tap_forced() const noexcept { return forced_; }
 
   /// What the comparison flop would sample for the current tap_sel: true if
   /// the tap's delayed clock reads high at the rising clock edge, i.e. the
@@ -88,6 +113,7 @@ class ProposedController {
   int last_direction_ = 0;  // +1 up, -1 down, 0 unknown.
   int hysteresis_ = 1;
   int consecutive_same_direction_ = 0;
+  bool forced_ = false;
 };
 
 /// The mapping block (Figure 49 / Eq 18).

@@ -47,10 +47,11 @@ void ProposedDpwmSystem::set_environment(EnvironmentSchedule schedule) {
   environment_ = std::move(schedule);
 }
 
-std::optional<std::uint64_t> ProposedDpwmSystem::calibrate(sim::Time at_time) {
+std::optional<std::uint64_t> ProposedDpwmSystem::calibrate(
+    sim::Time at_time, std::uint64_t max_cycles) {
   controller_.reset();
   tap_history_.clear();
-  return controller_.run_to_lock(environment_.at(at_time));
+  return controller_.run_to_lock(environment_.at(at_time), max_cycles);
 }
 
 void ProposedDpwmSystem::set_tap_filter_depth(std::size_t depth) {
@@ -90,9 +91,20 @@ dpwm::PwmPeriod ProposedDpwmSystem::generate(sim::Time start,
       sim::from_ps(line_->tap_delay_ps(tap, op)), out.period_ps);
   // Continuous calibration: the controller takes one step per clock cycle,
   // tracking drift while the modulator runs (section 3.2.2: "the calibration
-  // process is done continuously even after locking").
-  controller_.step(op);
+  // process is done continuously even after locking") -- unless a
+  // supervisor froze the lock point.
+  if (!calibration_hold_) {
+    controller_.step(op);
+  }
   return out;
+}
+
+void ProposedDpwmSystem::set_clock_period_ps(double period_ps) {
+  if (period_ps <= 0.0) {
+    throw std::invalid_argument("ProposedDpwmSystem: period must be positive");
+  }
+  period_ps_double_ = period_ps;
+  controller_.set_clock_period_ps(period_ps);
 }
 
 ConventionalDpwmSystem::ConventionalDpwmSystem(ConventionalDelayLine& line,
@@ -137,8 +149,19 @@ dpwm::PwmPeriod ConventionalDpwmSystem::generate(sim::Time start,
   // The conventional controller also re-checks continuously, but each
   // update costs cycles_per_update cycles; one update per generated period
   // is the natural cadence.
-  controller_.step(op);
+  if (!calibration_hold_) {
+    controller_.step(op);
+  }
   return out;
+}
+
+void ConventionalDpwmSystem::set_clock_period_ps(double period_ps) {
+  if (period_ps <= 0.0) {
+    throw std::invalid_argument(
+        "ConventionalDpwmSystem: period must be positive");
+  }
+  period_ps_double_ = period_ps;
+  controller_.set_clock_period_ps(period_ps);
 }
 
 }  // namespace ddl::core

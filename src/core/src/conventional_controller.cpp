@@ -75,6 +75,15 @@ std::size_t ConventionalController::increment_target(std::size_t k) const {
 }
 
 LockStatus ConventionalController::step(const cells::OperatingPoint& op) {
+  if (frozen_) {
+    // Stuck register: the comparison still runs, only the register cannot
+    // move.  Report what the comparator actually sees -- a supervisor must
+    // not be fooled by a kLocked left over from before the fault.
+    previous_line_delay_ = line_->line_delay_ps(op);
+    status_ = is_lock_condition_met(op) ? LockStatus::kLocked
+                                        : LockStatus::kSearching;
+    return status_;
+  }
   const double line_delay = line_->line_delay_ps(op);
   const double element =
       line_->nominal_element_delay_ps() * cells::delay_derating(op);
@@ -152,10 +161,19 @@ std::optional<std::uint64_t> ConventionalController::run_to_lock(
 }
 
 void ConventionalController::reset() {
+  if (frozen_) {
+    return;  // A stuck register survives a reset; only the fault clearing
+             // can revive it.
+  }
   line_->reset_settings();
   shifts_ = 0;
   status_ = LockStatus::kSearching;
   previous_line_delay_ = -1.0;
+}
+
+void ConventionalController::set_clock_period_ps(double period_ps) {
+  assert(period_ps > 0.0);
+  period_ps_ = period_ps;
 }
 
 }  // namespace ddl::core

@@ -78,6 +78,29 @@ void ConventionalDelayLine::reset_settings() {
   settings_.assign(config_.num_cells, 0);
 }
 
+void ConventionalDelayLine::restore_settings(const std::vector<int>& settings) {
+  if (settings.size() != config_.num_cells) {
+    throw std::invalid_argument(
+        "ConventionalDelayLine: settings snapshot size mismatch");
+  }
+  for (std::size_t i = 0; i < settings.size(); ++i) {
+    set_setting(i, settings[i]);
+  }
+}
+
+void ConventionalDelayLine::inject_cell_fault(std::size_t i, double severity) {
+  if (i >= config_.num_cells) {
+    throw std::out_of_range("ConventionalDelayLine: fault victim out of range");
+  }
+  if (severity <= 0.0) {
+    throw std::invalid_argument(
+        "ConventionalDelayLine: fault severity must be positive");
+  }
+  for (double& branch : branch_typical_ps_[i]) {
+    branch *= severity;
+  }
+}
+
 double ConventionalDelayLine::cell_delay_ps(
     std::size_t i, const cells::OperatingPoint& op) const {
   assert(i < config_.num_cells);

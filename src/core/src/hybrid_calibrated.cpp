@@ -53,9 +53,9 @@ void HybridCalibratedDpwm::set_environment(EnvironmentSchedule schedule) {
 }
 
 std::optional<std::uint64_t> HybridCalibratedDpwm::calibrate(
-    sim::Time at_time) {
+    sim::Time at_time, std::uint64_t max_cycles) {
   controller_.reset();
-  return controller_.run_to_lock(environment_.at(at_time));
+  return controller_.run_to_lock(environment_.at(at_time), max_cycles);
 }
 
 dpwm::PwmPeriod HybridCalibratedDpwm::generate(sim::Time start,
@@ -77,7 +77,9 @@ dpwm::PwmPeriod HybridCalibratedDpwm::generate(sim::Time start,
           sim::from_ps(line_->tap_delay_ps(tap, op)),
       period_);
   // Continuous calibration, one controller step per switching period.
-  controller_.step(op);
+  if (!calibration_hold_) {
+    controller_.step(op);
+  }
   return out;
 }
 

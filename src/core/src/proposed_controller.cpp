@@ -7,6 +7,18 @@
 
 namespace ddl::core {
 
+std::string_view to_string(LockStatus status) noexcept {
+  switch (status) {
+    case LockStatus::kSearching:
+      return "searching";
+    case LockStatus::kLocked:
+      return "locked";
+    case LockStatus::kAtLimit:
+      return "at_limit";
+  }
+  return "unknown";
+}
+
 ProposedController::ProposedController(const ProposedDelayLine& line,
                                        double clock_period_ps)
     : line_(&line), period_ps_(clock_period_ps) {
@@ -36,6 +48,31 @@ double ProposedController::sampling_margin_ps(
 LockStatus ProposedController::step(const cells::OperatingPoint& op) {
   const bool tap_high = sampled_tap(op);
   const int direction = tap_high ? -1 : +1;  // high -> too long -> down.
+
+  // Stuck-at-tap fault: the selector flop never updates.  The comparison
+  // still happens (the fault is silent to the controller itself).
+  if (forced_) {
+    last_direction_ = direction;
+    return status_;
+  }
+
+  // Clamp-and-reverse out of kAtLimit: while the sampled direction keeps
+  // pushing off the line the selector stays pinned at the boundary; the
+  // moment the period or the environment moves the half-period point back
+  // inside the line the search resumes.  Stale toggle evidence from before
+  // the excursion is discarded -- a reversal at the clamp means the lock
+  // point crossed the boundary, not that tap_sel straddles it.
+  if (status_ == LockStatus::kAtLimit) {
+    const bool outward = (direction > 0 && tap_sel_ + 1 >= line_->size()) ||
+                         (direction < 0 && tap_sel_ == 0);
+    if (outward) {
+      last_direction_ = direction;
+      return status_;
+    }
+    status_ = LockStatus::kSearching;
+    last_direction_ = 0;
+    consecutive_same_direction_ = 0;
+  }
 
   // Toggling direction means tap_sel straddles the half-period point.
   if (last_direction_ != 0 && direction != last_direction_) {
@@ -89,7 +126,50 @@ std::optional<std::uint64_t> ProposedController::run_to_lock(
 }
 
 void ProposedController::reset() {
-  tap_sel_ = 0;
+  // A stuck selector survives a power-on reset -- that is what makes it a
+  // fault: recalibration cannot move it, only clearing the fault can.
+  if (!forced_) {
+    tap_sel_ = 0;
+  }
+  status_ = LockStatus::kSearching;
+  last_direction_ = 0;
+  consecutive_same_direction_ = 0;
+}
+
+void ProposedController::set_clock_period_ps(double period_ps) {
+  if (period_ps <= 0.0) {
+    throw std::invalid_argument("ProposedController: period must be positive");
+  }
+  period_ps_ = period_ps;
+}
+
+void ProposedController::restore_lock(std::size_t tap) {
+  if (tap >= line_->size()) {
+    throw std::out_of_range("ProposedController: restore tap out of range");
+  }
+  // A stuck selector cannot be moved by a restore any more than by a reset;
+  // the status still flips so the caller's bookkeeping stays coherent.
+  if (!forced_) {
+    tap_sel_ = tap;
+  }
+  status_ = LockStatus::kLocked;
+  last_direction_ = 0;
+  consecutive_same_direction_ = 0;
+}
+
+void ProposedController::force_tap(std::size_t tap) {
+  if (tap >= line_->size()) {
+    throw std::out_of_range("ProposedController: forced tap out of range");
+  }
+  tap_sel_ = tap;
+  forced_ = true;
+}
+
+void ProposedController::release_forced_tap() {
+  if (!forced_) {
+    return;
+  }
+  forced_ = false;
   status_ = LockStatus::kSearching;
   last_direction_ = 0;
   consecutive_same_direction_ = 0;

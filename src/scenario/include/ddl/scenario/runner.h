@@ -38,9 +38,21 @@ struct ScenarioResult {
   // Verdict.
   bool pass = false;
   std::string failure_reason;  ///< Empty when pass; else the first failed
-                               ///< check: no_lock, unexpected_lock,
+                               ///< check: invalid_spec, no_lock,
+                               ///< unexpected_lock, lock_loss_undetected,
+                               ///< no_recovery, relock_too_slow,
+                               ///< insufficient_degradation,
                                ///< transition_unsettled, regulation_error,
                                ///< limit_cycle, never_settled.
+  std::string failure_detail;  ///< Extra context (invalid_spec messages).
+
+  // Supervision (zero/empty unless the spec enabled it).
+  bool supervised = false;
+  std::uint64_t lock_losses = 0;
+  std::uint64_t relocks = 0;
+  std::uint64_t relock_latency_max = 0;
+  int degradation_level = 0;  ///< Final core::DegradationLevel.
+  std::vector<core::HealthEvent> health;  ///< Full event stream.
 
   // Steady-state window metrics (zero when calibration failed).
   control::LoopMetrics metrics;
@@ -54,11 +66,16 @@ struct ScenarioResult {
 };
 
 /// Renders one result as a flat ordered JsonObject (the JSONL record
-/// schema; see DESIGN.md "Scenario engine").
+/// schema; see DESIGN.md "Scenario engine").  Health events appear only as
+/// a count here; the full stream renders via `health_to_json`.
 analysis::JsonObject to_json(const ScenarioResult& result);
 
 /// One result as a single JSONL line (no trailing newline).
 std::string to_json_line(const ScenarioResult& result);
+
+/// One health event as a flat JsonObject, tagged with its scenario.
+analysis::JsonObject health_to_json(const ScenarioResult& result,
+                                    const core::HealthEvent& event);
 
 /// Everything a single run produces -- the full telemetry for examples and
 /// debugging, not just the verdict.
@@ -96,6 +113,11 @@ class ScenarioRunner {
 
   /// The results as a JSONL document (one object per line, spec order).
   static std::string jsonl(const std::vector<ScenarioResult>& results);
+
+  /// The health-event streams of every supervised result as a JSONL
+  /// document (spec order, then event order).  Same determinism contract
+  /// as `jsonl`: byte-identical for any thread count.
+  static std::string health_jsonl(const std::vector<ScenarioResult>& results);
 
   std::size_t threads() const noexcept { return threads_; }
 

@@ -18,6 +18,7 @@
 #include "ddl/cells/operating_point.h"
 #include "ddl/control/closed_loop.h"
 #include "ddl/control/dvfs.h"
+#include "ddl/core/lock_supervisor.h"
 
 namespace ddl::scenario {
 
@@ -59,20 +60,59 @@ struct LoadSpec {
   std::string_view kind_name() const noexcept;
 };
 
-/// A single degraded delay cell (resistive via / weak driver) injected into
-/// the calibrated line before calibration.  Applies to the proposed and
-/// hybrid architectures; severity 1.0 disables the fault.
+/// One scheduled fault.  A scenario carries a *plan* (vector of these);
+/// each fault names its kind, victim, strength, and when during the run it
+/// strikes and (optionally) clears.
 struct FaultSpec {
-  std::size_t victim_cell = 0;
-  double severity = 1.0;  ///< Delay multiplier on the victim cell.
+  enum class Kind {
+    kDelayCell,        ///< Victim cell's delay multiplied by `severity`
+                       ///< (resistive via / weak driver).  Clearing divides
+                       ///< it back out.  All delay-line architectures.
+    kStuckTap,         ///< Proposed/hybrid: tap selector stuck at
+                       ///< `victim_cell`; conventional: shift register
+                       ///< frozen in place.  Clearing releases the search.
+    kClockPeriodStep,  ///< Reference clock period multiplied by `severity`
+                       ///< (clock-tree fault / DVFS reference step the line
+                       ///< must re-track).  Proposed and conventional only.
+  };
 
-  bool active() const noexcept { return severity != 1.0; }
+  Kind kind = Kind::kDelayCell;
+  std::size_t victim_cell = 0;  ///< Cell / stuck tap index (kind-dependent).
+  double severity = 1.0;        ///< Delay or period multiplier.
+  /// Switching period the fault strikes on; 0 = present from power-on
+  /// (injected before calibration).
+  std::uint64_t at_period = 0;
+  /// Switching period the fault clears on; 0 = permanent.
+  std::uint64_t clear_period = 0;
+
+  bool active() const noexcept {
+    return kind == Kind::kStuckTap || severity != 1.0;
+  }
+  bool runtime() const noexcept { return at_period > 0 || clear_period > 0; }
+  std::string_view kind_name() const noexcept;
+
+  static FaultSpec delay_cell(std::size_t victim, double severity,
+                              std::uint64_t at_period = 0,
+                              std::uint64_t clear_period = 0);
+  static FaultSpec stuck_tap(std::size_t tap, std::uint64_t at_period,
+                             std::uint64_t clear_period = 0);
+  static FaultSpec clock_period_step(double factor, std::uint64_t at_period,
+                                     std::uint64_t clear_period = 0);
+};
+
+/// Lock supervision: when enabled the runner wraps the calibrated system in
+/// a core::LockSupervisor (detection thresholds and recovery policy come
+/// from `config`) and records its health events alongside the result.
+struct SupervisionSpec {
+  bool enabled = false;
+  core::SupervisorConfig config;
 };
 
 /// The complete declarative scenario.
 struct ScenarioSpec {
   std::string name;    ///< Unique id: "<family>/<arch>/<corner>/<variant>".
-  std::string family;  ///< regulation | transient | dvfs | pvt | fault.
+  std::string family;  ///< regulation | transient | dvfs | pvt | fault |
+                       ///< recovery.
 
   // --- System under test -------------------------------------------------
   Architecture architecture = Architecture::kProposed;
@@ -80,7 +120,8 @@ struct ScenarioSpec {
   int resolution_bits = 6;   ///< Guaranteed DPWM resolution (DesignSpec).
   int counter_bits = 7;      ///< Hybrid only: MSBs taken by the counter.
   std::uint64_t seed = 1;    ///< Die mismatch + workload seed.
-  FaultSpec fault;           ///< Proposed/hybrid only.
+  std::vector<FaultSpec> faults;  ///< Fault plan (power-on and scheduled).
+  SupervisionSpec supervision;    ///< Lock supervision (recovery family).
 
   // --- Environment -------------------------------------------------------
   cells::OperatingPoint corner;
@@ -111,9 +152,38 @@ struct ScenarioSpec {
   /// sub-LSB dither at fine word widths is not a failure.
   double limit_cycle_stddev_v = 0.010;
 
+  // --- Recovery verdicts (checked only when supervision is enabled) ------
+  /// The supervisor must have detected at least this many lock losses
+  /// (0 = unchecked).  Fails as `lock_loss_undetected`.
+  std::uint64_t expect_min_lock_losses = 0;
+  /// At least one successful re-lock is required.  Fails as `no_recovery`.
+  bool expect_relock = false;
+  /// Worst observed re-lock latency must not exceed this many periods
+  /// (0 = unchecked).  Fails as `relock_too_slow`.
+  std::uint64_t max_relock_latency_periods = 0;
+  /// Final degradation level must reach at least this rung (0 = unchecked;
+  /// values are core::DegradationLevel).  Fails as
+  /// `insufficient_degradation`.
+  int expect_min_degradation = 0;
+
   /// The regulation target the steady-state window is judged against: the
   /// last DVFS mode's vref, or `vref_v` when the schedule is empty.
   double final_vref_v() const noexcept;
+
+  /// Delay-line cells the named architecture will be sized with (what
+  /// fault victims are validated against) -- the same DesignCalculator
+  /// sizing the runner uses.  0 when there is no line (counter baseline)
+  /// or the sizing itself is infeasible.
+  std::size_t expected_line_cells() const;
 };
+
+/// Cross-field validation the type system cannot express: fault victims in
+/// range for the sized line, severities positive, schedules ordered and
+/// inside the run, supervision knobs meaningful for the architecture.
+/// Returns human-readable messages, each prefixed with the scenario name;
+/// empty means valid.  The registry validates every built-in suite at
+/// expansion; run_scenario() turns a non-empty result into a structured
+/// `invalid_spec` failure instead of throwing mid-run.
+std::vector<std::string> validate(const ScenarioSpec& spec);
 
 }  // namespace ddl::scenario

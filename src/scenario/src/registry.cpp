@@ -354,7 +354,7 @@ std::vector<ScenarioSpec> fault_family() {
           "cell" + std::to_string(victim) + "x" +
               std::to_string(static_cast<int>(severity)),
           seed++);
-      spec.fault = FaultSpec{victim, severity};
+      spec.faults = {FaultSpec::delay_cell(victim, severity)};
       spec.load = LoadSpec::constant(0.5);
       relax_for_coarse_dpwm(spec, 0.06);
       specs.push_back(spec);
@@ -366,14 +366,14 @@ std::vector<ScenarioSpec> fault_family() {
     // indistinguishable from a healthy die.
     ScenarioSpec beyond = base_spec("fault", Architecture::kProposed, typical,
                                     "cell200x10-beyond-lock", seed++);
-    beyond.fault = FaultSpec{200, 10.0};
+    beyond.faults = {FaultSpec::delay_cell(200, 10.0)};
     beyond.load = LoadSpec::constant(0.5);
     relax_for_coarse_dpwm(beyond);
     specs.push_back(beyond);
 
     ScenarioSpec extreme = base_spec("fault", Architecture::kProposed, typical,
                                      "cell63x50-extreme", seed++);
-    extreme.fault = FaultSpec{63, 50.0};
+    extreme.faults = {FaultSpec::delay_cell(63, 50.0)};
     extreme.load = LoadSpec::constant(0.5);
     relax_for_coarse_dpwm(extreme, 0.08);
     specs.push_back(extreme);
@@ -381,9 +381,114 @@ std::vector<ScenarioSpec> fault_family() {
     ScenarioSpec hybrid = base_spec("fault", Architecture::kHybrid, typical,
                                     "cell31x4", seed++);
     make_hybrid13(hybrid);
-    hybrid.fault = FaultSpec{31, 4.0};
+    hybrid.faults = {FaultSpec::delay_cell(31, 4.0)};
     hybrid.load = LoadSpec::constant(0.5);
     specs.push_back(hybrid);
+  }
+  return specs;
+}
+
+/// Recovery suite: runtime faults against *supervised* systems.  Each
+/// scenario's verdict asserts the supervision story -- loss detected,
+/// re-lock latency bounded (or the degradation ladder walked) -- and then
+/// holds the loop to post-recovery regulation bounds over the steady-state
+/// window, which always starts after the last scheduled recovery action.
+std::vector<ScenarioSpec> recovery_family() {
+  std::vector<ScenarioSpec> specs;
+  std::uint64_t seed = 701;
+  const Corner typical{"typical", cells::OperatingPoint::typical()};
+
+  {
+    // A delay cell inside the locked range degrades 10x mid-run: the
+    // calibration tap walks out of the drift window, the supervisor calls
+    // the loss and re-locks onto the faulted line within a few periods.
+    ScenarioSpec spec = base_spec("recovery", Architecture::kProposed, typical,
+                                  "cell-fault-relock", seed++);
+    spec.faults = {FaultSpec::delay_cell(31, 10.0, 1200)};
+    spec.supervision.enabled = true;
+    spec.expect_min_lock_losses = 1;
+    spec.expect_relock = true;
+    spec.max_relock_latency_periods = 64;
+    spec.periods = 3000;
+    spec.measure_from = 2000;
+    spec.load = LoadSpec::constant(0.5);
+    relax_for_coarse_dpwm(spec, 0.06);
+    specs.push_back(spec);
+  }
+
+  {
+    // Same campaign on the conventional scheme (fault-injection parity):
+    // the lengthened line overshoots the period past the lock tolerance,
+    // the controller's drift response collapses the shift register, and
+    // the supervisor re-locks it against the faulted line.  (A milder
+    // fault stays inside the +-2-element lock tolerance and is, by
+    // design, not a loss.)
+    ScenarioSpec spec = base_spec("recovery", Architecture::kConventional,
+                                  typical, "cell-fault-relock", seed++);
+    spec.faults = {FaultSpec::delay_cell(31, 3.0, 1200)};
+    spec.supervision.enabled = true;
+    spec.expect_min_lock_losses = 1;
+    spec.expect_relock = true;
+    spec.max_relock_latency_periods = 64;
+    spec.periods = 3000;
+    spec.measure_from = 2000;
+    spec.load = LoadSpec::constant(0.4);
+    relax_for_coarse_dpwm(spec, 0.06);
+    specs.push_back(spec);
+  }
+
+  {
+    // Hybrid: the fine line re-locks against the fast clock while the
+    // counter MSBs keep the coarse edge -- recovery is invisible above
+    // the line's bit field.
+    ScenarioSpec spec = base_spec("recovery", Architecture::kHybrid, typical,
+                                  "cell-fault-relock", seed++);
+    make_hybrid13(spec);
+    spec.faults = {FaultSpec::delay_cell(10, 10.0, 1200)};
+    spec.supervision.enabled = true;
+    spec.expect_min_lock_losses = 1;
+    spec.expect_relock = true;
+    spec.max_relock_latency_periods = 64;
+    spec.periods = 3000;
+    spec.measure_from = 2000;
+    spec.load = LoadSpec::constant(0.4);
+    specs.push_back(spec);
+  }
+
+  {
+    // Reference clock steps +25% for 400 periods, then steps back: two
+    // lock losses (out and back), each re-tracked.
+    ScenarioSpec spec = base_spec("recovery", Architecture::kProposed, typical,
+                                  "clock-step-relock", seed++);
+    spec.faults = {FaultSpec::clock_period_step(1.25, 1200, 1600)};
+    spec.supervision.enabled = true;
+    spec.expect_min_lock_losses = 2;
+    spec.expect_relock = true;
+    spec.max_relock_latency_periods = 64;
+    spec.periods = 3000;
+    spec.measure_from = 2200;
+    spec.load = LoadSpec::constant(0.4);
+    relax_for_coarse_dpwm(spec, 0.06);
+    specs.push_back(spec);
+  }
+
+  {
+    // A stuck tap selector cannot be re-locked (the fault survives every
+    // recalibration), so the supervisor must exhaust its attempts and walk
+    // the full degradation ladder down to the counter fallback, which
+    // restores regulation for the steady-state window.
+    ScenarioSpec spec = base_spec("recovery", Architecture::kProposed, typical,
+                                  "stuck-tap-degrade", seed++);
+    spec.faults = {FaultSpec::stuck_tap(10, 1000)};
+    spec.supervision.enabled = true;
+    spec.expect_min_lock_losses = 1;
+    spec.expect_min_degradation =
+        static_cast<int>(core::DegradationLevel::kCounterFallback);
+    spec.periods = 3200;
+    spec.measure_from = 2400;
+    spec.load = LoadSpec::constant(0.4);
+    relax_for_coarse_dpwm(spec, 0.06);
+    specs.push_back(spec);
   }
   return specs;
 }
@@ -437,7 +542,7 @@ std::vector<ScenarioSpec> smoke_suite() {
 
   ScenarioSpec fault = base_spec("fault", Architecture::kProposed, typical,
                                  "cell31x4-smoke", seed++);
-  fault.fault = FaultSpec{31, 4.0};
+  fault.faults = {FaultSpec::delay_cell(31, 4.0)};
   fault.periods = 1600;
   fault.measure_from = 1100;
   fault.load = LoadSpec::constant(0.5);
@@ -449,7 +554,7 @@ std::vector<ScenarioSpec> smoke_suite() {
 std::vector<ScenarioSpec> regression_suite() {
   std::vector<ScenarioSpec> specs;
   for (auto family : {regulation_family, transient_family, dvfs_family,
-                      pvt_family, fault_family}) {
+                      pvt_family, fault_family, recovery_family}) {
     auto expanded = family();
     specs.insert(specs.end(), std::make_move_iterator(expanded.begin()),
                  std::make_move_iterator(expanded.end()));
@@ -467,6 +572,7 @@ const ScenarioRegistry& ScenarioRegistry::builtin() {
     registry->add_suite("dvfs", dvfs_family);
     registry->add_suite("pvt", pvt_family);
     registry->add_suite("fault", fault_family);
+    registry->add_suite("recovery", recovery_family);
     registry->add_suite("smoke", smoke_suite);
     registry->add_suite("regression", regression_suite);
     return registry;
@@ -507,7 +613,23 @@ std::vector<ScenarioSpec> ScenarioRegistry::expand(
     const std::string& suite) const {
   for (const auto& entry : suites_) {
     if (entry.first == suite) {
-      return entry.second();
+      std::vector<ScenarioSpec> specs = entry.second();
+      // Malformed specs surface here, at expansion, with their validation
+      // messages -- not as an out_of_range from deep inside a run.
+      std::string problems;
+      for (const ScenarioSpec& spec : specs) {
+        for (const std::string& message : validate(spec)) {
+          if (!problems.empty()) {
+            problems += "; ";
+          }
+          problems += message;
+        }
+      }
+      if (!problems.empty()) {
+        throw std::invalid_argument("ScenarioRegistry: suite '" + suite +
+                                    "' has invalid specs: " + problems);
+      }
+      return specs;
     }
   }
   throw std::invalid_argument("ScenarioRegistry: unknown suite '" + suite +

@@ -1,5 +1,6 @@
 #include "ddl/scenario/runner.h"
 
+#include <algorithm>
 #include <cmath>
 #include <memory>
 #include <utility>
@@ -12,20 +13,75 @@
 #include "ddl/core/calibrated_dpwm.h"
 #include "ddl/core/design_calculator.h"
 #include "ddl/core/hybrid_calibrated.h"
+#include "ddl/core/lock_supervisor.h"
 #include "ddl/dpwm/behavioral.h"
 
 namespace ddl::scenario {
 namespace {
 
 /// The system under test: whichever architecture the spec names, with the
-/// delay line kept alive alongside the DPWM that borrows it.
+/// delay line kept alive alongside the DPWM that borrows it.  The typed
+/// pointers alias `dpwm` so fault lowering and supervision can reach the
+/// scheme-specific hooks.
 struct BuiltSystem {
   std::unique_ptr<core::ProposedDelayLine> proposed_line;
   std::unique_ptr<core::ConventionalDelayLine> conventional_line;
   std::unique_ptr<dpwm::DpwmModel> dpwm;
+  core::ProposedDpwmSystem* proposed_sys = nullptr;
+  core::ConventionalDpwmSystem* conventional_sys = nullptr;
+  core::HybridCalibratedDpwm* hybrid_sys = nullptr;
+  double base_period_ps = 0.0;  ///< Pre-fault clock period (clear target).
   bool locked = false;
   std::uint64_t lock_cycles = 0;
 };
+
+/// Lowers one fault onto the built system.  `engage` applies the fault;
+/// false reverses it (delay multipliers divide back out, stuck selectors
+/// release, the clock period returns to its base value).
+void apply_fault(BuiltSystem& sys, const FaultSpec& fault, bool engage) {
+  switch (fault.kind) {
+    case FaultSpec::Kind::kDelayCell: {
+      const double factor = engage ? fault.severity : 1.0 / fault.severity;
+      if (sys.proposed_line) {
+        sys.proposed_line->inject_cell_fault(fault.victim_cell, factor);
+      } else if (sys.conventional_line) {
+        sys.conventional_line->inject_cell_fault(fault.victim_cell, factor);
+      }
+      break;
+    }
+    case FaultSpec::Kind::kStuckTap: {
+      if (sys.proposed_sys) {
+        engage ? sys.proposed_sys->controller().force_tap(fault.victim_cell)
+               : sys.proposed_sys->controller().release_forced_tap();
+      } else if (sys.hybrid_sys) {
+        engage ? sys.hybrid_sys->controller().force_tap(fault.victim_cell)
+               : sys.hybrid_sys->controller().release_forced_tap();
+      } else if (sys.conventional_sys) {
+        sys.conventional_sys->controller().set_register_frozen(engage);
+      }
+      break;
+    }
+    case FaultSpec::Kind::kClockPeriodStep: {
+      const double period =
+          engage ? sys.base_period_ps * fault.severity : sys.base_period_ps;
+      if (sys.proposed_sys) {
+        sys.proposed_sys->set_clock_period_ps(period);
+      } else if (sys.conventional_sys) {
+        sys.conventional_sys->set_clock_period_ps(period);
+      }
+      break;
+    }
+  }
+}
+
+/// Faults present from power-on (injected before calibration).
+void apply_power_on_faults(BuiltSystem& sys, const ScenarioSpec& spec) {
+  for (const FaultSpec& fault : spec.faults) {
+    if (fault.at_period == 0 && fault.active()) {
+      apply_fault(sys, fault, true);
+    }
+  }
+}
 
 core::EnvironmentSchedule environment_for(const ScenarioSpec& spec,
                                           sim::Time period_ps) {
@@ -67,13 +123,12 @@ BuiltSystem build_system(const ScenarioSpec& spec,
           core::DesignSpec{spec.clock_mhz, spec.resolution_bits});
       sys.proposed_line = std::make_unique<core::ProposedDelayLine>(
           tech, design.line, spec.seed);
-      if (spec.fault.active()) {
-        sys.proposed_line->inject_cell_fault(spec.fault.victim_cell,
-                                             spec.fault.severity);
-      }
       auto dpwm = std::make_unique<core::ProposedDpwmSystem>(
           *sys.proposed_line, period_ps);
+      sys.proposed_sys = dpwm.get();
+      sys.base_period_ps = period_ps;
       dpwm->set_environment(environment_for(spec, dpwm->period_ps()));
+      apply_power_on_faults(sys, spec);
       if (const auto cycles = dpwm->calibrate()) {
         sys.locked = true;
         sys.lock_cycles = *cycles;
@@ -89,7 +144,10 @@ BuiltSystem build_system(const ScenarioSpec& spec,
           tech, design.line, spec.seed);
       auto dpwm = std::make_unique<core::ConventionalDpwmSystem>(
           *sys.conventional_line, period_ps);
+      sys.conventional_sys = dpwm.get();
+      sys.base_period_ps = period_ps;
       dpwm->set_environment(environment_for(spec, dpwm->period_ps()));
+      apply_power_on_faults(sys, spec);
       if (const auto cycles = dpwm->calibrate()) {
         sys.locked = true;
         sys.lock_cycles = *cycles;
@@ -103,10 +161,6 @@ BuiltSystem build_system(const ScenarioSpec& spec,
           tech, spec.clock_mhz, spec.resolution_bits, spec.counter_bits);
       sys.proposed_line = std::make_unique<core::ProposedDelayLine>(
           tech, design.line, spec.seed);
-      if (spec.fault.active()) {
-        sys.proposed_line->inject_cell_fault(spec.fault.victim_cell,
-                                             spec.fault.severity);
-      }
       // The switching period must divide into whole fast-clock ticks, so
       // round the tick and rebuild the period from it (a few ppm off the
       // requested f_sw, same as bench_hybrid_calibrated_13bit).
@@ -116,7 +170,10 @@ BuiltSystem build_system(const ScenarioSpec& spec,
           *sys.proposed_line, spec.counter_bits,
           spec.resolution_bits - spec.counter_bits,
           fast_tick << spec.counter_bits);
+      sys.hybrid_sys = dpwm.get();
+      sys.base_period_ps = period_ps;
       dpwm->set_environment(environment_for(spec, dpwm->period_ps()));
+      apply_power_on_faults(sys, spec);
       if (const auto cycles = dpwm->calibrate()) {
         sys.locked = true;
         sys.lock_cycles = *cycles;
@@ -161,6 +218,17 @@ ScenarioArtifacts run_scenario(const ScenarioSpec& spec) {
   result.periods = spec.periods;
   result.target_vref_v = spec.final_vref_v();
 
+  // A malformed spec becomes a structured failure, not an exception from
+  // deep inside the run (which would tear down the whole parallel batch).
+  if (const auto problems = validate(spec); !problems.empty()) {
+    result.failure_reason = "invalid_spec";
+    result.failure_detail = problems.front();
+    for (std::size_t i = 1; i < problems.size(); ++i) {
+      result.failure_detail += "; " + problems[i];
+    }
+    return artifacts;
+  }
+
   BuiltSystem sys = build_system(spec, tech);
   result.locked = sys.locked;
   result.lock_cycles = sys.lock_cycles;
@@ -179,19 +247,99 @@ ScenarioArtifacts run_scenario(const ScenarioSpec& spec) {
     return artifacts;
   }
 
+  // Supervision: wrap the calibrated system behind the supervisor so the
+  // loop regulates *through* it; the watchdog taps the per-period sample.
+  std::unique_ptr<core::SupervisedSystem> adapter;
+  std::unique_ptr<core::LockSupervisor> supervisor;
+  if (spec.supervision.enabled) {
+    if (sys.proposed_sys) {
+      adapter = core::make_supervised(*sys.proposed_sys);
+    } else if (sys.conventional_sys) {
+      adapter = core::make_supervised(*sys.conventional_sys);
+    } else if (sys.hybrid_sys) {
+      adapter = core::make_supervised(*sys.hybrid_sys);
+    }
+    supervisor =
+        std::make_unique<core::LockSupervisor>(*adapter, spec.supervision.config);
+    result.supervised = true;
+  }
+  dpwm::DpwmModel& modulator =
+      supervisor ? static_cast<dpwm::DpwmModel&>(*supervisor) : *sys.dpwm;
+
   const std::uint64_t full = (std::uint64_t{1} << sys.dpwm->bits()) - 1;
   control::DigitallyControlledBuck loop(
       analog::BuckConverter(analog::BuckParams{}),
       analog::WindowAdc(analog::WindowAdcParams{spec.vref_v, 10e-3, 7}),
       control::PidController(pid_for(sys.dpwm->bits()), full, full / 3),
-      *sys.dpwm);
+      modulator);
+  if (supervisor) {
+    core::LockSupervisor* hook = supervisor.get();
+    loop.set_sample_observer([hook](const control::LoopSample& sample) {
+      hook->observe_error(sample.error_code);
+    });
+  }
+
+  // Runtime fault schedule: inject/clear instants, period-ordered (ties
+  // resolve in fault order, clears before re-injections at the same
+  // instant).
+  struct FaultEvent {
+    std::uint64_t period = 0;
+    std::size_t index = 0;
+    bool engage = false;
+  };
+  std::vector<FaultEvent> fault_events;
+  for (std::size_t i = 0; i < spec.faults.size(); ++i) {
+    const FaultSpec& fault = spec.faults[i];
+    if (!fault.active()) {
+      continue;
+    }
+    if (fault.at_period > 0) {
+      fault_events.push_back({fault.at_period, i, true});
+    }
+    if (fault.clear_period > 0) {
+      fault_events.push_back({fault.clear_period, i, false});
+    }
+  }
+  std::sort(fault_events.begin(), fault_events.end(),
+            [](const FaultEvent& a, const FaultEvent& b) {
+              if (a.period != b.period) {
+                return a.period < b.period;
+              }
+              if (a.engage != b.engage) {
+                return !a.engage;  // Clears first.
+              }
+              return a.index < b.index;
+            });
 
   const control::LoadProfile load = spec.load.make(spec.seed);
   if (spec.dvfs.empty()) {
-    loop.run(spec.periods, load);
+    // Segment the run at each fault instant (the loop keeps its period
+    // counter across run() calls, so segmentation is invisible to the
+    // telemetry).
+    std::uint64_t done = 0;
+    for (const FaultEvent& event : fault_events) {
+      const std::uint64_t until = std::min(event.period, spec.periods);
+      if (until > done) {
+        loop.run(until - done, load);
+        done = until;
+      }
+      apply_fault(sys, spec.faults[event.index], event.engage);
+    }
+    if (spec.periods > done) {
+      loop.run(spec.periods - done, load);
+    }
   } else {
+    // validate() rejects runtime faults combined with DVFS schedules.
     control::VoltageModeManager manager(spec.dvfs, spec.settle_band_v);
     artifacts.transitions = manager.run(loop, spec.periods, load);
+  }
+
+  if (supervisor) {
+    result.lock_losses = supervisor->lock_losses();
+    result.relocks = supervisor->relocks();
+    result.relock_latency_max = supervisor->max_relock_latency_periods();
+    result.degradation_level = static_cast<int>(supervisor->degradation());
+    result.health = supervisor->events();
   }
 
   result.metrics = loop.metrics(spec.measure_from, spec.periods);
@@ -209,8 +357,21 @@ ScenarioArtifacts run_scenario(const ScenarioSpec& spec) {
                                : static_cast<std::int64_t>(settle);
   }
 
-  // Verdict: first failed check names the failure.
-  if (result.transitions_settled != result.transitions_total) {
+  // Verdict: first failed check names the failure.  The recovery checks
+  // lead -- a recovery scenario's point is the supervision story; the
+  // regulation checks then hold it to post-degradation bounds.
+  if (result.supervised && spec.expect_min_lock_losses > 0 &&
+      result.lock_losses < spec.expect_min_lock_losses) {
+    result.failure_reason = "lock_loss_undetected";
+  } else if (result.supervised && spec.expect_relock && result.relocks == 0) {
+    result.failure_reason = "no_recovery";
+  } else if (result.supervised && spec.max_relock_latency_periods > 0 &&
+             result.relock_latency_max > spec.max_relock_latency_periods) {
+    result.failure_reason = "relock_too_slow";
+  } else if (result.supervised &&
+             result.degradation_level < spec.expect_min_degradation) {
+    result.failure_reason = "insufficient_degradation";
+  } else if (result.transitions_settled != result.transitions_total) {
     result.failure_reason = "transition_unsettled";
   } else if (std::abs(result.metrics.mean_vout - result.target_vref_v) >
              spec.tolerance_v) {
@@ -244,6 +405,13 @@ analysis::JsonObject to_json(const ScenarioResult& result) {
   object.set("lock_cycles", result.lock_cycles);
   object.set("pass", result.pass);
   object.set("failure_reason", result.failure_reason);
+  object.set("failure_detail", result.failure_detail);
+  object.set("supervised", result.supervised);
+  object.set("lock_losses", result.lock_losses);
+  object.set("relocks", result.relocks);
+  object.set("relock_latency_max", result.relock_latency_max);
+  object.set("degradation_level", result.degradation_level);
+  object.set("health_events", static_cast<std::uint64_t>(result.health.size()));
   object.set("target_vref_v", result.target_vref_v);
   object.set("mean_vout", result.metrics.mean_vout);
   object.set("vout_stddev", result.metrics.vout_stddev);
@@ -262,6 +430,24 @@ analysis::JsonObject to_json(const ScenarioResult& result) {
 
 std::string to_json_line(const ScenarioResult& result) {
   return to_json(result).to_json_line();
+}
+
+analysis::JsonObject health_to_json(const ScenarioResult& result,
+                                    const core::HealthEvent& event) {
+  analysis::JsonObject object;
+  object.set("schema_version", analysis::kBenchJsonSchemaVersion);
+  object.set("scenario", result.name);
+  object.set("family", result.family);
+  object.set("architecture", std::string(to_string(result.architecture)));
+  object.set("seed", result.seed);
+  object.set("period", event.period);
+  object.set("event", std::string(core::to_string(event.kind)));
+  object.set("detail", event.detail);
+  object.set("tap_position", event.tap_position);
+  object.set("relock_latency_periods", event.relock_latency_periods);
+  object.set("relock_cycles", event.relock_cycles);
+  object.set("degradation", event.degradation);
+  return object;
 }
 
 SuiteSummary summarize(const std::vector<ScenarioResult>& results) {
@@ -306,6 +492,18 @@ std::string ScenarioRunner::jsonl(const std::vector<ScenarioResult>& results) {
   for (const ScenarioResult& result : results) {
     out += to_json_line(result);
     out += '\n';
+  }
+  return out;
+}
+
+std::string ScenarioRunner::health_jsonl(
+    const std::vector<ScenarioResult>& results) {
+  std::string out;
+  for (const ScenarioResult& result : results) {
+    for (const core::HealthEvent& event : result.health) {
+      out += health_to_json(result, event).to_json_line();
+      out += '\n';
+    }
   }
   return out;
 }

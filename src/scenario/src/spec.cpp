@@ -1,5 +1,11 @@
 #include "ddl/scenario/spec.h"
 
+#include <cmath>
+
+#include "ddl/cells/technology.h"
+#include "ddl/core/design_calculator.h"
+#include "ddl/core/hybrid_calibrated.h"
+
 namespace ddl::scenario {
 
 std::string_view to_string(Architecture architecture) noexcept {
@@ -83,8 +89,171 @@ std::string_view LoadSpec::kind_name() const noexcept {
   return "unknown";
 }
 
+std::string_view FaultSpec::kind_name() const noexcept {
+  switch (kind) {
+    case Kind::kDelayCell:
+      return "delay_cell";
+    case Kind::kStuckTap:
+      return "stuck_tap";
+    case Kind::kClockPeriodStep:
+      return "clock_period_step";
+  }
+  return "unknown";
+}
+
+FaultSpec FaultSpec::delay_cell(std::size_t victim, double severity,
+                                std::uint64_t at_period,
+                                std::uint64_t clear_period) {
+  FaultSpec fault;
+  fault.kind = Kind::kDelayCell;
+  fault.victim_cell = victim;
+  fault.severity = severity;
+  fault.at_period = at_period;
+  fault.clear_period = clear_period;
+  return fault;
+}
+
+FaultSpec FaultSpec::stuck_tap(std::size_t tap, std::uint64_t at_period,
+                               std::uint64_t clear_period) {
+  FaultSpec fault;
+  fault.kind = Kind::kStuckTap;
+  fault.victim_cell = tap;
+  fault.at_period = at_period;
+  fault.clear_period = clear_period;
+  return fault;
+}
+
+FaultSpec FaultSpec::clock_period_step(double factor, std::uint64_t at_period,
+                                       std::uint64_t clear_period) {
+  FaultSpec fault;
+  fault.kind = Kind::kClockPeriodStep;
+  fault.severity = factor;
+  fault.at_period = at_period;
+  fault.clear_period = clear_period;
+  return fault;
+}
+
 double ScenarioSpec::final_vref_v() const noexcept {
   return dvfs.empty() ? vref_v : dvfs.back().vref_v;
+}
+
+std::size_t ScenarioSpec::expected_line_cells() const {
+  const auto tech = cells::Technology::i32nm_class();
+  core::DesignCalculator calc(tech);
+  try {
+    switch (architecture) {
+      case Architecture::kCounter:
+        return 0;
+      case Architecture::kHybrid:
+        return core::size_hybrid_calibrated(tech, clock_mhz, resolution_bits,
+                                            counter_bits)
+            .line.num_cells;
+      case Architecture::kProposed:
+        return calc
+            .size_proposed(core::DesignSpec{clock_mhz, resolution_bits})
+            .line.num_cells;
+      case Architecture::kConventional:
+        return calc
+            .size_conventional(core::DesignSpec{clock_mhz, resolution_bits})
+            .line.num_cells;
+    }
+  } catch (const std::exception&) {
+    // Infeasible sizing: the runner will surface that on its own terms;
+    // victim-range validation simply has nothing to check against.
+    return 0;
+  }
+  return 0;
+}
+
+std::vector<std::string> validate(const ScenarioSpec& spec) {
+  std::vector<std::string> errors;
+  const auto error = [&](const std::string& message) {
+    errors.push_back(spec.name + ": " + message);
+  };
+
+  const std::size_t cells = spec.expected_line_cells();
+  for (std::size_t i = 0; i < spec.faults.size(); ++i) {
+    const FaultSpec& fault = spec.faults[i];
+    const std::string prefix =
+        "fault " + std::to_string(i) + " (" + std::string(fault.kind_name()) +
+        "): ";
+    if (!(fault.severity > 0.0) || !std::isfinite(fault.severity)) {
+      error(prefix + "severity must be a positive finite multiplier, got " +
+            std::to_string(fault.severity));
+    }
+    if (spec.architecture == Architecture::kCounter) {
+      error(prefix + "the counter baseline has no delay line to fault");
+      continue;
+    }
+    switch (fault.kind) {
+      case FaultSpec::Kind::kDelayCell:
+        if (cells > 0 && fault.victim_cell >= cells) {
+          error(prefix + "victim_cell " + std::to_string(fault.victim_cell) +
+                " out of range for the " + std::to_string(cells) +
+                "-cell line");
+        }
+        break;
+      case FaultSpec::Kind::kStuckTap:
+        // The conventional lowering freezes the whole register; the tap
+        // index only addresses the proposed-family selector.
+        if (spec.architecture != Architecture::kConventional && cells > 0 &&
+            fault.victim_cell >= cells) {
+          error(prefix + "stuck tap " + std::to_string(fault.victim_cell) +
+                " out of range for the " + std::to_string(cells) +
+                "-cell line");
+        }
+        break;
+      case FaultSpec::Kind::kClockPeriodStep:
+        if (spec.architecture == Architecture::kHybrid) {
+          error(prefix +
+                "clock-period steps are not supported on the hybrid (the "
+                "period must stay an exact multiple of the counter tick)");
+        }
+        break;
+    }
+    if (fault.at_period >= spec.periods && fault.at_period != 0) {
+      error(prefix + "at_period " + std::to_string(fault.at_period) +
+            " is outside the " + std::to_string(spec.periods) + "-period run");
+    }
+    if (fault.clear_period != 0 && fault.clear_period <= fault.at_period) {
+      error(prefix + "clear_period " + std::to_string(fault.clear_period) +
+            " must be after at_period " + std::to_string(fault.at_period));
+    }
+    if (fault.runtime() && !spec.dvfs.empty()) {
+      error(prefix +
+            "runtime-scheduled faults cannot be combined with a DVFS "
+            "schedule (the run cannot be segmented across mode changes)");
+    }
+  }
+
+  if (spec.supervision.enabled) {
+    if (spec.architecture == Architecture::kCounter) {
+      error("supervision: the counter baseline has no lock to supervise");
+    }
+    const core::SupervisorConfig& config = spec.supervision.config;
+    if (config.max_relock_attempts < 1) {
+      error("supervision: max_relock_attempts must be >= 1, got " +
+            std::to_string(config.max_relock_attempts));
+    }
+    if (config.coarse_resolution_loss_bits < 0 ||
+        config.coarse_resolution_loss_bits >= spec.resolution_bits) {
+      error("supervision: coarse_resolution_loss_bits " +
+            std::to_string(config.coarse_resolution_loss_bits) +
+            " out of range for a " + std::to_string(spec.resolution_bits) +
+            "-bit word");
+    }
+  } else if (spec.expect_min_lock_losses > 0 || spec.expect_relock ||
+             spec.max_relock_latency_periods > 0 ||
+             spec.expect_min_degradation > 0) {
+    error("recovery expectations require supervision.enabled");
+  }
+
+  if (spec.measure_from >= spec.periods) {
+    error("measure_from " + std::to_string(spec.measure_from) +
+          " leaves no steady-state window in a " +
+          std::to_string(spec.periods) + "-period run");
+  }
+  return errors;
 }
 
 }  // namespace ddl::scenario

@@ -133,6 +133,56 @@ TEST(ProposedController, AtLimitWhenLineTooShort) {
   EXPECT_EQ(controller.status(), LockStatus::kAtLimit);
 }
 
+TEST(ProposedController, RecoversFromHighAtLimitWhenPeriodBecomesFeasible) {
+  // kAtLimit is a condition, not a latch: pinned at the far end of the line
+  // because the half-period point lies beyond it, the controller must
+  // resume the search (clamp-and-reverse) once the period becomes feasible.
+  ProposedDelayLine line(kTech, config_100mhz());  // Max delay 20.48 ns.
+  ProposedController controller(line, /*period=*/50'000.0);  // Half = 25 ns.
+  const auto op = OperatingPoint::typical();
+  EXPECT_FALSE(controller.run_to_lock(op).has_value());
+  EXPECT_EQ(controller.status(), LockStatus::kAtLimit);
+  EXPECT_EQ(controller.tap_sel(), line.size() - 1);
+
+  // 30 ns is reachable (half = 15 ns < 20.48 ns): the clamp releases and
+  // the search walks back down the line.
+  controller.set_clock_period_ps(30'000.0);
+  ASSERT_TRUE(controller.run_to_lock(op).has_value());
+  EXPECT_EQ(controller.status(), LockStatus::kLocked);
+  EXPECT_NEAR(static_cast<double>(controller.tap_sel()), 15'000.0 / 80.0, 2.0);
+}
+
+TEST(ProposedController, RecoversFromHighAtLimitWhenEnvironmentSlows) {
+  // Same clamp, released by the environment instead of the period: at the
+  // slow process corner the cells are twice as long, so the half-period
+  // point moves back inside the line and the pinned search resumes.
+  ProposedDelayLine line(kTech, config_100mhz());
+  ProposedController controller(line, /*period=*/50'000.0);
+  EXPECT_FALSE(controller.run_to_lock(OperatingPoint::typical()).has_value());
+  EXPECT_EQ(controller.status(), LockStatus::kAtLimit);
+
+  const auto slow = OperatingPoint::slow_process_only();  // 160 ps cells.
+  ASSERT_TRUE(controller.run_to_lock(slow).has_value());
+  EXPECT_EQ(controller.status(), LockStatus::kLocked);
+  EXPECT_NEAR(static_cast<double>(controller.tap_sel()), 25'000.0 / 160.0,
+              2.0);
+}
+
+TEST(ProposedController, RecoversFromLowAtLimitWhenPeriodBecomesFeasible) {
+  // The opposite clamp: a period shorter than two cells pins tap_sel at 0.
+  ProposedDelayLine line(kTech, config_100mhz());
+  ProposedController controller(line, /*period=*/100.0);  // Half = 50 < 80 ps.
+  const auto op = OperatingPoint::typical();
+  EXPECT_FALSE(controller.run_to_lock(op).has_value());
+  EXPECT_EQ(controller.status(), LockStatus::kAtLimit);
+  EXPECT_EQ(controller.tap_sel(), 0u);
+
+  controller.set_clock_period_ps(kPeriod100MHz);
+  ASSERT_TRUE(controller.run_to_lock(op).has_value());
+  EXPECT_EQ(controller.status(), LockStatus::kLocked);
+  EXPECT_NEAR(static_cast<double>(controller.tap_sel()), 62.0, 2.0);
+}
+
 TEST(ProposedController, TracksTemperatureDrift) {
   ProposedDelayLine line(kTech, config_100mhz());
   ProposedController controller(line, kPeriod100MHz);

@@ -53,6 +53,65 @@ TEST(Environment, RampAndSpikeCompose) {
             cells::delay_derating(env.at(0)));
 }
 
+TEST(Environment, OverlappingOppositeSpikesCancelInTheOverlap) {
+  EnvironmentSchedule env = EnvironmentSchedule(OperatingPoint::typical())
+                                .with_voltage_spike(100, 300, -0.15)
+                                .with_voltage_spike(200, 400, 0.15);
+  EXPECT_DOUBLE_EQ(env.at(150).supply_v, 0.85);  // Only the droop.
+  EXPECT_DOUBLE_EQ(env.at(250).supply_v, 1.0);   // Overlap: exact cancel.
+  EXPECT_DOUBLE_EQ(env.at(350).supply_v, 1.15);  // Only the surge.
+}
+
+TEST(Environment, SpikeBoundariesLandExactlyOnSampleInstants) {
+  // A controller sampling at t = from must already see the spike, and one
+  // sampling at t = until must not (half-open [from, until)) -- no
+  // off-by-one at either boundary even when the sample instant coincides.
+  EnvironmentSchedule env = EnvironmentSchedule(OperatingPoint::typical())
+                                .with_voltage_spike(10'000, 20'000, -0.2);
+  EXPECT_DOUBLE_EQ(env.at(9'999).supply_v, 1.0);
+  EXPECT_DOUBLE_EQ(env.at(10'000).supply_v, 0.8);
+  EXPECT_DOUBLE_EQ(env.at(19'999).supply_v, 0.8);
+  EXPECT_DOUBLE_EQ(env.at(20'000).supply_v, 1.0);
+}
+
+TEST(Environment, ZeroWidthSpikeNeverApplies) {
+  EnvironmentSchedule env = EnvironmentSchedule(OperatingPoint::typical())
+                                .with_voltage_spike(500, 500, -0.3);
+  EXPECT_DOUBLE_EQ(env.at(499).supply_v, 1.0);
+  EXPECT_DOUBLE_EQ(env.at(500).supply_v, 1.0);
+  EXPECT_DOUBLE_EQ(env.at(501).supply_v, 1.0);
+}
+
+TEST(Environment, NegativeTemperatureRampCoolsAndSpeedsTheDie) {
+  EnvironmentSchedule env = EnvironmentSchedule(OperatingPoint::typical())
+                                .with_temperature_ramp(-2.0);
+  EXPECT_DOUBLE_EQ(env.at(0).temperature_c, 25.0);
+  EXPECT_DOUBLE_EQ(env.at(sim::from_us(10.0)).temperature_c, 5.0);
+  EXPECT_DOUBLE_EQ(env.at(sim::from_us(30.0)).temperature_c, -35.0);
+  // Cooling speeds the cells up: derating falls monotonically in time.
+  EXPECT_LT(cells::delay_derating(env.at(sim::from_us(30.0))),
+            cells::delay_derating(env.at(0)));
+}
+
+TEST(ProposedDrift, NegativeRampTracksDownwardInTapSel) {
+  // The proposed controller under a cooling die: cells speed up, so more of
+  // them fit in half a period and tap_sel must climb.
+  ProposedDelayLine line(kTech, {256, 2});
+  ProposedDpwmSystem system(line, 10'000.0);
+  system.set_environment(EnvironmentSchedule(OperatingPoint::typical())
+                             .with_temperature_ramp(-6.0));
+  ASSERT_TRUE(system.calibrate().has_value());
+  const std::size_t cool_start = system.controller().tap_sel();
+  sim::Time t = 0;
+  for (int i = 0; i < 1000; ++i) {  // 10 us: 25 C -> -35 C.
+    system.generate(t, 128);
+    t += system.period_ps();
+  }
+  EXPECT_GT(system.controller().tap_sel(), cool_start);
+  const auto pwm = system.generate(t, 128);
+  EXPECT_NEAR(pwm.duty(), 0.5, 0.02);
+}
+
 // ---- Conventional continuous recalibration ------------------------------------
 
 TEST(ConventionalDrift, LockedLatchHoldsUnderSmallDrift) {

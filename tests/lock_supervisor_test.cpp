@@ -1,0 +1,358 @@
+// Tests for the lock supervisor: loss detectors, the bounded re-lock state
+// machine with backoff, the degradation ladder (freeze -> coarse -> counter
+// fallback), health-event content, and the fault hooks it depends on
+// (conventional-line cell faults, stuck tap selectors, clock-period steps).
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ddl/core/calibrated_dpwm.h"
+#include "ddl/core/lock_supervisor.h"
+
+namespace ddl::core {
+namespace {
+
+using cells::OperatingPoint;
+
+const cells::Technology kTech = cells::Technology::i32nm_class();
+constexpr double kPeriod100MHz = 10'000.0;  // ps
+
+ProposedLineConfig proposed_config() { return ProposedLineConfig{256, 2}; }
+
+/// Drives `periods` switching periods through the supervisor at 50% duty,
+/// optionally reporting a constant ADC error code after every period (the
+/// closed loop's observe_error wiring, minus the closed loop).
+void run_periods(LockSupervisor& supervisor, sim::Time& t, int periods,
+                 int error_code = 0) {
+  for (int i = 0; i < periods; ++i) {
+    const std::uint64_t half = std::uint64_t{1} << (supervisor.bits() - 1);
+    supervisor.generate(t, half);
+    supervisor.observe_error(error_code);
+    t += supervisor.period_ps();
+  }
+}
+
+// ---- Conventional-line fault parity ---------------------------------------
+
+TEST(ConventionalLineFault, ScalesEveryBranchOfTheVictimCell) {
+  ConventionalDelayLine faulty(kTech, {64, 4, 2}, /*seed=*/9);
+  ConventionalDelayLine clean(kTech, {64, 4, 2}, /*seed=*/9);
+  const auto op = OperatingPoint::typical();
+
+  faulty.inject_cell_fault(3, 2.0);
+  for (int setting = 0; setting < 4; ++setting) {
+    faulty.set_setting(3, setting);
+    clean.set_setting(3, setting);
+    EXPECT_DOUBLE_EQ(faulty.cell_delay_ps(3, op),
+                     2.0 * clean.cell_delay_ps(3, op))
+        << "branch setting " << setting;
+  }
+  // Neighbours are untouched.
+  EXPECT_DOUBLE_EQ(faulty.cell_delay_ps(2, op), clean.cell_delay_ps(2, op));
+  EXPECT_DOUBLE_EQ(faulty.cell_delay_ps(4, op), clean.cell_delay_ps(4, op));
+}
+
+TEST(ConventionalLineFault, ComposesMultiplicativelyAndClears) {
+  ConventionalDelayLine faulty(kTech, {64, 4, 2}, /*seed=*/9);
+  ConventionalDelayLine clean(kTech, {64, 4, 2}, /*seed=*/9);
+  const auto op = OperatingPoint::typical();
+  const double base = clean.cell_delay_ps(7, op);
+
+  faulty.inject_cell_fault(7, 3.0);
+  faulty.inject_cell_fault(7, 2.0);
+  EXPECT_NEAR(faulty.cell_delay_ps(7, op), 6.0 * base, 1e-9);
+  // Clearing is multiplication by the reciprocal (the runner's lowering).
+  faulty.inject_cell_fault(7, 1.0 / 6.0);
+  EXPECT_NEAR(faulty.cell_delay_ps(7, op), base, 1e-9);
+}
+
+TEST(ConventionalLineFault, RejectsOutOfRangeVictims) {
+  ConventionalDelayLine line(kTech, {64, 4, 2});
+  EXPECT_THROW(line.inject_cell_fault(64, 2.0), std::out_of_range);
+}
+
+// ---- Constructor validation -----------------------------------------------
+
+TEST(LockSupervisor, RejectsDegenerateConfigs) {
+  ProposedDelayLine line(kTech, proposed_config());
+  ProposedDpwmSystem system(line, kPeriod100MHz);
+  ASSERT_TRUE(system.calibrate().has_value());
+  auto supervised = make_supervised(system);
+
+  SupervisorConfig no_attempts;
+  no_attempts.max_relock_attempts = 0;
+  EXPECT_THROW(LockSupervisor(*supervised, no_attempts),
+               std::invalid_argument);
+
+  SupervisorConfig all_bits_masked;
+  all_bits_masked.coarse_resolution_loss_bits = system.bits();
+  EXPECT_THROW(LockSupervisor(*supervised, all_bits_masked),
+               std::invalid_argument);
+}
+
+// ---- Detection + re-lock --------------------------------------------------
+
+TEST(LockSupervisor, HealthySystemEmitsNoEvents) {
+  ProposedDelayLine line(kTech, proposed_config());
+  ProposedDpwmSystem system(line, kPeriod100MHz);
+  ASSERT_TRUE(system.calibrate().has_value());
+  auto supervised = make_supervised(system);
+  LockSupervisor supervisor(*supervised);
+
+  sim::Time t = 0;
+  run_periods(supervisor, t, 200);
+  EXPECT_TRUE(supervisor.events().empty());
+  EXPECT_EQ(supervisor.state(), SupervisorState::kMonitoring);
+  EXPECT_EQ(supervisor.degradation(), DegradationLevel::kNone);
+  EXPECT_EQ(supervisor.lock_losses(), 0u);
+}
+
+TEST(LockSupervisor, CellFaultTripsTapExcursionAndRelocks) {
+  ProposedDelayLine line(kTech, proposed_config());
+  ProposedDpwmSystem system(line, kPeriod100MHz);
+  ASSERT_TRUE(system.calibrate().has_value());
+  auto supervised = make_supervised(system);
+  LockSupervisor supervisor(*supervised);
+  const std::size_t healthy_tap = supervisor.baseline_tap();
+
+  sim::Time t = 0;
+  run_periods(supervisor, t, 50);
+  ASSERT_TRUE(supervisor.events().empty());
+
+  // A 10x slower cell inside the locked range moves the half-period point
+  // by ~9 taps -- past the default 6-tap drift window.
+  line.inject_cell_fault(10, 10.0);
+  run_periods(supervisor, t, 200);
+
+  EXPECT_GE(supervisor.lock_losses(), 1u);
+  EXPECT_GE(supervisor.relocks(), 1u);
+  EXPECT_EQ(supervisor.state(), SupervisorState::kMonitoring);
+  EXPECT_EQ(supervisor.degradation(), DegradationLevel::kNone);
+
+  ASSERT_GE(supervisor.events().size(), 3u);
+  const HealthEvent& lost = supervisor.events()[0];
+  EXPECT_EQ(lost.kind, HealthEventKind::kLockLost);
+  EXPECT_EQ(lost.detail, "tap_excursion");
+  EXPECT_GT(lost.period, 0u);
+  const HealthEvent& attempt = supervisor.events()[1];
+  EXPECT_EQ(attempt.kind, HealthEventKind::kRelockAttempt);
+  EXPECT_EQ(attempt.detail, "attempt_1");
+
+  // The re-lock settles on the fault-shifted tap and rebases the window.
+  EXPECT_NE(supervisor.baseline_tap(), healthy_tap);
+  EXPECT_GT(supervisor.max_relock_latency_periods(), 0u);
+}
+
+TEST(LockSupervisor, DutyWatchdogFiresOnPersistentAdcError) {
+  ProposedDelayLine line(kTech, proposed_config());
+  ProposedDpwmSystem system(line, kPeriod100MHz);
+  ASSERT_TRUE(system.calibrate().has_value());
+  auto supervised = make_supervised(system);
+  SupervisorConfig config;
+  config.watchdog_periods = 16;
+  LockSupervisor supervisor(*supervised, config);
+
+  sim::Time t = 0;
+  // Startup slew: a large error before the loop has ever regulated leaves
+  // the watchdog disarmed -- soft-start must not read as a lock loss.
+  run_periods(supervisor, t, 100, /*error_code=*/5);
+  EXPECT_TRUE(supervisor.events().empty());
+
+  // In-regulation periods arm it; sub-threshold codes never trip it.
+  run_periods(supervisor, t, 100, /*error_code=*/2);
+  EXPECT_TRUE(supervisor.events().empty());
+
+  // A persistent large error now fires; the (healthy) system re-locks at
+  // once.
+  run_periods(supervisor, t, 40, /*error_code=*/-5);
+  ASSERT_GE(supervisor.events().size(), 1u);
+  EXPECT_EQ(supervisor.events()[0].kind, HealthEventKind::kLockLost);
+  EXPECT_EQ(supervisor.events()[0].detail, "duty_watchdog");
+  EXPECT_GE(supervisor.relocks(), 1u);
+}
+
+TEST(LockSupervisor, InfeasiblePeriodDetectedAsAtLimitThenDegrades) {
+  ProposedDelayLine line(kTech, proposed_config());
+  ProposedDpwmSystem system(line, kPeriod100MHz);
+  ASSERT_TRUE(system.calibrate().has_value());
+  auto supervised = make_supervised(system);
+  SupervisorConfig config;
+  config.relock_backoff_periods = 8;
+  // Window wider than the line: only the at_limit detector can fire, so the
+  // walk to the clamp is observed as the pinned condition, not an excursion.
+  config.tap_drift_window = 1'000;
+  LockSupervisor supervisor(*supervised, config);
+
+  // A clock-tree fault parks the period far beyond the line's reach: the
+  // controller pins at the end of the line and every re-lock walk fails.
+  system.set_clock_period_ps(100'000.0);
+  sim::Time t = 0;
+  run_periods(supervisor, t, 400);
+
+  EXPECT_EQ(supervisor.state(), SupervisorState::kDegraded);
+  EXPECT_GE(supervisor.degradation(), DegradationLevel::kFrozenTap);
+  EXPECT_EQ(supervisor.relocks(), 0u);
+
+  ASSERT_FALSE(supervisor.events().empty());
+  EXPECT_EQ(supervisor.events()[0].kind, HealthEventKind::kLockLost);
+  EXPECT_EQ(supervisor.events()[0].detail, "at_limit");
+  int failed = 0;
+  int degraded = 0;
+  for (const HealthEvent& event : supervisor.events()) {
+    failed += event.kind == HealthEventKind::kRelockFailed;
+    degraded += event.kind == HealthEventKind::kDegraded;
+  }
+  EXPECT_EQ(failed, supervisor.config().max_relock_attempts);
+  EXPECT_EQ(degraded, 1);
+}
+
+// ---- Degradation ladder ---------------------------------------------------
+
+TEST(LockSupervisor, StuckTapWalksTheLadderToCounterFallback) {
+  ProposedDelayLine line(kTech, proposed_config());
+  ProposedDpwmSystem system(line, kPeriod100MHz);
+  ASSERT_TRUE(system.calibrate().has_value());
+  auto supervised = make_supervised(system);
+  SupervisorConfig config;
+  config.max_relock_attempts = 2;
+  config.relock_backoff_periods = 4;
+  config.watchdog_periods = 8;
+  LockSupervisor supervisor(*supervised, config);
+
+  // A healthy stretch first: the loop regulates, which arms the watchdog.
+  sim::Time t = 0;
+  run_periods(supervisor, t, 20);
+
+  // Stuck selector far from the baseline: every detector path fails to
+  // recover (re-calibration cannot move the tap), and the loop keeps
+  // reporting a large error, so the ladder runs all the way down.
+  system.controller().force_tap(5);
+  run_periods(supervisor, t, 120, /*error_code=*/6);
+
+  EXPECT_EQ(supervisor.state(), SupervisorState::kDegraded);
+  EXPECT_EQ(supervisor.degradation(), DegradationLevel::kCounterFallback);
+  EXPECT_EQ(supervisor.relocks(), 0u);
+
+  // The ladder was walked rung by rung, each rung a health event.
+  std::vector<int> rungs;
+  for (const HealthEvent& event : supervisor.events()) {
+    if (event.kind == HealthEventKind::kDegraded) {
+      rungs.push_back(event.degradation);
+    }
+  }
+  ASSERT_EQ(rungs.size(), 3u);
+  EXPECT_EQ(rungs[0], static_cast<int>(DegradationLevel::kFrozenTap));
+  EXPECT_EQ(rungs[1], static_cast<int>(DegradationLevel::kCoarseResolution));
+  EXPECT_EQ(rungs[2], static_cast<int>(DegradationLevel::kCounterFallback));
+
+  // 10'000 ps splits evenly into 16 counter slots: the fallback carries a
+  // 4-bit word and 50% duty still executes within one fallback LSB.
+  const auto pwm = supervisor.generate(t, 128);
+  EXPECT_NEAR(pwm.duty(), 0.5, 1.0 / 16.0);
+}
+
+TEST(LockSupervisor, CounterFallbackCanBeDisabled) {
+  ProposedDelayLine line(kTech, proposed_config());
+  ProposedDpwmSystem system(line, kPeriod100MHz);
+  ASSERT_TRUE(system.calibrate().has_value());
+  auto supervised = make_supervised(system);
+  SupervisorConfig config;
+  config.max_relock_attempts = 1;
+  config.relock_backoff_periods = 4;
+  config.watchdog_periods = 8;
+  config.counter_fallback = false;
+  LockSupervisor supervisor(*supervised, config);
+
+  sim::Time t = 0;
+  run_periods(supervisor, t, 20);
+  system.controller().force_tap(5);
+  run_periods(supervisor, t, 200, /*error_code=*/6);
+
+  // The ladder stops at coarse resolution when the fallback is disabled.
+  EXPECT_EQ(supervisor.degradation(), DegradationLevel::kCoarseResolution);
+}
+
+// ---- Conventional scheme through the same supervisor ----------------------
+
+TEST(LockSupervisor, ConventionalRuntimeFaultRelocksViaRegisterResearch) {
+  ConventionalDelayLine line(kTech, {64, 4, 2});
+  ConventionalDpwmSystem system(line, kPeriod100MHz);
+  ASSERT_TRUE(system.calibrate().has_value());
+  auto supervised = make_supervised(system);
+  LockSupervisor supervisor(*supervised);
+  const std::size_t healthy_increments = supervisor.baseline_tap();
+  EXPECT_EQ(healthy_increments, line.total_increments());
+
+  sim::Time t = 0;
+  run_periods(supervisor, t, 50);
+  ASSERT_TRUE(supervisor.events().empty());
+
+  // A 3x slower cell overshoots the period; a shift register can only add
+  // delay, so recovery is a full re-search from all-zero -- which the
+  // supervisor drives as one bounded recalibration.
+  line.inject_cell_fault(0, 3.0);
+  run_periods(supervisor, t, 400);
+
+  EXPECT_GE(supervisor.lock_losses(), 1u);
+  EXPECT_GE(supervisor.relocks(), 1u);
+  EXPECT_EQ(supervisor.state(), SupervisorState::kMonitoring);
+  // The re-locked register compensates the slow cell with fewer increments.
+  EXPECT_LT(line.total_increments(), healthy_increments);
+}
+
+TEST(LockSupervisor, ThrashingRelocksEscalateToDegradation) {
+  ConventionalDelayLine line(kTech, {64, 4, 2});
+  ConventionalDpwmSystem system(line, kPeriod100MHz);
+  ASSERT_TRUE(system.calibrate().has_value());
+  auto supervised = make_supervised(system);
+  LockSupervisor supervisor(*supervised);
+
+  sim::Time t = 0;
+  run_periods(supervisor, t, 50);
+  ASSERT_TRUE(supervisor.events().empty());
+
+  // A 25x victim widens one increment past the lock tolerance: every
+  // re-search "locks" onto a point that is immediately out of window
+  // again, so an unguarded supervisor would relock once per period
+  // forever.  The stability window counts those instant re-losses as
+  // thrash and spends the attempt budget on them.
+  line.inject_cell_fault(31, 25.0);
+  run_periods(supervisor, t, 400);
+
+  EXPECT_EQ(supervisor.state(), SupervisorState::kDegraded);
+  EXPECT_EQ(supervisor.degradation(), DegradationLevel::kFrozenTap);
+  // Bounded churn: one initial loss plus max_relock_attempts thrash
+  // rounds, not one loss per period.
+  EXPECT_LE(supervisor.lock_losses(),
+            static_cast<std::uint64_t>(
+                supervisor.config().max_relock_attempts) + 1);
+}
+
+TEST(LockSupervisor, ConventionalFrozenRegisterCannotFakeARelock) {
+  ConventionalDelayLine line(kTech, {64, 4, 2});
+  ConventionalDpwmSystem system(line, kPeriod100MHz);
+  ASSERT_TRUE(system.calibrate().has_value());
+  auto supervised = make_supervised(system);
+  SupervisorConfig config;
+  config.max_relock_attempts = 2;
+  config.relock_backoff_periods = 4;
+  LockSupervisor supervisor(*supervised, config);
+
+  sim::Time t = 0;
+  run_periods(supervisor, t, 20);
+
+  // Freeze the register, then slow the line so the frozen calibration is
+  // genuinely wrong: the stale kLocked latch must not satisfy the re-lock
+  // check (the frozen controller re-evaluates the lock condition).
+  system.controller().set_register_frozen(true);
+  line.inject_cell_fault(0, 5.0);
+  line.inject_cell_fault(1, 5.0);
+  run_periods(supervisor, t, 300, /*error_code=*/6);
+
+  EXPECT_EQ(supervisor.relocks(), 0u);
+  EXPECT_EQ(supervisor.state(), SupervisorState::kDegraded);
+  EXPECT_GE(supervisor.degradation(), DegradationLevel::kFrozenTap);
+}
+
+}  // namespace
+}  // namespace ddl::core

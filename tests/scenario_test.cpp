@@ -60,7 +60,7 @@ TEST(LoadSpecTest, LowersToMatchingProfiles) {
 TEST(RegistryTest, BuiltinSuitesArePresent) {
   const auto& registry = ScenarioRegistry::builtin();
   for (const char* suite : {"regulation", "transient", "dvfs", "pvt", "fault",
-                            "smoke", "regression"}) {
+                            "recovery", "smoke", "regression"}) {
     EXPECT_TRUE(registry.has_suite(suite)) << suite;
   }
   EXPECT_FALSE(registry.has_suite("nonesuch"));
@@ -159,7 +159,7 @@ TEST(RunScenarioTest, ExpectLockFalsePassesExactlyWhenCalibrationFails) {
 TEST(RunScenarioTest, FaultInjectionShiftsTheLockPoint) {
   auto healthy = quick_spec();
   auto faulty = quick_spec();
-  faulty.fault = FaultSpec{31, 10.0};
+  faulty.faults = {FaultSpec::delay_cell(31, 10.0)};
   const auto h = ddl::scenario::run_scenario(healthy);
   const auto f = ddl::scenario::run_scenario(faulty);
   ASSERT_TRUE(h.result.locked);
@@ -205,6 +205,132 @@ TEST(ScenarioRunnerTest, ResultsKeepSpecOrder) {
   ASSERT_EQ(results.size(), specs.size());
   for (std::size_t i = 0; i < specs.size(); ++i) {
     EXPECT_EQ(results[i].name, specs[i].name);
+  }
+}
+
+// ---- Spec validation (cross-field checks) ---------------------------------
+
+TEST(SpecValidationTest, FlagsOutOfRangeVictimAndBadSeverity) {
+  auto spec = quick_spec();
+  spec.faults = {FaultSpec::delay_cell(10'000, 10.0),
+                 FaultSpec::delay_cell(3, -1.0)};
+  const auto errors = ddl::scenario::validate(spec);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_NE(errors[0].find("fault 0 (delay_cell)"), std::string::npos)
+      << errors[0];
+  EXPECT_NE(errors[0].find("victim_cell 10000 out of range"),
+            std::string::npos)
+      << errors[0];
+  EXPECT_NE(errors[1].find("severity"), std::string::npos) << errors[1];
+  // Every message leads with the scenario name so batched reports stay
+  // attributable.
+  for (const auto& error : errors) {
+    EXPECT_EQ(error.rfind(spec.name, 0), 0u) << error;
+  }
+}
+
+TEST(SpecValidationTest, CounterArchitectureCannotCarryFaults) {
+  auto spec = quick_spec();
+  spec.architecture = Architecture::kCounter;
+  spec.faults = {FaultSpec::delay_cell(0, 2.0)};
+  const auto errors = ddl::scenario::validate(spec);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("no delay line"), std::string::npos) << errors[0];
+}
+
+TEST(SpecValidationTest, ClockPeriodStepsAreRejectedOnTheHybrid) {
+  auto spec = quick_spec();
+  spec.architecture = Architecture::kHybrid;
+  spec.counter_bits = 3;
+  spec.faults = {FaultSpec::clock_period_step(1.2, 100)};
+  const auto errors = ddl::scenario::validate(spec);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("hybrid"), std::string::npos) << errors[0];
+}
+
+TEST(SpecValidationTest, FlagsMisorderedFaultSchedules) {
+  auto spec = quick_spec();  // 900 periods.
+  spec.faults = {FaultSpec::delay_cell(3, 2.0, /*at=*/900),
+                 FaultSpec::delay_cell(3, 2.0, /*at=*/100, /*clear=*/50)};
+  const auto errors = ddl::scenario::validate(spec);
+  ASSERT_EQ(errors.size(), 2u);
+  EXPECT_NE(errors[0].find("at_period 900"), std::string::npos) << errors[0];
+  EXPECT_NE(errors[1].find("clear_period 50"), std::string::npos) << errors[1];
+}
+
+TEST(SpecValidationTest, RecoveryExpectationsRequireSupervision) {
+  auto spec = quick_spec();
+  spec.expect_relock = true;
+  const auto errors = ddl::scenario::validate(spec);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("require supervision"), std::string::npos)
+      << errors[0];
+  // Enabling supervision clears the complaint.
+  spec.supervision.enabled = true;
+  EXPECT_TRUE(ddl::scenario::validate(spec).empty());
+}
+
+TEST(RunScenarioTest, InvalidSpecFailsStructurallyInsteadOfThrowing) {
+  auto spec = quick_spec();
+  spec.faults = {FaultSpec::delay_cell(10'000, 10.0)};
+  const auto artifacts = ddl::scenario::run_scenario(spec);
+  EXPECT_FALSE(artifacts.result.pass);
+  EXPECT_EQ(artifacts.result.failure_reason, "invalid_spec");
+  EXPECT_NE(artifacts.result.failure_detail.find("victim_cell"),
+            std::string::npos)
+      << artifacts.result.failure_detail;
+}
+
+// ---- Recovery suite -------------------------------------------------------
+
+TEST(RegistryTest, RecoverySuiteIsSupervisedAndValid) {
+  const auto specs = ScenarioRegistry::builtin().expand("recovery");
+  EXPECT_GE(specs.size(), 5u);
+  for (const auto& spec : specs) {
+    EXPECT_EQ(spec.family, "recovery") << spec.name;
+    EXPECT_TRUE(spec.supervision.enabled) << spec.name;
+    EXPECT_FALSE(spec.faults.empty()) << spec.name;
+    EXPECT_TRUE(ddl::scenario::validate(spec).empty()) << spec.name;
+  }
+}
+
+TEST(RunScenarioTest, RecoveryScenarioReportsLossAndRelockTelemetry) {
+  const auto spec = ScenarioRegistry::builtin().find(
+      "recovery/proposed/typical/cell-fault-relock");
+  const auto artifacts = ddl::scenario::run_scenario(spec);
+  const auto& result = artifacts.result;
+  EXPECT_TRUE(result.pass) << result.failure_reason;
+  EXPECT_TRUE(result.supervised);
+  EXPECT_GE(result.lock_losses, 1u);
+  EXPECT_GE(result.relocks, 1u);
+  ASSERT_FALSE(result.health.empty());
+  EXPECT_EQ(result.health.front().kind,
+            ddl::core::HealthEventKind::kLockLost);
+  // The mid-run fault strikes at its scheduled period, so the first loss
+  // cannot predate it.
+  EXPECT_GE(result.health.front().period, spec.faults.front().at_period);
+
+  const std::string line =
+      ddl::scenario::health_to_json(result, result.health.front())
+          .to_json_line();
+  EXPECT_EQ(line.rfind("{\"schema_version\": 2, \"scenario\": ", 0), 0u)
+      << line;
+  EXPECT_NE(line.find("\"event\": \"lock_lost\""), std::string::npos) << line;
+}
+
+TEST(ScenarioRunnerTest, RecoveryHealthStreamDeterministicAcrossThreads) {
+  const auto specs = ScenarioRegistry::builtin().expand("recovery");
+  const auto reference = ScenarioRunner(1).run(specs);
+  const std::string reference_jsonl = ScenarioRunner::jsonl(reference);
+  const std::string reference_health = ScenarioRunner::health_jsonl(reference);
+  EXPECT_FALSE(reference_health.empty());
+
+  for (std::size_t threads : {std::size_t{4}, std::size_t{0}}) {
+    const auto results = ScenarioRunner(threads).run(specs);
+    EXPECT_EQ(ScenarioRunner::jsonl(results), reference_jsonl)
+        << "threads=" << threads;
+    EXPECT_EQ(ScenarioRunner::health_jsonl(results), reference_health)
+        << "threads=" << threads;
   }
 }
 

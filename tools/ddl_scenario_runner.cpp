@@ -6,6 +6,7 @@
 //   ddl_scenario_runner --suite smoke
 //   ddl_scenario_runner --suite regression --filter proposed --jobs 4
 //   ddl_scenario_runner --suite regression --out results.jsonl
+//   ddl_scenario_runner --suite recovery --health-out health.jsonl
 //
 // Scenario records never carry thread-count or wall-clock fields, so the
 // JSONL stream is byte-identical for any --jobs value; the aggregate (which
@@ -28,13 +29,17 @@ namespace {
 
 void print_usage(std::ostream& os) {
   os << "usage: ddl_scenario_runner [--suite NAME] [--filter SUBSTR]\n"
-        "                           [--jobs N] [--out FILE] [--list]\n"
+        "                           [--jobs N] [--out FILE]\n"
+        "                           [--health-out FILE] [--list]\n"
         "\n"
-        "  --suite NAME    suite to run (default: smoke)\n"
-        "  --filter SUBSTR keep only scenarios whose name contains SUBSTR\n"
-        "  --jobs N        worker threads (default: DDL_THREADS or hardware)\n"
-        "  --out FILE      write the JSONL stream to FILE instead of stdout\n"
-        "  --list          list suites and their scenarios, then exit\n";
+        "  --suite NAME      suite to run (default: smoke)\n"
+        "  --filter SUBSTR   keep only scenarios whose name contains SUBSTR\n"
+        "  --jobs N          worker threads (default: DDL_THREADS or "
+        "hardware)\n"
+        "  --out FILE        write the JSONL stream to FILE instead of stdout\n"
+        "  --health-out FILE write supervisor health events (one JSONL record\n"
+        "                    per event, spec order) to FILE\n"
+        "  --list            list suites and their scenarios, then exit\n";
 }
 
 void list_suites(std::ostream& os) {
@@ -54,6 +59,7 @@ int main(int argc, char** argv) {
   std::string suite = "smoke";
   std::string filter;
   std::string out_path;
+  std::string health_out_path;
   std::size_t jobs = 0;
   bool list = false;
 
@@ -74,6 +80,8 @@ int main(int argc, char** argv) {
       jobs = static_cast<std::size_t>(std::stoul(value()));
     } else if (arg == "--out") {
       out_path = value();
+    } else if (arg == "--health-out") {
+      health_out_path = value();
     } else if (arg == "--list") {
       list = true;
     } else if (arg == "--help" || arg == "-h") {
@@ -122,6 +130,17 @@ int main(int argc, char** argv) {
     out << stream;
   }
 
+  // The health-event stream (recovery suites): same determinism contract as
+  // the result stream -- spec order, then per-supervisor event order.
+  if (!health_out_path.empty()) {
+    std::ofstream health(health_out_path);
+    if (!health) {
+      std::cerr << "error: cannot write '" << health_out_path << "'\n";
+      return 66;
+    }
+    health << ddl::scenario::ScenarioRunner::health_jsonl(results);
+  }
+
   // The aggregate record is a BenchReport, so it (and only it) carries
   // schema_version, threads and wall time.
   ddl::analysis::BenchReport report("scenario_suite_" + suite);
@@ -136,6 +155,11 @@ int main(int argc, char** argv) {
   report.set("passed", static_cast<std::uint64_t>(summary.passed));
   report.set("failed", static_cast<std::uint64_t>(summary.total - summary.passed));
   report.set("locked", static_cast<std::uint64_t>(summary.locked));
+  std::size_t health_events = 0;
+  for (const auto& result : results) {
+    health_events += result.health.size();
+  }
+  report.set("health_events", static_cast<std::uint64_t>(health_events));
   report.set("wall_ms", wall_ms);
   for (const auto& [reason, count] : summary.failures) {
     report.set("failures." + reason, static_cast<std::uint64_t>(count));
