@@ -10,6 +10,7 @@
 // scales the Monte-Carlo die count.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cstdio>
 #include <cstdlib>
 
@@ -74,6 +75,21 @@ void BM_ProposedLine_TapDelays(benchmark::State& state) {
   }
 }
 BENCHMARK(BM_ProposedLine_TapDelays);
+
+void BM_ProposedLine_TapDelayQuery(benchmark::State& state) {
+  // A single tap_delay_ps call -- the query a locking controller issues
+  // thousands of times per calibration.  Cycling the tap index defeats
+  // result caching without leaving the prefix cache warm path.
+  ddl::core::ProposedDelayLine line(tech(), {256, 2}, /*seed=*/3);
+  const auto op = ddl::cells::OperatingPoint::typical();
+  std::size_t tap = 0;
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(line.tap_delay_ps(tap, op));
+    tap = (tap + 1) & 255;
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_ProposedLine_TapDelayQuery);
 
 void BM_ProposedController_LockFromCold(benchmark::State& state) {
   ddl::core::ProposedDelayLine line(tech(), {256, 2});
@@ -152,6 +168,84 @@ ddl::analysis::Summary mc_scaling_run(ddl::analysis::BenchReport& json,
   return summary;
 }
 
+// ---- Perf guardrail probes ------------------------------------------------
+//
+// The CI guardrail (scripts/check_bench_regression.py) compares throughput
+// keys in BENCH_kernel_perf.json against the committed baseline in
+// bench/baselines/kernel_perf_baseline.json.  The probes run in smoke mode
+// too (google-benchmark is skipped there), so they are hand-timed
+// best-of-N loops: best-of filters scheduler noise on shared CI runners.
+
+/// One clock edge rippling through an N-buffer chain, netlist construction
+/// included (the same workload as BM_EventKernel_BufferChainWave).
+double wave_items_per_sec(std::size_t length) {
+  constexpr int kReps = 5;
+  constexpr int kItersPerRep = 4;
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    ddl::analysis::WallTimer timer;
+    for (int iter = 0; iter < kItersPerRep; ++iter) {
+      ddl::sim::Simulator sim;
+      ddl::sim::NetlistContext ctx{&sim, &tech(),
+                                   ddl::cells::OperatingPoint::typical()};
+      const auto in = sim.add_signal("in", ddl::sim::Logic::k0);
+      ddl::sim::make_buffer_chain(ctx, in, length);
+      sim.schedule(in, ddl::sim::Logic::k1, 0);
+      sim.run();
+      benchmark::DoNotOptimize(sim.executed_events());
+    }
+    const double ms = timer.elapsed_ms();
+    if (ms > 0.0) {
+      best = std::max(best, static_cast<double>(kItersPerRep * length) * 1e3 /
+                                ms);
+    }
+  }
+  return best;
+}
+
+/// Single-tap delay queries on a 256-cell proposed line (the controller's
+/// locking query), cycling the tap index.
+double tap_queries_per_sec() {
+  ddl::core::ProposedDelayLine line(tech(), {256, 2}, /*seed=*/3);
+  const auto op = ddl::cells::OperatingPoint::typical();
+  constexpr int kReps = 3;
+  constexpr std::size_t kQueries = 1'000'000;
+  double best = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    double acc = 0.0;
+    ddl::analysis::WallTimer timer;
+    for (std::size_t i = 0; i < kQueries; ++i) {
+      acc += line.tap_delay_ps(i & 255, op);
+    }
+    const double ms = timer.elapsed_ms();
+    benchmark::DoNotOptimize(acc);
+    if (ms > 0.0) {
+      best = std::max(best, static_cast<double>(kQueries) * 1e3 / ms);
+    }
+  }
+  return best;
+}
+
+/// A deterministic mixed workload exercising all three kernel counters:
+/// a buffer-chain wave (signal events), a free-running clock (tasks), and
+/// a pulse shorter than a buffer delay (a cancelled inertial event).
+ddl::sim::KernelCounters counter_probe() {
+  ddl::sim::Simulator sim;
+  ddl::sim::NetlistContext ctx{&sim, &tech(),
+                               ddl::cells::OperatingPoint::typical()};
+  const auto in = sim.add_signal("in", ddl::sim::Logic::k0);
+  ddl::sim::make_buffer_chain(ctx, in, 64);
+  const auto clk = sim.add_signal("clk");
+  ddl::sim::make_clock(sim, clk, 10'000);
+  // ~37 ps buffer delay: a 10 ps input pulse is swallowed by the first
+  // buffer's inertial lane -- one cancelled event.
+  sim.schedule(in, ddl::sim::Logic::k1, 10);
+  sim.schedule(in, ddl::sim::Logic::k0, 20);
+  sim.schedule(in, ddl::sim::Logic::k1, 5'000);
+  sim.run(100'000);
+  return sim.counters();
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -170,6 +264,22 @@ int main(int argc, char** argv) {
   ddl::analysis::BenchReport json("kernel_perf");
   json.set("hardware_concurrency",
            static_cast<std::uint64_t>(std::thread::hardware_concurrency()));
+
+  // Guardrail throughput keys (checked against the committed baseline by
+  // scripts/check_bench_regression.py in the CI bench-smoke job).
+  json.set("guardrail_kernel_wave_4096_items_per_sec",
+           wave_items_per_sec(4096));
+  json.set("guardrail_proposed_tap_query_items_per_sec",
+           tap_queries_per_sec());
+
+  // The split kernel counters on a fixed mixed workload: deterministic, so
+  // the report stays diffable across runs and regressions in the counting
+  // semantics show up as a value change here.
+  const auto counters = counter_probe();
+  json.set("kernel_probe_signal_events", counters.signal_events);
+  json.set("kernel_probe_tasks", counters.tasks);
+  json.set("kernel_probe_cancelled_inertial", counters.cancelled_inertial);
+  json.set("kernel_probe_executed_events", counters.total());
 
   const auto serial = mc_scaling_run(json, "mc_1t", 1, trials);
   const auto four = mc_scaling_run(json, "mc_4t", 4, trials);

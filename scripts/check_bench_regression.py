@@ -1,0 +1,84 @@
+#!/usr/bin/env python3
+"""CI perf guardrail: validate BENCH_kernel_perf.json and compare its
+throughput keys against the committed baseline.
+
+usage: check_bench_regression.py REPORT.json BASELINE.json
+
+The baseline file (bench/baselines/kernel_perf_baseline.json) commits the
+conservative items/sec floor expected on CI runners plus the tolerance; a
+measured value below baseline * (1 - tolerance_frac) fails the job.  The
+baseline is intentionally below a healthy runner's numbers -- it exists to
+catch order-of-magnitude regressions (an accidental O(n) in a hot path),
+not to police run-to-run noise.
+
+Exit codes: 0 ok, 1 regression or schema violation, 2 bad invocation.
+"""
+
+import json
+import sys
+
+# Keys every BENCH_kernel_perf.json must carry, with a predicate each.
+SCHEMA = {
+    "schema_version": lambda v: v == 2,
+    "name": lambda v: v == "kernel_perf",
+    "guardrail_kernel_wave_4096_items_per_sec": lambda v: v > 0,
+    "guardrail_proposed_tap_query_items_per_sec": lambda v: v > 0,
+    "kernel_probe_signal_events": lambda v: isinstance(v, int) and v > 0,
+    "kernel_probe_tasks": lambda v: isinstance(v, int) and v > 0,
+    "kernel_probe_cancelled_inertial": lambda v: isinstance(v, int) and v > 0,
+    "kernel_probe_executed_events": lambda v: isinstance(v, int) and v > 0,
+    "mc_deterministic_across_threads": lambda v: v is True,
+}
+
+
+def main(argv):
+    if len(argv) != 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    with open(argv[1]) as f:
+        report = json.load(f)
+    with open(argv[2]) as f:
+        baseline = json.load(f)
+
+    failures = []
+
+    for key, ok in SCHEMA.items():
+        if key not in report:
+            failures.append(f"schema: missing key '{key}'")
+        elif not ok(report[key]):
+            failures.append(f"schema: bad value {key}={report[key]!r}")
+
+    # The probe's executed-events total must equal the split's sum -- the
+    # counter-consistency contract of Simulator::counters().
+    probe = [report.get(k) for k in ("kernel_probe_signal_events",
+                                     "kernel_probe_tasks",
+                                     "kernel_probe_executed_events")]
+    if all(isinstance(v, int) for v in probe) and probe[0] + probe[1] != probe[2]:
+        failures.append(
+            f"schema: executed_events {probe[2]} != "
+            f"signal_events {probe[0]} + tasks {probe[1]}")
+
+    tolerance = baseline["tolerance_frac"]
+    for key, floor in baseline["items_per_sec"].items():
+        measured = report.get(key)
+        limit = floor * (1.0 - tolerance)
+        if not isinstance(measured, (int, float)):
+            failures.append(f"guardrail: '{key}' missing from report")
+            continue
+        verdict = "ok" if measured >= limit else "REGRESSION"
+        print(f"{key}: measured {measured:.3e}  baseline {floor:.3e}  "
+              f"floor {limit:.3e}  {verdict}")
+        if measured < limit:
+            failures.append(
+                f"guardrail: {key} = {measured:.3e} is below "
+                f"{limit:.3e} (baseline {floor:.3e} - {tolerance:.0%})")
+
+    for failure in failures:
+        print(f"FAIL: {failure}", file=sys.stderr)
+    if not failures:
+        print("perf guardrail OK")
+    return 1 if failures else 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv))

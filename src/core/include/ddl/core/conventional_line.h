@@ -10,6 +10,7 @@
 #include "ddl/cells/mismatch.h"
 #include "ddl/cells/operating_point.h"
 #include "ddl/cells/technology.h"
+#include "ddl/core/derating_cache.h"
 #include "ddl/sim/time.h"
 
 namespace ddl::core {
@@ -88,12 +89,21 @@ class ConventionalDelayLine {
   /// Delay of cell `i` at its current setting, ps.
   double cell_delay_ps(std::size_t i, const cells::OperatingPoint& op) const;
 
-  /// Cumulative delay to tap `i` (after cell i), ps.
+  /// Cumulative delay to tap `i` (after cell i), ps.  Served from a lazily
+  /// extended prefix-sum cache: mutators (set_setting / reset_settings /
+  /// restore_settings / inject_cell_fault) lower the cache watermark to the
+  /// touched cell, and queries re-extend left-to-right from there -- so a
+  /// locking controller that nudges one cell per cycle pays O(changed
+  /// suffix), not O(cells), per query.
   double tap_delay_ps(std::size_t tap, const cells::OperatingPoint& op) const;
 
-  /// All cumulative tap delays (rounded to ps) for DelayLineDpwm.
-  std::vector<sim::Time> tap_delays_ps(const cells::OperatingPoint& op) const;
-  std::vector<double> tap_delays(const cells::OperatingPoint& op) const;
+  /// All cumulative tap delays (rounded to ps) for DelayLineDpwm.  Returns
+  /// a reusable internal buffer: valid until the next tap_delays_ps call or
+  /// any mutation of this line (copy if you need to keep it).
+  const std::vector<sim::Time>& tap_delays_ps(
+      const cells::OperatingPoint& op) const;
+  /// Same, as doubles; a reusable internal buffer with the same rules.
+  const std::vector<double>& tap_delays(const cells::OperatingPoint& op) const;
 
   /// Total line delay at the current settings, ps.
   double line_delay_ps(const cells::OperatingPoint& op) const {
@@ -107,6 +117,12 @@ class ConventionalDelayLine {
   std::size_t total_increments() const;
 
  private:
+  /// Extends prefix_ps_ left-to-right so entries [0, tap] are valid,
+  /// resuming the running sum from the watermark; the summation order
+  /// matches a from-scratch accumulation exactly, so cached tap delays are
+  /// bit-identical to uncached ones.
+  void ensure_prefix(std::size_t tap) const;
+
   ConventionalLineConfig config_;
   double nominal_element_ps_;
   // element_typical_ps_[cell][branch][element] would be the full physical
@@ -114,6 +130,15 @@ class ConventionalDelayLine {
   // branches, we store per-cell, per-branch *cumulative* typical delays.
   std::vector<std::vector<double>> branch_typical_ps_;  // [cell][branch]
   std::vector<int> settings_;
+  // prefix_ps_[t] = sum of the selected branch delays of cells 0..t at the
+  // typical corner; entries below prefix_valid_ are current, the rest are
+  // stale.  Mutators lower the watermark to the first touched cell.
+  mutable std::vector<double> prefix_ps_;
+  mutable std::size_t prefix_valid_ = 0;
+  DeratingCache derating_;
+  // Reusable query buffers (one-line-per-thread contract, see DESIGN.md).
+  mutable std::vector<double> tap_buffer_;
+  mutable std::vector<sim::Time> tap_ps_buffer_;
 };
 
 }  // namespace ddl::core

@@ -1,0 +1,31 @@
+// Memoized PVT delay derating.
+//
+// cells::delay_derating costs a pow() through the alpha-power-law voltage
+// factor; the delay lines apply it to every tap query, and a locking
+// controller queries thousands of taps at the *same* operating point.  The
+// cache keys on the full operating point, so a hit returns the exact double
+// a fresh computation would -- cached and uncached delay queries match
+// bit-for-bit.  Mutable single-slot state: follows the one-line-per-thread
+// contract (DESIGN.md "Threading"), like the lines' query buffers.
+#pragma once
+
+#include "ddl/cells/operating_point.h"
+
+namespace ddl::core {
+
+class DeratingCache {
+ public:
+  double get(const cells::OperatingPoint& op) const {
+    if (factor_ < 0.0 || !(op == op_)) {
+      op_ = op;
+      factor_ = cells::delay_derating(op);
+    }
+    return factor_;
+  }
+
+ private:
+  mutable cells::OperatingPoint op_{};
+  mutable double factor_ = -1.0;  // derating is always positive; -1 = empty
+};
+
+}  // namespace ddl::core

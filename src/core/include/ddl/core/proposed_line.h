@@ -14,6 +14,7 @@
 #include "ddl/cells/mismatch.h"
 #include "ddl/cells/operating_point.h"
 #include "ddl/cells/technology.h"
+#include "ddl/core/derating_cache.h"
 #include "ddl/sim/time.h"
 
 namespace ddl::core {
@@ -47,14 +48,20 @@ class ProposedDelayLine {
   double cell_delay_ps(std::size_t i, const cells::OperatingPoint& op) const;
 
   /// Cumulative delay from the line input to tap `i` (after cell i), ps.
+  /// O(1): reads the cached typical-corner prefix sums (rebuilt on fault
+  /// injection) times the memoized PVT derating.
   double tap_delay_ps(std::size_t tap, const cells::OperatingPoint& op) const;
 
   /// All cumulative tap delays at an operating point (rounded to ps ticks),
-  /// in the form DelayLineDpwm consumes.
-  std::vector<sim::Time> tap_delays_ps(const cells::OperatingPoint& op) const;
+  /// in the form DelayLineDpwm consumes.  Returns a reusable internal
+  /// buffer: valid until the next tap_delays_ps call or fault injection on
+  /// this line (copy if you need to keep it).
+  const std::vector<sim::Time>& tap_delays_ps(
+      const cells::OperatingPoint& op) const;
 
-  /// Same, as doubles without rounding (for linearity analysis).
-  std::vector<double> tap_delays(const cells::OperatingPoint& op) const;
+  /// Same, as doubles without rounding (for linearity analysis).  Returns a
+  /// reusable internal buffer with the same lifetime rules.
+  const std::vector<double>& tap_delays(const cells::OperatingPoint& op) const;
 
   /// Nominal (typical-corner, mismatch-free) delay of one cell, ps.
   double nominal_cell_delay_ps() const noexcept { return nominal_cell_ps_; }
@@ -68,10 +75,22 @@ class ProposedDelayLine {
   void inject_cell_fault(std::size_t i, double severity);
 
  private:
+  /// Rebuilds prefix_typical_ps_ left-to-right from cell `first` on; the
+  /// summation order matches a from-scratch accumulation exactly, so cached
+  /// tap delays are bit-identical to uncached ones.
+  void rebuild_prefix_from(std::size_t first);
+
   ProposedLineConfig config_;
   double nominal_cell_ps_;
   // Per-cell delay at the typical corner with this die's mismatch baked in.
   std::vector<double> cell_typical_ps_;
+  // prefix_typical_ps_[t] = sum of cell_typical_ps_[0..t]; tap queries scale
+  // it by the derating, making tap_delay_ps O(1) instead of O(tap).
+  std::vector<double> prefix_typical_ps_;
+  DeratingCache derating_;
+  // Reusable query buffers (one-line-per-thread contract, see DESIGN.md).
+  mutable std::vector<double> tap_buffer_;
+  mutable std::vector<sim::Time> tap_ps_buffer_;
 };
 
 }  // namespace ddl::core

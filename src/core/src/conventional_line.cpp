@@ -1,5 +1,6 @@
 #include "ddl/core/conventional_line.h"
 
+#include <algorithm>
 #include <bit>
 #include <cassert>
 #include <memory>
@@ -64,6 +65,19 @@ ConventionalDelayLine::ConventionalDelayLine(const cells::Technology& tech,
       }
     }
   }
+  prefix_ps_.resize(config_.num_cells);
+}
+
+void ConventionalDelayLine::ensure_prefix(std::size_t tap) const {
+  if (tap < prefix_valid_) {
+    return;
+  }
+  double cumulative = prefix_valid_ == 0 ? 0.0 : prefix_ps_[prefix_valid_ - 1];
+  for (std::size_t i = prefix_valid_; i <= tap; ++i) {
+    cumulative += branch_typical_ps_[i][static_cast<std::size_t>(settings_[i])];
+    prefix_ps_[i] = cumulative;
+  }
+  prefix_valid_ = tap + 1;
 }
 
 void ConventionalDelayLine::set_setting(std::size_t i, int setting) {
@@ -72,10 +86,12 @@ void ConventionalDelayLine::set_setting(std::size_t i, int setting) {
     throw std::out_of_range("ConventionalDelayLine: setting out of range");
   }
   settings_[i] = setting;
+  prefix_valid_ = std::min(prefix_valid_, i);
 }
 
 void ConventionalDelayLine::reset_settings() {
   settings_.assign(config_.num_cells, 0);
+  prefix_valid_ = 0;
 }
 
 void ConventionalDelayLine::restore_settings(const std::vector<int>& settings) {
@@ -99,47 +115,42 @@ void ConventionalDelayLine::inject_cell_fault(std::size_t i, double severity) {
   for (double& branch : branch_typical_ps_[i]) {
     branch *= severity;
   }
+  prefix_valid_ = std::min(prefix_valid_, i);
 }
 
 double ConventionalDelayLine::cell_delay_ps(
     std::size_t i, const cells::OperatingPoint& op) const {
   assert(i < config_.num_cells);
   return branch_typical_ps_[i][static_cast<std::size_t>(settings_[i])] *
-         cells::delay_derating(op);
+         derating_.get(op);
 }
 
 double ConventionalDelayLine::tap_delay_ps(
     std::size_t tap, const cells::OperatingPoint& op) const {
   assert(tap < config_.num_cells);
-  double total = 0.0;
-  for (std::size_t i = 0; i <= tap; ++i) {
-    total += branch_typical_ps_[i][static_cast<std::size_t>(settings_[i])];
-  }
-  return total * cells::delay_derating(op);
+  ensure_prefix(tap);
+  return prefix_ps_[tap] * derating_.get(op);
 }
 
-std::vector<double> ConventionalDelayLine::tap_delays(
+const std::vector<double>& ConventionalDelayLine::tap_delays(
     const cells::OperatingPoint& op) const {
-  std::vector<double> taps;
-  taps.reserve(config_.num_cells);
-  const double derating = cells::delay_derating(op);
-  double cumulative = 0.0;
+  ensure_prefix(config_.num_cells - 1);
+  tap_buffer_.resize(config_.num_cells);
+  const double derating = derating_.get(op);
   for (std::size_t i = 0; i < config_.num_cells; ++i) {
-    cumulative += branch_typical_ps_[i][static_cast<std::size_t>(settings_[i])];
-    taps.push_back(cumulative * derating);
+    tap_buffer_[i] = prefix_ps_[i] * derating;
   }
-  return taps;
+  return tap_buffer_;
 }
 
-std::vector<sim::Time> ConventionalDelayLine::tap_delays_ps(
+const std::vector<sim::Time>& ConventionalDelayLine::tap_delays_ps(
     const cells::OperatingPoint& op) const {
-  const std::vector<double> exact = tap_delays(op);
-  std::vector<sim::Time> taps;
-  taps.reserve(exact.size());
-  for (double d : exact) {
-    taps.push_back(sim::from_ps(d));
+  const std::vector<double>& exact = tap_delays(op);
+  tap_ps_buffer_.resize(exact.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    tap_ps_buffer_[i] = sim::from_ps(exact[i]);
   }
-  return taps;
+  return tap_ps_buffer_;
 }
 
 std::size_t ConventionalDelayLine::total_increments() const {

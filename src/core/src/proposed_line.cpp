@@ -29,16 +29,27 @@ ProposedDelayLine::ProposedDelayLine(const cells::Technology& tech,
   cell_typical_ps_.reserve(config_.num_cells);
   if (mismatch_seed == 0) {
     cell_typical_ps_.assign(config_.num_cells, nominal_cell_ps_);
-    return;
+  } else {
+    cells::MismatchSampler sampler(tech, mismatch_seed,
+                                   mismatch_sigma_override);
+    for (std::size_t i = 0; i < config_.num_cells; ++i) {
+      // Each cell is buffers_per_cell independently mismatched buffers in
+      // series; sampling them individually is what produces the thesis's
+      // mismatch-averaging at higher buffer counts.
+      cell_typical_ps_.push_back(sampler.sample_series_delay_ps(
+          cells::CellKind::kBuffer, cells::OperatingPoint::typical(),
+          static_cast<std::size_t>(config_.buffers_per_cell)));
+    }
   }
-  cells::MismatchSampler sampler(tech, mismatch_seed, mismatch_sigma_override);
-  for (std::size_t i = 0; i < config_.num_cells; ++i) {
-    // Each cell is buffers_per_cell independently mismatched buffers in
-    // series; sampling them individually is what produces the thesis's
-    // mismatch-averaging at higher buffer counts.
-    cell_typical_ps_.push_back(sampler.sample_series_delay_ps(
-        cells::CellKind::kBuffer, cells::OperatingPoint::typical(),
-        static_cast<std::size_t>(config_.buffers_per_cell)));
+  prefix_typical_ps_.resize(config_.num_cells);
+  rebuild_prefix_from(0);
+}
+
+void ProposedDelayLine::rebuild_prefix_from(std::size_t first) {
+  double cumulative = first == 0 ? 0.0 : prefix_typical_ps_[first - 1];
+  for (std::size_t i = first; i < config_.num_cells; ++i) {
+    cumulative += cell_typical_ps_[i];
+    prefix_typical_ps_[i] = cumulative;
   }
 }
 
@@ -51,46 +62,39 @@ void ProposedDelayLine::inject_cell_fault(std::size_t i, double severity) {
         "ProposedDelayLine: fault severity must be positive");
   }
   cell_typical_ps_[i] *= severity;
+  rebuild_prefix_from(i);
 }
 
 double ProposedDelayLine::cell_delay_ps(std::size_t i,
                                         const cells::OperatingPoint& op) const {
   assert(i < config_.num_cells);
-  return cell_typical_ps_[i] * cells::delay_derating(op);
+  return cell_typical_ps_[i] * derating_.get(op);
 }
 
 double ProposedDelayLine::tap_delay_ps(std::size_t tap,
                                        const cells::OperatingPoint& op) const {
   assert(tap < config_.num_cells);
-  double total = 0.0;
-  for (std::size_t i = 0; i <= tap; ++i) {
-    total += cell_typical_ps_[i];
-  }
-  return total * cells::delay_derating(op);
+  return prefix_typical_ps_[tap] * derating_.get(op);
 }
 
-std::vector<double> ProposedDelayLine::tap_delays(
+const std::vector<double>& ProposedDelayLine::tap_delays(
     const cells::OperatingPoint& op) const {
-  std::vector<double> taps;
-  taps.reserve(config_.num_cells);
-  const double derating = cells::delay_derating(op);
-  double cumulative = 0.0;
+  tap_buffer_.resize(config_.num_cells);
+  const double derating = derating_.get(op);
   for (std::size_t i = 0; i < config_.num_cells; ++i) {
-    cumulative += cell_typical_ps_[i];
-    taps.push_back(cumulative * derating);
+    tap_buffer_[i] = prefix_typical_ps_[i] * derating;
   }
-  return taps;
+  return tap_buffer_;
 }
 
-std::vector<sim::Time> ProposedDelayLine::tap_delays_ps(
+const std::vector<sim::Time>& ProposedDelayLine::tap_delays_ps(
     const cells::OperatingPoint& op) const {
-  const std::vector<double> exact = tap_delays(op);
-  std::vector<sim::Time> taps;
-  taps.reserve(exact.size());
-  for (double d : exact) {
-    taps.push_back(sim::from_ps(d));
+  const std::vector<double>& exact = tap_delays(op);
+  tap_ps_buffer_.resize(exact.size());
+  for (std::size_t i = 0; i < exact.size(); ++i) {
+    tap_ps_buffer_[i] = sim::from_ps(exact[i]);
   }
-  return taps;
+  return tap_ps_buffer_;
 }
 
 }  // namespace ddl::core

@@ -51,7 +51,7 @@ class DFlipFlop {
   Simulator* sim_;
   SignalId d_;
   SignalId q_;
-  std::uint32_t driver_;
+  std::uint32_t driver_;  // Q's lane handle (Simulator::attach_driver)
   Time clk_to_q_;
   Time setup_;
   Time hold_;

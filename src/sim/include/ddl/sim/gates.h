@@ -21,14 +21,23 @@ struct NetlistContext {
   Simulator* sim;
   const cells::Technology* tech;
   cells::OperatingPoint op;
+  /// Lazily cached delay_derating(op) -- the alpha-power-law voltage factor
+  /// costs a pow(), and netlist builders query delays once per cell.
+  /// Identical arithmetic to Technology::delay_ps (typical delay times the
+  /// same derating product), so cached and uncached delays match bit-for-bit.
+  mutable double cached_derating = -1.0;
 
   double delay_ps(cells::CellKind kind) const {
-    return tech->delay_ps(kind, op);
+    if (cached_derating < 0.0) {
+      cached_derating = cells::delay_derating(op);
+    }
+    return tech->typical_delay_ps(kind) * cached_derating;
   }
 };
 
 /// Instantiates a single-input cell (INV / BUF) from `in` to `out` with an
-/// explicit delay in ps.  Returns the driver lane used (for tests).
+/// explicit delay in ps.  Returns the output lane handle
+/// (Simulator::attach_driver) the gate schedules through.
 std::uint32_t make_unary_gate(NetlistContext& ctx, cells::CellKind kind,
                               SignalId in, SignalId out, double delay_ps);
 

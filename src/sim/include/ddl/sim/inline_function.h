@@ -1,0 +1,202 @@
+// Small-buffer type-erased callable for the kernel's hot paths.
+//
+// std::function's inline buffer (16 bytes in libstdc++) is too small for a
+// gate's evaluation closure (kernel pointer + pins + delay + driver lane), so
+// building a netlist pays one heap allocation per gate.  InlineFunction is a
+// drop-in work-alike with a larger inline buffer sized so every primitive in
+// src/sim stores its closure in place; callables that do not fit (or are not
+// nothrow-movable) transparently fall back to the heap, keeping arbitrary
+// testbench lambdas working.  Like std::function, targets must be
+// copy-constructible (Bus fans one callback out to every bit).
+//
+// Trivially copyable inline targets -- every gate/flip-flop closure -- keep a
+// null manager: copy and move are a memcpy of the buffer and destruction is a
+// no-op, so netlist teardown never makes an indirect call per process.
+#pragma once
+
+#include <cstddef>
+#include <cstring>
+#include <new>
+#include <type_traits>
+#include <utility>
+
+namespace ddl::sim {
+
+template <typename Signature, std::size_t Capacity = 48>
+class InlineFunction;
+
+template <typename R, typename... Args, std::size_t Capacity>
+class InlineFunction<R(Args...), Capacity> {
+ public:
+  InlineFunction() noexcept = default;
+  InlineFunction(std::nullptr_t) noexcept {}  // NOLINT(runtime/explicit)
+
+  template <typename F,
+            typename D = std::decay_t<F>,
+            typename = std::enable_if_t<
+                !std::is_same_v<D, InlineFunction> &&
+                std::is_invocable_r_v<R, D&, Args...>>>
+  InlineFunction(F&& callable) {  // NOLINT(runtime/explicit)
+    if constexpr (fits_inline<D>()) {
+      new (&storage_) D(std::forward<F>(callable));
+      invoke_ = &invoke_inline<D>;
+      if constexpr (!trivial_inline<D>()) {
+        manage_ = &manage_inline<D>;
+      }
+    } else {
+      new (&storage_) D*(new D(std::forward<F>(callable)));
+      invoke_ = &invoke_heap<D>;
+      manage_ = &manage_heap<D>;
+    }
+  }
+
+  InlineFunction(const InlineFunction& other) { copy_from(other); }
+
+  InlineFunction(InlineFunction&& other) noexcept { move_from(other); }
+
+  InlineFunction& operator=(const InlineFunction& other) {
+    if (this != &other) {
+      reset();
+      copy_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(InlineFunction&& other) noexcept {
+    if (this != &other) {
+      reset();
+      move_from(other);
+    }
+    return *this;
+  }
+
+  InlineFunction& operator=(std::nullptr_t) noexcept {
+    reset();
+    return *this;
+  }
+
+  ~InlineFunction() { reset(); }
+
+  R operator()(Args... args) const {
+    return invoke_(&storage_, std::forward<Args>(args)...);
+  }
+
+  explicit operator bool() const noexcept { return invoke_ != nullptr; }
+
+  friend bool operator==(const InlineFunction& f, std::nullptr_t) noexcept {
+    return !f;
+  }
+  friend bool operator!=(const InlineFunction& f, std::nullptr_t) noexcept {
+    return static_cast<bool>(f);
+  }
+
+ private:
+  enum class Op { kDestroy, kCopy, kMove };
+
+  using Invoke = R (*)(const void*, Args&&...);
+  // kDestroy: destroy dst.  kCopy: construct dst from src.  kMove: construct
+  // dst from src and leave src destroyed (the caller clears src's handlers).
+  // Null manager with a non-null invoker = trivially copyable inline target.
+  using Manage = void (*)(Op, void* dst, void* src);
+
+  template <typename D>
+  static constexpr bool fits_inline() {
+    return sizeof(D) <= Capacity &&
+           alignof(D) <= alignof(std::max_align_t) &&
+           std::is_nothrow_move_constructible_v<D>;
+  }
+
+  template <typename D>
+  static constexpr bool trivial_inline() {
+    return std::is_trivially_copyable_v<D> &&
+           std::is_trivially_destructible_v<D>;
+  }
+
+  template <typename D>
+  static R invoke_inline(const void* storage, Args&&... args) {
+    return (*static_cast<D*>(const_cast<void*>(storage)))(
+        std::forward<Args>(args)...);
+  }
+
+  template <typename D>
+  static void manage_inline(Op op, void* dst, void* src) {
+    switch (op) {
+      case Op::kDestroy:
+        static_cast<D*>(dst)->~D();
+        break;
+      case Op::kCopy:
+        new (dst) D(*static_cast<const D*>(src));
+        break;
+      case Op::kMove:
+        new (dst) D(std::move(*static_cast<D*>(src)));
+        static_cast<D*>(src)->~D();
+        break;
+    }
+  }
+
+  template <typename D>
+  static R invoke_heap(const void* storage, Args&&... args) {
+    return (**static_cast<D* const*>(storage))(std::forward<Args>(args)...);
+  }
+
+  template <typename D>
+  static void manage_heap(Op op, void* dst, void* src) {
+    switch (op) {
+      case Op::kDestroy:
+        delete *static_cast<D**>(dst);
+        break;
+      case Op::kCopy:
+        new (dst) D*(new D(**static_cast<D* const*>(src)));
+        break;
+      case Op::kMove:
+        new (dst) D*(*static_cast<D**>(src));
+        break;
+    }
+  }
+
+  void copy_from(const InlineFunction& other) {
+    if (!other.invoke_) {
+      return;
+    }
+    if (other.manage_) {
+      other.manage_(Op::kCopy, &storage_,
+                    const_cast<void*>(
+                        static_cast<const void*>(&other.storage_)));
+    } else {
+      std::memcpy(&storage_, &other.storage_, Capacity);
+    }
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+  }
+
+  void move_from(InlineFunction& other) noexcept {
+    if (!other.invoke_) {
+      return;
+    }
+    if (other.manage_) {
+      other.manage_(Op::kMove, &storage_, &other.storage_);
+    } else {
+      std::memcpy(&storage_, &other.storage_, Capacity);
+    }
+    invoke_ = other.invoke_;
+    manage_ = other.manage_;
+    other.invoke_ = nullptr;
+    other.manage_ = nullptr;
+  }
+
+  void reset() noexcept {
+    if (invoke_) {
+      if (manage_) {
+        manage_(Op::kDestroy, &storage_, nullptr);
+      }
+      invoke_ = nullptr;
+      manage_ = nullptr;
+    }
+  }
+
+  alignas(std::max_align_t) mutable unsigned char storage_[Capacity];
+  Invoke invoke_ = nullptr;
+  Manage manage_ = nullptr;
+};
+
+}  // namespace ddl::sim

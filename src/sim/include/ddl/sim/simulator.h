@@ -6,17 +6,28 @@
 // cancels a pending older one, like a Verilog continuous assignment).  The
 // gate primitives (gates.h), flip-flops (flipflop.h) and the gate-level DPWM
 // netlists are all built on this kernel.
+//
+// Hot-path layout (see DESIGN.md "Kernel performance & complexity
+// contracts"): the priority queue holds slim POD events only -- a scheduled
+// Task lives in a side table and the queued event carries its slot, so heap
+// sifts are trivial copies with no function-object moves.  Per-signal state
+// is a trivially copyable ~28-byte record (names live in a parallel cold
+// array), listener lists and inertial driver lanes are intrusive chains into
+// shared append-only pools (no per-signal allocations), and listener dispatch
+// walks the live chain instead of copying it per applied event.  Processes
+// and tasks are InlineFunction, so a gate's closure needs no heap allocation.
 #pragma once
 
+#include <cassert>
 #include <cstdint>
-#include <functional>
+#include <deque>
 #include <limits>
 #include <queue>
 #include <string>
-#include <string_view>
-#include <unordered_map>
+#include <type_traits>
 #include <vector>
 
+#include "ddl/sim/inline_function.h"
 #include "ddl/sim/logic.h"
 #include "ddl/sim/time.h"
 
@@ -43,11 +54,22 @@ struct SignalEvent {
   }
 };
 
+/// Kernel execution counters.  `executed_events()` (the historical health
+/// counter) equals `signal_events + tasks`; cancelled inertial events never
+/// counted as executed and are reported separately.
+struct KernelCounters {
+  std::uint64_t signal_events = 0;  ///< Applied (non-cancelled) signal drives.
+  std::uint64_t tasks = 0;          ///< Executed scheduled tasks.
+  std::uint64_t cancelled_inertial = 0;  ///< Stale inertial events skipped.
+
+  std::uint64_t total() const noexcept { return signal_events + tasks; }
+};
+
 /// The simulation kernel.  Not thread-safe; one kernel per testbench.
 class Simulator {
  public:
-  using Process = std::function<void(const SignalEvent&)>;
-  using Task = std::function<void()>;
+  using Process = InlineFunction<void(const SignalEvent&)>;
+  using Task = InlineFunction<void()>;
 
   Simulator() = default;
   Simulator(const Simulator&) = delete;
@@ -57,13 +79,20 @@ class Simulator {
   /// until first assignment, as in HDL simulation).
   SignalId add_signal(std::string name, Logic initial = Logic::kX);
 
+  /// Capacity hint from netlist builders that know their signal count up
+  /// front; avoids repeated growth of the per-signal arrays.
+  void reserve_signals(std::size_t count) {
+    signals_.reserve(count);
+    names_.reserve(count);
+  }
+
   /// Current value of a signal.
   Logic value(SignalId id) const { return signals_[id.index].value; }
 
   /// True iff the signal currently reads strong high.
   bool is_high(SignalId id) const { return sim::is_high(value(id)); }
 
-  const std::string& name(SignalId id) const { return signals_[id.index].name; }
+  const std::string& name(SignalId id) const { return names_[id.index]; }
 
   Time now() const noexcept { return now_; }
 
@@ -80,7 +109,9 @@ class Simulator {
   /// Lane semantics:
   ///  * driver 0 (default) is the *transport* testbench lane: every
   ///    scheduled transition is delivered, so stimulus like
-  ///    1@10ps, 0@20ps, 1@30ps plays back verbatim;
+  ///    1@10ps, 0@20ps, 1@30ps plays back verbatim -- including re-drives of
+  ///    a value this lane already scheduled (another lane may have moved the
+  ///    signal in between);
   ///  * lanes from `allocate_driver()` are *inertial* (gate outputs):
   ///    scheduling a transition to a different value invalidates any
   ///    pending transition from the same lane (pulses shorter than the
@@ -98,6 +129,20 @@ class Simulator {
   /// Allocates a fresh driver lane for inertial-delay bookkeeping.
   std::uint32_t allocate_driver() { return next_driver_++; }
 
+  /// Allocates a fresh inertial driver and pre-registers its lane on
+  /// `signal` in one step, returning the lane handle for schedule_lane().
+  /// Gates pin their output lane at construction time so the hot path
+  /// skips the per-call lane lookup.
+  std::uint32_t attach_driver(SignalId signal) {
+    return driver_lane(signal.index, next_driver_++);
+  }
+
+  /// Hot-path variant of schedule() taking a lane handle from
+  /// attach_driver() on the same signal; semantics are identical to
+  /// scheduling through that lane's driver id.
+  void schedule_lane(SignalId signal, Logic value, Time delay,
+                     std::uint32_t lane_index);
+
   /// Schedules an arbitrary callback at `now() + delay` (testbench stimulus,
   /// monitors, clock generators).
   void schedule_task(Time delay, Task task);
@@ -109,55 +154,111 @@ class Simulator {
   /// Runs for `duration` more picoseconds.
   Time run_for(Time duration) { return run(now_ + duration); }
 
-  /// Number of executed events (kernel health / performance counters).
-  std::uint64_t executed_events() const noexcept { return executed_events_; }
+  /// Number of executed events (kernel health / performance counters):
+  /// applied signal events plus executed tasks, exactly as it always
+  /// counted.  `counters()` splits the total.
+  std::uint64_t executed_events() const noexcept { return counters_.total(); }
+
+  /// The split execution counters (signal events / tasks / cancelled
+  /// inertial events).
+  const KernelCounters& counters() const noexcept { return counters_; }
 
   std::size_t signal_count() const noexcept { return signals_.size(); }
 
  private:
-  struct SignalState {
-    std::string name;
-    Logic value = Logic::kX;
-    std::vector<std::uint32_t> change_processes;  // indices into processes_
-    std::vector<std::uint32_t> rising_processes;
+  static constexpr std::uint32_t kNil =
+      std::numeric_limits<std::uint32_t>::max();
+
+  /// Listener chains live in one shared pool; each signal stores head/tail
+  /// chain indices, so registering a listener never allocates per signal.
+  struct ListenerNode {
+    std::uint32_t process = 0;  // index into processes_
+    std::uint32_t next = kNil;
   };
 
-  struct Event {
+  /// Inertial bookkeeping per (signal, driver lane): latest generation
+  /// (stale queued events are skipped) and the last scheduled value
+  /// (same-value re-schedules are dropped).  Lanes live in one shared pool
+  /// chained per signal; the pool index rides along in the queued event for
+  /// an O(1) staleness check at apply time.  The transport lane 0 keeps no
+  /// state: it never deduplicates or cancels.
+  struct DriverLane {
+    std::uint64_t generation = 0;
+    std::uint32_t driver = 0;
+    std::uint32_t next = kNil;
+    Logic last_value = Logic::kZ;
+  };
+
+  /// Trivially copyable per-signal hot state: the value plus chain heads
+  /// into the listener and driver-lane pools.  Names are cold and live in
+  /// the parallel names_ array, so growing signals_ is a flat memmove.
+  struct SignalState {
+    Logic value = Logic::kX;
+    std::uint32_t change_head = kNil;
+    std::uint32_t change_tail = kNil;
+    std::uint32_t rising_head = kNil;
+    std::uint32_t rising_tail = kNil;
+    std::uint32_t lanes_head = kNil;
+  };
+  static_assert(std::is_trivially_copyable_v<SignalState>);
+
+  /// Slim POD queue entry: signal drives carry their value and driver-lane
+  /// pool index; task events (signal == kNoSignal) carry the task-table
+  /// slot instead.  No function objects in the heap, so sifting is a plain
+  /// trivial copy.
+  struct QueuedEvent {
     Time time = 0;
     std::uint64_t sequence = 0;  // FIFO tie-break at equal time
-    // Signal drive (signal.index != max) or task.
-    SignalId signal;
-    Logic value = Logic::kX;
-    std::uint32_t driver = 0;
     std::uint64_t driver_generation = 0;
-    Task task;  // non-null for task events
+    std::uint32_t signal = kNoSignal;
+    std::uint32_t slot = 0;  // driver-lane pool index, or task-table slot
+    Logic value = Logic::kX;
+    bool inertial = false;  // true for lanes from allocate_driver()
 
-    friend bool operator>(const Event& a, const Event& b) {
+    friend bool operator>(const QueuedEvent& a, const QueuedEvent& b) {
       if (a.time != b.time) return a.time > b.time;
       return a.sequence > b.sequence;
     }
   };
+  static_assert(std::is_trivially_copyable_v<QueuedEvent>);
 
-  void apply_signal_event(const Event& event);
+  static constexpr std::uint32_t kNoSignal =
+      std::numeric_limits<std::uint32_t>::max();
+
+  void apply_signal_event(const QueuedEvent& event);
+
+  /// Walks one listener chain [head, tail-at-entry], invoking each process.
+  /// Safe against callbacks registering listeners (appends happen after the
+  /// snapshot tail) and adding signals (nodes are copied out of the pool
+  /// before each call).
+  void dispatch(std::uint32_t head, std::uint32_t tail,
+                const SignalEvent& notification);
+
+  /// Appends `process_index` to the chain anchored at (head, tail).
+  void append_listener(std::uint32_t& head, std::uint32_t& tail,
+                       std::uint32_t process_index);
+
+  /// Finds (or creates) the pool index of an inertial lane on a signal.
+  /// Pool indices are append-only, so they stay valid forever.
+  std::uint32_t driver_lane(std::uint32_t signal_index, std::uint32_t driver);
 
   std::vector<SignalState> signals_;
-  std::vector<Process> processes_;
-  std::priority_queue<Event, std::vector<Event>, std::greater<>> queue_;
-  // Inertial bookkeeping per (signal, driver): latest generation (stale
-  // queued events are skipped) and the last scheduled value (same-value
-  // re-schedules are dropped).  Keyed by (signal.index << 32) | driver.
-  struct DriverState {
-    std::uint64_t generation = 0;
-    Logic last_value = Logic::kZ;
-    bool has_value = false;
-  };
-  std::unordered_map<std::uint64_t, DriverState> driver_states_;
+  std::vector<std::string> names_;  // parallel to signals_
+  std::vector<ListenerNode> listener_nodes_;
+  std::vector<DriverLane> driver_lanes_;
+  // deque: references stay valid while a callback registers new processes
+  // mid-dispatch (a vector would reallocate under the executing function).
+  std::deque<Process> processes_;
+  std::priority_queue<QueuedEvent, std::vector<QueuedEvent>, std::greater<>>
+      queue_;
+  // Scheduled tasks live here, not in the queue; slots are recycled via the
+  // free list once executed.
+  std::vector<Task> task_slots_;
+  std::vector<std::uint32_t> free_task_slots_;
   std::uint64_t next_sequence_ = 0;
   std::uint32_t next_driver_ = 1;
-  std::uint64_t executed_events_ = 0;
+  KernelCounters counters_;
   Time now_ = 0;
-
-  DriverState& driver_state(SignalId signal, std::uint32_t driver);
 };
 
 }  // namespace ddl::sim

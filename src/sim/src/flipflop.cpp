@@ -1,5 +1,6 @@
 #include "ddl/sim/flipflop.h"
 
+#include <functional>
 #include <memory>
 
 namespace ddl::sim {
@@ -9,7 +10,7 @@ DFlipFlop::DFlipFlop(NetlistContext& ctx, SignalId clk, SignalId d, SignalId q,
     : sim_(ctx.sim),
       d_(d),
       q_(q),
-      driver_(ctx.sim->allocate_driver()),
+      driver_(ctx.sim->attach_driver(q)),
       clk_to_q_(from_ps(ctx.delay_ps(cells::CellKind::kDff))),
       setup_(from_ps(ctx.tech->sequential_timing().setup_ps *
                      cells::delay_derating(ctx.op))),
@@ -27,7 +28,7 @@ DFlipFlop::DFlipFlop(NetlistContext& ctx, SignalId clk, SignalId d, SignalId q,
   if (reset.index != SignalId{}.index) {
     sim_->on_change(reset, [this](const SignalEvent& event) {
       if (event.new_value == Logic::k1) {
-        sim_->drive_now(q_, Logic::k0, driver_);
+        sim_->schedule_lane(q_, Logic::k0, 0, driver_);
       }
     });
   }
@@ -60,8 +61,8 @@ void DFlipFlop::on_clock_edge() {
     go_metastable();
     return;
   }
-  sim_->schedule(q_, is_known(sampled) ? sampled : Logic::kX, clk_to_q_,
-                 driver_);
+  sim_->schedule_lane(q_, is_known(sampled) ? sampled : Logic::kX, clk_to_q_,
+                      driver_);
 }
 
 void DFlipFlop::go_metastable() {
@@ -69,11 +70,11 @@ void DFlipFlop::go_metastable() {
   // the resolution time (Figure 39's "oscillates ... for an indeterminate
   // amount of time").  The settle step runs as a task so the X-then-known
   // sequence survives the kernel's same-lane inertial bookkeeping.
-  sim_->schedule(q_, Logic::kX, clk_to_q_, driver_);
+  sim_->schedule_lane(q_, Logic::kX, clk_to_q_, driver_);
   const Logic resolved = from_bool((rng_() & 1) != 0);
   sim_->schedule_task(clk_to_q_ + resolution_, [this, resolved]() {
     if (sim_->value(q_) == Logic::kX) {
-      sim_->drive_now(q_, resolved, driver_);
+      sim_->schedule_lane(q_, resolved, 0, driver_);
     }
   });
 }
@@ -96,14 +97,15 @@ TwoFlopSynchronizer::TwoFlopSynchronizer(NetlistContext& ctx, SignalId clk,
 
 void make_clock(Simulator& sim, SignalId clk, Time period, Time start) {
   const Time half = period / 2;
-  const std::uint32_t driver = sim.allocate_driver();
-  sim.schedule_task(start, [&sim, clk, half, driver]() {
-    sim.drive_now(clk, Logic::k0, driver);
-    // Self-rescheduling toggler.
-    auto toggle = std::make_shared<std::function<void()>>();
-    *toggle = [&sim, clk, half, driver, toggle]() {
+  const std::uint32_t lane = sim.attach_driver(clk);
+  sim.schedule_task(start, [&sim, clk, half, lane]() {
+    sim.schedule_lane(clk, Logic::k0, 0, lane);
+    // Self-rescheduling toggler; a Simulator::Task directly so rescheduling
+    // copies the inline closure instead of re-wrapping a std::function.
+    auto toggle = std::make_shared<Simulator::Task>();
+    *toggle = [&sim, clk, half, lane, toggle]() {
       const Logic next = sim.is_high(clk) ? Logic::k0 : Logic::k1;
-      sim.drive_now(clk, next, driver);
+      sim.schedule_lane(clk, next, 0, lane);
       sim.schedule_task(half, *toggle);
     };
     sim.schedule_task(half, *toggle);

@@ -14,9 +14,9 @@ void make_binary_gate(NetlistContext& ctx, CellKind kind,
                       SignalId out) {
   Simulator* sim = ctx.sim;
   const Time delay = from_ps(ctx.delay_ps(kind));
-  const std::uint32_t driver = sim->allocate_driver();
-  auto evaluate = [sim, fn, a, b, out, delay, driver](const SignalEvent&) {
-    sim->schedule(out, fn(sim->value(a), sim->value(b)), delay, driver);
+  const std::uint32_t lane = sim->attach_driver(out);
+  auto evaluate = [sim, fn, a, b, out, delay, lane](const SignalEvent&) {
+    sim->schedule_lane(out, fn(sim->value(a), sim->value(b)), delay, lane);
   };
   sim->on_change(a, evaluate);
   sim->on_change(b, evaluate);
@@ -29,12 +29,12 @@ std::uint32_t make_unary_gate(NetlistContext& ctx, CellKind kind, SignalId in,
   Simulator* sim = ctx.sim;
   const Time delay = from_ps(delay_ps);
   const bool inverting = kind == CellKind::kInverter;
-  const std::uint32_t driver = sim->allocate_driver();
-  sim->on_change(in, [sim, out, delay, inverting, driver](const SignalEvent& e) {
+  const std::uint32_t lane = sim->attach_driver(out);
+  sim->on_change(in, [sim, out, delay, inverting, lane](const SignalEvent& e) {
     const Logic next = inverting ? logic_not(e.new_value) : e.new_value;
-    sim->schedule(out, next, delay, driver);
+    sim->schedule_lane(out, next, delay, lane);
   });
-  return driver;
+  return lane;
 }
 
 void make_inverter(NetlistContext& ctx, SignalId in, SignalId out) {
@@ -56,12 +56,14 @@ std::vector<SignalId> make_buffer_chain(NetlistContext& ctx, SignalId in,
   assert(delays_ps.empty() || delays_ps.size() == length);
   std::vector<SignalId> taps;
   taps.reserve(length);
+  ctx.sim->reserve_signals(ctx.sim->signal_count() + length);
+  const std::string base = ctx.sim->name(in) + ".tap";
+  const double corner_delay = ctx.delay_ps(cells::CellKind::kBuffer);
   SignalId previous = in;
   for (std::size_t i = 0; i < length; ++i) {
-    SignalId tap = ctx.sim->add_signal(ctx.sim->name(in) + ".tap" +
-                                       std::to_string(i));
+    SignalId tap = ctx.sim->add_signal(base + std::to_string(i));
     make_buffer(ctx, previous, tap,
-                delays_ps.empty() ? -1.0 : delays_ps[i]);
+                delays_ps.empty() ? corner_delay : delays_ps[i]);
     taps.push_back(tap);
     previous = tap;
   }
@@ -98,11 +100,11 @@ void make_mux2(NetlistContext& ctx, SignalId sel, SignalId d0, SignalId d1,
   const Time delay = from_ps(delay_override_ps >= 0.0
                                  ? delay_override_ps
                                  : ctx.delay_ps(CellKind::kMux2));
-  const std::uint32_t driver = sim->allocate_driver();
-  auto evaluate = [sim, sel, d0, d1, out, delay, driver](const SignalEvent&) {
-    sim->schedule(out,
-                  logic_mux(sim->value(sel), sim->value(d0), sim->value(d1)),
-                  delay, driver);
+  const std::uint32_t lane = sim->attach_driver(out);
+  auto evaluate = [sim, sel, d0, d1, out, delay, lane](const SignalEvent&) {
+    sim->schedule_lane(
+        out, logic_mux(sim->value(sel), sim->value(d0), sim->value(d1)), delay,
+        lane);
   };
   sim->on_change(sel, evaluate);
   sim->on_change(d0, evaluate);

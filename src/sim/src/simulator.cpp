@@ -10,112 +10,183 @@ std::ostream& operator<<(std::ostream& os, Logic v) { return os << to_char(v); }
 
 SignalId Simulator::add_signal(std::string name, Logic initial) {
   SignalState state;
-  state.name = std::move(name);
   state.value = initial;
-  signals_.push_back(std::move(state));
+  signals_.push_back(state);
+  names_.push_back(std::move(name));
   return SignalId{static_cast<std::uint32_t>(signals_.size() - 1)};
+}
+
+void Simulator::append_listener(std::uint32_t& head, std::uint32_t& tail,
+                                std::uint32_t process_index) {
+  const auto node = static_cast<std::uint32_t>(listener_nodes_.size());
+  listener_nodes_.push_back(ListenerNode{process_index, kNil});
+  if (tail == kNil) {
+    head = node;
+  } else {
+    listener_nodes_[tail].next = node;
+  }
+  tail = node;
 }
 
 void Simulator::on_change(SignalId sensitivity, Process process) {
   processes_.push_back(std::move(process));
-  signals_[sensitivity.index].change_processes.push_back(
-      static_cast<std::uint32_t>(processes_.size() - 1));
+  SignalState& state = signals_[sensitivity.index];
+  append_listener(state.change_head, state.change_tail,
+                  static_cast<std::uint32_t>(processes_.size() - 1));
 }
 
 void Simulator::on_rising(SignalId sensitivity, Process process) {
   processes_.push_back(std::move(process));
-  signals_[sensitivity.index].rising_processes.push_back(
-      static_cast<std::uint32_t>(processes_.size() - 1));
+  SignalState& state = signals_[sensitivity.index];
+  append_listener(state.rising_head, state.rising_tail,
+                  static_cast<std::uint32_t>(processes_.size() - 1));
 }
 
-Simulator::DriverState& Simulator::driver_state(SignalId signal,
-                                                std::uint32_t driver) {
-  const std::uint64_t key =
-      (static_cast<std::uint64_t>(signal.index) << 32) | driver;
-  return driver_states_[key];
+std::uint32_t Simulator::driver_lane(std::uint32_t signal_index,
+                                     std::uint32_t driver) {
+  std::uint32_t index = signals_[signal_index].lanes_head;
+  std::uint32_t prev = kNil;
+  while (index != kNil) {
+    if (driver_lanes_[index].driver == driver) {
+      return index;
+    }
+    prev = index;
+    index = driver_lanes_[index].next;
+  }
+  const auto fresh = static_cast<std::uint32_t>(driver_lanes_.size());
+  driver_lanes_.push_back(DriverLane{0, driver, kNil, Logic::kZ});
+  if (prev == kNil) {
+    signals_[signal_index].lanes_head = fresh;
+  } else {
+    driver_lanes_[prev].next = fresh;
+  }
+  return fresh;
 }
 
 void Simulator::schedule(SignalId signal, Logic value, Time delay,
                          std::uint32_t driver) {
   assert(delay >= 0 && "cannot schedule into the past");
-  DriverState& state = driver_state(signal, driver);
-  if (state.has_value && state.last_value == value) {
+  if (driver != 0) {
+    schedule_lane(signal, value, delay, driver_lane(signal.index, driver));
+    return;
+  }
+  // Lane 0 is transport: every scheduled transition is delivered verbatim,
+  // even a re-drive of a value this lane scheduled before (another lane may
+  // have moved the signal in between), so no dedup state is kept at all.
+  QueuedEvent event;
+  event.time = now_ + delay;
+  event.signal = signal.index;
+  event.value = value;
+  event.sequence = next_sequence_++;
+  queue_.push(event);
+}
+
+void Simulator::schedule_lane(SignalId signal, Logic value, Time delay,
+                              std::uint32_t lane_index) {
+  assert(delay >= 0 && "cannot schedule into the past");
+  DriverLane& lane = driver_lanes_[lane_index];
+  if (lane.generation != 0 && lane.last_value == value) {
     // Re-scheduling the value this lane already targets: keep the earlier
     // event's timing (a gate re-evaluating to an unchanged output must not
     // postpone its pending transition).
     return;
   }
-  state.last_value = value;
-  state.has_value = true;
-  Event event;
+  lane.last_value = value;
+  QueuedEvent event;
   event.time = now_ + delay;
-  event.sequence = next_sequence_++;
-  event.signal = signal;
+  event.signal = signal.index;
   event.value = value;
-  event.driver = driver;
-  // Lane 0 is transport: generation 0 is never invalidated.
-  event.driver_generation = driver == 0 ? 0 : ++state.generation;
-  queue_.push(std::move(event));
+  event.inertial = true;
+  event.slot = lane_index;
+  event.driver_generation = ++lane.generation;
+  event.sequence = next_sequence_++;
+  queue_.push(event);
 }
 
 void Simulator::schedule_task(Time delay, Task task) {
   assert(delay >= 0 && "cannot schedule into the past");
-  Event event;
+  std::uint32_t slot;
+  if (!free_task_slots_.empty()) {
+    slot = free_task_slots_.back();
+    free_task_slots_.pop_back();
+    task_slots_[slot] = std::move(task);
+  } else {
+    slot = static_cast<std::uint32_t>(task_slots_.size());
+    task_slots_.push_back(std::move(task));
+  }
+  QueuedEvent event;
   event.time = now_ + delay;
   event.sequence = next_sequence_++;
-  event.task = std::move(task);
-  queue_.push(std::move(event));
+  event.slot = slot;
+  queue_.push(event);
 }
 
-void Simulator::apply_signal_event(const Event& event) {
-  SignalState& state = signals_[event.signal.index];
-  const Logic old_value = state.value;
+void Simulator::dispatch(std::uint32_t head, std::uint32_t tail,
+                         const SignalEvent& notification) {
+  std::uint32_t index = head;
+  while (index != kNil) {
+    // Copy the node before the call: a callback may register listeners and
+    // grow the pool, relocating it.
+    const ListenerNode node = listener_nodes_[index];
+    processes_[node.process](notification);
+    if (index == tail) {
+      break;  // Listeners appended during dispatch run on the next event.
+    }
+    index = node.next;
+  }
+}
+
+void Simulator::apply_signal_event(const QueuedEvent& event) {
+  const Logic old_value = signals_[event.signal].value;
   if (old_value == event.value) {
     return;  // No change, no notification.
   }
-  state.value = event.value;
+  signals_[event.signal].value = event.value;
 
-  SignalEvent notification{event.signal, old_value, event.value, now_};
-  // Copy the listener lists: a callback may register further processes and
-  // reallocate the vectors.
-  const auto change_listeners = state.change_processes;
-  for (std::uint32_t process_index : change_listeners) {
-    processes_[process_index](notification);
+  const SignalEvent notification{SignalId{event.signal}, old_value, event.value,
+                                 now_};
+  // Snapshot the chain bounds per list right before walking it (a change
+  // callback may register a rising listener on this very signal, and that
+  // listener must see this edge -- matching the historical copy semantics).
+  // Re-index signals_ each time: callbacks may add signals and relocate it.
+  {
+    const SignalState state = signals_[event.signal];
+    dispatch(state.change_head, state.change_tail, notification);
   }
   if (notification.is_rising()) {
-    const auto rising_listeners = signals_[event.signal.index].rising_processes;
-    for (std::uint32_t process_index : rising_listeners) {
-      processes_[process_index](notification);
-    }
+    const SignalState state = signals_[event.signal];
+    dispatch(state.rising_head, state.rising_tail, notification);
   }
 }
 
 Time Simulator::run(Time deadline) {
   while (!queue_.empty()) {
-    const Event& top = queue_.top();
-    if (top.time > deadline) {
+    const QueuedEvent event = queue_.top();
+    if (event.time > deadline) {
       // Leave future events queued; advance time to the deadline so that
       // run_for() composes.
       now_ = deadline;
       return now_;
     }
-    Event event = top;
     queue_.pop();
     now_ = event.time;
 
-    if (event.task) {
-      ++executed_events_;
-      event.task();
+    if (event.signal == kNoSignal) {
+      ++counters_.tasks;
+      Task task = std::move(task_slots_[event.slot]);
+      task_slots_[event.slot] = nullptr;
+      free_task_slots_.push_back(event.slot);
+      task();
       continue;
     }
     // Inertial-delay cancellation: only the newest scheduled transition per
     // (signal, driver) survives.  Lane 0 (transport) is exempt.
-    if (event.driver != 0 &&
-        event.driver_generation !=
-            driver_state(event.signal, event.driver).generation) {
+    if (event.inertial &&
+        event.driver_generation != driver_lanes_[event.slot].generation) {
+      ++counters_.cancelled_inertial;
       continue;
     }
-    ++executed_events_;
+    ++counters_.signal_events;
     apply_signal_event(event);
   }
   if (deadline != kTimeNever && deadline > now_) {

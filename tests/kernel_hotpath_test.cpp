@@ -1,0 +1,268 @@
+// Contracts introduced by the kernel/delay-line hot-path optimization:
+// transport-lane delivery (the lane-0 dedup regression), the split
+// execution counters, listener registration from inside a dispatch, and
+// bit-for-bit equivalence of the cached tap-delay prefix sums with a
+// from-scratch accumulation on both line architectures.
+#include <gtest/gtest.h>
+
+#include <vector>
+
+#include "ddl/cells/operating_point.h"
+#include "ddl/cells/technology.h"
+#include "ddl/core/conventional_line.h"
+#include "ddl/core/proposed_line.h"
+#include "ddl/sim/flipflop.h"
+#include "ddl/sim/gates.h"
+#include "ddl/sim/simulator.h"
+
+namespace {
+
+using ddl::cells::OperatingPoint;
+using ddl::cells::Technology;
+using ddl::sim::Logic;
+using ddl::sim::SignalEvent;
+using ddl::sim::Simulator;
+
+const Technology& tech() {
+  static const auto kTech = Technology::i32nm_class();
+  return kTech;
+}
+
+// The operating points the bit-for-bit checks sweep: the named corners plus
+// an off-grid point so the derating memo sees a non-default key.
+std::vector<OperatingPoint> sweep_ops() {
+  return {OperatingPoint::typical(), OperatingPoint::fast_process_only(),
+          OperatingPoint::slow_process_only(),
+          OperatingPoint{ddl::cells::ProcessCorner::kTypical, 0.93, 71.0}};
+}
+
+// ---- Transport lane (driver 0) --------------------------------------------
+
+TEST(TransportLane, SameValueReScheduleIsDelivered) {
+  // Lane 0 is the verbatim testbench lane: 1@10 ... 1@30 must both be
+  // delivered even though lane 0 already scheduled a 1, because an inertial
+  // lane drove the signal low in between.  The seed kernel's same-value
+  // dedup swallowed the second event.
+  Simulator sim;
+  const auto s = sim.add_signal("s", Logic::k0);
+  const auto lane = sim.attach_driver(s);
+
+  sim.schedule(s, Logic::k1, 10);               // transport
+  sim.schedule_lane(s, Logic::k0, 20, lane);    // inertial lane drives low
+  sim.schedule(s, Logic::k1, 30);               // transport re-drive of 1
+
+  std::vector<std::pair<ddl::sim::Time, Logic>> seen;
+  sim.on_change(s, [&](const SignalEvent& event) {
+    seen.emplace_back(event.time, event.new_value);
+  });
+  sim.run();
+
+  ASSERT_EQ(seen.size(), 3u);
+  EXPECT_EQ(seen[0], (std::pair<ddl::sim::Time, Logic>{10, Logic::k1}));
+  EXPECT_EQ(seen[1], (std::pair<ddl::sim::Time, Logic>{20, Logic::k0}));
+  EXPECT_EQ(seen[2], (std::pair<ddl::sim::Time, Logic>{30, Logic::k1}));
+  EXPECT_EQ(sim.value(s), Logic::k1);
+}
+
+TEST(TransportLane, InertialLaneStillDedupsSameValue) {
+  // The inertial same-value no-op is unchanged: re-scheduling 1 on the same
+  // lane keeps the earlier event's timing and enqueues nothing new.
+  Simulator sim;
+  const auto s = sim.add_signal("s", Logic::k0);
+  const auto lane = sim.attach_driver(s);
+
+  sim.schedule_lane(s, Logic::k1, 10, lane);
+  sim.schedule_lane(s, Logic::k1, 30, lane);  // no-op: same value, same lane
+
+  sim.run();
+  EXPECT_EQ(sim.counters().signal_events, 1u);
+  EXPECT_EQ(sim.counters().cancelled_inertial, 0u);
+}
+
+// ---- Split execution counters ---------------------------------------------
+
+TEST(KernelCounters, SplitSumsToExecutedEvents) {
+  Simulator sim;
+  ddl::sim::NetlistContext ctx{&sim, &tech(), OperatingPoint::typical()};
+  const auto in = sim.add_signal("in", Logic::k0);
+  ddl::sim::make_buffer_chain(ctx, in, 8);
+  const auto clk = sim.add_signal("clk");
+  ddl::sim::make_clock(sim, clk, 1'000);
+
+  sim.schedule(in, Logic::k1, 0);
+  sim.run(10'000);
+
+  const auto& counters = sim.counters();
+  EXPECT_GT(counters.signal_events, 0u);
+  EXPECT_GT(counters.tasks, 0u);  // clock toggles are scheduled tasks
+  EXPECT_EQ(counters.total(), counters.signal_events + counters.tasks);
+  EXPECT_EQ(sim.executed_events(), counters.total());
+}
+
+TEST(KernelCounters, CancelledInertialCountedSeparately) {
+  // A pulse shorter than the gate delay: the buffer's inertial lane
+  // reschedules to the opposite value before the first event delivers, so
+  // exactly one queued event goes stale.  It must appear in
+  // cancelled_inertial and NOT in executed_events (the seed never counted
+  // cancelled events as executed).
+  Simulator sim;
+  ddl::sim::NetlistContext ctx{&sim, &tech(), OperatingPoint::typical()};
+  const auto in = sim.add_signal("in", Logic::k0);
+  const auto out = sim.add_signal("out");
+  ddl::sim::make_buffer(ctx, in, out, 50.0);
+
+  sim.schedule(in, Logic::k1, 10);
+  sim.schedule(in, Logic::k0, 20);  // swallows the pending out=1 @ 60
+  sim.run();
+
+  EXPECT_EQ(sim.counters().cancelled_inertial, 1u);
+  EXPECT_EQ(sim.executed_events(),
+            sim.counters().signal_events + sim.counters().tasks);
+  EXPECT_EQ(sim.value(out), Logic::k0);
+}
+
+// ---- Listener registration from inside a dispatch -------------------------
+
+TEST(ListenerDispatch, ChangeCallbackMayRegisterRisingForSameEdge) {
+  // Seed semantics: the rising list is consulted *after* the change
+  // dispatch, so a rising listener registered by a change callback on the
+  // same signal fires for that very edge.
+  Simulator sim;
+  const auto s = sim.add_signal("s", Logic::k0);
+  int rising_calls = 0;
+  bool registered = false;
+  sim.on_change(s, [&](const SignalEvent&) {
+    if (!registered) {
+      registered = true;
+      sim.on_rising(s, [&](const SignalEvent&) { ++rising_calls; });
+    }
+  });
+
+  sim.schedule(s, Logic::k1, 10);
+  sim.run();
+  EXPECT_EQ(rising_calls, 1);
+
+  sim.schedule(s, Logic::k0, 10);
+  sim.schedule(s, Logic::k1, 20);
+  sim.run();
+  EXPECT_EQ(rising_calls, 2);
+}
+
+TEST(ListenerDispatch, ListenerAddedDuringDispatchMissesCurrentChange) {
+  // A change listener registered by another change listener joins the chain
+  // *behind* the dispatch snapshot: it first fires on the next change.
+  Simulator sim;
+  const auto s = sim.add_signal("s", Logic::k0);
+  int late_calls = 0;
+  sim.on_change(s, [&](const SignalEvent&) {
+    if (late_calls == 0) {
+      sim.on_change(s, [&](const SignalEvent&) { ++late_calls; });
+    }
+  });
+
+  sim.schedule(s, Logic::k1, 10);
+  sim.run();
+  EXPECT_EQ(late_calls, 0);
+
+  sim.schedule(s, Logic::k0, 10);
+  sim.run();
+  EXPECT_EQ(late_calls, 1);
+}
+
+// ---- Tap-delay prefix cache: proposed line --------------------------------
+
+TEST(ProposedTapCache, FaultInvalidatesAndMatchesColdLineBitForBit) {
+  // Line A queries (warming the prefix cache), then takes a fault; line B
+  // is an identical die that takes the same fault before any query (cold
+  // cache).  Every tap at every operating point must match bit-for-bit:
+  // the suffix rebuild is the same left-to-right accumulation a fresh line
+  // performs.
+  ddl::core::ProposedLineConfig config{64, 2};
+  ddl::core::ProposedDelayLine a(tech(), config, /*seed=*/7);
+  ddl::core::ProposedDelayLine b(tech(), config, /*seed=*/7);
+
+  const auto op = OperatingPoint::typical();
+  const double before = a.tap_delay_ps(40, op);
+  (void)a.tap_delays(op);  // warm the reusable buffer too
+
+  a.inject_cell_fault(17, 1.5);
+  b.inject_cell_fault(17, 1.5);
+
+  // The fault is visible downstream of the victim and invisible upstream.
+  EXPECT_GT(a.tap_delay_ps(40, op), before);
+  EXPECT_EQ(a.tap_delay_ps(16, op), b.tap_delay_ps(16, op));
+
+  for (const auto& sweep_op : sweep_ops()) {
+    const std::vector<double> taps_a = a.tap_delays(sweep_op);  // copy: the
+    const std::vector<double>& taps_b = b.tap_delays(sweep_op);  // buffers
+    ASSERT_EQ(taps_a.size(), taps_b.size());                     // are per-line
+    for (std::size_t i = 0; i < taps_a.size(); ++i) {
+      EXPECT_EQ(taps_a[i], taps_b[i]) << "tap " << i;
+      EXPECT_EQ(a.tap_delay_ps(i, sweep_op), taps_a[i]) << "tap " << i;
+    }
+  }
+}
+
+TEST(ProposedTapCache, CellDelaysScaleExactlyBySeverity) {
+  ddl::core::ProposedDelayLine line(tech(), {64, 2}, /*seed=*/5);
+  const auto op = OperatingPoint::typical();
+  const double before = line.cell_delay_ps(9, op);
+  line.inject_cell_fault(9, 2.0);
+  EXPECT_EQ(line.cell_delay_ps(9, op), before * 2.0);
+}
+
+// ---- Tap-delay prefix cache: conventional line ----------------------------
+
+TEST(ConventionalTapCache, InterleavedMutationsMatchColdLineBitForBit) {
+  // Line A interleaves queries with setting changes and a fault (forcing
+  // repeated partial re-extensions of the watermarked prefix); line B
+  // applies the same mutations up front and queries once from cold.  Bit
+  // equality across taps and operating points proves resuming from the
+  // watermark equals a from-scratch accumulation.
+  ddl::core::ConventionalLineConfig config{32, 4, 2};
+  ddl::core::ConventionalDelayLine a(tech(), config, /*seed=*/11);
+  ddl::core::ConventionalDelayLine b(tech(), config, /*seed=*/11);
+
+  const auto op = OperatingPoint::typical();
+  (void)a.tap_delay_ps(31, op);  // warm the full prefix
+  a.set_setting(3, 2);
+  (void)a.tap_delay_ps(10, op);  // partial re-extension past the change
+  a.set_setting(20, 1);
+  (void)a.tap_delay_ps(5, op);   // query below the watermark (no extension)
+  a.inject_cell_fault(8, 1.25);
+  (void)a.tap_delays(op);
+
+  b.set_setting(3, 2);
+  b.set_setting(20, 1);
+  b.inject_cell_fault(8, 1.25);
+
+  for (const auto& sweep_op : sweep_ops()) {
+    const std::vector<double> taps_a = a.tap_delays(sweep_op);
+    const std::vector<double>& taps_b = b.tap_delays(sweep_op);
+    ASSERT_EQ(taps_a.size(), taps_b.size());
+    for (std::size_t i = 0; i < taps_a.size(); ++i) {
+      EXPECT_EQ(taps_a[i], taps_b[i]) << "tap " << i;
+      EXPECT_EQ(a.tap_delay_ps(i, sweep_op), taps_a[i]) << "tap " << i;
+    }
+  }
+}
+
+TEST(ConventionalTapCache, FaultAndResetInvalidate) {
+  ddl::core::ConventionalDelayLine line(tech(), {32, 4, 2}, /*seed=*/3);
+  const auto op = OperatingPoint::typical();
+
+  const double clean = line.tap_delay_ps(31, op);
+  line.inject_cell_fault(0, 1.5);
+  const double faulty = line.tap_delay_ps(31, op);
+  EXPECT_GT(faulty, clean);
+
+  line.set_setting(4, 3);
+  const double longer = line.tap_delay_ps(31, op);
+  EXPECT_GT(longer, faulty);
+  EXPECT_EQ(line.tap_delay_ps(3, op), line.tap_delay_ps(3, op));
+
+  line.reset_settings();
+  EXPECT_EQ(line.tap_delay_ps(31, op), faulty);  // settings gone, fault stays
+}
+
+}  // namespace

@@ -160,6 +160,12 @@ int main(int argc, char** argv) {
     health_events += result.health.size();
   }
   report.set("health_events", static_cast<std::uint64_t>(health_events));
+  // Kernel execution counters summed across the suite (zero for purely
+  // behavioral scenarios; see ScenarioResult::kernel).
+  report.set("kernel_signal_events", summary.kernel.signal_events);
+  report.set("kernel_tasks", summary.kernel.tasks);
+  report.set("kernel_cancelled_inertial", summary.kernel.cancelled_inertial);
+  report.set("kernel_executed_events", summary.kernel.total());
   report.set("wall_ms", wall_ms);
   for (const auto& [reason, count] : summary.failures) {
     report.set("failures." + reason, static_cast<std::uint64_t>(count));
