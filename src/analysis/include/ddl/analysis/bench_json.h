@@ -14,12 +14,30 @@
 
 #include <chrono>
 #include <cstdint>
+#include <map>
+#include <optional>
 #include <string>
 #include <vector>
 
 #include "ddl/analysis/monte_carlo.h"
 
 namespace ddl::analysis {
+
+/// Atomically replaces `path` with `content`: writes a sibling
+/// `<path>.tmp.<pid>` file, flushes it, then renames it over `path`.  A
+/// crash mid-write leaves either the old file or nothing -- never a torn
+/// report.  Every report emitter (BENCH_*.json, the scenario runner's
+/// --out/--health-out streams, campaign manifests and replay bundles)
+/// routes through here.  Throws std::runtime_error on I/O failure.
+void write_file_atomic(const std::string& path, const std::string& content);
+
+/// Parses one *flat* JSON object line of the dialect `JsonObject` emits:
+/// string / number / bool values only, no nesting, no arrays.  Returns the
+/// key -> value map with string values unescaped and numbers / bools left
+/// as their literal text, or nullopt when the line is not a complete valid
+/// object (e.g. the torn final line of a crashed journal).
+std::optional<std::map<std::string, std::string>> parse_flat_json_line(
+    const std::string& line);
 
 /// Version stamped into every BENCH_*.json and scenario JSONL line.  Bump
 /// when a field is renamed or its meaning changes; adding fields is

@@ -1,0 +1,102 @@
+// Crash-safe campaign execution on top of the scenario runner.
+//
+// A Campaign adds three things a long-running batch service needs that the
+// plain ScenarioRunner does not provide:
+//
+//   durability  every completed scenario is appended to an on-disk JSONL
+//               journal (write-ahead: health events first, then the result
+//               line as the commit record) next to a checkpoint manifest
+//               written via atomic tmp-file+rename.  A killed campaign
+//               resumes with `CampaignConfig::resume`: completed scenarios
+//               are skipped and their journaled lines reused *byte-exactly*,
+//               so the final stream is identical to an uninterrupted run.
+//
+//   isolation   each scenario attempt runs on its own watchdog-supervised
+//               thread with a per-spec deadline (`timeout_ms`, or derived
+//               from the spec's period count).  Timeouts are classified
+//               transient and retried with exponential backoff up to
+//               `max_retries`; an exhausted scenario becomes a structured
+//               `verdict:"error"` row (ScenarioError::kTimeout) and the
+//               batch keeps going.  Exceptions are captured per scenario by
+//               `run_scenario_guarded` and are not retried (deterministic).
+//
+//   determinism the journal is completion-ordered (a durability log, not
+//               the artifact); the final result and health streams are
+//               re-emitted in spec order from deterministic per-scenario
+//               content, so they are byte-identical for any `jobs` value
+//               and across any interrupt/resume split.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "ddl/scenario/runner.h"
+
+namespace ddl::scenario {
+
+struct CampaignConfig {
+  /// Journal + checkpoint-manifest directory; empty disables durability
+  /// (watchdog isolation still applies).  Created on demand.
+  std::string journal_dir;
+  /// Resume from an existing journal in `journal_dir`: the manifest must
+  /// fingerprint-match the spec list, completed scenarios are skipped.
+  bool resume = false;
+  /// Worker threads; 0 resolves DDL_THREADS / hardware concurrency.
+  std::size_t jobs = 0;
+  /// Watchdog deadline per attempt in wall milliseconds; 0 derives a
+  /// generous per-spec default from the period count (auto_timeout_ms).
+  std::uint64_t timeout_ms = 0;
+  /// Extra attempts granted to a timed-out (transiently failed) scenario.
+  int max_retries = 1;
+  /// First retry backoff; doubles on every further retry.
+  std::uint64_t backoff_base_ms = 50;
+  /// After a timeout the watchdog cancels cooperatively and waits this long
+  /// to join the worker before abandoning (detaching) it.
+  std::uint64_t grace_ms = 500;
+};
+
+/// The derived watchdog deadline when `timeout_ms == 0`: generous enough
+/// that only a genuine hang trips it (10 s floor + 20 ms per switching
+/// period), and a pure function of the spec so error rows stay
+/// deterministic.
+std::uint64_t auto_timeout_ms(const ScenarioSpec& spec);
+
+/// Everything a campaign run produces.  `result_lines` (spec order, no
+/// trailing newline) is the canonical byte-stable stream; `results` backs
+/// summarize() -- entries for resumed scenarios are reconstructed from
+/// their journal lines (verdict fields only, metrics left zero).
+struct CampaignOutcome {
+  std::vector<ScenarioResult> results;
+  std::vector<std::string> result_lines;
+  /// Health-event stream, spec order then event order (byte-stable).
+  std::string health_jsonl;
+
+  std::size_t executed = 0;   ///< Scenarios run in this process.
+  std::size_t resumed = 0;    ///< Scenarios restored from the journal.
+  std::size_t retried = 0;    ///< Scenarios that needed more than 1 attempt.
+  std::size_t timeouts = 0;   ///< Scenarios exhausted as kTimeout errors.
+  std::size_t exceptions = 0; ///< Scenarios captured as kException errors.
+  std::size_t abandoned_threads = 0;  ///< Workers detached past grace.
+
+  /// The result stream as one JSONL document.
+  std::string jsonl() const;
+};
+
+class Campaign {
+ public:
+  explicit Campaign(CampaignConfig config) : config_(std::move(config)) {}
+
+  /// Runs (or resumes) the campaign over `specs`.  Spec names must be
+  /// unique (the journal is keyed by name); throws std::invalid_argument
+  /// otherwise, and std::runtime_error when `resume` is set but the
+  /// journal directory does not hold a matching campaign manifest.
+  CampaignOutcome run(const std::vector<ScenarioSpec>& specs) const;
+
+  const CampaignConfig& config() const noexcept { return config_; }
+
+ private:
+  CampaignConfig config_;
+};
+
+}  // namespace ddl::scenario

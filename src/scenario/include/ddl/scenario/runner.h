@@ -44,8 +44,23 @@ struct ScenarioResult {
                                ///< no_recovery, relock_too_slow,
                                ///< insufficient_degradation,
                                ///< transition_unsettled, regulation_error,
-                               ///< limit_cycle, never_settled.
+                               ///< limit_cycle, never_settled -- or
+                               ///< error:exception / error:timeout when the
+                               ///< run itself died (see `error`).
   std::string failure_detail;  ///< Extra context (invalid_spec messages).
+
+  // Execution error (kNone unless the run itself threw or timed out; see
+  // ScenarioError).  `attempts` counts watchdog attempts consumed -- 1 for
+  // a clean first-try run, >1 after transient retries.
+  ScenarioError error = ScenarioError::kNone;
+  std::string error_detail;
+  int attempts = 1;
+
+  /// Three-way verdict rendered into every JSONL row: "error" when the run
+  /// itself failed (exception/timeout), else "pass"/"fail" by the checks.
+  std::string_view verdict() const noexcept {
+    return error != ScenarioError::kNone ? "error" : pass ? "pass" : "fail";
+  }
 
   // Supervision (zero/empty unless the spec enabled it).
   bool supervised = false;
@@ -95,6 +110,18 @@ struct ScenarioArtifacts {
 
 /// Runs one scenario synchronously on the calling thread.
 ScenarioArtifacts run_scenario(const ScenarioSpec& spec);
+
+/// Like `run_scenario`, but never throws: any exception escaping spec
+/// execution (infeasible sizing, allocation failure, a model bug) becomes a
+/// structured `ScenarioError::kException` result carrying the exception
+/// message, so one broken scenario cannot take down a whole batch.  Honors
+/// the `debug_throw` test hook.
+ScenarioArtifacts run_scenario_guarded(const ScenarioSpec& spec);
+
+/// The error result `run_scenario_guarded` would produce, factored out so
+/// the campaign watchdog can synthesize timeout rows with the same shape.
+ScenarioResult make_error_result(const ScenarioSpec& spec, ScenarioError error,
+                                 std::string detail);
 
 /// Suite-level aggregate of a batch run.
 struct SuiteSummary {

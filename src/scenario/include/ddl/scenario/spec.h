@@ -100,6 +100,18 @@ struct FaultSpec {
                                      std::uint64_t clear_period = 0);
 };
 
+/// Execution-error taxonomy: how a scenario *run* failed, as opposed to a
+/// verdict failure (the scenario ran to completion but missed its bounds).
+/// A non-kNone error renders as `verdict:"error"` in the JSONL stream so a
+/// crashed or hung scenario is a structured row, never a lost batch.
+enum class ScenarioError {
+  kNone = 0,   ///< Ran to completion (verdict is pass/fail).
+  kException,  ///< Spec execution threw; `error_detail` carries what().
+  kTimeout,    ///< Watchdog deadline expired on every allowed attempt.
+};
+
+std::string_view to_string(ScenarioError error) noexcept;
+
 /// Lock supervision: when enabled the runner wraps the calibrated system in
 /// a core::LockSupervisor (detection thresholds and recovery policy come
 /// from `config`) and records its health events alongside the result.
@@ -165,6 +177,17 @@ struct ScenarioSpec {
   /// values are core::DegradationLevel).  Fails as
   /// `insufficient_degradation`.
   int expect_min_degradation = 0;
+
+  // --- Test hooks (exercised by the campaign isolation tests and the
+  // runner's --inject-hang flag; no built-in suite sets them) -------------
+  /// Cooperative hang: the guarded runner spins this long (polling its
+  /// cancellation token) before executing, so watchdog timeouts are
+  /// testable without a real deadlock.
+  std::uint64_t debug_hang_ms = 0;
+  /// How many attempts hang; later attempts run normally (retry testing).
+  int debug_hang_attempts = 1;
+  /// The guarded runner throws instead of executing (exception capture).
+  bool debug_throw = false;
 
   /// The regulation target the steady-state window is judged against: the
   /// last DVFS mode's vref, or `vref_v` when the schedule is empty.

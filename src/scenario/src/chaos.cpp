@@ -1,0 +1,488 @@
+#include "ddl/scenario/chaos.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <cstdlib>
+#include <stdexcept>
+#include <utility>
+
+namespace ddl::scenario {
+namespace {
+
+/// splitmix64: tiny, platform-stable PRNG (std distributions are not
+/// portable across standard libraries, and storms must be byte-identical
+/// on gcc and clang alike).
+struct SplitMix64 {
+  std::uint64_t state;
+
+  std::uint64_t next() {
+    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
+    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
+    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
+    return z ^ (z >> 31);
+  }
+
+  /// Uniform in [0, n); modulo bias is irrelevant for fuzzing draws.
+  std::uint64_t below(std::uint64_t n) { return n ? next() % n : 0; }
+
+  /// Uniform in [0, 1).
+  double unit() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+};
+
+std::string storm_name(const ScenarioSpec& base, std::size_t index) {
+  char suffix[32];
+  std::snprintf(suffix, sizeof(suffix), "storm-%02llu",
+                static_cast<unsigned long long>(index));
+  return "chaos/" + std::string(to_string(base.architecture)) + "/" +
+         std::string(cells::to_string(base.corner.corner)) + "/" + suffix;
+}
+
+FaultSpec random_fault(SplitMix64& rng, const ScenarioSpec& base,
+                       std::size_t cells) {
+  // Which kinds the architecture supports (validate() mirrors this).
+  const bool clock_ok = base.architecture == Architecture::kProposed ||
+                        base.architecture == Architecture::kConventional;
+  const std::uint64_t roll = rng.below(clock_ok ? 3 : 2);
+
+  const std::uint64_t at = 1 + rng.below(base.periods - 1);
+  // Half the faults are permanent; the rest clear inside (or right at the
+  // end of) the run.
+  const std::uint64_t clear =
+      rng.below(2) == 0 ? 0 : at + 1 + rng.below(base.periods - at);
+
+  switch (roll) {
+    case 0:
+      // Delay faults between 1.5x and 10x: strong enough to move the lock
+      // point, the regime the re-lock machinery exists for.
+      return FaultSpec::delay_cell(rng.below(cells), 1.5 + rng.unit() * 8.5,
+                                   at, clear);
+    case 1:
+      return FaultSpec::stuck_tap(rng.below(cells), at, clear);
+    default:
+      // Clock steps on either side of nominal, clear of the 1.0 no-op.
+      return FaultSpec::clock_period_step(rng.below(2) == 0
+                                              ? 0.80 + rng.unit() * 0.15
+                                              : 1.05 + rng.unit() * 0.25,
+                                          at, clear);
+  }
+}
+
+// ---- Flat-spec field helpers ----------------------------------------------
+
+const std::string* find_field(const std::map<std::string, std::string>& fields,
+                              const std::string& key) {
+  const auto it = fields.find(key);
+  return it == fields.end() ? nullptr : &it->second;
+}
+
+void get(const std::map<std::string, std::string>& fields,
+         const std::string& key, std::string& out) {
+  if (const std::string* value = find_field(fields, key)) {
+    out = *value;
+  }
+}
+
+void get(const std::map<std::string, std::string>& fields,
+         const std::string& key, double& out) {
+  if (const std::string* value = find_field(fields, key)) {
+    out = std::strtod(value->c_str(), nullptr);
+  }
+}
+
+void get(const std::map<std::string, std::string>& fields,
+         const std::string& key, std::uint64_t& out) {
+  if (const std::string* value = find_field(fields, key)) {
+    out = std::strtoull(value->c_str(), nullptr, 10);
+  }
+}
+
+void get(const std::map<std::string, std::string>& fields,
+         const std::string& key, int& out) {
+  if (const std::string* value = find_field(fields, key)) {
+    out = std::atoi(value->c_str());
+  }
+}
+
+void get(const std::map<std::string, std::string>& fields,
+         const std::string& key, bool& out) {
+  if (const std::string* value = find_field(fields, key)) {
+    out = *value == "true";
+  }
+}
+
+Architecture architecture_from_string(const std::string& text) {
+  for (const Architecture architecture :
+       {Architecture::kCounter, Architecture::kHybrid, Architecture::kProposed,
+        Architecture::kConventional}) {
+    if (text == to_string(architecture)) {
+      return architecture;
+    }
+  }
+  throw std::invalid_argument("spec_from_json: unknown architecture '" +
+                              text + "'");
+}
+
+cells::ProcessCorner corner_from_string(const std::string& text) {
+  for (const cells::ProcessCorner corner :
+       {cells::ProcessCorner::kFast, cells::ProcessCorner::kTypical,
+        cells::ProcessCorner::kSlow}) {
+    if (text == cells::to_string(corner)) {
+      return corner;
+    }
+  }
+  throw std::invalid_argument("spec_from_json: unknown process corner '" +
+                              text + "'");
+}
+
+LoadSpec::Kind load_kind_from_string(const std::string& text) {
+  LoadSpec probe;
+  for (const LoadSpec::Kind kind :
+       {LoadSpec::Kind::kConstant, LoadSpec::Kind::kStep, LoadSpec::Kind::kRamp,
+        LoadSpec::Kind::kMarkov}) {
+    probe.kind = kind;
+    if (text == probe.kind_name()) {
+      return kind;
+    }
+  }
+  throw std::invalid_argument("spec_from_json: unknown load kind '" + text +
+                              "'");
+}
+
+FaultSpec::Kind fault_kind_from_string(const std::string& text) {
+  FaultSpec probe;
+  for (const FaultSpec::Kind kind :
+       {FaultSpec::Kind::kDelayCell, FaultSpec::Kind::kStuckTap,
+        FaultSpec::Kind::kClockPeriodStep}) {
+    probe.kind = kind;
+    if (text == probe.kind_name()) {
+      return kind;
+    }
+  }
+  throw std::invalid_argument("spec_from_json: unknown fault kind '" + text +
+                              "'");
+}
+
+std::string indexed(const std::string& prefix, std::size_t i,
+                    const char* field) {
+  return prefix + "." + std::to_string(i) + "." + field;
+}
+
+}  // namespace
+
+std::vector<ScenarioSpec> expand_chaos(const ChaosCampaignSpec& chaos) {
+  const ScenarioSpec& base = chaos.base;
+  if (base.architecture == Architecture::kCounter) {
+    throw std::invalid_argument(
+        "expand_chaos: the counter baseline has no delay line to storm");
+  }
+  if (!base.dvfs.empty()) {
+    throw std::invalid_argument(
+        "expand_chaos: runtime fault storms cannot ride a DVFS schedule");
+  }
+  if (!base.faults.empty()) {
+    throw std::invalid_argument(
+        "expand_chaos: the base scenario must not carry its own fault plan");
+  }
+  if (base.periods < 2) {
+    throw std::invalid_argument("expand_chaos: base run too short to storm");
+  }
+  const std::size_t cells = base.expected_line_cells();
+  if (cells == 0) {
+    throw std::invalid_argument(
+        "expand_chaos: base sizing is infeasible (no line cells to fault)");
+  }
+
+  std::vector<ScenarioSpec> storms;
+  storms.reserve(chaos.storms);
+  for (std::size_t i = 0; i < chaos.storms; ++i) {
+    // One independent stream per storm: adding storms never reshuffles
+    // earlier ones.
+    SplitMix64 rng{chaos.seed ^ (0x5851f42d4c957f2dull * (i + 1))};
+    ScenarioSpec storm = base;
+    storm.family = "chaos";
+    storm.name = storm_name(base, i);
+    const std::size_t faults =
+        1 + static_cast<std::size_t>(
+                rng.below(std::max<std::size_t>(chaos.max_faults_per_storm, 1)));
+    storm.faults.reserve(faults);
+    for (std::size_t f = 0; f < faults; ++f) {
+      storm.faults.push_back(random_fault(rng, base, cells));
+    }
+    storms.push_back(std::move(storm));
+  }
+  return storms;
+}
+
+analysis::JsonObject spec_to_json(const ScenarioSpec& spec) {
+  analysis::JsonObject object;
+  object.set("name", spec.name);
+  object.set("family", spec.family);
+  object.set("architecture", std::string(to_string(spec.architecture)));
+  object.set("clock_mhz", spec.clock_mhz);
+  object.set("resolution_bits", spec.resolution_bits);
+  object.set("counter_bits", spec.counter_bits);
+  object.set("seed", spec.seed);
+  object.set("corner.process",
+             std::string(cells::to_string(spec.corner.corner)));
+  object.set("corner.supply_v", spec.corner.supply_v);
+  object.set("corner.temperature_c", spec.corner.temperature_c);
+  object.set("temp_ramp_c_per_us", spec.temp_ramp_c_per_us);
+  object.set("supply_spike_v", spec.supply_spike_v);
+  object.set("spike_from_period", spec.spike_from_period);
+  object.set("spike_until_period", spec.spike_until_period);
+  object.set("vref_v", spec.vref_v);
+  object.set("load.kind", std::string(spec.load.kind_name()));
+  object.set("load.level_a", spec.load.level_a);
+  object.set("load.level2_a", spec.load.level2_a);
+  object.set("load.from_period", spec.load.from_period);
+  object.set("load.until_period", spec.load.until_period);
+  object.set("load.p_burst", spec.load.p_burst);
+  object.set("load.p_idle", spec.load.p_idle);
+  object.set("dvfs.count", static_cast<std::uint64_t>(spec.dvfs.size()));
+  for (std::size_t i = 0; i < spec.dvfs.size(); ++i) {
+    object.set(indexed("dvfs", i, "at_period"), spec.dvfs[i].at_period);
+    object.set(indexed("dvfs", i, "vref_v"), spec.dvfs[i].vref_v);
+  }
+  object.set("periods", spec.periods);
+  object.set("measure_from", spec.measure_from);
+  object.set("tolerance_v", spec.tolerance_v);
+  object.set("settle_band_v", spec.settle_band_v);
+  object.set("expect_lock", spec.expect_lock);
+  object.set("allow_limit_cycling", spec.allow_limit_cycling);
+  object.set("limit_cycle_stddev_v", spec.limit_cycle_stddev_v);
+  object.set("supervision.enabled", spec.supervision.enabled);
+  if (spec.supervision.enabled) {
+    const core::SupervisorConfig& config = spec.supervision.config;
+    object.set("supervision.tap_drift_window",
+               static_cast<std::uint64_t>(config.tap_drift_window));
+    object.set("supervision.margin_floor_ps", config.margin_floor_ps);
+    object.set("supervision.margin_periods", config.margin_periods);
+    object.set("supervision.watchdog_error_code", config.watchdog_error_code);
+    object.set("supervision.watchdog_periods", config.watchdog_periods);
+    object.set("supervision.max_relock_attempts", config.max_relock_attempts);
+    object.set("supervision.relock_backoff_periods",
+               config.relock_backoff_periods);
+    object.set("supervision.relock_stability_periods",
+               config.relock_stability_periods);
+    object.set("supervision.coarse_resolution_loss_bits",
+               config.coarse_resolution_loss_bits);
+    object.set("supervision.counter_fallback", config.counter_fallback);
+  }
+  object.set("expect_min_lock_losses", spec.expect_min_lock_losses);
+  object.set("expect_relock", spec.expect_relock);
+  object.set("max_relock_latency_periods", spec.max_relock_latency_periods);
+  object.set("expect_min_degradation", spec.expect_min_degradation);
+  object.set("faults.count", static_cast<std::uint64_t>(spec.faults.size()));
+  for (std::size_t i = 0; i < spec.faults.size(); ++i) {
+    const FaultSpec& fault = spec.faults[i];
+    object.set(indexed("faults", i, "kind"), std::string(fault.kind_name()));
+    object.set(indexed("faults", i, "victim_cell"),
+               static_cast<std::uint64_t>(fault.victim_cell));
+    object.set(indexed("faults", i, "severity"), fault.severity);
+    object.set(indexed("faults", i, "at_period"), fault.at_period);
+    object.set(indexed("faults", i, "clear_period"), fault.clear_period);
+  }
+  return object;
+}
+
+ScenarioSpec spec_from_json(
+    const std::map<std::string, std::string>& fields) {
+  ScenarioSpec spec;
+  get(fields, "name", spec.name);
+  get(fields, "family", spec.family);
+  if (const std::string* text = find_field(fields, "architecture")) {
+    spec.architecture = architecture_from_string(*text);
+  }
+  get(fields, "clock_mhz", spec.clock_mhz);
+  get(fields, "resolution_bits", spec.resolution_bits);
+  get(fields, "counter_bits", spec.counter_bits);
+  get(fields, "seed", spec.seed);
+  if (const std::string* text = find_field(fields, "corner.process")) {
+    spec.corner.corner = corner_from_string(*text);
+  }
+  get(fields, "corner.supply_v", spec.corner.supply_v);
+  get(fields, "corner.temperature_c", spec.corner.temperature_c);
+  get(fields, "temp_ramp_c_per_us", spec.temp_ramp_c_per_us);
+  get(fields, "supply_spike_v", spec.supply_spike_v);
+  get(fields, "spike_from_period", spec.spike_from_period);
+  get(fields, "spike_until_period", spec.spike_until_period);
+  get(fields, "vref_v", spec.vref_v);
+  if (const std::string* text = find_field(fields, "load.kind")) {
+    spec.load.kind = load_kind_from_string(*text);
+  }
+  get(fields, "load.level_a", spec.load.level_a);
+  get(fields, "load.level2_a", spec.load.level2_a);
+  get(fields, "load.from_period", spec.load.from_period);
+  get(fields, "load.until_period", spec.load.until_period);
+  get(fields, "load.p_burst", spec.load.p_burst);
+  get(fields, "load.p_idle", spec.load.p_idle);
+  std::size_t dvfs_count = 0;
+  get(fields, "dvfs.count", dvfs_count);
+  for (std::size_t i = 0; i < dvfs_count; ++i) {
+    control::VoltageMode mode;
+    get(fields, indexed("dvfs", i, "at_period"), mode.at_period);
+    get(fields, indexed("dvfs", i, "vref_v"), mode.vref_v);
+    spec.dvfs.push_back(mode);
+  }
+  get(fields, "periods", spec.periods);
+  get(fields, "measure_from", spec.measure_from);
+  get(fields, "tolerance_v", spec.tolerance_v);
+  get(fields, "settle_band_v", spec.settle_band_v);
+  get(fields, "expect_lock", spec.expect_lock);
+  get(fields, "allow_limit_cycling", spec.allow_limit_cycling);
+  get(fields, "limit_cycle_stddev_v", spec.limit_cycle_stddev_v);
+  get(fields, "supervision.enabled", spec.supervision.enabled);
+  if (spec.supervision.enabled) {
+    core::SupervisorConfig& config = spec.supervision.config;
+    get(fields, "supervision.tap_drift_window", config.tap_drift_window);
+    get(fields, "supervision.margin_floor_ps", config.margin_floor_ps);
+    get(fields, "supervision.margin_periods", config.margin_periods);
+    get(fields, "supervision.watchdog_error_code", config.watchdog_error_code);
+    get(fields, "supervision.watchdog_periods", config.watchdog_periods);
+    get(fields, "supervision.max_relock_attempts", config.max_relock_attempts);
+    get(fields, "supervision.relock_backoff_periods",
+        config.relock_backoff_periods);
+    get(fields, "supervision.relock_stability_periods",
+        config.relock_stability_periods);
+    get(fields, "supervision.coarse_resolution_loss_bits",
+        config.coarse_resolution_loss_bits);
+    get(fields, "supervision.counter_fallback", config.counter_fallback);
+  }
+  get(fields, "expect_min_lock_losses", spec.expect_min_lock_losses);
+  get(fields, "expect_relock", spec.expect_relock);
+  get(fields, "max_relock_latency_periods", spec.max_relock_latency_periods);
+  get(fields, "expect_min_degradation", spec.expect_min_degradation);
+  std::size_t fault_count = 0;
+  get(fields, "faults.count", fault_count);
+  for (std::size_t i = 0; i < fault_count; ++i) {
+    FaultSpec fault;
+    if (const std::string* text =
+            find_field(fields, indexed("faults", i, "kind"))) {
+      fault.kind = fault_kind_from_string(*text);
+    }
+    get(fields, indexed("faults", i, "victim_cell"), fault.victim_cell);
+    get(fields, indexed("faults", i, "severity"), fault.severity);
+    get(fields, indexed("faults", i, "at_period"), fault.at_period);
+    get(fields, indexed("faults", i, "clear_period"), fault.clear_period);
+    spec.faults.push_back(fault);
+  }
+  return spec;
+}
+
+ShrinkReport shrink_failure(const ScenarioSpec& failing) {
+  ShrinkReport report;
+  const ScenarioResult initial = run_scenario_guarded(failing).result;
+  report.runs = 1;
+  report.failure_reason = initial.failure_reason;
+  report.error = initial.error;
+  report.failing = !initial.pass;
+  report.minimal = failing;
+  if (initial.pass) {
+    return report;
+  }
+
+  // Reproduction check: same classification, not merely "still fails" --
+  // a shrink that trades regulation_error for no_lock is a different bug.
+  const auto reproduces = [&report](const ScenarioSpec& candidate) {
+    const ScenarioResult result = run_scenario_guarded(candidate).result;
+    ++report.runs;
+    return !result.pass && result.failure_reason == report.failure_reason;
+  };
+
+  // Pass 1, to fixpoint: drop whole faults.
+  ScenarioSpec current = failing;
+  bool progress = true;
+  while (progress && current.faults.size() > 1) {
+    progress = false;
+    for (std::size_t i = 0; i < current.faults.size();) {
+      ScenarioSpec candidate = current;
+      candidate.faults.erase(candidate.faults.begin() +
+                             static_cast<std::ptrdiff_t>(i));
+      if (reproduces(candidate)) {
+        current = std::move(candidate);
+        ++report.removed_faults;
+        progress = true;  // Re-test the fault that slid into slot i.
+      } else {
+        ++i;
+      }
+    }
+  }
+
+  // Pass 2: simplify survivors -- a permanent fault (no clear edge) is a
+  // smaller repro than an inject/clear pair.
+  for (std::size_t i = 0; i < current.faults.size(); ++i) {
+    if (current.faults[i].clear_period == 0) {
+      continue;
+    }
+    ScenarioSpec candidate = current;
+    candidate.faults[i].clear_period = 0;
+    if (reproduces(candidate)) {
+      current = std::move(candidate);
+      ++report.simplified_faults;
+    }
+  }
+
+  report.minimal = std::move(current);
+  return report;
+}
+
+std::string replay_bundle_json(const ShrinkReport& report) {
+  analysis::JsonObject bundle;
+  bundle.set("schema_version", analysis::kBenchJsonSchemaVersion);
+  bundle.set("bundle", "chaos_replay");
+  bundle.set("expected_failure_reason", report.failure_reason);
+  bundle.set("expected_error", std::string(to_string(report.error)));
+  bundle.set("shrink_runs", static_cast<std::uint64_t>(report.runs));
+  bundle.set("removed_faults",
+             static_cast<std::uint64_t>(report.removed_faults));
+  bundle.set("simplified_faults",
+             static_cast<std::uint64_t>(report.simplified_faults));
+  analysis::JsonObject spec = spec_to_json(report.minimal);
+  // Flatten the spec under a `spec.` prefix by re-parsing its own line
+  // (the dialect is flat, so this is lossless).
+  const auto fields = analysis::parse_flat_json_line(spec.to_json_line());
+  for (const auto& [key, value] : *fields) {
+    // Re-set through the typed API so strings re-escape correctly.
+    bundle.set("spec." + key, value);
+  }
+  return bundle.to_json();
+}
+
+ReplayBundle parse_replay_bundle(const std::string& content) {
+  const auto fields = analysis::parse_flat_json_line(content);
+  if (!fields) {
+    throw std::invalid_argument("replay bundle: not a flat JSON document");
+  }
+  const std::string* kind = find_field(*fields, "bundle");
+  if (kind == nullptr || *kind != "chaos_replay") {
+    throw std::invalid_argument(
+        "replay bundle: missing bundle=chaos_replay marker");
+  }
+  std::map<std::string, std::string> spec_fields;
+  for (const auto& [key, value] : *fields) {
+    if (key.rfind("spec.", 0) == 0) {
+      spec_fields.emplace(key.substr(5), value);
+    }
+  }
+  ReplayBundle bundle;
+  bundle.spec = spec_from_json(spec_fields);
+  if (const std::string* expected =
+          find_field(*fields, "expected_failure_reason")) {
+    bundle.expected_failure_reason = *expected;
+  }
+  return bundle;
+}
+
+ReplayOutcome replay(const ReplayBundle& bundle) {
+  ReplayOutcome outcome;
+  outcome.result = run_scenario_guarded(bundle.spec).result;
+  outcome.reproduced =
+      bundle.expected_failure_reason.empty()
+          ? outcome.result.pass
+          : outcome.result.failure_reason == bundle.expected_failure_reason;
+  return outcome;
+}
+
+}  // namespace ddl::scenario

@@ -4,6 +4,7 @@
 
 #include "ddl/cells/technology.h"
 #include "ddl/core/design_calculator.h"
+#include "ddl/scenario/chaos.h"
 
 namespace ddl::scenario {
 namespace {
@@ -551,6 +552,25 @@ std::vector<ScenarioSpec> smoke_suite() {
   return specs;
 }
 
+/// Chaos suite: seeded random fault storms over a short proposed-line run
+/// (the fault-smoke scenario shape).  The storms are deterministic -- same
+/// registry, same specs -- so the suite doubles as a regression net for the
+/// fault-injection plumbing; `ddl_scenario_runner --chaos N` generates
+/// bigger campaigns from the same base.
+std::vector<ScenarioSpec> chaos_suite() {
+  ChaosCampaignSpec chaos;
+  const Corner typical{"typical", cells::OperatingPoint::typical()};
+  chaos.base =
+      base_spec("chaos", Architecture::kProposed, typical, "storm", 2026);
+  chaos.base.periods = 1600;
+  chaos.base.measure_from = 1100;
+  chaos.base.load = LoadSpec::constant(0.5);
+  relax_for_coarse_dpwm(chaos.base, 0.06);
+  chaos.storms = 8;
+  chaos.seed = 2026;
+  return expand_chaos(chaos);
+}
+
 std::vector<ScenarioSpec> regression_suite() {
   std::vector<ScenarioSpec> specs;
   for (auto family : {regulation_family, transient_family, dvfs_family,
@@ -574,6 +594,7 @@ const ScenarioRegistry& ScenarioRegistry::builtin() {
     registry->add_suite("fault", fault_family);
     registry->add_suite("recovery", recovery_family);
     registry->add_suite("smoke", smoke_suite);
+    registry->add_suite("chaos", chaos_suite);
     registry->add_suite("regression", regression_suite);
     return registry;
   }();

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 #include <memory>
+#include <stdexcept>
 #include <utility>
 
 #include "ddl/analog/adc.h"
@@ -390,6 +391,41 @@ ScenarioArtifacts run_scenario(const ScenarioSpec& spec) {
   return artifacts;
 }
 
+ScenarioResult make_error_result(const ScenarioSpec& spec, ScenarioError error,
+                                 std::string detail) {
+  ScenarioResult result;
+  result.name = spec.name;
+  result.family = spec.family;
+  result.architecture = spec.architecture;
+  result.corner = spec.corner;
+  result.seed = spec.seed;
+  result.periods = spec.periods;
+  result.target_vref_v = spec.final_vref_v();
+  result.error = error;
+  result.error_detail = std::move(detail);
+  result.failure_reason = "error:" + std::string(to_string(error));
+  return result;
+}
+
+ScenarioArtifacts run_scenario_guarded(const ScenarioSpec& spec) {
+  try {
+    if (spec.debug_throw) {
+      throw std::runtime_error("debug_throw test hook");
+    }
+    return run_scenario(spec);
+  } catch (const std::exception& e) {
+    ScenarioArtifacts artifacts;
+    artifacts.result =
+        make_error_result(spec, ScenarioError::kException, e.what());
+    return artifacts;
+  } catch (...) {
+    ScenarioArtifacts artifacts;
+    artifacts.result = make_error_result(spec, ScenarioError::kException,
+                                         "non-standard exception");
+    return artifacts;
+  }
+}
+
 analysis::JsonObject to_json(const ScenarioResult& result) {
   analysis::JsonObject object;
   object.set("schema_version", analysis::kBenchJsonSchemaVersion);
@@ -406,6 +442,10 @@ analysis::JsonObject to_json(const ScenarioResult& result) {
   object.set("pass", result.pass);
   object.set("failure_reason", result.failure_reason);
   object.set("failure_detail", result.failure_detail);
+  object.set("verdict", std::string(result.verdict()));
+  object.set("error_kind", std::string(to_string(result.error)));
+  object.set("error_detail", result.error_detail);
+  object.set("attempts", result.attempts);
   object.set("supervised", result.supervised);
   object.set("lock_losses", result.lock_losses);
   object.set("relocks", result.relocks);
@@ -480,7 +520,9 @@ std::vector<ScenarioResult> ScenarioRunner::run(
       pool, specs.size(),
       [] { return std::vector<ScenarioResult>{}; },
       [&specs](std::size_t i, std::vector<ScenarioResult>& acc) {
-        acc.push_back(run_scenario(specs[i]).result);
+        // Guarded per scenario: an exception from one spec becomes its own
+        // structured error row instead of tearing down the whole batch.
+        acc.push_back(run_scenario_guarded(specs[i]).result);
       },
       [](std::vector<ScenarioResult>& total,
          std::vector<ScenarioResult>&& part) {

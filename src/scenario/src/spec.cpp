@@ -22,6 +22,18 @@ std::string_view to_string(Architecture architecture) noexcept {
   return "unknown";
 }
 
+std::string_view to_string(ScenarioError error) noexcept {
+  switch (error) {
+    case ScenarioError::kNone:
+      return "none";
+    case ScenarioError::kException:
+      return "exception";
+    case ScenarioError::kTimeout:
+      return "timeout";
+  }
+  return "unknown";
+}
+
 LoadSpec LoadSpec::constant(double amps) {
   LoadSpec spec;
   spec.kind = Kind::kConstant;

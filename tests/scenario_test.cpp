@@ -60,7 +60,7 @@ TEST(LoadSpecTest, LowersToMatchingProfiles) {
 TEST(RegistryTest, BuiltinSuitesArePresent) {
   const auto& registry = ScenarioRegistry::builtin();
   for (const char* suite : {"regulation", "transient", "dvfs", "pvt", "fault",
-                            "recovery", "smoke", "regression"}) {
+                            "recovery", "smoke", "chaos", "regression"}) {
     EXPECT_TRUE(registry.has_suite(suite)) << suite;
   }
   EXPECT_FALSE(registry.has_suite("nonesuch"));
@@ -268,6 +268,61 @@ TEST(SpecValidationTest, RecoveryExpectationsRequireSupervision) {
   // Enabling supervision clears the complaint.
   spec.supervision.enabled = true;
   EXPECT_TRUE(ddl::scenario::validate(spec).empty());
+}
+
+TEST(SpecValidationTest, EqualInjectAndClearPeriodsAreRejected) {
+  auto spec = quick_spec();
+  spec.faults = {FaultSpec::delay_cell(3, 2.0, /*at=*/400, /*clear=*/400)};
+  const auto errors = ddl::scenario::validate(spec);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("clear_period 400"), std::string::npos)
+      << errors[0];
+  // One period of overlap is the minimum meaningful window.
+  spec.faults = {FaultSpec::delay_cell(3, 2.0, 400, 401)};
+  EXPECT_TRUE(ddl::scenario::validate(spec).empty());
+}
+
+TEST(SpecValidationTest, PowerOnFaultMayStillScheduleAClear) {
+  auto spec = quick_spec();
+  // at_period 0 means "present from power-on", and a nonzero clear is any
+  // period after it -- including period 1.
+  spec.faults = {FaultSpec::delay_cell(3, 2.0, /*at=*/0, /*clear=*/1)};
+  EXPECT_TRUE(ddl::scenario::validate(spec).empty());
+  // A clear may also land on (or past) the final period: the fault simply
+  // never clears inside the run.
+  spec.faults = {FaultSpec::delay_cell(3, 2.0, 400, spec.periods)};
+  EXPECT_TRUE(ddl::scenario::validate(spec).empty());
+}
+
+TEST(SpecValidationTest, VictimIndexBoundaryIsExact) {
+  auto spec = quick_spec();
+  const std::size_t cells = spec.expected_line_cells();
+  ASSERT_GT(cells, 0u);
+  spec.faults = {FaultSpec::delay_cell(cells - 1, 2.0)};
+  EXPECT_TRUE(ddl::scenario::validate(spec).empty());
+  spec.faults = {FaultSpec::delay_cell(cells, 2.0)};
+  const auto errors = ddl::scenario::validate(spec);
+  ASSERT_EQ(errors.size(), 1u);
+  EXPECT_NE(errors[0].find("out of range"), std::string::npos) << errors[0];
+}
+
+TEST(SpecValidationTest, LastPeriodInjectionIsValid) {
+  auto spec = quick_spec();  // 900 periods.
+  spec.faults = {FaultSpec::delay_cell(3, 2.0, /*at=*/899)};
+  EXPECT_TRUE(ddl::scenario::validate(spec).empty());
+}
+
+TEST(RegistryTest, ChaosSuiteIsDeterministicallySeededAndValid) {
+  const auto& registry = ScenarioRegistry::builtin();
+  const auto first = registry.expand("chaos");
+  const auto second = registry.expand("chaos");
+  ASSERT_EQ(first.size(), 8u);
+  for (std::size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(first[i].family, "chaos");
+    EXPECT_EQ(first[i].name, second[i].name);
+    ASSERT_EQ(first[i].faults.size(), second[i].faults.size());
+    EXPECT_GE(first[i].faults.size(), 1u);
+  }
 }
 
 TEST(RunScenarioTest, InvalidSpecFailsStructurallyInsteadOfThrowing) {

@@ -1,49 +1,43 @@
 // ddl_scenario_runner: expand a named suite from the scenario registry, run
-// it on the parallel batch runner, stream one JSONL record per scenario and
-// print (or write) a suite-level aggregate summary.
+// it on the crash-safe campaign engine, stream one JSONL record per scenario
+// and print (or write) a suite-level aggregate summary.
 //
 //   ddl_scenario_runner --list
 //   ddl_scenario_runner --suite smoke
 //   ddl_scenario_runner --suite regression --filter proposed --jobs 4
-//   ddl_scenario_runner --suite regression --out results.jsonl
-//   ddl_scenario_runner --suite recovery --health-out health.jsonl
+//   ddl_scenario_runner --suite regression --journal runs/nightly --out r.jsonl
+//   ddl_scenario_runner --suite regression --resume runs/nightly --out r.jsonl
+//   ddl_scenario_runner --suite smoke --chaos 32 --chaos-seed 7 --shrink
+//   ddl_scenario_runner --replay replay_chaos_....json
 //
 // Scenario records never carry thread-count or wall-clock fields, so the
-// JSONL stream is byte-identical for any --jobs value; the aggregate (which
-// does report threads and wall time) goes to stderr and to the standard
-// BENCH_scenario_suite_<name>.json file instead.  Exit status is the number
-// of failed scenarios (capped at 125 to stay clear of shell codes).
+// JSONL stream is byte-identical for any --jobs value and across any
+// kill/--resume split; the aggregate (which does report threads and wall
+// time) goes to stderr and to the standard BENCH_scenario_suite_<name>.json
+// file instead.  Exit status is the number of failed scenarios (capped at
+// 125 to stay clear of shell codes); 64 = usage error, 66 = file error.
+#include <climits>
 #include <cstdio>
-#include <cstring>
-#include <fstream>
+#include <exception>
 #include <iostream>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "ddl/analysis/bench_json.h"
 #include "ddl/analysis/parallel.h"
+#include "ddl/scenario/campaign.h"
+#include "ddl/scenario/chaos.h"
+#include "ddl/scenario/cli.h"
 #include "ddl/scenario/registry.h"
 #include "ddl/scenario/runner.h"
 
 namespace {
 
-void print_usage(std::ostream& os) {
-  os << "usage: ddl_scenario_runner [--suite NAME] [--filter SUBSTR]\n"
-        "                           [--jobs N] [--out FILE]\n"
-        "                           [--health-out FILE] [--list]\n"
-        "\n"
-        "  --suite NAME      suite to run (default: smoke)\n"
-        "  --filter SUBSTR   keep only scenarios whose name contains SUBSTR\n"
-        "  --jobs N          worker threads (default: DDL_THREADS or "
-        "hardware)\n"
-        "  --out FILE        write the JSONL stream to FILE instead of stdout\n"
-        "  --health-out FILE write supervisor health events (one JSONL record\n"
-        "                    per event, spec order) to FILE\n"
-        "  --list            list suites and their scenarios, then exit\n";
-}
+using namespace ddl;
 
 void list_suites(std::ostream& os) {
-  const auto& registry = ddl::scenario::ScenarioRegistry::builtin();
+  const auto& registry = scenario::ScenarioRegistry::builtin();
   for (const std::string& suite : registry.suite_names()) {
     const auto specs = registry.expand(suite);
     os << suite << " (" << specs.size() << " scenarios)\n";
@@ -53,113 +47,224 @@ void list_suites(std::ostream& os) {
   }
 }
 
+int run_replay(const std::string& path) {
+  std::string content;
+  try {
+    content = [&] {
+      std::string buffer;
+      FILE* file = std::fopen(path.c_str(), "rb");
+      if (file == nullptr) {
+        throw std::runtime_error("cannot read '" + path + "'");
+      }
+      char chunk[4096];
+      std::size_t got = 0;
+      while ((got = std::fread(chunk, 1, sizeof(chunk), file)) > 0) {
+        buffer.append(chunk, got);
+      }
+      std::fclose(file);
+      return buffer;
+    }();
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 66;
+  }
+
+  scenario::ReplayBundle bundle;
+  try {
+    bundle = scenario::parse_replay_bundle(content);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 64;
+  }
+  const scenario::ReplayOutcome outcome = scenario::replay(bundle);
+  std::cout << scenario::to_json_line(outcome.result) << "\n";
+  std::cerr << (outcome.reproduced ? "replay: reproduced '"
+                                   : "replay: did NOT reproduce '")
+            << bundle.expected_failure_reason << "' (got '"
+            << outcome.result.failure_reason << "')\n";
+  return outcome.reproduced ? 0 : 1;
+}
+
+std::string bundle_file_name(const std::string& scenario_name) {
+  std::string name = "replay_" + scenario_name + ".json";
+  for (char& c : name) {
+    if (c == '/') {
+      c = '_';
+    }
+  }
+  return name;
+}
+
+/// --shrink: delta-debug every verdict failure down to a 1-minimal fault
+/// plan and drop a replay bundle next to the journal (or in the working
+/// directory).  Returns the bundle paths written.
+std::vector<std::string> shrink_failures(
+    const std::vector<scenario::ScenarioSpec>& specs,
+    const std::vector<scenario::ScenarioResult>& results,
+    const std::string& dir) {
+  std::vector<std::string> bundles;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    const scenario::ScenarioResult& result = results[i];
+    // Only completed verdict failures shrink: error rows (timeouts) are not
+    // deterministically reproducible, and fault-free specs have no plan to
+    // shrink.
+    if (result.pass || result.error != scenario::ScenarioError::kNone ||
+        specs[i].faults.empty()) {
+      continue;
+    }
+    const scenario::ShrinkReport report = scenario::shrink_failure(specs[i]);
+    if (!report.failing) {
+      continue;  // Flaky under re-execution; nothing reproducible to bundle.
+    }
+    const std::string path =
+        (dir.empty() ? std::string(".") : dir) + "/" +
+        bundle_file_name(specs[i].name);
+    analysis::write_file_atomic(path, scenario::replay_bundle_json(report));
+    std::cerr << "shrink: " << specs[i].name << " -> " << path << " ("
+              << specs[i].faults.size() << " faults -> "
+              << report.minimal.faults.size() << ", " << report.runs
+              << " runs)\n";
+    bundles.push_back(path);
+  }
+  return bundles;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
-  std::string suite = "smoke";
-  std::string filter;
-  std::string out_path;
-  std::string health_out_path;
-  std::size_t jobs = 0;
-  bool list = false;
+  const scenario::ParsedArgs parsed =
+      scenario::parse_runner_args({argv + 1, argv + argc});
+  if (!parsed.ok()) {
+    std::cerr << "error: " << parsed.error << "\n";
+    std::cerr << scenario::runner_usage();
+    return 64;
+  }
+  const scenario::RunnerOptions& options = parsed.options;
+  if (options.help) {
+    std::cout << scenario::runner_usage();
+    return 0;
+  }
+  if (options.list) {
+    list_suites(std::cout);
+    return 0;
+  }
+  if (!options.replay_path.empty()) {
+    return run_replay(options.replay_path);
+  }
 
-  for (int i = 1; i < argc; ++i) {
-    const std::string arg = argv[i];
-    auto value = [&]() -> const char* {
-      if (i + 1 >= argc) {
-        std::cerr << "error: " << arg << " needs a value\n";
-        std::exit(64);
-      }
-      return argv[++i];
-    };
-    if (arg == "--suite") {
-      suite = value();
-    } else if (arg == "--filter") {
-      filter = value();
-    } else if (arg == "--jobs") {
-      jobs = static_cast<std::size_t>(std::stoul(value()));
-    } else if (arg == "--out") {
-      out_path = value();
-    } else if (arg == "--health-out") {
-      health_out_path = value();
-    } else if (arg == "--list") {
-      list = true;
-    } else if (arg == "--help" || arg == "-h") {
-      print_usage(std::cout);
-      return 0;
-    } else {
-      std::cerr << "error: unknown option '" << arg << "'\n";
-      print_usage(std::cerr);
+  const auto& registry = scenario::ScenarioRegistry::builtin();
+  if (!registry.has_suite(options.suite)) {
+    std::cerr << "error: unknown suite '" << options.suite
+              << "' (--list shows them)\n";
+    return 64;
+  }
+  auto specs = registry.expand_filtered(options.suite, options.filter);
+  if (specs.empty()) {
+    std::cerr << "error: filter '" << options.filter
+              << "' matches nothing in '" << options.suite << "'\n";
+    return 64;
+  }
+
+  if (options.chaos_storms > 0) {
+    scenario::ChaosCampaignSpec chaos;
+    chaos.base = specs.front();
+    chaos.storms = options.chaos_storms;
+    chaos.seed = options.chaos_seed;
+    chaos.max_faults_per_storm = options.chaos_max_faults;
+    try {
+      specs = scenario::expand_chaos(chaos);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
       return 64;
     }
   }
 
-  if (list) {
-    list_suites(std::cout);
-    return 0;
+  if (options.inject_hang_ms > 0) {
+    // Test hook: the first scenario hangs on every attempt, so the watchdog
+    // times it out, retries it and reports a structured error row while the
+    // rest of the batch completes normally.
+    specs.front().debug_hang_ms = options.inject_hang_ms;
+    specs.front().debug_hang_attempts = INT_MAX;
   }
 
-  const auto& registry = ddl::scenario::ScenarioRegistry::builtin();
-  if (!registry.has_suite(suite)) {
-    std::cerr << "error: unknown suite '" << suite << "' (--list shows them)\n";
-    return 64;
-  }
-  const auto specs = registry.expand_filtered(suite, filter);
-  if (specs.empty()) {
-    std::cerr << "error: filter '" << filter << "' matches nothing in '"
-              << suite << "'\n";
-    return 64;
-  }
+  scenario::CampaignConfig config;
+  config.journal_dir = options.journal_dir;
+  config.resume = options.resume;
+  config.jobs = options.jobs;
+  config.timeout_ms = options.timeout_ms;
+  config.max_retries = options.retries;
+  config.backoff_base_ms = options.backoff_ms;
 
-  ddl::analysis::WallTimer timer;
-  ddl::scenario::ScenarioRunner runner(jobs);
-  const auto results = runner.run(specs);
+  analysis::WallTimer timer;
+  scenario::CampaignOutcome outcome;
+  try {
+    outcome = scenario::Campaign(config).run(specs);
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 64;
+  }
   const double wall_ms = timer.elapsed_ms();
-  const auto summary = ddl::scenario::summarize(results);
+  const auto summary = scenario::summarize(outcome.results);
 
-  // The per-scenario stream: stdout by default, --out FILE otherwise.
-  const std::string stream = ddl::scenario::ScenarioRunner::jsonl(results);
-  if (out_path.empty()) {
-    std::cout << stream;
-  } else {
-    std::ofstream out(out_path);
-    if (!out) {
-      std::cerr << "error: cannot write '" << out_path << "'\n";
-      return 66;
+  // The per-scenario stream: stdout by default, --out FILE otherwise
+  // (atomic, so a crash mid-write never leaves a torn artifact).
+  try {
+    if (options.out_path.empty()) {
+      std::cout << outcome.jsonl();
+    } else {
+      analysis::write_file_atomic(options.out_path, outcome.jsonl());
     }
-    out << stream;
+    // The health-event stream (recovery suites): same determinism contract
+    // as the result stream -- spec order, then per-supervisor event order.
+    if (!options.health_out_path.empty()) {
+      analysis::write_file_atomic(options.health_out_path,
+                                  outcome.health_jsonl);
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 66;
   }
 
-  // The health-event stream (recovery suites): same determinism contract as
-  // the result stream -- spec order, then per-supervisor event order.
-  if (!health_out_path.empty()) {
-    std::ofstream health(health_out_path);
-    if (!health) {
-      std::cerr << "error: cannot write '" << health_out_path << "'\n";
-      return 66;
-    }
-    health << ddl::scenario::ScenarioRunner::health_jsonl(results);
+  std::vector<std::string> bundles;
+  if (options.shrink) {
+    bundles = shrink_failures(specs, outcome.results, options.journal_dir);
   }
 
   // The aggregate record is a BenchReport, so it (and only it) carries
   // schema_version, threads and wall time.
-  ddl::analysis::BenchReport report("scenario_suite_" + suite);
+  ddl::analysis::BenchReport report("scenario_suite_" + options.suite);
   report.set("threads",
              static_cast<std::uint64_t>(
-                 jobs ? jobs : ddl::analysis::default_thread_count()));
-  report.set("suite", suite);
-  if (!filter.empty()) {
-    report.set("filter", filter);
+                 options.jobs ? options.jobs
+                              : ddl::analysis::default_thread_count()));
+  report.set("suite", options.suite);
+  if (!options.filter.empty()) {
+    report.set("filter", options.filter);
   }
   report.set("scenarios", static_cast<std::uint64_t>(summary.total));
   report.set("passed", static_cast<std::uint64_t>(summary.passed));
-  report.set("failed", static_cast<std::uint64_t>(summary.total - summary.passed));
+  report.set("failed",
+             static_cast<std::uint64_t>(summary.total - summary.passed));
   report.set("locked", static_cast<std::uint64_t>(summary.locked));
   std::size_t health_events = 0;
-  for (const auto& result : results) {
+  for (const auto& result : outcome.results) {
     health_events += result.health.size();
   }
   report.set("health_events", static_cast<std::uint64_t>(health_events));
+  // Campaign accounting: how the batch executed, not how it verdicted.
+  report.set("executed", static_cast<std::uint64_t>(outcome.executed));
+  report.set("resumed", static_cast<std::uint64_t>(outcome.resumed));
+  report.set("retried", static_cast<std::uint64_t>(outcome.retried));
+  report.set("timeouts", static_cast<std::uint64_t>(outcome.timeouts));
+  report.set("exceptions", static_cast<std::uint64_t>(outcome.exceptions));
+  report.set("abandoned_threads",
+             static_cast<std::uint64_t>(outcome.abandoned_threads));
+  if (options.chaos_storms > 0) {
+    report.set("chaos_storms",
+               static_cast<std::uint64_t>(options.chaos_storms));
+    report.set("chaos_seed", options.chaos_seed);
+    report.set("replay_bundles", static_cast<std::uint64_t>(bundles.size()));
+  }
   // Kernel execution counters summed across the suite (zero for purely
   // behavioral scenarios; see ScenarioResult::kernel).
   report.set("kernel_signal_events", summary.kernel.signal_events);
