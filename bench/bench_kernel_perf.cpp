@@ -17,6 +17,7 @@
 #include "ddl/analog/buck.h"
 #include "ddl/analysis/bench_json.h"
 #include "ddl/analysis/linearity.h"
+#include "ddl/analysis/mc_batch.h"
 #include "ddl/analysis/monte_carlo.h"
 #include "ddl/analysis/parallel.h"
 #include "ddl/core/conventional_controller.h"
@@ -151,8 +152,8 @@ double fig50_die_inl(const ddl::core::ProposedDesign& design,
 /// cross-check.
 ddl::analysis::Summary mc_scaling_run(ddl::analysis::BenchReport& json,
                                       const std::string& prefix,
-                                      std::size_t threads,
-                                      std::size_t trials) {
+                                      std::size_t threads, std::size_t trials,
+                                      double* out_trials_per_sec = nullptr) {
   const auto design = ddl::core::DesignCalculator(tech()).size_proposed(
       ddl::core::DesignSpec{100.0, 6});
   const double period_ps = 1e6 / 100.0;
@@ -162,10 +163,77 @@ ddl::analysis::Summary mc_scaling_run(ddl::analysis::BenchReport& json,
       [&](std::uint64_t seed) { return fig50_die_inl(design, period_ps, seed); },
       threads);
   const double wall_ms = timer.elapsed_ms();
+  const double tps =
+      wall_ms > 0.0 ? static_cast<double>(trials) * 1e3 / wall_ms : 0.0;
   json.set(prefix + "_wall_ms", wall_ms);
-  json.set(prefix + "_trials_per_sec",
-           wall_ms > 0.0 ? static_cast<double>(trials) * 1e3 / wall_ms : 0.0);
+  json.set(prefix + "_trials_per_sec", tps);
+  if (out_trials_per_sec != nullptr) {
+    *out_trials_per_sec = tps;
+  }
   return summary;
+}
+
+/// The batched engine on the same Figure-50/51 per-die INL workload: one
+/// SoA traversal carries kBatchLanes dies.  Records throughput (best-of-N,
+/// single thread -- apples to apples with mc_1t), the speedup over the
+/// event-driven scalar engine, and the engine's two contracts as booleans:
+/// bit-identity with the per-die scalar reference and thread-count
+/// determinism.  Returns false when either contract is violated.
+bool mc_batch_probe(ddl::analysis::BenchReport& json, std::size_t trials,
+                    double scalar_trials_per_sec) {
+  namespace an = ddl::analysis;
+  const auto design = ddl::core::DesignCalculator(tech()).size_proposed(
+      ddl::core::DesignSpec{100.0, 6});
+  an::McBatchSpec spec;
+  spec.line = an::BatchLineSpec::from_technology(tech(), design.line);
+  spec.clock_period_ps = 1e6 / 100.0;
+
+  // The batch engine is ~20x faster per die, so give it proportionally
+  // more dies than the scalar scaling runs to get a timeable interval.
+  const std::size_t batch_trials = std::max<std::size_t>(trials * 64, 2048);
+  constexpr int kReps = 3;
+  double best_tps = 0.0;
+  for (int rep = 0; rep < kReps; ++rep) {
+    an::WallTimer timer;
+    const auto samples =
+        an::monte_carlo_batched_samples(spec, batch_trials, 2024, 1);
+    const double ms = timer.elapsed_ms();
+    benchmark::DoNotOptimize(samples.data());
+    if (ms > 0.0) {
+      best_tps = std::max(best_tps,
+                          static_cast<double>(batch_trials) * 1e3 / ms);
+    }
+  }
+
+  // Contract 1: every batched die equals the scalar reference bit-for-bit.
+  const std::size_t check_trials = std::min<std::size_t>(batch_trials, 512);
+  const auto batched =
+      an::monte_carlo_batched_samples(spec, check_trials, 2024, 1);
+  bool equals_scalar = true;
+  for (std::size_t i = 0; i < check_trials; ++i) {
+    if (batched[i] !=
+        an::batch_die_inl_scalar(spec, i, an::die_seed(2024, i))) {
+      equals_scalar = false;
+      break;
+    }
+  }
+
+  // Contract 2: identical samples at every thread count.
+  const auto four_threads =
+      an::monte_carlo_batched_samples(spec, check_trials, 2024, 4);
+  const bool deterministic = batched == four_threads;
+
+  json.set("mc_batch_kernel", an::mc_batch_kernel_name());
+  json.set("mc_batch_trials", static_cast<std::uint64_t>(batch_trials));
+  json.set("guardrail_mc_batch_trials_per_sec", best_tps);
+  json.set("mc_batch_speedup_vs_scalar",
+           scalar_trials_per_sec > 0.0 ? best_tps / scalar_trials_per_sec
+                                       : 0.0);
+  json.set("mc_batch_equals_scalar", equals_scalar);
+  json.set("mc_batch_deterministic_across_threads", deterministic);
+  json.set_summary("mc_batch_inl_lsb",
+                   an::monte_carlo_batched(spec, check_trials, 2024, 1));
+  return equals_scalar && deterministic;
 }
 
 // ---- Perf guardrail probes ------------------------------------------------
@@ -281,7 +349,8 @@ int main(int argc, char** argv) {
   json.set("kernel_probe_cancelled_inertial", counters.cancelled_inertial);
   json.set("kernel_probe_executed_events", counters.total());
 
-  const auto serial = mc_scaling_run(json, "mc_1t", 1, trials);
+  double scalar_tps = 0.0;
+  const auto serial = mc_scaling_run(json, "mc_1t", 1, trials, &scalar_tps);
   const auto four = mc_scaling_run(json, "mc_4t", 4, trials);
   const auto pooled =
       mc_scaling_run(json, "mc_default", ddl::analysis::default_thread_count(),
@@ -296,10 +365,14 @@ int main(int argc, char** argv) {
       serial.mean == pooled.mean && serial.count == pooled.count;
   json.set("mc_deterministic_across_threads", deterministic);
   json.set_summary("mc_inl_lsb", serial);
+
+  const bool batch_ok = mc_batch_probe(json, trials, scalar_tps);
+
   json.set_perf(timer, 3 * trials);
   std::printf("\nMonte-Carlo scaling (fig50/51 workload, %zu dies): "
-              "deterministic=%s\nbench report written to %s\n",
+              "deterministic=%s\nbatched engine: contracts %s\n"
+              "bench report written to %s\n",
               trials, deterministic ? "yes" : "NO",
-              json.write().c_str());
-  return deterministic ? 0 : 1;
+              batch_ok ? "ok" : "VIOLATED", json.write().c_str());
+  return deterministic && batch_ok ? 0 : 1;
 }

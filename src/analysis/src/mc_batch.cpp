@@ -1,0 +1,460 @@
+// Driver for the batched Monte-Carlo engine: validates specs, shards
+// batch blocks across the analysis thread pool, dispatches the block
+// kernel and routes divergent dies to the scalar reference path.
+//
+// This TU is compiled with -ffp-contract=off: it contains the scalar
+// reference (`batch_die_inl_scalar`, `batch_die_covers_period_scalar`)
+// whose arithmetic must match the kernel TUs bit-for-bit, and GCC's
+// default -ffp-contract=fast fuses multiply-adds *across statements*,
+// which would silently change the reference's rounding.
+#include "ddl/analysis/mc_batch.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstdlib>
+#include <stdexcept>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "ddl/analysis/parallel.h"
+#include "ddl/cells/batch_mismatch.h"
+#include "ddl/core/proposed_controller.h"
+#include "mc_batch_kernel.h"
+
+namespace ddl::analysis {
+
+namespace detail {
+
+KernelVariant select_kernel() {
+  KernelVariant variant{&kernel_base::inl_block, &kernel_base::yield_block,
+                        "base"};
+#if defined(DDL_MC_BATCH_HAS_AVX2) || defined(DDL_MC_BATCH_HAS_AVX512)
+  const char* force = std::getenv("DDL_MC_BATCH_KERNEL");
+  const std::string_view cap =
+      force != nullptr ? std::string_view(force) : std::string_view();
+  if (cap == "base") {
+    return variant;
+  }
+#endif
+#if defined(DDL_MC_BATCH_HAS_AVX2)
+  if (__builtin_cpu_supports("avx2") && __builtin_cpu_supports("fma")) {
+    variant = {&kernel_avx2::inl_block, &kernel_avx2::yield_block, "avx2"};
+  }
+#endif
+#if defined(DDL_MC_BATCH_HAS_AVX512)
+  if (cap != "avx2" && __builtin_cpu_supports("avx512f") &&
+      __builtin_cpu_supports("avx512dq") &&
+      __builtin_cpu_supports("avx512vl")) {
+    variant = {&kernel_avx512::inl_block, &kernel_avx512::yield_block,
+               "avx512"};
+  }
+#endif
+  return variant;
+}
+
+}  // namespace detail
+
+namespace {
+
+void validate_line(const BatchLineSpec& line) {
+  if (line.num_cells < 2 || !std::has_single_bit(line.num_cells)) {
+    throw std::invalid_argument(
+        "mc_batch: num_cells must be a power of two >= 2");
+  }
+  if (line.buffers_per_cell < 1) {
+    throw std::invalid_argument("mc_batch: buffers_per_cell must be >= 1");
+  }
+  if (!(line.nominal_cell_ps > 0.0)) {
+    throw std::invalid_argument("mc_batch: nominal_cell_ps must be positive");
+  }
+  if (!(line.sigma_cell >= 0.0)) {
+    throw std::invalid_argument("mc_batch: sigma_cell must be >= 0");
+  }
+}
+
+void validate_spec(const McBatchSpec& spec) {
+  validate_line(spec.line);
+  if (!(spec.clock_period_ps > 0.0)) {
+    throw std::invalid_argument("mc_batch: clock period must be positive");
+  }
+  for (const BatchFault& fault : spec.faults) {
+    if (fault.cell >= spec.line.num_cells) {
+      throw std::out_of_range("mc_batch: fault cell out of range");
+    }
+    if (!(fault.severity > 0.0)) {
+      throw std::invalid_argument("mc_batch: fault severity must be positive");
+    }
+  }
+}
+
+void validate_yield_spec(const BatchYieldSpec& spec) {
+  validate_line(spec.line);
+  if (!(spec.clock_period_ps > 0.0)) {
+    throw std::invalid_argument("mc_batch: clock period must be positive");
+  }
+  if (!(spec.factor_sigma >= 0.0) || !(spec.factor_min <= spec.factor_max)) {
+    throw std::invalid_argument("mc_batch: invalid process-factor model");
+  }
+}
+
+detail::BatchKernelParams make_params(const McBatchSpec& spec,
+                                      const cells::OperatingPoint& op) {
+  detail::BatchKernelParams kp;
+  kp.num_cells = spec.line.num_cells;
+  kp.nominal_cell_ps = spec.line.nominal_cell_ps;
+  kp.sigma_cell = spec.line.sigma_cell;
+  kp.derate = cells::delay_derating(op);
+  kp.period_ps = spec.clock_period_ps;
+  kp.half_period_ps = spec.clock_period_ps / 2.0;
+  kp.shift_bits = static_cast<int>(std::bit_width(spec.line.num_cells)) - 2;
+  return kp;
+}
+
+/// spec.faults grouped by trial (spec order preserved within a trial).
+using FaultIndex = std::unordered_map<std::size_t, std::vector<BatchFault>>;
+
+FaultIndex index_faults(const McBatchSpec& spec) {
+  FaultIndex index;
+  for (const BatchFault& fault : spec.faults) {
+    index[fault.trial].push_back(fault);
+  }
+  return index;
+}
+
+/// Runs dies [begin, end) (end - begin <= kBatchLanes) through the block
+/// kernel, re-running divergent or multi-fault dies on the scalar path.
+/// Writes end - begin samples to `out`.
+void run_inl_block(const McBatchSpec& spec, const detail::BatchKernelParams& kp,
+                   detail::InlBlockFn kernel, const FaultIndex& faults,
+                   std::uint64_t base_seed, std::size_t begin, std::size_t end,
+                   detail::BatchWorkspace& ws, double* out,
+                   std::uint64_t& scalar_fallbacks) {
+  std::uint64_t seeds[kBatchLanes];
+  std::size_t fault_cell[kBatchLanes];
+  double fault_severity[kBatchLanes];
+  bool multi_fault[kBatchLanes];
+  for (std::size_t l = 0; l < kBatchLanes; ++l) {
+    // Lanes past the last trial re-run the final die; their outputs are
+    // discarded below, they just keep the block shape uniform.
+    const std::size_t trial = begin + l < end ? begin + l : end - 1;
+    seeds[l] = die_seed(base_seed, trial);
+    fault_cell[l] = detail::kNoFault;
+    fault_severity[l] = 1.0;
+    multi_fault[l] = false;
+    if (!faults.empty()) {
+      const auto it = faults.find(trial);
+      if (it != faults.end()) {
+        if (it->second.size() == 1) {
+          fault_cell[l] = it->second.front().cell;
+          fault_severity[l] = it->second.front().severity;
+        } else {
+          // Compound faults are rare enough that the scalar line, which
+          // composes them multiplicatively in injection order, is the
+          // simpler source of truth.
+          multi_fault[l] = true;
+        }
+      }
+    }
+  }
+
+  double inl[kBatchLanes];
+  bool needs_fallback[kBatchLanes];
+  kernel(kp, seeds, fault_cell, fault_severity, ws, inl, needs_fallback);
+
+  for (std::size_t l = 0; begin + l < end; ++l) {
+    if (multi_fault[l] || needs_fallback[l]) {
+      inl[l] = batch_die_inl_scalar(spec, begin + l, seeds[l]);
+      ++scalar_fallbacks;
+    }
+    out[l] = inl[l];
+  }
+}
+
+struct InlAcc {
+  std::vector<double> samples;
+  std::uint64_t scalar_fallbacks = 0;
+  detail::BatchWorkspace ws;
+};
+
+std::vector<double> run_batched_samples(ThreadPool& pool,
+                                        const McBatchSpec& spec,
+                                        std::size_t trials,
+                                        std::uint64_t base_seed,
+                                        McBatchStats* stats) {
+  const detail::BatchKernelParams kp = make_params(spec, spec.op);
+  const detail::KernelVariant kernel = detail::select_kernel();
+  const FaultIndex faults = index_faults(spec);
+  const std::size_t blocks = (trials + kBatchLanes - 1) / kBatchLanes;
+
+  InlAcc total = parallel_for_reduce<InlAcc>(
+      pool, blocks,
+      [&] {
+        InlAcc acc;
+        acc.samples.reserve((blocks / pool.thread_count() + 1) * kBatchLanes);
+        acc.ws.resize(spec.line.num_cells);
+        return acc;
+      },
+      [&](std::size_t block, InlAcc& acc) {
+        const std::size_t begin = block * kBatchLanes;
+        const std::size_t end = std::min(trials, begin + kBatchLanes);
+        double out[kBatchLanes];
+        run_inl_block(spec, kp, kernel.inl, faults, base_seed, begin, end,
+                      acc.ws, out, acc.scalar_fallbacks);
+        acc.samples.insert(acc.samples.end(), out, out + (end - begin));
+      },
+      [](InlAcc& into, InlAcc&& shard) {
+        into.samples.insert(into.samples.end(), shard.samples.begin(),
+                            shard.samples.end());
+        into.scalar_fallbacks += shard.scalar_fallbacks;
+      });
+
+  if (stats != nullptr) {
+    stats->scalar_fallbacks = total.scalar_fallbacks;
+  }
+  return std::move(total.samples);
+}
+
+}  // namespace
+
+BatchLineSpec BatchLineSpec::from_technology(
+    const cells::Technology& tech, const core::ProposedLineConfig& config,
+    double sigma_override) {
+  BatchLineSpec spec;
+  spec.num_cells = config.num_cells;
+  spec.buffers_per_cell = config.buffers_per_cell;
+  spec.nominal_cell_ps =
+      tech.typical_delay_ps(cells::CellKind::kBuffer) * config.buffers_per_cell;
+  const double sigma_buffer =
+      sigma_override >= 0.0 ? sigma_override : tech.mismatch_sigma();
+  // One draw per cell with the series-averaging sigma: a chain of k iid
+  // buffers has relative sigma = sigma_buffer / sqrt(k).
+  spec.sigma_cell =
+      sigma_buffer / std::sqrt(static_cast<double>(config.buffers_per_cell));
+  return spec;
+}
+
+std::vector<double> monte_carlo_batched_samples(const McBatchSpec& spec,
+                                                std::size_t trials,
+                                                std::uint64_t base_seed,
+                                                std::size_t threads,
+                                                McBatchStats* stats) {
+  validate_spec(spec);
+  if (stats != nullptr) {
+    *stats = McBatchStats{};
+  }
+  if (trials == 0) {
+    return {};
+  }
+  if (threads == 0) {
+    return run_batched_samples(ThreadPool::global(), spec, trials, base_seed,
+                               stats);
+  }
+  ThreadPool pool(threads);
+  return run_batched_samples(pool, spec, trials, base_seed, stats);
+}
+
+Summary monte_carlo_batched(const McBatchSpec& spec, std::size_t trials,
+                            std::uint64_t base_seed, std::size_t threads,
+                            McBatchStats* stats) {
+  return summarize(
+      monte_carlo_batched_samples(spec, trials, base_seed, threads, stats));
+}
+
+double batch_die_inl_scalar(const McBatchSpec& spec, std::size_t trial,
+                            std::uint64_t die_seed) {
+  validate_spec(spec);
+  const std::size_t n = spec.line.num_cells;
+  std::vector<double> cell_ps(n);
+  cells::batch_sample_cell_delays(die_seed, n, spec.line.nominal_cell_ps,
+                                  spec.line.sigma_cell, cell_ps.data());
+  core::ProposedDelayLine line({n, spec.line.buffers_per_cell},
+                               std::move(cell_ps), spec.line.nominal_cell_ps);
+  for (const BatchFault& fault : spec.faults) {
+    if (fault.trial == trial) {
+      line.inject_cell_fault(fault.cell, fault.severity);
+    }
+  }
+  core::ProposedController controller(line, spec.clock_period_ps);
+  if (!controller.run_to_lock(spec.op).has_value()) {
+    return 0.0;  // kAtLimit: no lock at this corner/period.
+  }
+  const std::size_t tap_sel = controller.tap_sel();
+  if (tap_sel == 0) {
+    return 0.0;  // Degenerate lock: every duty word maps to tap 0.
+  }
+  const core::DutyMapper mapper(n);
+  // Endpoint-fit INL over all duty codes, the same explicit-fma arithmetic
+  // the batch kernel's run scan evaluates at run endpoints.
+  const double cfront = line.tap_delay_ps(mapper.map(0, tap_sel), spec.op);
+  const double clast = line.tap_delay_ps(mapper.map(n - 1, tap_sel), spec.op);
+  const double lsb = (clast - cfront) / static_cast<double>(n - 1);
+  double max_dev = 0.0;
+  for (std::size_t w = 0; w < n; ++w) {
+    const double cv = line.tap_delay_ps(mapper.map(w, tap_sel), spec.op);
+    const double dev = cv - std::fma(lsb, static_cast<double>(w), cfront);
+    const double abs_dev = dev < 0.0 ? -dev : dev;
+    if (abs_dev > max_dev) {
+      max_dev = abs_dev;
+    }
+  }
+  return max_dev / (lsb < 0.0 ? -lsb : lsb);
+}
+
+double monte_carlo_yield_batched(const BatchYieldSpec& spec,
+                                 std::size_t trials, std::uint64_t base_seed,
+                                 std::size_t threads) {
+  validate_yield_spec(spec);
+  if (trials == 0) {
+    return 0.0;
+  }
+
+  detail::BatchYieldKernelParams yp;
+  yp.num_cells = spec.line.num_cells;
+  yp.nominal_cell_ps = spec.line.nominal_cell_ps;
+  yp.sigma_cell = spec.line.sigma_cell;
+  yp.period_ps = spec.clock_period_ps;
+  yp.factor_mean = spec.factor_mean;
+  yp.factor_sigma = spec.factor_sigma;
+  yp.factor_min = spec.factor_min;
+  yp.factor_max = spec.factor_max;
+  const detail::KernelVariant kernel = detail::select_kernel();
+  const std::size_t blocks = (trials + kBatchLanes - 1) / kBatchLanes;
+
+  struct YieldAcc {
+    std::uint64_t passes = 0;
+    detail::BatchWorkspace ws;
+  };
+  auto run = [&](ThreadPool& pool) {
+    return parallel_for_reduce<YieldAcc>(
+        pool, blocks,
+        [&] {
+          YieldAcc acc;
+          acc.ws.resize(spec.line.num_cells);
+          return acc;
+        },
+        [&](std::size_t block, YieldAcc& acc) {
+          const std::size_t begin = block * kBatchLanes;
+          const std::size_t end = std::min(trials, begin + kBatchLanes);
+          std::uint64_t seeds[kBatchLanes];
+          for (std::size_t l = 0; l < kBatchLanes; ++l) {
+            const std::size_t trial = begin + l < end ? begin + l : end - 1;
+            seeds[l] = die_seed(base_seed, trial);
+          }
+          bool pass[kBatchLanes];
+          kernel.yield(yp, seeds, acc.ws, pass);
+          for (std::size_t l = 0; begin + l < end; ++l) {
+            acc.passes += pass[l] ? 1 : 0;
+          }
+        },
+        [](YieldAcc& into, YieldAcc&& shard) { into.passes += shard.passes; });
+  };
+
+  std::uint64_t passes = 0;
+  if (threads == 0) {
+    passes = run(ThreadPool::global()).passes;
+  } else {
+    ThreadPool pool(threads);
+    passes = run(pool).passes;
+  }
+  return static_cast<double>(passes) / static_cast<double>(trials);
+}
+
+bool batch_die_covers_period_scalar(const BatchYieldSpec& spec,
+                                    std::uint64_t die_seed) {
+  validate_yield_spec(spec);
+  const std::size_t n = spec.line.num_cells;
+  std::vector<double> cell_ps(n);
+  cells::batch_sample_cell_delays(die_seed, n, spec.line.nominal_cell_ps,
+                                  spec.line.sigma_cell, cell_ps.data());
+  const core::ProposedDelayLine line(
+      {n, spec.line.buffers_per_cell}, std::move(cell_ps),
+      spec.line.nominal_cell_ps);
+  const double line_ps =
+      line.tap_delay_ps(n - 1, cells::OperatingPoint::typical());
+  const double factor = detail::batch_process_factor(
+      die_seed, n, spec.factor_mean, spec.factor_sigma, spec.factor_min,
+      spec.factor_max);
+  return line_ps * factor >= spec.clock_period_ps;
+}
+
+std::vector<CornerSweepResult> sweep_batched(
+    const std::vector<cells::OperatingPoint>& corners, std::size_t dies,
+    std::uint64_t base_seed, const McBatchSpec& spec, std::size_t threads) {
+  validate_spec(spec);
+  if (corners.empty()) {
+    return {};
+  }
+
+  // One effective spec + kernel-parameter set per corner; the *same* dies
+  // (same seeds) are measured at every corner, like sweep().
+  std::vector<McBatchSpec> corner_specs(corners.size(), spec);
+  std::vector<detail::BatchKernelParams> corner_params;
+  corner_params.reserve(corners.size());
+  for (std::size_t c = 0; c < corners.size(); ++c) {
+    corner_specs[c].op = corners[c];
+    corner_params.push_back(make_params(spec, corners[c]));
+  }
+  const detail::KernelVariant kernel = detail::select_kernel();
+  const FaultIndex faults = index_faults(spec);
+  const std::size_t blocks = (dies + kBatchLanes - 1) / kBatchLanes;
+  const std::size_t grid = corners.size() * blocks;
+
+  struct SweepAcc {
+    std::vector<std::vector<double>> per_corner;
+    std::uint64_t scalar_fallbacks = 0;
+    detail::BatchWorkspace ws;
+  };
+  auto run = [&](ThreadPool& pool) {
+    return parallel_for_reduce<SweepAcc>(
+        pool, grid,
+        [&] {
+          SweepAcc acc;
+          acc.per_corner.resize(corners.size());
+          acc.ws.resize(spec.line.num_cells);
+          return acc;
+        },
+        [&](std::size_t i, SweepAcc& acc) {
+          const std::size_t corner = i / blocks;
+          const std::size_t block = i % blocks;
+          const std::size_t begin = block * kBatchLanes;
+          const std::size_t end = std::min(dies, begin + kBatchLanes);
+          double out[kBatchLanes];
+          run_inl_block(corner_specs[corner], corner_params[corner],
+                        kernel.inl, faults, base_seed, begin, end, acc.ws, out,
+                        acc.scalar_fallbacks);
+          acc.per_corner[corner].insert(acc.per_corner[corner].end(), out,
+                                        out + (end - begin));
+        },
+        [](SweepAcc& into, SweepAcc&& shard) {
+          for (std::size_t c = 0; c < into.per_corner.size(); ++c) {
+            into.per_corner[c].insert(into.per_corner[c].end(),
+                                      shard.per_corner[c].begin(),
+                                      shard.per_corner[c].end());
+          }
+          into.scalar_fallbacks += shard.scalar_fallbacks;
+        });
+  };
+
+  SweepAcc total;
+  if (threads == 0) {
+    total = run(ThreadPool::global());
+  } else {
+    ThreadPool pool(threads);
+    total = run(pool);
+  }
+
+  std::vector<CornerSweepResult> results;
+  results.reserve(corners.size());
+  for (std::size_t c = 0; c < corners.size(); ++c) {
+    results.push_back(
+        {corners[c], summarize(std::move(total.per_corner[c]))});
+  }
+  return results;
+}
+
+const char* mc_batch_kernel_name() { return detail::select_kernel().name; }
+
+}  // namespace ddl::analysis

@@ -1,0 +1,7 @@
+// Portable batched Monte-Carlo block kernel: no ISA requirements beyond
+// the build's baseline.  Compiled at -O3 with -ffp-contract=off (see
+// CMakeLists.txt); on hardware without fused multiply-add the explicit
+// std::fma calls go through libm -- slower, but bit-identical to the AVX2
+// variant and the scalar path, which is the contract.
+#define DDL_MC_BATCH_KERNEL_NS kernel_base
+#include "mc_batch_kernel_body.inc"

@@ -4,6 +4,7 @@
 #include <cmath>
 #include <random>
 
+#include "ddl/analysis/mc_batch.h"
 #include "ddl/analysis/monte_carlo.h"
 #include "ddl/cells/operating_point.h"
 
@@ -43,6 +44,45 @@ std::vector<YieldPoint> yield_vs_cells(
                                 cells::OperatingPoint::typical());
           return typical_line_ps * factor >= clock_period_ps;
         });
+
+    YieldPoint point;
+    point.num_cells = cells_n;
+    point.yield = yield;
+    point.area_um2 = static_cast<double>(cells_n) *
+                     static_cast<double>(config.buffers_per_cell) *
+                     tech.area_um2(cells::CellKind::kBuffer);
+    sweep.push_back(point);
+  }
+  return sweep;
+}
+
+std::vector<YieldPoint> yield_vs_cells_batched(
+    const cells::Technology& tech, const core::ProposedLineConfig& base_config,
+    double clock_period_ps, const ProcessDistribution& process,
+    std::size_t min_cells, std::size_t max_cells, std::size_t trials,
+    std::uint64_t base_seed, std::size_t threads) {
+  std::vector<YieldPoint> sweep;
+  const double fast_factor =
+      cells::process_delay_factor(cells::ProcessCorner::kFast);
+  const double slow_factor =
+      cells::process_delay_factor(cells::ProcessCorner::kSlow);
+
+  for (std::size_t cells_n = min_cells; cells_n <= max_cells; cells_n *= 2) {
+    core::ProposedLineConfig config = base_config;
+    config.num_cells = cells_n;
+
+    // Same model as yield_vs_cells -- full line at the die's speed covers
+    // the clock period -- evaluated on the batch engine: per-cell mismatch
+    // and the global process factor both come from the counter sampler.
+    BatchYieldSpec spec;
+    spec.line = BatchLineSpec::from_technology(tech, config);
+    spec.clock_period_ps = clock_period_ps;
+    spec.factor_mean = process.mean_factor;
+    spec.factor_sigma = process.sigma_factor;
+    spec.factor_min = fast_factor;
+    spec.factor_max = slow_factor;
+    const double yield =
+        monte_carlo_yield_batched(spec, trials, base_seed ^ cells_n, threads);
 
     YieldPoint point;
     point.num_cells = cells_n;

@@ -1,0 +1,139 @@
+// Counter-based per-cell mismatch sampling for the batched Monte-Carlo
+// engine (DESIGN.md "Batched Monte-Carlo kernel").
+//
+// MismatchSampler (mismatch.h) draws through std::mt19937_64 +
+// std::normal_distribution -- a sequential, implementation-defined stream
+// that cannot be vectorized or reproduced lane-by-lane.  The batch engine
+// instead derives every draw from a *counter*: draw i of die `seed` is a
+// pure function splitmix64(seed, i) -> uniform -> inverse-normal-CDF, so
+// any lane of a SIMD batch, the scalar reference path and a re-run on a
+// different thread count all produce bit-identical doubles.
+//
+// The die model is per-cell: one Gaussian multiplier per delay cell with
+// sigma_cell = sigma_buffer / sqrt(buffers_per_cell), the same averaging
+// law the per-buffer model converges to (thesis Figures 50/51).  Every
+// arithmetic step uses explicit std::fma so the result does not depend on
+// the compiler's FP-contraction choice; the TUs that evaluate these
+// helpers are compiled with -ffp-contract=off (see src/*/CMakeLists.txt).
+#pragma once
+
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+
+namespace ddl::cells {
+
+/// Acklam's rational approximation of the inverse normal CDF splits the
+/// unit interval at these points; draws outside the central region take
+/// the (scalar) log/sqrt tail path.  Exposed so the SIMD kernel and the
+/// scalar reference agree on the exact same branch condition.
+inline constexpr double kBatchIcdfPLow = 0.02425;
+inline constexpr double kBatchIcdfPHigh = 1.0 - kBatchIcdfPLow;
+
+/// splitmix64 finalizer -- the same mixer analysis::die_seed uses.
+inline std::uint64_t batch_mix64(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+/// The raw 53-bit draw for cell `index` of die `seed` (counter-based: a
+/// pure function of its arguments).
+inline std::uint64_t batch_draw_bits(std::uint64_t seed,
+                                     std::uint64_t index) noexcept {
+  return batch_mix64(seed + 0x9e3779b97f4a7c15ULL * (index + 1)) >> 11;
+}
+
+/// Maps 53 random bits onto the open unit interval: (bits + 0.5) * 2^-53,
+/// never exactly 0 or 1, so the inverse CDF's logs are always finite.
+inline double batch_unit_from_bits(std::uint64_t bits) noexcept {
+  return (static_cast<double>(bits) + 0.5) * 0x1.0p-53;
+}
+
+/// The central-region rational of Acklam's inverse normal CDF, valid for
+/// p in [kBatchIcdfPLow, kBatchIcdfPHigh].  Every multiply-add is an
+/// explicit fma: correctly rounded, so scalar and SIMD evaluations agree
+/// bit-for-bit.  The SIMD kernel evaluates exactly this polynomial.
+inline double batch_icdf_central(double p) noexcept {
+  constexpr double kA0 = -3.969683028665376e+01;
+  constexpr double kA1 = 2.209460984245205e+02;
+  constexpr double kA2 = -2.759285104469687e+02;
+  constexpr double kA3 = 1.383577518672690e+02;
+  constexpr double kA4 = -3.066479806614716e+01;
+  constexpr double kA5 = 2.506628277459239e+00;
+  constexpr double kB0 = -5.447609879822406e+01;
+  constexpr double kB1 = 1.615858368580409e+02;
+  constexpr double kB2 = -1.556989798598866e+02;
+  constexpr double kB3 = 6.680131188771972e+01;
+  constexpr double kB4 = -1.328068155288572e+01;
+  const double q = p - 0.5;
+  const double r = q * q;
+  double n = std::fma(kA0, r, kA1);
+  n = std::fma(n, r, kA2);
+  n = std::fma(n, r, kA3);
+  n = std::fma(n, r, kA4);
+  n = std::fma(n, r, kA5);
+  double d = std::fma(kB0, r, kB1);
+  d = std::fma(d, r, kB2);
+  d = std::fma(d, r, kB3);
+  d = std::fma(d, r, kB4);
+  d = std::fma(d, r, 1.0);
+  return n * q / d;
+}
+
+/// The tail rational in the transformed variable q = sqrt(-2 log p).
+inline double batch_icdf_tail_half(double q) noexcept {
+  constexpr double kC0 = -7.784894002430293e-03;
+  constexpr double kC1 = -3.223964580411365e-01;
+  constexpr double kC2 = -2.400758277161838e+00;
+  constexpr double kC3 = -2.549732539343734e+00;
+  constexpr double kC4 = 4.374664141464968e+00;
+  constexpr double kC5 = 2.938163982698783e+00;
+  constexpr double kD0 = 7.784695709041462e-03;
+  constexpr double kD1 = 3.224671290700398e-01;
+  constexpr double kD2 = 2.445134137142996e+00;
+  constexpr double kD3 = 3.754408661907416e+00;
+  double n = std::fma(kC0, q, kC1);
+  n = std::fma(n, q, kC2);
+  n = std::fma(n, q, kC3);
+  n = std::fma(n, q, kC4);
+  n = std::fma(n, q, kC5);
+  double d = std::fma(kD0, q, kD1);
+  d = std::fma(d, q, kD2);
+  d = std::fma(d, q, kD3);
+  d = std::fma(d, q, 1.0);
+  return n / d;
+}
+
+/// Full inverse normal CDF for p in (0, 1): |error| < 1.2e-9 everywhere.
+inline double batch_normal_icdf(double p) noexcept {
+  if (p < kBatchIcdfPLow) {
+    return batch_icdf_tail_half(std::sqrt(-2.0 * std::log(p)));
+  }
+  if (p > kBatchIcdfPHigh) {
+    return -batch_icdf_tail_half(std::sqrt(-2.0 * std::log(1.0 - p)));
+  }
+  return batch_icdf_central(p);
+}
+
+/// The Gaussian delay multiplier of cell `index` of die `seed`: clamp(1 +
+/// sigma * z, 0.5, 1.5), the same clamp MismatchSampler applies so a
+/// pathological draw can never produce a zero or negative delay.
+inline double batch_cell_multiplier(std::uint64_t seed, std::uint64_t index,
+                                    double sigma) noexcept {
+  const double p = batch_unit_from_bits(batch_draw_bits(seed, index));
+  double m = std::fma(sigma, batch_normal_icdf(p), 1.0);
+  m = m < 0.5 ? 0.5 : m;
+  m = m > 1.5 ? 1.5 : m;
+  return m;
+}
+
+/// Samples all `count` per-cell delays of die `seed` into `out_ps`:
+/// out_ps[i] = nominal_ps * batch_cell_multiplier(seed, i, sigma).  This is
+/// the scalar reference the SIMD kernel's structure-of-arrays sampling is
+/// cross-validated against (bit-identical per element).
+void batch_sample_cell_delays(std::uint64_t seed, std::size_t count,
+                              double nominal_ps, double sigma,
+                              double* out_ps);
+
+}  // namespace ddl::cells

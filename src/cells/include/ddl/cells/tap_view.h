@@ -1,0 +1,53 @@
+// A borrowed, strided view of cumulative tap delays.
+//
+// Both delay-line architectures cache their typical-corner prefix sums and
+// scale them by a PVT derating on query; the batched Monte-Carlo engine
+// keeps the same prefix sums in structure-of-arrays lanes (one die per
+// lane, stride = lane count).  TapDelayView expresses all of these as one
+// shape -- base pointer, element count, stride, derating scale -- so a
+// consumer (DelayLineDpwm, the linearity analyzers, tests) reads tap
+// delays without knowing whether they came from a line object or a batch
+// lane, and without materializing a copy.
+//
+// The view borrows: it is valid only while the underlying prefix storage
+// is alive and unmutated (fault injection and setting changes rebuild the
+// prefixes).  Same lifetime rules as the lines' tap_delays() buffers.
+#pragma once
+
+#include <cstddef>
+
+namespace ddl::cells {
+
+class TapDelayView {
+ public:
+  // No default constructor: a braced `{}` argument must keep list-
+  // initializing a tap-delay *vector* in overload sets that accept either
+  // form (DelayLineDpwm's two constructors), and an unbound view has no
+  // meaning anyway.
+
+  /// `prefix_ps[ i * stride ]` is the cumulative typical-corner delay to
+  /// tap i; `scale` is the operating-point derating applied on read.
+  TapDelayView(const double* prefix_ps, std::size_t size, std::size_t stride,
+               double scale) noexcept
+      : prefix_ps_(prefix_ps), size_(size), stride_(stride), scale_(scale) {}
+
+  std::size_t size() const noexcept { return size_; }
+  bool empty() const noexcept { return size_ == 0; }
+
+  /// Cumulative delay to tap `i` in ps -- the exact double the owning
+  /// line's tap_delay_ps(i, op) returns (same multiply, same operands).
+  double at(std::size_t i) const noexcept {
+    return prefix_ps_[i * stride_] * scale_;
+  }
+
+  double scale() const noexcept { return scale_; }
+  std::size_t stride() const noexcept { return stride_; }
+
+ private:
+  const double* prefix_ps_ = nullptr;
+  std::size_t size_ = 0;
+  std::size_t stride_ = 1;
+  double scale_ = 1.0;
+};
+
+}  // namespace ddl::cells

@@ -1,0 +1,13 @@
+#include "ddl/cells/batch_mismatch.h"
+
+namespace ddl::cells {
+
+void batch_sample_cell_delays(std::uint64_t seed, std::size_t count,
+                              double nominal_ps, double sigma,
+                              double* out_ps) {
+  for (std::size_t i = 0; i < count; ++i) {
+    out_ps[i] = nominal_ps * batch_cell_multiplier(seed, i, sigma);
+  }
+}
+
+}  // namespace ddl::cells

@@ -9,6 +9,7 @@
 
 #include "ddl/cells/mismatch.h"
 #include "ddl/cells/operating_point.h"
+#include "ddl/cells/tap_view.h"
 #include "ddl/cells/technology.h"
 #include "ddl/core/derating_cache.h"
 #include "ddl/sim/time.h"
@@ -104,6 +105,12 @@ class ConventionalDelayLine {
       const cells::OperatingPoint& op) const;
   /// Same, as doubles; a reusable internal buffer with the same rules.
   const std::vector<double>& tap_delays(const cells::OperatingPoint& op) const;
+
+  /// Zero-copy strided view over the prefix-sum cache at an operating
+  /// point: view.at(i) == tap_delay_ps(i, op) bit-for-bit.  Extends the
+  /// cache to the full line first; borrows this line's storage, so any
+  /// mutation (setting changes, fault injection) invalidates the view.
+  cells::TapDelayView tap_view(const cells::OperatingPoint& op) const;
 
   /// Total line delay at the current settings, ps.
   double line_delay_ps(const cells::OperatingPoint& op) const {

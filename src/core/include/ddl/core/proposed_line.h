@@ -13,6 +13,7 @@
 
 #include "ddl/cells/mismatch.h"
 #include "ddl/cells/operating_point.h"
+#include "ddl/cells/tap_view.h"
 #include "ddl/cells/technology.h"
 #include "ddl/core/derating_cache.h"
 #include "ddl/sim/time.h"
@@ -41,6 +42,16 @@ class ProposedDelayLine {
                     std::uint64_t mismatch_seed = 0,
                     double mismatch_sigma_override = -1.0);
 
+  /// Builds a die from externally sampled per-cell typical delays (the
+  /// batched Monte-Carlo engine's scalar fallback path: the batch sampler
+  /// produces the cells, this constructor turns one lane into a full line).
+  /// `cell_typical_ps` must have exactly config.num_cells entries; the
+  /// prefix cache is accumulated left-to-right, bit-identical to the batch
+  /// kernel's per-lane prefix sum.
+  ProposedDelayLine(ProposedLineConfig config,
+                    std::vector<double> cell_typical_ps,
+                    double nominal_cell_ps);
+
   const ProposedLineConfig& config() const noexcept { return config_; }
   std::size_t size() const noexcept { return config_.num_cells; }
 
@@ -62,6 +73,14 @@ class ProposedDelayLine {
   /// Same, as doubles without rounding (for linearity analysis).  Returns a
   /// reusable internal buffer with the same lifetime rules.
   const std::vector<double>& tap_delays(const cells::OperatingPoint& op) const;
+
+  /// Zero-copy strided view over the cached prefix sums at an operating
+  /// point: view.at(i) == tap_delay_ps(i, op) bit-for-bit.  Borrows this
+  /// line's storage; invalidated by fault injection.
+  cells::TapDelayView tap_view(const cells::OperatingPoint& op) const {
+    return cells::TapDelayView(prefix_typical_ps_.data(), config_.num_cells,
+                               1, derating_.get(op));
+  }
 
   /// Nominal (typical-corner, mismatch-free) delay of one cell, ps.
   double nominal_cell_delay_ps() const noexcept { return nominal_cell_ps_; }

@@ -143,6 +143,13 @@ const std::vector<double>& ConventionalDelayLine::tap_delays(
   return tap_buffer_;
 }
 
+cells::TapDelayView ConventionalDelayLine::tap_view(
+    const cells::OperatingPoint& op) const {
+  ensure_prefix(config_.num_cells - 1);
+  return cells::TapDelayView(prefix_ps_.data(), config_.num_cells, 1,
+                             derating_.get(op));
+}
+
 const std::vector<sim::Time>& ConventionalDelayLine::tap_delays_ps(
     const cells::OperatingPoint& op) const {
   const std::vector<double>& exact = tap_delays(op);

@@ -3,6 +3,7 @@
 #include <bit>
 #include <cassert>
 #include <stdexcept>
+#include <utility>
 
 namespace ddl::core {
 
@@ -40,6 +41,24 @@ ProposedDelayLine::ProposedDelayLine(const cells::Technology& tech,
           cells::CellKind::kBuffer, cells::OperatingPoint::typical(),
           static_cast<std::size_t>(config_.buffers_per_cell)));
     }
+  }
+  prefix_typical_ps_.resize(config_.num_cells);
+  rebuild_prefix_from(0);
+}
+
+ProposedDelayLine::ProposedDelayLine(ProposedLineConfig config,
+                                     std::vector<double> cell_typical_ps,
+                                     double nominal_cell_ps)
+    : config_(config),
+      nominal_cell_ps_(nominal_cell_ps),
+      cell_typical_ps_(std::move(cell_typical_ps)) {
+  if (config_.num_cells == 0 || !std::has_single_bit(config_.num_cells)) {
+    throw std::invalid_argument(
+        "ProposedDelayLine: num_cells must be a power of two");
+  }
+  if (cell_typical_ps_.size() != config_.num_cells) {
+    throw std::invalid_argument(
+        "ProposedDelayLine: cell_typical_ps size must equal num_cells");
   }
   prefix_typical_ps_.resize(config_.num_cells);
   rebuild_prefix_from(0);

@@ -14,6 +14,7 @@
 #include <cstdint>
 #include <vector>
 
+#include "ddl/cells/tap_view.h"
 #include "ddl/sim/time.h"
 
 namespace ddl::dpwm {
@@ -79,6 +80,14 @@ class DelayLineDpwm final : public DpwmModel {
   /// `tap_delays_ps[i]` is the cumulative delay from line input to tap i
   /// (strictly increasing, one entry per duty code).
   DelayLineDpwm(std::vector<sim::Time> tap_delays_ps,
+                sim::Time switching_period_ps);
+
+  /// Same model over a borrowed tap view (a delay line's prefix cache or
+  /// one lane of a Monte-Carlo batch): taps are rounded to ps ticks at
+  /// construction, exactly like tap_delays_ps() would produce, so the view
+  /// and vector constructors generate identical PWM trains.  The view is
+  /// only read here -- no lifetime requirement beyond this call.
+  DelayLineDpwm(const cells::TapDelayView& taps,
                 sim::Time switching_period_ps);
 
   sim::Time period_ps() const override { return period_; }

@@ -56,6 +56,23 @@ DelayLineDpwm::DelayLineDpwm(std::vector<sim::Time> tap_delays_ps,
   bits_ = std::bit_width(taps_.size()) - 1;
 }
 
+namespace {
+
+std::vector<sim::Time> materialize_taps(const cells::TapDelayView& taps) {
+  std::vector<sim::Time> out;
+  out.reserve(taps.size());
+  for (std::size_t i = 0; i < taps.size(); ++i) {
+    out.push_back(sim::from_ps(taps.at(i)));
+  }
+  return out;
+}
+
+}  // namespace
+
+DelayLineDpwm::DelayLineDpwm(const cells::TapDelayView& taps,
+                             sim::Time switching_period_ps)
+    : DelayLineDpwm(materialize_taps(taps), switching_period_ps) {}
+
 PwmPeriod DelayLineDpwm::generate(sim::Time start, std::uint64_t duty) {
   duty &= taps_.size() - 1;
   PwmPeriod out;
