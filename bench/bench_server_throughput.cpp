@@ -1,0 +1,182 @@
+// Campaign-service throughput: run an in-process ddl::service::ScenarioServer
+// on a loopback ephemeral port and hammer it with 1, 4 and 16 concurrent
+// clients, each submitting single-scenario jobs back-to-back over the framed
+// wire protocol.  Reports end-to-end scenarios/sec and the p50/p99
+// submit->job_done latency per client count -- the full path (frame encode,
+// socket, validate, journal, schedule, execute, stream, reassemble), not
+// just the scenario kernel.
+//
+// Writes BENCH_server_throughput.json; the `guardrail_` key feeds
+// scripts/check_bench_regression.py against
+// bench/baselines/server_throughput_baseline.json.  DDL_BENCH_TRIALS scales
+// the jobs-per-client count on fast machines.
+#include <algorithm>
+#include <cstdio>
+#include <filesystem>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ddl/analysis/bench_json.h"
+#include "ddl/scenario/spec.h"
+#include "ddl/service/client.h"
+#include "ddl/service/server.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using ddl::scenario::LoadSpec;
+using ddl::scenario::ScenarioSpec;
+using ddl::service::ClientConfig;
+using ddl::service::ScenarioClient;
+using ddl::service::ScenarioServer;
+using ddl::service::ServiceConfig;
+
+/// A short closed-loop run (~10 ms of kernel work): small enough that the
+/// wire and scheduling overhead is a visible fraction of the latency, large
+/// enough to be a real scenario rather than a no-op.
+ScenarioSpec bench_spec(std::uint64_t seed) {
+  ScenarioSpec spec;
+  spec.name = "bench/proposed/typical/srv";
+  spec.family = "bench";
+  spec.seed = seed;
+  spec.load = LoadSpec::constant(0.4);
+  spec.periods = 600;
+  spec.measure_from = 400;
+  spec.allow_limit_cycling = true;
+  spec.tolerance_v = 0.05;
+  return spec;
+}
+
+struct RunStats {
+  double scenarios_per_sec = 0.0;
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+  bool all_done = true;
+};
+
+double percentile(std::vector<double>& sorted_ms, double p) {
+  if (sorted_ms.empty()) {
+    return 0.0;
+  }
+  const auto rank = static_cast<std::size_t>(
+      p * static_cast<double>(sorted_ms.size() - 1) + 0.5);
+  return sorted_ms[std::min(rank, sorted_ms.size() - 1)];
+}
+
+/// One measurement: a fresh server, `clients` threads, `jobs_each`
+/// single-scenario jobs per thread submitted back-to-back.  Unique seeds
+/// and tags keep every job distinct, so nothing short-circuits through the
+/// idempotent-replay path.
+RunStats run_config(std::size_t clients, std::size_t jobs_each,
+                    const std::string& state_root) {
+  ServiceConfig config;
+  config.tcp_port = 0;  // Ephemeral.
+  config.workers = std::max<std::size_t>(2, std::thread::hardware_concurrency());
+  config.max_inflight_per_client = 4;
+  config.max_pending_jobs_per_client = 4;
+  config.heartbeat_ms = 60'000;
+  config.state_dir = state_root + "/c" + std::to_string(clients);
+  fs::create_directories(config.state_dir);
+
+  ScenarioServer server(config);
+  if (!server.start()) {
+    std::fprintf(stderr, "server start failed\n");
+    return {.scenarios_per_sec = 0, .p50_ms = 0, .p99_ms = 0,
+            .all_done = false};
+  }
+
+  std::vector<std::vector<double>> latencies(clients);
+  std::vector<bool> done(clients, true);
+  ddl::analysis::WallTimer wall;
+  std::vector<std::thread> threads;
+  threads.reserve(clients);
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      ClientConfig cc;
+      cc.tcp_port = server.tcp_port();
+      cc.name = "bench-" + std::to_string(c);
+      cc.recv_timeout_ms = 60'000;
+      ScenarioClient client(cc);
+      if (!client.connect()) {
+        done[c] = false;
+        return;
+      }
+      for (std::size_t j = 0; j < jobs_each; ++j) {
+        ddl::analysis::WallTimer lap;
+        const auto sub = client.submit_specs(
+            "job-" + std::to_string(j),
+            {bench_spec(1000 * (c + 1) + j)});
+        if (!sub.accepted || !client.wait(sub.job_id).done) {
+          done[c] = false;
+          return;
+        }
+        latencies[c].push_back(lap.elapsed_ms());
+      }
+      client.bye();
+    });
+  }
+  for (auto& thread : threads) {
+    thread.join();
+  }
+  const double wall_ms = wall.elapsed_ms();
+  server.stop();
+
+  RunStats stats;
+  std::vector<double> all;
+  for (std::size_t c = 0; c < clients; ++c) {
+    stats.all_done = stats.all_done && done[c];
+    all.insert(all.end(), latencies[c].begin(), latencies[c].end());
+  }
+  std::sort(all.begin(), all.end());
+  stats.scenarios_per_sec =
+      1e3 * static_cast<double>(all.size()) / std::max(wall_ms, 1e-6);
+  stats.p50_ms = percentile(all, 0.50);
+  stats.p99_ms = percentile(all, 0.99);
+  return stats;
+}
+
+}  // namespace
+
+int main() {
+  const std::size_t jobs_each =
+      6 * ddl::analysis::BenchReport::trials_or(1);
+  const std::string state_root =
+      (fs::temp_directory_path() / "ddl_bench_server_throughput").string();
+  fs::remove_all(state_root);
+
+  std::printf("==== Campaign service throughput (%zu jobs/client, 1 "
+              "scenario/job) ====\n\n", jobs_each);
+
+  ddl::analysis::BenchReport report("server_throughput");
+  report.set("jobs_per_client", static_cast<std::uint64_t>(jobs_each));
+
+  bool all_done = true;
+  double guardrail = 0.0;
+  const std::size_t configs[] = {1, 4, 16};
+  for (const std::size_t clients : configs) {
+    const RunStats stats = run_config(clients, jobs_each, state_root);
+    all_done = all_done && stats.all_done;
+    // The guardrail floor tracks the *best* configuration: total throughput
+    // normally rises with concurrency, and taking the max keeps the metric
+    // insensitive to which client count a slow runner happens to starve.
+    guardrail = std::max(guardrail, stats.scenarios_per_sec);
+    std::printf("  clients=%2zu: %7.1f scenarios/sec   p50 %7.2f ms   "
+                "p99 %7.2f ms%s\n",
+                clients, stats.scenarios_per_sec, stats.p50_ms, stats.p99_ms,
+                stats.all_done ? "" : "   [INCOMPLETE]");
+    const std::string prefix = "clients_" + std::to_string(clients);
+    report.set(prefix + "_scenarios_per_sec", stats.scenarios_per_sec);
+    report.set(prefix + "_p50_ms", stats.p50_ms);
+    report.set(prefix + "_p99_ms", stats.p99_ms);
+  }
+
+  report.set("all_jobs_done", all_done);
+  report.set("guardrail_server_scenarios_per_sec", guardrail);
+  std::printf("\nall jobs completed: %s\n", all_done ? "yes" : "NO");
+  const auto path = report.write();
+  std::printf("report: %s\n", path.c_str());
+  fs::remove_all(state_root);
+  return all_done ? 0 : 1;
+}

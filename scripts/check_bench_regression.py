@@ -1,15 +1,20 @@
 #!/usr/bin/env python3
-"""CI perf guardrail: validate BENCH_kernel_perf.json and compare its
+"""CI perf guardrail: validate a BENCH_*.json report and compare its
 throughput keys against the committed baseline.
 
 usage: check_bench_regression.py REPORT.json BASELINE.json
 
-The baseline file (bench/baselines/kernel_perf_baseline.json) commits the
+The baseline file (bench/baselines/*_baseline.json) commits the
 conservative items/sec floor expected on CI runners plus the tolerance; a
 measured value below floor * (1 - tolerance_frac) fails the job.  The
 baseline is intentionally below a healthy runner's numbers -- it exists to
 catch order-of-magnitude regressions (an accidental O(n) in a hot path),
 not to police run-to-run noise.
+
+The baseline's "report" key names the bench it guards; the report's "name"
+must match, and it selects the schema (required keys + predicates) from
+SCHEMAS below.  Adding a new guarded bench = one SCHEMAS entry plus one
+baseline file.
 
 Each "items_per_sec" entry is either a bare number (the floor, checked
 with the file-level "tolerance_frac") or an object
@@ -25,24 +30,62 @@ Exit codes: 0 ok, 1 regression or schema violation, 2 bad invocation.
 import json
 import sys
 
-# Keys every BENCH_kernel_perf.json must carry, with a predicate each.
-SCHEMA = {
-    "schema_version": lambda v: v == 2,
-    "name": lambda v: v == "kernel_perf",
-    "guardrail_kernel_wave_4096_items_per_sec": lambda v: v > 0,
-    "guardrail_proposed_tap_query_items_per_sec": lambda v: v > 0,
-    "kernel_probe_signal_events": lambda v: isinstance(v, int) and v > 0,
-    "kernel_probe_tasks": lambda v: isinstance(v, int) and v > 0,
-    "kernel_probe_cancelled_inertial": lambda v: isinstance(v, int) and v > 0,
-    "kernel_probe_executed_events": lambda v: isinstance(v, int) and v > 0,
-    "mc_deterministic_across_threads": lambda v: v is True,
-    # The batched engine's two contracts, measured by the bench itself:
-    # bit-identity with the per-die scalar reference, and identical samples
-    # at every thread count.
-    "mc_batch_equals_scalar": lambda v: v is True,
-    "mc_batch_deterministic_across_threads": lambda v: v is True,
-    "mc_batch_speedup_vs_scalar": lambda v: v > 0,
+# Required keys per report name, with a predicate each.  Every schema also
+# implicitly requires schema_version == 2 and the matching "name".
+SCHEMAS = {
+    "kernel_perf": {
+        "guardrail_kernel_wave_4096_items_per_sec": lambda v: v > 0,
+        "guardrail_proposed_tap_query_items_per_sec": lambda v: v > 0,
+        "kernel_probe_signal_events": lambda v: isinstance(v, int) and v > 0,
+        "kernel_probe_tasks": lambda v: isinstance(v, int) and v > 0,
+        "kernel_probe_cancelled_inertial":
+            lambda v: isinstance(v, int) and v > 0,
+        "kernel_probe_executed_events":
+            lambda v: isinstance(v, int) and v > 0,
+        "mc_deterministic_across_threads": lambda v: v is True,
+        # The batched engine's two contracts, measured by the bench itself:
+        # bit-identity with the per-die scalar reference, and identical
+        # samples at every thread count.
+        "mc_batch_equals_scalar": lambda v: v is True,
+        "mc_batch_deterministic_across_threads": lambda v: v is True,
+        "mc_batch_speedup_vs_scalar": lambda v: v > 0,
+    },
+    "server_throughput": {
+        "guardrail_server_scenarios_per_sec": lambda v: v > 0,
+        "clients_1_scenarios_per_sec": lambda v: v > 0,
+        "clients_4_scenarios_per_sec": lambda v: v > 0,
+        "clients_16_scenarios_per_sec": lambda v: v > 0,
+        "clients_1_p99_ms": lambda v: v > 0,
+        "clients_4_p99_ms": lambda v: v > 0,
+        "clients_16_p99_ms": lambda v: v > 0,
+        # Every submitted job must have streamed to job_done; an incomplete
+        # run would otherwise report a flattering partial throughput.
+        "all_jobs_done": lambda v: v is True,
+    },
 }
+
+
+def check_schema(report, name, failures):
+    schema = dict(SCHEMAS[name])
+    schema["schema_version"] = lambda v: v == 2
+    schema["name"] = lambda v: v == name
+    for key, ok in schema.items():
+        if key not in report:
+            failures.append(f"schema: missing key '{key}'")
+        elif not ok(report[key]):
+            failures.append(f"schema: bad value {key}={report[key]!r}")
+
+    if name == "kernel_perf":
+        # The probe's executed-events total must equal the split's sum --
+        # the counter-consistency contract of Simulator::counters().
+        probe = [report.get(k) for k in ("kernel_probe_signal_events",
+                                         "kernel_probe_tasks",
+                                         "kernel_probe_executed_events")]
+        if (all(isinstance(v, int) for v in probe)
+                and probe[0] + probe[1] != probe[2]):
+            failures.append(
+                f"schema: executed_events {probe[2]} != "
+                f"signal_events {probe[0]} + tasks {probe[1]}")
 
 
 def main(argv):
@@ -56,21 +99,16 @@ def main(argv):
 
     failures = []
 
-    for key, ok in SCHEMA.items():
-        if key not in report:
-            failures.append(f"schema: missing key '{key}'")
-        elif not ok(report[key]):
-            failures.append(f"schema: bad value {key}={report[key]!r}")
-
-    # The probe's executed-events total must equal the split's sum -- the
-    # counter-consistency contract of Simulator::counters().
-    probe = [report.get(k) for k in ("kernel_probe_signal_events",
-                                     "kernel_probe_tasks",
-                                     "kernel_probe_executed_events")]
-    if all(isinstance(v, int) for v in probe) and probe[0] + probe[1] != probe[2]:
+    name = baseline.get("report")
+    if name not in SCHEMAS:
         failures.append(
-            f"schema: executed_events {probe[2]} != "
-            f"signal_events {probe[0]} + tasks {probe[1]}")
+            f"baseline: 'report' is {name!r}; known: {sorted(SCHEMAS)}")
+    elif report.get("name") != name:
+        failures.append(
+            f"report: name {report.get('name')!r} does not match "
+            f"baseline report {name!r}")
+    else:
+        check_schema(report, name, failures)
 
     default_tolerance = baseline["tolerance_frac"]
     for key, entry in baseline["items_per_sec"].items():

@@ -27,10 +27,12 @@
 //               and across any interrupt/resume split.
 #pragma once
 
+#include <atomic>
 #include <cstdint>
 #include <string>
 #include <vector>
 
+#include "ddl/scenario/isolation.h"
 #include "ddl/scenario/runner.h"
 
 namespace ddl::scenario {
@@ -54,13 +56,18 @@ struct CampaignConfig {
   /// After a timeout the watchdog cancels cooperatively and waits this long
   /// to join the worker before abandoning (detaching) it.
   std::uint64_t grace_ms = 500;
-};
+  /// Optional graceful-stop flag (SIGTERM/SIGINT): when it reads true, the
+  /// campaign stops *starting* scenarios.  In-flight scenarios finish and
+  /// are journaled normally, so the journal stays resumable and non-torn;
+  /// unstarted scenarios are counted in CampaignOutcome::skipped.
+  const std::atomic<bool>* stop = nullptr;
 
-/// The derived watchdog deadline when `timeout_ms == 0`: generous enough
-/// that only a genuine hang trips it (10 s floor + 20 ms per switching
-/// period), and a pure function of the spec so error rows stay
-/// deterministic.
-std::uint64_t auto_timeout_ms(const ScenarioSpec& spec);
+  /// The isolation slice of this config, as the shared watchdog executor
+  /// consumes it.
+  IsolationConfig isolation() const noexcept {
+    return IsolationConfig{timeout_ms, max_retries, backoff_base_ms, grace_ms};
+  }
+};
 
 /// Everything a campaign run produces.  `result_lines` (spec order, no
 /// trailing newline) is the canonical byte-stable stream; `results` backs
@@ -78,6 +85,10 @@ struct CampaignOutcome {
   std::size_t timeouts = 0;   ///< Scenarios exhausted as kTimeout errors.
   std::size_t exceptions = 0; ///< Scenarios captured as kException errors.
   std::size_t abandoned_threads = 0;  ///< Workers detached past grace.
+  std::size_t skipped = 0;    ///< Scenarios never started (graceful stop).
+  /// True when a graceful stop cut the run short: `skipped` scenarios have
+  /// neither a result row nor a journal entry; resume picks them up.
+  bool interrupted = false;
 
   /// The result stream as one JSONL document.
   std::string jsonl() const;

@@ -57,6 +57,26 @@ analysis::JsonObject spec_to_json(const ScenarioSpec& spec);
 /// throws std::invalid_argument on unparseable enum values.
 ScenarioSpec spec_from_json(const std::map<std::string, std::string>& fields);
 
+/// A strict parse attempt: the rebuilt spec plus every problem found.
+/// `errors` uses the same human-readable shape as validate() messages
+/// ("<key>: <what went wrong>"); the spec keeps defaults for every field
+/// that failed to parse, so callers can still render context from it.
+struct SpecParse {
+  ScenarioSpec spec;
+  std::vector<std::string> errors;
+  bool ok() const noexcept { return errors.empty(); }
+};
+
+/// Strict counterpart of spec_from_json for untrusted input (the campaign
+/// service's submit path): never throws or aborts.  Collects an error for
+/// every wrong-typed field (the whole value must parse -- "8oops" is
+/// rejected, not truncated), every unparseable enum, and -- unless
+/// `allow_unknown` -- every key outside the spec dialect (typo'd field
+/// names fail loudly instead of silently keeping a default).
+SpecParse spec_from_json_checked(
+    const std::map<std::string, std::string>& fields,
+    bool allow_unknown = false);
+
 /// Outcome of shrinking one failing storm.
 struct ShrinkReport {
   ScenarioSpec minimal;         ///< 1-minimal failing spec.

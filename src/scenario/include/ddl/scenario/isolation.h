@@ -1,0 +1,44 @@
+// Watchdog-supervised execution of one scenario, factored out of the
+// Campaign engine so the campaign service daemon's worker pool runs every
+// attempt under exactly the same deadline / retry / abandonment policy as
+// the batch CLI.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+
+#include "ddl/scenario/runner.h"
+
+namespace ddl::scenario {
+
+/// Per-attempt supervision policy (the isolation slice of CampaignConfig).
+struct IsolationConfig {
+  /// Watchdog deadline per attempt in wall milliseconds; 0 derives a
+  /// generous per-spec default from the period count (auto_timeout_ms).
+  std::uint64_t timeout_ms = 0;
+  /// Extra attempts granted to a timed-out (transiently failed) scenario.
+  int max_retries = 1;
+  /// First retry backoff; doubles on every further retry.
+  std::uint64_t backoff_base_ms = 50;
+  /// After a timeout the watchdog cancels cooperatively and waits this long
+  /// to join the worker before abandoning (detaching) it.
+  std::uint64_t grace_ms = 500;
+};
+
+/// The derived watchdog deadline when `timeout_ms == 0`: generous enough
+/// that only a genuine hang trips it (10 s floor + 20 ms per switching
+/// period), and a pure function of the spec so error rows stay
+/// deterministic.
+std::uint64_t auto_timeout_ms(const ScenarioSpec& spec);
+
+/// Runs one scenario under the watchdog with bounded retry.  Only timeouts
+/// are transient (retried with exponential backoff); exceptions come back
+/// as structured rows from run_scenario_guarded on the first attempt, and
+/// an exhausted scenario becomes a ScenarioError::kTimeout row.  Never
+/// throws.  `abandoned`, when given, counts workers detached past the
+/// grace window (a genuinely wedged scenario).
+ScenarioArtifacts run_scenario_isolated(
+    const ScenarioSpec& spec, const IsolationConfig& config,
+    std::atomic<std::size_t>* abandoned = nullptr);
+
+}  // namespace ddl::scenario

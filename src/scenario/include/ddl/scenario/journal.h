@@ -1,0 +1,107 @@
+// Write-ahead scenario journal, factored out of the Campaign engine so the
+// campaign service daemon (ddl::service) shares the exact same durability
+// story as the one-shot runner.
+//
+// Layout of a journal directory:
+//
+//   journal.jsonl         one result line per committed scenario (the
+//                         commit record; appended last, flushed)
+//   health_journal.jsonl  health-event lines, appended *before* the result
+//                         line (WAL ordering: an event line without its
+//                         commit record is discarded on load)
+//   manifest.json         checkpoint: spec fingerprint, total, completed
+//                         (atomic tmp+rename after every record)
+//
+// A torn tail (the chunk after the last '\n' of a killed append) is
+// dropped on load and truncated before appends resume.  Journaled lines
+// are byte-reused on resume, so a resumed stream is byte-identical to an
+// uninterrupted run.
+#pragma once
+
+#include <cstdint>
+#include <fstream>
+#include <map>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "ddl/scenario/runner.h"
+
+namespace ddl::scenario {
+
+/// File paths inside a journal directory.
+std::string journal_path(const std::string& dir);
+std::string health_journal_path(const std::string& dir);
+std::string manifest_path(const std::string& dir);
+
+/// Reads a whole file as bytes; missing file = empty string.
+std::string read_file(const std::string& path);
+
+/// FNV-1a over the newline-joined spec names: the campaign fingerprint a
+/// resume must match (same suite, same filter, same expansion).
+std::string fingerprint_of(const std::vector<ScenarioSpec>& specs);
+
+/// FNV-1a over the full flat-JSON serialization of every spec
+/// (spec_to_json lines, newline-joined): the *content* fingerprint the
+/// service daemon keys job identity on -- two submissions are the same job
+/// iff every field of every spec matches, not just the names.
+std::string content_fingerprint_of(const std::vector<ScenarioSpec>& specs);
+
+/// What a resumed campaign restores from a journal directory.
+struct JournalState {
+  /// Scenario name -> its exact journaled result line (byte-reused).
+  std::map<std::string, std::string> lines;
+  /// Scenario name -> its journaled health-event lines, in event order.
+  std::map<std::string, std::vector<std::string>> health;
+};
+
+/// Loads the committed slice of a journal directory.  Only health events
+/// of scenarios whose result line committed are restored (WAL ordering).
+JournalState load_journal(const std::string& dir);
+
+/// Truncates a journal file to its last complete line: a torn tail must be
+/// cut *before* appending resumes, or the first new record would
+/// concatenate onto it and corrupt both.
+void drop_torn_tail(const std::string& path);
+
+/// Throws std::runtime_error unless `dir` holds a manifest matching the
+/// fingerprint and scenario count (refuses to resume a different campaign).
+void check_resumable(const std::string& dir, const std::string& fingerprint,
+                     std::size_t scenarios);
+
+/// Rebuilds the verdict-bearing slice of a ScenarioResult from a journaled
+/// line's parsed fields, enough for summarize() and exit-code accounting;
+/// metrics and the typed architecture/corner stay default (the line itself
+/// is the record).
+ScenarioResult reconstruct_result(
+    const std::map<std::string, std::string>& fields);
+
+/// Append-side of the journal: health events first, then the result line
+/// as the commit record, then the checkpoint manifest (atomic rename).
+/// Thread-safe (record() is internally locked).
+class JournalWriter {
+ public:
+  /// Opens (append=true) or truncates the journal files and writes the
+  /// initial manifest.  Throws std::runtime_error when the directory is
+  /// not writable.
+  JournalWriter(std::string dir, std::string fingerprint, std::size_t total,
+                std::size_t completed, bool append);
+
+  void record(const std::string& line,
+              const std::vector<std::string>& health_lines);
+
+  std::size_t completed() const;
+
+ private:
+  void write_manifest();
+
+  std::string dir_;
+  std::string fingerprint_;
+  std::size_t total_ = 0;
+  std::size_t completed_ = 0;
+  mutable std::mutex mutex_;
+  std::ofstream journal_;
+  std::ofstream health_;
+};
+
+}  // namespace ddl::scenario

@@ -80,6 +80,16 @@ struct ScenarioResult {
   std::size_t transitions_total = 0;
   double efficiency = 0.0;
 
+  // Monte-Carlo yield (zero unless the spec set mc_dies; see ScenarioSpec).
+  // The JSONL row carries these only for yield scenarios, and deliberately
+  // not the engine choice (batched vs forced-scalar) -- the two paths must
+  // emit byte-identical rows.
+  std::uint64_t mc_dies = 0;       ///< Dies evaluated.
+  double mc_yield = 0.0;           ///< Fraction with |INL| <= the limit.
+  double mc_inl_mean_lsb = 0.0;    ///< Max-|INL| distribution, in LSBs.
+  double mc_inl_p95_lsb = 0.0;
+  double mc_inl_max_lsb = 0.0;
+
   /// Event-kernel execution counters accumulated by this scenario.  The
   /// built-in behavioral scenarios never instantiate a `sim::Simulator`, so
   /// today these stay zero; gate-level scenario paths fill them in.  They

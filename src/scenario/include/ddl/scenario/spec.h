@@ -178,6 +178,25 @@ struct ScenarioSpec {
   /// `insufficient_degradation`.
   int expect_min_degradation = 0;
 
+  // --- Monte-Carlo yield (scenario-level linearity/yield campaigns) ------
+  /// When > 0 the scenario is a Monte-Carlo yield experiment instead of a
+  /// closed-loop run: `mc_dies` mismatch-sampled dies of the proposed line
+  /// are evaluated through the batched MC engine (analysis::mc_batch) where
+  /// the closed form applies, with the scalar per-die path as automatic
+  /// fallback.  Proposed architecture only; no DVFS/supervision, and only
+  /// power-on delay-cell faults (applied to every die).
+  std::uint64_t mc_dies = 0;
+  /// A die passes when its transfer curve's max |INL| stays within this
+  /// many duty LSBs.
+  double mc_inl_limit_lsb = 0.5;
+  /// Verdict threshold: pass iff passing-die fraction >= this.  Fails as
+  /// `yield_below_min`.
+  double mc_min_yield = 0.0;
+  /// Test hook: force every die down the scalar reference path
+  /// (batch_die_inl_scalar) -- the JSONL row must stay byte-identical to
+  /// the batched path, which is what the equivalence test proves.
+  bool mc_force_scalar = false;
+
   // --- Test hooks (exercised by the campaign isolation tests and the
   // runner's --inject-hang flag; no built-in suite sets them) -------------
   /// Cooperative hang: the guarded runner spins this long (polling its

@@ -1,359 +1,20 @@
 #include "ddl/scenario/campaign.h"
 
 #include <atomic>
-#include <chrono>
-#include <condition_variable>
-#include <cstdio>
-#include <cstdlib>
 #include <filesystem>
-#include <fstream>
-#include <map>
 #include <memory>
-#include <mutex>
-#include <optional>
 #include <set>
-#include <sstream>
 #include <stdexcept>
-#include <thread>
 #include <utility>
 
 #include "ddl/analysis/bench_json.h"
 #include "ddl/analysis/parallel.h"
+#include "ddl/scenario/journal.h"
 
 namespace ddl::scenario {
 namespace {
 
 namespace fs = std::filesystem;
-using Clock = std::chrono::steady_clock;
-
-std::string journal_path(const std::string& dir) {
-  return dir + "/journal.jsonl";
-}
-std::string health_journal_path(const std::string& dir) {
-  return dir + "/health_journal.jsonl";
-}
-std::string manifest_path(const std::string& dir) {
-  return dir + "/manifest.json";
-}
-
-/// FNV-1a over the newline-joined spec names: the campaign fingerprint a
-/// resume must match (same suite, same filter, same expansion).
-std::string fingerprint_of(const std::vector<ScenarioSpec>& specs) {
-  std::uint64_t hash = 1469598103934665603ull;
-  const auto mix = [&hash](char c) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 1099511628211ull;
-  };
-  for (const ScenarioSpec& spec : specs) {
-    for (const char c : spec.name) {
-      mix(c);
-    }
-    mix('\n');
-  }
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%016llx",
-                static_cast<unsigned long long>(hash));
-  return buffer;
-}
-
-/// Splits a journal file into its *complete* lines: the chunk after the
-/// last '\n' (a torn append from a crash) is dropped.
-std::vector<std::string> complete_lines(const std::string& content) {
-  std::vector<std::string> lines;
-  std::size_t start = 0;
-  for (std::size_t i = 0; i < content.size(); ++i) {
-    if (content[i] == '\n') {
-      lines.push_back(content.substr(start, i - start));
-      start = i + 1;
-    }
-  }
-  return lines;
-}
-
-std::string read_file(const std::string& path) {
-  std::ifstream in(path, std::ios::binary);
-  if (!in) {
-    return {};
-  }
-  std::ostringstream buffer;
-  buffer << in.rdbuf();
-  return buffer.str();
-}
-
-/// What a resumed campaign restores from the journal directory.
-struct JournalState {
-  /// Scenario name -> its exact journaled result line (byte-reused).
-  std::map<std::string, std::string> lines;
-  /// Scenario name -> its journaled health-event lines, in event order.
-  std::map<std::string, std::vector<std::string>> health;
-};
-
-const std::string& field_or(const std::map<std::string, std::string>& fields,
-                            const std::string& key) {
-  static const std::string empty;
-  const auto it = fields.find(key);
-  return it == fields.end() ? empty : it->second;
-}
-
-/// Rebuilds the verdict-bearing slice of a ScenarioResult from a journaled
-/// line, enough for summarize() and exit-code accounting; metrics and the
-/// typed architecture/corner stay default (the line itself is the record).
-ScenarioResult reconstruct_result(
-    const std::map<std::string, std::string>& fields) {
-  ScenarioResult result;
-  result.name = field_or(fields, "name");
-  result.family = field_or(fields, "family");
-  result.pass = field_or(fields, "pass") == "true";
-  result.locked = field_or(fields, "locked") == "true";
-  result.supervised = field_or(fields, "supervised") == "true";
-  result.failure_reason = field_or(fields, "failure_reason");
-  result.failure_detail = field_or(fields, "failure_detail");
-  result.error_detail = field_or(fields, "error_detail");
-  const std::string& error = field_or(fields, "error_kind");
-  if (error == "exception") {
-    result.error = ScenarioError::kException;
-  } else if (error == "timeout") {
-    result.error = ScenarioError::kTimeout;
-  }
-  const std::string& attempts = field_or(fields, "attempts");
-  if (!attempts.empty()) {
-    result.attempts = std::atoi(attempts.c_str());
-  }
-  const std::string& seed = field_or(fields, "seed");
-  if (!seed.empty()) {
-    result.seed = std::strtoull(seed.c_str(), nullptr, 10);
-  }
-  const std::string& periods = field_or(fields, "periods");
-  if (!periods.empty()) {
-    result.periods = std::strtoull(periods.c_str(), nullptr, 10);
-  }
-  return result;
-}
-
-/// Truncates a journal file to its last complete line: a torn tail must be
-/// cut *before* appending resumes, or the first new record would
-/// concatenate onto it and corrupt both.
-void drop_torn_tail(const std::string& path) {
-  const std::string content = read_file(path);
-  const std::size_t last_newline = content.rfind('\n');
-  const std::size_t keep = last_newline == std::string::npos
-                               ? 0
-                               : last_newline + 1;
-  if (keep < content.size()) {
-    analysis::write_file_atomic(path, content.substr(0, keep));
-  }
-}
-
-JournalState load_journal(const std::string& dir) {
-  JournalState state;
-  for (const std::string& line : complete_lines(read_file(journal_path(dir)))) {
-    const auto fields = analysis::parse_flat_json_line(line);
-    if (!fields) {
-      continue;  // Corrupt / torn record: treat the scenario as incomplete.
-    }
-    const std::string& name = field_or(*fields, "name");
-    if (!name.empty()) {
-      state.lines[name] = line;
-    }
-  }
-  for (const std::string& line :
-       complete_lines(read_file(health_journal_path(dir)))) {
-    const auto fields = analysis::parse_flat_json_line(line);
-    if (!fields) {
-      continue;
-    }
-    const std::string& scenario = field_or(*fields, "scenario");
-    // WAL ordering: health lines append before the result line commits, so
-    // only events of *committed* scenarios are restorable.
-    if (state.lines.count(scenario) != 0) {
-      state.health[scenario].push_back(line);
-    }
-  }
-  return state;
-}
-
-/// Append-side of the journal: health events first, then the result line
-/// as the commit record, then the checkpoint manifest (atomic rename).
-class JournalWriter {
- public:
-  JournalWriter(std::string dir, std::string fingerprint, std::size_t total,
-                std::size_t completed, bool append)
-      : dir_(std::move(dir)),
-        fingerprint_(std::move(fingerprint)),
-        total_(total),
-        completed_(completed) {
-    const auto mode =
-        std::ios::binary | (append ? std::ios::app : std::ios::trunc);
-    journal_.open(journal_path(dir_), mode);
-    health_.open(health_journal_path(dir_), mode);
-    if (!journal_ || !health_) {
-      throw std::runtime_error("campaign: cannot open journal files in " +
-                               dir_);
-    }
-    write_manifest();
-  }
-
-  void record(const std::string& line,
-              const std::vector<std::string>& health_lines) {
-    const std::lock_guard<std::mutex> lock(mutex_);
-    for (const std::string& health_line : health_lines) {
-      health_ << health_line << '\n';
-    }
-    health_.flush();
-    journal_ << line << '\n';
-    journal_.flush();
-    ++completed_;
-    write_manifest();
-  }
-
- private:
-  void write_manifest() {
-    analysis::JsonObject manifest;
-    manifest.set("schema_version", analysis::kBenchJsonSchemaVersion);
-    manifest.set("campaign", "scenario_campaign");
-    manifest.set("scenarios", static_cast<std::uint64_t>(total_));
-    manifest.set("spec_hash", fingerprint_);
-    manifest.set("completed", static_cast<std::uint64_t>(completed_));
-    analysis::write_file_atomic(manifest_path(dir_), manifest.to_json());
-  }
-
-  std::string dir_;
-  std::string fingerprint_;
-  std::size_t total_ = 0;
-  std::size_t completed_ = 0;
-  std::mutex mutex_;
-  std::ofstream journal_;
-  std::ofstream health_;
-};
-
-void check_resumable(const std::string& dir, const std::string& fingerprint,
-                     std::size_t scenarios) {
-  const std::string content = read_file(manifest_path(dir));
-  if (content.empty()) {
-    throw std::runtime_error("campaign: no manifest to resume in '" + dir +
-                             "'");
-  }
-  const auto fields = analysis::parse_flat_json_line(content);
-  if (!fields) {
-    throw std::runtime_error("campaign: unreadable manifest in '" + dir + "'");
-  }
-  if (field_or(*fields, "spec_hash") != fingerprint ||
-      field_or(*fields, "scenarios") != std::to_string(scenarios)) {
-    throw std::runtime_error(
-        "campaign: manifest in '" + dir +
-        "' was written for a different scenario list (suite/filter "
-        "mismatch?); refusing to resume");
-  }
-}
-
-/// Cooperative hang test hook: spins in 1 ms slices until the configured
-/// duration elapses or the watchdog cancels, so a "hung" scenario is
-/// joinable and sanitizer-clean.
-void hang_for(std::uint64_t hang_ms, const std::atomic<bool>& cancel) {
-  const auto deadline = Clock::now() + std::chrono::milliseconds(hang_ms);
-  while (Clock::now() < deadline &&
-         !cancel.load(std::memory_order_relaxed)) {
-    std::this_thread::sleep_for(std::chrono::milliseconds(1));
-  }
-}
-
-/// Shared state between the watchdog and one attempt's worker thread; held
-/// by shared_ptr so an abandoned worker keeps it alive past detachment.
-struct AttemptSlot {
-  std::mutex mutex;
-  std::condition_variable done_cv;
-  bool done = false;
-  std::atomic<bool> cancel{false};
-  ScenarioArtifacts artifacts;
-};
-
-/// One isolated attempt under the watchdog.  Returns the artifacts, or
-/// nullopt on timeout -- in which case the worker was either joined inside
-/// the grace window (cooperative hangs, always in tests) or detached and
-/// abandoned (`abandoned` incremented; a genuinely wedged scenario).
-std::optional<ScenarioArtifacts> run_attempt(const ScenarioSpec& spec,
-                                             int attempt,
-                                             std::uint64_t timeout_ms,
-                                             std::uint64_t grace_ms,
-                                             std::atomic<std::size_t>& abandoned) {
-  auto slot = std::make_shared<AttemptSlot>();
-  // The worker owns a *copy* of the spec: an abandoned (detached) worker
-  // can outlive the campaign's spec vector.
-  std::thread worker([slot, spec, attempt] {
-    if (spec.debug_hang_ms > 0 && attempt < spec.debug_hang_attempts) {
-      hang_for(spec.debug_hang_ms, slot->cancel);
-      if (slot->cancel.load(std::memory_order_relaxed)) {
-        const std::lock_guard<std::mutex> lock(slot->mutex);
-        slot->done = true;
-        slot->done_cv.notify_all();
-        return;
-      }
-    }
-    ScenarioArtifacts artifacts = run_scenario_guarded(spec);
-    const std::lock_guard<std::mutex> lock(slot->mutex);
-    slot->artifacts = std::move(artifacts);
-    slot->done = true;
-    slot->done_cv.notify_all();
-  });
-
-  std::unique_lock<std::mutex> lock(slot->mutex);
-  const bool in_time =
-      slot->done_cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
-                             [&] { return slot->done; });
-  if (in_time) {
-    ScenarioArtifacts artifacts = std::move(slot->artifacts);
-    lock.unlock();
-    worker.join();
-    return artifacts;
-  }
-  // Deadline expired: cancel cooperatively, give the worker a short grace
-  // window to wind down, then abandon it.  A timed-out attempt is discarded
-  // even if it finishes during the grace -- "completed" must not depend on
-  // scheduler luck inside a half-second window.
-  slot->cancel.store(true, std::memory_order_relaxed);
-  const bool joined =
-      slot->done_cv.wait_for(lock, std::chrono::milliseconds(grace_ms),
-                             [&] { return slot->done; });
-  lock.unlock();
-  if (joined) {
-    worker.join();
-  } else {
-    worker.detach();
-    abandoned.fetch_add(1, std::memory_order_relaxed);
-  }
-  return std::nullopt;
-}
-
-/// Watchdog + bounded-retry execution of one scenario.  Only timeouts are
-/// transient (retried with exponential backoff); exceptions come back as
-/// structured rows from run_scenario_guarded on the first attempt.
-ScenarioArtifacts execute_isolated(const ScenarioSpec& spec,
-                                   const CampaignConfig& config,
-                                   std::atomic<std::size_t>& abandoned) {
-  const std::uint64_t timeout_ms =
-      config.timeout_ms > 0 ? config.timeout_ms : auto_timeout_ms(spec);
-  const int attempts_allowed = 1 + std::max(0, config.max_retries);
-  for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
-    if (attempt > 0) {
-      const unsigned shift = std::min(attempt - 1, 10);
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(config.backoff_base_ms << shift));
-    }
-    auto artifacts =
-        run_attempt(spec, attempt, timeout_ms, config.grace_ms, abandoned);
-    if (artifacts) {
-      artifacts->result.attempts = attempt + 1;
-      return std::move(*artifacts);
-    }
-  }
-  ScenarioArtifacts artifacts;
-  artifacts.result = make_error_result(
-      spec, ScenarioError::kTimeout,
-      "watchdog: no completion within " + std::to_string(timeout_ms) +
-          " ms after " + std::to_string(attempts_allowed) + " attempt(s)");
-  artifacts.result.attempts = attempts_allowed;
-  return artifacts;
-}
 
 /// One executed scenario as the parallel reduction carries it: its spec
 /// index, verdict row, rendered line and health lines.
@@ -362,17 +23,17 @@ struct Executed {
   ScenarioResult result;
   std::string line;
   std::vector<std::string> health_lines;
+  bool skipped = false;
 };
 
 }  // namespace
 
-std::uint64_t auto_timeout_ms(const ScenarioSpec& spec) {
-  return 10'000 + 20 * spec.periods;
-}
-
 std::string CampaignOutcome::jsonl() const {
   std::string out;
   for (const std::string& line : result_lines) {
+    if (line.empty()) {
+      continue;  // Scenario skipped by a graceful stop: no row.
+    }
     out += line;
     out += '\n';
   }
@@ -415,6 +76,7 @@ CampaignOutcome Campaign::run(const std::vector<ScenarioSpec>& specs) const {
     }
   }
 
+  const IsolationConfig isolation = config_.isolation();
   std::atomic<std::size_t> abandoned{0};
   analysis::ThreadPool pool(config_.jobs ? config_.jobs
                                          : analysis::default_thread_count());
@@ -425,7 +87,16 @@ CampaignOutcome Campaign::run(const std::vector<ScenarioSpec>& specs) const {
         const ScenarioSpec& spec = specs[index];
         Executed entry;
         entry.index = index;
-        entry.result = execute_isolated(spec, config_, abandoned).result;
+        // A graceful stop gates *starting* scenarios: anything already
+        // running finishes and journals normally, so the journal stays
+        // resumable and non-torn.
+        if (config_.stop != nullptr &&
+            config_.stop->load(std::memory_order_relaxed)) {
+          entry.skipped = true;
+          acc.push_back(std::move(entry));
+          return;
+        }
+        entry.result = run_scenario_isolated(spec, isolation, &abandoned).result;
         entry.line = to_json_line(entry.result);
         entry.health_lines.reserve(entry.result.health.size());
         for (const core::HealthEvent& event : entry.result.health) {
@@ -464,6 +135,10 @@ CampaignOutcome Campaign::run(const std::vector<ScenarioSpec>& specs) const {
     ++outcome.resumed;
   }
   for (Executed& entry : executed) {
+    if (entry.skipped) {
+      ++outcome.skipped;
+      continue;
+    }
     if (entry.result.error == ScenarioError::kTimeout) {
       ++outcome.timeouts;
     } else if (entry.result.error == ScenarioError::kException) {
@@ -484,6 +159,7 @@ CampaignOutcome Campaign::run(const std::vector<ScenarioSpec>& specs) const {
     }
   }
   outcome.abandoned_threads = abandoned.load();
+  outcome.interrupted = outcome.skipped > 0;
   return outcome;
 }
 

@@ -1,10 +1,14 @@
 #include "ddl/scenario/chaos.h"
 
 #include <algorithm>
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <set>
 #include <stdexcept>
 #include <utility>
+
+#include "ddl/scenario/cli.h"
 
 namespace ddl::scenario {
 namespace {
@@ -169,6 +173,98 @@ std::string indexed(const std::string& prefix, std::size_t i,
   return prefix + "." + std::to_string(i) + "." + field;
 }
 
+// ---- Strict (checked) spec parsing ----------------------------------------
+
+/// Full-string double parse: strtod must consume every character and stay
+/// in range.  ("1.5oops" and "" are rejected, not truncated.)
+bool parse_double_strict(const std::string& text, double& out) {
+  if (text.empty()) {
+    return false;
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(text.c_str(), &end);
+  if (end != text.c_str() + text.size() || errno == ERANGE) {
+    return false;
+  }
+  out = value;
+  return true;
+}
+
+/// Typed, unknown-key-tracking view over a flat field map: every find()
+/// marks its key consumed so the caller can flag leftovers, and every
+/// typed take() records a structured error instead of silently defaulting.
+struct CheckedFields {
+  const std::map<std::string, std::string>& fields;
+  std::vector<std::string>& errors;
+  std::set<std::string> consumed;
+
+  const std::string* find(const std::string& key) {
+    const auto it = fields.find(key);
+    if (it == fields.end()) {
+      return nullptr;
+    }
+    consumed.insert(key);
+    return &it->second;
+  }
+
+  void fail(const std::string& key, const char* expected,
+            const std::string& got) {
+    errors.push_back(key + ": expected " + expected + ", got '" + got + "'");
+  }
+
+  void take(const std::string& key, std::string& out) {
+    if (const std::string* value = find(key)) {
+      out = *value;
+    }
+  }
+  void take(const std::string& key, double& out) {
+    if (const std::string* value = find(key)) {
+      if (!parse_double_strict(*value, out)) {
+        fail(key, "a number", *value);
+      }
+    }
+  }
+  void take(const std::string& key, std::uint64_t& out) {
+    if (const std::string* value = find(key)) {
+      if (!parse_u64(*value, out)) {
+        fail(key, "an unsigned integer", *value);
+      }
+    }
+  }
+  void take(const std::string& key, int& out) {
+    if (const std::string* value = find(key)) {
+      if (!parse_count(*value, out)) {
+        fail(key, "a non-negative integer", *value);
+      }
+    }
+  }
+  void take(const std::string& key, bool& out) {
+    if (const std::string* value = find(key)) {
+      if (*value == "true") {
+        out = true;
+      } else if (*value == "false") {
+        out = false;
+      } else {
+        fail(key, "true or false", *value);
+      }
+    }
+  }
+
+  /// Enum fields: `parse` throws std::invalid_argument on unknown values
+  /// (the lenient parser's contract); here that becomes a collected error.
+  template <typename T, typename Parse>
+  void take_enum(const std::string& key, T& out, Parse parse) {
+    if (const std::string* value = find(key)) {
+      try {
+        out = parse(*value);
+      } catch (const std::invalid_argument& e) {
+        errors.push_back(key + ": " + e.what());
+      }
+    }
+  }
+};
+
 }  // namespace
 
 std::vector<ScenarioSpec> expand_chaos(const ChaosCampaignSpec& chaos) {
@@ -274,6 +370,10 @@ analysis::JsonObject spec_to_json(const ScenarioSpec& spec) {
   object.set("expect_relock", spec.expect_relock);
   object.set("max_relock_latency_periods", spec.max_relock_latency_periods);
   object.set("expect_min_degradation", spec.expect_min_degradation);
+  object.set("mc_dies", spec.mc_dies);
+  object.set("mc_inl_limit_lsb", spec.mc_inl_limit_lsb);
+  object.set("mc_min_yield", spec.mc_min_yield);
+  object.set("mc_force_scalar", spec.mc_force_scalar);
   object.set("faults.count", static_cast<std::uint64_t>(spec.faults.size()));
   for (std::size_t i = 0; i < spec.faults.size(); ++i) {
     const FaultSpec& fault = spec.faults[i];
@@ -354,6 +454,10 @@ ScenarioSpec spec_from_json(
   get(fields, "expect_relock", spec.expect_relock);
   get(fields, "max_relock_latency_periods", spec.max_relock_latency_periods);
   get(fields, "expect_min_degradation", spec.expect_min_degradation);
+  get(fields, "mc_dies", spec.mc_dies);
+  get(fields, "mc_inl_limit_lsb", spec.mc_inl_limit_lsb);
+  get(fields, "mc_min_yield", spec.mc_min_yield);
+  get(fields, "mc_force_scalar", spec.mc_force_scalar);
   std::size_t fault_count = 0;
   get(fields, "faults.count", fault_count);
   for (std::size_t i = 0; i < fault_count; ++i) {
@@ -369,6 +473,99 @@ ScenarioSpec spec_from_json(
     spec.faults.push_back(fault);
   }
   return spec;
+}
+
+SpecParse spec_from_json_checked(
+    const std::map<std::string, std::string>& fields, bool allow_unknown) {
+  SpecParse parse;
+  ScenarioSpec& spec = parse.spec;
+  CheckedFields in{fields, parse.errors, {}};
+
+  in.take("name", spec.name);
+  in.take("family", spec.family);
+  in.take_enum("architecture", spec.architecture, architecture_from_string);
+  in.take("clock_mhz", spec.clock_mhz);
+  in.take("resolution_bits", spec.resolution_bits);
+  in.take("counter_bits", spec.counter_bits);
+  in.take("seed", spec.seed);
+  in.take_enum("corner.process", spec.corner.corner, corner_from_string);
+  in.take("corner.supply_v", spec.corner.supply_v);
+  in.take("corner.temperature_c", spec.corner.temperature_c);
+  in.take("temp_ramp_c_per_us", spec.temp_ramp_c_per_us);
+  in.take("supply_spike_v", spec.supply_spike_v);
+  in.take("spike_from_period", spec.spike_from_period);
+  in.take("spike_until_period", spec.spike_until_period);
+  in.take("vref_v", spec.vref_v);
+  in.take_enum("load.kind", spec.load.kind, load_kind_from_string);
+  in.take("load.level_a", spec.load.level_a);
+  in.take("load.level2_a", spec.load.level2_a);
+  in.take("load.from_period", spec.load.from_period);
+  in.take("load.until_period", spec.load.until_period);
+  in.take("load.p_burst", spec.load.p_burst);
+  in.take("load.p_idle", spec.load.p_idle);
+  std::size_t dvfs_count = 0;
+  in.take("dvfs.count", dvfs_count);
+  for (std::size_t i = 0; i < dvfs_count; ++i) {
+    control::VoltageMode mode;
+    in.take(indexed("dvfs", i, "at_period"), mode.at_period);
+    in.take(indexed("dvfs", i, "vref_v"), mode.vref_v);
+    spec.dvfs.push_back(mode);
+  }
+  in.take("periods", spec.periods);
+  in.take("measure_from", spec.measure_from);
+  in.take("tolerance_v", spec.tolerance_v);
+  in.take("settle_band_v", spec.settle_band_v);
+  in.take("expect_lock", spec.expect_lock);
+  in.take("allow_limit_cycling", spec.allow_limit_cycling);
+  in.take("limit_cycle_stddev_v", spec.limit_cycle_stddev_v);
+  in.take("supervision.enabled", spec.supervision.enabled);
+  {
+    // Config keys type-check whether or not supervision is enabled, so a
+    // disabled-but-present block still fails loudly on a typo'd value.
+    core::SupervisorConfig& config = spec.supervision.config;
+    in.take("supervision.tap_drift_window", config.tap_drift_window);
+    in.take("supervision.margin_floor_ps", config.margin_floor_ps);
+    in.take("supervision.margin_periods", config.margin_periods);
+    in.take("supervision.watchdog_error_code", config.watchdog_error_code);
+    in.take("supervision.watchdog_periods", config.watchdog_periods);
+    in.take("supervision.max_relock_attempts", config.max_relock_attempts);
+    in.take("supervision.relock_backoff_periods",
+            config.relock_backoff_periods);
+    in.take("supervision.relock_stability_periods",
+            config.relock_stability_periods);
+    in.take("supervision.coarse_resolution_loss_bits",
+            config.coarse_resolution_loss_bits);
+    in.take("supervision.counter_fallback", config.counter_fallback);
+  }
+  in.take("expect_min_lock_losses", spec.expect_min_lock_losses);
+  in.take("expect_relock", spec.expect_relock);
+  in.take("max_relock_latency_periods", spec.max_relock_latency_periods);
+  in.take("expect_min_degradation", spec.expect_min_degradation);
+  in.take("mc_dies", spec.mc_dies);
+  in.take("mc_inl_limit_lsb", spec.mc_inl_limit_lsb);
+  in.take("mc_min_yield", spec.mc_min_yield);
+  in.take("mc_force_scalar", spec.mc_force_scalar);
+  std::size_t fault_count = 0;
+  in.take("faults.count", fault_count);
+  for (std::size_t i = 0; i < fault_count; ++i) {
+    FaultSpec fault;
+    in.take_enum(indexed("faults", i, "kind"), fault.kind,
+                 fault_kind_from_string);
+    in.take(indexed("faults", i, "victim_cell"), fault.victim_cell);
+    in.take(indexed("faults", i, "severity"), fault.severity);
+    in.take(indexed("faults", i, "at_period"), fault.at_period);
+    in.take(indexed("faults", i, "clear_period"), fault.clear_period);
+    spec.faults.push_back(fault);
+  }
+
+  if (!allow_unknown) {
+    for (const auto& [key, value] : fields) {
+      if (in.consumed.count(key) == 0) {
+        parse.errors.push_back(key + ": unknown key");
+      }
+    }
+  }
+  return parse;
 }
 
 ShrinkReport shrink_failure(const ScenarioSpec& failing) {

@@ -1,0 +1,130 @@
+#include "ddl/scenario/isolation.h"
+
+#include <algorithm>
+#include <chrono>
+#include <condition_variable>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <thread>
+#include <utility>
+
+namespace ddl::scenario {
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+/// Cooperative hang test hook: spins in 1 ms slices until the configured
+/// duration elapses or the watchdog cancels, so a "hung" scenario is
+/// joinable and sanitizer-clean.
+void hang_for(std::uint64_t hang_ms, const std::atomic<bool>& cancel) {
+  const auto deadline = Clock::now() + std::chrono::milliseconds(hang_ms);
+  while (Clock::now() < deadline &&
+         !cancel.load(std::memory_order_relaxed)) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
+}
+
+/// Shared state between the watchdog and one attempt's worker thread; held
+/// by shared_ptr so an abandoned worker keeps it alive past detachment.
+struct AttemptSlot {
+  std::mutex mutex;
+  std::condition_variable done_cv;
+  bool done = false;
+  std::atomic<bool> cancel{false};
+  ScenarioArtifacts artifacts;
+};
+
+/// One isolated attempt under the watchdog.  Returns the artifacts, or
+/// nullopt on timeout -- in which case the worker was either joined inside
+/// the grace window (cooperative hangs, always in tests) or detached and
+/// abandoned (`abandoned` incremented; a genuinely wedged scenario).
+std::optional<ScenarioArtifacts> run_attempt(
+    const ScenarioSpec& spec, int attempt, std::uint64_t timeout_ms,
+    std::uint64_t grace_ms, std::atomic<std::size_t>* abandoned) {
+  auto slot = std::make_shared<AttemptSlot>();
+  // The worker owns a *copy* of the spec: an abandoned (detached) worker
+  // can outlive the campaign's spec vector.
+  std::thread worker([slot, spec, attempt] {
+    if (spec.debug_hang_ms > 0 && attempt < spec.debug_hang_attempts) {
+      hang_for(spec.debug_hang_ms, slot->cancel);
+      if (slot->cancel.load(std::memory_order_relaxed)) {
+        const std::lock_guard<std::mutex> lock(slot->mutex);
+        slot->done = true;
+        slot->done_cv.notify_all();
+        return;
+      }
+    }
+    ScenarioArtifacts artifacts = run_scenario_guarded(spec);
+    const std::lock_guard<std::mutex> lock(slot->mutex);
+    slot->artifacts = std::move(artifacts);
+    slot->done = true;
+    slot->done_cv.notify_all();
+  });
+
+  std::unique_lock<std::mutex> lock(slot->mutex);
+  const bool in_time =
+      slot->done_cv.wait_for(lock, std::chrono::milliseconds(timeout_ms),
+                             [&] { return slot->done; });
+  if (in_time) {
+    ScenarioArtifacts artifacts = std::move(slot->artifacts);
+    lock.unlock();
+    worker.join();
+    return artifacts;
+  }
+  // Deadline expired: cancel cooperatively, give the worker a short grace
+  // window to wind down, then abandon it.  A timed-out attempt is discarded
+  // even if it finishes during the grace -- "completed" must not depend on
+  // scheduler luck inside a half-second window.
+  slot->cancel.store(true, std::memory_order_relaxed);
+  const bool joined =
+      slot->done_cv.wait_for(lock, std::chrono::milliseconds(grace_ms),
+                             [&] { return slot->done; });
+  lock.unlock();
+  if (joined) {
+    worker.join();
+  } else {
+    worker.detach();
+    if (abandoned != nullptr) {
+      abandoned->fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  return std::nullopt;
+}
+
+}  // namespace
+
+std::uint64_t auto_timeout_ms(const ScenarioSpec& spec) {
+  return 10'000 + 20 * spec.periods;
+}
+
+ScenarioArtifacts run_scenario_isolated(const ScenarioSpec& spec,
+                                        const IsolationConfig& config,
+                                        std::atomic<std::size_t>* abandoned) {
+  const std::uint64_t timeout_ms =
+      config.timeout_ms > 0 ? config.timeout_ms : auto_timeout_ms(spec);
+  const int attempts_allowed = 1 + std::max(0, config.max_retries);
+  for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
+    if (attempt > 0) {
+      const unsigned shift = std::min(attempt - 1, 10);
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config.backoff_base_ms << shift));
+    }
+    auto artifacts =
+        run_attempt(spec, attempt, timeout_ms, config.grace_ms, abandoned);
+    if (artifacts) {
+      artifacts->result.attempts = attempt + 1;
+      return std::move(*artifacts);
+    }
+  }
+  ScenarioArtifacts artifacts;
+  artifacts.result = make_error_result(
+      spec, ScenarioError::kTimeout,
+      "watchdog: no completion within " + std::to_string(timeout_ms) +
+          " ms after " + std::to_string(attempts_allowed) + " attempt(s)");
+  artifacts.result.attempts = attempts_allowed;
+  return artifacts;
+}
+
+}  // namespace ddl::scenario

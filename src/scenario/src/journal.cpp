@@ -1,0 +1,224 @@
+#include "ddl/scenario/journal.h"
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <stdexcept>
+#include <utility>
+
+#include "ddl/analysis/bench_json.h"
+#include "ddl/scenario/chaos.h"
+
+namespace ddl::scenario {
+namespace {
+
+/// Splits a journal file into its *complete* lines: the chunk after the
+/// last '\n' (a torn append from a crash) is dropped.
+std::vector<std::string> complete_lines(const std::string& content) {
+  std::vector<std::string> lines;
+  std::size_t start = 0;
+  for (std::size_t i = 0; i < content.size(); ++i) {
+    if (content[i] == '\n') {
+      lines.push_back(content.substr(start, i - start));
+      start = i + 1;
+    }
+  }
+  return lines;
+}
+
+const std::string& field_or(const std::map<std::string, std::string>& fields,
+                            const std::string& key) {
+  static const std::string empty;
+  const auto it = fields.find(key);
+  return it == fields.end() ? empty : it->second;
+}
+
+std::string fnv1a_hex(const std::vector<ScenarioSpec>& specs,
+                      std::string (*render)(const ScenarioSpec&)) {
+  std::uint64_t hash = 1469598103934665603ull;
+  const auto mix = [&hash](char c) {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= 1099511628211ull;
+  };
+  for (const ScenarioSpec& spec : specs) {
+    for (const char c : render(spec)) {
+      mix(c);
+    }
+    mix('\n');
+  }
+  char buffer[32];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+}  // namespace
+
+std::string journal_path(const std::string& dir) {
+  return dir + "/journal.jsonl";
+}
+std::string health_journal_path(const std::string& dir) {
+  return dir + "/health_journal.jsonl";
+}
+std::string manifest_path(const std::string& dir) {
+  return dir + "/manifest.json";
+}
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) {
+    return {};
+  }
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return buffer.str();
+}
+
+std::string fingerprint_of(const std::vector<ScenarioSpec>& specs) {
+  return fnv1a_hex(specs,
+                   [](const ScenarioSpec& spec) { return spec.name; });
+}
+
+std::string content_fingerprint_of(const std::vector<ScenarioSpec>& specs) {
+  return fnv1a_hex(specs, [](const ScenarioSpec& spec) {
+    return spec_to_json(spec).to_json_line();
+  });
+}
+
+ScenarioResult reconstruct_result(
+    const std::map<std::string, std::string>& fields) {
+  ScenarioResult result;
+  result.name = field_or(fields, "name");
+  result.family = field_or(fields, "family");
+  result.pass = field_or(fields, "pass") == "true";
+  result.locked = field_or(fields, "locked") == "true";
+  result.supervised = field_or(fields, "supervised") == "true";
+  result.failure_reason = field_or(fields, "failure_reason");
+  result.failure_detail = field_or(fields, "failure_detail");
+  result.error_detail = field_or(fields, "error_detail");
+  const std::string& error = field_or(fields, "error_kind");
+  if (error == "exception") {
+    result.error = ScenarioError::kException;
+  } else if (error == "timeout") {
+    result.error = ScenarioError::kTimeout;
+  }
+  const std::string& attempts = field_or(fields, "attempts");
+  if (!attempts.empty()) {
+    result.attempts = std::atoi(attempts.c_str());
+  }
+  const std::string& seed = field_or(fields, "seed");
+  if (!seed.empty()) {
+    result.seed = std::strtoull(seed.c_str(), nullptr, 10);
+  }
+  const std::string& periods = field_or(fields, "periods");
+  if (!periods.empty()) {
+    result.periods = std::strtoull(periods.c_str(), nullptr, 10);
+  }
+  return result;
+}
+
+void drop_torn_tail(const std::string& path) {
+  const std::string content = read_file(path);
+  const std::size_t last_newline = content.rfind('\n');
+  const std::size_t keep = last_newline == std::string::npos
+                               ? 0
+                               : last_newline + 1;
+  if (keep < content.size()) {
+    analysis::write_file_atomic(path, content.substr(0, keep));
+  }
+}
+
+JournalState load_journal(const std::string& dir) {
+  JournalState state;
+  for (const std::string& line : complete_lines(read_file(journal_path(dir)))) {
+    const auto fields = analysis::parse_flat_json_line(line);
+    if (!fields) {
+      continue;  // Corrupt / torn record: treat the scenario as incomplete.
+    }
+    const std::string& name = field_or(*fields, "name");
+    if (!name.empty()) {
+      state.lines[name] = line;
+    }
+  }
+  for (const std::string& line :
+       complete_lines(read_file(health_journal_path(dir)))) {
+    const auto fields = analysis::parse_flat_json_line(line);
+    if (!fields) {
+      continue;
+    }
+    const std::string& scenario = field_or(*fields, "scenario");
+    // WAL ordering: health lines append before the result line commits, so
+    // only events of *committed* scenarios are restorable.
+    if (state.lines.count(scenario) != 0) {
+      state.health[scenario].push_back(line);
+    }
+  }
+  return state;
+}
+
+void check_resumable(const std::string& dir, const std::string& fingerprint,
+                     std::size_t scenarios) {
+  const std::string content = read_file(manifest_path(dir));
+  if (content.empty()) {
+    throw std::runtime_error("campaign: no manifest to resume in '" + dir +
+                             "'");
+  }
+  const auto fields = analysis::parse_flat_json_line(content);
+  if (!fields) {
+    throw std::runtime_error("campaign: unreadable manifest in '" + dir + "'");
+  }
+  if (field_or(*fields, "spec_hash") != fingerprint ||
+      field_or(*fields, "scenarios") != std::to_string(scenarios)) {
+    throw std::runtime_error(
+        "campaign: manifest in '" + dir +
+        "' was written for a different scenario list (suite/filter "
+        "mismatch?); refusing to resume");
+  }
+}
+
+JournalWriter::JournalWriter(std::string dir, std::string fingerprint,
+                             std::size_t total, std::size_t completed,
+                             bool append)
+    : dir_(std::move(dir)),
+      fingerprint_(std::move(fingerprint)),
+      total_(total),
+      completed_(completed) {
+  const auto mode =
+      std::ios::binary | (append ? std::ios::app : std::ios::trunc);
+  journal_.open(journal_path(dir_), mode);
+  health_.open(health_journal_path(dir_), mode);
+  if (!journal_ || !health_) {
+    throw std::runtime_error("campaign: cannot open journal files in " + dir_);
+  }
+  write_manifest();
+}
+
+void JournalWriter::record(const std::string& line,
+                           const std::vector<std::string>& health_lines) {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  for (const std::string& health_line : health_lines) {
+    health_ << health_line << '\n';
+  }
+  health_.flush();
+  journal_ << line << '\n';
+  journal_.flush();
+  ++completed_;
+  write_manifest();
+}
+
+std::size_t JournalWriter::completed() const {
+  const std::lock_guard<std::mutex> lock(mutex_);
+  return completed_;
+}
+
+void JournalWriter::write_manifest() {
+  analysis::JsonObject manifest;
+  manifest.set("schema_version", analysis::kBenchJsonSchemaVersion);
+  manifest.set("campaign", "scenario_campaign");
+  manifest.set("scenarios", static_cast<std::uint64_t>(total_));
+  manifest.set("spec_hash", fingerprint_);
+  manifest.set("completed", static_cast<std::uint64_t>(completed_));
+  analysis::write_file_atomic(manifest_path(dir_), manifest.to_json());
+}
+
+}  // namespace ddl::scenario

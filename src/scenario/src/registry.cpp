@@ -494,6 +494,55 @@ std::vector<ScenarioSpec> recovery_family() {
   return specs;
 }
 
+/// Yield family: scenario-level Monte-Carlo linearity campaigns on the
+/// batched MC engine (ScenarioSpec::mc_dies).  256 mismatch-sampled dies of
+/// the 1 MHz proposed line per corner, judged on the fraction whose max
+/// |INL| stays within the limit; a faulted variant exercises the engine's
+/// per-die scalar fallback inside a scenario row.
+std::vector<ScenarioSpec> yield_family() {
+  std::vector<ScenarioSpec> specs;
+  std::uint64_t seed = 801;
+
+  // Each corner carries a *systematic* INL floor from how far the locked
+  // tap pitch lands from the ideal LSB at that environment (typical ~2.0,
+  // slow ~5.0, fast ~23.0 LSBs on the 1 MHz 6-bit sizing); calibration
+  // absorbs the per-die mismatch on top almost entirely (the paper's
+  // point), leaving a few-mLSB spread.  The limit sits half an LSB above
+  // the floor, so every healthy die passes while any regression in the
+  // sampling, the lock walk or the Eq-18 mapper shows up as missed dies.
+  const struct {
+    const char* corner;
+    double limit_lsb;
+  } limits[] = {{"fast", 23.5}, {"typical", 2.5}, {"slow", 5.5}};
+  for (const Corner& corner : corners()) {
+    ScenarioSpec spec = base_spec("yield", Architecture::kProposed, corner,
+                                  "inl-256die", seed++);
+    spec.mc_dies = 256;
+    for (const auto& limit : limits) {
+      if (corner.name == std::string(limit.corner)) {
+        spec.mc_inl_limit_lsb = limit.limit_lsb;
+      }
+    }
+    spec.mc_min_yield = 0.95;
+    specs.push_back(spec);
+  }
+
+  {
+    const Corner typical{"typical", cells::OperatingPoint::typical()};
+    // A 3x power-on defect inside the locked range: calibration locks
+    // around it (raising the systematic floor to ~3.2 LSBs), and the
+    // faulted lanes exercise the engine's per-die scalar fallback.
+    ScenarioSpec fault = base_spec("yield", Architecture::kProposed, typical,
+                                   "cell31x3-256die", seed++);
+    fault.mc_dies = 256;
+    fault.mc_inl_limit_lsb = 3.7;
+    fault.mc_min_yield = 0.90;
+    fault.faults = {FaultSpec::delay_cell(31, 3.0)};
+    specs.push_back(fault);
+  }
+  return specs;
+}
+
 std::vector<ScenarioSpec> smoke_suite() {
   std::vector<ScenarioSpec> specs;
   std::uint64_t seed = 601;
@@ -574,7 +623,8 @@ std::vector<ScenarioSpec> chaos_suite() {
 std::vector<ScenarioSpec> regression_suite() {
   std::vector<ScenarioSpec> specs;
   for (auto family : {regulation_family, transient_family, dvfs_family,
-                      pvt_family, fault_family, recovery_family}) {
+                      pvt_family, fault_family, recovery_family,
+                      yield_family}) {
     auto expanded = family();
     specs.insert(specs.end(), std::make_move_iterator(expanded.begin()),
                  std::make_move_iterator(expanded.end()));
@@ -593,6 +643,7 @@ const ScenarioRegistry& ScenarioRegistry::builtin() {
     registry->add_suite("pvt", pvt_family);
     registry->add_suite("fault", fault_family);
     registry->add_suite("recovery", recovery_family);
+    registry->add_suite("yield", yield_family);
     registry->add_suite("smoke", smoke_suite);
     registry->add_suite("chaos", chaos_suite);
     registry->add_suite("regression", regression_suite);

@@ -6,8 +6,12 @@
 #include <stdexcept>
 #include <utility>
 
+#include <cstdio>
+
 #include "ddl/analog/adc.h"
 #include "ddl/analog/buck.h"
+#include "ddl/analysis/mc_batch.h"
+#include "ddl/analysis/monte_carlo.h"
 #include "ddl/analysis/parallel.h"
 #include "ddl/cells/technology.h"
 #include "ddl/control/pid.h"
@@ -204,6 +208,72 @@ control::PidParams pid_for(int duty_bits) {
   return params;
 }
 
+/// Scenario-level Monte-Carlo yield: evaluate `mc_dies` mismatch-sampled
+/// dies of the sized proposed line through the batched MC engine and turn
+/// the max-|INL| distribution into a yield verdict.  The forced-scalar
+/// test hook walks the per-die reference path instead; both paths are
+/// bit-identical sample-by-sample (the mc_batch equivalence contract), so
+/// the rendered row does not depend on the engine choice.
+void run_mc_yield(const ScenarioSpec& spec, const cells::Technology& tech,
+                  ScenarioResult& result) {
+  core::DesignCalculator calc(tech);
+  const auto design = calc.size_proposed(
+      core::DesignSpec{spec.clock_mhz, spec.resolution_bits});
+
+  analysis::McBatchSpec mc;
+  mc.line = analysis::BatchLineSpec::from_technology(tech, design.line);
+  mc.clock_period_ps = 1e6 / spec.clock_mhz;
+  mc.op = spec.corner;
+  // Power-on delay-cell faults apply to *every* die (a frozen design
+  // defect, not a per-die mismatch draw).  A severe fault pushes dies off
+  // the closed form; the engine's per-die scalar fallback covers them.
+  for (const FaultSpec& fault : spec.faults) {
+    for (std::size_t die = 0; die < spec.mc_dies; ++die) {
+      mc.faults.push_back({die, fault.victim_cell, fault.severity});
+    }
+  }
+
+  // Sequential inside the scenario: the batch is one work item of an
+  // already-parallel suite, so a nested pool would only oversubscribe.
+  std::vector<double> samples;
+  if (spec.mc_force_scalar) {
+    samples.reserve(spec.mc_dies);
+    for (std::size_t die = 0; die < spec.mc_dies; ++die) {
+      samples.push_back(analysis::batch_die_inl_scalar(
+          mc, die, analysis::die_seed(spec.seed, die)));
+    }
+  } else {
+    samples = analysis::monte_carlo_batched_samples(mc, spec.mc_dies,
+                                                    spec.seed, /*threads=*/1);
+  }
+
+  std::size_t passing = 0;
+  for (const double inl : samples) {
+    if (inl <= spec.mc_inl_limit_lsb) {
+      ++passing;
+    }
+  }
+  const analysis::Summary summary = analysis::summarize(samples);
+  result.locked = true;  // The lock walk is part of every die's evaluation.
+  result.mc_dies = spec.mc_dies;
+  result.mc_yield =
+      static_cast<double>(passing) / static_cast<double>(spec.mc_dies);
+  result.mc_inl_mean_lsb = summary.mean;
+  result.mc_inl_p95_lsb = summary.p95;
+  result.mc_inl_max_lsb = summary.max;
+
+  if (result.mc_yield >= spec.mc_min_yield) {
+    result.pass = true;
+  } else {
+    result.failure_reason = "yield_below_min";
+    char detail[96];
+    std::snprintf(detail, sizeof(detail), "yield %.6f < min %.6f over %llu dies",
+                  result.mc_yield, spec.mc_min_yield,
+                  static_cast<unsigned long long>(spec.mc_dies));
+    result.failure_detail = detail;
+  }
+}
+
 }  // namespace
 
 ScenarioArtifacts run_scenario(const ScenarioSpec& spec) {
@@ -227,6 +297,11 @@ ScenarioArtifacts run_scenario(const ScenarioSpec& spec) {
     for (std::size_t i = 1; i < problems.size(); ++i) {
       result.failure_detail += "; " + problems[i];
     }
+    return artifacts;
+  }
+
+  if (spec.mc_dies > 0) {
+    run_mc_yield(spec, tech, result);
     return artifacts;
   }
 
@@ -465,6 +540,16 @@ analysis::JsonObject to_json(const ScenarioResult& result) {
   object.set("transitions_total",
              static_cast<std::uint64_t>(result.transitions_total));
   object.set("efficiency", result.efficiency);
+  if (result.mc_dies > 0) {
+    // Yield rows only: the fields are absent (not zero) elsewhere, and the
+    // engine choice (batched vs scalar fallback) is deliberately invisible
+    // -- both paths must render byte-identical rows.
+    object.set("mc_dies", result.mc_dies);
+    object.set("mc_yield", result.mc_yield);
+    object.set("mc_inl_mean_lsb", result.mc_inl_mean_lsb);
+    object.set("mc_inl_p95_lsb", result.mc_inl_p95_lsb);
+    object.set("mc_inl_max_lsb", result.mc_inl_max_lsb);
+  }
   return object;
 }
 

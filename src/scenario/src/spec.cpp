@@ -260,6 +260,40 @@ std::vector<std::string> validate(const ScenarioSpec& spec) {
     error("recovery expectations require supervision.enabled");
   }
 
+  if (spec.mc_dies > 0) {
+    if (spec.architecture != Architecture::kProposed) {
+      error("mc_dies: Monte-Carlo yield scenarios model the proposed line's "
+            "mismatch statistics; architecture must be proposed");
+    }
+    if (!spec.dvfs.empty()) {
+      error("mc_dies: a Monte-Carlo yield scenario has no closed loop to "
+            "run a DVFS schedule on");
+    }
+    if (spec.supervision.enabled) {
+      error("mc_dies: supervision does not apply to a Monte-Carlo yield "
+            "scenario");
+    }
+    for (std::size_t i = 0; i < spec.faults.size(); ++i) {
+      const FaultSpec& fault = spec.faults[i];
+      if (fault.kind != FaultSpec::Kind::kDelayCell || fault.runtime()) {
+        error("mc_dies: fault " + std::to_string(i) +
+              " must be a power-on delay_cell fault (applied to every die)");
+      }
+    }
+    if (!spec.expect_lock) {
+      error("mc_dies: expect_lock=false has no meaning for a yield "
+            "experiment (non-locking dies simply count against yield)");
+    }
+    if (!(spec.mc_inl_limit_lsb > 0.0)) {
+      error("mc_dies: mc_inl_limit_lsb must be positive, got " +
+            std::to_string(spec.mc_inl_limit_lsb));
+    }
+    if (spec.mc_min_yield < 0.0 || spec.mc_min_yield > 1.0) {
+      error("mc_dies: mc_min_yield must be in [0, 1], got " +
+            std::to_string(spec.mc_min_yield));
+    }
+  }
+
   if (spec.measure_from >= spec.periods) {
     error("measure_from " + std::to_string(spec.measure_from) +
           " leaves no steady-state window in a " +

@@ -1,0 +1,128 @@
+// Synchronous client for the campaign service: connect (TCP loopback or
+// Unix-domain socket), speak the hello handshake, submit jobs, and pump
+// frames until `job_done` -- reassembling the result rows by index into
+// the exact JSONL stream the one-shot runner would emit.
+//
+// The client is intentionally blocking and single-connection (the tool and
+// the tests drive it from one thread); resilience lives one level up:
+// `submit_*` reports backpressure as a retryable outcome, and a dropped
+// connection surfaces as a failed wait() -- reconnecting and resubmitting
+// the same job is idempotent by design (the server replays committed rows
+// byte-exactly).
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "ddl/analysis/bench_json.h"
+#include "ddl/scenario/chaos.h"
+#include "ddl/scenario/spec.h"
+#include "ddl/service/protocol.h"
+
+namespace ddl::service {
+
+struct ClientConfig {
+  std::string host = "127.0.0.1";
+  int tcp_port = 0;        ///< Used when unix_path is empty.
+  std::string unix_path;   ///< Preferred when set.
+  std::string name = "client";  ///< Client identity (part of job identity).
+  /// recv() timeout; 0 blocks forever (the server's heartbeats keep a
+  /// healthy connection from ever looking idle).
+  std::uint64_t recv_timeout_ms = 0;
+};
+
+class ScenarioClient {
+ public:
+  explicit ScenarioClient(ClientConfig config);
+  ~ScenarioClient();
+
+  ScenarioClient(const ScenarioClient&) = delete;
+  ScenarioClient& operator=(const ScenarioClient&) = delete;
+
+  /// Connects and completes the hello handshake.  False (with `*error`
+  /// filled) on connect / handshake failure.
+  bool connect(std::string* error = nullptr);
+
+  bool connected() const noexcept { return fd_ >= 0; }
+
+  /// Outcome of one submit attempt.
+  struct Submission {
+    bool accepted = false;
+    bool backpressure = false;  ///< Over quota; retry after retry_ms.
+    bool resumed = false;       ///< Attached to an existing job.
+    std::string job_id;
+    std::size_t scenarios = 0;
+    std::uint64_t retry_ms = 0;
+    std::string error_code;    ///< From an `error` frame (or transport).
+    std::string error_detail;
+  };
+
+  /// Submits a registry suite (the server expands it).
+  Submission submit_suite(const std::string& job_tag, const std::string& suite,
+                          const std::string& filter = "");
+
+  /// Submits explicit specs (flattened into the frame via spec_to_json).
+  Submission submit_specs(const std::string& job_tag,
+                          const std::vector<scenario::ScenarioSpec>& specs);
+
+  /// Submits a chaos campaign (the server expands the storms).
+  Submission submit_chaos(const std::string& job_tag,
+                          const scenario::ChaosCampaignSpec& chaos);
+
+  /// Submits a raw pre-built frame (the error-path tests craft malformed
+  /// submits with this; the typed submits route through it too).
+  Submission submit_frame(const analysis::JsonObject& frame,
+                          const std::string& job_tag);
+
+  /// Everything wait() reassembles for one job.
+  struct JobOutcome {
+    bool done = false;  ///< job_done arrived; counters below are valid.
+    std::string error_code;    ///< Transport or `error`-frame failure.
+    std::string error_detail;
+    std::vector<std::string> result_lines;  ///< By scenario index.
+    std::vector<std::string> health_lines;  ///< Index order, then seq.
+    std::size_t scenarios = 0;
+    std::size_t passed = 0;
+    std::size_t failed = 0;
+    std::size_t executed = 0;
+    std::size_t resumed = 0;
+    std::size_t heartbeats = 0;  ///< Heartbeat frames seen while waiting.
+
+    /// The reassembled stream: one row per line, trailing newline --
+    /// byte-identical to the runner's --out file for the same specs.
+    std::string jsonl() const;
+    std::string health_jsonl() const;
+  };
+
+  /// Pumps frames until the job completes, an error frame names it, or the
+  /// connection drops.  Frames for other in-flight jobs are buffered, so
+  /// several submitted jobs can be waited in any order.
+  JobOutcome wait(const std::string& job_id);
+
+  /// Round-trips a ping (liveness check).  False on transport failure.
+  bool ping();
+
+  /// Sends `bye` and closes.
+  void bye();
+  void close();
+
+  // Low-level access (tests and tools): send one raw payload / read the
+  // next frame regardless of type.
+  bool send_payload(const std::string& payload);
+  std::optional<std::map<std::string, std::string>> next_frame();
+
+ private:
+  Submission pump_for_submit_reply(const std::string& job_tag);
+  void absorb(const std::map<std::string, std::string>& fields);
+
+  ClientConfig config_;
+  int fd_ = -1;
+  FrameReader reader_;
+  /// Frames buffered per job while waiting for a different one.
+  std::map<std::string, JobOutcome> inbox_;
+};
+
+}  // namespace ddl::service

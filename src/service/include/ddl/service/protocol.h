@@ -1,0 +1,84 @@
+// Wire protocol of the campaign service (ddl_scenario_server).
+//
+// A connection carries a sequence of *frames* in both directions.  Each
+// frame is a 4-byte big-endian payload length followed by exactly that
+// many bytes of one flat JSON object (the `JsonObject` dialect: string /
+// number / bool values, no nesting) whose `frame` key names its type.
+//
+//   client -> server   hello, submit, submit_chaos, ping, bye
+//   server -> client   hello, accepted, backpressure, result, health,
+//                      progress, job_done, error, heartbeat, pong
+//
+// Scenario rows travel as the *exact* JSONL line the runner would emit,
+// carried as the string value of a `row` field -- JSON string escaping
+// round-trips byte-exactly, so a client that reassembles `row` values in
+// index order reproduces the runner's stream byte for byte (the service
+// acceptance criterion).  The protocol is versioned by `hello`'s
+// `protocol_version`; a mismatch is answered with an `error` frame and a
+// close, never a silent misparse.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "ddl/analysis/bench_json.h"
+
+namespace ddl::service {
+
+/// Bumped when a frame is renamed or its meaning changes; adding frame
+/// types or fields is backwards-compatible and does not bump it.
+inline constexpr int kProtocolVersion = 1;
+
+/// Upper bound on one frame's payload: large enough for a submit carrying
+/// thousands of flattened specs, small enough that a corrupt length prefix
+/// cannot make a reader allocate gigabytes.
+inline constexpr std::size_t kMaxFramePayload = std::size_t{4} << 20;
+
+/// Wraps a payload with its length prefix.  Throws std::length_error when
+/// the payload exceeds kMaxFramePayload (the peer would drop it anyway).
+std::string encode_frame(const std::string& payload);
+
+/// Renders the object as a single line and frames it.
+std::string encode_frame(const analysis::JsonObject& frame);
+
+/// A fresh frame object with its `frame` type field already set (the field
+/// order convention: `frame` always first, like `schema_version` in bench
+/// reports).
+analysis::JsonObject make_frame(const std::string& type);
+
+/// Parses a frame payload into its key -> value map (nullopt when the
+/// payload is not one flat JSON object).  Values are unescaped strings for
+/// string fields and literal text for numbers / bools, exactly like
+/// `analysis::parse_flat_json_line`.
+std::optional<std::map<std::string, std::string>> parse_frame_payload(
+    const std::string& payload);
+
+/// Incremental frame decoder for a byte stream: feed() whatever recv()
+/// returned, then drain next() until it yields nullopt.  Tolerates any
+/// fragmentation (length prefixes split across reads, many frames per
+/// read).  An oversized length prefix poisons the reader (`failed()`);
+/// the owning connection must be closed -- the stream cannot resynchronize.
+class FrameReader {
+ public:
+  void feed(const char* data, std::size_t size);
+
+  /// The next complete payload, or nullopt when more bytes are needed (or
+  /// the reader failed).
+  std::optional<std::string> next();
+
+  bool failed() const noexcept { return failed_; }
+  const std::string& error() const noexcept { return error_; }
+
+  /// Bytes buffered but not yet consumed by next().
+  std::size_t buffered() const noexcept { return buffer_.size() - offset_; }
+
+ private:
+  std::string buffer_;
+  std::size_t offset_ = 0;  ///< Consumed prefix of buffer_.
+  bool failed_ = false;
+  std::string error_;
+};
+
+}  // namespace ddl::service

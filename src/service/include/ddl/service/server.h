@@ -1,0 +1,129 @@
+// The campaign service daemon: a TCP (loopback) and Unix-domain-socket
+// server that accepts ScenarioSpec / chaos-campaign submissions over the
+// framed protocol (protocol.h), schedules them onto a watchdog-isolated
+// worker pool, and streams result / health / progress frames back.
+//
+// Durability is the PR-5 write-ahead journal, per job: every accepted job
+// gets `state_dir/jobs/<job_id>/` holding its spec list, journal and
+// checkpoint manifest.  A restarted server rescans that tree, resumes
+// incomplete jobs as *orphans* (they keep executing with no client
+// attached), and replays committed rows byte-exactly to a client that
+// resubmits the same job -- job identity is content-addressed
+// (client name + job tag + content fingerprint of every spec field), so
+// resubmission is idempotent and no scenario ever runs twice.
+//
+// Scheduling is fair round-robin across clients at scenario granularity,
+// bounded by per-client quotas: at most `max_inflight_per_client`
+// dispatched scenarios at once, at most `max_pending_jobs_per_client`
+// incomplete jobs -- a submit beyond that quota is answered with an
+// explicit `backpressure` frame (retryable), never a disconnect.
+//
+// Threading: one event-loop thread owns every session, job and journal
+// writer (poll over the listeners, client sockets and a self-pipe);
+// `workers` pool threads run scenarios via run_scenario_isolated and hand
+// completions back through the self-pipe.  `request_stop()` is
+// async-signal-safe (atomic store + pipe write), so a SIGTERM handler can
+// trigger the graceful shutdown: stop dispatching, let in-flight
+// scenarios finish and journal, flush checkpoint manifests, close.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ddl/scenario/isolation.h"
+
+namespace ddl::service {
+
+struct ServiceConfig {
+  /// Loopback TCP listener; 0 binds an ephemeral port (see tcp_port()).
+  bool enable_tcp = true;
+  int tcp_port = 0;
+  /// Unix-domain listener path; empty disables it.  An existing socket
+  /// file at the path is replaced.
+  std::string unix_path;
+  /// Job durability root (journal per job under `<state_dir>/jobs/`);
+  /// empty keeps jobs in memory only (no resume across restarts).
+  std::string state_dir;
+  /// Scenario worker threads.
+  std::size_t workers = 2;
+  /// Per-client cap on scenarios dispatched-but-not-completed.  The
+  /// scheduler simply stops dispatching for a client at the cap; this is
+  /// the fairness knob, not an error.
+  std::size_t max_inflight_per_client = 4;
+  /// Per-client cap on incomplete jobs.  A submit beyond it is answered
+  /// with a `backpressure` frame and not accepted.
+  std::size_t max_pending_jobs_per_client = 4;
+  /// Idle heartbeat interval (a `heartbeat` frame to every session).
+  std::uint64_t heartbeat_ms = 1000;
+  /// Watchdog policy for every scenario attempt (shared with the CLI).
+  scenario::IsolationConfig isolation;
+  /// Test hook: record the client name of every dispatched scenario, in
+  /// dispatch order (the fairness test reads it back via dispatch_log()).
+  bool record_dispatch_log = false;
+};
+
+/// Monotonic counters, readable from any thread via stats().
+struct ServiceStats {
+  std::size_t sessions_accepted = 0;
+  std::size_t sessions_closed = 0;
+  std::size_t jobs_accepted = 0;    ///< New jobs created by a submit.
+  std::size_t jobs_attached = 0;    ///< Resubmissions attached to a job.
+  std::size_t jobs_recovered = 0;   ///< Jobs reloaded from state_dir.
+  std::size_t jobs_completed = 0;
+  std::size_t scenarios_executed = 0;  ///< Run by this process's workers.
+  std::size_t scenarios_resumed = 0;   ///< Restored from a journal.
+  std::size_t backpressure_frames = 0;
+  std::size_t error_frames = 0;
+  std::size_t heartbeats = 0;
+  std::size_t abandoned_threads = 0;  ///< Workers detached past grace.
+};
+
+class ScenarioServer {
+ public:
+  explicit ScenarioServer(ServiceConfig config);
+  ~ScenarioServer();
+
+  ScenarioServer(const ScenarioServer&) = delete;
+  ScenarioServer& operator=(const ScenarioServer&) = delete;
+
+  /// Binds the listeners, recovers `state_dir` jobs, spawns the worker
+  /// pool and event loop.  False (with `*error` filled) on bind/recovery
+  /// failure.
+  bool start(std::string* error = nullptr);
+
+  /// Graceful shutdown: stop dispatching, finish and journal in-flight
+  /// scenarios, flush manifests, close every session, join all threads.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  /// Async-signal-safe stop trigger (atomic store + self-pipe write): the
+  /// event loop begins the same graceful shutdown as stop(), which a
+  /// non-signal thread must still join via stop() / wait_stopped().
+  void request_stop();
+
+  /// Blocks until the event loop has exited (after request_stop(), a
+  /// SIGTERM, or stop() from another thread).
+  void wait_stopped();
+
+  /// The bound TCP port (the ephemeral one when config.tcp_port was 0);
+  /// 0 when TCP is disabled.  Valid after start().
+  int tcp_port() const noexcept;
+
+  ServiceStats stats() const;
+
+  /// Dispatch-order client names (empty unless record_dispatch_log).
+  std::vector<std::string> dispatch_log() const;
+
+  /// Blocks until no incomplete job remains (or the timeout expires).
+  /// True when idle.  Covers orphan jobs, so a restart test can wait for
+  /// recovery to finish without any client attached.
+  bool wait_all_jobs_done(std::uint64_t timeout_ms);
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ddl::service

@@ -1,0 +1,394 @@
+#include "ddl/service/client.h"
+
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+#include "ddl/scenario/cli.h"
+
+namespace ddl::service {
+
+namespace {
+
+std::uint64_t u64_field(const std::map<std::string, std::string>& fields,
+                        const std::string& key) {
+  std::uint64_t value = 0;
+  const auto it = fields.find(key);
+  if (it != fields.end()) {
+    scenario::parse_u64(it->second, value);
+  }
+  return value;
+}
+
+std::string text_field(const std::map<std::string, std::string>& fields,
+                       const std::string& key) {
+  const auto it = fields.find(key);
+  return it == fields.end() ? std::string() : it->second;
+}
+
+std::string joined(const std::vector<std::string>& lines) {
+  std::string out;
+  for (const std::string& line : lines) {
+    if (!line.empty()) {
+      out += line;
+      out += "\n";
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+ScenarioClient::ScenarioClient(ClientConfig config)
+    : config_(std::move(config)) {}
+
+ScenarioClient::~ScenarioClient() { close(); }
+
+bool ScenarioClient::connect(std::string* error) {
+  auto fail = [&](const std::string& detail) {
+    close();
+    if (error != nullptr) {
+      *error = detail;
+    }
+    return false;
+  };
+  close();
+  reader_ = FrameReader();
+
+  if (!config_.unix_path.empty()) {
+    sockaddr_un addr{};
+    if (config_.unix_path.size() >= sizeof(addr.sun_path)) {
+      return fail("unix socket path too long");
+    }
+    fd_ = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      return fail("socket(AF_UNIX) failed: " +
+                  std::string(std::strerror(errno)));
+    }
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, config_.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      return fail("connect('" + config_.unix_path +
+                  "') failed: " + std::string(std::strerror(errno)));
+    }
+  } else {
+    fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd_ < 0) {
+      return fail("socket() failed: " + std::string(std::strerror(errno)));
+    }
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_port = htons(static_cast<std::uint16_t>(config_.tcp_port));
+    if (::inet_pton(AF_INET, config_.host.c_str(), &addr.sin_addr) != 1) {
+      return fail("bad host '" + config_.host + "'");
+    }
+    if (::connect(fd_, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) !=
+        0) {
+      return fail("connect(" + config_.host + ":" +
+                  std::to_string(config_.tcp_port) +
+                  ") failed: " + std::string(std::strerror(errno)));
+    }
+    const int one = 1;
+    ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  }
+
+  if (config_.recv_timeout_ms > 0) {
+    timeval timeout{};
+    timeout.tv_sec = static_cast<time_t>(config_.recv_timeout_ms / 1000);
+    timeout.tv_usec =
+        static_cast<suseconds_t>((config_.recv_timeout_ms % 1000) * 1000);
+    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
+  }
+
+  analysis::JsonObject hello = make_frame("hello");
+  hello.set("protocol_version", kProtocolVersion);
+  hello.set("client", config_.name);
+  if (!send_payload(hello.to_json_line())) {
+    return fail("hello send failed");
+  }
+  const auto reply = next_frame();
+  if (!reply) {
+    return fail("connection closed during handshake");
+  }
+  if (text_field(*reply, "frame") != "hello") {
+    return fail("handshake rejected: " + text_field(*reply, "detail"));
+  }
+  return true;
+}
+
+void ScenarioClient::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+void ScenarioClient::bye() {
+  if (fd_ >= 0) {
+    send_payload(make_frame("bye").to_json_line());
+  }
+  close();
+}
+
+bool ScenarioClient::send_payload(const std::string& payload) {
+  if (fd_ < 0) {
+    return false;
+  }
+  std::string framed;
+  try {
+    framed = encode_frame(payload);
+  } catch (const std::exception&) {
+    return false;
+  }
+  std::size_t sent = 0;
+  while (sent < framed.size()) {
+    const ssize_t got = ::send(fd_, framed.data() + sent, framed.size() - sent,
+                               MSG_NOSIGNAL);
+    if (got <= 0) {
+      if (got < 0 && errno == EINTR) {
+        continue;
+      }
+      close();
+      return false;
+    }
+    sent += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+std::optional<std::map<std::string, std::string>> ScenarioClient::next_frame() {
+  for (;;) {
+    if (auto payload = reader_.next()) {
+      auto fields = parse_frame_payload(*payload);
+      if (fields) {
+        return fields;
+      }
+      continue;  // Unparseable payload: skip it, keep the stream.
+    }
+    if (reader_.failed() || fd_ < 0) {
+      close();
+      return std::nullopt;
+    }
+    char chunk[4096];
+    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    if (got > 0) {
+      reader_.feed(chunk, static_cast<std::size_t>(got));
+      continue;
+    }
+    if (got < 0 && errno == EINTR) {
+      continue;
+    }
+    close();  // EOF, timeout or hard error.
+    return std::nullopt;
+  }
+}
+
+ScenarioClient::Submission ScenarioClient::submit_suite(
+    const std::string& job_tag, const std::string& suite,
+    const std::string& filter) {
+  analysis::JsonObject frame = make_frame("submit");
+  frame.set("job", job_tag);
+  frame.set("suite", suite);
+  if (!filter.empty()) {
+    frame.set("filter", filter);
+  }
+  return submit_frame(frame, job_tag);
+}
+
+ScenarioClient::Submission ScenarioClient::submit_specs(
+    const std::string& job_tag,
+    const std::vector<scenario::ScenarioSpec>& specs) {
+  analysis::JsonObject frame = make_frame("submit");
+  frame.set("job", job_tag);
+  frame.set("spec_count", static_cast<std::uint64_t>(specs.size()));
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    // Flatten through the replay-bundle dialect: parse_flat_json_line
+    // normalizes numbers and bools to their literal text, which the
+    // server's checked parser consumes identically whether the frame
+    // carried them quoted or bare.
+    const auto fields = analysis::parse_flat_json_line(
+        scenario::spec_to_json(specs[i]).to_json_line());
+    const std::string prefix = "spec." + std::to_string(i) + ".";
+    for (const auto& [key, value] : *fields) {
+      frame.set(prefix + key, value);
+    }
+  }
+  return submit_frame(frame, job_tag);
+}
+
+ScenarioClient::Submission ScenarioClient::submit_chaos(
+    const std::string& job_tag, const scenario::ChaosCampaignSpec& chaos) {
+  analysis::JsonObject frame = make_frame("submit_chaos");
+  frame.set("job", job_tag);
+  frame.set("storms", static_cast<std::uint64_t>(chaos.storms));
+  frame.set("chaos_seed", chaos.seed);
+  frame.set("max_faults",
+            static_cast<std::uint64_t>(chaos.max_faults_per_storm));
+  const auto fields = analysis::parse_flat_json_line(
+      scenario::spec_to_json(chaos.base).to_json_line());
+  for (const auto& [key, value] : *fields) {
+    frame.set("spec." + key, value);
+  }
+  return submit_frame(frame, job_tag);
+}
+
+ScenarioClient::Submission ScenarioClient::submit_frame(
+    const analysis::JsonObject& frame, const std::string& job_tag) {
+  Submission submission;
+  if (!send_payload(frame.to_json_line())) {
+    submission.error_code = "disconnected";
+    submission.error_detail = "submit send failed";
+    return submission;
+  }
+  return pump_for_submit_reply(job_tag);
+}
+
+ScenarioClient::Submission ScenarioClient::pump_for_submit_reply(
+    const std::string& job_tag) {
+  Submission submission;
+  for (;;) {
+    const auto fields = next_frame();
+    if (!fields) {
+      submission.error_code = "disconnected";
+      submission.error_detail = "connection closed before the submit reply";
+      return submission;
+    }
+    const std::string type = text_field(*fields, "frame");
+    if (type == "accepted" && text_field(*fields, "job") == job_tag) {
+      submission.accepted = true;
+      submission.resumed = text_field(*fields, "resumed") == "true";
+      submission.job_id = text_field(*fields, "job_id");
+      submission.scenarios =
+          static_cast<std::size_t>(u64_field(*fields, "scenarios"));
+      return submission;
+    }
+    if (type == "backpressure" && text_field(*fields, "job") == job_tag) {
+      submission.backpressure = true;
+      submission.retry_ms = u64_field(*fields, "retry_ms");
+      submission.error_detail = text_field(*fields, "reason");
+      return submission;
+    }
+    if (type == "error") {
+      submission.error_code = text_field(*fields, "code");
+      submission.error_detail = text_field(*fields, "detail");
+      return submission;
+    }
+    absorb(*fields);  // Stream frames of previously submitted jobs.
+  }
+}
+
+void ScenarioClient::absorb(const std::map<std::string, std::string>& fields) {
+  const std::string type = text_field(fields, "frame");
+  const std::string job_id = text_field(fields, "job_id");
+  if (job_id.empty()) {
+    return;  // heartbeat / pong / hello: nothing to buffer.
+  }
+  JobOutcome& outcome = inbox_[job_id];
+  if (type == "result") {
+    const std::size_t index =
+        static_cast<std::size_t>(u64_field(fields, "index"));
+    if (outcome.result_lines.size() <= index) {
+      outcome.result_lines.resize(index + 1);
+    }
+    outcome.result_lines[index] = text_field(fields, "row");
+  } else if (type == "health") {
+    outcome.health_lines.push_back(text_field(fields, "row"));
+  } else if (type == "job_done") {
+    outcome.scenarios = static_cast<std::size_t>(u64_field(fields, "scenarios"));
+    outcome.passed = static_cast<std::size_t>(u64_field(fields, "passed"));
+    outcome.failed = static_cast<std::size_t>(u64_field(fields, "failed"));
+    outcome.executed = static_cast<std::size_t>(u64_field(fields, "executed"));
+    outcome.resumed = static_cast<std::size_t>(u64_field(fields, "resumed"));
+    outcome.done = true;
+  }
+  // progress frames carry no payload the client needs to keep.
+}
+
+ScenarioClient::JobOutcome ScenarioClient::wait(const std::string& job_id) {
+  JobOutcome outcome;
+  const auto buffered = inbox_.find(job_id);
+  if (buffered != inbox_.end()) {
+    outcome = std::move(buffered->second);
+    inbox_.erase(buffered);
+  }
+  while (!outcome.done) {
+    const auto fields = next_frame();
+    if (!fields) {
+      outcome.error_code = "disconnected";
+      outcome.error_detail = "connection closed mid-stream";
+      return outcome;
+    }
+    const std::string type = text_field(*fields, "frame");
+    if (type == "heartbeat") {
+      outcome.heartbeats++;
+      continue;
+    }
+    if (type == "error") {
+      outcome.error_code = text_field(*fields, "code");
+      outcome.error_detail = text_field(*fields, "detail");
+      return outcome;
+    }
+    if (text_field(*fields, "job_id") == job_id) {
+      if (type == "result") {
+        const std::size_t index =
+            static_cast<std::size_t>(u64_field(*fields, "index"));
+        if (outcome.result_lines.size() <= index) {
+          outcome.result_lines.resize(index + 1);
+        }
+        outcome.result_lines[index] = text_field(*fields, "row");
+      } else if (type == "health") {
+        outcome.health_lines.push_back(text_field(*fields, "row"));
+      } else if (type == "job_done") {
+        outcome.scenarios =
+            static_cast<std::size_t>(u64_field(*fields, "scenarios"));
+        outcome.passed = static_cast<std::size_t>(u64_field(*fields, "passed"));
+        outcome.failed = static_cast<std::size_t>(u64_field(*fields, "failed"));
+        outcome.executed =
+            static_cast<std::size_t>(u64_field(*fields, "executed"));
+        outcome.resumed =
+            static_cast<std::size_t>(u64_field(*fields, "resumed"));
+        outcome.done = true;
+      }
+      continue;
+    }
+    absorb(*fields);
+  }
+  return outcome;
+}
+
+bool ScenarioClient::ping() {
+  analysis::JsonObject frame = make_frame("ping");
+  frame.set("nonce", "liveness");
+  if (!send_payload(frame.to_json_line())) {
+    return false;
+  }
+  for (;;) {
+    const auto fields = next_frame();
+    if (!fields) {
+      return false;
+    }
+    if (text_field(*fields, "frame") == "pong") {
+      return true;
+    }
+    absorb(*fields);
+  }
+}
+
+std::string ScenarioClient::JobOutcome::jsonl() const {
+  return joined(result_lines);
+}
+
+std::string ScenarioClient::JobOutcome::health_jsonl() const {
+  return joined(health_lines);
+}
+
+}  // namespace ddl::service

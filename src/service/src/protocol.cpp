@@ -1,0 +1,87 @@
+#include "ddl/service/protocol.h"
+
+#include <stdexcept>
+
+namespace ddl::service {
+
+namespace {
+
+/// Renders `value` as a 4-byte big-endian length prefix.  Explicit shifts,
+/// not memcpy of a host integer, so the wire format is identical on every
+/// endianness.
+void append_length(std::string& out, std::size_t value) {
+  out.push_back(static_cast<char>((value >> 24) & 0xff));
+  out.push_back(static_cast<char>((value >> 16) & 0xff));
+  out.push_back(static_cast<char>((value >> 8) & 0xff));
+  out.push_back(static_cast<char>(value & 0xff));
+}
+
+std::size_t read_length(const char* data) {
+  const auto* bytes = reinterpret_cast<const unsigned char*>(data);
+  return (std::size_t{bytes[0]} << 24) | (std::size_t{bytes[1]} << 16) |
+         (std::size_t{bytes[2]} << 8) | std::size_t{bytes[3]};
+}
+
+}  // namespace
+
+std::string encode_frame(const std::string& payload) {
+  if (payload.size() > kMaxFramePayload) {
+    throw std::length_error("frame payload of " +
+                            std::to_string(payload.size()) +
+                            " bytes exceeds the protocol limit");
+  }
+  std::string out;
+  out.reserve(payload.size() + 4);
+  append_length(out, payload.size());
+  out += payload;
+  return out;
+}
+
+std::string encode_frame(const analysis::JsonObject& frame) {
+  return encode_frame(frame.to_json_line());
+}
+
+analysis::JsonObject make_frame(const std::string& type) {
+  analysis::JsonObject frame;
+  frame.set("frame", type);
+  return frame;
+}
+
+std::optional<std::map<std::string, std::string>> parse_frame_payload(
+    const std::string& payload) {
+  return analysis::parse_flat_json_line(payload);
+}
+
+void FrameReader::feed(const char* data, std::size_t size) {
+  if (failed_) {
+    return;  // Poisoned: the stream cannot resynchronize past a bad prefix.
+  }
+  buffer_.append(data, size);
+}
+
+std::optional<std::string> FrameReader::next() {
+  if (failed_ || buffered() < 4) {
+    return std::nullopt;
+  }
+  const std::size_t length = read_length(buffer_.data() + offset_);
+  if (length > kMaxFramePayload) {
+    failed_ = true;
+    error_ = "frame length prefix of " + std::to_string(length) +
+             " bytes exceeds the protocol limit";
+    return std::nullopt;
+  }
+  if (buffered() < 4 + length) {
+    return std::nullopt;
+  }
+  std::string payload = buffer_.substr(offset_ + 4, length);
+  offset_ += 4 + length;
+  // Compact once the consumed prefix dominates, so a long-lived session
+  // does not grow its buffer without bound.
+  if (offset_ > 4096 && offset_ * 2 > buffer_.size()) {
+    buffer_.erase(0, offset_);
+    offset_ = 0;
+  }
+  return payload;
+}
+
+}  // namespace ddl::service

@@ -1,0 +1,1302 @@
+#include "ddl/service/server.h"
+
+#include <arpa/inet.h>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <sys/un.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <chrono>
+#include <condition_variable>
+#include <cstdio>
+#include <cstring>
+#include <deque>
+#include <filesystem>
+#include <map>
+#include <mutex>
+#include <optional>
+#include <stdexcept>
+#include <thread>
+#include <utility>
+
+#include "ddl/analysis/bench_json.h"
+#include "ddl/scenario/chaos.h"
+#include "ddl/scenario/cli.h"
+#include "ddl/scenario/journal.h"
+#include "ddl/scenario/registry.h"
+#include "ddl/scenario/runner.h"
+#include "ddl/service/protocol.h"
+
+namespace ddl::service {
+
+namespace {
+
+namespace fs = std::filesystem;
+using scenario::ScenarioSpec;
+
+constexpr std::size_t kMaxSpecsPerSubmit = 4096;
+constexpr std::size_t kMaxErrorDetail = 2000;
+
+/// FNV-1a over one string, rendered as the 16-hex-digit job-id style the
+/// journal fingerprints use.
+std::string fnv1a_hex(const std::string& text) {
+  std::uint64_t hash = 1469598103934665603ull;
+  for (const unsigned char c : text) {
+    hash ^= c;
+    hash *= 1099511628211ull;
+  }
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(hash));
+  return buffer;
+}
+
+/// Content-addressed job identity: same client, same tag, same spec bytes
+/// -> same id, so resubmission after a crash or disconnect attaches to the
+/// original job instead of running anything twice.
+std::string job_id_of(const std::string& client, const std::string& tag,
+                      const std::string& content_fingerprint) {
+  return fnv1a_hex(client + "\n" + tag + "\n" + content_fingerprint);
+}
+
+std::string clip(std::string text) {
+  if (text.size() > kMaxErrorDetail) {
+    text.resize(kMaxErrorDetail);
+    text += "...";
+  }
+  return text;
+}
+
+std::string join(const std::vector<std::string>& parts) {
+  std::string out;
+  for (const std::string& part : parts) {
+    if (!out.empty()) {
+      out += "; ";
+    }
+    out += part;
+  }
+  return out;
+}
+
+bool set_nonblocking(int fd) {
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  return flags >= 0 && ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) == 0;
+}
+
+/// One result / health row pair as the worker hands it back: rendered to
+/// its final JSONL text on the worker thread (the expensive part), so the
+/// event loop only journals and frames bytes.
+struct Completion {
+  std::string job_id;
+  std::size_t index = 0;
+  bool pass = false;
+  std::string line;
+  std::vector<std::string> health_lines;
+};
+
+struct Task {
+  std::string job_id;
+  std::size_t index = 0;
+  ScenarioSpec spec;
+};
+
+enum class SpecState : unsigned char { kPending, kInflight, kDone };
+
+struct Job {
+  std::string id;
+  std::string tag;
+  std::string owner;  ///< Client name (job identity includes it).
+  std::vector<ScenarioSpec> specs;
+  std::string name_fingerprint;     ///< journal fingerprint (spec names)
+  std::string content_fingerprint;  ///< job identity (every spec field)
+  std::vector<SpecState> state;
+  std::vector<std::string> result_lines;  ///< By index; "" until done.
+  std::vector<std::vector<std::string>> health_lines;
+  std::size_t completed = 0;
+  std::size_t executed = 0;  ///< Run by this process (not resumed).
+  std::size_t resumed = 0;   ///< Restored from the journal on recovery.
+  std::size_t passed = 0;
+  std::size_t failed = 0;
+  std::unique_ptr<scenario::JournalWriter> journal;
+  int session_fd = -1;  ///< Attached session; -1 = orphan.
+
+  bool done() const noexcept { return completed == specs.size(); }
+};
+
+/// Per-client-name scheduling state.  Slots persist across sessions (a
+/// reconnecting client keeps its quota and its queue position) and across
+/// restarts (recovery recreates the slot from job.json's client field).
+struct ClientSlot {
+  std::string name;
+  std::vector<std::string> jobs;  ///< Incomplete job ids, submit order.
+  std::size_t inflight = 0;       ///< Dispatched-but-not-completed count.
+};
+
+struct Session {
+  int fd = -1;
+  FrameReader reader;
+  std::string outbox;
+  std::size_t outbox_offset = 0;
+  std::string client_name;
+  bool said_hello = false;
+  bool closing = false;  ///< Close as soon as the outbox drains.
+};
+
+}  // namespace
+
+struct ScenarioServer::Impl {
+  explicit Impl(ServiceConfig config) : config(std::move(config)) {}
+
+  ServiceConfig config;
+
+  // --- Listener / wakeup fds (created in start, owned by event loop) ----
+  int tcp_listen_fd = -1;
+  int unix_listen_fd = -1;
+  int bound_tcp_port = 0;
+  int wake_read_fd = -1;
+  int wake_write_fd = -1;
+
+  // --- Event-loop-owned state (no locks: single-threaded owner) ---------
+  std::map<int, Session> sessions;
+  std::map<std::string, Job> jobs;
+  std::vector<ClientSlot> clients;
+  std::size_t rr_cursor = 0;
+  bool draining = false;
+
+  // --- Worker pool ------------------------------------------------------
+  std::vector<std::thread> worker_threads;
+  std::thread event_thread;
+  std::mutex task_mutex;
+  std::condition_variable task_cv;
+  std::deque<Task> task_queue;
+  bool workers_quit = false;
+  std::mutex completion_mutex;
+  std::deque<Completion> completions;
+  std::atomic<std::size_t> abandoned{0};
+
+  // --- Cross-thread status ----------------------------------------------
+  std::atomic<bool> stop_requested{false};
+  bool started = false;
+  bool stopped_joined = false;
+  std::mutex lifecycle_mutex;
+  std::mutex stopped_mutex;
+  std::condition_variable stopped_cv;
+  bool event_loop_exited = false;
+
+  mutable std::mutex stats_mutex;
+  ServiceStats stats_data;
+  std::vector<std::string> dispatch_log_data;
+
+  std::mutex jobs_done_mutex;
+  std::condition_variable jobs_done_cv;
+  std::size_t active_jobs = 0;  ///< Incomplete jobs (orphans included).
+
+  // ----------------------------------------------------------------------
+
+  void bump(std::size_t ServiceStats::* counter, std::size_t by = 1) {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    stats_data.*counter += by;
+  }
+
+  void note_dispatch(const std::string& client) {
+    std::lock_guard<std::mutex> lock(stats_mutex);
+    if (config.record_dispatch_log) {
+      dispatch_log_data.push_back(client);
+    }
+  }
+
+  void set_active_jobs_delta(long delta) {
+    std::lock_guard<std::mutex> lock(jobs_done_mutex);
+    active_jobs = static_cast<std::size_t>(
+        static_cast<long>(active_jobs) + delta);
+    if (active_jobs == 0) {
+      jobs_done_cv.notify_all();
+    }
+  }
+
+  ClientSlot& slot_of(const std::string& name) {
+    for (ClientSlot& slot : clients) {
+      if (slot.name == name) {
+        return slot;
+      }
+    }
+    clients.push_back(ClientSlot{name, {}, 0});
+    return clients.back();
+  }
+
+  void wake() {
+    const char byte = 'w';
+    [[maybe_unused]] const ssize_t wrote = ::write(wake_write_fd, &byte, 1);
+  }
+
+  // --- Frame output -----------------------------------------------------
+
+  void send_frame(Session& session, const analysis::JsonObject& frame) {
+    if (session.closing) {
+      return;
+    }
+    session.outbox += encode_frame(frame);
+    flush_outbox(session);
+  }
+
+  /// Nonblocking flush; leftover bytes wait for POLLOUT.
+  void flush_outbox(Session& session) {
+    while (session.outbox_offset < session.outbox.size()) {
+      const ssize_t sent =
+          ::send(session.fd, session.outbox.data() + session.outbox_offset,
+                 session.outbox.size() - session.outbox_offset, MSG_NOSIGNAL);
+      if (sent > 0) {
+        session.outbox_offset += static_cast<std::size_t>(sent);
+        continue;
+      }
+      if (sent < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        return;
+      }
+      session.closing = true;  // Peer gone; reaped on the next poll pass.
+      return;
+    }
+    session.outbox.clear();
+    session.outbox_offset = 0;
+  }
+
+  void send_error(Session& session, const std::string& code,
+                  const std::string& detail, const std::string& job_tag = "") {
+    analysis::JsonObject frame = make_frame("error");
+    frame.set("code", code);
+    frame.set("detail", clip(detail));
+    if (!job_tag.empty()) {
+      frame.set("job", job_tag);
+    }
+    // Bump before the send: once the client has read the frame off the
+    // socket, stats() is guaranteed to already reflect it.
+    bump(&ServiceStats::error_frames);
+    send_frame(session, frame);
+  }
+
+  // --- Job lifecycle ----------------------------------------------------
+
+  std::string job_dir(const std::string& job_id) const {
+    return config.state_dir + "/jobs/" + job_id;
+  }
+
+  /// Creates (and, with a state_dir, persists) a fresh job.  Throws
+  /// std::runtime_error when the state directory is not writable.
+  Job& create_job(const std::string& tag, const std::string& owner,
+                  std::vector<ScenarioSpec> specs) {
+    Job job;
+    job.tag = tag;
+    job.owner = owner;
+    job.name_fingerprint = scenario::fingerprint_of(specs);
+    job.content_fingerprint = scenario::content_fingerprint_of(specs);
+    job.id = job_id_of(owner, tag, job.content_fingerprint);
+    job.state.assign(specs.size(), SpecState::kPending);
+    job.result_lines.assign(specs.size(), std::string());
+    job.health_lines.assign(specs.size(), {});
+    job.specs = std::move(specs);
+
+    if (!config.state_dir.empty()) {
+      const std::string dir = job_dir(job.id);
+      fs::create_directories(dir);
+      analysis::JsonObject meta;
+      meta.set("schema_version", analysis::kBenchJsonSchemaVersion);
+      meta.set("record", "service_job");
+      meta.set("job_id", job.id);
+      meta.set("client", job.owner);
+      meta.set("tag", job.tag);
+      meta.set("scenarios", static_cast<std::uint64_t>(job.specs.size()));
+      meta.set("fingerprint", job.content_fingerprint);
+      std::string spec_lines;
+      for (const ScenarioSpec& spec : job.specs) {
+        spec_lines += scenario::spec_to_json(spec).to_json_line();
+        spec_lines += "\n";
+      }
+      // Specs persist before the journal opens: a job directory always
+      // holds enough to resume, even when the server dies immediately
+      // after the accept.
+      analysis::write_file_atomic(dir + "/specs.jsonl", spec_lines);
+      analysis::write_file_atomic(dir + "/job.json", meta.to_json_line() + "\n");
+      job.journal = std::make_unique<scenario::JournalWriter>(
+          dir, job.name_fingerprint, job.specs.size(), 0, /*append=*/false);
+    }
+
+    const std::string id = job.id;
+    Job& stored = jobs.emplace(id, std::move(job)).first->second;
+    slot_of(owner).jobs.push_back(id);
+    set_active_jobs_delta(+1);
+    bump(&ServiceStats::jobs_accepted);
+    return stored;
+  }
+
+  void send_accepted(Session& session, const Job& job, bool resumed) {
+    analysis::JsonObject frame = make_frame("accepted");
+    frame.set("job", job.tag);
+    frame.set("job_id", job.id);
+    frame.set("scenarios", static_cast<std::uint64_t>(job.specs.size()));
+    frame.set("fingerprint", job.content_fingerprint);
+    frame.set("resumed", resumed);
+    frame.set("completed", static_cast<std::uint64_t>(job.completed));
+    send_frame(session, frame);
+  }
+
+  void send_result_frames(Session& session, const Job& job,
+                          std::size_t index) {
+    std::size_t seq = 0;
+    for (const std::string& line : job.health_lines[index]) {
+      analysis::JsonObject frame = make_frame("health");
+      frame.set("job_id", job.id);
+      frame.set("index", static_cast<std::uint64_t>(index));
+      frame.set("seq", static_cast<std::uint64_t>(seq++));
+      frame.set("row", line);
+      send_frame(session, frame);
+    }
+    analysis::JsonObject frame = make_frame("result");
+    frame.set("job_id", job.id);
+    frame.set("index", static_cast<std::uint64_t>(index));
+    frame.set("row", job.result_lines[index]);
+    send_frame(session, frame);
+  }
+
+  void send_progress(Session& session, const Job& job) {
+    analysis::JsonObject frame = make_frame("progress");
+    frame.set("job_id", job.id);
+    frame.set("completed", static_cast<std::uint64_t>(job.completed));
+    frame.set("total", static_cast<std::uint64_t>(job.specs.size()));
+    send_frame(session, frame);
+  }
+
+  void send_job_done(Session& session, const Job& job) {
+    analysis::JsonObject frame = make_frame("job_done");
+    frame.set("job_id", job.id);
+    frame.set("job", job.tag);
+    frame.set("scenarios", static_cast<std::uint64_t>(job.specs.size()));
+    frame.set("passed", static_cast<std::uint64_t>(job.passed));
+    frame.set("failed", static_cast<std::uint64_t>(job.failed));
+    frame.set("executed", static_cast<std::uint64_t>(job.executed));
+    frame.set("resumed", static_cast<std::uint64_t>(job.resumed));
+    send_frame(session, frame);
+  }
+
+  /// Replays every committed row of `job` (byte-exact journal/journal-less
+  /// lines) to a resubmitting session, then attaches it for live frames.
+  void attach_and_replay(Session& session, Job& job) {
+    job.session_fd = session.fd;
+    send_accepted(session, job, /*resumed=*/true);
+    for (std::size_t i = 0; i < job.specs.size(); ++i) {
+      if (job.state[i] == SpecState::kDone) {
+        send_result_frames(session, job, i);
+      }
+    }
+    send_progress(session, job);
+    if (job.done()) {
+      send_job_done(session, job);
+    }
+    bump(&ServiceStats::jobs_attached);
+  }
+
+  // --- Scheduling -------------------------------------------------------
+
+  bool try_dispatch_one(ClientSlot& slot) {
+    if (slot.inflight >= config.max_inflight_per_client) {
+      return false;
+    }
+    for (const std::string& job_id : slot.jobs) {
+      Job& job = jobs.at(job_id);
+      for (std::size_t i = 0; i < job.specs.size(); ++i) {
+        if (job.state[i] != SpecState::kPending) {
+          continue;
+        }
+        job.state[i] = SpecState::kInflight;
+        slot.inflight++;
+        {
+          std::lock_guard<std::mutex> lock(task_mutex);
+          task_queue.push_back(Task{job.id, i, job.specs[i]});
+        }
+        task_cv.notify_one();
+        note_dispatch(slot.name);
+        return true;
+      }
+    }
+    return false;
+  }
+
+  /// Fair round-robin at scenario granularity: one scenario per eligible
+  /// client per rotation, until a full pass dispatches nothing (every
+  /// client is at quota or out of work).
+  void dispatch() {
+    if (draining || clients.empty()) {
+      return;
+    }
+    std::size_t barren = 0;
+    while (barren < clients.size()) {
+      ClientSlot& slot = clients[rr_cursor % clients.size()];
+      rr_cursor = (rr_cursor + 1) % clients.size();
+      if (try_dispatch_one(slot)) {
+        barren = 0;
+      } else {
+        barren++;
+      }
+    }
+  }
+
+  void handle_completion(Completion&& done) {
+    auto it = jobs.find(done.job_id);
+    if (it == jobs.end()) {
+      return;
+    }
+    Job& job = it->second;
+    job.result_lines[done.index] = std::move(done.line);
+    job.health_lines[done.index] = std::move(done.health_lines);
+    job.state[done.index] = SpecState::kDone;
+    job.completed++;
+    job.executed++;
+    (done.pass ? job.passed : job.failed)++;
+    if (job.journal) {
+      job.journal->record(job.result_lines[done.index],
+                          job.health_lines[done.index]);
+    }
+    ClientSlot& slot = slot_of(job.owner);
+    if (slot.inflight > 0) {
+      slot.inflight--;
+    }
+    bump(&ServiceStats::scenarios_executed);
+
+    auto session_it = sessions.find(job.session_fd);
+    if (session_it != sessions.end()) {
+      send_result_frames(session_it->second, job, done.index);
+      send_progress(session_it->second, job);
+    }
+    if (job.done()) {
+      finish_job(job);
+    }
+  }
+
+  void finish_job(Job& job) {
+    ClientSlot& slot = slot_of(job.owner);
+    for (auto it = slot.jobs.begin(); it != slot.jobs.end(); ++it) {
+      if (*it == job.id) {
+        slot.jobs.erase(it);
+        break;
+      }
+    }
+    auto session_it = sessions.find(job.session_fd);
+    if (session_it != sessions.end()) {
+      send_job_done(session_it->second, job);
+    }
+    bump(&ServiceStats::jobs_completed);
+    set_active_jobs_delta(-1);
+    // The job itself stays in `jobs` so a later resubmission replays it.
+  }
+
+  void drain_completions() {
+    for (;;) {
+      Completion done;
+      {
+        std::lock_guard<std::mutex> lock(completion_mutex);
+        if (completions.empty()) {
+          return;
+        }
+        done = std::move(completions.front());
+        completions.pop_front();
+      }
+      handle_completion(std::move(done));
+    }
+  }
+
+  // --- Submit path ------------------------------------------------------
+
+  /// Extracts the sub-map under `prefix` (keys with the prefix stripped).
+  static std::map<std::string, std::string> strip_prefix(
+      const std::map<std::string, std::string>& fields,
+      const std::string& prefix) {
+    std::map<std::string, std::string> out;
+    for (auto it = fields.lower_bound(prefix); it != fields.end(); ++it) {
+      if (it->first.compare(0, prefix.size(), prefix) != 0) {
+        break;
+      }
+      out.emplace(it->first.substr(prefix.size()), it->second);
+    }
+    return out;
+  }
+
+  /// Parses the spec list of a submit frame; empty return means an error
+  /// frame was already sent.
+  std::optional<std::vector<ScenarioSpec>> parse_submit_specs(
+      Session& session, const std::map<std::string, std::string>& fields,
+      const std::string& tag) {
+    const auto suite_it = fields.find("suite");
+    if (suite_it != fields.end()) {
+      const auto filter_it = fields.find("filter");
+      const std::string filter =
+          filter_it == fields.end() ? "" : filter_it->second;
+      const auto& registry = scenario::ScenarioRegistry::builtin();
+      if (!registry.has_suite(suite_it->second)) {
+        send_error(session, "unknown_suite",
+                   "no suite named '" + suite_it->second + "'", tag);
+        return std::nullopt;
+      }
+      auto specs = registry.expand_filtered(suite_it->second, filter);
+      if (specs.empty()) {
+        send_error(session, "empty_expansion",
+                   "filter '" + filter + "' matches nothing in '" +
+                       suite_it->second + "'",
+                   tag);
+        return std::nullopt;
+      }
+      return specs;
+    }
+
+    const auto count_it = fields.find("spec_count");
+    std::uint64_t count = 0;
+    if (count_it == fields.end() ||
+        !scenario::parse_u64(count_it->second, count) || count == 0) {
+      send_error(session, "invalid_submit",
+                 "submit needs either 'suite' or a positive 'spec_count' "
+                 "with flattened 'spec.<i>.*' fields",
+                 tag);
+      return std::nullopt;
+    }
+    if (count > kMaxSpecsPerSubmit) {
+      send_error(session, "invalid_submit",
+                 "spec_count " + std::to_string(count) + " exceeds the " +
+                     std::to_string(kMaxSpecsPerSubmit) + " per-submit cap",
+                 tag);
+      return std::nullopt;
+    }
+
+    std::vector<ScenarioSpec> specs;
+    std::vector<std::string> errors;
+    for (std::uint64_t i = 0; i < count; ++i) {
+      const std::string prefix = "spec." + std::to_string(i) + ".";
+      const auto sub = strip_prefix(fields, prefix);
+      if (sub.empty()) {
+        errors.push_back(prefix + "*: missing (spec_count says " +
+                         std::to_string(count) + " specs)");
+        continue;
+      }
+      scenario::SpecParse parsed = scenario::spec_from_json_checked(sub);
+      for (const std::string& error : parsed.errors) {
+        errors.push_back(prefix + error);
+      }
+      if (parsed.ok()) {
+        for (std::string& message : scenario::validate(parsed.spec)) {
+          errors.push_back(std::move(message));
+        }
+      }
+      specs.push_back(std::move(parsed.spec));
+    }
+    if (!errors.empty()) {
+      send_error(session, "invalid_spec", join(errors), tag);
+      return std::nullopt;
+    }
+    std::map<std::string, std::size_t> names;
+    for (const ScenarioSpec& spec : specs) {
+      if (++names[spec.name] > 1) {
+        send_error(session, "duplicate_names",
+                   "scenario name '" + spec.name + "' appears twice", tag);
+        return std::nullopt;
+      }
+    }
+    return specs;
+  }
+
+  void handle_submit(Session& session,
+                     const std::map<std::string, std::string>& fields,
+                     bool chaos) {
+    const auto tag_it = fields.find("job");
+    if (tag_it == fields.end() || tag_it->second.empty()) {
+      send_error(session, "missing_job", "submit carries no 'job' tag");
+      return;
+    }
+    const std::string& tag = tag_it->second;
+
+    std::vector<ScenarioSpec> specs;
+    if (chaos) {
+      const auto base_fields = strip_prefix(fields, "spec.");
+      scenario::SpecParse parsed =
+          scenario::spec_from_json_checked(base_fields);
+      if (!parsed.ok()) {
+        send_error(session, "invalid_spec", join(parsed.errors), tag);
+        return;
+      }
+      scenario::ChaosCampaignSpec campaign;
+      campaign.base = std::move(parsed.spec);
+      std::uint64_t storms = 0;
+      std::uint64_t max_faults = 0;
+      const auto storms_it = fields.find("storms");
+      if (storms_it != fields.end() &&
+          scenario::parse_u64(storms_it->second, storms) && storms > 0) {
+        campaign.storms = static_cast<std::size_t>(storms);
+      }
+      const auto seed_it = fields.find("chaos_seed");
+      if (seed_it != fields.end()) {
+        scenario::parse_u64(seed_it->second, campaign.seed);
+      }
+      const auto faults_it = fields.find("max_faults");
+      if (faults_it != fields.end() &&
+          scenario::parse_u64(faults_it->second, max_faults) &&
+          max_faults > 0) {
+        campaign.max_faults_per_storm = static_cast<std::size_t>(max_faults);
+      }
+      try {
+        specs = scenario::expand_chaos(campaign);
+      } catch (const std::exception& e) {
+        send_error(session, "invalid_chaos", e.what(), tag);
+        return;
+      }
+    } else {
+      auto parsed = parse_submit_specs(session, fields, tag);
+      if (!parsed) {
+        return;
+      }
+      specs = std::move(*parsed);
+    }
+
+    const std::string id = job_id_of(
+        session.client_name, tag, scenario::content_fingerprint_of(specs));
+    auto existing = jobs.find(id);
+    if (existing != jobs.end()) {
+      // Idempotent resubmission (same client, tag and spec content):
+      // attach and replay instead of counting against the job quota.
+      attach_and_replay(session, existing->second);
+      return;
+    }
+
+    ClientSlot& slot = slot_of(session.client_name);
+    if (slot.jobs.size() >= config.max_pending_jobs_per_client) {
+      // Explicit, retryable backpressure -- the quota contract is a frame,
+      // never a disconnect.
+      analysis::JsonObject frame = make_frame("backpressure");
+      frame.set("job", tag);
+      frame.set("reason", "job_quota");
+      frame.set("active", static_cast<std::uint64_t>(slot.jobs.size()));
+      frame.set("limit", static_cast<std::uint64_t>(
+                             config.max_pending_jobs_per_client));
+      frame.set("retry_ms", std::uint64_t{200});
+      bump(&ServiceStats::backpressure_frames);  // Before the send: see
+      send_frame(session, frame);                // send_error for why.
+      return;
+    }
+
+    try {
+      Job& job = create_job(tag, session.client_name, std::move(specs));
+      job.session_fd = session.fd;
+      send_accepted(session, job, /*resumed=*/false);
+    } catch (const std::exception& e) {
+      send_error(session, "io_error", e.what(), tag);
+      return;
+    }
+    dispatch();
+  }
+
+  // --- Frame dispatch ---------------------------------------------------
+
+  void handle_frame(Session& session, const std::string& payload) {
+    const auto fields = parse_frame_payload(payload);
+    if (!fields) {
+      send_error(session, "bad_frame",
+                 "payload is not one flat JSON object");
+      return;
+    }
+    const auto type_it = fields->find("frame");
+    const std::string type =
+        type_it == fields->end() ? "" : type_it->second;
+
+    if (type == "hello") {
+      std::uint64_t version = 0;
+      const auto version_it = fields->find("protocol_version");
+      if (version_it == fields->end() ||
+          !scenario::parse_u64(version_it->second, version) ||
+          version != static_cast<std::uint64_t>(kProtocolVersion)) {
+        send_error(session, "protocol_mismatch",
+                   "server speaks protocol_version " +
+                       std::to_string(kProtocolVersion));
+        session.closing = true;
+        return;
+      }
+      const auto name_it = fields->find("client");
+      session.client_name =
+          (name_it == fields->end() || name_it->second.empty())
+              ? ("anon-" + std::to_string(session.fd))
+              : name_it->second;
+      session.said_hello = true;
+      analysis::JsonObject frame = make_frame("hello");
+      frame.set("protocol_version", kProtocolVersion);
+      frame.set("server", "ddl_scenario_server");
+      frame.set("session", session.client_name);
+      send_frame(session, frame);
+      return;
+    }
+    if (type == "ping") {
+      analysis::JsonObject frame = make_frame("pong");
+      const auto nonce_it = fields->find("nonce");
+      if (nonce_it != fields->end()) {
+        frame.set("nonce", nonce_it->second);
+      }
+      send_frame(session, frame);
+      return;
+    }
+    if (type == "bye") {
+      session.closing = true;
+      return;
+    }
+    if (!session.said_hello) {
+      send_error(session, "hello_required",
+                 "first frame must be 'hello' with protocol_version " +
+                     std::to_string(kProtocolVersion));
+      return;
+    }
+    if (type == "submit" || type == "submit_chaos") {
+      handle_submit(session, *fields, type == "submit_chaos");
+      return;
+    }
+    send_error(session, "unknown_frame", "unknown frame type '" + type + "'");
+  }
+
+  // --- Sessions ---------------------------------------------------------
+
+  void accept_on(int listen_fd) {
+    for (;;) {
+      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      if (fd < 0) {
+        return;  // EAGAIN (drained) or transient error; poll retries.
+      }
+      if (!set_nonblocking(fd)) {
+        ::close(fd);
+        continue;
+      }
+      // Result frames are small and latency-sensitive; harmless ENOTSUP on
+      // the unix-domain listener's connections.
+      const int one = 1;
+      ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+      Session session;
+      session.fd = fd;
+      sessions.emplace(fd, std::move(session));
+      bump(&ServiceStats::sessions_accepted);
+    }
+  }
+
+  void close_session(int fd) {
+    auto it = sessions.find(fd);
+    if (it == sessions.end()) {
+      return;
+    }
+    // Detach, never cancel: the job keeps executing (and journaling) as an
+    // orphan, so a dropped client can reconnect and replay.
+    for (auto& [id, job] : jobs) {
+      if (job.session_fd == fd) {
+        job.session_fd = -1;
+      }
+    }
+    ::close(fd);
+    sessions.erase(it);
+    bump(&ServiceStats::sessions_closed);
+  }
+
+  void read_session(Session& session) {
+    char chunk[4096];
+    for (;;) {
+      const ssize_t got = ::recv(session.fd, chunk, sizeof(chunk), 0);
+      if (got > 0) {
+        session.reader.feed(chunk, static_cast<std::size_t>(got));
+        continue;
+      }
+      if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+        break;
+      }
+      session.closing = true;  // EOF or hard error.
+      break;
+    }
+    while (auto payload = session.reader.next()) {
+      handle_frame(session, *payload);
+      if (session.closing) {
+        break;
+      }
+    }
+    if (session.reader.failed()) {
+      send_error(session, "bad_frame", session.reader.error());
+      session.closing = true;
+    }
+  }
+
+  void send_heartbeats() {
+    for (auto& [fd, session] : sessions) {
+      if (!session.said_hello || session.closing) {
+        continue;
+      }
+      analysis::JsonObject frame = make_frame("heartbeat");
+      frame.set("active_jobs", [&] {
+        std::lock_guard<std::mutex> lock(jobs_done_mutex);
+        return static_cast<std::uint64_t>(active_jobs);
+      }());
+      send_frame(session, frame);
+      bump(&ServiceStats::heartbeats);
+    }
+  }
+
+  // --- Startup recovery -------------------------------------------------
+
+  /// Reloads every job directory under state_dir: completed rows are
+  /// byte-reused from the journal (scenarios_resumed), incomplete jobs
+  /// resume executing as orphans.  A directory that cannot be reloaded is
+  /// skipped (it stays on disk for inspection) rather than blocking start.
+  void recover_jobs() {
+    const fs::path root = fs::path(config.state_dir) / "jobs";
+    std::error_code ec;
+    if (!fs::is_directory(root, ec)) {
+      return;
+    }
+    std::vector<fs::path> dirs;
+    for (const auto& entry : fs::directory_iterator(root, ec)) {
+      if (entry.is_directory()) {
+        dirs.push_back(entry.path());
+      }
+    }
+    std::sort(dirs.begin(), dirs.end());  // Deterministic recovery order.
+    for (const fs::path& dir : dirs) {
+      try {
+        recover_one(dir.string());
+      } catch (const std::exception&) {
+        // Unreadable / fingerprint-mismatched directory: leave it alone.
+      }
+    }
+  }
+
+  void recover_one(const std::string& dir) {
+    const auto meta_fields = analysis::parse_flat_json_line(
+        scenario::read_file(dir + "/job.json"));
+    if (!meta_fields) {
+      throw std::runtime_error("unreadable job.json");
+    }
+    Job job;
+    job.id = meta_fields->count("job_id") ? meta_fields->at("job_id") : "";
+    job.tag = meta_fields->count("tag") ? meta_fields->at("tag") : "";
+    job.owner = meta_fields->count("client") ? meta_fields->at("client") : "";
+    if (job.id.empty() || job.owner.empty() || jobs.count(job.id)) {
+      throw std::runtime_error("bad or duplicate job identity");
+    }
+
+    const std::string spec_doc = scenario::read_file(dir + "/specs.jsonl");
+    std::size_t begin = 0;
+    while (begin < spec_doc.size()) {
+      std::size_t end = spec_doc.find('\n', begin);
+      if (end == std::string::npos) {
+        end = spec_doc.size();
+      }
+      const std::string line = spec_doc.substr(begin, end - begin);
+      begin = end + 1;
+      if (line.empty()) {
+        continue;
+      }
+      const auto fields = analysis::parse_flat_json_line(line);
+      if (!fields) {
+        throw std::runtime_error("torn specs.jsonl");
+      }
+      job.specs.push_back(scenario::spec_from_json(*fields));
+    }
+    if (job.specs.empty()) {
+      throw std::runtime_error("empty spec list");
+    }
+    job.name_fingerprint = scenario::fingerprint_of(job.specs);
+    job.content_fingerprint = scenario::content_fingerprint_of(job.specs);
+    if (job.id != job_id_of(job.owner, job.tag, job.content_fingerprint)) {
+      throw std::runtime_error("job id does not match its content");
+    }
+
+    scenario::check_resumable(dir, job.name_fingerprint, job.specs.size());
+    scenario::drop_torn_tail(scenario::journal_path(dir));
+    scenario::drop_torn_tail(scenario::health_journal_path(dir));
+    const scenario::JournalState journal = scenario::load_journal(dir);
+
+    job.state.assign(job.specs.size(), SpecState::kPending);
+    job.result_lines.assign(job.specs.size(), std::string());
+    job.health_lines.assign(job.specs.size(), {});
+    for (std::size_t i = 0; i < job.specs.size(); ++i) {
+      const auto line_it = journal.lines.find(job.specs[i].name);
+      if (line_it == journal.lines.end()) {
+        continue;
+      }
+      job.state[i] = SpecState::kDone;
+      job.result_lines[i] = line_it->second;
+      const auto health_it = journal.health.find(job.specs[i].name);
+      if (health_it != journal.health.end()) {
+        job.health_lines[i] = health_it->second;
+      }
+      job.completed++;
+      job.resumed++;
+      const auto fields = analysis::parse_flat_json_line(line_it->second);
+      const bool passed = fields && fields->count("verdict") &&
+                          fields->at("verdict") == "pass";
+      (passed ? job.passed : job.failed)++;
+    }
+    job.journal = std::make_unique<scenario::JournalWriter>(
+        dir, job.name_fingerprint, job.specs.size(), job.completed,
+        /*append=*/true);
+
+    const bool incomplete = !job.done();
+    const std::string id = job.id;
+    const std::string owner = job.owner;
+    const std::size_t resumed = job.resumed;
+    jobs.emplace(id, std::move(job));
+    if (incomplete) {
+      slot_of(owner).jobs.push_back(id);
+      set_active_jobs_delta(+1);
+    }
+    bump(&ServiceStats::jobs_recovered);
+    bump(&ServiceStats::scenarios_resumed, resumed);
+  }
+
+  // --- Worker / event threads -------------------------------------------
+
+  void worker_main() {
+    for (;;) {
+      Task task;
+      {
+        std::unique_lock<std::mutex> lock(task_mutex);
+        task_cv.wait(lock,
+                     [this] { return workers_quit || !task_queue.empty(); });
+        if (workers_quit) {
+          return;  // Graceful stop re-marks queued tasks as pending.
+        }
+        task = std::move(task_queue.front());
+        task_queue.pop_front();
+      }
+      const scenario::ScenarioArtifacts artifacts =
+          scenario::run_scenario_isolated(task.spec, config.isolation,
+                                          &abandoned);
+      Completion done;
+      done.job_id = std::move(task.job_id);
+      done.index = task.index;
+      done.pass = artifacts.result.pass;
+      done.line = scenario::to_json_line(artifacts.result);
+      for (const core::HealthEvent& event : artifacts.result.health) {
+        done.health_lines.push_back(
+            scenario::health_to_json(artifacts.result, event).to_json_line());
+      }
+      {
+        std::lock_guard<std::mutex> lock(completion_mutex);
+        completions.push_back(std::move(done));
+      }
+      wake();
+    }
+  }
+
+  void event_main() {
+    dispatch();  // Recovered orphans start executing immediately.
+    using Clock = std::chrono::steady_clock;
+    const std::uint64_t heartbeat_ms =
+        config.heartbeat_ms == 0 ? 1000 : config.heartbeat_ms;
+    auto next_heartbeat =
+        Clock::now() + std::chrono::milliseconds(heartbeat_ms);
+
+    while (!stop_requested.load(std::memory_order_acquire)) {
+      std::vector<pollfd> fds;
+      fds.push_back(pollfd{wake_read_fd, POLLIN, 0});
+      if (tcp_listen_fd >= 0) {
+        fds.push_back(pollfd{tcp_listen_fd, POLLIN, 0});
+      }
+      if (unix_listen_fd >= 0) {
+        fds.push_back(pollfd{unix_listen_fd, POLLIN, 0});
+      }
+      const std::size_t first_session = fds.size();
+      for (auto& [fd, session] : sessions) {
+        short events = POLLIN;
+        if (session.outbox_offset < session.outbox.size()) {
+          events |= POLLOUT;
+        }
+        fds.push_back(pollfd{fd, events, 0});
+      }
+
+      const auto now = Clock::now();
+      long timeout_ms = static_cast<long>(
+          std::chrono::duration_cast<std::chrono::milliseconds>(
+              next_heartbeat - now)
+              .count());
+      if (timeout_ms < 0) {
+        timeout_ms = 0;
+      }
+      const int ready =
+          ::poll(fds.data(), fds.size(), static_cast<int>(timeout_ms));
+      if (ready < 0 && errno != EINTR) {
+        break;  // poll() itself failed; shut down rather than spin.
+      }
+
+      if (Clock::now() >= next_heartbeat) {
+        send_heartbeats();
+        next_heartbeat =
+            Clock::now() + std::chrono::milliseconds(heartbeat_ms);
+      }
+
+      if (fds[0].revents & POLLIN) {
+        char sink[64];
+        while (::read(wake_read_fd, sink, sizeof(sink)) > 0) {
+        }
+      }
+      drain_completions();
+
+      for (std::size_t i = 1; i < first_session; ++i) {
+        if (fds[i].revents & POLLIN) {
+          accept_on(fds[i].fd);
+        }
+      }
+      for (std::size_t i = first_session; i < fds.size(); ++i) {
+        auto it = sessions.find(fds[i].fd);
+        if (it == sessions.end()) {
+          continue;
+        }
+        if (fds[i].revents & POLLOUT) {
+          flush_outbox(it->second);
+        }
+        if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
+          read_session(it->second);
+        }
+      }
+      // Reap sessions marked closing once their outbox drained (or the
+      // peer is gone and the bytes cannot be delivered anyway).
+      std::vector<int> doomed;
+      for (auto& [fd, session] : sessions) {
+        if (session.closing) {
+          flush_outbox(session);
+          doomed.push_back(fd);
+        }
+      }
+      for (const int fd : doomed) {
+        close_session(fd);
+      }
+      dispatch();
+    }
+
+    shutdown_gracefully();
+    {
+      std::lock_guard<std::mutex> lock(stopped_mutex);
+      event_loop_exited = true;
+    }
+    stopped_cv.notify_all();
+  }
+
+  /// Graceful drain: queued-but-unstarted tasks return to pending (they
+  /// have no journal entry, so a restart resumes them -- exactly the
+  /// campaign engine's stop-flag semantics), in-flight scenarios finish on
+  /// their workers and are journaled, manifests flush via JournalWriter's
+  /// per-record checkpoint, then every session closes.
+  void shutdown_gracefully() {
+    draining = true;
+    {
+      std::lock_guard<std::mutex> lock(task_mutex);
+      for (const Task& task : task_queue) {
+        auto it = jobs.find(task.job_id);
+        if (it != jobs.end()) {
+          it->second.state[task.index] = SpecState::kPending;
+          ClientSlot& slot = slot_of(it->second.owner);
+          if (slot.inflight > 0) {
+            slot.inflight--;
+          }
+        }
+      }
+      task_queue.clear();
+      workers_quit = true;
+    }
+    task_cv.notify_all();
+    for (std::thread& worker : worker_threads) {
+      worker.join();
+    }
+    worker_threads.clear();
+    drain_completions();
+
+    std::vector<int> open_fds;
+    for (auto& [fd, session] : sessions) {
+      flush_outbox(session);
+      open_fds.push_back(fd);
+    }
+    for (const int fd : open_fds) {
+      close_session(fd);
+    }
+    if (tcp_listen_fd >= 0) {
+      ::close(tcp_listen_fd);
+      tcp_listen_fd = -1;
+    }
+    if (unix_listen_fd >= 0) {
+      ::close(unix_listen_fd);
+      unix_listen_fd = -1;
+      if (!config.unix_path.empty()) {
+        ::unlink(config.unix_path.c_str());
+      }
+    }
+  }
+};
+
+ScenarioServer::ScenarioServer(ServiceConfig config)
+    : impl_(std::make_unique<Impl>(std::move(config))) {}
+
+ScenarioServer::~ScenarioServer() { stop(); }
+
+bool ScenarioServer::start(std::string* error) {
+  Impl& impl = *impl_;
+  auto fail = [&](const std::string& detail) {
+    for (int* fd : {&impl.wake_read_fd, &impl.wake_write_fd,
+                    &impl.tcp_listen_fd, &impl.unix_listen_fd}) {
+      if (*fd >= 0) {
+        ::close(*fd);
+        *fd = -1;
+      }
+    }
+    if (error != nullptr) {
+      *error = detail;
+    }
+    return false;
+  };
+  {
+    std::lock_guard<std::mutex> lock(impl.lifecycle_mutex);
+    if (impl.started) {
+      return fail("server already started");
+    }
+  }
+
+  int pipe_fds[2];
+  if (::pipe(pipe_fds) != 0) {
+    return fail("pipe() failed: " + std::string(std::strerror(errno)));
+  }
+  impl.wake_read_fd = pipe_fds[0];
+  impl.wake_write_fd = pipe_fds[1];
+  set_nonblocking(impl.wake_read_fd);
+  set_nonblocking(impl.wake_write_fd);
+
+  if (impl.config.enable_tcp) {
+    const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return fail("socket() failed: " + std::string(std::strerror(errno)));
+    }
+    const int one = 1;
+    ::setsockopt(fd, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+    sockaddr_in addr{};
+    addr.sin_family = AF_INET;
+    addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+    addr.sin_port = htons(static_cast<std::uint16_t>(impl.config.tcp_port));
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+      const std::string detail = std::strerror(errno);
+      ::close(fd);
+      return fail("tcp bind/listen failed: " + detail);
+    }
+    socklen_t length = sizeof(addr);
+    ::getsockname(fd, reinterpret_cast<sockaddr*>(&addr), &length);
+    impl.bound_tcp_port = ntohs(addr.sin_port);
+    set_nonblocking(fd);
+    impl.tcp_listen_fd = fd;
+  }
+
+  if (!impl.config.unix_path.empty()) {
+    sockaddr_un addr{};
+    if (impl.config.unix_path.size() >= sizeof(addr.sun_path)) {
+      return fail("unix socket path too long");
+    }
+    const int fd = ::socket(AF_UNIX, SOCK_STREAM, 0);
+    if (fd < 0) {
+      return fail("socket(AF_UNIX) failed: " +
+                  std::string(std::strerror(errno)));
+    }
+    ::unlink(impl.config.unix_path.c_str());
+    addr.sun_family = AF_UNIX;
+    std::strncpy(addr.sun_path, impl.config.unix_path.c_str(),
+                 sizeof(addr.sun_path) - 1);
+    if (::bind(fd, reinterpret_cast<sockaddr*>(&addr), sizeof(addr)) != 0 ||
+        ::listen(fd, 64) != 0) {
+      const std::string detail = std::strerror(errno);
+      ::close(fd);
+      return fail("unix bind/listen failed: " + detail);
+    }
+    set_nonblocking(fd);
+    impl.unix_listen_fd = fd;
+  }
+
+  if (!impl.config.state_dir.empty()) {
+    std::error_code ec;
+    fs::create_directories(fs::path(impl.config.state_dir) / "jobs", ec);
+    if (ec) {
+      return fail("cannot create state dir: " + ec.message());
+    }
+    impl.recover_jobs();
+  }
+
+  const std::size_t workers =
+      impl.config.workers == 0 ? 1 : impl.config.workers;
+  for (std::size_t i = 0; i < workers; ++i) {
+    impl.worker_threads.emplace_back([this] { impl_->worker_main(); });
+  }
+  impl.event_thread = std::thread([this] { impl_->event_main(); });
+  {
+    std::lock_guard<std::mutex> lock(impl.lifecycle_mutex);
+    impl.started = true;
+  }
+  return true;
+}
+
+void ScenarioServer::stop() {
+  Impl& impl = *impl_;
+  {
+    std::lock_guard<std::mutex> lock(impl.lifecycle_mutex);
+    if (!impl.started || impl.stopped_joined) {
+      return;
+    }
+    impl.stopped_joined = true;
+  }
+  request_stop();
+  if (impl.event_thread.joinable()) {
+    impl.event_thread.join();
+  }
+  if (impl.wake_read_fd >= 0) {
+    ::close(impl.wake_read_fd);
+    impl.wake_read_fd = -1;
+  }
+  if (impl.wake_write_fd >= 0) {
+    ::close(impl.wake_write_fd);
+    impl.wake_write_fd = -1;
+  }
+}
+
+void ScenarioServer::request_stop() {
+  Impl& impl = *impl_;
+  impl.stop_requested.store(true, std::memory_order_release);
+  if (impl.wake_write_fd >= 0) {
+    const char byte = 's';
+    [[maybe_unused]] const ssize_t wrote =
+        ::write(impl.wake_write_fd, &byte, 1);
+  }
+}
+
+void ScenarioServer::wait_stopped() {
+  Impl& impl = *impl_;
+  std::unique_lock<std::mutex> lock(impl.stopped_mutex);
+  impl.stopped_cv.wait(lock, [&impl] { return impl.event_loop_exited; });
+}
+
+int ScenarioServer::tcp_port() const noexcept { return impl_->bound_tcp_port; }
+
+ServiceStats ScenarioServer::stats() const {
+  Impl& impl = *impl_;
+  std::lock_guard<std::mutex> lock(impl.stats_mutex);
+  ServiceStats snapshot = impl.stats_data;
+  snapshot.abandoned_threads = impl.abandoned.load();
+  return snapshot;
+}
+
+std::vector<std::string> ScenarioServer::dispatch_log() const {
+  Impl& impl = *impl_;
+  std::lock_guard<std::mutex> lock(impl.stats_mutex);
+  return impl.dispatch_log_data;
+}
+
+bool ScenarioServer::wait_all_jobs_done(std::uint64_t timeout_ms) {
+  Impl& impl = *impl_;
+  std::unique_lock<std::mutex> lock(impl.jobs_done_mutex);
+  return impl.jobs_done_cv.wait_for(
+      lock, std::chrono::milliseconds(timeout_ms),
+      [&impl] { return impl.active_jobs == 0; });
+}
+
+}  // namespace ddl::service

@@ -543,7 +543,7 @@ TEST(CliTest, ResumeImpliesItsJournalDirectory) {
 }
 
 TEST(CliTest, RejectsMalformedNumbers) {
-  for (const std::vector<std::string> args :
+  for (const std::vector<std::string>& args :
        {std::vector<std::string>{"--jobs", "oops"},
         {"--jobs", "8oops"},
         {"--jobs", "-2"},
@@ -592,6 +592,99 @@ TEST(CliTest, StrictNumericHelpers) {
   EXPECT_TRUE(ddl::scenario::parse_count("2147483647", n));
   EXPECT_EQ(n, 2147483647);
   EXPECT_FALSE(ddl::scenario::parse_count("2147483648", n));
+}
+
+// ---- spec_from_json error paths (untrusted input must never abort) --------
+
+TEST(SpecCheckedParseTest, CleanDocumentRoundTripsWithNoErrors) {
+  ddl::scenario::ScenarioSpec spec;
+  spec.name = "roundtrip/full";
+  spec.family = "fault";
+  spec.mc_dies = 64;
+  spec.faults = {ddl::scenario::FaultSpec::delay_cell(3, 2.5, 100, 200)};
+  spec.dvfs = {{500, 0.9}};
+  spec.supervision.enabled = true;
+  const std::string line =
+      ddl::scenario::spec_to_json(spec).to_json_line();
+  const auto fields = ddl::analysis::parse_flat_json_line(line);
+  ASSERT_TRUE(fields.has_value());
+  const auto parse = ddl::scenario::spec_from_json_checked(*fields);
+  EXPECT_TRUE(parse.ok()) << parse.errors.front();
+  EXPECT_EQ(parse.spec.name, spec.name);
+  EXPECT_EQ(parse.spec.mc_dies, 64u);
+  ASSERT_EQ(parse.spec.faults.size(), 1u);
+  EXPECT_EQ(parse.spec.faults[0].clear_period, 200u);
+}
+
+TEST(SpecCheckedParseTest, MalformedAndTruncatedJsonFailTheLineParser) {
+  // The parse layer in front of spec_from_json_checked: garbage and torn
+  // documents come back as nullopt, never an abort or an exception.
+  EXPECT_FALSE(ddl::analysis::parse_flat_json_line("not json").has_value());
+  EXPECT_FALSE(ddl::analysis::parse_flat_json_line("{\"a\":1,").has_value());
+  const std::string full = "{\"name\":\"x\",\"periods\":2500}";
+  for (std::size_t cut = 1; cut < full.size(); ++cut) {
+    const auto torn = ddl::analysis::parse_flat_json_line(full.substr(0, cut));
+    if (torn.has_value()) {
+      // The only prefix allowed to parse is one that is itself complete.
+      EXPECT_EQ(cut, full.size());
+    }
+  }
+}
+
+TEST(SpecCheckedParseTest, UnknownKeysAreStructuredErrors) {
+  std::map<std::string, std::string> fields{{"name", "x"},
+                                            {"periosd", "2500"}};
+  const auto parse = ddl::scenario::spec_from_json_checked(fields);
+  ASSERT_EQ(parse.errors.size(), 1u);
+  EXPECT_NE(parse.errors[0].find("periosd"), std::string::npos);
+  EXPECT_NE(parse.errors[0].find("unknown key"), std::string::npos);
+  // The lenient parser (replay bundles, forward compatibility) still
+  // ignores it, and allow_unknown opts the checked parser into that.
+  EXPECT_EQ(ddl::scenario::spec_from_json(fields).periods, 2500u);
+  EXPECT_TRUE(
+      ddl::scenario::spec_from_json_checked(fields, true).ok());
+}
+
+TEST(SpecCheckedParseTest, WrongTypedFieldsCollectPerKeyErrors) {
+  std::map<std::string, std::string> fields{
+      {"name", "x"},
+      {"periods", "abc"},          // not an unsigned integer
+      {"clock_mhz", "1.5oops"},    // trailing garbage
+      {"expect_lock", "yes"},      // not true/false
+      {"architecture", "quantum"}, // unknown enum
+      {"resolution_bits", "-3"},   // negative count
+  };
+  const auto parse = ddl::scenario::spec_from_json_checked(fields);
+  ASSERT_EQ(parse.errors.size(), 5u);
+  for (const char* key :
+       {"periods", "clock_mhz", "expect_lock", "architecture",
+        "resolution_bits"}) {
+    bool found = false;
+    for (const std::string& error : parse.errors) {
+      found = found || error.find(key) == 0;
+    }
+    EXPECT_TRUE(found) << "no error mentions " << key;
+  }
+  // Failed fields keep their defaults; the parse never throws.
+  EXPECT_EQ(parse.spec.periods, 2500u);
+  EXPECT_EQ(parse.spec.clock_mhz, 1.0);
+}
+
+TEST(SpecCheckedParseTest, IndexedKeysBeyondTheirCountAreUnknown) {
+  std::map<std::string, std::string> fields{
+      {"name", "x"},
+      {"faults.count", "1"},
+      {"faults.0.kind", "delay_cell"},
+      {"faults.0.victim_cell", "3"},
+      {"faults.0.severity", "2.0"},
+      {"faults.0.at_period", "0"},
+      {"faults.0.clear_period", "0"},
+      {"faults.1.kind", "delay_cell"},  // beyond faults.count
+  };
+  const auto parse = ddl::scenario::spec_from_json_checked(fields);
+  ASSERT_EQ(parse.errors.size(), 1u);
+  EXPECT_NE(parse.errors[0].find("faults.1.kind"), std::string::npos);
+  EXPECT_EQ(parse.spec.faults.size(), 1u);
 }
 
 }  // namespace

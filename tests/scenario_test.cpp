@@ -410,4 +410,66 @@ TEST(SummarizeTest, CountsFailuresByReasonAndFamily) {
   EXPECT_EQ(summary.by_family.at("b").second, 1u);
 }
 
+TEST(McYieldTest, BatchedAndForcedScalarPathsEmitIdenticalJsonl) {
+  // The satellite contract of the batched-engine adoption: pointing the
+  // yield scenarios at mc_batch must be invisible in the JSONL stream --
+  // every row byte-identical to the per-die scalar reference path.
+  auto batched =
+      ddl::scenario::ScenarioRegistry::builtin().expand("yield");
+  ASSERT_FALSE(batched.empty());
+  std::vector<ddl::scenario::ScenarioSpec> scalar = batched;
+  for (ddl::scenario::ScenarioSpec& spec : scalar) {
+    spec.mc_force_scalar = true;
+  }
+
+  const ddl::scenario::ScenarioRunner runner(2);
+  const auto batched_results = runner.run(batched);
+  const auto scalar_results = runner.run(scalar);
+  EXPECT_EQ(ddl::scenario::ScenarioRunner::jsonl(batched_results),
+            ddl::scenario::ScenarioRunner::jsonl(scalar_results));
+  for (const auto& result : batched_results) {
+    EXPECT_TRUE(result.pass) << result.name << ": " << result.failure_reason;
+    EXPECT_GT(result.mc_dies, 0u);
+    EXPECT_GT(result.mc_yield, 0.0);
+  }
+}
+
+TEST(McYieldTest, YieldRowCarriesTheMcFieldsOnly) {
+  auto specs = ddl::scenario::ScenarioRegistry::builtin().expand("yield");
+  const auto result = ddl::scenario::run_scenario(specs.front()).result;
+  const std::string line = ddl::scenario::to_json_line(result);
+  EXPECT_NE(line.find("\"mc_yield\":"), std::string::npos);
+  EXPECT_NE(line.find("\"mc_inl_max_lsb\":"), std::string::npos);
+  // Non-yield rows must not grow the fields (the stream stays byte-stable
+  // with pre-yield consumers).
+  auto smoke = ddl::scenario::ScenarioRegistry::builtin().expand("smoke");
+  const auto plain = ddl::scenario::run_scenario(smoke.front()).result;
+  EXPECT_EQ(ddl::scenario::to_json_line(plain).find("\"mc_"),
+            std::string::npos);
+}
+
+TEST(SpecValidationTest, McYieldRulesAreEnforced) {
+  ddl::scenario::ScenarioSpec spec;
+  spec.name = "yield/bad";
+  spec.mc_dies = 16;
+  spec.architecture = ddl::scenario::Architecture::kConventional;
+  EXPECT_FALSE(ddl::scenario::validate(spec).empty());
+
+  spec.architecture = ddl::scenario::Architecture::kProposed;
+  EXPECT_TRUE(ddl::scenario::validate(spec).empty());
+
+  // Runtime faults cannot ride a yield experiment; power-on delay faults
+  // can (they become per-die BatchFaults).
+  spec.faults = {ddl::scenario::FaultSpec::delay_cell(1, 2.0, 100)};
+  EXPECT_FALSE(ddl::scenario::validate(spec).empty());
+  spec.faults = {ddl::scenario::FaultSpec::delay_cell(1, 2.0)};
+  EXPECT_TRUE(ddl::scenario::validate(spec).empty());
+
+  spec.mc_min_yield = 1.5;
+  EXPECT_FALSE(ddl::scenario::validate(spec).empty());
+  spec.mc_min_yield = 0.5;
+  spec.supervision.enabled = true;
+  EXPECT_FALSE(ddl::scenario::validate(spec).empty());
+}
+
 }  // namespace

@@ -1,0 +1,497 @@
+// Tests for the campaign service: frame codec robustness, the submit /
+// stream / job_done round trip (byte-identical to the one-shot runner),
+// quota backpressure as a frame (never a disconnect), fair round-robin
+// scheduling across clients, mid-stream disconnect survival, journal-backed
+// restart resume, and structured error frames for malformed submissions.
+//
+// Every test binds an ephemeral loopback port (or a temp-dir unix socket),
+// so the suite is parallel-safe and needs no fixed resources.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <filesystem>
+#include <memory>
+#include <set>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ddl/scenario/runner.h"
+#include "ddl/scenario/spec.h"
+#include "ddl/service/client.h"
+#include "ddl/service/protocol.h"
+#include "ddl/service/server.h"
+
+namespace {
+
+namespace fs = std::filesystem;
+
+using ddl::scenario::LoadSpec;
+using ddl::scenario::ScenarioRunner;
+using ddl::scenario::ScenarioSpec;
+using ddl::service::ClientConfig;
+using ddl::service::FrameReader;
+using ddl::service::ScenarioClient;
+using ddl::service::ScenarioServer;
+using ddl::service::ServiceConfig;
+
+/// A fast proposed-line scenario (~15 ms): long enough to be a real
+/// closed-loop run, short enough that suites of them stay snappy.
+/// `periods` also doubles as the pacing knob -- the scheduling tests
+/// stretch it to hold workers busy deterministically.
+ScenarioSpec quick_spec(const std::string& variant, std::uint64_t seed,
+                        std::uint64_t periods = 900) {
+  ScenarioSpec spec;
+  spec.name = "svc/proposed/typical/" + variant;
+  spec.family = "svc";
+  spec.seed = seed;
+  spec.load = LoadSpec::constant(0.4);
+  spec.periods = periods;
+  spec.measure_from = (periods * 2) / 3;
+  spec.allow_limit_cycling = true;
+  spec.tolerance_v = 0.05;
+  return spec;
+}
+
+/// A supervised variant so the stream carries health frames too.
+ScenarioSpec supervised_spec() {
+  ScenarioSpec spec = quick_spec("supervised", 7);
+  spec.tolerance_v = 0.06;
+  spec.load = LoadSpec::constant(0.5);
+  spec.supervision.enabled = true;
+  spec.faults = {ddl::scenario::FaultSpec::delay_cell(31, 10.0, 400)};
+  return spec;
+}
+
+std::string fresh_dir(const std::string& name) {
+  const fs::path dir = fs::path(::testing::TempDir()) / ("service_" + name);
+  fs::remove_all(dir);
+  fs::create_directories(dir);
+  return dir.string();
+}
+
+ServiceConfig base_config() {
+  ServiceConfig config;
+  config.tcp_port = 0;  // Ephemeral.
+  config.workers = 2;
+  config.heartbeat_ms = 60'000;  // Out of the way unless a test wants it.
+  return config;
+}
+
+ClientConfig client_for(const ScenarioServer& server, std::string name) {
+  ClientConfig config;
+  config.tcp_port = server.tcp_port();
+  config.name = std::move(name);
+  config.recv_timeout_ms = 30'000;  // A hung test fails, never wedges CI.
+  return config;
+}
+
+// ---- Frame codec ----------------------------------------------------------
+
+TEST(FrameCodecTest, RoundTripsAcrossArbitraryFragmentation) {
+  const std::vector<std::string> payloads = {
+      R"({"frame":"hello","protocol_version":1})",
+      "",  // Zero-length payload is a legal frame.
+      R"({"frame":"result","row":"{\"name\":\"a/b\",\"pass\":true}"})",
+  };
+  std::string wire;
+  for (const std::string& payload : payloads) {
+    wire += ddl::service::encode_frame(payload);
+  }
+  // Feed one byte at a time: every length prefix and payload is split.
+  FrameReader reader;
+  std::vector<std::string> decoded;
+  for (const char byte : wire) {
+    reader.feed(&byte, 1);
+    while (auto payload = reader.next()) {
+      decoded.push_back(*payload);
+    }
+  }
+  EXPECT_EQ(decoded, payloads);
+  EXPECT_FALSE(reader.failed());
+  EXPECT_EQ(reader.buffered(), 0u);
+}
+
+TEST(FrameCodecTest, OversizedLengthPrefixPoisonsTheReader) {
+  FrameReader reader;
+  const char bogus[4] = {0x7f, 0x00, 0x00, 0x00};  // ~2 GiB "payload".
+  reader.feed(bogus, sizeof(bogus));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.failed());
+  EXPECT_NE(reader.error().find("exceeds"), std::string::npos);
+  // Poisoned for good: further bytes never resynchronize.
+  reader.feed(bogus, sizeof(bogus));
+  EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(FrameCodecTest, RowStringsSurviveTheEscapeRoundTrip) {
+  // The acceptance-critical property: a JSONL row carried as a frame's
+  // string field comes back byte-identical.
+  const std::string row =
+      R"({"schema_version":2,"name":"a/b","verdict":"pass","vout":0.9375})";
+  ddl::analysis::JsonObject frame = ddl::service::make_frame("result");
+  frame.set("row", row);
+  const auto fields =
+      ddl::service::parse_frame_payload(frame.to_json_line());
+  ASSERT_TRUE(fields.has_value());
+  EXPECT_EQ(fields->at("row"), row);
+}
+
+// ---- Submit / stream round trip -------------------------------------------
+
+TEST(ServiceTest, StreamedRowsAreByteIdenticalToTheRunner) {
+  const std::vector<ScenarioSpec> specs = {
+      quick_spec("a", 11), supervised_spec(), quick_spec("b", 12)};
+
+  ServiceConfig config = base_config();
+  config.state_dir = fresh_dir("roundtrip");
+  ScenarioServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+
+  ScenarioClient client(client_for(server, "alice"));
+  ASSERT_TRUE(client.connect(&error)) << error;
+  const auto submission = client.submit_specs("nightly", specs);
+  ASSERT_TRUE(submission.accepted)
+      << submission.error_code << ": " << submission.error_detail;
+  EXPECT_FALSE(submission.resumed);
+  EXPECT_EQ(submission.scenarios, specs.size());
+
+  const auto outcome = client.wait(submission.job_id);
+  ASSERT_TRUE(outcome.done)
+      << outcome.error_code << ": " << outcome.error_detail;
+  EXPECT_EQ(outcome.executed, specs.size());
+  EXPECT_EQ(outcome.resumed, 0u);
+
+  ScenarioRunner runner(2);
+  const auto results = runner.run(specs);
+  EXPECT_EQ(outcome.jsonl(), ScenarioRunner::jsonl(results));
+  EXPECT_EQ(outcome.health_jsonl(), ScenarioRunner::health_jsonl(results));
+  EXPECT_FALSE(outcome.health_jsonl().empty());
+
+  client.bye();
+  server.stop();
+}
+
+TEST(ServiceTest, UnixDomainSocketSpeaksTheSameProtocol) {
+  const std::string dir = fresh_dir("unix");
+  ServiceConfig config = base_config();
+  config.enable_tcp = false;
+  config.unix_path = dir + "/ddl.sock";
+  ScenarioServer server(config);
+  std::string error;
+  ASSERT_TRUE(server.start(&error)) << error;
+  EXPECT_EQ(server.tcp_port(), 0);
+
+  ClientConfig client_config;
+  client_config.unix_path = config.unix_path;
+  client_config.name = "unix-client";
+  client_config.recv_timeout_ms = 30'000;
+  ScenarioClient client(client_config);
+  ASSERT_TRUE(client.connect(&error)) << error;
+  EXPECT_TRUE(client.ping());
+
+  const std::vector<ScenarioSpec> specs = {quick_spec("u", 21)};
+  const auto submission = client.submit_specs("unix-job", specs);
+  ASSERT_TRUE(submission.accepted);
+  const auto outcome = client.wait(submission.job_id);
+  ASSERT_TRUE(outcome.done);
+  EXPECT_EQ(outcome.jsonl(),
+            ScenarioRunner::jsonl(ScenarioRunner(1).run(specs)));
+  server.stop();
+  EXPECT_FALSE(fs::exists(config.unix_path));  // Unlinked on shutdown.
+}
+
+TEST(ServiceTest, ResubmittingTheSameJobReplaysInsteadOfRerunning) {
+  const std::vector<ScenarioSpec> specs = {quick_spec("r1", 31),
+                                           quick_spec("r2", 32)};
+  ServiceConfig config = base_config();
+  config.state_dir = fresh_dir("replay");
+  ScenarioServer server(config);
+  ASSERT_TRUE(server.start());
+
+  ScenarioClient first(client_for(server, "carol"));
+  ASSERT_TRUE(first.connect());
+  const auto sub1 = first.submit_specs("batch", specs);
+  ASSERT_TRUE(sub1.accepted);
+  const auto out1 = first.wait(sub1.job_id);
+  ASSERT_TRUE(out1.done);
+  first.bye();
+
+  ScenarioClient second(client_for(server, "carol"));
+  ASSERT_TRUE(second.connect());
+  const auto sub2 = second.submit_specs("batch", specs);
+  ASSERT_TRUE(sub2.accepted);
+  EXPECT_TRUE(sub2.resumed);
+  EXPECT_EQ(sub2.job_id, sub1.job_id);
+  const auto out2 = second.wait(sub2.job_id);
+  ASSERT_TRUE(out2.done);
+  EXPECT_EQ(out2.jsonl(), out1.jsonl());
+
+  // Nothing ran twice: the second submit was pure replay.
+  EXPECT_EQ(server.stats().scenarios_executed, specs.size());
+  server.stop();
+}
+
+// ---- Quotas and backpressure ----------------------------------------------
+
+TEST(ServiceTest, QuotaExceededIsABackpressureFrameNotADisconnect) {
+  ServiceConfig config = base_config();
+  config.workers = 1;
+  config.max_pending_jobs_per_client = 1;
+  ScenarioServer server(config);
+  ASSERT_TRUE(server.start());
+
+  ScenarioClient client(client_for(server, "dave"));
+  ASSERT_TRUE(client.connect());
+
+  // Job A holds the quota: one long scenario on the only worker.
+  const std::vector<ScenarioSpec> slow = {quick_spec("slow", 41, 20'000)};
+  const auto sub_a = client.submit_specs("job-a", slow);
+  ASSERT_TRUE(sub_a.accepted);
+
+  // Job B trips the quota: explicit, retryable backpressure.
+  const std::vector<ScenarioSpec> fast = {quick_spec("fast", 42)};
+  const auto sub_b = client.submit_specs("job-b", fast);
+  EXPECT_FALSE(sub_b.accepted);
+  EXPECT_TRUE(sub_b.backpressure);
+  EXPECT_GT(sub_b.retry_ms, 0u);
+  EXPECT_EQ(server.stats().backpressure_frames, 1u);
+
+  // The session survives the rejection...
+  EXPECT_TRUE(client.ping());
+  ASSERT_TRUE(client.wait(sub_a.job_id).done);
+
+  // ...and the retry goes through once the quota frees up.
+  const auto retry = client.submit_specs("job-b", fast);
+  ASSERT_TRUE(retry.accepted);
+  EXPECT_TRUE(client.wait(retry.job_id).done);
+  server.stop();
+}
+
+TEST(ServiceTest, SchedulingIsFairRoundRobinAcrossClients) {
+  ServiceConfig config = base_config();
+  config.workers = 1;
+  config.max_inflight_per_client = 1;
+  config.record_dispatch_log = true;
+  ScenarioServer server(config);
+  ASSERT_TRUE(server.start());
+
+  // A plug occupies the single worker (~400 ms) while the three measured
+  // clients queue their jobs, so the dispatch order past the plug is a
+  // pure function of the round-robin scheduler -- no submit-timing races.
+  ScenarioClient plug(client_for(server, "plug"));
+  ASSERT_TRUE(plug.connect());
+  const auto plug_sub =
+      plug.submit_specs("plug", {quick_spec("plug", 51, 20'000)});
+  ASSERT_TRUE(plug_sub.accepted);
+
+  std::vector<std::unique_ptr<ScenarioClient>> clients;
+  std::vector<ScenarioClient::Submission> subs;
+  for (const std::string name : {"c1", "c2", "c3"}) {
+    auto client = std::make_unique<ScenarioClient>(client_for(server, name));
+    ASSERT_TRUE(client->connect());
+    std::vector<ScenarioSpec> specs;
+    for (int i = 0; i < 3; ++i) {
+      specs.push_back(
+          quick_spec(name + "-" + std::to_string(i), 60 + i));
+    }
+    subs.push_back(client->submit_specs("fair", specs));
+    ASSERT_TRUE(subs.back().accepted);
+    clients.push_back(std::move(client));
+  }
+  ASSERT_TRUE(plug.wait(plug_sub.job_id).done);
+  for (std::size_t i = 0; i < clients.size(); ++i) {
+    ASSERT_TRUE(clients[i]->wait(subs[i].job_id).done);
+  }
+
+  const auto log = server.dispatch_log();
+  ASSERT_EQ(log.size(), 10u);  // 1 plug + 3 clients x 3 scenarios.
+  EXPECT_EQ(log[0], "plug");
+  // Past the plug, every rotation serves all three clients exactly once.
+  for (std::size_t i = 1; i + 2 < log.size(); i += 3) {
+    const std::set<std::string> window(log.begin() + i, log.begin() + i + 3);
+    EXPECT_EQ(window, (std::set<std::string>{"c1", "c2", "c3"}))
+        << "rotation starting at dispatch " << i;
+  }
+  server.stop();
+}
+
+// ---- Disconnects and restarts ---------------------------------------------
+
+TEST(ServiceTest, MidStreamDisconnectLeavesTheJobRunningAsAnOrphan) {
+  const std::vector<ScenarioSpec> specs = {
+      quick_spec("d1", 71, 4'000), quick_spec("d2", 72, 4'000),
+      quick_spec("d3", 73, 4'000)};
+  ServiceConfig config = base_config();
+  config.state_dir = fresh_dir("disconnect");
+  ScenarioServer server(config);
+  ASSERT_TRUE(server.start());
+
+  {
+    ScenarioClient client(client_for(server, "erin"));
+    ASSERT_TRUE(client.connect());
+    const auto submission = client.submit_specs("orphaned", specs);
+    ASSERT_TRUE(submission.accepted);
+    client.close();  // Vanish mid-stream, no bye.
+  }
+
+  // The job keeps executing with no session attached and completes.
+  ASSERT_TRUE(server.wait_all_jobs_done(60'000));
+  EXPECT_EQ(server.stats().scenarios_executed, specs.size());
+
+  // A reconnecting client replays the full stream byte-exactly.
+  ScenarioClient client(client_for(server, "erin"));
+  ASSERT_TRUE(client.connect());
+  const auto submission = client.submit_specs("orphaned", specs);
+  ASSERT_TRUE(submission.accepted);
+  EXPECT_TRUE(submission.resumed);
+  const auto outcome = client.wait(submission.job_id);
+  ASSERT_TRUE(outcome.done);
+  EXPECT_EQ(outcome.jsonl(),
+            ScenarioRunner::jsonl(ScenarioRunner(1).run(specs)));
+  EXPECT_EQ(server.stats().scenarios_executed, specs.size());
+  server.stop();
+}
+
+TEST(ServiceTest, RestartResumesTheJournalWithoutRerunningAnything) {
+  const std::string state_dir = fresh_dir("restart");
+  std::vector<ScenarioSpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    specs.push_back(quick_spec("res-" + std::to_string(i), 80 + i, 6'000));
+  }
+
+  std::size_t executed_before = 0;
+  {
+    ServiceConfig config = base_config();
+    config.state_dir = state_dir;
+    config.workers = 1;
+    ScenarioServer server(config);
+    ASSERT_TRUE(server.start());
+    ScenarioClient client(client_for(server, "frank"));
+    ASSERT_TRUE(client.connect());
+    ASSERT_TRUE(client.submit_specs("long-haul", specs).accepted);
+    // Let at least one scenario commit, then stop gracefully mid-job:
+    // in-flight work finishes and journals, the rest stays pending.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(30);
+    while (server.stats().scenarios_executed < 1 &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(5));
+    }
+    server.stop();
+    executed_before = server.stats().scenarios_executed;
+    ASSERT_GE(executed_before, 1u);
+    ASSERT_LT(executed_before, specs.size());  // Stopped mid-job.
+  }
+
+  ServiceConfig config = base_config();
+  config.state_dir = state_dir;
+  ScenarioServer server(config);
+  ASSERT_TRUE(server.start());
+  EXPECT_EQ(server.stats().jobs_recovered, 1u);
+  EXPECT_EQ(server.stats().scenarios_resumed, executed_before);
+  // The orphan finishes without any client attached...
+  ASSERT_TRUE(server.wait_all_jobs_done(60'000));
+  // ...running only what the first server never committed.
+  EXPECT_EQ(server.stats().scenarios_executed,
+            specs.size() - executed_before);
+
+  // And the reassembled stream is byte-identical to an uninterrupted run.
+  ScenarioClient client(client_for(server, "frank"));
+  ASSERT_TRUE(client.connect());
+  const auto submission = client.submit_specs("long-haul", specs);
+  ASSERT_TRUE(submission.accepted);
+  EXPECT_TRUE(submission.resumed);
+  const auto outcome = client.wait(submission.job_id);
+  ASSERT_TRUE(outcome.done);
+  EXPECT_EQ(outcome.executed + outcome.resumed, specs.size());
+  EXPECT_EQ(outcome.jsonl(),
+            ScenarioRunner::jsonl(ScenarioRunner(1).run(specs)));
+  server.stop();
+}
+
+// ---- Error paths ----------------------------------------------------------
+
+TEST(ServiceTest, MalformedSubmissionsGetStructuredErrorFrames) {
+  ScenarioServer server(base_config());
+  ASSERT_TRUE(server.start());
+  ScenarioClient client(client_for(server, "mallory"));
+  ASSERT_TRUE(client.connect());
+
+  // Wrong-typed field inside a flattened spec.
+  ddl::analysis::JsonObject bad_spec = ddl::service::make_frame("submit");
+  bad_spec.set("job", "bad");
+  bad_spec.set("spec_count", std::uint64_t{1});
+  bad_spec.set("spec.0.name", "svc/x");
+  bad_spec.set("spec.0.periods", "four-thousand");
+  auto submission = client.submit_frame(bad_spec, "bad");
+  EXPECT_FALSE(submission.accepted);
+  EXPECT_EQ(submission.error_code, "invalid_spec");
+  EXPECT_NE(submission.error_detail.find("spec.0.periods"),
+            std::string::npos);
+
+  // Unknown suite.
+  submission = client.submit_suite("bad2", "no-such-suite");
+  EXPECT_EQ(submission.error_code, "unknown_suite");
+
+  // submit with neither suite nor specs.
+  ddl::analysis::JsonObject empty = ddl::service::make_frame("submit");
+  empty.set("job", "bad3");
+  submission = client.submit_frame(empty, "bad3");
+  EXPECT_EQ(submission.error_code, "invalid_submit");
+
+  // A payload that is not JSON at all.
+  ASSERT_TRUE(client.send_payload("certainly not json"));
+  auto frame = client.next_frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->at("frame"), "error");
+  EXPECT_EQ(frame->at("code"), "bad_frame");
+
+  // An unknown frame type.
+  ASSERT_TRUE(client.send_payload(
+      ddl::service::make_frame("launch_missiles").to_json_line()));
+  frame = client.next_frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->at("code"), "unknown_frame");
+
+  // None of it cost the connection.
+  EXPECT_TRUE(client.ping());
+  EXPECT_GE(server.stats().error_frames, 4u);
+  server.stop();
+}
+
+TEST(ServiceTest, ProtocolVersionMismatchIsRejectedExplicitly) {
+  ScenarioServer server(base_config());
+  ASSERT_TRUE(server.start());
+
+  ClientConfig config = client_for(server, "old-client");
+  ScenarioClient client(config);
+  // Drive the handshake by hand with a wrong version.
+  std::string error;
+  ASSERT_TRUE(client.connect(&error)) << error;  // Good handshake first.
+  ddl::analysis::JsonObject stale = ddl::service::make_frame("hello");
+  stale.set("protocol_version", 999);
+  stale.set("client", "old-client");
+  ASSERT_TRUE(client.send_payload(stale.to_json_line()));
+  const auto reply = client.next_frame();
+  ASSERT_TRUE(reply.has_value());
+  EXPECT_EQ(reply->at("frame"), "error");
+  EXPECT_EQ(reply->at("code"), "protocol_mismatch");
+  server.stop();
+}
+
+TEST(ServiceTest, HeartbeatsFlowOnAnIdleConnection) {
+  ServiceConfig config = base_config();
+  config.heartbeat_ms = 50;
+  ScenarioServer server(config);
+  ASSERT_TRUE(server.start());
+  ScenarioClient client(client_for(server, "idle"));
+  ASSERT_TRUE(client.connect());
+  const auto frame = client.next_frame();  // Blocks until the beat.
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->at("frame"), "heartbeat");
+  server.stop();
+}
+
+}  // namespace

@@ -1,0 +1,227 @@
+// ddl_scenario_client: submit a campaign to a running ddl_scenario_server
+// and reassemble the streamed rows into the exact JSONL document the
+// one-shot runner would have produced.
+//
+//   ddl_scenario_client --port 45123 --job nightly --suite regression
+//   ddl_scenario_client --unix /tmp/ddl.sock --suite smoke --out r.jsonl
+//
+// Resilience is the client's job in this protocol: a `backpressure` frame
+// or a dropped connection is answered by sleeping and resubmitting the
+// same job -- the server replays committed rows byte-exactly (idempotent
+// job identity), so a kill -9 of the server mid-campaign costs nothing but
+// time once it restarts.  Exit status mirrors the runner: the number of
+// failed scenarios (capped at 125), 64 usage error, 66 file error,
+// 69 service unavailable (retries exhausted).
+#include <chrono>
+#include <iostream>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "ddl/analysis/bench_json.h"
+#include "ddl/scenario/cli.h"
+#include "ddl/service/client.h"
+
+namespace {
+
+using namespace ddl;
+
+struct ClientOptions {
+  service::ClientConfig config;
+  std::string job_tag = "job";
+  std::string suite = "smoke";
+  std::string filter;
+  std::string out_path;
+  std::string health_out_path;
+  std::uint64_t retry_ms = 200;  ///< Backpressure / reconnect backoff.
+  std::uint64_t attempts = 150;  ///< Connect+submit attempts before 69.
+  bool help = false;
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+std::string usage() {
+  return
+      "usage: ddl_scenario_client [options]\n"
+      "  --port N          server TCP port (loopback)\n"
+      "  --host ADDR       server address (default 127.0.0.1)\n"
+      "  --unix PATH       connect over a Unix-domain socket instead\n"
+      "  --name NAME       client identity (default 'client'; part of the\n"
+      "                    job id, so reconnects resume the same job)\n"
+      "  --job TAG         job tag (default 'job')\n"
+      "  --suite NAME      registry suite to run (default 'smoke')\n"
+      "  --filter SUBSTR   keep only scenarios whose name contains this\n"
+      "  --out FILE        write the result JSONL here (default stdout)\n"
+      "  --health-out FILE write the health-event JSONL here\n"
+      "  --retry-ms N      backoff between retries (default 200)\n"
+      "  --attempts N      connect/submit attempts before giving up (150)\n"
+      "  --help            this text\n";
+}
+
+ClientOptions parse_args(const std::vector<std::string>& args) {
+  ClientOptions options;
+  auto value_of = [&](std::size_t& i, const char* flag) -> const std::string* {
+    if (i + 1 >= args.size()) {
+      options.error = std::string(flag) + " needs a value";
+      return nullptr;
+    }
+    return &args[++i];
+  };
+  for (std::size_t i = 0; i < args.size() && options.ok(); ++i) {
+    const std::string& arg = args[i];
+    std::uint64_t number = 0;
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else if (arg == "--port") {
+      const std::string* text = value_of(i, "--port");
+      if (text != nullptr &&
+          (!scenario::parse_u64(*text, number) || number > 65535)) {
+        options.error = "--port: bad value '" + *text + "'";
+      }
+      options.config.tcp_port = static_cast<int>(number);
+    } else if (arg == "--host") {
+      if (const std::string* text = value_of(i, "--host")) {
+        options.config.host = *text;
+      }
+    } else if (arg == "--unix") {
+      if (const std::string* text = value_of(i, "--unix")) {
+        options.config.unix_path = *text;
+      }
+    } else if (arg == "--name") {
+      if (const std::string* text = value_of(i, "--name")) {
+        options.config.name = *text;
+      }
+    } else if (arg == "--job") {
+      if (const std::string* text = value_of(i, "--job")) {
+        options.job_tag = *text;
+      }
+    } else if (arg == "--suite") {
+      if (const std::string* text = value_of(i, "--suite")) {
+        options.suite = *text;
+      }
+    } else if (arg == "--filter") {
+      if (const std::string* text = value_of(i, "--filter")) {
+        options.filter = *text;
+      }
+    } else if (arg == "--out") {
+      if (const std::string* text = value_of(i, "--out")) {
+        options.out_path = *text;
+      }
+    } else if (arg == "--health-out") {
+      if (const std::string* text = value_of(i, "--health-out")) {
+        options.health_out_path = *text;
+      }
+    } else if (arg == "--retry-ms") {
+      const std::string* text = value_of(i, "--retry-ms");
+      if (text != nullptr && !scenario::parse_u64(*text, options.retry_ms)) {
+        options.error = "--retry-ms: bad value '" + *text + "'";
+      }
+    } else if (arg == "--attempts") {
+      const std::string* text = value_of(i, "--attempts");
+      if (text != nullptr &&
+          (!scenario::parse_u64(*text, options.attempts) ||
+           options.attempts == 0)) {
+        options.error = "--attempts: bad value '" + *text + "'";
+      }
+    } else {
+      options.error = "unknown flag '" + arg + "'";
+    }
+  }
+  if (options.ok() && options.config.unix_path.empty() &&
+      options.config.tcp_port == 0) {
+    options.error = "need --port or --unix to reach a server";
+  }
+  return options;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ClientOptions options = parse_args({argv + 1, argv + argc});
+  if (!options.ok()) {
+    std::cerr << "error: " << options.error << "\n" << usage();
+    return 64;
+  }
+  if (options.help) {
+    std::cout << usage();
+    return 0;
+  }
+
+  const auto nap = [&] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(options.retry_ms));
+  };
+
+  service::ScenarioClient::JobOutcome outcome;
+  bool finished = false;
+  for (std::uint64_t attempt = 0; attempt < options.attempts && !finished;
+       ++attempt) {
+    service::ScenarioClient client(options.config);
+    std::string error;
+    if (!client.connect(&error)) {
+      std::cerr << "connect (attempt " << attempt + 1 << "): " << error
+                << "\n";
+      nap();
+      continue;
+    }
+    const auto submission =
+        client.submit_suite(options.job_tag, options.suite, options.filter);
+    if (submission.backpressure) {
+      std::cerr << "backpressure: retrying in "
+                << (submission.retry_ms ? submission.retry_ms
+                                        : options.retry_ms)
+                << " ms\n";
+      std::this_thread::sleep_for(std::chrono::milliseconds(
+          submission.retry_ms ? submission.retry_ms : options.retry_ms));
+      continue;
+    }
+    if (!submission.accepted) {
+      if (submission.error_code == "disconnected") {
+        nap();  // Server went away between connect and reply; retry.
+        continue;
+      }
+      // A structured rejection (invalid spec, unknown suite) is final.
+      std::cerr << "error: " << submission.error_code << ": "
+                << submission.error_detail << "\n";
+      return 64;
+    }
+    if (submission.resumed) {
+      std::cerr << "resumed job " << submission.job_id << " ("
+                << submission.scenarios << " scenarios)\n";
+    }
+    outcome = client.wait(submission.job_id);
+    if (outcome.done) {
+      finished = true;
+      client.bye();
+      break;
+    }
+    std::cerr << "stream dropped (" << outcome.error_code
+              << "); reconnecting\n";
+    nap();
+  }
+  if (!finished) {
+    std::cerr << "error: service unavailable after " << options.attempts
+              << " attempts\n";
+    return 69;
+  }
+
+  try {
+    if (options.out_path.empty()) {
+      std::cout << outcome.jsonl();
+    } else {
+      analysis::write_file_atomic(options.out_path, outcome.jsonl());
+    }
+    if (!options.health_out_path.empty()) {
+      analysis::write_file_atomic(options.health_out_path,
+                                  outcome.health_jsonl());
+    }
+  } catch (const std::exception& e) {
+    std::cerr << "error: " << e.what() << "\n";
+    return 66;
+  }
+
+  std::cerr << "job done: scenarios=" << outcome.scenarios
+            << " passed=" << outcome.passed << " failed=" << outcome.failed
+            << " executed=" << outcome.executed
+            << " resumed=" << outcome.resumed << "\n";
+  return static_cast<int>(outcome.failed > 125 ? 125 : outcome.failed);
+}

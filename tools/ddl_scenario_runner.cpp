@@ -15,8 +15,12 @@
 // kill/--resume split; the aggregate (which does report threads and wall
 // time) goes to stderr and to the standard BENCH_scenario_suite_<name>.json
 // file instead.  Exit status is the number of failed scenarios (capped at
-// 125 to stay clear of shell codes); 64 = usage error, 66 = file error.
+// 125 to stay clear of shell codes); 64 = usage error, 66 = file error,
+// 130 = interrupted (SIGTERM/SIGINT: in-flight scenarios finish and
+// journal, the rest stays pending -- rerun with --resume to pick them up).
+#include <atomic>
 #include <climits>
+#include <csignal>
 #include <cstdio>
 #include <exception>
 #include <iostream>
@@ -35,6 +39,13 @@
 namespace {
 
 using namespace ddl;
+
+// SIGTERM/SIGINT flip this flag (the only async-signal-safe thing to do);
+// the campaign polls it before *starting* each scenario, so in-flight work
+// finishes and journals normally and the journal stays resumable.
+std::atomic<bool> g_stop{false};
+
+void on_signal(int) { g_stop.store(true, std::memory_order_relaxed); }
 
 void list_suites(std::ostream& os) {
   const auto& registry = scenario::ScenarioRegistry::builtin();
@@ -194,6 +205,9 @@ int main(int argc, char** argv) {
   config.timeout_ms = options.timeout_ms;
   config.max_retries = options.retries;
   config.backoff_base_ms = options.backoff_ms;
+  config.stop = &g_stop;
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
 
   analysis::WallTimer timer;
   scenario::CampaignOutcome outcome;
@@ -259,6 +273,8 @@ int main(int argc, char** argv) {
   report.set("exceptions", static_cast<std::uint64_t>(outcome.exceptions));
   report.set("abandoned_threads",
              static_cast<std::uint64_t>(outcome.abandoned_threads));
+  report.set("skipped", static_cast<std::uint64_t>(outcome.skipped));
+  report.set("interrupted", outcome.interrupted);
   if (options.chaos_storms > 0) {
     report.set("chaos_storms",
                static_cast<std::uint64_t>(options.chaos_storms));
@@ -287,6 +303,15 @@ int main(int argc, char** argv) {
   std::cerr << report.to_json() << "\n";
   report.write();
 
+  if (outcome.interrupted) {
+    std::cerr << "interrupted: " << outcome.skipped
+              << " scenarios never started";
+    if (!options.journal_dir.empty()) {
+      std::cerr << "; resume with --resume " << options.journal_dir;
+    }
+    std::cerr << "\n";
+    return 130;
+  }
   const std::size_t failed = summary.total - summary.passed;
   return static_cast<int>(failed > 125 ? 125 : failed);
 }

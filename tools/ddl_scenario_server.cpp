@@ -1,0 +1,174 @@
+// ddl_scenario_server: the campaign service daemon.  Binds a loopback TCP
+// port (and optionally a Unix-domain socket), accepts framed scenario /
+// chaos submissions from ddl_scenario_client, runs them on the
+// watchdog-isolated worker pool and streams results back -- journaling
+// every completed scenario under --state-dir so a killed server resumes
+// exactly where it stopped (see DESIGN.md "Campaign service").
+//
+//   ddl_scenario_server --port 0 --state-dir runs/service --workers 4
+//   ddl_scenario_server --unix /tmp/ddl.sock --state-dir runs/service
+//
+// Prints one `listening ...` line to stdout once ready (scripts parse the
+// ephemeral port from it).  SIGTERM / SIGINT trigger the graceful
+// shutdown: in-flight scenarios finish and journal, checkpoint manifests
+// flush, sessions close; queued work stays pending for the next start.
+// Exit status: 0 on clean shutdown, 64 usage error, 71 startup failure.
+#include <csignal>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "ddl/scenario/cli.h"
+#include "ddl/service/server.h"
+
+namespace {
+
+using namespace ddl;
+
+struct ServerOptions {
+  service::ServiceConfig config;
+  bool help = false;
+  std::string error;
+  bool ok() const { return error.empty(); }
+};
+
+std::string usage() {
+  return
+      "usage: ddl_scenario_server [options]\n"
+      "  --port N           loopback TCP port (default 0 = ephemeral)\n"
+      "  --no-tcp           disable the TCP listener\n"
+      "  --unix PATH        also listen on a Unix-domain socket\n"
+      "  --state-dir DIR    journal every job under DIR (resume on restart)\n"
+      "  --workers N        scenario worker threads (default 2)\n"
+      "  --max-inflight N   per-client in-flight scenario quota (default 4)\n"
+      "  --max-jobs N       per-client pending-job quota (default 4)\n"
+      "  --heartbeat-ms N   idle heartbeat interval (default 1000)\n"
+      "  --timeout-ms N     watchdog deadline per attempt (0 = per-spec)\n"
+      "  --retries N        extra attempts for timed-out scenarios\n"
+      "  --help             this text\n";
+}
+
+ServerOptions parse_args(const std::vector<std::string>& args) {
+  ServerOptions options;
+  auto value_of = [&](std::size_t& i, const char* flag) -> const std::string* {
+    if (i + 1 >= args.size()) {
+      options.error = std::string(flag) + " needs a value";
+      return nullptr;
+    }
+    return &args[++i];
+  };
+  auto u64_of = [&](std::size_t& i, const char* flag, std::uint64_t& out) {
+    const std::string* text = value_of(i, flag);
+    if (text != nullptr && !scenario::parse_u64(*text, out)) {
+      options.error = std::string(flag) + ": '" + *text +
+                      "' is not an unsigned integer";
+    }
+  };
+  for (std::size_t i = 0; i < args.size() && options.ok(); ++i) {
+    const std::string& arg = args[i];
+    std::uint64_t number = 0;
+    if (arg == "--help" || arg == "-h") {
+      options.help = true;
+    } else if (arg == "--port") {
+      u64_of(i, "--port", number);
+      if (options.ok() && number > 65535) {
+        options.error = "--port: " + std::to_string(number) + " out of range";
+      }
+      options.config.tcp_port = static_cast<int>(number);
+    } else if (arg == "--no-tcp") {
+      options.config.enable_tcp = false;
+    } else if (arg == "--unix") {
+      if (const std::string* text = value_of(i, "--unix")) {
+        options.config.unix_path = *text;
+      }
+    } else if (arg == "--state-dir") {
+      if (const std::string* text = value_of(i, "--state-dir")) {
+        options.config.state_dir = *text;
+      }
+    } else if (arg == "--workers") {
+      u64_of(i, "--workers", number);
+      options.config.workers = static_cast<std::size_t>(number);
+    } else if (arg == "--max-inflight") {
+      u64_of(i, "--max-inflight", number);
+      options.config.max_inflight_per_client =
+          static_cast<std::size_t>(number);
+    } else if (arg == "--max-jobs") {
+      u64_of(i, "--max-jobs", number);
+      options.config.max_pending_jobs_per_client =
+          static_cast<std::size_t>(number);
+    } else if (arg == "--heartbeat-ms") {
+      u64_of(i, "--heartbeat-ms", options.config.heartbeat_ms);
+    } else if (arg == "--timeout-ms") {
+      u64_of(i, "--timeout-ms", options.config.isolation.timeout_ms);
+    } else if (arg == "--retries") {
+      u64_of(i, "--retries", number);
+      options.config.isolation.max_retries = static_cast<int>(number);
+    } else {
+      options.error = "unknown flag '" + arg + "'";
+    }
+  }
+  if (options.ok() && !options.config.enable_tcp &&
+      options.config.unix_path.empty()) {
+    options.error = "--no-tcp without --unix leaves nothing to listen on";
+  }
+  return options;
+}
+
+// The signal handler may only touch async-signal-safe state;
+// request_stop() is exactly that (atomic store + self-pipe write).
+service::ScenarioServer* g_server = nullptr;
+
+void on_signal(int) {
+  if (g_server != nullptr) {
+    g_server->request_stop();
+  }
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const ServerOptions options = parse_args({argv + 1, argv + argc});
+  if (!options.ok()) {
+    std::cerr << "error: " << options.error << "\n" << usage();
+    return 64;
+  }
+  if (options.help) {
+    std::cout << usage();
+    return 0;
+  }
+
+  service::ScenarioServer server(options.config);
+  std::string error;
+  if (!server.start(&error)) {
+    std::cerr << "error: " << error << "\n";
+    return 71;
+  }
+  g_server = &server;
+  std::signal(SIGTERM, on_signal);
+  std::signal(SIGINT, on_signal);
+  std::signal(SIGPIPE, SIG_IGN);
+
+  std::cout << "listening tcp=" << server.tcp_port();
+  if (!options.config.unix_path.empty()) {
+    std::cout << " unix=" << options.config.unix_path;
+  }
+  const auto startup = server.stats();
+  std::cout << " workers="
+            << (options.config.workers == 0 ? 1 : options.config.workers)
+            << " recovered=" << startup.jobs_recovered << std::endl;
+
+  server.wait_stopped();
+  server.stop();
+  g_server = nullptr;
+
+  const service::ServiceStats stats = server.stats();
+  std::cerr << "shutdown: sessions=" << stats.sessions_accepted
+            << " jobs_accepted=" << stats.jobs_accepted
+            << " jobs_recovered=" << stats.jobs_recovered
+            << " jobs_completed=" << stats.jobs_completed
+            << " executed=" << stats.scenarios_executed
+            << " resumed=" << stats.scenarios_resumed
+            << " backpressure=" << stats.backpressure_frames
+            << " errors=" << stats.error_frames << "\n";
+  return 0;
+}
