@@ -6,6 +6,11 @@
 // socket, validate, journal, schedule, execute, stream, reassemble), not
 // just the scenario kernel.
 //
+// A second probe routes the 4-client configuration through a fault-free
+// ddl::service::ChaosProxy, measuring the relay's clean-path tax (the
+// chaos CI job runs every storm through it, so its passthrough overhead
+// should stay a small, known fraction of end-to-end latency).
+//
 // Writes BENCH_server_throughput.json; the `guardrail_` key feeds
 // scripts/check_bench_regression.py against
 // bench/baselines/server_throughput_baseline.json.  DDL_BENCH_TRIALS scales
@@ -13,12 +18,14 @@
 #include <algorithm>
 #include <cstdio>
 #include <filesystem>
+#include <memory>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "ddl/analysis/bench_json.h"
 #include "ddl/scenario/spec.h"
+#include "ddl/service/chaos_proxy.h"
 #include "ddl/service/client.h"
 #include "ddl/service/server.h"
 
@@ -68,16 +75,20 @@ double percentile(std::vector<double>& sorted_ms, double p) {
 /// One measurement: a fresh server, `clients` threads, `jobs_each`
 /// single-scenario jobs per thread submitted back-to-back.  Unique seeds
 /// and tags keep every job distinct, so nothing short-circuits through the
-/// idempotent-replay path.
+/// idempotent-replay path.  With `through_proxy` the clients connect via a
+/// zero-fault ChaosProxy instead of the server directly, isolating the
+/// relay's passthrough overhead.
 RunStats run_config(std::size_t clients, std::size_t jobs_each,
-                    const std::string& state_root) {
+                    const std::string& state_root,
+                    bool through_proxy = false) {
   ServiceConfig config;
   config.tcp_port = 0;  // Ephemeral.
   config.workers = std::max<std::size_t>(2, std::thread::hardware_concurrency());
   config.max_inflight_per_client = 4;
   config.max_pending_jobs_per_client = 4;
   config.heartbeat_ms = 60'000;
-  config.state_dir = state_root + "/c" + std::to_string(clients);
+  config.state_dir = state_root + (through_proxy ? "/p" : "/c") +
+                     std::to_string(clients);
   fs::create_directories(config.state_dir);
 
   ScenarioServer server(config);
@@ -85,6 +96,28 @@ RunStats run_config(std::size_t clients, std::size_t jobs_each,
     std::fprintf(stderr, "server start failed\n");
     return {.scenarios_per_sec = 0, .p50_ms = 0, .p99_ms = 0,
             .all_done = false};
+  }
+
+  std::unique_ptr<ddl::service::ChaosProxy> proxy;
+  int connect_port = server.tcp_port();
+  if (through_proxy) {
+    ddl::service::ChaosProxyConfig proxy_config;
+    proxy_config.upstream_port = server.tcp_port();
+    proxy_config.p_reset_permille = 0;
+    proxy_config.p_truncate_permille = 0;
+    proxy_config.p_fuzz_permille = 0;
+    proxy_config.p_duplicate_permille = 0;
+    proxy_config.p_trickle_permille = 0;
+    proxy_config.p_stall_permille = 0;
+    proxy_config.p_split_permille = 0;
+    proxy = std::make_unique<ddl::service::ChaosProxy>(proxy_config);
+    if (!proxy->start()) {
+      std::fprintf(stderr, "proxy start failed\n");
+      server.stop();
+      return {.scenarios_per_sec = 0, .p50_ms = 0, .p99_ms = 0,
+              .all_done = false};
+    }
+    connect_port = proxy->listen_port();
   }
 
   std::vector<std::vector<double>> latencies(clients);
@@ -95,7 +128,7 @@ RunStats run_config(std::size_t clients, std::size_t jobs_each,
   for (std::size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
       ClientConfig cc;
-      cc.tcp_port = server.tcp_port();
+      cc.tcp_port = connect_port;
       cc.name = "bench-" + std::to_string(c);
       cc.recv_timeout_ms = 60'000;
       ScenarioClient client(cc);
@@ -121,6 +154,9 @@ RunStats run_config(std::size_t clients, std::size_t jobs_each,
     thread.join();
   }
   const double wall_ms = wall.elapsed_ms();
+  if (proxy != nullptr) {
+    proxy->stop();
+  }
   server.stop();
 
   RunStats stats;
@@ -154,6 +190,7 @@ int main() {
 
   bool all_done = true;
   double guardrail = 0.0;
+  RunStats direct_4;
   const std::size_t configs[] = {1, 4, 16};
   for (const std::size_t clients : configs) {
     const RunStats stats = run_config(clients, jobs_each, state_root);
@@ -162,6 +199,9 @@ int main() {
     // normally rises with concurrency, and taking the max keeps the metric
     // insensitive to which client count a slow runner happens to starve.
     guardrail = std::max(guardrail, stats.scenarios_per_sec);
+    if (clients == 4) {
+      direct_4 = stats;
+    }
     std::printf("  clients=%2zu: %7.1f scenarios/sec   p50 %7.2f ms   "
                 "p99 %7.2f ms%s\n",
                 clients, stats.scenarios_per_sec, stats.p50_ms, stats.p99_ms,
@@ -171,6 +211,24 @@ int main() {
     report.set(prefix + "_p50_ms", stats.p50_ms);
     report.set(prefix + "_p99_ms", stats.p99_ms);
   }
+
+  // Clean-path tax of the chaos relay: the same 4-client hammering with a
+  // zero-fault proxy spliced between the endpoints.
+  const RunStats proxied =
+      run_config(4, jobs_each, state_root, /*through_proxy=*/true);
+  all_done = all_done && proxied.all_done;
+  const double overhead_pct =
+      direct_4.p50_ms > 0.0
+          ? 100.0 * (proxied.p50_ms - direct_4.p50_ms) / direct_4.p50_ms
+          : 0.0;
+  std::printf("  clients= 4 via clean proxy: %7.1f scenarios/sec   "
+              "p50 %7.2f ms   p99 %7.2f ms   (p50 overhead %+.1f%%)%s\n",
+              proxied.scenarios_per_sec, proxied.p50_ms, proxied.p99_ms,
+              overhead_pct, proxied.all_done ? "" : "   [INCOMPLETE]");
+  report.set("proxy_clients_4_scenarios_per_sec", proxied.scenarios_per_sec);
+  report.set("proxy_clients_4_p50_ms", proxied.p50_ms);
+  report.set("proxy_clients_4_p99_ms", proxied.p99_ms);
+  report.set("proxy_clients_4_p50_overhead_pct", overhead_pct);
 
   report.set("all_jobs_done", all_done);
   report.set("guardrail_server_scenarios_per_sec", guardrail);

@@ -1,0 +1,101 @@
+// A seeded TCP chaos proxy for attacking the campaign service's wire
+// protocol: it sits between ScenarioClient and ScenarioServer on loopback
+// and injects the failure modes a long-running training campaign meets on
+// a real link -- connection resets, mid-frame truncation, single-byte
+// trickle (slowloris), split and duplicated writes, stalls, and a protocol
+// fuzzer that flips bytes in length prefixes and frame bodies.
+//
+// Fault scheduling is a pure function of (seed, connection index, chunk
+// index) through a splitmix64 stream, so a storm is reproducible: the same
+// seed yields the same fault decisions at every decision point.  (Chunk
+// boundaries depend on kernel timing, so two runs may present decision
+// points in slightly different places -- the *schedule* is deterministic,
+// the byte-level interleaving is as deterministic as TCP allows.)
+//
+// The acceptance contract this proxy exists to prove: N seeded storms,
+// each routed through a fresh proxy, all converge to a campaign JSONL
+// byte-identical to a direct one-shot runner invocation -- because every
+// injected fault collapses to one of two endpoint-visible outcomes, a
+// dropped connection (reconnect + idempotent resubmit + byte-exact replay)
+// or a poisoned frame reader (checksum mismatch -> same recovery).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <string>
+
+namespace ddl::service {
+
+/// Per-chunk fault probabilities in permille (deterministic integer draws
+/// beat floating point across platforms).  The probabilities are summed in
+/// declaration order and one draw in [0, 1000) picks the band, so their
+/// sum must stay <= 1000; the remainder forwards the chunk clean (possibly
+/// split into two writes -- see p_split).
+struct ChaosProxyConfig {
+  int listen_port = 0;  ///< 0 binds an ephemeral port (see listen_port()).
+  std::string upstream_host = "127.0.0.1";
+  int upstream_port = 0;  ///< The real server.
+  std::uint64_t seed = 1;
+
+  std::uint32_t p_reset_permille = 8;      ///< Hard RST both ways.
+  std::uint32_t p_truncate_permille = 12;  ///< Forward a prefix, then RST.
+  std::uint32_t p_fuzz_permille = 15;      ///< Flip 1-4 bytes, forward.
+  std::uint32_t p_duplicate_permille = 10; ///< Forward the chunk twice.
+  std::uint32_t p_trickle_permille = 10;   ///< Byte-at-a-time slowloris.
+  std::uint32_t p_stall_permille = 10;     ///< Pause the direction.
+  std::uint32_t p_split_permille = 100;    ///< Two writes instead of one.
+
+  std::uint64_t stall_ms = 120;      ///< Stall duration per stall fault.
+  std::uint64_t trickle_gap_ms = 2;  ///< Delay between trickled bytes.
+  std::size_t trickle_bytes = 24;    ///< Bytes trickled before resuming.
+  /// Read size per poll pass; smaller chunks mean more fault decision
+  /// points per campaign (2 KiB splits a typical submit into several).
+  std::size_t chunk_bytes = 2048;
+};
+
+/// Monotonic fault accounting, readable from any thread via stats().
+struct ChaosProxyStats {
+  std::size_t connections = 0;
+  std::size_t resets = 0;
+  std::size_t truncations = 0;
+  std::size_t fuzzed_chunks = 0;
+  std::size_t duplicated_chunks = 0;
+  std::size_t trickled_chunks = 0;
+  std::size_t stalls = 0;
+  std::size_t split_chunks = 0;
+  std::size_t forwarded_bytes = 0;
+
+  std::size_t faults() const noexcept {
+    return resets + truncations + fuzzed_chunks + duplicated_chunks +
+           trickled_chunks + stalls;
+  }
+};
+
+class ChaosProxy {
+ public:
+  explicit ChaosProxy(ChaosProxyConfig config);
+  ~ChaosProxy();
+
+  ChaosProxy(const ChaosProxy&) = delete;
+  ChaosProxy& operator=(const ChaosProxy&) = delete;
+
+  /// Binds the listener and spawns the relay thread.  False (with *error
+  /// filled) on bind failure or a probability sum over 1000 permille.
+  bool start(std::string* error = nullptr);
+
+  /// Closes every relayed connection and joins the relay thread.
+  /// Idempotent; also run by the destructor.
+  void stop();
+
+  /// The bound listen port (the ephemeral one when config.listen_port was
+  /// 0).  Valid after start().
+  int listen_port() const noexcept;
+
+  ChaosProxyStats stats() const;
+
+ private:
+  struct Impl;
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ddl::service

@@ -8,7 +8,10 @@
 // `submit_*` reports backpressure as a retryable outcome, and a dropped
 // connection surfaces as a failed wait() -- reconnecting and resubmitting
 // the same job is idempotent by design (the server replays committed rows
-// byte-exactly).
+// byte-exactly).  ResilientScenarioClient packages that recovery loop: a
+// reconnect / exponential-backoff / resubmit state machine that drives a
+// job to completion through resets, truncation, fuzzing and stalls (the
+// chaos-proxy storms), converging on the same bytes a direct run yields.
 #pragma once
 
 #include <cstdint>
@@ -29,9 +32,14 @@ struct ClientConfig {
   int tcp_port = 0;        ///< Used when unix_path is empty.
   std::string unix_path;   ///< Preferred when set.
   std::string name = "client";  ///< Client identity (part of job identity).
-  /// recv() timeout; 0 blocks forever (the server's heartbeats keep a
-  /// healthy connection from ever looking idle).
+  /// Total-silence budget: next_frame() fails once the server has sent
+  /// nothing for this long; 0 blocks forever (the server's heartbeats
+  /// keep a healthy connection from ever looking idle).
   std::uint64_t recv_timeout_ms = 0;
+  /// Ping cadence while blocked waiting for frames (0 disables): the
+  /// dead-peer pairing with the server's --dead-peer-timeout-ms -- a
+  /// client wedged in a long wait keeps proving it is alive.
+  std::uint64_t heartbeat_ms = 0;
 };
 
 class ScenarioClient {
@@ -72,6 +80,17 @@ class ScenarioClient {
   Submission submit_chaos(const std::string& job_tag,
                           const scenario::ChaosCampaignSpec& chaos);
 
+  /// Submits a PR-5 chaos replay bundle as a one-scenario job; the
+  /// job_done frame reports whether the expected failure reproduced.
+  Submission submit_replay(const std::string& job_tag,
+                           const scenario::ReplayBundle& bundle);
+
+  /// Requests cooperative teardown of a job by tag.  The terminal
+  /// `cancelled` frame surfaces through wait() (JobOutcome::cancelled)
+  /// once every in-flight scenario has finished and journaled.  False on
+  /// transport failure.
+  bool cancel(const std::string& job_tag);
+
   /// Submits a raw pre-built frame (the error-path tests craft malformed
   /// submits with this; the typed submits route through it too).
   Submission submit_frame(const analysis::JsonObject& frame,
@@ -80,6 +99,9 @@ class ScenarioClient {
   /// Everything wait() reassembles for one job.
   struct JobOutcome {
     bool done = false;  ///< job_done arrived; counters below are valid.
+    bool cancelled = false;   ///< The `cancelled` terminal frame arrived.
+    bool replay = false;      ///< job_done came from a replay job.
+    bool reproduced = false;  ///< Replay jobs: expected verdict reproduced.
     std::string error_code;    ///< Transport or `error`-frame failure.
     std::string error_detail;
     std::vector<std::string> result_lines;  ///< By scenario index.
@@ -97,9 +119,10 @@ class ScenarioClient {
     std::string health_jsonl() const;
   };
 
-  /// Pumps frames until the job completes, an error frame names it, or the
-  /// connection drops.  Frames for other in-flight jobs are buffered, so
-  /// several submitted jobs can be waited in any order.
+  /// Pumps frames until the job completes (or is cancelled), an error
+  /// frame names it, or the connection drops.  Frames for other in-flight
+  /// jobs are buffered, so several submitted jobs can be waited in any
+  /// order.
   JobOutcome wait(const std::string& job_id);
 
   /// Round-trips a ping (liveness check).  False on transport failure.
@@ -117,12 +140,61 @@ class ScenarioClient {
  private:
   Submission pump_for_submit_reply(const std::string& job_tag);
   void absorb(const std::map<std::string, std::string>& fields);
+  void fill_done(JobOutcome& outcome,
+                 const std::map<std::string, std::string>& fields);
 
   ClientConfig config_;
   int fd_ = -1;
   FrameReader reader_;
-  /// Frames buffered per job while waiting for a different one.
+  /// Frames buffered per job while waiting for a different one.  Cleared
+  /// on (re)connect: the server replays every committed row on
+  /// resubmission, so per-connection stream state is always disposable.
   std::map<std::string, JobOutcome> inbox_;
+};
+
+/// Reconnect / backoff / resubmit policy for ResilientScenarioClient.
+struct ResilientClientConfig {
+  ClientConfig base;
+  /// Transport-failure budget: connect failures and mid-stream drops
+  /// count against it (backpressure waits do too, so a wedged server
+  /// cannot spin the loop forever).
+  std::size_t max_attempts = 16;
+  std::uint64_t initial_backoff_ms = 25;  ///< Doubles per failure, capped.
+  std::uint64_t max_backoff_ms = 1000;
+};
+
+/// Drives a job to completion through an adversarial transport: every
+/// dropped connection (reset, truncation, poisoned reader after fuzzing)
+/// triggers reconnect, exponential backoff and an idempotent resubmit --
+/// the server's content-addressed job identity attaches the new
+/// connection to the same job and replays committed rows byte-exactly,
+/// so the final JobOutcome is identical to an undisturbed run.
+class ResilientScenarioClient {
+ public:
+  explicit ResilientScenarioClient(ResilientClientConfig config);
+
+  ScenarioClient::JobOutcome run_suite(const std::string& job_tag,
+                                       const std::string& suite,
+                                       const std::string& filter = "");
+  ScenarioClient::JobOutcome run_specs(
+      const std::string& job_tag,
+      const std::vector<scenario::ScenarioSpec>& specs);
+  ScenarioClient::JobOutcome run_chaos(
+      const std::string& job_tag, const scenario::ChaosCampaignSpec& chaos);
+  ScenarioClient::JobOutcome run_replay(const std::string& job_tag,
+                                        const scenario::ReplayBundle& bundle);
+
+  std::size_t reconnects() const noexcept { return reconnects_; }
+  std::size_t resubmits() const noexcept { return resubmits_; }
+
+ private:
+  template <typename SubmitFn>
+  ScenarioClient::JobOutcome run(SubmitFn&& submit);
+
+  ResilientClientConfig config_;
+  ScenarioClient client_;
+  std::size_t reconnects_ = 0;
+  std::size_t resubmits_ = 0;
 };
 
 }  // namespace ddl::service

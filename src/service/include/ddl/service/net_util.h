@@ -1,0 +1,47 @@
+// Small shared socket-I/O helpers for the service endpoints (server,
+// client, chaos proxy), factored out so EINTR handling is written once and
+// unit-tested instead of re-derived per call site.
+//
+// The EINTR contract: a signal delivered mid-syscall (SIGTERM reaching the
+// graceful-shutdown handler, a watchdog alarm, a debugger attach) makes
+// send/recv/accept/poll return -1 with errno == EINTR.  That is a retry,
+// never an error -- an endpoint that treats it as peer-gone drops a healthy
+// connection exactly when the deployment is busiest with signals.
+#pragma once
+
+#include <cerrno>
+#include <cstddef>
+#include <sys/socket.h>
+#include <sys/types.h>
+
+namespace ddl::service::net {
+
+/// Calls `fn` (a syscall wrapper returning ssize_t/int) until it returns
+/// without EINTR.  Any other outcome -- success, EAGAIN, a hard error --
+/// is returned to the caller untouched.
+template <typename Fn>
+auto retry_eintr(Fn&& fn) -> decltype(fn()) {
+  for (;;) {
+    const auto result = fn();
+    if (result >= 0 || errno != EINTR) {
+      return result;
+    }
+  }
+}
+
+/// Blocking full-buffer send with EINTR retry (MSG_NOSIGNAL so a dead peer
+/// is an error return, not a SIGPIPE).  True iff every byte was accepted.
+inline bool send_all(int fd, const char* data, std::size_t size) {
+  std::size_t sent = 0;
+  while (sent < size) {
+    const ssize_t got = retry_eintr(
+        [&] { return ::send(fd, data + sent, size - sent, MSG_NOSIGNAL); });
+    if (got <= 0) {
+      return false;
+    }
+    sent += static_cast<std::size_t>(got);
+  }
+  return true;
+}
+
+}  // namespace ddl::service::net

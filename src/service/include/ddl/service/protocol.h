@@ -1,13 +1,26 @@
 // Wire protocol of the campaign service (ddl_scenario_server).
 //
 // A connection carries a sequence of *frames* in both directions.  Each
-// frame is a 4-byte big-endian payload length followed by exactly that
-// many bytes of one flat JSON object (the `JsonObject` dialect: string /
-// number / bool values, no nesting) whose `frame` key names its type.
+// frame is an 8-byte header -- a 4-byte big-endian payload length followed
+// by a 4-byte big-endian FNV-1a-32 checksum of the payload -- then exactly
+// `length` bytes of one flat JSON object (the `JsonObject` dialect: string
+// / number / bool values, no nesting) whose `frame` key names its type.
 //
-//   client -> server   hello, submit, submit_chaos, ping, bye
+//   client -> server   hello, submit, submit_chaos, submit_replay, cancel,
+//                      ping, bye
 //   server -> client   hello, accepted, backpressure, result, health,
-//                      progress, job_done, error, heartbeat, pong
+//                      progress, job_done, cancelled, error, heartbeat,
+//                      pong
+//
+// The checksum is the protocol's integrity boundary against a hostile or
+// corrupting transport (the chaos proxy's fuzzer mutates length prefixes
+// and frame bodies): a frame whose payload does not hash to its header
+// checksum poisons the reader, the connection closes, and the endpoint
+// recovers by reconnecting and resubmitting -- idempotent job identity
+// makes that convergent, never duplicating work.  A mutated *length*
+// either exceeds the payload cap (poison) or misaligns the stream so the
+// next checksum fails (poison); a corrupted frame is thus never silently
+// mis-parsed into a wrong-but-plausible row.
 //
 // Scenario rows travel as the *exact* JSONL line the runner would emit,
 // carried as the string value of a `row` field -- JSON string escaping
@@ -27,17 +40,27 @@
 
 namespace ddl::service {
 
-/// Bumped when a frame is renamed or its meaning changes; adding frame
-/// types or fields is backwards-compatible and does not bump it.
-inline constexpr int kProtocolVersion = 1;
+/// Bumped when a frame is renamed, its meaning changes, or the wire
+/// framing itself changes; adding frame types or fields is
+/// backwards-compatible and does not bump it.  v2 added the payload
+/// checksum to the frame header.
+inline constexpr int kProtocolVersion = 2;
+
+/// Frame header: 4-byte big-endian payload length + 4-byte big-endian
+/// FNV-1a-32 checksum of the payload.
+inline constexpr std::size_t kFrameHeaderBytes = 8;
 
 /// Upper bound on one frame's payload: large enough for a submit carrying
 /// thousands of flattened specs, small enough that a corrupt length prefix
 /// cannot make a reader allocate gigabytes.
 inline constexpr std::size_t kMaxFramePayload = std::size_t{4} << 20;
 
-/// Wraps a payload with its length prefix.  Throws std::length_error when
-/// the payload exceeds kMaxFramePayload (the peer would drop it anyway).
+/// FNV-1a-32 over arbitrary bytes: the frame checksum.
+std::uint32_t fnv1a32(const char* data, std::size_t size);
+
+/// Wraps a payload with its length-and-checksum header.  Throws
+/// std::length_error when the payload exceeds kMaxFramePayload (the peer
+/// would drop it anyway).
 std::string encode_frame(const std::string& payload);
 
 /// Renders the object as a single line and frames it.
@@ -57,9 +80,10 @@ std::optional<std::map<std::string, std::string>> parse_frame_payload(
 
 /// Incremental frame decoder for a byte stream: feed() whatever recv()
 /// returned, then drain next() until it yields nullopt.  Tolerates any
-/// fragmentation (length prefixes split across reads, many frames per
-/// read).  An oversized length prefix poisons the reader (`failed()`);
-/// the owning connection must be closed -- the stream cannot resynchronize.
+/// fragmentation (headers split across reads, many frames per read).  An
+/// oversized length prefix or a payload-checksum mismatch poisons the
+/// reader (`failed()`); the owning connection must be closed -- a
+/// corrupted stream cannot resynchronize.
 class FrameReader {
  public:
   void feed(const char* data, std::size_t size);
@@ -74,9 +98,15 @@ class FrameReader {
   /// Bytes buffered but not yet consumed by next().
   std::size_t buffered() const noexcept { return buffer_.size() - offset_; }
 
+  /// Completed frames decoded so far (liveness/progress signal: a session
+  /// whose buffered() grows while frames_decoded() stands still is being
+  /// trickled a partial frame -- the slowloris signature).
+  std::size_t frames_decoded() const noexcept { return frames_decoded_; }
+
  private:
   std::string buffer_;
   std::size_t offset_ = 0;  ///< Consumed prefix of buffer_.
+  std::size_t frames_decoded_ = 0;
   bool failed_ = false;
   std::string error_;
 };

@@ -18,6 +18,21 @@
 // incomplete jobs -- a submit beyond that quota is answered with an
 // explicit `backpressure` frame (retryable), never a disconnect.
 //
+// A `cancel` frame tears a job down cooperatively: pending scenarios are
+// never dispatched, queued ones are withdrawn, in-flight ones finish and
+// journal (the journal stays consistent), and a persistent `cancelled`
+// marker in the job directory makes the decision durable -- a restarted
+// server reschedules nothing cancelled.  `submit_replay` runs a chaos
+// replay bundle (PR-5 shrinker output) as a one-scenario job whose
+// `job_done` reports whether the expected failure reproduced.
+//
+// Adversarial peers are bounded on every axis: a dead-peer timeout reaps
+// silent connections, a partial-frame timeout reaps slowloris trickle, an
+// outbox cap bounds memory against a peer that stops reading, and
+// per-poll-pass frame/byte budgets keep one flooding session from
+// starving the loop.  Every violation is structured error accounting
+// (ServiceStats), never a crash and never an unbounded buffer.
+//
 // Threading: one event-loop thread owns every session, job and journal
 // writer (poll over the listeners, client sockets and a self-pipe);
 // `workers` pool threads run scenarios via run_scenario_isolated and hand
@@ -57,6 +72,24 @@ struct ServiceConfig {
   std::size_t max_pending_jobs_per_client = 4;
   /// Idle heartbeat interval (a `heartbeat` frame to every session).
   std::uint64_t heartbeat_ms = 1000;
+  /// Close a session whose peer has sent nothing for this long (0
+  /// disables).  Pair it with the client's `heartbeat_ms` ping cadence:
+  /// the timeout must exceed the ping interval by a healthy margin.
+  std::uint64_t dead_peer_timeout_ms = 0;
+  /// Close a session stuck mid-frame -- bytes buffered but no complete
+  /// frame decoded -- for this long: the slowloris defense against a peer
+  /// trickling a header one byte a minute (0 disables).
+  std::uint64_t partial_frame_timeout_ms = 0;
+  /// Per-session outbox cap: a peer that stops reading while result
+  /// frames accumulate is disconnected (its job continues as an orphan)
+  /// instead of growing the buffer without bound.  0 means 32 MiB.
+  std::size_t max_outbox_bytes = 0;
+  /// Per-poll-pass fairness budgets for one session: at most this many
+  /// frames handled (0 means 256) and bytes read (0 means 256 KiB) per
+  /// pass.  Over-budget sessions simply yield to the next pass -- a
+  /// flooding client cannot starve the rest of the event loop.
+  std::size_t max_frames_per_tick = 0;
+  std::size_t max_rx_bytes_per_tick = 0;
   /// Watchdog policy for every scenario attempt (shared with the CLI).
   scenario::IsolationConfig isolation;
   /// Test hook: record the client name of every dispatched scenario, in
@@ -78,6 +111,10 @@ struct ServiceStats {
   std::size_t error_frames = 0;
   std::size_t heartbeats = 0;
   std::size_t abandoned_threads = 0;  ///< Workers detached past grace.
+  std::size_t jobs_cancelled = 0;     ///< Jobs torn down by a `cancel`.
+  std::size_t replay_jobs = 0;        ///< Jobs born from `submit_replay`.
+  std::size_t sessions_timed_out = 0;  ///< Dead-peer / partial-frame kills.
+  std::size_t outbox_overflows = 0;    ///< Sessions over max_outbox_bytes.
 };
 
 class ScenarioServer {

@@ -3,15 +3,20 @@
 #include <arpa/inet.h>
 #include <netinet/in.h>
 #include <netinet/tcp.h>
+#include <poll.h>
 #include <sys/socket.h>
 #include <sys/time.h>
 #include <sys/un.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstring>
+#include <thread>
 
 #include "ddl/scenario/cli.h"
+#include "ddl/service/net_util.h"
 
 namespace ddl::service {
 
@@ -61,6 +66,7 @@ bool ScenarioClient::connect(std::string* error) {
   };
   close();
   reader_ = FrameReader();
+  inbox_.clear();  // Stale stream state; a resubmit replays everything.
 
   if (!config_.unix_path.empty()) {
     sockaddr_un addr{};
@@ -99,14 +105,6 @@ bool ScenarioClient::connect(std::string* error) {
     }
     const int one = 1;
     ::setsockopt(fd_, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
-  }
-
-  if (config_.recv_timeout_ms > 0) {
-    timeval timeout{};
-    timeout.tv_sec = static_cast<time_t>(config_.recv_timeout_ms / 1000);
-    timeout.tv_usec =
-        static_cast<suseconds_t>((config_.recv_timeout_ms % 1000) * 1000);
-    ::setsockopt(fd_, SOL_SOCKET, SO_RCVTIMEO, &timeout, sizeof(timeout));
   }
 
   analysis::JsonObject hello = make_frame("hello");
@@ -149,23 +147,17 @@ bool ScenarioClient::send_payload(const std::string& payload) {
   } catch (const std::exception&) {
     return false;
   }
-  std::size_t sent = 0;
-  while (sent < framed.size()) {
-    const ssize_t got = ::send(fd_, framed.data() + sent, framed.size() - sent,
-                               MSG_NOSIGNAL);
-    if (got <= 0) {
-      if (got < 0 && errno == EINTR) {
-        continue;
-      }
-      close();
-      return false;
-    }
-    sent += static_cast<std::size_t>(got);
+  if (!net::send_all(fd_, framed.data(), framed.size())) {
+    close();
+    return false;
   }
   return true;
 }
 
 std::optional<std::map<std::string, std::string>> ScenarioClient::next_frame() {
+  using MonoClock = std::chrono::steady_clock;
+  auto start = MonoClock::now();  // Reset whenever bytes arrive.
+  auto last_ping = start;
   for (;;) {
     if (auto payload = reader_.next()) {
       auto fields = parse_frame_payload(*payload);
@@ -178,16 +170,66 @@ std::optional<std::map<std::string, std::string>> ScenarioClient::next_frame() {
       close();
       return std::nullopt;
     }
+
+    // Block in poll(), not recv(): the slice lets this loop send
+    // heartbeat pings while waiting (the server's dead-peer pairing) and
+    // enforce recv_timeout_ms as a *total-silence* budget rather than a
+    // per-recv one.
+    const auto now = MonoClock::now();
+    long slice_ms = -1;  // Infinite when neither budget is configured.
+    if (config_.recv_timeout_ms > 0) {
+      const long left =
+          static_cast<long>(config_.recv_timeout_ms) -
+          static_cast<long>(
+              std::chrono::duration_cast<std::chrono::milliseconds>(now - start)
+                  .count());
+      if (left <= 0) {
+        close();  // Total silence past the budget: the peer is dead.
+        return std::nullopt;
+      }
+      slice_ms = left;
+    }
+    if (config_.heartbeat_ms > 0) {
+      const long until_ping =
+          static_cast<long>(config_.heartbeat_ms) -
+          static_cast<long>(std::chrono::duration_cast<std::chrono::milliseconds>(
+                                now - last_ping)
+                                .count());
+      if (until_ping <= 0) {
+        analysis::JsonObject ping_frame = make_frame("ping");
+        ping_frame.set("nonce", "heartbeat");
+        if (!send_payload(ping_frame.to_json_line())) {
+          return std::nullopt;
+        }
+        last_ping = MonoClock::now();
+        continue;
+      }
+      slice_ms = slice_ms < 0 ? until_ping
+                              : std::min(slice_ms, until_ping);
+    }
+
+    pollfd pfd{fd_, POLLIN, 0};
+    const int ready = net::retry_eintr(
+        [&] { return ::poll(&pfd, 1, static_cast<int>(slice_ms)); });
+    if (ready < 0) {
+      close();
+      return std::nullopt;
+    }
+    if (ready == 0) {
+      continue;  // Slice expired: re-check the budgets above.
+    }
     char chunk[4096];
-    const ssize_t got = ::recv(fd_, chunk, sizeof(chunk), 0);
+    const ssize_t got = net::retry_eintr(
+        [&] { return ::recv(fd_, chunk, sizeof(chunk), 0); });
     if (got > 0) {
       reader_.feed(chunk, static_cast<std::size_t>(got));
+      start = MonoClock::now();  // Bytes arrived: the peer is alive.
       continue;
     }
-    if (got < 0 && errno == EINTR) {
-      continue;
+    if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
+      continue;  // Spurious wakeup.
     }
-    close();  // EOF, timeout or hard error.
+    close();  // EOF or hard error.
     return std::nullopt;
   }
 }
@@ -241,6 +283,25 @@ ScenarioClient::Submission ScenarioClient::submit_chaos(
   return submit_frame(frame, job_tag);
 }
 
+ScenarioClient::Submission ScenarioClient::submit_replay(
+    const std::string& job_tag, const scenario::ReplayBundle& bundle) {
+  analysis::JsonObject frame = make_frame("submit_replay");
+  frame.set("job", job_tag);
+  frame.set("expected_failure_reason", bundle.expected_failure_reason);
+  const auto fields = analysis::parse_flat_json_line(
+      scenario::spec_to_json(bundle.spec).to_json_line());
+  for (const auto& [key, value] : *fields) {
+    frame.set("spec." + key, value);
+  }
+  return submit_frame(frame, job_tag);
+}
+
+bool ScenarioClient::cancel(const std::string& job_tag) {
+  analysis::JsonObject frame = make_frame("cancel");
+  frame.set("job", job_tag);
+  return send_payload(frame.to_json_line());
+}
+
 ScenarioClient::Submission ScenarioClient::submit_frame(
     const analysis::JsonObject& frame, const std::string& job_tag) {
   Submission submission;
@@ -286,6 +347,18 @@ ScenarioClient::Submission ScenarioClient::pump_for_submit_reply(
   }
 }
 
+void ScenarioClient::fill_done(
+    JobOutcome& outcome, const std::map<std::string, std::string>& fields) {
+  outcome.scenarios = static_cast<std::size_t>(u64_field(fields, "scenarios"));
+  outcome.passed = static_cast<std::size_t>(u64_field(fields, "passed"));
+  outcome.failed = static_cast<std::size_t>(u64_field(fields, "failed"));
+  outcome.executed = static_cast<std::size_t>(u64_field(fields, "executed"));
+  outcome.resumed = static_cast<std::size_t>(u64_field(fields, "resumed"));
+  outcome.replay = text_field(fields, "replay") == "true";
+  outcome.reproduced = text_field(fields, "reproduced") == "true";
+  outcome.done = true;
+}
+
 void ScenarioClient::absorb(const std::map<std::string, std::string>& fields) {
   const std::string type = text_field(fields, "frame");
   const std::string job_id = text_field(fields, "job_id");
@@ -303,12 +376,9 @@ void ScenarioClient::absorb(const std::map<std::string, std::string>& fields) {
   } else if (type == "health") {
     outcome.health_lines.push_back(text_field(fields, "row"));
   } else if (type == "job_done") {
-    outcome.scenarios = static_cast<std::size_t>(u64_field(fields, "scenarios"));
-    outcome.passed = static_cast<std::size_t>(u64_field(fields, "passed"));
-    outcome.failed = static_cast<std::size_t>(u64_field(fields, "failed"));
-    outcome.executed = static_cast<std::size_t>(u64_field(fields, "executed"));
-    outcome.resumed = static_cast<std::size_t>(u64_field(fields, "resumed"));
-    outcome.done = true;
+    fill_done(outcome, fields);
+  } else if (type == "cancelled") {
+    outcome.cancelled = true;
   }
   // progress frames carry no payload the client needs to keep.
 }
@@ -320,7 +390,7 @@ ScenarioClient::JobOutcome ScenarioClient::wait(const std::string& job_id) {
     outcome = std::move(buffered->second);
     inbox_.erase(buffered);
   }
-  while (!outcome.done) {
+  while (!outcome.done && !outcome.cancelled) {
     const auto fields = next_frame();
     if (!fields) {
       outcome.error_code = "disconnected";
@@ -348,15 +418,9 @@ ScenarioClient::JobOutcome ScenarioClient::wait(const std::string& job_id) {
       } else if (type == "health") {
         outcome.health_lines.push_back(text_field(*fields, "row"));
       } else if (type == "job_done") {
-        outcome.scenarios =
-            static_cast<std::size_t>(u64_field(*fields, "scenarios"));
-        outcome.passed = static_cast<std::size_t>(u64_field(*fields, "passed"));
-        outcome.failed = static_cast<std::size_t>(u64_field(*fields, "failed"));
-        outcome.executed =
-            static_cast<std::size_t>(u64_field(*fields, "executed"));
-        outcome.resumed =
-            static_cast<std::size_t>(u64_field(*fields, "resumed"));
-        outcome.done = true;
+        fill_done(outcome, *fields);
+      } else if (type == "cancelled") {
+        outcome.cancelled = true;
       }
       continue;
     }
@@ -389,6 +453,132 @@ std::string ScenarioClient::JobOutcome::jsonl() const {
 
 std::string ScenarioClient::JobOutcome::health_jsonl() const {
   return joined(health_lines);
+}
+
+// --- ResilientScenarioClient -----------------------------------------------
+
+ResilientScenarioClient::ResilientScenarioClient(ResilientClientConfig config)
+    : config_(std::move(config)), client_(config_.base) {}
+
+template <typename SubmitFn>
+ScenarioClient::JobOutcome ResilientScenarioClient::run(SubmitFn&& submit) {
+  ScenarioClient::JobOutcome outcome;
+  std::uint64_t backoff_ms = config_.initial_backoff_ms;
+  std::size_t attempts = 0;
+  bool submitted_once = false;
+
+  auto fail_attempt = [&](const std::string& code,
+                          const std::string& detail,
+                          std::uint64_t wait_ms) {
+    attempts++;
+    outcome.error_code = code;
+    outcome.error_detail = detail;
+    if (attempts >= config_.max_attempts) {
+      return true;  // Budget spent: the caller gets the last error.
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(wait_ms));
+    backoff_ms = std::min(backoff_ms * 2, config_.max_backoff_ms);
+    return false;
+  };
+
+  for (;;) {
+    if (!client_.connected()) {
+      std::string error;
+      if (!client_.connect(&error)) {
+        if (fail_attempt("connect_failed", error, backoff_ms)) {
+          return outcome;
+        }
+        continue;
+      }
+      if (submitted_once) {
+        reconnects_++;
+      }
+    }
+
+    const ScenarioClient::Submission submission = submit(client_);
+    if (submitted_once && (submission.accepted || submission.backpressure)) {
+      resubmits_++;
+    }
+    submitted_once = true;
+    if (submission.backpressure) {
+      // Quota, not failure -- but still budgeted, so a server wedged at
+      // its quota cannot spin this loop forever.
+      const std::uint64_t wait_ms =
+          submission.retry_ms > 0 ? submission.retry_ms : backoff_ms;
+      if (fail_attempt("backpressure", submission.error_detail, wait_ms)) {
+        return outcome;
+      }
+      continue;
+    }
+    if (!submission.accepted) {
+      // Transport-origin failures are retryable: `bad_frame` means the
+      // bytes the server read were not the bytes we sent (a fuzzed or
+      // truncated frame poisoned its reader), and the liveness codes mean
+      // the link wedged -- a fresh connection carries clean bytes.
+      const bool transport_failure =
+          submission.error_code == "disconnected" ||
+          submission.error_code == "bad_frame" ||
+          submission.error_code == "dead_peer" ||
+          submission.error_code == "partial_frame_timeout";
+      if (transport_failure) {
+        client_.close();
+        if (fail_attempt(submission.error_code, submission.error_detail,
+                         backoff_ms)) {
+          return outcome;
+        }
+        continue;
+      }
+      // A semantic rejection (invalid spec, unknown suite...) is final:
+      // retrying the same bytes cannot change the answer.
+      outcome.error_code = submission.error_code;
+      outcome.error_detail = submission.error_detail;
+      return outcome;
+    }
+
+    outcome = client_.wait(submission.job_id);
+    if (outcome.done || outcome.cancelled) {
+      return outcome;
+    }
+    // Dropped mid-stream (reset, truncation, fuzz-poisoned reader):
+    // reconnect and resubmit -- idempotent job identity means the server
+    // replays every committed row and no scenario runs twice.
+    client_.close();
+    if (fail_attempt(outcome.error_code.empty() ? "disconnected"
+                                                : outcome.error_code,
+                     outcome.error_detail, backoff_ms)) {
+      return outcome;
+    }
+  }
+}
+
+ScenarioClient::JobOutcome ResilientScenarioClient::run_suite(
+    const std::string& job_tag, const std::string& suite,
+    const std::string& filter) {
+  return run([&](ScenarioClient& client) {
+    return client.submit_suite(job_tag, suite, filter);
+  });
+}
+
+ScenarioClient::JobOutcome ResilientScenarioClient::run_specs(
+    const std::string& job_tag,
+    const std::vector<scenario::ScenarioSpec>& specs) {
+  return run([&](ScenarioClient& client) {
+    return client.submit_specs(job_tag, specs);
+  });
+}
+
+ScenarioClient::JobOutcome ResilientScenarioClient::run_chaos(
+    const std::string& job_tag, const scenario::ChaosCampaignSpec& chaos) {
+  return run([&](ScenarioClient& client) {
+    return client.submit_chaos(job_tag, chaos);
+  });
+}
+
+ScenarioClient::JobOutcome ResilientScenarioClient::run_replay(
+    const std::string& job_tag, const scenario::ReplayBundle& bundle) {
+  return run([&](ScenarioClient& client) {
+    return client.submit_replay(job_tag, bundle);
+  });
 }
 
 }  // namespace ddl::service

@@ -6,23 +6,32 @@ namespace ddl::service {
 
 namespace {
 
-/// Renders `value` as a 4-byte big-endian length prefix.  Explicit shifts,
-/// not memcpy of a host integer, so the wire format is identical on every
+/// Renders `value` as a 4-byte big-endian word.  Explicit shifts, not
+/// memcpy of a host integer, so the wire format is identical on every
 /// endianness.
-void append_length(std::string& out, std::size_t value) {
+void append_be32(std::string& out, std::uint32_t value) {
   out.push_back(static_cast<char>((value >> 24) & 0xff));
   out.push_back(static_cast<char>((value >> 16) & 0xff));
   out.push_back(static_cast<char>((value >> 8) & 0xff));
   out.push_back(static_cast<char>(value & 0xff));
 }
 
-std::size_t read_length(const char* data) {
+std::uint32_t read_be32(const char* data) {
   const auto* bytes = reinterpret_cast<const unsigned char*>(data);
-  return (std::size_t{bytes[0]} << 24) | (std::size_t{bytes[1]} << 16) |
-         (std::size_t{bytes[2]} << 8) | std::size_t{bytes[3]};
+  return (std::uint32_t{bytes[0]} << 24) | (std::uint32_t{bytes[1]} << 16) |
+         (std::uint32_t{bytes[2]} << 8) | std::uint32_t{bytes[3]};
 }
 
 }  // namespace
+
+std::uint32_t fnv1a32(const char* data, std::size_t size) {
+  std::uint32_t hash = 2166136261u;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= 16777619u;
+  }
+  return hash;
+}
 
 std::string encode_frame(const std::string& payload) {
   if (payload.size() > kMaxFramePayload) {
@@ -31,8 +40,9 @@ std::string encode_frame(const std::string& payload) {
                             " bytes exceeds the protocol limit");
   }
   std::string out;
-  out.reserve(payload.size() + 4);
-  append_length(out, payload.size());
+  out.reserve(payload.size() + kFrameHeaderBytes);
+  append_be32(out, static_cast<std::uint32_t>(payload.size()));
+  append_be32(out, fnv1a32(payload.data(), payload.size()));
   out += payload;
   return out;
 }
@@ -54,27 +64,35 @@ std::optional<std::map<std::string, std::string>> parse_frame_payload(
 
 void FrameReader::feed(const char* data, std::size_t size) {
   if (failed_) {
-    return;  // Poisoned: the stream cannot resynchronize past a bad prefix.
+    return;  // Poisoned: the stream cannot resynchronize past corruption.
   }
   buffer_.append(data, size);
 }
 
 std::optional<std::string> FrameReader::next() {
-  if (failed_ || buffered() < 4) {
+  if (failed_ || buffered() < kFrameHeaderBytes) {
     return std::nullopt;
   }
-  const std::size_t length = read_length(buffer_.data() + offset_);
+  const std::size_t length = read_be32(buffer_.data() + offset_);
   if (length > kMaxFramePayload) {
     failed_ = true;
     error_ = "frame length prefix of " + std::to_string(length) +
              " bytes exceeds the protocol limit";
     return std::nullopt;
   }
-  if (buffered() < 4 + length) {
+  if (buffered() < kFrameHeaderBytes + length) {
     return std::nullopt;
   }
-  std::string payload = buffer_.substr(offset_ + 4, length);
-  offset_ += 4 + length;
+  const std::uint32_t expected = read_be32(buffer_.data() + offset_ + 4);
+  const char* payload_begin = buffer_.data() + offset_ + kFrameHeaderBytes;
+  if (fnv1a32(payload_begin, length) != expected) {
+    failed_ = true;
+    error_ = "frame checksum mismatch (corrupted stream)";
+    return std::nullopt;
+  }
+  std::string payload = buffer_.substr(offset_ + kFrameHeaderBytes, length);
+  offset_ += kFrameHeaderBytes + length;
+  frames_decoded_++;
   // Compact once the consumed prefix dominates, so a long-lived session
   // does not grow its buffer without bound.
   if (offset_ > 4096 && offset_ * 2 > buffer_.size()) {

@@ -18,6 +18,7 @@
 #include <cstring>
 #include <deque>
 #include <filesystem>
+#include <iterator>
 #include <map>
 #include <mutex>
 #include <optional>
@@ -31,6 +32,7 @@
 #include "ddl/scenario/journal.h"
 #include "ddl/scenario/registry.h"
 #include "ddl/scenario/runner.h"
+#include "ddl/service/net_util.h"
 #include "ddl/service/protocol.h"
 
 namespace ddl::service {
@@ -38,10 +40,14 @@ namespace ddl::service {
 namespace {
 
 namespace fs = std::filesystem;
+using Clock = std::chrono::steady_clock;
 using scenario::ScenarioSpec;
 
 constexpr std::size_t kMaxSpecsPerSubmit = 4096;
 constexpr std::size_t kMaxErrorDetail = 2000;
+constexpr std::size_t kDefaultMaxOutboxBytes = std::size_t{32} << 20;
+constexpr std::size_t kDefaultMaxFramesPerTick = 256;
+constexpr std::size_t kDefaultMaxRxBytesPerTick = std::size_t{256} << 10;
 
 /// FNV-1a over one string, rendered as the 16-hex-digit job-id style the
 /// journal fingerprints use.
@@ -125,8 +131,21 @@ struct Job {
   std::size_t failed = 0;
   std::unique_ptr<scenario::JournalWriter> journal;
   int session_fd = -1;  ///< Attached session; -1 = orphan.
+  bool cancelled = false;  ///< Cooperative teardown requested (durable).
+  bool is_replay = false;  ///< Born from a submit_replay frame.
+  std::string expected_failure_reason;  ///< Replay jobs: expected verdict.
 
   bool done() const noexcept { return completed == specs.size(); }
+
+  /// Scenarios currently queued or running on a worker.  Cancel waits for
+  /// these to finish and journal before the teardown completes.
+  std::size_t inflight_specs() const noexcept {
+    std::size_t count = 0;
+    for (const SpecState s : state) {
+      count += (s == SpecState::kInflight) ? 1 : 0;
+    }
+    return count;
+  }
 };
 
 /// Per-client-name scheduling state.  Slots persist across sessions (a
@@ -146,6 +165,14 @@ struct Session {
   std::string client_name;
   bool said_hello = false;
   bool closing = false;  ///< Close as soon as the outbox drains.
+
+  // --- Liveness tracking (dead-peer / slowloris timeouts) ---------------
+  Clock::time_point last_rx;  ///< Last time recv() returned bytes.
+  /// Start of the current stuck-mid-frame window: set when bytes sit
+  /// buffered without a complete frame decoding, cleared on progress.
+  Clock::time_point partial_since;
+  bool partial_pending = false;
+  std::size_t frames_seen = 0;  ///< reader.frames_decoded() snapshot.
 };
 
 }  // namespace
@@ -237,20 +264,40 @@ struct ScenarioServer::Impl {
 
   // --- Frame output -----------------------------------------------------
 
+  std::size_t max_outbox_bytes() const noexcept {
+    return config.max_outbox_bytes == 0 ? kDefaultMaxOutboxBytes
+                                        : config.max_outbox_bytes;
+  }
+
   void send_frame(Session& session, const analysis::JsonObject& frame) {
     if (session.closing) {
       return;
     }
     session.outbox += encode_frame(frame);
     flush_outbox(session);
+    // A peer that stops reading while frames accumulate is disconnected
+    // rather than holding unbounded memory; its jobs continue as orphans
+    // and a reconnect replays every committed row.
+    if (session.outbox.size() - session.outbox_offset > max_outbox_bytes()) {
+      session.outbox.clear();
+      session.outbox_offset = 0;
+      session.closing = true;
+      bump(&ServiceStats::outbox_overflows);
+    }
   }
 
-  /// Nonblocking flush; leftover bytes wait for POLLOUT.
+  /// Nonblocking flush; leftover bytes wait for POLLOUT.  EINTR is a
+  /// retry, never a peer-gone signal (net::retry_eintr) -- the bug class
+  /// this helper exists to kill is a SIGCHLD from a watchdog-isolated
+  /// worker tearing down an innocent session mid-send.
   void flush_outbox(Session& session) {
     while (session.outbox_offset < session.outbox.size()) {
-      const ssize_t sent =
-          ::send(session.fd, session.outbox.data() + session.outbox_offset,
-                 session.outbox.size() - session.outbox_offset, MSG_NOSIGNAL);
+      const ssize_t sent = net::retry_eintr([&] {
+        return ::send(session.fd,
+                      session.outbox.data() + session.outbox_offset,
+                      session.outbox.size() - session.outbox_offset,
+                      MSG_NOSIGNAL);
+      });
       if (sent > 0) {
         session.outbox_offset += static_cast<std::size_t>(sent);
         continue;
@@ -288,10 +335,13 @@ struct ScenarioServer::Impl {
   /// Creates (and, with a state_dir, persists) a fresh job.  Throws
   /// std::runtime_error when the state directory is not writable.
   Job& create_job(const std::string& tag, const std::string& owner,
-                  std::vector<ScenarioSpec> specs) {
+                  std::vector<ScenarioSpec> specs, bool is_replay = false,
+                  const std::string& expected_failure_reason = "") {
     Job job;
     job.tag = tag;
     job.owner = owner;
+    job.is_replay = is_replay;
+    job.expected_failure_reason = expected_failure_reason;
     job.name_fingerprint = scenario::fingerprint_of(specs);
     job.content_fingerprint = scenario::content_fingerprint_of(specs);
     job.id = job_id_of(owner, tag, job.content_fingerprint);
@@ -311,6 +361,10 @@ struct ScenarioServer::Impl {
       meta.set("tag", job.tag);
       meta.set("scenarios", static_cast<std::uint64_t>(job.specs.size()));
       meta.set("fingerprint", job.content_fingerprint);
+      if (job.is_replay) {
+        meta.set("replay", true);
+        meta.set("expected_failure_reason", job.expected_failure_reason);
+      }
       std::string spec_lines;
       for (const ScenarioSpec& spec : job.specs) {
         spec_lines += scenario::spec_to_json(spec).to_json_line();
@@ -330,6 +384,9 @@ struct ScenarioServer::Impl {
     slot_of(owner).jobs.push_back(id);
     set_active_jobs_delta(+1);
     bump(&ServiceStats::jobs_accepted);
+    if (stored.is_replay) {
+      bump(&ServiceStats::replay_jobs);
+    }
     return stored;
   }
 
@@ -370,6 +427,25 @@ struct ScenarioServer::Impl {
     send_frame(session, frame);
   }
 
+  /// True when a completed replay job reproduced its expected verdict:
+  /// the single scenario's failure_reason matches the bundle's
+  /// expectation (or, with an empty expectation, the scenario passed) --
+  /// mirrors scenario::replay().
+  bool replay_reproduced(const Job& job) const {
+    if (job.result_lines.empty() || job.result_lines[0].empty()) {
+      return false;
+    }
+    const auto fields = analysis::parse_flat_json_line(job.result_lines[0]);
+    if (!fields) {
+      return false;
+    }
+    if (job.expected_failure_reason.empty()) {
+      return fields->count("verdict") && fields->at("verdict") == "pass";
+    }
+    return fields->count("failure_reason") &&
+           fields->at("failure_reason") == job.expected_failure_reason;
+  }
+
   void send_job_done(Session& session, const Job& job) {
     analysis::JsonObject frame = make_frame("job_done");
     frame.set("job_id", job.id);
@@ -379,6 +455,19 @@ struct ScenarioServer::Impl {
     frame.set("failed", static_cast<std::uint64_t>(job.failed));
     frame.set("executed", static_cast<std::uint64_t>(job.executed));
     frame.set("resumed", static_cast<std::uint64_t>(job.resumed));
+    if (job.is_replay) {
+      frame.set("replay", true);
+      frame.set("reproduced", replay_reproduced(job));
+    }
+    send_frame(session, frame);
+  }
+
+  void send_cancelled(Session& session, const Job& job) {
+    analysis::JsonObject frame = make_frame("cancelled");
+    frame.set("job_id", job.id);
+    frame.set("job", job.tag);
+    frame.set("completed", static_cast<std::uint64_t>(job.completed));
+    frame.set("total", static_cast<std::uint64_t>(job.specs.size()));
     send_frame(session, frame);
   }
 
@@ -395,6 +484,10 @@ struct ScenarioServer::Impl {
     send_progress(session, job);
     if (job.done()) {
       send_job_done(session, job);
+    } else if (job.cancelled && job.inflight_specs() == 0) {
+      // A cancelled job never finishes; the resubmission learns its
+      // terminal state immediately instead of waiting forever.
+      send_cancelled(session, job);
     }
     bump(&ServiceStats::jobs_attached);
   }
@@ -407,6 +500,9 @@ struct ScenarioServer::Impl {
     }
     for (const std::string& job_id : slot.jobs) {
       Job& job = jobs.at(job_id);
+      if (job.cancelled) {
+        continue;  // Pending specs of a cancelled job never dispatch.
+      }
       for (std::size_t i = 0; i < job.specs.size(); ++i) {
         if (job.state[i] != SpecState::kPending) {
           continue;
@@ -473,6 +569,10 @@ struct ScenarioServer::Impl {
     }
     if (job.done()) {
       finish_job(job);
+    } else if (job.cancelled && job.inflight_specs() == 0) {
+      // The last in-flight scenario of a cancelled job has finished and
+      // journaled; the cooperative teardown can now complete.
+      finalize_cancel(job);
     }
   }
 
@@ -484,13 +584,194 @@ struct ScenarioServer::Impl {
         break;
       }
     }
+    // Stats before the terminal frame: a client that has seen `job_done`
+    // must never read a stats snapshot that predates it.
+    bump(&ServiceStats::jobs_completed);
+    set_active_jobs_delta(-1);
     auto session_it = sessions.find(job.session_fd);
     if (session_it != sessions.end()) {
       send_job_done(session_it->second, job);
     }
-    bump(&ServiceStats::jobs_completed);
-    set_active_jobs_delta(-1);
     // The job itself stays in `jobs` so a later resubmission replays it.
+  }
+
+  /// Persists the cancel decision the moment it is made (not when the
+  /// teardown finishes): a server that dies with scenarios still in
+  /// flight must reschedule nothing cancelled after restart.
+  void persist_cancel_marker(const Job& job) {
+    if (config.state_dir.empty()) {
+      return;
+    }
+    analysis::JsonObject marker;
+    marker.set("schema_version", analysis::kBenchJsonSchemaVersion);
+    marker.set("record", "job_cancelled");
+    marker.set("job_id", job.id);
+    marker.set("completed", static_cast<std::uint64_t>(job.completed));
+    try {
+      analysis::write_file_atomic(job_dir(job.id) + "/cancelled.json",
+                                  marker.to_json_line() + "\n");
+    } catch (const std::exception&) {
+      // Best-effort durability: an unwritable marker degrades to the
+      // pre-cancel behavior (the job resumes after a restart) instead
+      // of failing the teardown.
+    }
+  }
+
+  /// Completes a cooperative cancel once nothing of the job is queued or
+  /// running: releases the client's quota and announces the terminal
+  /// state.  The job stays in `jobs` -- a resubmission replays committed
+  /// rows and re-learns `cancelled`.
+  void finalize_cancel(Job& job) {
+    ClientSlot& slot = slot_of(job.owner);
+    for (auto it = slot.jobs.begin(); it != slot.jobs.end(); ++it) {
+      if (*it == job.id) {
+        slot.jobs.erase(it);
+        break;
+      }
+    }
+    // Stats before the terminal frame (same ordering contract as
+    // finish_job): observing `cancelled` implies the stats reflect it.
+    bump(&ServiceStats::jobs_cancelled);
+    set_active_jobs_delta(-1);
+    auto session_it = sessions.find(job.session_fd);
+    if (session_it != sessions.end()) {
+      send_cancelled(session_it->second, job);
+    }
+  }
+
+  void handle_cancel(Session& session,
+                     const std::map<std::string, std::string>& fields) {
+    const auto tag_it = fields.find("job");
+    if (tag_it == fields.end() || tag_it->second.empty()) {
+      send_error(session, "missing_job", "cancel carries no 'job' tag");
+      return;
+    }
+    const std::string& tag = tag_it->second;
+    // A tag can name several content-distinct jobs over a session's life
+    // (completed ones stay around for replay); cancel targets the live one.
+    Job* target = nullptr;
+    for (auto& [id, job] : jobs) {
+      if (job.owner != session.client_name || job.tag != tag) {
+        continue;
+      }
+      if (target == nullptr || (target->done() && !job.done())) {
+        target = &job;
+      }
+    }
+    if (target == nullptr) {
+      send_error(session, "unknown_job",
+                 "no job tagged '" + tag + "' for client '" +
+                     session.client_name + "'",
+                 tag);
+      return;
+    }
+    Job& job = *target;
+    if (job.done()) {
+      send_error(session, "already_done",
+                 "job '" + tag + "' already completed", tag);
+      return;
+    }
+    job.session_fd = session.fd;
+    if (job.cancelled) {
+      // Idempotent: a repeated cancel re-announces the terminal state
+      // once the teardown finished (otherwise the pending finalize will).
+      if (job.inflight_specs() == 0) {
+        send_cancelled(session, job);
+      }
+      return;
+    }
+    job.cancelled = true;
+    persist_cancel_marker(job);
+    // Withdraw queued-but-unstarted tasks: they have no journal entry and
+    // must never run.  Tasks already claimed by a worker finish and
+    // journal normally (cooperative, journal-consistent teardown).
+    std::vector<Task> kept;
+    {
+      std::lock_guard<std::mutex> lock(task_mutex);
+      for (Task& task : task_queue) {
+        if (task.job_id != job.id) {
+          kept.push_back(std::move(task));
+          continue;
+        }
+        job.state[task.index] = SpecState::kPending;
+        ClientSlot& slot = slot_of(job.owner);
+        if (slot.inflight > 0) {
+          slot.inflight--;
+        }
+      }
+      task_queue.assign(std::make_move_iterator(kept.begin()),
+                        std::make_move_iterator(kept.end()));
+    }
+    if (job.inflight_specs() == 0) {
+      finalize_cancel(job);
+    }
+    dispatch();  // Withdrawn quota may unblock another client's work.
+  }
+
+  /// Runs a PR-5 chaos replay bundle -- expected_failure_reason plus
+  /// flattened `spec.*` fields -- as a one-scenario job.  job_done gains
+  /// `reproduced`, the same verdict `ddl_scenario_runner --replay` prints.
+  void handle_submit_replay(Session& session,
+                            const std::map<std::string, std::string>& fields) {
+    const auto tag_it = fields.find("job");
+    if (tag_it == fields.end() || tag_it->second.empty()) {
+      send_error(session, "missing_job", "submit_replay carries no 'job' tag");
+      return;
+    }
+    const std::string& tag = tag_it->second;
+    const auto spec_fields = strip_prefix(fields, "spec.");
+    if (spec_fields.empty()) {
+      send_error(session, "invalid_replay",
+                 "submit_replay carries no 'spec.*' bundle fields", tag);
+      return;
+    }
+    scenario::SpecParse parsed = scenario::spec_from_json_checked(spec_fields);
+    std::vector<std::string> errors = std::move(parsed.errors);
+    if (errors.empty()) {
+      for (std::string& message : scenario::validate(parsed.spec)) {
+        errors.push_back(std::move(message));
+      }
+    }
+    if (!errors.empty()) {
+      send_error(session, "invalid_replay", join(errors), tag);
+      return;
+    }
+    const auto expected_it = fields.find("expected_failure_reason");
+    const std::string expected =
+        expected_it == fields.end() ? "" : expected_it->second;
+
+    std::vector<ScenarioSpec> specs;
+    specs.push_back(std::move(parsed.spec));
+    const std::string id = job_id_of(
+        session.client_name, tag, scenario::content_fingerprint_of(specs));
+    auto existing = jobs.find(id);
+    if (existing != jobs.end()) {
+      attach_and_replay(session, existing->second);
+      return;
+    }
+    ClientSlot& slot = slot_of(session.client_name);
+    if (slot.jobs.size() >= config.max_pending_jobs_per_client) {
+      analysis::JsonObject frame = make_frame("backpressure");
+      frame.set("job", tag);
+      frame.set("reason", "job_quota");
+      frame.set("active", static_cast<std::uint64_t>(slot.jobs.size()));
+      frame.set("limit", static_cast<std::uint64_t>(
+                             config.max_pending_jobs_per_client));
+      frame.set("retry_ms", std::uint64_t{200});
+      bump(&ServiceStats::backpressure_frames);
+      send_frame(session, frame);
+      return;
+    }
+    try {
+      Job& job = create_job(tag, session.client_name, std::move(specs),
+                            /*is_replay=*/true, expected);
+      job.session_fd = session.fd;
+      send_accepted(session, job, /*resumed=*/false);
+    } catch (const std::exception& e) {
+      send_error(session, "io_error", e.what(), tag);
+      return;
+    }
+    dispatch();
   }
 
   void drain_completions() {
@@ -755,6 +1036,14 @@ struct ScenarioServer::Impl {
       handle_submit(session, *fields, type == "submit_chaos");
       return;
     }
+    if (type == "submit_replay") {
+      handle_submit_replay(session, *fields);
+      return;
+    }
+    if (type == "cancel") {
+      handle_cancel(session, *fields);
+      return;
+    }
     send_error(session, "unknown_frame", "unknown frame type '" + type + "'");
   }
 
@@ -762,7 +1051,8 @@ struct ScenarioServer::Impl {
 
   void accept_on(int listen_fd) {
     for (;;) {
-      const int fd = ::accept(listen_fd, nullptr, nullptr);
+      const int fd =
+          net::retry_eintr([&] { return ::accept(listen_fd, nullptr, nullptr); });
       if (fd < 0) {
         return;  // EAGAIN (drained) or transient error; poll retries.
       }
@@ -776,6 +1066,7 @@ struct ScenarioServer::Impl {
       ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
       Session session;
       session.fd = fd;
+      session.last_rx = Clock::now();
       sessions.emplace(fd, std::move(session));
       bump(&ServiceStats::sessions_accepted);
     }
@@ -798,12 +1089,27 @@ struct ScenarioServer::Impl {
     bump(&ServiceStats::sessions_closed);
   }
 
-  void read_session(Session& session) {
+  /// Reads and handles one session's traffic within this pass's fairness
+  /// budgets.  True when complete frames may still be buffered (the frame
+  /// budget ran out) -- the caller polls again without sleeping.
+  bool read_session(Session& session) {
+    const std::size_t rx_budget = config.max_rx_bytes_per_tick == 0
+                                      ? kDefaultMaxRxBytesPerTick
+                                      : config.max_rx_bytes_per_tick;
+    const std::size_t frame_budget = config.max_frames_per_tick == 0
+                                         ? kDefaultMaxFramesPerTick
+                                         : config.max_frames_per_tick;
     char chunk[4096];
-    for (;;) {
-      const ssize_t got = ::recv(session.fd, chunk, sizeof(chunk), 0);
+    std::size_t read_bytes = 0;
+    while (read_bytes < rx_budget) {
+      const std::size_t want =
+          std::min(sizeof(chunk), rx_budget - read_bytes);
+      const ssize_t got = net::retry_eintr(
+          [&] { return ::recv(session.fd, chunk, want, 0); });
       if (got > 0) {
         session.reader.feed(chunk, static_cast<std::size_t>(got));
+        read_bytes += static_cast<std::size_t>(got);
+        session.last_rx = Clock::now();
         continue;
       }
       if (got < 0 && (errno == EAGAIN || errno == EWOULDBLOCK)) {
@@ -812,7 +1118,13 @@ struct ScenarioServer::Impl {
       session.closing = true;  // EOF or hard error.
       break;
     }
-    while (auto payload = session.reader.next()) {
+    std::size_t handled = 0;
+    while (handled < frame_budget) {
+      auto payload = session.reader.next();
+      if (!payload) {
+        break;
+      }
+      handled++;
       handle_frame(session, *payload);
       if (session.closing) {
         break;
@@ -821,6 +1133,49 @@ struct ScenarioServer::Impl {
     if (session.reader.failed()) {
       send_error(session, "bad_frame", session.reader.error());
       session.closing = true;
+    }
+    // Slowloris tracking: bytes sitting buffered while no frame completes
+    // opens (or continues) a stuck-mid-frame window; progress closes it.
+    if (session.reader.frames_decoded() != session.frames_seen ||
+        session.reader.buffered() == 0) {
+      session.frames_seen = session.reader.frames_decoded();
+      session.partial_pending = false;
+    } else if (!session.partial_pending) {
+      session.partial_pending = true;
+      session.partial_since = Clock::now();
+    }
+    return !session.closing && handled == frame_budget &&
+           session.reader.buffered() >= kFrameHeaderBytes;
+  }
+
+  /// Reaps sessions whose peer went silent (dead_peer_timeout_ms) or is
+  /// trickling a partial frame (partial_frame_timeout_ms).  Jobs detach to
+  /// orphans exactly as on any other close -- a timeout never loses work.
+  void enforce_timeouts(Clock::time_point now) {
+    for (auto& [fd, session] : sessions) {
+      if (session.closing) {
+        continue;
+      }
+      if (config.dead_peer_timeout_ms > 0 &&
+          now - session.last_rx >
+              std::chrono::milliseconds(config.dead_peer_timeout_ms)) {
+        send_error(session, "dead_peer",
+                   "no bytes received for " +
+                       std::to_string(config.dead_peer_timeout_ms) + " ms");
+        session.closing = true;
+        bump(&ServiceStats::sessions_timed_out);
+        continue;
+      }
+      if (config.partial_frame_timeout_ms > 0 && session.partial_pending &&
+          now - session.partial_since >
+              std::chrono::milliseconds(config.partial_frame_timeout_ms)) {
+        send_error(session, "partial_frame_timeout",
+                   "frame incomplete after " +
+                       std::to_string(config.partial_frame_timeout_ms) +
+                       " ms");
+        session.closing = true;
+        bump(&ServiceStats::sessions_timed_out);
+      }
     }
   }
 
@@ -877,6 +1232,16 @@ struct ScenarioServer::Impl {
     job.id = meta_fields->count("job_id") ? meta_fields->at("job_id") : "";
     job.tag = meta_fields->count("tag") ? meta_fields->at("tag") : "";
     job.owner = meta_fields->count("client") ? meta_fields->at("client") : "";
+    job.is_replay = meta_fields->count("replay") &&
+                    meta_fields->at("replay") == "true";
+    if (meta_fields->count("expected_failure_reason")) {
+      job.expected_failure_reason =
+          meta_fields->at("expected_failure_reason");
+    }
+    // A durable cancel marker outranks everything else in the directory:
+    // the job loads (committed rows stay replayable) but never reschedules.
+    std::error_code marker_ec;
+    job.cancelled = fs::exists(dir + "/cancelled.json", marker_ec);
     if (job.id.empty() || job.owner.empty() || jobs.count(job.id)) {
       throw std::runtime_error("bad or duplicate job identity");
     }
@@ -938,12 +1303,12 @@ struct ScenarioServer::Impl {
         dir, job.name_fingerprint, job.specs.size(), job.completed,
         /*append=*/true);
 
-    const bool incomplete = !job.done();
+    const bool schedulable = !job.done() && !job.cancelled;
     const std::string id = job.id;
     const std::string owner = job.owner;
     const std::size_t resumed = job.resumed;
     jobs.emplace(id, std::move(job));
-    if (incomplete) {
+    if (schedulable) {
       slot_of(owner).jobs.push_back(id);
       set_active_jobs_delta(+1);
     }
@@ -994,6 +1359,7 @@ struct ScenarioServer::Impl {
     auto next_heartbeat =
         Clock::now() + std::chrono::milliseconds(heartbeat_ms);
 
+    bool repoll_now = false;
     while (!stop_requested.load(std::memory_order_acquire)) {
       std::vector<pollfd> fds;
       fds.push_back(pollfd{wake_read_fd, POLLIN, 0});
@@ -1017,8 +1383,15 @@ struct ScenarioServer::Impl {
           std::chrono::duration_cast<std::chrono::milliseconds>(
               next_heartbeat - now)
               .count());
-      if (timeout_ms < 0) {
-        timeout_ms = 0;
+      // Liveness timeouts fire between socket events, so the poll sleep
+      // must stay shorter than their resolution.
+      if ((config.dead_peer_timeout_ms > 0 ||
+           config.partial_frame_timeout_ms > 0) &&
+          !sessions.empty()) {
+        timeout_ms = std::min(timeout_ms, long{50});
+      }
+      if (repoll_now || timeout_ms < 0) {
+        timeout_ms = 0;  // Budget-deferred frames are still buffered.
       }
       const int ready =
           ::poll(fds.data(), fds.size(), static_cast<int>(timeout_ms));
@@ -1034,7 +1407,9 @@ struct ScenarioServer::Impl {
 
       if (fds[0].revents & POLLIN) {
         char sink[64];
-        while (::read(wake_read_fd, sink, sizeof(sink)) > 0) {
+        while (net::retry_eintr([&] {
+                 return ::read(wake_read_fd, sink, sizeof(sink));
+               }) > 0) {
         }
       }
       drain_completions();
@@ -1044,6 +1419,7 @@ struct ScenarioServer::Impl {
           accept_on(fds[i].fd);
         }
       }
+      repoll_now = false;
       for (std::size_t i = first_session; i < fds.size(); ++i) {
         auto it = sessions.find(fds[i].fd);
         if (it == sessions.end()) {
@@ -1052,10 +1428,15 @@ struct ScenarioServer::Impl {
         if (fds[i].revents & POLLOUT) {
           flush_outbox(it->second);
         }
-        if (fds[i].revents & (POLLIN | POLLHUP | POLLERR)) {
-          read_session(it->second);
+        // Budget-deferred frames sit in the reader without new socket
+        // bytes to raise POLLIN, so buffered sessions read too.
+        if ((fds[i].revents & (POLLIN | POLLHUP | POLLERR)) ||
+            (!it->second.closing &&
+             it->second.reader.buffered() >= kFrameHeaderBytes)) {
+          repoll_now |= read_session(it->second);
         }
       }
+      enforce_timeouts(Clock::now());
       // Reap sessions marked closing once their outbox drained (or the
       // peer is gone and the bytes cannot be delivered anyway).
       std::vector<int> doomed;

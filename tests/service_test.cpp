@@ -1,14 +1,25 @@
-// Tests for the campaign service: frame codec robustness, the submit /
-// stream / job_done round trip (byte-identical to the one-shot runner),
-// quota backpressure as a frame (never a disconnect), fair round-robin
-// scheduling across clients, mid-stream disconnect survival, journal-backed
-// restart resume, and structured error frames for malformed submissions.
+// Tests for the campaign service: frame codec robustness (checksummed v2
+// framing, poison permanence), the submit / stream / job_done round trip
+// (byte-identical to the one-shot runner), quota backpressure as a frame
+// (never a disconnect), fair round-robin scheduling across clients,
+// mid-stream disconnect survival, journal-backed restart resume, structured
+// error frames for malformed submissions, cooperative cancel with
+// journal-consistent teardown, replay-bundle jobs, liveness timeouts
+// (dead-peer and slowloris), per-tick adversarial budgets, and seeded
+// chaos-proxy storms that must converge byte-identically anyway.
 //
 // Every test binds an ephemeral loopback port (or a temp-dir unix socket),
 // so the suite is parallel-safe and needs no fixed resources.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+#include <cerrno>
 #include <chrono>
+#include <functional>
 #include <filesystem>
 #include <memory>
 #include <set>
@@ -16,9 +27,12 @@
 #include <thread>
 #include <vector>
 
+#include "ddl/scenario/chaos.h"
 #include "ddl/scenario/runner.h"
 #include "ddl/scenario/spec.h"
+#include "ddl/service/chaos_proxy.h"
 #include "ddl/service/client.h"
+#include "ddl/service/net_util.h"
 #include "ddl/service/protocol.h"
 #include "ddl/service/server.h"
 
@@ -29,8 +43,12 @@ namespace fs = std::filesystem;
 using ddl::scenario::LoadSpec;
 using ddl::scenario::ScenarioRunner;
 using ddl::scenario::ScenarioSpec;
+using ddl::service::ChaosProxy;
+using ddl::service::ChaosProxyConfig;
 using ddl::service::ClientConfig;
 using ddl::service::FrameReader;
+using ddl::service::ResilientClientConfig;
+using ddl::service::ResilientScenarioClient;
 using ddl::service::ScenarioClient;
 using ddl::service::ScenarioServer;
 using ddl::service::ServiceConfig;
@@ -86,6 +104,76 @@ ClientConfig client_for(const ScenarioServer& server, std::string name) {
   return config;
 }
 
+/// Polls `done` every few milliseconds until it holds or the budget runs
+/// out (the timeout tests watch server stats converge, not sleep blindly).
+bool eventually(const std::function<bool()>& done,
+                std::uint64_t budget_ms = 30'000) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(budget_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    if (done()) {
+      return true;
+    }
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  }
+  return done();
+}
+
+/// A bare loopback TCP connection: the adversarial tests drive the wire
+/// by hand (half frames, silence) below anything ScenarioClient would do.
+int raw_connect(int port) {
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  if (fd < 0) {
+    return -1;
+  }
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(static_cast<std::uint16_t>(port));
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  if (::connect(fd, reinterpret_cast<const sockaddr*>(&addr),
+                sizeof(addr)) != 0) {
+    ::close(fd);
+    return -1;
+  }
+  return fd;
+}
+
+/// Completes the hello handshake on a raw socket and discards the reply.
+bool raw_hello(int fd, const std::string& name) {
+  ddl::analysis::JsonObject hello = ddl::service::make_frame("hello");
+  hello.set("protocol_version",
+            static_cast<std::uint64_t>(ddl::service::kProtocolVersion));
+  hello.set("client", name);
+  const std::string wire =
+      ddl::service::encode_frame(hello.to_json_line());
+  if (!ddl::service::net::send_all(fd, wire.data(), wire.size())) {
+    return false;
+  }
+  FrameReader reader;
+  char chunk[512];
+  for (;;) {
+    const ssize_t got = ::recv(fd, chunk, sizeof(chunk), 0);
+    if (got <= 0) {
+      return false;
+    }
+    reader.feed(chunk, static_cast<std::size_t>(got));
+    if (reader.next().has_value()) {
+      return true;
+    }
+  }
+}
+
+/// Reads until the peer closes; returns everything received.
+std::string drain_to_eof(int fd) {
+  std::string bytes;
+  char chunk[512];
+  ssize_t got = 0;
+  while ((got = ::recv(fd, chunk, sizeof(chunk), 0)) > 0) {
+    bytes.append(chunk, static_cast<std::size_t>(got));
+  }
+  return bytes;
+}
+
 // ---- Frame codec ----------------------------------------------------------
 
 TEST(FrameCodecTest, RoundTripsAcrossArbitraryFragmentation) {
@@ -114,14 +202,90 @@ TEST(FrameCodecTest, RoundTripsAcrossArbitraryFragmentation) {
 
 TEST(FrameCodecTest, OversizedLengthPrefixPoisonsTheReader) {
   FrameReader reader;
-  const char bogus[4] = {0x7f, 0x00, 0x00, 0x00};  // ~2 GiB "payload".
-  reader.feed(bogus, sizeof(bogus));
+  // ~2 GiB length word plus an arbitrary checksum word: a full v2 header.
+  const unsigned char bogus[8] = {0x7f, 0x00, 0x00, 0x00,
+                                  0xde, 0xad, 0xbe, 0xef};
+  reader.feed(reinterpret_cast<const char*>(bogus), sizeof(bogus));
   EXPECT_FALSE(reader.next().has_value());
   EXPECT_TRUE(reader.failed());
   EXPECT_NE(reader.error().find("exceeds"), std::string::npos);
   // Poisoned for good: further bytes never resynchronize.
-  reader.feed(bogus, sizeof(bogus));
+  reader.feed(reinterpret_cast<const char*>(bogus), sizeof(bogus));
   EXPECT_FALSE(reader.next().has_value());
+}
+
+TEST(FrameCodecTest, ChecksumMismatchPoisonsTheReader) {
+  std::string wire = ddl::service::encode_frame(R"({"frame":"ping"})");
+  wire.back() ^= 0x20;  // One flipped payload bit -- the fuzzer's move.
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size());
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.failed());
+  EXPECT_NE(reader.error().find("checksum"), std::string::npos);
+  EXPECT_EQ(reader.frames_decoded(), 0u);
+}
+
+TEST(FrameCodecTest, PoisonAfterValidFramesIsPermanent) {
+  const std::string good = ddl::service::encode_frame(R"({"frame":"a"})");
+  FrameReader reader;
+  reader.feed(good.data(), good.size());
+  ASSERT_TRUE(reader.next().has_value());
+  EXPECT_EQ(reader.frames_decoded(), 1u);
+
+  // An oversize length interleaved into a healthy stream...
+  const unsigned char bogus[8] = {0x7f, 0, 0, 0, 0, 0, 0, 0};
+  reader.feed(reinterpret_cast<const char*>(bogus), sizeof(bogus));
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.failed());
+
+  // ...stays fatal even when perfectly valid frames follow: framing is
+  // lost, so resynchronizing would risk decoding attacker-chosen bytes.
+  reader.feed(good.data(), good.size());
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_TRUE(reader.failed());
+  EXPECT_EQ(reader.frames_decoded(), 1u);
+}
+
+TEST(FrameCodecTest, TruncatedFrameYieldsNothingUntilTheBytesArrive) {
+  const std::string wire = ddl::service::encode_frame(R"({"frame":"ping"})");
+  FrameReader reader;
+  reader.feed(wire.data(), wire.size() - 5);
+  EXPECT_FALSE(reader.next().has_value());
+  EXPECT_FALSE(reader.failed());  // Incomplete, not corrupt.
+  EXPECT_GT(reader.buffered(), 0u);
+  EXPECT_EQ(reader.frames_decoded(), 0u);
+  reader.feed(wire.data() + wire.size() - 5, 5);
+  const auto payload = reader.next();
+  ASSERT_TRUE(payload.has_value());
+  EXPECT_EQ(*payload, R"({"frame":"ping"})");
+  EXPECT_EQ(reader.frames_decoded(), 1u);
+}
+
+// ---- net_util -------------------------------------------------------------
+
+TEST(NetUtilTest, RetryEintrRetriesInterruptedCallsOnly) {
+  int calls = 0;
+  const long result = ddl::service::net::retry_eintr([&]() -> long {
+    if (++calls < 3) {
+      errno = EINTR;
+      return -1;
+    }
+    return 42;
+  });
+  EXPECT_EQ(result, 42);
+  EXPECT_EQ(calls, 3);
+
+  // Any other errno passes through untouched on the first call.
+  calls = 0;
+  errno = 0;
+  const long failed = ddl::service::net::retry_eintr([&]() -> long {
+    ++calls;
+    errno = EPIPE;
+    return -1;
+  });
+  EXPECT_EQ(failed, -1);
+  EXPECT_EQ(calls, 1);
+  EXPECT_EQ(errno, EPIPE);
 }
 
 TEST(FrameCodecTest, RowStringsSurviveTheEscapeRoundTrip) {
@@ -491,6 +655,366 @@ TEST(ServiceTest, HeartbeatsFlowOnAnIdleConnection) {
   const auto frame = client.next_frame();  // Blocks until the beat.
   ASSERT_TRUE(frame.has_value());
   EXPECT_EQ(frame->at("frame"), "heartbeat");
+  server.stop();
+}
+
+// ---- Cancel ---------------------------------------------------------------
+
+TEST(ServiceTest, CancelTearsDownCooperativelyAndSurvivesRestart) {
+  const std::string state_dir = fresh_dir("cancel");
+  std::vector<ScenarioSpec> specs;
+  for (int i = 0; i < 4; ++i) {
+    specs.push_back(quick_spec("cx" + std::to_string(i), 90 + i, 20'000));
+  }
+
+  {
+    ServiceConfig config = base_config();
+    config.state_dir = state_dir;
+    config.workers = 1;
+    ScenarioServer server(config);
+    ASSERT_TRUE(server.start());
+    ScenarioClient client(client_for(server, "grace"));
+    ASSERT_TRUE(client.connect());
+    const auto submission = client.submit_specs("doomed", specs);
+    ASSERT_TRUE(submission.accepted);
+
+    // Cancel once real work is in flight: the claimed scenario must
+    // finish and journal (cooperative), the queued ones must never run.
+    ASSERT_TRUE(eventually(
+        [&] { return server.stats().scenarios_executed >= 1; }));
+    ASSERT_TRUE(client.cancel("doomed"));
+    const auto outcome = client.wait(submission.job_id);
+    EXPECT_TRUE(outcome.cancelled)
+        << outcome.error_code << ": " << outcome.error_detail;
+    EXPECT_FALSE(outcome.done);
+    EXPECT_EQ(server.stats().jobs_cancelled, 1u);
+    const std::size_t executed = server.stats().scenarios_executed;
+    EXPECT_GE(executed, 1u);
+    EXPECT_LT(executed, specs.size());
+
+    // Cancelling again is idempotent: the terminal frame, not an error.
+    ASSERT_TRUE(client.cancel("doomed"));
+    const auto again = client.next_frame();
+    ASSERT_TRUE(again.has_value());
+    EXPECT_EQ(again->at("frame"), "cancelled");
+    client.bye();
+    server.stop();
+  }
+
+  // Restart: the cancelled job is recovered for replay but scheduled
+  // never -- a restart reschedules nothing that was cancelled.
+  ServiceConfig config = base_config();
+  config.state_dir = state_dir;
+  config.workers = 1;
+  ScenarioServer server(config);
+  ASSERT_TRUE(server.start());
+  EXPECT_EQ(server.stats().jobs_recovered, 1u);
+  ASSERT_TRUE(server.wait_all_jobs_done(5'000));  // Nothing is active.
+  std::this_thread::sleep_for(std::chrono::milliseconds(100));
+  EXPECT_EQ(server.stats().scenarios_executed, 0u);
+
+  // Resubmission attaches, replays the committed rows, and reports the
+  // job's terminal state as cancelled rather than silently rerunning it.
+  ScenarioClient client(client_for(server, "grace"));
+  ASSERT_TRUE(client.connect());
+  const auto resubmission = client.submit_specs("doomed", specs);
+  ASSERT_TRUE(resubmission.accepted);
+  EXPECT_TRUE(resubmission.resumed);
+  const auto replayed = client.wait(resubmission.job_id);
+  EXPECT_TRUE(replayed.cancelled);
+  EXPECT_FALSE(replayed.done);
+  EXPECT_EQ(server.stats().scenarios_executed, 0u);
+  server.stop();
+}
+
+TEST(ServiceTest, CancellingAnUnknownOrFinishedJobIsAStructuredError) {
+  ScenarioServer server(base_config());
+  ASSERT_TRUE(server.start());
+  ScenarioClient client(client_for(server, "judy"));
+  ASSERT_TRUE(client.connect());
+
+  ASSERT_TRUE(client.cancel("never-submitted"));
+  auto frame = client.next_frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->at("frame"), "error");
+  EXPECT_EQ(frame->at("code"), "unknown_job");
+
+  const auto submission =
+      client.submit_specs("quick", {quick_spec("cq", 99)});
+  ASSERT_TRUE(submission.accepted);
+  ASSERT_TRUE(client.wait(submission.job_id).done);
+  ASSERT_TRUE(client.cancel("quick"));
+  frame = client.next_frame();
+  ASSERT_TRUE(frame.has_value());
+  EXPECT_EQ(frame->at("frame"), "error");
+  EXPECT_EQ(frame->at("code"), "already_done");
+
+  EXPECT_TRUE(client.ping());  // Neither error cost the connection.
+  server.stop();
+}
+
+// ---- Replay bundles -------------------------------------------------------
+
+TEST(ServiceTest, ReplayBundleJobsReportReproduction) {
+  ScenarioServer server(base_config());
+  ASSERT_TRUE(server.start());
+  ScenarioClient client(client_for(server, "heidi"));
+  ASSERT_TRUE(client.connect());
+
+  ddl::scenario::ReplayBundle bundle;
+  bundle.spec = quick_spec("replayed", 97);
+  bundle.expected_failure_reason = "";  // Expecting a pass...
+  auto submission = client.submit_replay("repro-pass", bundle);
+  ASSERT_TRUE(submission.accepted)
+      << submission.error_code << ": " << submission.error_detail;
+  EXPECT_EQ(submission.scenarios, 1u);
+  auto outcome = client.wait(submission.job_id);
+  ASSERT_TRUE(outcome.done);
+  EXPECT_TRUE(outcome.replay);
+  EXPECT_TRUE(outcome.reproduced);  // ...and the pass reproduced.
+
+  // The same spec expecting a failure it does not produce: the job runs
+  // to done, but the bundle's verdict did not reproduce.
+  bundle.expected_failure_reason = "no_lock";
+  submission = client.submit_replay("repro-miss", bundle);
+  ASSERT_TRUE(submission.accepted);
+  outcome = client.wait(submission.job_id);
+  ASSERT_TRUE(outcome.done);
+  EXPECT_TRUE(outcome.replay);
+  EXPECT_FALSE(outcome.reproduced);
+  EXPECT_EQ(server.stats().replay_jobs, 2u);
+  server.stop();
+}
+
+// ---- Liveness timeouts and adversarial budgets ----------------------------
+
+TEST(ServiceTest, DeadPeerTimeoutReapsSilentSessions) {
+  ServiceConfig config = base_config();
+  config.dead_peer_timeout_ms = 100;
+  ScenarioServer server(config);
+  ASSERT_TRUE(server.start());
+
+  const int fd = raw_connect(server.tcp_port());
+  ASSERT_GE(fd, 0);
+  // Never says hello, never pings: reaped with a structured goodbye.
+  ASSERT_TRUE(eventually(
+      [&] { return server.stats().sessions_timed_out >= 1; }));
+  const std::string bytes = drain_to_eof(fd);
+  EXPECT_NE(bytes.find("dead_peer"), std::string::npos);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ServiceTest, ClientHeartbeatsKeepALongWaitAlive) {
+  ServiceConfig config = base_config();
+  config.workers = 1;
+  config.dead_peer_timeout_ms = 300;
+  ScenarioServer server(config);
+  ASSERT_TRUE(server.start());
+
+  ClientConfig client_config = client_for(server, "ivan");
+  client_config.heartbeat_ms = 50;
+  ScenarioClient client(client_config);
+  ASSERT_TRUE(client.connect());
+  // ~800 ms of worker time on the one worker: far past the dead-peer
+  // window, so only the client's pings keep the blocked wait() alive.
+  const std::vector<ScenarioSpec> specs = {quick_spec("hb1", 55, 20'000),
+                                           quick_spec("hb2", 56, 20'000)};
+  const auto submission = client.submit_specs("patient", specs);
+  ASSERT_TRUE(submission.accepted);
+  const auto outcome = client.wait(submission.job_id);
+  ASSERT_TRUE(outcome.done)
+      << outcome.error_code << ": " << outcome.error_detail;
+  EXPECT_EQ(server.stats().sessions_timed_out, 0u);
+  server.stop();
+}
+
+TEST(ServiceTest, PartialFrameTimeoutDefeatsSlowloris) {
+  ServiceConfig config = base_config();
+  config.partial_frame_timeout_ms = 100;
+  ScenarioServer server(config);
+  ASSERT_TRUE(server.start());
+
+  const int fd = raw_connect(server.tcp_port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(raw_hello(fd, "slow"));
+  // Three bytes of a header, then silence: the classic slowloris hold.
+  const char partial[3] = {0, 0, 0};
+  ASSERT_TRUE(ddl::service::net::send_all(fd, partial, sizeof(partial)));
+  ASSERT_TRUE(eventually(
+      [&] { return server.stats().sessions_timed_out >= 1; }));
+  const std::string bytes = drain_to_eof(fd);
+  EXPECT_NE(bytes.find("partial_frame_timeout"), std::string::npos);
+  ::close(fd);
+  server.stop();
+}
+
+TEST(ServiceTest, AbortedMidSubmitCreatesNoJob) {
+  ServiceConfig config = base_config();
+  config.state_dir = fresh_dir("abort");
+  ScenarioServer server(config);
+  ASSERT_TRUE(server.start());
+
+  const int fd = raw_connect(server.tcp_port());
+  ASSERT_GE(fd, 0);
+  ASSERT_TRUE(raw_hello(fd, "killed"));
+  // Half a submit frame, then an abortive close (RST) -- the wire-level
+  // shape of a client killed -9 mid-write.
+  ddl::analysis::JsonObject submit = ddl::service::make_frame("submit");
+  submit.set("job", "never-lands");
+  submit.set("spec_count", std::uint64_t{1});
+  submit.set("spec.0.name", "svc/cut/short");
+  const std::string wire =
+      ddl::service::encode_frame(submit.to_json_line());
+  ASSERT_TRUE(
+      ddl::service::net::send_all(fd, wire.data(), wire.size() / 2));
+  struct linger hard_close = {1, 0};
+  ::setsockopt(fd, SOL_SOCKET, SO_LINGER, &hard_close, sizeof(hard_close));
+  ::close(fd);
+
+  // The half frame dies with the session: no job, no crash, full service
+  // for the next client.
+  ASSERT_TRUE(
+      eventually([&] { return server.stats().sessions_closed >= 1; }));
+  EXPECT_EQ(server.stats().jobs_accepted, 0u);
+  ScenarioClient client(client_for(server, "after"));
+  ASSERT_TRUE(client.connect());
+  const auto submission =
+      client.submit_specs("fine", {quick_spec("ok", 58)});
+  ASSERT_TRUE(submission.accepted);
+  EXPECT_TRUE(client.wait(submission.job_id).done);
+  EXPECT_EQ(server.stats().jobs_accepted, 1u);
+  server.stop();
+}
+
+TEST(ServiceTest, FrameFloodIsServedUnderPerTickBudgets) {
+  ServiceConfig config = base_config();
+  config.max_frames_per_tick = 2;  // Tiny budget: force deferred drains.
+  ScenarioServer server(config);
+  ASSERT_TRUE(server.start());
+  ScenarioClient client(client_for(server, "flood"));
+  ASSERT_TRUE(client.connect());
+
+  // Blast a burst far over the per-tick budget; fairness slicing may
+  // defer frames across ticks but must never drop or reorder them.
+  constexpr int kPings = 32;
+  for (int i = 0; i < kPings; ++i) {
+    ddl::analysis::JsonObject ping = ddl::service::make_frame("ping");
+    ping.set("nonce", "n" + std::to_string(i));
+    ASSERT_TRUE(client.send_payload(ping.to_json_line()));
+  }
+  int pongs = 0;
+  while (pongs < kPings) {
+    const auto frame = client.next_frame();
+    ASSERT_TRUE(frame.has_value()) << "after " << pongs << " pongs";
+    if (frame->at("frame") == "pong") {
+      pongs++;
+    }
+  }
+  EXPECT_EQ(pongs, kPings);
+  server.stop();
+}
+
+// ---- Chaos storms ---------------------------------------------------------
+
+// The acceptance contract of the whole harness: seeded storms through the
+// chaos proxy -- resets, truncation, fuzzing, trickle, stalls -- and the
+// resilient client still converges to a campaign JSONL byte-identical to
+// a direct one-shot runner invocation.  (CI runs 20+ seeds against the
+// real daemon through ddl_chaos_proxy; this in-process version keeps a
+// handful in every ctest run.)
+TEST(ChaosStormTest, SeededStormsConvergeByteIdenticalToTheRunner) {
+  const std::vector<ScenarioSpec> specs = {
+      quick_spec("storm-a", 91), supervised_spec(), quick_spec("storm-b", 92)};
+  const auto golden_results = ScenarioRunner(2).run(specs);
+  const std::string golden = ScenarioRunner::jsonl(golden_results);
+
+  std::size_t faults_total = 0;
+  for (const std::uint64_t seed : {1ull, 2ull, 3ull, 4ull, 5ull}) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    ServiceConfig config = base_config();
+    config.state_dir = fresh_dir("storm" + std::to_string(seed));
+    config.partial_frame_timeout_ms = 1'000;  // Bound fuzz-extended reads.
+    ScenarioServer server(config);
+    ASSERT_TRUE(server.start());
+
+    ChaosProxyConfig proxy_config;
+    proxy_config.upstream_port = server.tcp_port();
+    proxy_config.seed = seed;
+    // Hot enough that most storms meet several faults, cool enough that
+    // an attempt still has even odds: a full submit + stream round trip
+    // crosses ~15 chunk-sized fault decision points, so the per-chunk
+    // fault probability compounds fast.
+    proxy_config.p_reset_permille = 10;
+    proxy_config.p_truncate_permille = 10;
+    proxy_config.p_fuzz_permille = 15;
+    proxy_config.p_duplicate_permille = 10;
+    proxy_config.p_trickle_permille = 5;
+    proxy_config.p_stall_permille = 10;
+    proxy_config.stall_ms = 40;
+    proxy_config.chunk_bytes = 1024;  // More fault decision points.
+    ChaosProxy proxy(proxy_config);
+    std::string error;
+    ASSERT_TRUE(proxy.start(&error)) << error;
+
+    ResilientClientConfig resilient;
+    resilient.base.tcp_port = proxy.listen_port();
+    resilient.base.name = "stormrider";
+    resilient.base.recv_timeout_ms = 2'000;  // Storms wedge; budgets free.
+    resilient.base.heartbeat_ms = 200;
+    resilient.max_attempts = 64;
+    resilient.initial_backoff_ms = 5;
+    resilient.max_backoff_ms = 50;
+    ResilientScenarioClient client(resilient);
+
+    const auto outcome = client.run_specs("storm-job", specs);
+    ASSERT_TRUE(outcome.done)
+        << outcome.error_code << ": " << outcome.error_detail
+        << " (reconnects=" << client.reconnects() << ")";
+    EXPECT_EQ(outcome.jsonl(), golden);
+    EXPECT_EQ(outcome.health_jsonl(),
+              ScenarioRunner::health_jsonl(golden_results));
+
+    faults_total += proxy.stats().faults();
+    proxy.stop();
+    server.stop();
+  }
+  // Five seeded storms at these rates inject faults with near certainty;
+  // zero would mean the proxy stopped attacking, not that we got lucky.
+  EXPECT_GT(faults_total, 0u);
+}
+
+TEST(ChaosStormTest, CleanProxyIsAnInvisiblePassthrough) {
+  const std::vector<ScenarioSpec> specs = {quick_spec("clean", 96)};
+  ScenarioServer server(base_config());
+  ASSERT_TRUE(server.start());
+
+  ChaosProxyConfig proxy_config;
+  proxy_config.upstream_port = server.tcp_port();
+  proxy_config.p_reset_permille = 0;
+  proxy_config.p_truncate_permille = 0;
+  proxy_config.p_fuzz_permille = 0;
+  proxy_config.p_duplicate_permille = 0;
+  proxy_config.p_trickle_permille = 0;
+  proxy_config.p_stall_permille = 0;
+  proxy_config.p_split_permille = 0;
+  ChaosProxy proxy(proxy_config);
+  ASSERT_TRUE(proxy.start());
+
+  ResilientClientConfig resilient;
+  resilient.base.tcp_port = proxy.listen_port();
+  resilient.base.name = "calm";
+  resilient.base.recv_timeout_ms = 30'000;
+  ResilientScenarioClient client(resilient);
+  const auto outcome = client.run_specs("calm-job", specs);
+  ASSERT_TRUE(outcome.done)
+      << outcome.error_code << ": " << outcome.error_detail;
+  EXPECT_EQ(outcome.jsonl(),
+            ScenarioRunner::jsonl(ScenarioRunner(1).run(specs)));
+  EXPECT_EQ(client.reconnects(), 0u);
+  EXPECT_EQ(proxy.stats().faults(), 0u);
+  EXPECT_GT(proxy.stats().forwarded_bytes, 0u);
+  proxy.stop();
   server.stop();
 }
 

@@ -4,22 +4,30 @@
 //
 //   ddl_scenario_client --port 45123 --job nightly --suite regression
 //   ddl_scenario_client --unix /tmp/ddl.sock --suite smoke --out r.jsonl
+//   ddl_scenario_client --port 45123 --job repro --replay bundle.json
+//   ddl_scenario_client --port 45123 --job nightly --cancel
 //
-// Resilience is the client's job in this protocol: a `backpressure` frame
-// or a dropped connection is answered by sleeping and resubmitting the
-// same job -- the server replays committed rows byte-exactly (idempotent
-// job identity), so a kill -9 of the server mid-campaign costs nothing but
-// time once it restarts.  Exit status mirrors the runner: the number of
-// failed scenarios (capped at 125), 64 usage error, 66 file error,
-// 69 service unavailable (retries exhausted).
-#include <chrono>
+// Resilience rides on ResilientScenarioClient: a `backpressure` frame or
+// a dropped connection (reset, truncation, a fuzz-poisoned frame reader)
+// is answered by reconnecting with exponential backoff and resubmitting
+// the same job -- the server replays committed rows byte-exactly
+// (idempotent job identity), so a kill -9 of the server mid-campaign or
+// a chaos-proxy storm between the endpoints costs nothing but time.
+// While blocked waiting, the client pings every --heartbeat-ms so the
+// server's dead-peer timeout never reaps a healthy connection.
+//
+// Exit status mirrors the runner: the number of failed scenarios (capped
+// at 125), 64 usage error, 66 file error, 69 service unavailable
+// (attempts exhausted), 70 job cancelled, and for --replay 0 when the
+// expected verdict reproduced / 1 when it did not.
 #include <iostream>
 #include <string>
-#include <thread>
 #include <vector>
 
 #include "ddl/analysis/bench_json.h"
+#include "ddl/scenario/chaos.h"
 #include "ddl/scenario/cli.h"
+#include "ddl/scenario/journal.h"
 #include "ddl/service/client.h"
 
 namespace {
@@ -27,14 +35,14 @@ namespace {
 using namespace ddl;
 
 struct ClientOptions {
-  service::ClientConfig config;
+  service::ResilientClientConfig config;
   std::string job_tag = "job";
   std::string suite = "smoke";
   std::string filter;
+  std::string replay_path;  ///< --replay: run a bundle instead of a suite.
+  bool cancel = false;      ///< --cancel: tear the tagged job down.
   std::string out_path;
   std::string health_out_path;
-  std::uint64_t retry_ms = 200;  ///< Backpressure / reconnect backoff.
-  std::uint64_t attempts = 150;  ///< Connect+submit attempts before 69.
   bool help = false;
   std::string error;
   bool ok() const { return error.empty(); }
@@ -51,15 +59,31 @@ std::string usage() {
       "  --job TAG         job tag (default 'job')\n"
       "  --suite NAME      registry suite to run (default 'smoke')\n"
       "  --filter SUBSTR   keep only scenarios whose name contains this\n"
+      "  --replay FILE     run a chaos replay bundle instead of a suite;\n"
+      "                    exit 0 iff the expected verdict reproduces\n"
+      "  --cancel          cancel the job tagged --job instead of running\n"
       "  --out FILE        write the result JSONL here (default stdout)\n"
       "  --health-out FILE write the health-event JSONL here\n"
-      "  --retry-ms N      backoff between retries (default 200)\n"
-      "  --attempts N      connect/submit attempts before giving up (150)\n"
+      "  --heartbeat-ms N  ping cadence while waiting (default 1000;\n"
+      "                    keep well under the server's\n"
+      "                    --dead-peer-timeout-ms; 0 disables)\n"
+      "  --recv-timeout-ms N\n"
+      "                    give up after N ms of total server silence\n"
+      "                    (default 30000, 0 waits forever)\n"
+      "  --retry-ms N      initial reconnect backoff, doubling per failure\n"
+      "                    (default 25, capped at 1000)\n"
+      "  --attempts N      transport failures tolerated before exit 69\n"
+      "                    (default 150)\n"
       "  --help            this text\n";
 }
 
 ClientOptions parse_args(const std::vector<std::string>& args) {
   ClientOptions options;
+  // Daemon-pairing defaults: ping every second, declare the server dead
+  // after 30 s of total silence.  The library defaults keep both off.
+  options.config.base.heartbeat_ms = 1000;
+  options.config.base.recv_timeout_ms = 30'000;
+  options.config.max_attempts = 150;
   auto value_of = [&](std::size_t& i, const char* flag) -> const std::string* {
     if (i + 1 >= args.size()) {
       options.error = std::string(flag) + " needs a value";
@@ -67,29 +91,34 @@ ClientOptions parse_args(const std::vector<std::string>& args) {
     }
     return &args[++i];
   };
+  auto u64_of = [&](std::size_t& i, const char* flag, std::uint64_t& out) {
+    const std::string* text = value_of(i, flag);
+    if (text != nullptr && !scenario::parse_u64(*text, out)) {
+      options.error = std::string(flag) + ": bad value '" + *text + "'";
+    }
+  };
   for (std::size_t i = 0; i < args.size() && options.ok(); ++i) {
     const std::string& arg = args[i];
     std::uint64_t number = 0;
     if (arg == "--help" || arg == "-h") {
       options.help = true;
     } else if (arg == "--port") {
-      const std::string* text = value_of(i, "--port");
-      if (text != nullptr &&
-          (!scenario::parse_u64(*text, number) || number > 65535)) {
-        options.error = "--port: bad value '" + *text + "'";
+      u64_of(i, "--port", number);
+      if (options.ok() && number > 65535) {
+        options.error = "--port: " + std::to_string(number) + " out of range";
       }
-      options.config.tcp_port = static_cast<int>(number);
+      options.config.base.tcp_port = static_cast<int>(number);
     } else if (arg == "--host") {
       if (const std::string* text = value_of(i, "--host")) {
-        options.config.host = *text;
+        options.config.base.host = *text;
       }
     } else if (arg == "--unix") {
       if (const std::string* text = value_of(i, "--unix")) {
-        options.config.unix_path = *text;
+        options.config.base.unix_path = *text;
       }
     } else if (arg == "--name") {
       if (const std::string* text = value_of(i, "--name")) {
-        options.config.name = *text;
+        options.config.base.name = *text;
       }
     } else if (arg == "--job") {
       if (const std::string* text = value_of(i, "--job")) {
@@ -103,6 +132,12 @@ ClientOptions parse_args(const std::vector<std::string>& args) {
       if (const std::string* text = value_of(i, "--filter")) {
         options.filter = *text;
       }
+    } else if (arg == "--replay") {
+      if (const std::string* text = value_of(i, "--replay")) {
+        options.replay_path = *text;
+      }
+    } else if (arg == "--cancel") {
+      options.cancel = true;
     } else if (arg == "--out") {
       if (const std::string* text = value_of(i, "--out")) {
         options.out_path = *text;
@@ -111,27 +146,79 @@ ClientOptions parse_args(const std::vector<std::string>& args) {
       if (const std::string* text = value_of(i, "--health-out")) {
         options.health_out_path = *text;
       }
+    } else if (arg == "--heartbeat-ms") {
+      u64_of(i, "--heartbeat-ms", options.config.base.heartbeat_ms);
+    } else if (arg == "--recv-timeout-ms") {
+      u64_of(i, "--recv-timeout-ms", options.config.base.recv_timeout_ms);
     } else if (arg == "--retry-ms") {
-      const std::string* text = value_of(i, "--retry-ms");
-      if (text != nullptr && !scenario::parse_u64(*text, options.retry_ms)) {
-        options.error = "--retry-ms: bad value '" + *text + "'";
+      u64_of(i, "--retry-ms", options.config.initial_backoff_ms);
+      if (options.ok() && options.config.initial_backoff_ms == 0) {
+        options.config.initial_backoff_ms = 1;
       }
     } else if (arg == "--attempts") {
-      const std::string* text = value_of(i, "--attempts");
-      if (text != nullptr &&
-          (!scenario::parse_u64(*text, options.attempts) ||
-           options.attempts == 0)) {
-        options.error = "--attempts: bad value '" + *text + "'";
+      u64_of(i, "--attempts", number);
+      if (options.ok() && number == 0) {
+        options.error = "--attempts: must be positive";
       }
+      options.config.max_attempts = static_cast<std::size_t>(number);
     } else {
       options.error = "unknown flag '" + arg + "'";
     }
   }
-  if (options.ok() && options.config.unix_path.empty() &&
-      options.config.tcp_port == 0) {
+  if (options.ok() && options.config.base.unix_path.empty() &&
+      options.config.base.tcp_port == 0) {
     options.error = "need --port or --unix to reach a server";
   }
+  if (options.ok() && options.cancel && !options.replay_path.empty()) {
+    options.error = "--cancel and --replay are mutually exclusive";
+  }
   return options;
+}
+
+/// --cancel: connect, request the teardown, wait for the terminal frame.
+int run_cancel(const ClientOptions& options) {
+  service::ScenarioClient client(options.config.base);
+  std::string error;
+  if (!client.connect(&error)) {
+    std::cerr << "connect: " << error << "\n";
+    return 69;
+  }
+  if (!client.cancel(options.job_tag)) {
+    std::cerr << "error: cancel send failed\n";
+    return 69;
+  }
+  // The terminal frame is either `cancelled` (teardown complete) or an
+  // `error` naming why (unknown_job / already_done).
+  for (;;) {
+    const auto fields = client.next_frame();
+    if (!fields) {
+      std::cerr << "error: connection closed before the cancel reply\n";
+      return 69;
+    }
+    const auto frame_it = fields->find("frame");
+    const std::string type =
+        frame_it == fields->end() ? "" : frame_it->second;
+    if (type == "cancelled") {
+      const auto completed = fields->find("completed");
+      const auto total = fields->find("total");
+      std::cerr << "cancelled: completed="
+                << (completed == fields->end() ? "?" : completed->second)
+                << "/" << (total == fields->end() ? "?" : total->second)
+                << "\n";
+      client.bye();
+      return 0;
+    }
+    if (type == "error") {
+      const auto code = fields->find("code");
+      const auto detail = fields->find("detail");
+      std::cerr << "error: "
+                << (code == fields->end() ? "?" : code->second) << ": "
+                << (detail == fields->end() ? "" : detail->second) << "\n";
+      return 64;
+    }
+    // result / progress / heartbeat frames keep streaming while the
+    // in-flight scenarios drain; skip them.
+  }
 }
 
 }  // namespace
@@ -146,62 +233,47 @@ int main(int argc, char** argv) {
     std::cout << usage();
     return 0;
   }
-
-  const auto nap = [&] {
-    std::this_thread::sleep_for(std::chrono::milliseconds(options.retry_ms));
-  };
-
-  service::ScenarioClient::JobOutcome outcome;
-  bool finished = false;
-  for (std::uint64_t attempt = 0; attempt < options.attempts && !finished;
-       ++attempt) {
-    service::ScenarioClient client(options.config);
-    std::string error;
-    if (!client.connect(&error)) {
-      std::cerr << "connect (attempt " << attempt + 1 << "): " << error
-                << "\n";
-      nap();
-      continue;
-    }
-    const auto submission =
-        client.submit_suite(options.job_tag, options.suite, options.filter);
-    if (submission.backpressure) {
-      std::cerr << "backpressure: retrying in "
-                << (submission.retry_ms ? submission.retry_ms
-                                        : options.retry_ms)
-                << " ms\n";
-      std::this_thread::sleep_for(std::chrono::milliseconds(
-          submission.retry_ms ? submission.retry_ms : options.retry_ms));
-      continue;
-    }
-    if (!submission.accepted) {
-      if (submission.error_code == "disconnected") {
-        nap();  // Server went away between connect and reply; retry.
-        continue;
-      }
-      // A structured rejection (invalid spec, unknown suite) is final.
-      std::cerr << "error: " << submission.error_code << ": "
-                << submission.error_detail << "\n";
-      return 64;
-    }
-    if (submission.resumed) {
-      std::cerr << "resumed job " << submission.job_id << " ("
-                << submission.scenarios << " scenarios)\n";
-    }
-    outcome = client.wait(submission.job_id);
-    if (outcome.done) {
-      finished = true;
-      client.bye();
-      break;
-    }
-    std::cerr << "stream dropped (" << outcome.error_code
-              << "); reconnecting\n";
-    nap();
+  if (options.cancel) {
+    return run_cancel(options);
   }
-  if (!finished) {
-    std::cerr << "error: service unavailable after " << options.attempts
-              << " attempts\n";
-    return 69;
+
+  service::ResilientScenarioClient client(options.config);
+  service::ScenarioClient::JobOutcome outcome;
+  if (!options.replay_path.empty()) {
+    scenario::ReplayBundle bundle;
+    try {
+      bundle = scenario::parse_replay_bundle(
+          scenario::read_file(options.replay_path));
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << options.replay_path << ": " << e.what()
+                << "\n";
+      return 66;
+    }
+    outcome = client.run_replay(options.job_tag, bundle);
+  } else {
+    outcome = client.run_suite(options.job_tag, options.suite, options.filter);
+  }
+
+  if (outcome.cancelled) {
+    std::cerr << "error: job '" << options.job_tag << "' was cancelled\n";
+    return 70;
+  }
+  if (!outcome.done) {
+    if (outcome.error_code == "connect_failed" ||
+        outcome.error_code == "disconnected" ||
+        outcome.error_code == "backpressure" ||
+        outcome.error_code == "bad_frame" ||
+        outcome.error_code == "dead_peer" ||
+        outcome.error_code == "partial_frame_timeout") {
+      std::cerr << "error: service unavailable after "
+                << options.config.max_attempts << " attempts ("
+                << outcome.error_code << ": " << outcome.error_detail
+                << ")\n";
+      return 69;
+    }
+    std::cerr << "error: " << outcome.error_code << ": "
+              << outcome.error_detail << "\n";
+    return 64;
   }
 
   try {
@@ -222,6 +294,14 @@ int main(int argc, char** argv) {
   std::cerr << "job done: scenarios=" << outcome.scenarios
             << " passed=" << outcome.passed << " failed=" << outcome.failed
             << " executed=" << outcome.executed
-            << " resumed=" << outcome.resumed << "\n";
+            << " resumed=" << outcome.resumed
+            << " reconnects=" << client.reconnects() << "\n";
+  if (!options.replay_path.empty()) {
+    std::cerr << (outcome.reproduced ? "reproduced: the expected verdict "
+                                       "reproduced\n"
+                                     : "NOT reproduced: the scenario did not "
+                                       "match the bundle's expectation\n");
+    return outcome.reproduced ? 0 : 1;
+  }
   return static_cast<int>(outcome.failed > 125 ? 125 : outcome.failed);
 }

@@ -43,6 +43,15 @@ std::string usage() {
       "  --max-inflight N   per-client in-flight scenario quota (default 4)\n"
       "  --max-jobs N       per-client pending-job quota (default 4)\n"
       "  --heartbeat-ms N   idle heartbeat interval (default 1000)\n"
+      "  --dead-peer-timeout-ms N\n"
+      "                     close a session silent for N ms (default 30000,\n"
+      "                     0 disables).  Must exceed the client's\n"
+      "                     --heartbeat-ms ping cadence by a healthy margin\n"
+      "  --partial-frame-timeout-ms N\n"
+      "                     close a session stuck mid-frame for N ms -- the\n"
+      "                     slowloris defense (default 10000, 0 disables)\n"
+      "  --max-outbox-mb N  per-session outbox cap before disconnect\n"
+      "                     (default 32; the job continues as an orphan)\n"
       "  --timeout-ms N     watchdog deadline per attempt (0 = per-spec)\n"
       "  --retries N        extra attempts for timed-out scenarios\n"
       "  --help             this text\n";
@@ -50,6 +59,11 @@ std::string usage() {
 
 ServerOptions parse_args(const std::vector<std::string>& args) {
   ServerOptions options;
+  // The daemon defaults differ from the library's (which keep timeouts
+  // off so embedded/test servers never reap a slow debugger session):
+  // a long-running daemon wants dead-peer and slowloris defenses on.
+  options.config.dead_peer_timeout_ms = 30'000;
+  options.config.partial_frame_timeout_ms = 10'000;
   auto value_of = [&](std::size_t& i, const char* flag) -> const std::string* {
     if (i + 1 >= args.size()) {
       options.error = std::string(flag) + " needs a value";
@@ -98,6 +112,16 @@ ServerOptions parse_args(const std::vector<std::string>& args) {
           static_cast<std::size_t>(number);
     } else if (arg == "--heartbeat-ms") {
       u64_of(i, "--heartbeat-ms", options.config.heartbeat_ms);
+    } else if (arg == "--dead-peer-timeout-ms") {
+      u64_of(i, "--dead-peer-timeout-ms",
+             options.config.dead_peer_timeout_ms);
+    } else if (arg == "--partial-frame-timeout-ms") {
+      u64_of(i, "--partial-frame-timeout-ms",
+             options.config.partial_frame_timeout_ms);
+    } else if (arg == "--max-outbox-mb") {
+      u64_of(i, "--max-outbox-mb", number);
+      options.config.max_outbox_bytes =
+          static_cast<std::size_t>(number) << 20;
     } else if (arg == "--timeout-ms") {
       u64_of(i, "--timeout-ms", options.config.isolation.timeout_ms);
     } else if (arg == "--retries") {
@@ -169,6 +193,8 @@ int main(int argc, char** argv) {
             << " executed=" << stats.scenarios_executed
             << " resumed=" << stats.scenarios_resumed
             << " backpressure=" << stats.backpressure_frames
-            << " errors=" << stats.error_frames << "\n";
+            << " errors=" << stats.error_frames
+            << " cancelled=" << stats.jobs_cancelled
+            << " timed_out=" << stats.sessions_timed_out << "\n";
   return 0;
 }
