@@ -1,0 +1,99 @@
+// Batched scenario execution throughput: the MC-yield suite through the
+// ScenarioRunner's batch planner (cross-scenario dies packed into the
+// 8-lane SoA kernel, one workspace sizing per group) versus the same
+// suite with mc_force_scalar (the per-die scalar reference path), at the
+// same thread count.  The planner's contract is byte-identity, so the
+// bench also cross-checks that both variants emit the identical JSONL
+// stream before reporting any speedup.
+//
+// Writes BENCH_scenario_batch.json; DDL_BENCH_TRIALS repeats the suite to
+// stretch the workload on fast machines.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "ddl/analysis/bench_json.h"
+#include "ddl/analysis/parallel.h"
+#include "ddl/scenario/registry.h"
+#include "ddl/scenario/runner.h"
+
+namespace {
+
+struct Measured {
+  double wall_ms = 0.0;
+  double per_sec = 0.0;
+  std::string jsonl;
+};
+
+Measured run_variant(const std::vector<ddl::scenario::ScenarioSpec>& specs,
+                     std::size_t threads) {
+  const ddl::scenario::ScenarioRunner runner(threads);
+  ddl::analysis::WallTimer timer;
+  const auto results = runner.run(specs);
+  Measured out;
+  out.wall_ms = timer.elapsed_ms();
+  out.per_sec = 1e3 * static_cast<double>(results.size()) / out.wall_ms;
+  out.jsonl = ddl::scenario::ScenarioRunner::jsonl(results);
+  return out;
+}
+
+}  // namespace
+
+int main() {
+  const auto& registry = ddl::scenario::ScenarioRegistry::builtin();
+  const std::size_t repeats = ddl::analysis::BenchReport::trials_or(8);
+  std::vector<ddl::scenario::ScenarioSpec> batched;
+  for (std::size_t i = 0; i < repeats; ++i) {
+    for (auto& spec : registry.expand("yield")) {
+      batched.push_back(std::move(spec));
+    }
+  }
+  std::vector<ddl::scenario::ScenarioSpec> scalar = batched;
+  for (ddl::scenario::ScenarioSpec& spec : scalar) {
+    spec.mc_force_scalar = true;
+  }
+
+  std::printf("==== Batched scenario execution (%zu scenarios = yield x %zu) "
+              "====\n\n", batched.size(), repeats);
+
+  ddl::analysis::BenchReport report("scenario_batch");
+  report.set("scenarios", static_cast<std::uint64_t>(batched.size()));
+
+  bool identical = true;
+  double speedup_t1 = 0.0;
+  double batched_t1_per_sec = 0.0;
+  const std::size_t configs[] = {1, ddl::analysis::default_thread_count()};
+  const char* labels[] = {"threads_1", "threads_default"};
+  for (int c = 0; c < 2; ++c) {
+    const Measured planned = run_variant(batched, configs[c]);
+    const Measured forced = run_variant(scalar, configs[c]);
+    identical = identical && planned.jsonl == forced.jsonl;
+    const double speedup = forced.wall_ms / planned.wall_ms;
+    if (c == 0) {
+      speedup_t1 = speedup;
+      batched_t1_per_sec = planned.per_sec;
+    }
+
+    std::printf("  %-16s (%zu threads): batched %7.1f ms (%6.1f/sec)  "
+                "scalar %7.1f ms (%6.1f/sec)  speedup %.2fx\n",
+                labels[c], configs[c], planned.wall_ms, planned.per_sec,
+                forced.wall_ms, forced.per_sec, speedup);
+    report.set(std::string(labels[c]) + "_threads",
+               static_cast<std::uint64_t>(configs[c]));
+    report.set(std::string(labels[c]) + "_batched_scenarios_per_sec",
+               planned.per_sec);
+    report.set(std::string(labels[c]) + "_scalar_scenarios_per_sec",
+               forced.per_sec);
+    report.set(std::string(labels[c]) + "_speedup", speedup);
+  }
+
+  std::printf("\nBatched and forced-scalar JSONL byte-identical: %s\n",
+              identical ? "yes" : "NO -- PLANNER BROKE BYTE-IDENTITY");
+  report.set("guardrail_scenario_batch_scenarios_per_sec", batched_t1_per_sec);
+  report.set("scenario_batch_speedup_vs_scalar", speedup_t1);
+  report.set("scenario_batch_jsonl_identical", identical);
+  const auto path = report.write();
+  std::printf("report: %s\n", path.c_str());
+  return identical ? 0 : 1;
+}

@@ -50,6 +50,17 @@ SCHEMAS = {
         "mc_batch_deterministic_across_threads": lambda v: v is True,
         "mc_batch_speedup_vs_scalar": lambda v: v > 0,
     },
+    "scenario_batch": {
+        "guardrail_scenario_batch_scenarios_per_sec": lambda v: v > 0,
+        "threads_1_batched_scenarios_per_sec": lambda v: v > 0,
+        "threads_1_scalar_scenarios_per_sec": lambda v: v > 0,
+        "threads_default_batched_scenarios_per_sec": lambda v: v > 0,
+        # The planner must actually win: a silent fall-back to the scalar
+        # path would keep byte-identity while losing the entire speedup.
+        "scenario_batch_speedup_vs_scalar": lambda v: v > 1.0,
+        # And the win must be invisible in the stream -- the whole contract.
+        "scenario_batch_jsonl_identical": lambda v: v is True,
+    },
     "server_throughput": {
         "guardrail_server_scenarios_per_sec": lambda v: v > 0,
         "clients_1_scenarios_per_sec": lambda v: v > 0,

@@ -94,6 +94,28 @@ std::vector<double> monte_carlo_batched_samples(const McBatchSpec& spec,
                                                 std::size_t threads = 0,
                                                 McBatchStats* stats = nullptr);
 
+/// One die of an explicit-die batch: its seed and the frozen faults that
+/// apply to it (BatchFault::trial is ignored here -- every listed fault is
+/// this die's, applied in order, like inject_cell_fault composition).
+struct BatchDie {
+  std::uint64_t seed = 1;
+  std::vector<BatchFault> faults;
+};
+
+/// Explicit-die variant of monte_carlo_batched_samples for callers that
+/// assemble their own lanes -- the scenario batch planner packs dies from
+/// *different* scenarios that share line parameters into one block.  Each
+/// lane's result is a pure function of (spec line/period/op, die.seed,
+/// die.faults): identical to running that die through
+/// monte_carlo_batched_samples of its home scenario, so cross-scenario
+/// packing is invisible in the output.  spec.faults is ignored (dies carry
+/// their own).  Results are in dies order, bit-identical for any thread
+/// count (0 = default pool).
+std::vector<double> monte_carlo_batched_dies(const McBatchSpec& spec,
+                                             const std::vector<BatchDie>& dies,
+                                             std::size_t threads = 0,
+                                             McBatchStats* stats = nullptr);
+
 /// Batched counterpart of monte_carlo(): same Summary, >= 20x the
 /// throughput.  Bit-identical to summarizing the scalar per-die reference
 /// for any thread count (0 = default pool).

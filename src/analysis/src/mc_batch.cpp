@@ -113,6 +113,47 @@ detail::BatchKernelParams make_params(const McBatchSpec& spec,
   return kp;
 }
 
+/// The scalar reference body shared by batch_die_inl_scalar (which first
+/// selects spec.faults by trial) and the explicit-die path (whose dies
+/// carry their faults directly).  Faults are injected in array order,
+/// composing multiplicatively like the public reference.
+double die_inl_scalar_impl(const McBatchSpec& spec, std::uint64_t die_seed,
+                           const BatchFault* faults, std::size_t num_faults) {
+  const std::size_t n = spec.line.num_cells;
+  std::vector<double> cell_ps(n);
+  cells::batch_sample_cell_delays(die_seed, n, spec.line.nominal_cell_ps,
+                                  spec.line.sigma_cell, cell_ps.data());
+  core::ProposedDelayLine line({n, spec.line.buffers_per_cell},
+                               std::move(cell_ps), spec.line.nominal_cell_ps);
+  for (std::size_t f = 0; f < num_faults; ++f) {
+    line.inject_cell_fault(faults[f].cell, faults[f].severity);
+  }
+  core::ProposedController controller(line, spec.clock_period_ps);
+  if (!controller.run_to_lock(spec.op).has_value()) {
+    return 0.0;  // kAtLimit: no lock at this corner/period.
+  }
+  const std::size_t tap_sel = controller.tap_sel();
+  if (tap_sel == 0) {
+    return 0.0;  // Degenerate lock: every duty word maps to tap 0.
+  }
+  const core::DutyMapper mapper(n);
+  // Endpoint-fit INL over all duty codes, the same explicit-fma arithmetic
+  // the batch kernel's run scan evaluates at run endpoints.
+  const double cfront = line.tap_delay_ps(mapper.map(0, tap_sel), spec.op);
+  const double clast = line.tap_delay_ps(mapper.map(n - 1, tap_sel), spec.op);
+  const double lsb = (clast - cfront) / static_cast<double>(n - 1);
+  double max_dev = 0.0;
+  for (std::size_t w = 0; w < n; ++w) {
+    const double cv = line.tap_delay_ps(mapper.map(w, tap_sel), spec.op);
+    const double dev = cv - std::fma(lsb, static_cast<double>(w), cfront);
+    const double abs_dev = dev < 0.0 ? -dev : dev;
+    if (abs_dev > max_dev) {
+      max_dev = abs_dev;
+    }
+  }
+  return max_dev / (lsb < 0.0 ? -lsb : lsb);
+}
+
 /// spec.faults grouped by trial (spec order preserved within a trial).
 using FaultIndex = std::unordered_map<std::size_t, std::vector<BatchFault>>;
 
@@ -173,6 +214,53 @@ void run_inl_block(const McBatchSpec& spec, const detail::BatchKernelParams& kp,
   }
 }
 
+/// Runs explicit dies [begin, end) (end - begin <= kBatchLanes) through the
+/// block kernel, re-running divergent or multi-fault dies on the scalar
+/// path.  Writes end - begin samples to `out`.  The lane inputs are each
+/// die's own (seed, faults) -- never a cross-die derivation -- which is
+/// what makes packing dies from different scenarios byte-invisible.
+void run_dies_block(const McBatchSpec& spec,
+                    const detail::BatchKernelParams& kp,
+                    detail::InlBlockFn kernel, const std::vector<BatchDie>& dies,
+                    std::size_t begin, std::size_t end,
+                    detail::BatchWorkspace& ws, double* out,
+                    std::uint64_t& scalar_fallbacks) {
+  std::uint64_t seeds[kBatchLanes];
+  std::size_t fault_cell[kBatchLanes];
+  double fault_severity[kBatchLanes];
+  bool multi_fault[kBatchLanes];
+  for (std::size_t l = 0; l < kBatchLanes; ++l) {
+    // Lanes past the last die re-run the final one; their outputs are
+    // discarded below, they just keep the block shape uniform.
+    const std::size_t die = begin + l < end ? begin + l : end - 1;
+    seeds[l] = dies[die].seed;
+    fault_cell[l] = detail::kNoFault;
+    fault_severity[l] = 1.0;
+    multi_fault[l] = false;
+    const std::vector<BatchFault>& faults = dies[die].faults;
+    if (faults.size() == 1) {
+      fault_cell[l] = faults.front().cell;
+      fault_severity[l] = faults.front().severity;
+    } else if (faults.size() > 1) {
+      multi_fault[l] = true;
+    }
+  }
+
+  double inl[kBatchLanes];
+  bool needs_fallback[kBatchLanes];
+  kernel(kp, seeds, fault_cell, fault_severity, ws, inl, needs_fallback);
+
+  for (std::size_t l = 0; begin + l < end; ++l) {
+    if (multi_fault[l] || needs_fallback[l]) {
+      const std::vector<BatchFault>& faults = dies[begin + l].faults;
+      inl[l] = die_inl_scalar_impl(spec, seeds[l], faults.data(),
+                                   faults.size());
+      ++scalar_fallbacks;
+    }
+    out[l] = inl[l];
+  }
+}
+
 struct InlAcc {
   std::vector<double> samples;
   std::uint64_t scalar_fallbacks = 0;
@@ -203,6 +291,41 @@ std::vector<double> run_batched_samples(ThreadPool& pool,
         double out[kBatchLanes];
         run_inl_block(spec, kp, kernel.inl, faults, base_seed, begin, end,
                       acc.ws, out, acc.scalar_fallbacks);
+        acc.samples.insert(acc.samples.end(), out, out + (end - begin));
+      },
+      [](InlAcc& into, InlAcc&& shard) {
+        into.samples.insert(into.samples.end(), shard.samples.begin(),
+                            shard.samples.end());
+        into.scalar_fallbacks += shard.scalar_fallbacks;
+      });
+
+  if (stats != nullptr) {
+    stats->scalar_fallbacks = total.scalar_fallbacks;
+  }
+  return std::move(total.samples);
+}
+
+std::vector<double> run_batched_dies(ThreadPool& pool, const McBatchSpec& spec,
+                                     const std::vector<BatchDie>& dies,
+                                     McBatchStats* stats) {
+  const detail::BatchKernelParams kp = make_params(spec, spec.op);
+  const detail::KernelVariant kernel = detail::select_kernel();
+  const std::size_t blocks = (dies.size() + kBatchLanes - 1) / kBatchLanes;
+
+  InlAcc total = parallel_for_reduce<InlAcc>(
+      pool, blocks,
+      [&] {
+        InlAcc acc;
+        acc.samples.reserve((blocks / pool.thread_count() + 1) * kBatchLanes);
+        acc.ws.resize(spec.line.num_cells);
+        return acc;
+      },
+      [&](std::size_t block, InlAcc& acc) {
+        const std::size_t begin = block * kBatchLanes;
+        const std::size_t end = std::min(dies.size(), begin + kBatchLanes);
+        double out[kBatchLanes];
+        run_dies_block(spec, kp, kernel.inl, dies, begin, end, acc.ws, out,
+                       acc.scalar_fallbacks);
         acc.samples.insert(acc.samples.end(), out, out + (end - begin));
       },
       [](InlAcc& into, InlAcc&& shard) {
@@ -256,6 +379,35 @@ std::vector<double> monte_carlo_batched_samples(const McBatchSpec& spec,
   return run_batched_samples(pool, spec, trials, base_seed, stats);
 }
 
+std::vector<double> monte_carlo_batched_dies(const McBatchSpec& spec,
+                                             const std::vector<BatchDie>& dies,
+                                             std::size_t threads,
+                                             McBatchStats* stats) {
+  validate_spec(spec);
+  for (const BatchDie& die : dies) {
+    for (const BatchFault& fault : die.faults) {
+      if (fault.cell >= spec.line.num_cells) {
+        throw std::out_of_range("mc_batch: die fault cell out of range");
+      }
+      if (!(fault.severity > 0.0)) {
+        throw std::invalid_argument(
+            "mc_batch: die fault severity must be positive");
+      }
+    }
+  }
+  if (stats != nullptr) {
+    *stats = McBatchStats{};
+  }
+  if (dies.empty()) {
+    return {};
+  }
+  if (threads == 0) {
+    return run_batched_dies(ThreadPool::global(), spec, dies, stats);
+  }
+  ThreadPool pool(threads);
+  return run_batched_dies(pool, spec, dies, stats);
+}
+
 Summary monte_carlo_batched(const McBatchSpec& spec, std::size_t trials,
                             std::uint64_t base_seed, std::size_t threads,
                             McBatchStats* stats) {
@@ -266,41 +418,13 @@ Summary monte_carlo_batched(const McBatchSpec& spec, std::size_t trials,
 double batch_die_inl_scalar(const McBatchSpec& spec, std::size_t trial,
                             std::uint64_t die_seed) {
   validate_spec(spec);
-  const std::size_t n = spec.line.num_cells;
-  std::vector<double> cell_ps(n);
-  cells::batch_sample_cell_delays(die_seed, n, spec.line.nominal_cell_ps,
-                                  spec.line.sigma_cell, cell_ps.data());
-  core::ProposedDelayLine line({n, spec.line.buffers_per_cell},
-                               std::move(cell_ps), spec.line.nominal_cell_ps);
+  std::vector<BatchFault> faults;
   for (const BatchFault& fault : spec.faults) {
     if (fault.trial == trial) {
-      line.inject_cell_fault(fault.cell, fault.severity);
+      faults.push_back(fault);
     }
   }
-  core::ProposedController controller(line, spec.clock_period_ps);
-  if (!controller.run_to_lock(spec.op).has_value()) {
-    return 0.0;  // kAtLimit: no lock at this corner/period.
-  }
-  const std::size_t tap_sel = controller.tap_sel();
-  if (tap_sel == 0) {
-    return 0.0;  // Degenerate lock: every duty word maps to tap 0.
-  }
-  const core::DutyMapper mapper(n);
-  // Endpoint-fit INL over all duty codes, the same explicit-fma arithmetic
-  // the batch kernel's run scan evaluates at run endpoints.
-  const double cfront = line.tap_delay_ps(mapper.map(0, tap_sel), spec.op);
-  const double clast = line.tap_delay_ps(mapper.map(n - 1, tap_sel), spec.op);
-  const double lsb = (clast - cfront) / static_cast<double>(n - 1);
-  double max_dev = 0.0;
-  for (std::size_t w = 0; w < n; ++w) {
-    const double cv = line.tap_delay_ps(mapper.map(w, tap_sel), spec.op);
-    const double dev = cv - std::fma(lsb, static_cast<double>(w), cfront);
-    const double abs_dev = dev < 0.0 ? -dev : dev;
-    if (abs_dev > max_dev) {
-      max_dev = abs_dev;
-    }
-  }
-  return max_dev / (lsb < 0.0 ? -lsb : lsb);
+  return die_inl_scalar_impl(spec, die_seed, faults.data(), faults.size());
 }
 
 double monte_carlo_yield_batched(const BatchYieldSpec& spec,

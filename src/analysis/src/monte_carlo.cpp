@@ -1,6 +1,7 @@
 #include "ddl/analysis/monte_carlo.h"
 
 #include "ddl/analysis/parallel.h"
+#include "ddl/core/hash.h"
 
 namespace ddl::analysis {
 namespace {
@@ -75,11 +76,9 @@ Summary summarize(std::vector<double> samples) {
 }
 
 std::uint64_t die_seed(std::uint64_t base_seed, std::size_t index) {
-  // splitmix64: well-distributed, cheap, deterministic.
-  std::uint64_t z = base_seed + 0x9e3779b97f4a7c15ULL * (index + 1);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ULL;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebULL;
-  z ^= z >> 31;
+  // splitmix64 (core/hash.h): well-distributed, cheap, deterministic.
+  const std::uint64_t z =
+      core::splitmix64_mix(base_seed + core::kSplitMix64Gamma * (index + 1));
   return z == 0 ? 1 : z;
 }
 

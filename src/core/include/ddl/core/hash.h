@@ -1,0 +1,120 @@
+// Shared deterministic hashing / mixing primitives.
+//
+// Three layers of the system independently grew the same two algorithms:
+// splitmix64 (the chaos campaign's storm generator, the chaos proxy's
+// fault schedule, the Monte-Carlo die-seed derivation) and FNV-1a (the
+// campaign journal's spec fingerprints, the service's content-addressed
+// job ids, the wire protocol's frame checksums).  Every one of those
+// streams is part of a byte-stability contract -- journals replay
+// byte-exactly, job ids are durable across restarts, chaos storms are
+// seed-reproducible across compilers -- so the constants here are FROZEN:
+// changing any of them invalidates on-disk state and recorded storms.
+// core_hash_test pins the exact output words.
+//
+// Header-only and dependency-free on purpose: every layer from the cells
+// library up can include it without a link-order cycle.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <cstdio>
+#include <string>
+#include <string_view>
+
+namespace ddl::core {
+
+/// splitmix64's odd gamma (the golden-ratio increment) and finalizer
+/// multipliers, from Steele/Lea/Flood's original constants.
+inline constexpr std::uint64_t kSplitMix64Gamma = 0x9e3779b97f4a7c15ull;
+
+/// The splitmix64 finalizer: a bijective avalanche mix of one 64-bit word.
+inline constexpr std::uint64_t splitmix64_mix(std::uint64_t x) noexcept {
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+/// One splitmix64 stream step: advances `state` by the gamma and returns
+/// the finalized word.  The free-function form suits callers that keep the
+/// state embedded in their own structs (the chaos proxy's per-connection
+/// RNG); SplitMix64 below wraps it for everyone else.
+inline std::uint64_t splitmix64_next(std::uint64_t& state) noexcept {
+  return splitmix64_mix(state += kSplitMix64Gamma);
+}
+
+/// splitmix64: tiny, platform-stable PRNG (std distributions are not
+/// portable across standard libraries; seeded streams must be
+/// byte-identical on gcc and clang alike).
+struct SplitMix64 {
+  std::uint64_t state = 0;
+
+  std::uint64_t next() noexcept { return splitmix64_next(state); }
+
+  /// Uniform in [0, n); modulo bias is irrelevant for fuzzing draws.
+  std::uint64_t below(std::uint64_t n) noexcept { return n ? next() % n : 0; }
+
+  /// Uniform in [0, 1).
+  double unit() noexcept {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+};
+
+// --- FNV-1a -----------------------------------------------------------------
+
+inline constexpr std::uint64_t kFnv1a64Offset = 1469598103934665603ull;
+inline constexpr std::uint64_t kFnv1a64Prime = 1099511628211ull;
+inline constexpr std::uint32_t kFnv1a32Offset = 2166136261u;
+inline constexpr std::uint32_t kFnv1a32Prime = 16777619u;
+
+/// Incremental 64-bit FNV-1a accumulator, for hashes built from several
+/// fragments (the journal fingerprints mix a rendered line plus a '\n' per
+/// spec).  `Fnv1a64{}.update(a).update(b).value()` == hashing a+b at once.
+struct Fnv1a64 {
+  std::uint64_t hash = kFnv1a64Offset;
+
+  Fnv1a64& update(std::string_view text) noexcept {
+    for (const char c : text) {
+      hash ^= static_cast<unsigned char>(c);
+      hash *= kFnv1a64Prime;
+    }
+    return *this;
+  }
+  Fnv1a64& update(char c) noexcept {
+    hash ^= static_cast<unsigned char>(c);
+    hash *= kFnv1a64Prime;
+    return *this;
+  }
+  std::uint64_t value() const noexcept { return hash; }
+};
+
+/// 64-bit FNV-1a of one string.
+inline std::uint64_t fnv1a64(std::string_view text) noexcept {
+  return Fnv1a64{}.update(text).value();
+}
+
+/// 32-bit FNV-1a (the wire protocol's frame checksum).
+inline std::uint32_t fnv1a32(const char* data, std::size_t size) noexcept {
+  std::uint32_t hash = kFnv1a32Offset;
+  for (std::size_t i = 0; i < size; ++i) {
+    hash ^= static_cast<unsigned char>(data[i]);
+    hash *= kFnv1a32Prime;
+  }
+  return hash;
+}
+
+/// A 64-bit word as 16 lowercase hex digits -- the rendering every
+/// fingerprint and job id shares (journal manifests, job directories).
+inline std::string hex16(std::uint64_t value) {
+  char buffer[17];
+  std::snprintf(buffer, sizeof(buffer), "%016llx",
+                static_cast<unsigned long long>(value));
+  return buffer;
+}
+
+/// 64-bit FNV-1a of one string, rendered as 16 hex digits (the
+/// content-addressed job-id / fingerprint form).
+inline std::string fnv1a64_hex(std::string_view text) {
+  return hex16(fnv1a64(text));
+}
+
+}  // namespace ddl::core

@@ -6,10 +6,13 @@
 
 #include <atomic>
 #include <cstdint>
+#include <memory>
 
 #include "ddl/scenario/runner.h"
 
 namespace ddl::scenario {
+
+class ScenarioWorkspace;
 
 /// Per-attempt supervision policy (the isolation slice of CampaignConfig).
 struct IsolationConfig {
@@ -37,8 +40,20 @@ std::uint64_t auto_timeout_ms(const ScenarioSpec& spec);
 /// an exhausted scenario becomes a ScenarioError::kTimeout row.  Never
 /// throws.  `abandoned`, when given, counts workers detached past the
 /// grace window (a genuinely wedged scenario).
+///
+/// Validation is hoisted out of the retry loop: an invalid spec renders
+/// its structured invalid_spec row immediately, with no attempt thread and
+/// no per-attempt re-validation (debug-hook specs keep the full attempt
+/// path so hang/throw injection still exercises the watchdog).
+///
+/// `workspace`, when given, is the caller's per-worker arena slot: sizing
+/// caches persist across attempts and across the worker's scenarios.  The
+/// slot is (re)filled lazily and *cleared* when an attempt is abandoned --
+/// the detached thread keeps its own reference, the next attempt starts a
+/// fresh arena instead of racing it.
 ScenarioArtifacts run_scenario_isolated(
     const ScenarioSpec& spec, const IsolationConfig& config,
-    std::atomic<std::size_t>* abandoned = nullptr);
+    std::atomic<std::size_t>* abandoned = nullptr,
+    std::shared_ptr<ScenarioWorkspace>* workspace = nullptr);
 
 }  // namespace ddl::scenario

@@ -118,8 +118,16 @@ struct ScenarioArtifacts {
   std::vector<control::TransitionReport> transitions;
 };
 
+class ScenarioWorkspace;
+
 /// Runs one scenario synchronously on the calling thread.
 ScenarioArtifacts run_scenario(const ScenarioSpec& spec);
+
+/// Like `run_scenario`, with a caller-owned workspace arena supplying the
+/// cached sizing (see workspace.h).  Byte-identical output: sizing is pure,
+/// so the arena only removes recomputation, never changes a row.
+ScenarioArtifacts run_scenario(const ScenarioSpec& spec,
+                               ScenarioWorkspace& workspace);
 
 /// Like `run_scenario`, but never throws: any exception escaping spec
 /// execution (infeasible sizing, allocation failure, a model bug) becomes a
@@ -127,6 +135,22 @@ ScenarioArtifacts run_scenario(const ScenarioSpec& spec);
 /// message, so one broken scenario cannot take down a whole batch.  Honors
 /// the `debug_throw` test hook.
 ScenarioArtifacts run_scenario_guarded(const ScenarioSpec& spec);
+
+/// Guarded run with a caller-owned workspace arena.
+ScenarioArtifacts run_scenario_guarded(const ScenarioSpec& spec,
+                                       ScenarioWorkspace& workspace);
+
+/// The identity prefix every result row shares (name, family, architecture,
+/// corner, seed, periods, target), factored out so the batch planner and
+/// the error/timeout synthesizers stamp rows with exactly the runner's
+/// shape.
+ScenarioResult make_base_result(const ScenarioSpec& spec);
+
+/// The structured `invalid_spec` failure run_scenario produces for a spec
+/// that fails validation, factored out so the campaign watchdog can
+/// short-circuit validation once before the retry loop.
+ScenarioResult make_invalid_spec_result(const ScenarioSpec& spec,
+                                        const std::vector<std::string>& problems);
 
 /// The error result `run_scenario_guarded` would produce, factored out so
 /// the campaign watchdog can synthesize timeout rows with the same shape.

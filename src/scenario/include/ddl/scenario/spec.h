@@ -228,4 +228,11 @@ struct ScenarioSpec {
 /// `invalid_spec` failure instead of throwing mid-run.
 std::vector<std::string> validate(const ScenarioSpec& spec);
 
+/// Same checks with the sized line's cell count supplied by the caller
+/// (must equal `spec.expected_line_cells()`), so a worker that already
+/// holds the sizing -- the ScenarioWorkspace arena -- validates without
+/// re-running the DesignCalculator.
+std::vector<std::string> validate(const ScenarioSpec& spec,
+                                  std::size_t line_cells);
+
 }  // namespace ddl::scenario

@@ -10,6 +10,7 @@
 #include "ddl/analysis/bench_json.h"
 #include "ddl/analysis/parallel.h"
 #include "ddl/scenario/journal.h"
+#include "ddl/scenario/workspace.h"
 
 namespace ddl::scenario {
 namespace {
@@ -24,6 +25,14 @@ struct Executed {
   std::string line;
   std::vector<std::string> health_lines;
   bool skipped = false;
+};
+
+/// One worker shard's reduction state: its executed entries plus the
+/// workspace arena its scenarios share (sizing cached across specs and
+/// attempts; the slot empties when an attempt is abandoned).
+struct Shard {
+  std::vector<Executed> entries;
+  std::shared_ptr<ScenarioWorkspace> workspace;
 };
 
 }  // namespace
@@ -80,9 +89,9 @@ CampaignOutcome Campaign::run(const std::vector<ScenarioSpec>& specs) const {
   std::atomic<std::size_t> abandoned{0};
   analysis::ThreadPool pool(config_.jobs ? config_.jobs
                                          : analysis::default_thread_count());
-  auto executed = analysis::parallel_for_reduce<std::vector<Executed>>(
-      pool, pending.size(), [] { return std::vector<Executed>{}; },
-      [&](std::size_t i, std::vector<Executed>& acc) {
+  auto executed = analysis::parallel_for_reduce<Shard>(
+      pool, pending.size(), [] { return Shard{}; },
+      [&](std::size_t i, Shard& shard) {
         const std::size_t index = pending[i];
         const ScenarioSpec& spec = specs[index];
         Executed entry;
@@ -93,10 +102,13 @@ CampaignOutcome Campaign::run(const std::vector<ScenarioSpec>& specs) const {
         if (config_.stop != nullptr &&
             config_.stop->load(std::memory_order_relaxed)) {
           entry.skipped = true;
-          acc.push_back(std::move(entry));
+          shard.entries.push_back(std::move(entry));
           return;
         }
-        entry.result = run_scenario_isolated(spec, isolation, &abandoned).result;
+        entry.result =
+            run_scenario_isolated(spec, isolation, &abandoned,
+                                  &shard.workspace)
+                .result;
         entry.line = to_json_line(entry.result);
         entry.health_lines.reserve(entry.result.health.size());
         for (const core::HealthEvent& event : entry.result.health) {
@@ -106,11 +118,11 @@ CampaignOutcome Campaign::run(const std::vector<ScenarioSpec>& specs) const {
         if (writer) {
           writer->record(entry.line, entry.health_lines);
         }
-        acc.push_back(std::move(entry));
+        shard.entries.push_back(std::move(entry));
       },
-      [](std::vector<Executed>& total, std::vector<Executed>&& part) {
-        for (Executed& entry : part) {
-          total.push_back(std::move(entry));
+      [](Shard& total, Shard&& part) {
+        for (Executed& entry : part.entries) {
+          total.entries.push_back(std::move(entry));
         }
       });
 
@@ -134,7 +146,7 @@ CampaignOutcome Campaign::run(const std::vector<ScenarioSpec>& specs) const {
     }
     ++outcome.resumed;
   }
-  for (Executed& entry : executed) {
+  for (Executed& entry : executed.entries) {
     if (entry.skipped) {
       ++outcome.skipped;
       continue;

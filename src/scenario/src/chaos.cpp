@@ -8,32 +8,15 @@
 #include <stdexcept>
 #include <utility>
 
+#include "ddl/core/hash.h"
 #include "ddl/scenario/cli.h"
 
 namespace ddl::scenario {
 namespace {
 
-/// splitmix64: tiny, platform-stable PRNG (std distributions are not
-/// portable across standard libraries, and storms must be byte-identical
-/// on gcc and clang alike).
-struct SplitMix64 {
-  std::uint64_t state;
-
-  std::uint64_t next() {
-    std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
-    z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-    z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-    return z ^ (z >> 31);
-  }
-
-  /// Uniform in [0, n); modulo bias is irrelevant for fuzzing draws.
-  std::uint64_t below(std::uint64_t n) { return n ? next() % n : 0; }
-
-  /// Uniform in [0, 1).
-  double unit() {
-    return static_cast<double>(next() >> 11) * 0x1.0p-53;
-  }
-};
+/// The shared splitmix64 stream (core/hash.h) -- platform-stable, so
+/// storms stay byte-identical on gcc and clang alike.
+using SplitMix64 = core::SplitMix64;
 
 std::string storm_name(const ScenarioSpec& base, std::size_t index) {
   char suffix[32];

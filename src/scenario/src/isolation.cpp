@@ -10,6 +10,8 @@
 #include <thread>
 #include <utility>
 
+#include "ddl/scenario/workspace.h"
+
 namespace ddl::scenario {
 namespace {
 
@@ -42,11 +44,13 @@ struct AttemptSlot {
 /// abandoned (`abandoned` incremented; a genuinely wedged scenario).
 std::optional<ScenarioArtifacts> run_attempt(
     const ScenarioSpec& spec, int attempt, std::uint64_t timeout_ms,
-    std::uint64_t grace_ms, std::atomic<std::size_t>* abandoned) {
+    std::uint64_t grace_ms, std::atomic<std::size_t>* abandoned,
+    std::shared_ptr<ScenarioWorkspace> workspace, bool& detached) {
   auto slot = std::make_shared<AttemptSlot>();
-  // The worker owns a *copy* of the spec: an abandoned (detached) worker
-  // can outlive the campaign's spec vector.
-  std::thread worker([slot, spec, attempt] {
+  // The worker owns a *copy* of the spec (an abandoned/detached worker can
+  // outlive the campaign's spec vector) and shares ownership of the arena
+  // (the caller drops its reference on abandonment; see isolation.h).
+  std::thread worker([slot, spec, attempt, workspace] {
     if (spec.debug_hang_ms > 0 && attempt < spec.debug_hang_attempts) {
       hang_for(spec.debug_hang_ms, slot->cancel);
       if (slot->cancel.load(std::memory_order_relaxed)) {
@@ -56,7 +60,7 @@ std::optional<ScenarioArtifacts> run_attempt(
         return;
       }
     }
-    ScenarioArtifacts artifacts = run_scenario_guarded(spec);
+    ScenarioArtifacts artifacts = run_scenario_guarded(spec, *workspace);
     const std::lock_guard<std::mutex> lock(slot->mutex);
     slot->artifacts = std::move(artifacts);
     slot->done = true;
@@ -86,6 +90,7 @@ std::optional<ScenarioArtifacts> run_attempt(
     worker.join();
   } else {
     worker.detach();
+    detached = true;
     if (abandoned != nullptr) {
       abandoned->fetch_add(1, std::memory_order_relaxed);
     }
@@ -99,9 +104,32 @@ std::uint64_t auto_timeout_ms(const ScenarioSpec& spec) {
   return 10'000 + 20 * spec.periods;
 }
 
-ScenarioArtifacts run_scenario_isolated(const ScenarioSpec& spec,
-                                        const IsolationConfig& config,
-                                        std::atomic<std::size_t>* abandoned) {
+ScenarioArtifacts run_scenario_isolated(
+    const ScenarioSpec& spec, const IsolationConfig& config,
+    std::atomic<std::size_t>* abandoned,
+    std::shared_ptr<ScenarioWorkspace>* workspace) {
+  std::shared_ptr<ScenarioWorkspace> local;
+  std::shared_ptr<ScenarioWorkspace>* arena =
+      workspace != nullptr ? workspace : &local;
+  if (!*arena) {
+    *arena = std::make_shared<ScenarioWorkspace>();
+  }
+
+  // Validation hoist: a malformed spec's row is a pure function of the
+  // spec, so render it here -- once -- instead of re-validating inside
+  // every retry attempt.  Debug-hook specs skip the hoist: their point is
+  // to exercise the attempt machinery (hangs, throws) before validation
+  // would run.
+  if (!spec.debug_throw && spec.debug_hang_ms == 0) {
+    const ScenarioWorkspace::Sizing& sizing = (*arena)->sizing_for(spec);
+    if (const auto problems = validate(spec, sizing.line_cells);
+        !problems.empty()) {
+      ScenarioArtifacts artifacts;
+      artifacts.result = make_invalid_spec_result(spec, problems);
+      return artifacts;
+    }
+  }
+
   const std::uint64_t timeout_ms =
       config.timeout_ms > 0 ? config.timeout_ms : auto_timeout_ms(spec);
   const int attempts_allowed = 1 + std::max(0, config.max_retries);
@@ -111,8 +139,17 @@ ScenarioArtifacts run_scenario_isolated(const ScenarioSpec& spec,
       std::this_thread::sleep_for(
           std::chrono::milliseconds(config.backoff_base_ms << shift));
     }
-    auto artifacts =
-        run_attempt(spec, attempt, timeout_ms, config.grace_ms, abandoned);
+    if (!*arena) {
+      *arena = std::make_shared<ScenarioWorkspace>();
+    }
+    bool detached = false;
+    auto artifacts = run_attempt(spec, attempt, timeout_ms, config.grace_ms,
+                                 abandoned, *arena, detached);
+    if (detached) {
+      // The runaway thread still holds a reference; never hand this arena
+      // to another attempt.
+      arena->reset();
+    }
     if (artifacts) {
       artifacts->result.attempts = attempt + 1;
       return std::move(*artifacts);

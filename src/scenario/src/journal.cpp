@@ -7,6 +7,7 @@
 #include <utility>
 
 #include "ddl/analysis/bench_json.h"
+#include "ddl/core/hash.h"
 #include "ddl/scenario/chaos.h"
 
 namespace ddl::scenario {
@@ -35,21 +36,11 @@ const std::string& field_or(const std::map<std::string, std::string>& fields,
 
 std::string fnv1a_hex(const std::vector<ScenarioSpec>& specs,
                       std::string (*render)(const ScenarioSpec&)) {
-  std::uint64_t hash = 1469598103934665603ull;
-  const auto mix = [&hash](char c) {
-    hash ^= static_cast<unsigned char>(c);
-    hash *= 1099511628211ull;
-  };
+  core::Fnv1a64 hash;
   for (const ScenarioSpec& spec : specs) {
-    for (const char c : render(spec)) {
-      mix(c);
-    }
-    mix('\n');
+    hash.update(render(spec)).update('\n');
   }
-  char buffer[32];
-  std::snprintf(buffer, sizeof(buffer), "%016llx",
-                static_cast<unsigned long long>(hash));
-  return buffer;
+  return core::hex16(hash.value());
 }
 
 }  // namespace

@@ -16,10 +16,10 @@
 #include "ddl/cells/technology.h"
 #include "ddl/control/pid.h"
 #include "ddl/core/calibrated_dpwm.h"
-#include "ddl/core/design_calculator.h"
-#include "ddl/core/hybrid_calibrated.h"
 #include "ddl/core/lock_supervisor.h"
 #include "ddl/dpwm/behavioral.h"
+#include "ddl/scenario/batch_plan.h"
+#include "ddl/scenario/workspace.h"
 
 namespace ddl::scenario {
 namespace {
@@ -104,11 +104,20 @@ core::EnvironmentSchedule environment_for(const ScenarioSpec& spec,
   return env;
 }
 
+/// Rethrows an infeasible sizing as the memoized exception text, so rows
+/// produced through the workspace cache match the uncached path's
+/// error_detail byte-for-byte.
+void throw_if_infeasible(const ScenarioWorkspace::Sizing& sizing) {
+  if (!sizing.feasible) {
+    throw std::runtime_error(sizing.error);
+  }
+}
+
 BuiltSystem build_system(const ScenarioSpec& spec,
-                         const cells::Technology& tech) {
+                         const cells::Technology& tech,
+                         const ScenarioWorkspace::Sizing& sizing) {
   BuiltSystem sys;
   const double period_ps = 1e6 / spec.clock_mhz;
-  core::DesignCalculator calc(tech);
 
   switch (spec.architecture) {
     case Architecture::kCounter: {
@@ -124,10 +133,9 @@ BuiltSystem build_system(const ScenarioSpec& spec,
     }
 
     case Architecture::kProposed: {
-      const auto design = calc.size_proposed(
-          core::DesignSpec{spec.clock_mhz, spec.resolution_bits});
+      throw_if_infeasible(sizing);
       sys.proposed_line = std::make_unique<core::ProposedDelayLine>(
-          tech, design.line, spec.seed);
+          tech, sizing.proposed_line, spec.seed);
       auto dpwm = std::make_unique<core::ProposedDpwmSystem>(
           *sys.proposed_line, period_ps);
       sys.proposed_sys = dpwm.get();
@@ -143,10 +151,9 @@ BuiltSystem build_system(const ScenarioSpec& spec,
     }
 
     case Architecture::kConventional: {
-      const auto design = calc.size_conventional(
-          core::DesignSpec{spec.clock_mhz, spec.resolution_bits});
+      throw_if_infeasible(sizing);
       sys.conventional_line = std::make_unique<core::ConventionalDelayLine>(
-          tech, design.line, spec.seed);
+          tech, sizing.conventional_line, spec.seed);
       auto dpwm = std::make_unique<core::ConventionalDpwmSystem>(
           *sys.conventional_line, period_ps);
       sys.conventional_sys = dpwm.get();
@@ -162,10 +169,9 @@ BuiltSystem build_system(const ScenarioSpec& spec,
     }
 
     case Architecture::kHybrid: {
-      const auto design = core::size_hybrid_calibrated(
-          tech, spec.clock_mhz, spec.resolution_bits, spec.counter_bits);
+      throw_if_infeasible(sizing);
       sys.proposed_line = std::make_unique<core::ProposedDelayLine>(
-          tech, design.line, spec.seed);
+          tech, sizing.proposed_line, spec.seed);
       // The switching period must divide into whole fast-clock ticks, so
       // round the tick and rebuild the period from it (a few ppm off the
       // requested f_sw, same as bench_hybrid_calibrated_13bit).
@@ -213,17 +219,15 @@ control::PidParams pid_for(int duty_bits) {
 /// the max-|INL| distribution into a yield verdict.  The forced-scalar
 /// test hook walks the per-die reference path instead; both paths are
 /// bit-identical sample-by-sample (the mc_batch equivalence contract), so
-/// the rendered row does not depend on the engine choice.
-void run_mc_yield(const ScenarioSpec& spec, const cells::Technology& tech,
+/// the rendered row does not depend on the engine choice.  The kernel-spec
+/// builder and the verdict finisher are shared with the cross-scenario
+/// batch planner (batch_plan.h), which is what keeps the planned path's
+/// rows byte-identical to this one.
+void run_mc_yield(const ScenarioSpec& spec, ScenarioWorkspace& workspace,
                   ScenarioResult& result) {
-  core::DesignCalculator calc(tech);
-  const auto design = calc.size_proposed(
-      core::DesignSpec{spec.clock_mhz, spec.resolution_bits});
-
-  analysis::McBatchSpec mc;
-  mc.line = analysis::BatchLineSpec::from_technology(tech, design.line);
-  mc.clock_period_ps = 1e6 / spec.clock_mhz;
-  mc.op = spec.corner;
+  const ScenarioWorkspace::Sizing& sizing = workspace.sizing_for(spec);
+  throw_if_infeasible(sizing);
+  analysis::McBatchSpec mc = mc_yield_kernel_spec(spec, sizing);
   // Power-on delay-cell faults apply to *every* die (a frozen design
   // defect, not a per-die mismatch draw).  A severe fault pushes dies off
   // the closed form; the engine's per-die scalar fallback covers them.
@@ -246,14 +250,29 @@ void run_mc_yield(const ScenarioSpec& spec, const cells::Technology& tech,
     samples = analysis::monte_carlo_batched_samples(mc, spec.mc_dies,
                                                     spec.seed, /*threads=*/1);
   }
+  finish_mc_yield(spec, std::move(samples), result);
+}
 
+}  // namespace
+
+analysis::McBatchSpec mc_yield_kernel_spec(
+    const ScenarioSpec& spec, const ScenarioWorkspace::Sizing& sizing) {
+  analysis::McBatchSpec mc;
+  mc.line = sizing.batch_line;
+  mc.clock_period_ps = 1e6 / spec.clock_mhz;
+  mc.op = spec.corner;
+  return mc;
+}
+
+void finish_mc_yield(const ScenarioSpec& spec, std::vector<double> samples,
+                     ScenarioResult& result) {
   std::size_t passing = 0;
   for (const double inl : samples) {
     if (inl <= spec.mc_inl_limit_lsb) {
       ++passing;
     }
   }
-  const analysis::Summary summary = analysis::summarize(samples);
+  const analysis::Summary summary = analysis::summarize(std::move(samples));
   result.locked = true;  // The lock walk is part of every die's evaluation.
   result.mc_dies = spec.mc_dies;
   result.mc_yield =
@@ -274,13 +293,8 @@ void run_mc_yield(const ScenarioSpec& spec, const cells::Technology& tech,
   }
 }
 
-}  // namespace
-
-ScenarioArtifacts run_scenario(const ScenarioSpec& spec) {
-  const auto tech = cells::Technology::i32nm_class();
-
-  ScenarioArtifacts artifacts;
-  ScenarioResult& result = artifacts.result;
+ScenarioResult make_base_result(const ScenarioSpec& spec) {
+  ScenarioResult result;
   result.name = spec.name;
   result.family = spec.family;
   result.architecture = spec.architecture;
@@ -288,24 +302,53 @@ ScenarioArtifacts run_scenario(const ScenarioSpec& spec) {
   result.seed = spec.seed;
   result.periods = spec.periods;
   result.target_vref_v = spec.final_vref_v();
+  return result;
+}
 
-  // A malformed spec becomes a structured failure, not an exception from
-  // deep inside the run (which would tear down the whole parallel batch).
-  if (const auto problems = validate(spec); !problems.empty()) {
-    result.failure_reason = "invalid_spec";
+ScenarioResult make_invalid_spec_result(
+    const ScenarioSpec& spec, const std::vector<std::string>& problems) {
+  ScenarioResult result = make_base_result(spec);
+  result.failure_reason = "invalid_spec";
+  if (!problems.empty()) {
     result.failure_detail = problems.front();
     for (std::size_t i = 1; i < problems.size(); ++i) {
       result.failure_detail += "; " + problems[i];
     }
+  }
+  return result;
+}
+
+ScenarioArtifacts run_scenario(const ScenarioSpec& spec) {
+  ScenarioWorkspace workspace;
+  return run_scenario(spec, workspace);
+}
+
+ScenarioArtifacts run_scenario(const ScenarioSpec& spec,
+                               ScenarioWorkspace& workspace) {
+  const cells::Technology& tech = workspace.technology();
+
+  ScenarioArtifacts artifacts;
+  ScenarioResult& result = artifacts.result;
+  result = make_base_result(spec);
+
+  // A malformed spec becomes a structured failure, not an exception from
+  // deep inside the run (which would tear down the whole parallel batch).
+  // The sizing the victim-range checks need comes from the arena, so a
+  // retried or same-architecture scenario validates without re-running the
+  // DesignCalculator.
+  const ScenarioWorkspace::Sizing& sizing = workspace.sizing_for(spec);
+  if (const auto problems = validate(spec, sizing.line_cells);
+      !problems.empty()) {
+    result = make_invalid_spec_result(spec, problems);
     return artifacts;
   }
 
   if (spec.mc_dies > 0) {
-    run_mc_yield(spec, tech, result);
+    run_mc_yield(spec, workspace, result);
     return artifacts;
   }
 
-  BuiltSystem sys = build_system(spec, tech);
+  BuiltSystem sys = build_system(spec, tech, sizing);
   result.locked = sys.locked;
   result.lock_cycles = sys.lock_cycles;
 
@@ -468,14 +511,7 @@ ScenarioArtifacts run_scenario(const ScenarioSpec& spec) {
 
 ScenarioResult make_error_result(const ScenarioSpec& spec, ScenarioError error,
                                  std::string detail) {
-  ScenarioResult result;
-  result.name = spec.name;
-  result.family = spec.family;
-  result.architecture = spec.architecture;
-  result.corner = spec.corner;
-  result.seed = spec.seed;
-  result.periods = spec.periods;
-  result.target_vref_v = spec.final_vref_v();
+  ScenarioResult result = make_base_result(spec);
   result.error = error;
   result.error_detail = std::move(detail);
   result.failure_reason = "error:" + std::string(to_string(error));
@@ -483,11 +519,17 @@ ScenarioResult make_error_result(const ScenarioSpec& spec, ScenarioError error,
 }
 
 ScenarioArtifacts run_scenario_guarded(const ScenarioSpec& spec) {
+  ScenarioWorkspace workspace;
+  return run_scenario_guarded(spec, workspace);
+}
+
+ScenarioArtifacts run_scenario_guarded(const ScenarioSpec& spec,
+                                       ScenarioWorkspace& workspace) {
   try {
     if (spec.debug_throw) {
       throw std::runtime_error("debug_throw test hook");
     }
-    return run_scenario(spec);
+    return run_scenario(spec, workspace);
   } catch (const std::exception& e) {
     ScenarioArtifacts artifacts;
     artifacts.result =
@@ -599,22 +641,51 @@ SuiteSummary summarize(const std::vector<ScenarioResult>& results) {
 
 std::vector<ScenarioResult> ScenarioRunner::run(
     const std::vector<ScenarioSpec>& specs) const {
-  analysis::ThreadPool pool(threads_ ? threads_
-                                     : analysis::default_thread_count());
-  return analysis::parallel_for_reduce<std::vector<ScenarioResult>>(
-      pool, specs.size(),
-      [] { return std::vector<ScenarioResult>{}; },
-      [&specs](std::size_t i, std::vector<ScenarioResult>& acc) {
+  const std::size_t threads =
+      threads_ ? threads_ : analysis::default_thread_count();
+
+  // Partition first: batch-eligible MC-yield scenarios group into shared
+  // kernel dispatches, everything else takes the per-scenario guarded
+  // path.  Classification and grouping are deterministic, and every row is
+  // placed by spec index, so the JSONL stream stays byte-identical to the
+  // ungrouped runner for any thread count.
+  ScenarioWorkspace planner_workspace;
+  const BatchPlan plan = plan_batches(specs, planner_workspace);
+
+  std::vector<ScenarioResult> results(specs.size());
+
+  /// Scalar shard state: rows tagged with their spec index plus the
+  /// worker's workspace arena (sizing reused across the shard's specs).
+  struct ScalarShard {
+    std::vector<std::pair<std::size_t, ScenarioResult>> rows;
+    std::shared_ptr<ScenarioWorkspace> workspace =
+        std::make_shared<ScenarioWorkspace>();
+  };
+  analysis::ThreadPool pool(threads);
+  auto scalar_rows = analysis::parallel_for_reduce<ScalarShard>(
+      pool, plan.scalar.size(), [] { return ScalarShard{}; },
+      [&](std::size_t i, ScalarShard& shard) {
         // Guarded per scenario: an exception from one spec becomes its own
         // structured error row instead of tearing down the whole batch.
-        acc.push_back(run_scenario_guarded(specs[i]).result);
+        const std::size_t index = plan.scalar[i];
+        shard.rows.emplace_back(
+            index, run_scenario_guarded(specs[index], *shard.workspace).result);
       },
-      [](std::vector<ScenarioResult>& total,
-         std::vector<ScenarioResult>&& part) {
-        for (ScenarioResult& result : part) {
-          total.push_back(std::move(result));
+      [](ScalarShard& total, ScalarShard&& part) {
+        for (auto& row : part.rows) {
+          total.rows.push_back(std::move(row));
         }
       });
+  for (auto& [index, result] : scalar_rows.rows) {
+    results[index] = std::move(result);
+  }
+
+  // Batched groups: each is one explicit-die dispatch whose internal block
+  // sharding uses the same thread budget.
+  for (const BatchGroup& group : plan.groups) {
+    run_batch_group(specs, group, planner_workspace, threads, results);
+  }
+  return results;
 }
 
 std::string ScenarioRunner::jsonl(const std::vector<ScenarioResult>& results) {

@@ -178,12 +178,17 @@ std::size_t ScenarioSpec::expected_line_cells() const {
 }
 
 std::vector<std::string> validate(const ScenarioSpec& spec) {
+  return validate(spec, spec.expected_line_cells());
+}
+
+std::vector<std::string> validate(const ScenarioSpec& spec,
+                                  std::size_t line_cells) {
   std::vector<std::string> errors;
   const auto error = [&](const std::string& message) {
     errors.push_back(spec.name + ": " + message);
   };
 
-  const std::size_t cells = spec.expected_line_cells();
+  const std::size_t cells = line_cells;
   for (std::size_t i = 0; i < spec.faults.size(); ++i) {
     const FaultSpec& fault = spec.faults[i];
     const std::string prefix =

@@ -1,0 +1,64 @@
+#include "ddl/scenario/workspace.h"
+
+#include <bit>
+#include <exception>
+#include <utility>
+
+#include "ddl/core/design_calculator.h"
+#include "ddl/core/hybrid_calibrated.h"
+
+namespace ddl::scenario {
+
+const ScenarioWorkspace::Sizing& ScenarioWorkspace::sizing_for(
+    const ScenarioSpec& spec) {
+  const Key key{static_cast<int>(spec.architecture),
+                std::bit_cast<std::uint64_t>(spec.clock_mhz),
+                spec.resolution_bits,
+                // counter_bits only parameterizes the hybrid split; other
+                // architectures must share cache entries regardless of it.
+                spec.architecture == Architecture::kHybrid ? spec.counter_bits
+                                                           : 0};
+  const auto it = cache_.find(key);
+  if (it != cache_.end()) {
+    return it->second;
+  }
+
+  Sizing sizing;
+  try {
+    core::DesignCalculator calc(tech_);
+    switch (spec.architecture) {
+      case Architecture::kCounter:
+        break;  // No delay line to size.
+      case Architecture::kProposed: {
+        const auto design = calc.size_proposed(
+            core::DesignSpec{spec.clock_mhz, spec.resolution_bits});
+        sizing.proposed_line = design.line;
+        sizing.line_cells = design.line.num_cells;
+        sizing.batch_line =
+            analysis::BatchLineSpec::from_technology(tech_, design.line);
+        break;
+      }
+      case Architecture::kConventional: {
+        const auto design = calc.size_conventional(
+            core::DesignSpec{spec.clock_mhz, spec.resolution_bits});
+        sizing.conventional_line = design.line;
+        sizing.line_cells = design.line.num_cells;
+        break;
+      }
+      case Architecture::kHybrid: {
+        const auto design = core::size_hybrid_calibrated(
+            tech_, spec.clock_mhz, spec.resolution_bits, spec.counter_bits);
+        sizing.proposed_line = design.line;
+        sizing.line_cells = design.line.num_cells;
+        break;
+      }
+    }
+  } catch (const std::exception& e) {
+    sizing = Sizing{};
+    sizing.feasible = false;
+    sizing.error = e.what();
+  }
+  return cache_.emplace(key, std::move(sizing)).first->second;
+}
+
+}  // namespace ddl::scenario

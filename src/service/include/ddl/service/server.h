@@ -12,11 +12,16 @@
 // (client name + job tag + content fingerprint of every spec field), so
 // resubmission is idempotent and no scenario ever runs twice.
 //
-// Scheduling is fair round-robin across clients at scenario granularity,
-// bounded by per-client quotas: at most `max_inflight_per_client`
-// dispatched scenarios at once, at most `max_pending_jobs_per_client`
-// incomplete jobs -- a submit beyond that quota is answered with an
-// explicit `backpressure` frame (retryable), never a disconnect.
+// Scheduling is fair round-robin across clients at dispatch-unit
+// granularity, bounded by per-client quotas: at most
+// `max_inflight_per_client` dispatched scenarios at once, at most
+// `max_pending_jobs_per_client` incomplete jobs -- a submit beyond that
+// quota is answered with an explicit `backpressure` frame (retryable),
+// never a disconnect.  A unit is usually one scenario; batch-eligible
+// MC-yield scenarios of the same job coalesce into one multi-scenario
+// unit (each still spending inflight quota) that the worker runs through
+// the batch planner as packed SoA kernel lanes -- byte-identical rows,
+// several-fold throughput.
 //
 // A `cancel` frame tears a job down cooperatively: pending scenarios are
 // never dispatched, queued ones are withdrawn, in-flight ones finish and
@@ -115,6 +120,9 @@ struct ServiceStats {
   std::size_t replay_jobs = 0;        ///< Jobs born from `submit_replay`.
   std::size_t sessions_timed_out = 0;  ///< Dead-peer / partial-frame kills.
   std::size_t outbox_overflows = 0;    ///< Sessions over max_outbox_bytes.
+  /// Dispatch units that coalesced >1 batch-eligible MC-yield scenario
+  /// into one worker claim (run as packed kernel lanes).
+  std::size_t batched_units = 0;
 };
 
 class ScenarioServer {

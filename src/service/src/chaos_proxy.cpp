@@ -17,6 +17,7 @@
 #include <thread>
 #include <vector>
 
+#include "ddl/core/hash.h"
 #include "ddl/service/net_util.h"
 
 namespace ddl::service {
@@ -25,12 +26,9 @@ namespace {
 
 using Clock = std::chrono::steady_clock;
 
-std::uint64_t splitmix64(std::uint64_t& state) {
-  std::uint64_t z = (state += 0x9e3779b97f4a7c15ull);
-  z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9ull;
-  z = (z ^ (z >> 27)) * 0x94d049bb133111ebull;
-  return z ^ (z >> 31);
-}
+/// The shared splitmix64 stream step (core/hash.h); the per-connection
+/// state word lives inside Conn, so the free-function form fits here.
+using core::splitmix64_next;
 
 bool set_nonblocking(int fd) {
   const int flags = ::fcntl(fd, F_GETFL, 0);
@@ -118,7 +116,7 @@ struct ChaosProxy::Impl {
 
   Fault draw_fault(Conn& conn) {
     const std::uint32_t draw =
-        static_cast<std::uint32_t>(splitmix64(conn.rng) % 1000);
+        static_cast<std::uint32_t>(splitmix64_next(conn.rng) % 1000);
     std::uint32_t band = config.p_reset_permille;
     if (draw < band) {
       return Fault::kReset;
@@ -164,11 +162,11 @@ struct ChaosProxy::Impl {
       case Fault::kFuzz: {
         // Flip 1-4 bytes anywhere in the chunk: early offsets hit frame
         // headers (length prefix, checksum), later ones hit JSON bodies.
-        const std::size_t flips = 1 + splitmix64(conn.rng) % 4;
+        const std::size_t flips = 1 + splitmix64_next(conn.rng) % 4;
         for (std::size_t i = 0; i < flips && !chunk.empty(); ++i) {
-          const std::size_t at = splitmix64(conn.rng) % chunk.size();
+          const std::size_t at = splitmix64_next(conn.rng) % chunk.size();
           chunk[at] = static_cast<char>(chunk[at] ^
-                                        (1u << (splitmix64(conn.rng) % 8)));
+                                        (1u << (splitmix64_next(conn.rng) % 8)));
         }
         dir.pending += chunk;
         bump(&ChaosProxyStats::fuzzed_chunks);

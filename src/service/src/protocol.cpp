@@ -2,6 +2,8 @@
 
 #include <stdexcept>
 
+#include "ddl/core/hash.h"
+
 namespace ddl::service {
 
 namespace {
@@ -25,12 +27,7 @@ std::uint32_t read_be32(const char* data) {
 }  // namespace
 
 std::uint32_t fnv1a32(const char* data, std::size_t size) {
-  std::uint32_t hash = 2166136261u;
-  for (std::size_t i = 0; i < size; ++i) {
-    hash ^= static_cast<unsigned char>(data[i]);
-    hash *= 16777619u;
-  }
-  return hash;
+  return core::fnv1a32(data, size);
 }
 
 std::string encode_frame(const std::string& payload) {

@@ -27,11 +27,14 @@
 #include <utility>
 
 #include "ddl/analysis/bench_json.h"
+#include "ddl/core/hash.h"
+#include "ddl/scenario/batch_plan.h"
 #include "ddl/scenario/chaos.h"
 #include "ddl/scenario/cli.h"
 #include "ddl/scenario/journal.h"
 #include "ddl/scenario/registry.h"
 #include "ddl/scenario/runner.h"
+#include "ddl/scenario/workspace.h"
 #include "ddl/service/net_util.h"
 #include "ddl/service/protocol.h"
 
@@ -49,26 +52,13 @@ constexpr std::size_t kDefaultMaxOutboxBytes = std::size_t{32} << 20;
 constexpr std::size_t kDefaultMaxFramesPerTick = 256;
 constexpr std::size_t kDefaultMaxRxBytesPerTick = std::size_t{256} << 10;
 
-/// FNV-1a over one string, rendered as the 16-hex-digit job-id style the
-/// journal fingerprints use.
-std::string fnv1a_hex(const std::string& text) {
-  std::uint64_t hash = 1469598103934665603ull;
-  for (const unsigned char c : text) {
-    hash ^= c;
-    hash *= 1099511628211ull;
-  }
-  char buffer[17];
-  std::snprintf(buffer, sizeof(buffer), "%016llx",
-                static_cast<unsigned long long>(hash));
-  return buffer;
-}
-
 /// Content-addressed job identity: same client, same tag, same spec bytes
 /// -> same id, so resubmission after a crash or disconnect attaches to the
-/// original job instead of running anything twice.
+/// original job instead of running anything twice.  Rendered in the same
+/// 16-hex-digit style the journal fingerprints use.
 std::string job_id_of(const std::string& client, const std::string& tag,
                       const std::string& content_fingerprint) {
-  return fnv1a_hex(client + "\n" + tag + "\n" + content_fingerprint);
+  return core::fnv1a64_hex(client + "\n" + tag + "\n" + content_fingerprint);
 }
 
 std::string clip(std::string text) {
@@ -106,10 +96,22 @@ struct Completion {
   std::vector<std::string> health_lines;
 };
 
-struct Task {
-  std::string job_id;
+/// One scenario of a dispatch unit.
+struct TaskEntry {
   std::size_t index = 0;
   ScenarioSpec spec;
+};
+
+/// A dispatch unit: one or more scenarios of the same job claimed by one
+/// worker in a single scheduling decision.  Units with several entries are
+/// batch-eligible MC-yield scenarios that the worker runs through the
+/// batch planner (src/scenario/batch_plan.h) as packed kernel lanes; every
+/// entry still counts against the owner's inflight quota and completes
+/// with its own Completion, so quota accounting, cancel withdrawal and
+/// result frames are per-scenario exactly as before.
+struct Task {
+  std::string job_id;
+  std::vector<TaskEntry> entries;
 };
 
 enum class SpecState : unsigned char { kPending, kInflight, kDone };
@@ -195,6 +197,9 @@ struct ScenarioServer::Impl {
   std::vector<ClientSlot> clients;
   std::size_t rr_cursor = 0;
   bool draining = false;
+  /// Event-loop-owned sizing cache backing batch-eligibility checks at
+  /// dispatch time (single-threaded owner, like everything above).
+  scenario::ScenarioWorkspace plan_workspace;
 
   // --- Worker pool ------------------------------------------------------
   std::vector<std::thread> worker_threads;
@@ -507,14 +512,41 @@ struct ScenarioServer::Impl {
         if (job.state[i] != SpecState::kPending) {
           continue;
         }
+        Task task;
+        task.job_id = job.id;
         job.state[i] = SpecState::kInflight;
         slot.inflight++;
+        note_dispatch(slot.name);
+        task.entries.push_back(TaskEntry{i, job.specs[i]});
+        // Coalesce: when the claimed scenario is batch-eligible, later
+        // pending batch-eligible scenarios of the same job join this
+        // dispatch unit (up to the inflight quota) so the worker can pack
+        // them into SoA kernel lanes.  Still one unit per rotation --
+        // the extra entries spend quota the client would have spent on
+        // later rotations, so cross-client fairness is unchanged.
+        if (scenario::batch_eligible(job.specs[i], plan_workspace)) {
+          for (std::size_t j = i + 1;
+               j < job.specs.size() &&
+               slot.inflight < config.max_inflight_per_client;
+               ++j) {
+            if (job.state[j] != SpecState::kPending ||
+                !scenario::batch_eligible(job.specs[j], plan_workspace)) {
+              continue;
+            }
+            job.state[j] = SpecState::kInflight;
+            slot.inflight++;
+            note_dispatch(slot.name);
+            task.entries.push_back(TaskEntry{j, job.specs[j]});
+          }
+        }
+        if (task.entries.size() > 1) {
+          bump(&ServiceStats::batched_units);
+        }
         {
           std::lock_guard<std::mutex> lock(task_mutex);
-          task_queue.push_back(Task{job.id, i, job.specs[i]});
+          task_queue.push_back(std::move(task));
         }
         task_cv.notify_one();
-        note_dispatch(slot.name);
         return true;
       }
     }
@@ -688,15 +720,17 @@ struct ScenarioServer::Impl {
     std::vector<Task> kept;
     {
       std::lock_guard<std::mutex> lock(task_mutex);
+      ClientSlot& slot = slot_of(job.owner);
       for (Task& task : task_queue) {
         if (task.job_id != job.id) {
           kept.push_back(std::move(task));
           continue;
         }
-        job.state[task.index] = SpecState::kPending;
-        ClientSlot& slot = slot_of(job.owner);
-        if (slot.inflight > 0) {
-          slot.inflight--;
+        for (const TaskEntry& entry : task.entries) {
+          job.state[entry.index] = SpecState::kPending;
+          if (slot.inflight > 0) {
+            slot.inflight--;
+          }
         }
       }
       task_queue.assign(std::make_move_iterator(kept.begin()),
@@ -1318,7 +1352,73 @@ struct ScenarioServer::Impl {
 
   // --- Worker / event threads -------------------------------------------
 
+  static Completion completion_of(const std::string& job_id,
+                                  std::size_t index,
+                                  const scenario::ScenarioResult& result) {
+    Completion done;
+    done.job_id = job_id;
+    done.index = index;
+    done.pass = result.pass;
+    done.line = scenario::to_json_line(result);
+    for (const core::HealthEvent& event : result.health) {
+      done.health_lines.push_back(
+          scenario::health_to_json(result, event).to_json_line());
+    }
+    return done;
+  }
+
+  /// Runs one dispatch unit on the calling worker.  Single-entry units
+  /// take the watchdog-isolated path; multi-entry units (batch-eligible
+  /// MC-yield scenarios only -- deterministic compute with no hang or
+  /// throw hooks) run through the batch planner as packed kernel lanes,
+  /// with the planner's own per-scenario guarded fallback on group
+  /// failure.  Rows are byte-identical either way: both paths end in
+  /// make_base_result + finish_mc_yield over lane-pure samples.
+  std::vector<Completion> run_unit(
+      Task& task, std::shared_ptr<scenario::ScenarioWorkspace>& workspace) {
+    std::vector<Completion> out;
+    out.reserve(task.entries.size());
+    if (task.entries.size() == 1) {
+      TaskEntry& entry = task.entries.front();
+      const scenario::ScenarioArtifacts artifacts =
+          scenario::run_scenario_isolated(entry.spec, config.isolation,
+                                          &abandoned, &workspace);
+      out.push_back(completion_of(task.job_id, entry.index, artifacts.result));
+      return out;
+    }
+    std::vector<ScenarioSpec> specs;
+    specs.reserve(task.entries.size());
+    for (TaskEntry& entry : task.entries) {
+      specs.push_back(entry.spec);
+    }
+    if (!workspace) {
+      workspace = std::make_shared<scenario::ScenarioWorkspace>();
+    }
+    std::vector<scenario::ScenarioResult> results(specs.size());
+    const scenario::BatchPlan plan = scenario::plan_batches(specs, *workspace);
+    for (const scenario::BatchGroup& group : plan.groups) {
+      scenario::run_batch_group(specs, group, *workspace, /*threads=*/1,
+                                results);
+    }
+    // Eligibility can flip between dispatch and execution only via the
+    // sizing cache being fresh here; the planner routes any such spec to
+    // `scalar`, which still runs it under the watchdog.
+    for (const std::size_t i : plan.scalar) {
+      results[i] = scenario::run_scenario_isolated(specs[i], config.isolation,
+                                                   &abandoned, &workspace)
+                       .result;
+    }
+    for (std::size_t k = 0; k < task.entries.size(); ++k) {
+      out.push_back(
+          completion_of(task.job_id, task.entries[k].index, results[k]));
+    }
+    return out;
+  }
+
   void worker_main() {
+    // The worker's scenario arena: sizing caches persist across every unit
+    // this thread runs (reset only when an attempt is abandoned).
+    std::shared_ptr<scenario::ScenarioWorkspace> workspace;
     for (;;) {
       Task task;
       {
@@ -1331,21 +1431,12 @@ struct ScenarioServer::Impl {
         task = std::move(task_queue.front());
         task_queue.pop_front();
       }
-      const scenario::ScenarioArtifacts artifacts =
-          scenario::run_scenario_isolated(task.spec, config.isolation,
-                                          &abandoned);
-      Completion done;
-      done.job_id = std::move(task.job_id);
-      done.index = task.index;
-      done.pass = artifacts.result.pass;
-      done.line = scenario::to_json_line(artifacts.result);
-      for (const core::HealthEvent& event : artifacts.result.health) {
-        done.health_lines.push_back(
-            scenario::health_to_json(artifacts.result, event).to_json_line());
-      }
+      std::vector<Completion> batch = run_unit(task, workspace);
       {
         std::lock_guard<std::mutex> lock(completion_mutex);
-        completions.push_back(std::move(done));
+        for (Completion& done : batch) {
+          completions.push_back(std::move(done));
+        }
       }
       wake();
     }
@@ -1472,10 +1563,12 @@ struct ScenarioServer::Impl {
       for (const Task& task : task_queue) {
         auto it = jobs.find(task.job_id);
         if (it != jobs.end()) {
-          it->second.state[task.index] = SpecState::kPending;
           ClientSlot& slot = slot_of(it->second.owner);
-          if (slot.inflight > 0) {
-            slot.inflight--;
+          for (const TaskEntry& entry : task.entries) {
+            it->second.state[entry.index] = SpecState::kPending;
+            if (slot.inflight > 0) {
+              slot.inflight--;
+            }
           }
         }
       }

@@ -17,6 +17,7 @@
 #include "ddl/scenario/campaign.h"
 #include "ddl/scenario/chaos.h"
 #include "ddl/scenario/cli.h"
+#include "ddl/scenario/registry.h"
 #include "ddl/scenario/runner.h"
 #include "ddl/scenario/spec.h"
 
@@ -31,6 +32,7 @@ using ddl::scenario::ChaosCampaignSpec;
 using ddl::scenario::FaultSpec;
 using ddl::scenario::LoadSpec;
 using ddl::scenario::ScenarioError;
+using ddl::scenario::ScenarioRegistry;
 using ddl::scenario::ScenarioRunner;
 using ddl::scenario::ScenarioSpec;
 
@@ -107,6 +109,33 @@ TEST(CampaignTest, StreamIsIdenticalAcrossJobCounts) {
   const auto b = Campaign(four).run(specs);
   EXPECT_EQ(a.jsonl(), b.jsonl());
   EXPECT_EQ(a.health_jsonl, b.health_jsonl);
+}
+
+TEST(CampaignTest, McYieldCampaignIsByteIdenticalAcrossJobsAndKernelPaths) {
+  // The yield suite exercises the batched MC hot path; the supervised
+  // runtime-fault rider must stay on the per-scenario scalar path.  The
+  // stream may depend on neither sharding nor kernel choice.
+  auto specs = ScenarioRegistry::builtin().expand("yield");
+  specs.push_back(supervised_spec());
+
+  CampaignConfig one;
+  one.jobs = 1;
+  CampaignConfig four;
+  four.jobs = 4;
+  const auto serial = Campaign(one).run(specs);
+  const auto sharded = Campaign(four).run(specs);
+  EXPECT_EQ(serial.jsonl(), sharded.jsonl());
+  EXPECT_EQ(serial.health_jsonl, sharded.health_jsonl);
+
+  // Forcing every scenario down the scalar kernel must not change a byte:
+  // the 8-lane engine is an execution detail, not an output format.
+  auto forced = specs;
+  for (ScenarioSpec& spec : forced) {
+    spec.mc_force_scalar = true;
+  }
+  const auto reference = Campaign(four).run(forced);
+  EXPECT_EQ(serial.jsonl(), reference.jsonl());
+  EXPECT_EQ(serial.health_jsonl, reference.health_jsonl);
 }
 
 TEST(CampaignTest, ResumeAfterTornJournalIsByteIdentical) {

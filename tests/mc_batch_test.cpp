@@ -180,6 +180,83 @@ TEST(McBatch, MultipleFaultsOnOneDieUseScalarPath) {
   }
 }
 
+// ---- Explicit-die batching (the scenario planner's entry point) -----------
+
+TEST(McBatchDies, MatchesTrialIndexedRunDieByDie) {
+  auto spec = fig50_spec();
+  spec.faults.push_back({/*trial=*/3, /*cell=*/5, /*severity=*/70.0});
+  spec.faults.push_back({/*trial=*/6, /*cell=*/10, /*severity=*/1.2});
+  spec.faults.push_back({/*trial=*/6, /*cell=*/11, /*severity=*/0.9});
+  const auto reference = monte_carlo_batched_samples(spec, 21, 2024, 1);
+
+  std::vector<BatchDie> dies(21);
+  for (std::size_t i = 0; i < dies.size(); ++i) {
+    dies[i].seed = die_seed(2024, i);
+    for (const BatchFault& fault : spec.faults) {
+      if (fault.trial == i) {
+        dies[i].faults.push_back(fault);
+      }
+    }
+  }
+  auto dies_spec = spec;
+  dies_spec.faults.clear();  // Explicit dies carry their own faults.
+  McBatchStats stats;
+  const auto samples = monte_carlo_batched_dies(dies_spec, dies, 1, &stats);
+  ASSERT_EQ(samples.size(), reference.size());
+  for (std::size_t i = 0; i < samples.size(); ++i) {
+    EXPECT_EQ(bits_of(samples[i]), bits_of(reference[i])) << "die " << i;
+  }
+  // Die 3's 70x fault and die 6's compound fault both leave the kernel.
+  EXPECT_GE(stats.scalar_fallbacks, 2u);
+}
+
+TEST(McBatchDies, CrossScenarioLanePackingIsInvisible) {
+  // Interleave dies from two "scenarios" (different base seeds, one with a
+  // per-die fault) into one batch: each die must still equal its
+  // home-scenario run, regardless of which lanes its neighbours came from.
+  auto faulted = fig50_spec();
+  for (std::size_t i = 0; i < 9; ++i) {
+    faulted.faults.push_back({i, /*cell=*/31, /*severity=*/3.0});
+  }
+  const auto home_a = monte_carlo_batched_samples(fig50_spec(), 9, 801, 1);
+  const auto home_b = monte_carlo_batched_samples(faulted, 9, 77, 1);
+
+  std::vector<BatchDie> dies;
+  for (std::size_t i = 0; i < 9; ++i) {
+    dies.push_back({die_seed(801, i), {}});
+    dies.push_back({die_seed(77, i), {{0, 31, 3.0}}});
+  }
+  const auto packed = monte_carlo_batched_dies(fig50_spec(), dies, 1);
+  ASSERT_EQ(packed.size(), 18u);
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(bits_of(packed[2 * i]), bits_of(home_a[i])) << "a die " << i;
+    EXPECT_EQ(bits_of(packed[2 * i + 1]), bits_of(home_b[i]))
+        << "b die " << i;
+  }
+}
+
+TEST(McBatchDies, IdenticalAtEveryThreadCount) {
+  std::vector<BatchDie> dies(37);
+  for (std::size_t i = 0; i < dies.size(); ++i) {
+    dies[i].seed = die_seed(7, i);
+  }
+  const auto serial = monte_carlo_batched_dies(fig50_spec(), dies, 1);
+  for (std::size_t threads : {std::size_t{2}, std::size_t{5}}) {
+    EXPECT_EQ(serial, monte_carlo_batched_dies(fig50_spec(), dies, threads))
+        << "threads=" << threads;
+  }
+}
+
+TEST(McBatchDies, EmptyAndInvalidInputs) {
+  EXPECT_TRUE(monte_carlo_batched_dies(fig50_spec(), {}).empty());
+  std::vector<BatchDie> bad_cell{{1, {{0, /*cell=*/4096, 2.0}}}};
+  EXPECT_THROW(monte_carlo_batched_dies(fig50_spec(), bad_cell),
+               std::out_of_range);
+  std::vector<BatchDie> bad_severity{{1, {{0, /*cell=*/0, 0.0}}}};
+  EXPECT_THROW(monte_carlo_batched_dies(fig50_spec(), bad_severity),
+               std::invalid_argument);
+}
+
 // ---- Kernel dispatch ------------------------------------------------------
 
 TEST(McBatch, BaseKernelBitIdenticalToDispatchedKernel) {

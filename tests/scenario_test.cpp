@@ -4,12 +4,16 @@
 // thread count must produce byte-identical JSONL and verdict counts.
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <set>
 #include <string>
+#include <vector>
 
 #include "ddl/control/closed_loop.h"
+#include "ddl/scenario/batch_plan.h"
 #include "ddl/scenario/registry.h"
 #include "ddl/scenario/runner.h"
+#include "ddl/scenario/workspace.h"
 
 namespace {
 
@@ -446,6 +450,82 @@ TEST(McYieldTest, YieldRowCarriesTheMcFieldsOnly) {
   const auto plain = ddl::scenario::run_scenario(smoke.front()).result;
   EXPECT_EQ(ddl::scenario::to_json_line(plain).find("\"mc_"),
             std::string::npos);
+}
+
+TEST(BatchPlanTest, ClassifiesEligibilityAndGroupsByKernelConstants) {
+  ddl::scenario::ScenarioWorkspace workspace;
+  const auto yield = ScenarioRegistry::builtin().expand("yield");
+  ASSERT_EQ(yield.size(), 4u);
+  for (const ScenarioSpec& spec : yield) {
+    EXPECT_TRUE(ddl::scenario::batch_eligible(spec, workspace)) << spec.name;
+  }
+
+  // Anything that must take the scalar path -- a forced-scalar flag, a
+  // debug hook, a runtime fault schedule (invalid for MC yield, so its
+  // invalid_spec row must render through the guarded path), or a plain
+  // non-MC scenario -- is ineligible.
+  ScenarioSpec forced = yield.front();
+  forced.mc_force_scalar = true;
+  ScenarioSpec hooked = yield.front();
+  hooked.debug_throw = true;
+  ScenarioSpec scheduled = yield.front();
+  scheduled.faults = {FaultSpec::delay_cell(1, 2.0, 100)};
+  const ScenarioSpec plain =
+      ScenarioRegistry::builtin().expand("smoke").front();
+  for (const ScenarioSpec* spec :
+       std::initializer_list<const ScenarioSpec*>{&forced, &hooked, &scheduled,
+                                                  &plain}) {
+    EXPECT_FALSE(ddl::scenario::batch_eligible(*spec, workspace))
+        << spec->name;
+  }
+
+  // The planner keeps the three corners apart (their kernel constants
+  // differ) and packs the faulted typical-corner variant with its clean
+  // sibling -- faults are per-die state, invisible to the group key --
+  // while ineligible specs keep their positions on the scalar list.
+  std::vector<ScenarioSpec> mixed;
+  mixed.push_back(plain);
+  for (const ScenarioSpec& spec : yield) {
+    mixed.push_back(spec);
+  }
+  mixed.push_back(forced);
+  const auto plan = ddl::scenario::plan_batches(mixed, workspace);
+  EXPECT_EQ(plan.scalar, (std::vector<std::size_t>{0, 5}));
+  ASSERT_EQ(plan.groups.size(), 3u);
+  std::size_t members = 0;
+  std::size_t widest = 0;
+  for (const auto& group : plan.groups) {
+    members += group.members.size();
+    widest = std::max(widest, group.members.size());
+  }
+  EXPECT_EQ(members, 4u);
+  EXPECT_EQ(widest, 2u);
+}
+
+TEST(BatchPlanTest, PlannedRunMatchesPerScenarioRowsAtEveryJobCount) {
+  // The whole byte-identity contract in one sweep: a mixed list -- MC
+  // yield (planned into packed kernel lanes) plus the smoke suite (scalar
+  // shards) -- must emit exactly the rows of one-scenario-at-a-time
+  // run_scenario calls, at every thread count.
+  std::vector<ScenarioSpec> specs = ScenarioRegistry::builtin().expand("yield");
+  for (ScenarioSpec& spec : ScenarioRegistry::builtin().expand("smoke")) {
+    specs.push_back(std::move(spec));
+  }
+
+  std::vector<ddl::scenario::ScenarioResult> reference;
+  reference.reserve(specs.size());
+  for (const ScenarioSpec& spec : specs) {
+    reference.push_back(ddl::scenario::run_scenario(spec).result);
+  }
+  const std::string jsonl = ScenarioRunner::jsonl(reference);
+  const std::string health = ScenarioRunner::health_jsonl(reference);
+
+  for (std::size_t threads : {std::size_t{1}, std::size_t{4}, std::size_t{0}}) {
+    const auto results = ScenarioRunner(threads).run(specs);
+    EXPECT_EQ(ScenarioRunner::jsonl(results), jsonl) << "threads=" << threads;
+    EXPECT_EQ(ScenarioRunner::health_jsonl(results), health)
+        << "threads=" << threads;
+  }
 }
 
 TEST(SpecValidationTest, McYieldRulesAreEnforced) {

@@ -28,6 +28,7 @@
 #include <vector>
 
 #include "ddl/scenario/chaos.h"
+#include "ddl/scenario/registry.h"
 #include "ddl/scenario/runner.h"
 #include "ddl/scenario/spec.h"
 #include "ddl/service/chaos_proxy.h"
@@ -430,6 +431,37 @@ TEST(ServiceTest, QuotaExceededIsABackpressureFrameNotADisconnect) {
   const auto retry = client.submit_specs("job-b", fast);
   ASSERT_TRUE(retry.accepted);
   EXPECT_TRUE(client.wait(retry.job_id).done);
+  server.stop();
+}
+
+TEST(ServiceTest, CoalescedBatchDispatchKeepsTheStreamByteIdentical) {
+  // One worker and a deep quota hand the scheduler a queue of pending
+  // MC-yield scenarios from the same job, which it must coalesce into
+  // multi-entry dispatch units (stats().batched_units counts them); the
+  // streamed rows must still match the one-shot runner byte for byte,
+  // with the runtime-faulted rider taking the scalar path inside the
+  // same job.
+  auto specs = ddl::scenario::ScenarioRegistry::builtin().expand("yield");
+  specs.push_back(supervised_spec());
+
+  ServiceConfig config = base_config();
+  config.workers = 1;
+  config.max_inflight_per_client = 8;
+  ScenarioServer server(config);
+  ASSERT_TRUE(server.start());
+
+  ScenarioClient client(client_for(server, "batcher"));
+  ASSERT_TRUE(client.connect());
+  const auto submit = client.submit_specs("yield", specs);
+  ASSERT_TRUE(submit.accepted);
+  const auto outcome = client.wait(submit.job_id);
+  ASSERT_TRUE(outcome.done);
+
+  const auto reference = ScenarioRunner(1).run(specs);
+  EXPECT_EQ(outcome.jsonl(), ScenarioRunner::jsonl(reference));
+  EXPECT_EQ(outcome.health_jsonl(), ScenarioRunner::health_jsonl(reference));
+  EXPECT_EQ(server.stats().scenarios_executed, specs.size());
+  EXPECT_GT(server.stats().batched_units, 0u);
   server.stop();
 }
 
