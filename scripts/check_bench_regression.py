@@ -61,6 +61,19 @@ SCHEMAS = {
         # And the win must be invisible in the stream -- the whole contract.
         "scenario_batch_jsonl_identical": lambda v: v is True,
     },
+    "sandbox_overhead": {
+        "guardrail_sandbox_scenarios_per_sec": lambda v: v > 0,
+        "thread_scenarios_per_sec": lambda v: v > 0,
+        "process_scenarios_per_sec": lambda v: v > 0,
+        # The fork/IPC tax bound from the acceptance criteria: process
+        # isolation may cost at most 10% scenarios/sec versus thread mode
+        # (the sandbox keeps one long-lived worker, so the steady-state
+        # cost is a pipe round trip per dispatch unit, not a fork).
+        "sandbox_efficiency_frac": lambda v: v >= 0.90,
+        # Isolation must be invisible in the stream -- same contract as
+        # the batch planner.
+        "sandbox_jsonl_identical": lambda v: v is True,
+    },
     "server_throughput": {
         "guardrail_server_scenarios_per_sec": lambda v: v > 0,
         "clients_1_scenarios_per_sec": lambda v: v > 0,

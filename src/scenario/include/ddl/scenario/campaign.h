@@ -61,11 +61,21 @@ struct CampaignConfig {
   /// are journaled normally, so the journal stays resumable and non-torn;
   /// unstarted scenarios are counted in CampaignOutcome::skipped.
   const std::atomic<bool>* stop = nullptr;
+  /// Where scenario attempts execute: out-of-process sandbox workers (the
+  /// default; crashes become structured rows) or in-process watchdog
+  /// threads (lower overhead, no crash containment).
+  IsolationMode isolation_mode = IsolationMode::kProcess;
+  /// RLIMIT_AS / RLIMIT_CPU caps applied inside sandbox workers.
+  SandboxLimits limits;
+  /// Thread mode: abandoned-worker cap (see IsolationConfig::max_abandoned).
+  std::size_t max_abandoned = 16;
 
   /// The isolation slice of this config, as the shared watchdog executor
   /// consumes it.
   IsolationConfig isolation() const noexcept {
-    return IsolationConfig{timeout_ms, max_retries, backoff_base_ms, grace_ms};
+    return IsolationConfig{timeout_ms,     max_retries, backoff_base_ms,
+                           grace_ms,       isolation_mode, limits,
+                           max_abandoned};
   }
 };
 
@@ -86,6 +96,10 @@ struct CampaignOutcome {
   std::size_t exceptions = 0; ///< Scenarios captured as kException errors.
   std::size_t abandoned_threads = 0;  ///< Workers detached past grace.
   std::size_t skipped = 0;    ///< Scenarios never started (graceful stop).
+  std::size_t sandbox_crashes = 0;   ///< Workers killed by a fatal signal.
+  std::size_t workers_respawned = 0; ///< Replacement sandbox workers forked.
+  std::size_t resource_kills = 0;    ///< Workers killed by RLIMIT caps.
+  std::size_t workers_lost = 0;      ///< kWorkerLost rows (incl. cap trips).
   /// True when a graceful stop cut the run short: `skipped` scenarios have
   /// neither a result row nor a journal entry; resume picks them up.
   bool interrupted = false;

@@ -52,6 +52,11 @@ std::vector<ScenarioSpec> expand_chaos(const ChaosCampaignSpec& chaos);
 /// bundle dialect, parseable by `analysis::parse_flat_json_line`.
 analysis::JsonObject spec_to_json(const ScenarioSpec& spec);
 
+/// Appends the same flat serialization onto an existing object (whose own
+/// fields -- a frame type, a sequence number -- stay in front).  The
+/// sandbox supervisor ships specs to its worker processes this way.
+void spec_to_json_into(analysis::JsonObject& object, const ScenarioSpec& spec);
+
 /// Rebuilds a spec from the flat dialect.  Unknown keys are ignored and
 /// missing keys keep their defaults, so bundles stay forward-compatible;
 /// throws std::invalid_argument on unparseable enum values.

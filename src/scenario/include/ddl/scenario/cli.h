@@ -35,6 +35,19 @@ struct RunnerOptions {
   /// attempt for MS, demonstrating watchdog timeout / retry / error rows.
   std::uint64_t inject_hang_ms = 0;
 
+  /// --isolation thread|process: where scenario attempts execute
+  /// (default: process -- fork()ed sandbox workers with crash containment).
+  std::string isolation = "process";
+  std::uint64_t mem_limit_mb = 0;  ///< --mem-limit-mb: worker RLIMIT_AS cap.
+  std::uint64_t cpu_limit_s = 0;   ///< --cpu-limit-s: worker RLIMIT_CPU cap.
+
+  /// --inject-crash KIND[@SUBSTR] (test hook): inject a crash of KIND
+  /// (segv|abort|oom|spin) into the matching scenarios.  Without @SUBSTR
+  /// only the batch's first scenario crashes; with it, every scenario
+  /// whose name contains SUBSTR does.
+  std::string inject_crash_kind;
+  std::string inject_crash_match;
+
   bool list = false;
   bool help = false;
 };

@@ -7,12 +7,36 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <string_view>
 
 #include "ddl/scenario/runner.h"
 
 namespace ddl::scenario {
 
 class ScenarioWorkspace;
+
+/// Where an attempt executes.
+enum class IsolationMode {
+  /// In-process worker thread under the cooperative watchdog.  Cheap, but a
+  /// crashing scenario takes the host down and a wedged one leaks a
+  /// detached thread.
+  kThread,
+  /// fork()ed sandbox worker (ddl/scenario/sandbox.h): crashes, resource
+  /// blowups and hard hangs become structured error rows while the
+  /// supervisor survives.
+  kProcess,
+};
+
+std::string_view to_string(IsolationMode mode) noexcept;
+
+/// Per-worker resource caps, applied via setrlimit() inside the sandbox
+/// child (process mode only; a thread shares the host's limits).
+struct SandboxLimits {
+  /// RLIMIT_AS cap in MiB; 0 leaves the address space unlimited.
+  std::uint64_t mem_limit_mb = 0;
+  /// RLIMIT_CPU cap in seconds; 0 leaves CPU time unlimited.
+  std::uint64_t cpu_limit_s = 0;
+};
 
 /// Per-attempt supervision policy (the isolation slice of CampaignConfig).
 struct IsolationConfig {
@@ -26,6 +50,16 @@ struct IsolationConfig {
   /// After a timeout the watchdog cancels cooperatively and waits this long
   /// to join the worker before abandoning (detaching) it.
   std::uint64_t grace_ms = 500;
+  /// Thread or process execution.  The executors in sandbox.h honor this;
+  /// run_scenario_isolated below *is* the thread path and ignores it.
+  IsolationMode mode = IsolationMode::kProcess;
+  /// Resource caps for process-mode workers.
+  SandboxLimits limits;
+  /// Thread mode only: once this many workers have been abandoned
+  /// (detached past the grace window), further attempts fail fast with
+  /// ScenarioError::kWorkerLost instead of stacking up more leaked
+  /// threads.  0 = unbounded (the pre-cap behavior).
+  std::size_t max_abandoned = 16;
 };
 
 /// The derived watchdog deadline when `timeout_ms == 0`: generous enough
@@ -39,7 +73,9 @@ std::uint64_t auto_timeout_ms(const ScenarioSpec& spec);
 /// as structured rows from run_scenario_guarded on the first attempt, and
 /// an exhausted scenario becomes a ScenarioError::kTimeout row.  Never
 /// throws.  `abandoned`, when given, counts workers detached past the
-/// grace window (a genuinely wedged scenario).
+/// grace window (a genuinely wedged scenario) and enforces
+/// `config.max_abandoned`: at or past the cap the scenario fails fast as a
+/// ScenarioError::kWorkerLost row instead of detaching yet another thread.
 ///
 /// Validation is hoisted out of the retry loop: an invalid spec renders
 /// its structured invalid_spec row immediately, with no attempt thread and

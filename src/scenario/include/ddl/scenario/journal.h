@@ -22,12 +22,31 @@
 #include <fstream>
 #include <map>
 #include <mutex>
+#include <stdexcept>
 #include <string>
 #include <vector>
 
 #include "ddl/scenario/runner.h"
 
 namespace ddl::scenario {
+
+/// A journal append that could not be durably committed: the stream went
+/// bad on write or flush (ENOSPC, EIO, a yanked volume).  The journal is
+/// fail-closed -- the writer throws *before* the result line commits, so a
+/// caught JournalIoError never leaves a scenario half-recorded; resuming
+/// after freeing space replays from the last committed record.
+class JournalIoError : public std::runtime_error {
+ public:
+  JournalIoError(const std::string& what, int error_number)
+      : std::runtime_error(what), errno_(error_number) {}
+
+  /// The errno captured when the stream failure was detected (0 when the
+  /// OS did not report one).
+  int error_number() const noexcept { return errno_; }
+
+ private:
+  int errno_ = 0;
+};
 
 /// File paths inside a journal directory.
 std::string journal_path(const std::string& dir);

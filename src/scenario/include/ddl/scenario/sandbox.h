@@ -1,0 +1,122 @@
+// Process-level scenario sandbox: crash containment for campaign workers.
+//
+// A ScenarioExecutor is the one dispatch-unit execution engine shared by
+// the Campaign engine and the campaign service daemon.  In
+// IsolationMode::kThread it is a thin wrapper over the watchdog thread
+// path (run_scenario_isolated / the batch planner).  In
+// IsolationMode::kProcess it supervises a fork()ed *worker process*:
+//
+//   supervisor (this process)              worker (forked child)
+//   ----------------------------          ---------------------------
+//   spec frames + go  ------------------>  spec_from_json, run
+//                     <------------------  health / row frames
+//                     <------------------  unit_done
+//   waitpid on death; classify; respawn
+//
+// Frames reuse the campaign service's checksummed wire framing
+// (ddl/service/protocol.h) over a pipe pair, and rows travel as the exact
+// JSONL line the runner would emit -- the same byte-identity trick the
+// service uses on sockets -- so thread mode and process mode produce
+// byte-identical streams.
+//
+// The point of the fork: a scenario that segfaults, aborts, blows past an
+// address-space or CPU-time cap (setrlimit inside the child), or wedges
+// beyond the watchdog deadline kills only the worker.  The supervisor
+// reaps it (waitpid), classifies the exit status into a structured
+// ScenarioError (kCrash / kResourceLimit / kWorkerLost / kTimeout),
+// respawns the worker and -- for transient classes -- retries under the
+// exact backoff policy thread mode uses.  Crash rows are deterministic
+// (signal name + spec content fingerprint; never a pid or address), so a
+// journaled crash row replays byte-identically on resume.
+//
+// Batch-plan dispatch units survive: a multi-spec unit ships whole into
+// one worker (one batched kernel dispatch, threads=1).  If the worker
+// dies mid-group the partial rows are discarded and every member degrades
+// to a per-scenario guarded retry -- never a lost or duplicated row.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "ddl/scenario/isolation.h"
+#include "ddl/scenario/runner.h"
+
+namespace ddl::scenario {
+
+/// Shared sandbox telemetry, aggregated across every executor of a
+/// campaign or server (plain atomics; hand the same instance to all).
+struct SandboxCounters {
+  /// Workers killed by a fatal signal (rows classified kCrash).
+  std::atomic<std::size_t> crashes{0};
+  /// Fresh workers forked to replace a dead one (initial spawns excluded).
+  std::atomic<std::size_t> respawns{0};
+  /// Workers killed by their RLIMIT_AS / RLIMIT_CPU cap (kResourceLimit).
+  std::atomic<std::size_t> resource_kills{0};
+  /// Rows classified kWorkerLost (unattributable death, retries exhausted,
+  /// or thread mode's abandoned-worker cap).
+  std::atomic<std::size_t> workers_lost{0};
+};
+
+/// One executed scenario: the verdict plus its rendered JSONL line and
+/// health-event lines.  In process mode the lines are rendered inside the
+/// worker and shipped back byte-exact; `result` carries the verdict slice
+/// either way (full telemetry in thread mode, reconstructed from the row
+/// in process mode -- same contract as a journal resume).
+struct ExecutedScenario {
+  ScenarioResult result;
+  std::string line;
+  std::vector<std::string> health_lines;
+};
+
+/// Executes dispatch units (one spec, or one batch-coalesced group) under
+/// the configured isolation mode.  One executor per campaign/server worker
+/// thread; not itself thread-safe except interrupt(), which any thread may
+/// call to kill the in-flight unit's worker process.
+class ScenarioExecutor {
+ public:
+  /// `counters` and `abandoned`, when given, must outlive the executor.
+  explicit ScenarioExecutor(IsolationConfig config,
+                            SandboxCounters* counters = nullptr,
+                            std::atomic<std::size_t>* abandoned = nullptr);
+  ~ScenarioExecutor();
+
+  ScenarioExecutor(const ScenarioExecutor&) = delete;
+  ScenarioExecutor& operator=(const ScenarioExecutor&) = delete;
+
+  /// Runs one scenario to a structured row.  Never throws; every failure
+  /// mode (crash, limit, timeout, lost worker) comes back as an error row.
+  ExecutedScenario run_one(const ScenarioSpec& spec);
+
+  /// Runs one dispatch unit in spec order.  A single-spec unit follows the
+  /// full watchdog/retry policy; a multi-spec unit is a batch-coalesced
+  /// group (one worker, one batched dispatch) whose members degrade to
+  /// per-scenario retries if the group's worker dies.  Returns one entry
+  /// per spec, in order -- or an empty vector when interrupt() withdrew
+  /// the unit (check interrupted()).
+  std::vector<ExecutedScenario> run_unit(const std::vector<ScenarioSpec>& specs);
+
+  /// Kills the current worker's process group (cancel support).  The
+  /// in-flight run_unit returns empty with interrupted() set; rows of the
+  /// withdrawn unit are never emitted.  Safe from any thread.
+  void interrupt();
+
+  bool interrupted() const noexcept;
+
+  /// Re-arms the executor after a withdrawn unit (the server reuses its
+  /// per-worker executor across jobs).
+  void clear_interrupt() noexcept;
+
+  IsolationMode mode() const noexcept;
+
+  /// Implementation state (public so the supervisor's file-local helpers
+  /// can take it by reference; the definition stays in sandbox.cpp).
+  struct Impl;
+
+ private:
+  std::unique_ptr<Impl> impl_;
+};
+
+}  // namespace ddl::scenario

@@ -108,6 +108,15 @@ enum class ScenarioError {
   kNone = 0,   ///< Ran to completion (verdict is pass/fail).
   kException,  ///< Spec execution threw; `error_detail` carries what().
   kTimeout,    ///< Watchdog deadline expired on every allowed attempt.
+  kCrash,          ///< Sandbox worker died on a fatal signal (SIGSEGV,
+                   ///< SIGABRT, ...); `error_detail` carries the signal and
+                   ///< the faulting spec's content fingerprint.
+  kResourceLimit,  ///< Sandbox worker hit its RLIMIT_AS / RLIMIT_CPU cap.
+  kWorkerLost,     ///< Worker vanished for an unattributable reason (pipe
+                   ///< EOF mid-scenario, external kill) -- transient, so it
+                   ///< retries like a timeout -- or, in thread mode, the
+                   ///< abandoned-worker cap tripped and the campaign
+                   ///< refuses to start new watchdog attempts.
 };
 
 std::string_view to_string(ScenarioError error) noexcept;
@@ -207,6 +216,13 @@ struct ScenarioSpec {
   int debug_hang_attempts = 1;
   /// The guarded runner throws instead of executing (exception capture).
   bool debug_throw = false;
+  /// Crash injection (process-mode sandbox testing; the runner's
+  /// --inject-crash flag): "segv" / "abort" raise the fatal signal inside
+  /// the sandbox worker, "oom" allocates until the worker's RLIMIT_AS cap
+  /// kills it, "spin" busy-loops until RLIMIT_CPU or the watchdog does.
+  /// Empty = no injection.  Only honored by the out-of-process worker: a
+  /// thread-mode run ignores it rather than crash the host process.
+  std::string debug_crash;
 
   /// The regulation target the steady-state window is judged against: the
   /// last DVFS mode's vref, or `vref_v` when the schedule is empty.

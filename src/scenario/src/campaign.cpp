@@ -10,6 +10,7 @@
 #include "ddl/analysis/bench_json.h"
 #include "ddl/analysis/parallel.h"
 #include "ddl/scenario/journal.h"
+#include "ddl/scenario/sandbox.h"
 #include "ddl/scenario/workspace.h"
 
 namespace ddl::scenario {
@@ -28,11 +29,11 @@ struct Executed {
 };
 
 /// One worker shard's reduction state: its executed entries plus the
-/// workspace arena its scenarios share (sizing cached across specs and
-/// attempts; the slot empties when an attempt is abandoned).
+/// executor that ran them (thread mode: the watchdog + workspace arena;
+/// process mode: this shard's sandbox worker process).
 struct Shard {
   std::vector<Executed> entries;
-  std::shared_ptr<ScenarioWorkspace> workspace;
+  std::unique_ptr<ScenarioExecutor> executor;
 };
 
 }  // namespace
@@ -87,6 +88,7 @@ CampaignOutcome Campaign::run(const std::vector<ScenarioSpec>& specs) const {
 
   const IsolationConfig isolation = config_.isolation();
   std::atomic<std::size_t> abandoned{0};
+  SandboxCounters counters;
   analysis::ThreadPool pool(config_.jobs ? config_.jobs
                                          : analysis::default_thread_count());
   auto executed = analysis::parallel_for_reduce<Shard>(
@@ -105,16 +107,14 @@ CampaignOutcome Campaign::run(const std::vector<ScenarioSpec>& specs) const {
           shard.entries.push_back(std::move(entry));
           return;
         }
-        entry.result =
-            run_scenario_isolated(spec, isolation, &abandoned,
-                                  &shard.workspace)
-                .result;
-        entry.line = to_json_line(entry.result);
-        entry.health_lines.reserve(entry.result.health.size());
-        for (const core::HealthEvent& event : entry.result.health) {
-          entry.health_lines.push_back(
-              health_to_json(entry.result, event).to_json_line());
+        if (!shard.executor) {
+          shard.executor = std::make_unique<ScenarioExecutor>(
+              isolation, &counters, &abandoned);
         }
+        ExecutedScenario run = shard.executor->run_one(spec);
+        entry.result = std::move(run.result);
+        entry.line = std::move(run.line);
+        entry.health_lines = std::move(run.health_lines);
         if (writer) {
           writer->record(entry.line, entry.health_lines);
         }
@@ -124,6 +124,7 @@ CampaignOutcome Campaign::run(const std::vector<ScenarioSpec>& specs) const {
         for (Executed& entry : part.entries) {
           total.entries.push_back(std::move(entry));
         }
+        part.executor.reset();
       });
 
   CampaignOutcome outcome;
@@ -156,6 +157,8 @@ CampaignOutcome Campaign::run(const std::vector<ScenarioSpec>& specs) const {
     } else if (entry.result.error == ScenarioError::kException) {
       ++outcome.exceptions;
     }
+    // kCrash / kResourceLimit / kWorkerLost rows are accounted via the
+    // shared SandboxCounters below (the executor classifies them).
     if (entry.result.attempts > 1) {
       ++outcome.retried;
     }
@@ -171,6 +174,10 @@ CampaignOutcome Campaign::run(const std::vector<ScenarioSpec>& specs) const {
     }
   }
   outcome.abandoned_threads = abandoned.load();
+  outcome.sandbox_crashes = counters.crashes.load();
+  outcome.workers_respawned = counters.respawns.load();
+  outcome.resource_kills = counters.resource_kills.load();
+  outcome.workers_lost = counters.workers_lost.load();
   outcome.interrupted = outcome.skipped > 0;
   return outcome;
 }

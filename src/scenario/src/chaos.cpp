@@ -296,6 +296,11 @@ std::vector<ScenarioSpec> expand_chaos(const ChaosCampaignSpec& chaos) {
 
 analysis::JsonObject spec_to_json(const ScenarioSpec& spec) {
   analysis::JsonObject object;
+  spec_to_json_into(object, spec);
+  return object;
+}
+
+void spec_to_json_into(analysis::JsonObject& object, const ScenarioSpec& spec) {
   object.set("name", spec.name);
   object.set("family", spec.family);
   object.set("architecture", std::string(to_string(spec.architecture)));
@@ -367,7 +372,20 @@ analysis::JsonObject spec_to_json(const ScenarioSpec& spec) {
     object.set(indexed("faults", i, "at_period"), fault.at_period);
     object.set(indexed("faults", i, "clear_period"), fault.clear_period);
   }
-  return object;
+  // Debug test hooks serialize only when set: every pre-existing spec keeps
+  // its exact serialization (content fingerprints and replay bundles are
+  // byte-stable), while hook-carrying specs survive the trip to a sandbox
+  // worker process.
+  if (spec.debug_hang_ms > 0) {
+    object.set("debug_hang_ms", spec.debug_hang_ms);
+    object.set("debug_hang_attempts", spec.debug_hang_attempts);
+  }
+  if (spec.debug_throw) {
+    object.set("debug_throw", spec.debug_throw);
+  }
+  if (!spec.debug_crash.empty()) {
+    object.set("debug_crash", spec.debug_crash);
+  }
 }
 
 ScenarioSpec spec_from_json(
@@ -455,6 +473,10 @@ ScenarioSpec spec_from_json(
     get(fields, indexed("faults", i, "clear_period"), fault.clear_period);
     spec.faults.push_back(fault);
   }
+  get(fields, "debug_hang_ms", spec.debug_hang_ms);
+  get(fields, "debug_hang_attempts", spec.debug_hang_attempts);
+  get(fields, "debug_throw", spec.debug_throw);
+  get(fields, "debug_crash", spec.debug_crash);
   return spec;
 }
 
@@ -540,6 +562,10 @@ SpecParse spec_from_json_checked(
     in.take(indexed("faults", i, "clear_period"), fault.clear_period);
     spec.faults.push_back(fault);
   }
+  in.take("debug_hang_ms", spec.debug_hang_ms);
+  in.take("debug_hang_attempts", spec.debug_hang_attempts);
+  in.take("debug_throw", spec.debug_throw);
+  in.take("debug_crash", spec.debug_crash);
 
   if (!allow_unknown) {
     for (const auto& [key, value] : fields) {

@@ -100,6 +100,16 @@ std::optional<ScenarioArtifacts> run_attempt(
 
 }  // namespace
 
+std::string_view to_string(IsolationMode mode) noexcept {
+  switch (mode) {
+    case IsolationMode::kThread:
+      return "thread";
+    case IsolationMode::kProcess:
+      return "process";
+  }
+  return "unknown";
+}
+
 std::uint64_t auto_timeout_ms(const ScenarioSpec& spec) {
   return 10'000 + 20 * spec.periods;
 }
@@ -108,6 +118,20 @@ ScenarioArtifacts run_scenario_isolated(
     const ScenarioSpec& spec, const IsolationConfig& config,
     std::atomic<std::size_t>* abandoned,
     std::shared_ptr<ScenarioWorkspace>* workspace) {
+  // Abandoned-worker cap (thread mode's crash-containment analogue): every
+  // abandoned attempt leaks a detached thread plus its arena, so past the
+  // cap the run fails fast per scenario -- journal-consistent, resumable --
+  // instead of wedging the host under an unbounded thread pile-up.
+  if (abandoned != nullptr && config.max_abandoned > 0 &&
+      abandoned->load(std::memory_order_relaxed) >= config.max_abandoned) {
+    ScenarioArtifacts artifacts;
+    artifacts.result = make_error_result(
+        spec, ScenarioError::kWorkerLost,
+        "abandoned-worker cap (" + std::to_string(config.max_abandoned) +
+            ") reached; refusing to start another attempt thread");
+    artifacts.result.attempts = 0;
+    return artifacts;
+  }
   std::shared_ptr<ScenarioWorkspace> local;
   std::shared_ptr<ScenarioWorkspace>* arena =
       workspace != nullptr ? workspace : &local;

@@ -1,7 +1,9 @@
 #include "ddl/scenario/journal.h"
 
+#include <cerrno>
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <sstream>
 #include <stdexcept>
 #include <utility>
@@ -32,6 +34,24 @@ const std::string& field_or(const std::map<std::string, std::string>& fields,
   static const std::string empty;
   const auto it = fields.find(key);
   return it == fields.end() ? empty : it->second;
+}
+
+/// Raises JournalIoError when a journal stream went bad on write/flush,
+/// capturing errno for the operator ("No space left on device" beats a
+/// silent torn journal).  The errno is read *before* any further calls can
+/// clobber it.
+void check_stream(std::ofstream& stream, const char* label) {
+  if (stream) {
+    return;
+  }
+  const int error_number = errno;
+  std::string message = "campaign: " + std::string(label) + " write failed";
+  if (error_number != 0) {
+    message += ": ";
+    message += std::strerror(error_number);
+    message += " (errno " + std::to_string(error_number) + ")";
+  }
+  throw JournalIoError(message, error_number);
 }
 
 std::string fnv1a_hex(const std::vector<ScenarioSpec>& specs,
@@ -92,6 +112,12 @@ ScenarioResult reconstruct_result(
     result.error = ScenarioError::kException;
   } else if (error == "timeout") {
     result.error = ScenarioError::kTimeout;
+  } else if (error == "crash") {
+    result.error = ScenarioError::kCrash;
+  } else if (error == "resource_limit") {
+    result.error = ScenarioError::kResourceLimit;
+  } else if (error == "worker_lost") {
+    result.error = ScenarioError::kWorkerLost;
   }
   const std::string& attempts = field_or(fields, "attempts");
   if (!attempts.empty()) {
@@ -190,9 +216,14 @@ void JournalWriter::record(const std::string& line,
   for (const std::string& health_line : health_lines) {
     health_ << health_line << '\n';
   }
+  // WAL ordering doubles as the fail-closed story: the health stream is
+  // checked *before* the result line is attempted, so a disk fault (ENOSPC,
+  // EIO) never commits a result whose health events were torn away.
   health_.flush();
+  check_stream(health_, "health journal");
   journal_ << line << '\n';
   journal_.flush();
+  check_stream(journal_, "journal");
   ++completed_;
   write_manifest();
 }

@@ -30,6 +30,12 @@ std::string_view to_string(ScenarioError error) noexcept {
       return "exception";
     case ScenarioError::kTimeout:
       return "timeout";
+    case ScenarioError::kCrash:
+      return "crash";
+    case ScenarioError::kResourceLimit:
+      return "resource_limit";
+    case ScenarioError::kWorkerLost:
+      return "worker_lost";
   }
   return "unknown";
 }
@@ -187,6 +193,13 @@ std::vector<std::string> validate(const ScenarioSpec& spec,
   const auto error = [&](const std::string& message) {
     errors.push_back(spec.name + ": " + message);
   };
+
+  if (!spec.debug_crash.empty() && spec.debug_crash != "segv" &&
+      spec.debug_crash != "abort" && spec.debug_crash != "oom" &&
+      spec.debug_crash != "spin") {
+    error("debug_crash '" + spec.debug_crash +
+          "' is not one of segv|abort|oom|spin");
+  }
 
   const std::size_t cells = line_cells;
   for (std::size_t i = 0; i < spec.faults.size(); ++i) {

@@ -40,8 +40,11 @@
 //
 // Threading: one event-loop thread owns every session, job and journal
 // writer (poll over the listeners, client sockets and a self-pipe);
-// `workers` pool threads run scenarios via run_scenario_isolated and hand
-// completions back through the self-pipe.  `request_stop()` is
+// `workers` pool threads each own a scenario::ScenarioExecutor -- in the
+// default process isolation a fork()ed sandbox worker whose crash or
+// resource-limit death becomes a structured error row (and whose process
+// group a cancel kills) -- and hand completions back through the
+// self-pipe.  `request_stop()` is
 // async-signal-safe (atomic store + pipe write), so a SIGTERM handler can
 // trigger the graceful shutdown: stop dispatching, let in-flight
 // scenarios finish and journal, flush checkpoint manifests, close.
@@ -123,6 +126,14 @@ struct ServiceStats {
   /// Dispatch units that coalesced >1 batch-eligible MC-yield scenario
   /// into one worker claim (run as packed kernel lanes).
   std::size_t batched_units = 0;
+  /// Sandbox containment (process isolation; see ddl/scenario/sandbox.h).
+  std::size_t sandbox_crashes = 0;    ///< Workers killed by a fatal signal.
+  std::size_t workers_respawned = 0;  ///< Replacement workers forked.
+  std::size_t resource_kills = 0;     ///< Workers killed by RLIMIT caps.
+  std::size_t workers_lost = 0;       ///< kWorkerLost rows emitted.
+  /// Journal appends that failed on a disk fault (ENOSPC/EIO); the job's
+  /// durability is dropped fail-closed and the client sees an error frame.
+  std::size_t journal_io_errors = 0;
 };
 
 class ScenarioServer {

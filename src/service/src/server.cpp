@@ -34,6 +34,7 @@
 #include "ddl/scenario/journal.h"
 #include "ddl/scenario/registry.h"
 #include "ddl/scenario/runner.h"
+#include "ddl/scenario/sandbox.h"
 #include "ddl/scenario/workspace.h"
 #include "ddl/service/net_util.h"
 #include "ddl/service/protocol.h"
@@ -94,6 +95,9 @@ struct Completion {
   bool pass = false;
   std::string line;
   std::vector<std::string> health_lines;
+  /// The unit was killed by a cancel before producing a row (process-mode
+  /// interrupt): the spec returns to pending, nothing journals or frames.
+  bool withdrawn = false;
 };
 
 /// One scenario of a dispatch unit.
@@ -211,6 +215,18 @@ struct ScenarioServer::Impl {
   std::mutex completion_mutex;
   std::deque<Completion> completions;
   std::atomic<std::size_t> abandoned{0};
+  scenario::SandboxCounters sandbox_counters;
+
+  /// In-flight dispatch units by worker index, so handle_cancel can kill
+  /// the sandbox worker process of a cancelled job (executor->interrupt()).
+  /// Executors live for the worker thread's whole life; entries are
+  /// registered before run_unit and erased after, all under active_mutex.
+  struct ActiveUnit {
+    std::string job_id;
+    scenario::ScenarioExecutor* executor = nullptr;
+  };
+  std::mutex active_mutex;
+  std::map<std::size_t, ActiveUnit> active_units;
 
   // --- Cross-thread status ----------------------------------------------
   std::atomic<bool> stop_requested{false};
@@ -578,6 +594,20 @@ struct ScenarioServer::Impl {
       return;
     }
     Job& job = it->second;
+    if (done.withdrawn) {
+      // A cancel killed the unit's sandbox worker before any row existed:
+      // the spec returns to pending (a cancelled job never re-dispatches
+      // it), quota is released, and nothing journals or frames.
+      job.state[done.index] = SpecState::kPending;
+      ClientSlot& slot = slot_of(job.owner);
+      if (slot.inflight > 0) {
+        slot.inflight--;
+      }
+      if (job.cancelled && job.inflight_specs() == 0) {
+        finalize_cancel(job);
+      }
+      return;
+    }
     job.result_lines[done.index] = std::move(done.line);
     job.health_lines[done.index] = std::move(done.health_lines);
     job.state[done.index] = SpecState::kDone;
@@ -585,8 +615,20 @@ struct ScenarioServer::Impl {
     job.executed++;
     (done.pass ? job.passed : job.failed)++;
     if (job.journal) {
-      job.journal->record(job.result_lines[done.index],
-                          job.health_lines[done.index]);
+      try {
+        job.journal->record(job.result_lines[done.index],
+                            job.health_lines[done.index]);
+      } catch (const scenario::JournalIoError& e) {
+        // Disk fault (ENOSPC/EIO): drop the job's durability fail-closed
+        // -- no torn-commit ambiguity on a later resume -- and tell the
+        // client.  The job keeps executing in memory.
+        job.journal.reset();
+        bump(&ServiceStats::journal_io_errors);
+        auto error_session = sessions.find(job.session_fd);
+        if (error_session != sessions.end()) {
+          send_error(error_session->second, "journal_io", e.what(), job.tag);
+        }
+      }
     }
     ClientSlot& slot = slot_of(job.owner);
     if (slot.inflight > 0) {
@@ -735,6 +777,20 @@ struct ScenarioServer::Impl {
       }
       task_queue.assign(std::make_move_iterator(kept.begin()),
                         std::make_move_iterator(kept.end()));
+    }
+    // Units already claimed by a worker: in process isolation the unit's
+    // sandbox worker (a whole process group) is killed and the unit comes
+    // back `withdrawn` -- no row, no journal entry.  In thread mode the
+    // interrupt is a no-op and the attempt finishes and journals normally
+    // (the old cooperative teardown); either way the journal stays
+    // consistent.
+    {
+      std::lock_guard<std::mutex> lock(active_mutex);
+      for (auto& [worker_index, unit] : active_units) {
+        if (unit.job_id == job.id) {
+          unit.executor->interrupt();
+        }
+      }
     }
     if (job.inflight_specs() == 0) {
       finalize_cancel(job);
@@ -1223,6 +1279,16 @@ struct ScenarioServer::Impl {
         std::lock_guard<std::mutex> lock(jobs_done_mutex);
         return static_cast<std::uint64_t>(active_jobs);
       }());
+      // Sandbox containment telemetry rides the heartbeat so a client can
+      // watch crash/respawn counts without a dedicated stats request.
+      frame.set("sandbox_crashes", static_cast<std::uint64_t>(
+                                       sandbox_counters.crashes.load()));
+      frame.set("workers_respawned", static_cast<std::uint64_t>(
+                                         sandbox_counters.respawns.load()));
+      frame.set("resource_kills", static_cast<std::uint64_t>(
+                                      sandbox_counters.resource_kills.load()));
+      frame.set("workers_lost", static_cast<std::uint64_t>(
+                                    sandbox_counters.workers_lost.load()));
       send_frame(session, frame);
       bump(&ServiceStats::heartbeats);
     }
@@ -1352,73 +1418,51 @@ struct ScenarioServer::Impl {
 
   // --- Worker / event threads -------------------------------------------
 
-  static Completion completion_of(const std::string& job_id,
-                                  std::size_t index,
-                                  const scenario::ScenarioResult& result) {
-    Completion done;
-    done.job_id = job_id;
-    done.index = index;
-    done.pass = result.pass;
-    done.line = scenario::to_json_line(result);
-    for (const core::HealthEvent& event : result.health) {
-      done.health_lines.push_back(
-          scenario::health_to_json(result, event).to_json_line());
-    }
-    return done;
-  }
-
-  /// Runs one dispatch unit on the calling worker.  Single-entry units
-  /// take the watchdog-isolated path; multi-entry units (batch-eligible
-  /// MC-yield scenarios only -- deterministic compute with no hang or
-  /// throw hooks) run through the batch planner as packed kernel lanes,
-  /// with the planner's own per-scenario guarded fallback on group
-  /// failure.  Rows are byte-identical either way: both paths end in
-  /// make_base_result + finish_mc_yield over lane-pure samples.
-  std::vector<Completion> run_unit(
-      Task& task, std::shared_ptr<scenario::ScenarioWorkspace>& workspace) {
-    std::vector<Completion> out;
-    out.reserve(task.entries.size());
-    if (task.entries.size() == 1) {
-      TaskEntry& entry = task.entries.front();
-      const scenario::ScenarioArtifacts artifacts =
-          scenario::run_scenario_isolated(entry.spec, config.isolation,
-                                          &abandoned, &workspace);
-      out.push_back(completion_of(task.job_id, entry.index, artifacts.result));
-      return out;
-    }
+  /// Runs one dispatch unit on the calling worker's executor.  In process
+  /// isolation the unit ships whole into the worker's sandbox child (one
+  /// batched kernel dispatch for multi-entry units); in thread mode the
+  /// executor wraps the watchdog path and batch planner directly.  Rows
+  /// come back as pre-rendered JSONL bytes either way, byte-identical
+  /// across modes.  An empty executor return means interrupt() killed the
+  /// unit mid-flight (cancel): each entry completes as `withdrawn`.
+  std::vector<Completion> run_unit(Task& task,
+                                   scenario::ScenarioExecutor& executor) {
     std::vector<ScenarioSpec> specs;
     specs.reserve(task.entries.size());
     for (TaskEntry& entry : task.entries) {
       specs.push_back(entry.spec);
     }
-    if (!workspace) {
-      workspace = std::make_shared<scenario::ScenarioWorkspace>();
-    }
-    std::vector<scenario::ScenarioResult> results(specs.size());
-    const scenario::BatchPlan plan = scenario::plan_batches(specs, *workspace);
-    for (const scenario::BatchGroup& group : plan.groups) {
-      scenario::run_batch_group(specs, group, *workspace, /*threads=*/1,
-                                results);
-    }
-    // Eligibility can flip between dispatch and execution only via the
-    // sizing cache being fresh here; the planner routes any such spec to
-    // `scalar`, which still runs it under the watchdog.
-    for (const std::size_t i : plan.scalar) {
-      results[i] = scenario::run_scenario_isolated(specs[i], config.isolation,
-                                                   &abandoned, &workspace)
-                       .result;
+    std::vector<scenario::ExecutedScenario> runs = executor.run_unit(specs);
+    std::vector<Completion> out;
+    out.reserve(task.entries.size());
+    if (runs.size() != task.entries.size()) {
+      for (const TaskEntry& entry : task.entries) {
+        Completion done;
+        done.job_id = task.job_id;
+        done.index = entry.index;
+        done.withdrawn = true;
+        out.push_back(std::move(done));
+      }
+      return out;
     }
     for (std::size_t k = 0; k < task.entries.size(); ++k) {
-      out.push_back(
-          completion_of(task.job_id, task.entries[k].index, results[k]));
+      Completion done;
+      done.job_id = task.job_id;
+      done.index = task.entries[k].index;
+      done.pass = runs[k].result.pass;
+      done.line = std::move(runs[k].line);
+      done.health_lines = std::move(runs[k].health_lines);
+      out.push_back(std::move(done));
     }
     return out;
   }
 
-  void worker_main() {
-    // The worker's scenario arena: sizing caches persist across every unit
-    // this thread runs (reset only when an attempt is abandoned).
-    std::shared_ptr<scenario::ScenarioWorkspace> workspace;
+  void worker_main(std::size_t worker_index) {
+    // One executor per worker: in process mode it owns a long-lived
+    // sandbox child (respawned on death); in thread mode it carries the
+    // scenario arena whose sizing caches persist across units.
+    scenario::ScenarioExecutor executor(config.isolation, &sandbox_counters,
+                                        &abandoned);
     for (;;) {
       Task task;
       {
@@ -1431,7 +1475,20 @@ struct ScenarioServer::Impl {
         task = std::move(task_queue.front());
         task_queue.pop_front();
       }
-      std::vector<Completion> batch = run_unit(task, workspace);
+      {
+        std::lock_guard<std::mutex> lock(active_mutex);
+        active_units[worker_index] = ActiveUnit{task.job_id, &executor};
+      }
+      std::vector<Completion> batch = run_unit(task, executor);
+      {
+        std::lock_guard<std::mutex> lock(active_mutex);
+        active_units.erase(worker_index);
+      }
+      // Re-arm after the unit is deregistered: a cancel can only aim an
+      // interrupt at the registered unit, so a flag still set here is
+      // either consumed (withdrawn rows above) or raced a unit that
+      // finished anyway -- never meant for the next task.
+      executor.clear_interrupt();
       {
         std::lock_guard<std::mutex> lock(completion_mutex);
         for (Completion& done : batch) {
@@ -1700,7 +1757,7 @@ bool ScenarioServer::start(std::string* error) {
   const std::size_t workers =
       impl.config.workers == 0 ? 1 : impl.config.workers;
   for (std::size_t i = 0; i < workers; ++i) {
-    impl.worker_threads.emplace_back([this] { impl_->worker_main(); });
+    impl.worker_threads.emplace_back([this, i] { impl_->worker_main(i); });
   }
   impl.event_thread = std::thread([this] { impl_->event_main(); });
   {
@@ -1756,6 +1813,10 @@ ServiceStats ScenarioServer::stats() const {
   std::lock_guard<std::mutex> lock(impl.stats_mutex);
   ServiceStats snapshot = impl.stats_data;
   snapshot.abandoned_threads = impl.abandoned.load();
+  snapshot.sandbox_crashes = impl.sandbox_counters.crashes.load();
+  snapshot.workers_respawned = impl.sandbox_counters.respawns.load();
+  snapshot.resource_kills = impl.sandbox_counters.resource_kills.load();
+  snapshot.workers_lost = impl.sandbox_counters.workers_lost.load();
   return snapshot;
 }
 

@@ -785,6 +785,81 @@ TEST(ServiceTest, CancellingAnUnknownOrFinishedJobIsAStructuredError) {
   server.stop();
 }
 
+// ---- Sandbox crash containment --------------------------------------------
+
+TEST(ServiceTest, WorkerCrashBecomesAStructuredRowAndTheDaemonSurvives) {
+  ScenarioSpec crash = quick_spec("crash", 77);
+  crash.debug_crash = "segv";
+  const std::vector<ScenarioSpec> specs = {quick_spec("pre", 71), crash,
+                                           quick_spec("post", 72)};
+
+  ScenarioServer server(base_config());
+  ASSERT_TRUE(server.start());
+  ScenarioClient client(client_for(server, "ivan"));
+  ASSERT_TRUE(client.connect());
+  const auto submission = client.submit_specs("crashy", specs);
+  ASSERT_TRUE(submission.accepted)
+      << submission.error_code << ": " << submission.error_detail;
+
+  // The job completes: the crashing scenario is a structured error row,
+  // not a dead daemon or a lost job.
+  const auto outcome = client.wait(submission.job_id);
+  ASSERT_TRUE(outcome.done)
+      << outcome.error_code << ": " << outcome.error_detail;
+  EXPECT_EQ(outcome.executed, specs.size());
+  EXPECT_NE(outcome.jsonl().find("\"error_kind\": \"crash\""),
+            std::string::npos);
+  EXPECT_NE(outcome.jsonl().find("sandbox worker killed by SIGSEGV"),
+            std::string::npos);
+
+  const auto stats = server.stats();
+  EXPECT_EQ(stats.sandbox_crashes, 1u);
+  EXPECT_GE(stats.workers_respawned, 1u);
+
+  // The daemon still serves: a follow-up job runs clean on the respawned
+  // worker.
+  const auto after = client.submit_specs("after", {quick_spec("clean", 73)});
+  ASSERT_TRUE(after.accepted);
+  EXPECT_TRUE(client.wait(after.job_id).done);
+  client.bye();
+  server.stop();
+}
+
+TEST(ServiceTest, CancelKillsTheInFlightSandboxWorker) {
+  // One deliberately slow scenario (~tens of seconds cooperatively): a
+  // cancel must kill the sandbox worker's process group and tear the job
+  // down in far less than that, with no row executed or journaled.
+  const std::vector<ScenarioSpec> specs = {quick_spec("slow", 81, 2'000'000)};
+  ServiceConfig config = base_config();
+  config.workers = 1;
+  config.record_dispatch_log = true;
+  ScenarioServer server(config);
+  ASSERT_TRUE(server.start());
+  ScenarioClient client(client_for(server, "kate"));
+  ASSERT_TRUE(client.connect());
+  const auto submission = client.submit_specs("slow", specs);
+  ASSERT_TRUE(submission.accepted);
+
+  // Wait until the scenario is claimed by the worker (dispatch-logged),
+  // then cancel while it is genuinely in flight.
+  ASSERT_TRUE(eventually([&] { return !server.dispatch_log().empty(); }));
+  ASSERT_TRUE(client.cancel("slow"));
+  const auto outcome = client.wait(submission.job_id);
+  EXPECT_TRUE(outcome.cancelled)
+      << outcome.error_code << ": " << outcome.error_detail;
+  EXPECT_FALSE(outcome.done);
+  // Killed, not cooperatively finished: nothing completed.
+  EXPECT_EQ(server.stats().scenarios_executed, 0u);
+  EXPECT_EQ(server.stats().jobs_cancelled, 1u);
+
+  // The worker respawns for the next job.
+  const auto after = client.submit_specs("after", {quick_spec("next", 82)});
+  ASSERT_TRUE(after.accepted);
+  EXPECT_TRUE(client.wait(after.job_id).done);
+  client.bye();
+  server.stop();
+}
+
 // ---- Replay bundles -------------------------------------------------------
 
 TEST(ServiceTest, ReplayBundleJobsReportReproduction) {

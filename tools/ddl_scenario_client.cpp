@@ -28,6 +28,7 @@
 #include "ddl/scenario/chaos.h"
 #include "ddl/scenario/cli.h"
 #include "ddl/scenario/journal.h"
+#include "ddl/scenario/registry.h"
 #include "ddl/service/client.h"
 
 namespace {
@@ -41,6 +42,8 @@ struct ClientOptions {
   std::string filter;
   std::string replay_path;  ///< --replay: run a bundle instead of a suite.
   bool cancel = false;      ///< --cancel: tear the tagged job down.
+  std::string inject_crash_kind;   ///< --inject-crash: segv|abort|oom|spin.
+  std::string inject_crash_match;  ///< ... @SUBSTR scenario selector.
   std::string out_path;
   std::string health_out_path;
   bool help = false;
@@ -74,6 +77,12 @@ std::string usage() {
       "                    (default 25, capped at 1000)\n"
       "  --attempts N      transport failures tolerated before exit 69\n"
       "                    (default 150)\n"
+      "  --inject-crash KIND[@SUBSTR]\n"
+      "                    test hook: submit the suite with the selected\n"
+      "                    scenarios marked to crash inside the server's\n"
+      "                    sandbox worker.  KIND is segv|abort|oom|spin;\n"
+      "                    @SUBSTR selects every scenario whose name\n"
+      "                    contains SUBSTR (default: the first scenario)\n"
       "  --help            this text\n";
 }
 
@@ -135,6 +144,20 @@ ClientOptions parse_args(const std::vector<std::string>& args) {
     } else if (arg == "--replay") {
       if (const std::string* text = value_of(i, "--replay")) {
         options.replay_path = *text;
+      }
+    } else if (arg == "--inject-crash") {
+      if (const std::string* text = value_of(i, "--inject-crash")) {
+        const std::size_t at = text->find('@');
+        options.inject_crash_kind = text->substr(0, at);
+        options.inject_crash_match =
+            at == std::string::npos ? "" : text->substr(at + 1);
+        if (options.inject_crash_kind != "segv" &&
+            options.inject_crash_kind != "abort" &&
+            options.inject_crash_kind != "oom" &&
+            options.inject_crash_kind != "spin") {
+          options.error = "--inject-crash: '" + options.inject_crash_kind +
+                          "' is not one of segv|abort|oom|spin";
+        }
       }
     } else if (arg == "--cancel") {
       options.cancel = true;
@@ -250,6 +273,33 @@ int main(int argc, char** argv) {
       return 66;
     }
     outcome = client.run_replay(options.job_tag, bundle);
+  } else if (!options.inject_crash_kind.empty()) {
+    // Test hook: expand the suite locally so the crash marker travels in
+    // the submitted specs; the server's sandbox supervisor classifies the
+    // worker death and the rest of the campaign completes normally.
+    std::vector<scenario::ScenarioSpec> specs;
+    try {
+      specs = scenario::ScenarioRegistry::builtin().expand_filtered(
+          options.suite, options.filter);
+    } catch (const std::exception& e) {
+      std::cerr << "error: " << e.what() << "\n";
+      return 64;
+    }
+    if (specs.empty()) {
+      std::cerr << "error: suite '" << options.suite
+                << "' expands to no scenarios\n";
+      return 64;
+    }
+    if (options.inject_crash_match.empty()) {
+      specs.front().debug_crash = options.inject_crash_kind;
+    } else {
+      for (auto& spec : specs) {
+        if (spec.name.find(options.inject_crash_match) != std::string::npos) {
+          spec.debug_crash = options.inject_crash_kind;
+        }
+      }
+    }
+    outcome = client.run_specs(options.job_tag, specs);
   } else {
     outcome = client.run_suite(options.job_tag, options.suite, options.filter);
   }

@@ -33,6 +33,7 @@
 #include "ddl/scenario/campaign.h"
 #include "ddl/scenario/chaos.h"
 #include "ddl/scenario/cli.h"
+#include "ddl/scenario/journal.h"
 #include "ddl/scenario/registry.h"
 #include "ddl/scenario/runner.h"
 
@@ -197,6 +198,20 @@ int main(int argc, char** argv) {
     specs.front().debug_hang_ms = options.inject_hang_ms;
     specs.front().debug_hang_attempts = INT_MAX;
   }
+  if (!options.inject_crash_kind.empty()) {
+    // Test hook: crash the selected scenarios inside their sandbox worker.
+    // The supervisor classifies the death (kCrash / kResourceLimit),
+    // respawns the worker and the rest of the batch completes normally.
+    if (options.inject_crash_match.empty()) {
+      specs.front().debug_crash = options.inject_crash_kind;
+    } else {
+      for (auto& spec : specs) {
+        if (spec.name.find(options.inject_crash_match) != std::string::npos) {
+          spec.debug_crash = options.inject_crash_kind;
+        }
+      }
+    }
+  }
 
   scenario::CampaignConfig config;
   config.journal_dir = options.journal_dir;
@@ -206,6 +221,11 @@ int main(int argc, char** argv) {
   config.max_retries = options.retries;
   config.backoff_base_ms = options.backoff_ms;
   config.stop = &g_stop;
+  config.isolation_mode = options.isolation == "thread"
+                              ? scenario::IsolationMode::kThread
+                              : scenario::IsolationMode::kProcess;
+  config.limits.mem_limit_mb = options.mem_limit_mb;
+  config.limits.cpu_limit_s = options.cpu_limit_s;
   std::signal(SIGTERM, on_signal);
   std::signal(SIGINT, on_signal);
 
@@ -213,6 +233,11 @@ int main(int argc, char** argv) {
   scenario::CampaignOutcome outcome;
   try {
     outcome = scenario::Campaign(config).run(specs);
+  } catch (const scenario::JournalIoError& e) {
+    // Disk fault (ENOSPC, EIO): the journal is fail-closed, nothing was
+    // half-committed.  EX_IOERR distinguishes this from a usage error.
+    std::cerr << "error: " << e.what() << "\n";
+    return 74;
   } catch (const std::exception& e) {
     std::cerr << "error: " << e.what() << "\n";
     return 64;
@@ -275,6 +300,15 @@ int main(int argc, char** argv) {
              static_cast<std::uint64_t>(outcome.abandoned_threads));
   report.set("skipped", static_cast<std::uint64_t>(outcome.skipped));
   report.set("interrupted", outcome.interrupted);
+  report.set("isolation", options.isolation);
+  report.set("sandbox_crashes",
+             static_cast<std::uint64_t>(outcome.sandbox_crashes));
+  report.set("workers_respawned",
+             static_cast<std::uint64_t>(outcome.workers_respawned));
+  report.set("resource_kills",
+             static_cast<std::uint64_t>(outcome.resource_kills));
+  report.set("workers_lost",
+             static_cast<std::uint64_t>(outcome.workers_lost));
   if (options.chaos_storms > 0) {
     report.set("chaos_storms",
                static_cast<std::uint64_t>(options.chaos_storms));
